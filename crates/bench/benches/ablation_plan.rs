@@ -1,0 +1,39 @@
+//! Ablation: `NnzCols` construction strategy. The plan builder uses a
+//! bitmap over the column range (O(n + nnz)); the alternative is
+//! sort-and-dedup of the raw column indices (O(nnz log nnz)). Bitmaps
+//! win on dense blocks, sort-dedup can win when blocks are very sparse.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spmat::dataset::amazon_scaled;
+use spmat::Csr;
+
+/// The sort-dedup alternative to [`Csr::distinct_cols`].
+fn distinct_cols_sort(block: &Csr) -> Vec<u32> {
+    let mut cols: Vec<u32> = block.indices().to_vec();
+    cols.sort_unstable();
+    cols.dedup();
+    cols
+}
+
+fn bench_nnzcols(c: &mut Criterion) {
+    let ds = amazon_scaled(12, 1);
+    let mut group = c.benchmark_group("ablation_plan");
+    group.sample_size(10);
+
+    for p in [8usize, 64] {
+        let rows = ds.n() / p;
+        let block = ds.norm_adj.row_block(0, rows);
+        // Correctness guard: both strategies agree.
+        assert_eq!(block.distinct_cols(), distinct_cols_sort(&block));
+        group.bench_with_input(BenchmarkId::new("bitmap", p), &block, |b, block| {
+            b.iter(|| block.distinct_cols());
+        });
+        group.bench_with_input(BenchmarkId::new("sort-dedup", p), &block, |b, block| {
+            b.iter(|| distinct_cols_sort(block));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nnzcols);
+criterion_main!(benches);

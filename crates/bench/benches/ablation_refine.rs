@@ -1,0 +1,56 @@
+//! Ablation: what each stage of the multilevel pipeline buys.
+//!
+//! * edgecut refinement alone vs + volume refinement (the GVB delta);
+//! * multilevel vs flat FM (coarsening disabled by setting the target
+//!   above the graph size).
+//!
+//! Criterion measures runtime; the *quality* deltas are printed once at
+//! startup so the trade-off is visible in the bench log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use partition::metrics::volume_metrics;
+use partition::wgraph::WGraph;
+use partition::{partition_graph, Method, PartitionConfig};
+use spmat::dataset::amazon_scaled;
+
+fn bench_refine(c: &mut Criterion) {
+    let ds = amazon_scaled(11, 1);
+    let g = WGraph::from_csr(&ds.adj);
+    let k = 16;
+
+    // Quality report (once).
+    for (label, cfg) in [
+        ("edgecut-only", PartitionConfig::new(Method::EdgeCut).with_seed(3)),
+        ("with-volume-refine", PartitionConfig::new(Method::VolumeBalanced).with_seed(3)),
+        ("flat-fm", {
+            let mut c = PartitionConfig::new(Method::EdgeCut).with_seed(3);
+            c.coarsen_factor = usize::MAX / k; // disable coarsening
+            c
+        }),
+    ] {
+        let part = partition_graph(&ds.adj, k, &cfg);
+        let m = volume_metrics(&g, &part);
+        println!(
+            "[ablation_refine] {label:>20}: total_vol={:>7} max_send={:>6} imbalance={:>6.1}%",
+            m.total, m.max_send, m.imbalance_pct
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_refine");
+    group.sample_size(10);
+    for (label, method, factor) in [
+        ("edgecut-only", Method::EdgeCut, 16usize),
+        ("with-volume-refine", Method::VolumeBalanced, 16),
+        ("flat-fm", Method::EdgeCut, usize::MAX / k),
+    ] {
+        let mut cfg = PartitionConfig::new(method).with_seed(3);
+        cfg.coarsen_factor = factor;
+        group.bench_with_input(BenchmarkId::new("partition", label), &cfg, |b, cfg| {
+            b.iter(|| partition_graph(&ds.adj, k, cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refine);
+criterion_main!(benches);

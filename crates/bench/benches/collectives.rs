@@ -1,0 +1,54 @@
+//! Collective primitives of the simulated runtime: the broadcast round
+//! the oblivious algorithm performs per SpMM vs the single all-to-allv
+//! of the sparsity-aware algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnn_comm::msg::Payload;
+use gnn_comm::{CostModel, ThreadWorld};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+
+    for p in [4usize, 8] {
+        let rows = 1024 / p;
+        let f = 32;
+        group.bench_with_input(BenchmarkId::new("bcast_round", p), &p, |b, &p| {
+            let world = ThreadWorld::new(p, CostModel::perlmutter_like());
+            b.iter(|| {
+                world.run(|ctx| {
+                    for root in 0..ctx.p() {
+                        let payload = (ctx.rank() == root)
+                            .then(|| Payload::F64(vec![1.0; rows * f]));
+                        ctx.bcast(root, payload);
+                    }
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("alltoallv", p), &p, |b, &p| {
+            let world = ThreadWorld::new(p, CostModel::perlmutter_like());
+            b.iter(|| {
+                world.run(|ctx| {
+                    let sends = (0..ctx.p())
+                        .map(|_| Payload::F64(vec![1.0; rows * f / p]))
+                        .collect();
+                    ctx.alltoallv(sends)
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("allreduce", p), &p, |b, &p| {
+            let world = ThreadWorld::new(p, CostModel::perlmutter_like());
+            let group_all: Vec<usize> = (0..p).collect();
+            b.iter(|| {
+                world.run(|ctx| {
+                    let mut buf = vec![1.0f64; rows * f];
+                    ctx.allreduce_sum(&mut buf, &group_all);
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

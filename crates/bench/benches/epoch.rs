@@ -1,0 +1,39 @@
+//! End-to-end epoch cost of the four distributed algorithm variants on
+//! the threaded executor (wall time of the simulation itself — the
+//! modeled times come from the `repro` harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnn_comm::CostModel;
+use gnn_core::dist::even_bounds;
+use gnn_core::{train_distributed, Algo, DistConfig, GcnConfig};
+use spmat::dataset::amazon_scaled;
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch");
+    group.sample_size(10);
+
+    let ds = amazon_scaled(10, 1);
+    let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
+    let cases = vec![
+        (Algo::OneD { aware: false }, 4usize),
+        (Algo::OneD { aware: true }, 4),
+        (Algo::OneFiveD { aware: false, c: 2 }, 2),
+        (Algo::OneFiveD { aware: true, c: 2 }, 2),
+    ];
+    for (algo, parts) in cases {
+        let bounds = even_bounds(ds.n(), parts);
+        let cfg = DistConfig {
+            algo,
+            gcn: gcn.clone(),
+            epochs: 1,
+            model: CostModel::perlmutter_like(),
+        };
+        group.bench_with_input(BenchmarkId::new("train", algo.label()), &cfg, |b, cfg| {
+            b.iter(|| train_distributed(&ds, &bounds, cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

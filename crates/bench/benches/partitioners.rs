@@ -1,0 +1,32 @@
+//! Partitioner cost: the one-time preprocessing the paper amortizes over
+//! hundreds of epochs (§1). Block/random are effectively free; the
+//! multilevel methods pay for coarsening + refinement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use partition::{partition_graph, Method, PartitionConfig};
+use spmat::dataset::{amazon_scaled, protein_scaled};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+
+    let datasets = vec![amazon_scaled(11, 1), protein_scaled(2048, 32, 1)];
+    for ds in &datasets {
+        for method in
+            [Method::Block, Method::Random, Method::EdgeCut, Method::VolumeBalanced]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), &ds.name),
+                &ds.adj,
+                |b, adj| {
+                    let cfg = PartitionConfig::new(method).with_seed(3);
+                    b.iter(|| partition_graph(adj, 16, &cfg));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

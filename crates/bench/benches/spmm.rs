@@ -1,0 +1,48 @@
+//! Local SpMM kernel throughput — the compute term of every epoch-time
+//! model (the role of cuSPARSE csrmm2 in the paper's setup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spmat::gen::{rmat, sbm, RmatConfig, SbmConfig};
+use spmat::graph::gcn_normalize;
+use spmat::spmm::{spmm, spmm_flops};
+use spmat::Dense;
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    group.sample_size(10);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let cases = vec![
+        ("rmat-irregular", gcn_normalize(&rmat(RmatConfig::graph500(12, 8, 1)))),
+        (
+            "sbm-regular",
+            gcn_normalize(
+                &sbm(SbmConfig {
+                    n: 4096,
+                    blocks: 64,
+                    avg_degree_in: 14.0,
+                    avg_degree_out: 2.0,
+                    seed: 1,
+                })
+                .0,
+            ),
+        ),
+    ];
+    for (name, adj) in &cases {
+        for f in [16usize, 64] {
+            let h = Dense::glorot(adj.rows(), f, &mut rng);
+            group.throughput(Throughput::Elements(spmm_flops(adj, f)));
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("f{f}")),
+                &(adj, h),
+                |b, (adj, h)| b.iter(|| spmm(adj, h)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

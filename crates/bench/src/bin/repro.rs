@@ -1,0 +1,169 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--small] [--seed N] [--out DIR] <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|all>
+//! ```
+//!
+//! Prints each artifact as an aligned table and writes a CSV twin to
+//! `--out` (default `results/`). `--small` runs miniature datasets with
+//! the same sweep shapes (seconds instead of minutes; used by CI).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gnn_bench::experiments::{self, Suite};
+use gnn_bench::table::Table;
+
+struct Args {
+    small: bool,
+    seed: u64,
+    out: PathBuf,
+    commands: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        small: false,
+        seed: 1,
+        out: PathBuf::from("results"),
+        commands: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--small" => args.small = true,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--help" | "-h" => return Err(usage()),
+            cmd if !cmd.starts_with('-') => args.commands.push(cmd.to_string()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if args.commands.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn usage() -> String {
+    "usage: repro [--small] [--seed N] [--out DIR] \
+     <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|all> ..."
+        .to_string()
+}
+
+fn emit(name: &str, title: &str, table: &Table, out: &PathBuf) {
+    println!("\n=== {title} ===");
+    print!("{}", table.render());
+    match table.write_csv(out, name) {
+        Ok(()) => println!("[csv written to {}/{name}.csv]", out.display()),
+        Err(e) => eprintln!("warning: could not write csv: {e}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = Instant::now();
+    eprintln!(
+        "building {} dataset suite (seed {})...",
+        if args.small { "small" } else { "full" },
+        args.seed
+    );
+    let suite = if args.small { Suite::small(args.seed) } else { Suite::full(args.seed) };
+    eprintln!("suite ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let mut commands = args.commands.clone();
+    if commands.iter().any(|c| c == "all") {
+        commands = ["table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "volumes", "overlap", "algos"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    for cmd in &commands {
+        let t = Instant::now();
+        match cmd.as_str() {
+            "table2" => {
+                let ps: Vec<usize> =
+                    if args.small { vec![4, 8, 16, 32] } else { vec![16, 32, 64, 128, 256] };
+                let (table, _) = experiments::table2(&suite.amazon, &ps, args.seed);
+                emit(
+                    "table2",
+                    "Table 2: per-SpMM communication under the edgecut-only partitioner (amazon-scaled)",
+                    &table,
+                    &args.out,
+                );
+            }
+            "table3" => {
+                let table = experiments::table3(&suite);
+                emit("table3", "Table 3: dataset properties (scaled analogues)", &table, &args.out);
+            }
+            "fig3" => {
+                let (table, _) = experiments::fig3(&suite, args.seed);
+                emit("fig3", "Figure 3: 1D epoch time vs GPUs", &table, &args.out);
+            }
+            "fig4" => {
+                let (table, _) = experiments::fig4(&suite, args.seed);
+                emit("fig4", "Figure 4: 1D timing breakdown", &table, &args.out);
+            }
+            "fig5" => {
+                let (table, _) = experiments::fig5(&suite, args.seed);
+                emit("fig5", "Figure 5: papers-scaled at p=16", &table, &args.out);
+            }
+            "fig6" => {
+                let (table, _) = experiments::fig6(&suite, args.seed);
+                emit("fig6", "Figure 6: SA+METIS vs SA+GVB", &table, &args.out);
+            }
+            "fig7" => {
+                let (table, _) = experiments::fig7(&suite, args.seed);
+                emit("fig7", "Figure 7: 1.5D epoch time vs GPUs", &table, &args.out);
+            }
+            "volumes" => {
+                let (table, _) = experiments::volumes(&suite, args.seed);
+                emit(
+                    "volumes",
+                    "Communication volume view: bottleneck-rank received MB per epoch",
+                    &table,
+                    &args.out,
+                );
+            }
+            "overlap" => {
+                let (table, _) = experiments::overlap(&suite, args.seed);
+                emit(
+                    "overlap",
+                    "Overlap ablation: CAGNET with perfect comm/compute overlap vs SA",
+                    &table,
+                    &args.out,
+                );
+            }
+            "algos" => {
+                let p = if args.small { 8 } else { 16 };
+                let (table, _) = experiments::algos(&suite, p, args.seed);
+                emit(
+                    "algos",
+                    "Extension: per-SpMM bottleneck exchange volume across 1D / 1.5D / 2D layouts",
+                    &table,
+                    &args.out,
+                );
+            }
+            other => {
+                eprintln!("unknown command {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("[{cmd} done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,260 @@
+//! `train` — run full-graph distributed GNN training end to end.
+//!
+//! ```text
+//! train [--dataset reddit|amazon|protein|papers] [--mtx FILE]
+//!       [--algo 1d|1.5d] [--oblivious] [--c N]
+//!       [--partitioner block|random|metis|gvb] [--p N]
+//!       [--arch gcn|sage] [--opt sgd|adam] [--lr X]
+//!       [--epochs N] [--scale N] [--seed N]
+//! ```
+//!
+//! Trains on the simulated distributed runtime, prints the loss/accuracy
+//! trajectory and the modeled communication/compute cost summary.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gnn_comm::{CostModel, Phase};
+use gnn_core::{train_distributed, Algo, DistConfig, GcnConfig};
+use partition::{partition_graph, Method, PartitionConfig};
+use spmat::dataset::{amazon_scaled, papers_scaled, protein_scaled, reddit_scaled, Dataset};
+
+struct Args {
+    dataset: String,
+    mtx: Option<PathBuf>,
+    algo_15d: bool,
+    aware: bool,
+    c: usize,
+    partitioner: Method,
+    p: usize,
+    sage: bool,
+    adam: bool,
+    lr: Option<f64>,
+    epochs: usize,
+    scale: u32,
+    seed: u64,
+}
+
+fn parse() -> Result<Args, String> {
+    let mut a = Args {
+        dataset: "protein".into(),
+        mtx: None,
+        algo_15d: false,
+        aware: true,
+        c: 2,
+        partitioner: Method::VolumeBalanced,
+        p: 8,
+        sage: false,
+        adam: false,
+        lr: None,
+        epochs: 30,
+        scale: 11,
+        seed: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dataset" => a.dataset = next(&mut it, "--dataset")?,
+            "--mtx" => a.mtx = Some(PathBuf::from(next(&mut it, "--mtx")?)),
+            "--algo" => {
+                a.algo_15d = match next(&mut it, "--algo")?.as_str() {
+                    "1d" => false,
+                    "1.5d" | "15d" => true,
+                    other => return Err(format!("unknown algo {other}")),
+                }
+            }
+            "--oblivious" => a.aware = false,
+            "--c" => a.c = next(&mut it, "--c")?.parse().map_err(|e| format!("bad --c: {e}"))?,
+            "--partitioner" => {
+                a.partitioner = match next(&mut it, "--partitioner")?.as_str() {
+                    "block" => Method::Block,
+                    "random" => Method::Random,
+                    "metis" => Method::EdgeCut,
+                    "gvb" => Method::VolumeBalanced,
+                    other => return Err(format!("unknown partitioner {other}")),
+                }
+            }
+            "--p" => a.p = next(&mut it, "--p")?.parse().map_err(|e| format!("bad --p: {e}"))?,
+            "--arch" => {
+                a.sage = match next(&mut it, "--arch")?.as_str() {
+                    "gcn" => false,
+                    "sage" => true,
+                    other => return Err(format!("unknown arch {other}")),
+                }
+            }
+            "--opt" => {
+                a.adam = match next(&mut it, "--opt")?.as_str() {
+                    "sgd" => false,
+                    "adam" => true,
+                    other => return Err(format!("unknown optimizer {other}")),
+                }
+            }
+            "--lr" => {
+                a.lr = Some(next(&mut it, "--lr")?.parse().map_err(|e| format!("bad --lr: {e}"))?)
+            }
+            "--epochs" => {
+                a.epochs =
+                    next(&mut it, "--epochs")?.parse().map_err(|e| format!("bad --epochs: {e}"))?
+            }
+            "--scale" => {
+                a.scale =
+                    next(&mut it, "--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--seed" => {
+                a.seed = next(&mut it, "--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(a)
+}
+
+fn usage() -> String {
+    "usage: train [--dataset reddit|amazon|protein|papers] [--mtx FILE] \
+     [--algo 1d|1.5d] [--oblivious] [--c N] \
+     [--partitioner block|random|metis|gvb] [--p N] [--arch gcn|sage] \
+     [--opt sgd|adam] [--lr X] [--epochs N] [--scale N] [--seed N]"
+        .to_string()
+}
+
+fn load_dataset(a: &Args) -> Result<Dataset, String> {
+    if let Some(path) = &a.mtx {
+        // External graph; synthesize features/labels like the paper did
+        // for Amazon/Protein ("we chose an arbitrary number of features
+        // and labels").
+        let adj = spmat::io::read_mtx(path).map_err(|e| e.to_string())?;
+        if !adj.is_symmetric() {
+            return Err("mtx graph must be symmetric (undirected)".into());
+        }
+        let norm_adj = spmat::graph::gcn_normalize(&adj);
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(a.seed);
+        let n = adj.rows();
+        let classes = 16;
+        let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..classes as u32)).collect();
+        let features =
+            spmat::Dense::from_fn(n, 64, |r, _| labels[r] as f64 / classes as f64 + rng.gen::<f64>());
+        let train_mask = (0..n).map(|_| rng.gen_bool(0.6)).collect();
+        return Ok(Dataset {
+            name: format!("mtx:{}", path.display()),
+            adj,
+            norm_adj,
+            features,
+            labels,
+            num_classes: classes,
+            train_mask,
+        });
+    }
+    Ok(match a.dataset.as_str() {
+        "reddit" => reddit_scaled(a.scale.min(13), a.seed),
+        "amazon" => amazon_scaled(a.scale, a.seed),
+        "protein" => protein_scaled(1usize << a.scale, 32, a.seed),
+        "papers" => papers_scaled(a.scale, a.seed),
+        other => return Err(format!("unknown dataset {other}")),
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(m) => {
+            eprintln!("{m}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = Instant::now();
+    let ds = match load_dataset(&args) {
+        Ok(d) => d,
+        Err(m) => {
+            eprintln!("dataset error: {m}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "dataset {}: {} vertices, {} edges, f={}, {} classes  [{:.1}s]",
+        ds.name,
+        ds.n(),
+        ds.edges(),
+        ds.f(),
+        ds.num_classes,
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Partition & permute.
+    let parts = if args.algo_15d { args.p / args.c } else { args.p };
+    if parts == 0 || (args.algo_15d && args.p % (args.c * args.c) != 0) {
+        eprintln!("invalid grid: p={} c={}", args.p, args.c);
+        return ExitCode::FAILURE;
+    }
+    let t1 = Instant::now();
+    let part = partition_graph(
+        &ds.adj,
+        parts,
+        &PartitionConfig::new(args.partitioner).with_seed(args.seed),
+    );
+    let ds = ds.permute(&part.to_permutation());
+    let bounds = part.block_bounds();
+    println!(
+        "partitioned into {parts} parts with {} in {:.1}s",
+        args.partitioner.label(),
+        t1.elapsed().as_secs_f64()
+    );
+
+    // Configure and train.
+    let mut gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
+    if args.sage {
+        gcn = gcn.with_sage();
+    }
+    if args.adam {
+        gcn = gcn.with_adam(args.lr.unwrap_or(0.01));
+    } else if let Some(lr) = args.lr {
+        gcn.lr = lr;
+    }
+    let algo = if args.algo_15d {
+        Algo::OneFiveD { aware: args.aware, c: args.c }
+    } else {
+        Algo::OneD { aware: args.aware }
+    };
+    println!("training: {} | {:?} arch | {} epochs", algo.label(), gcn.arch, args.epochs);
+
+    let t2 = Instant::now();
+    let out = train_distributed(
+        &ds,
+        &bounds,
+        &DistConfig { algo, gcn, epochs: args.epochs, model: CostModel::perlmutter_like() },
+    );
+    let wall = t2.elapsed().as_secs_f64();
+
+    println!("\nepoch       loss   accuracy");
+    let step = (args.epochs / 10).max(1);
+    for (e, r) in out.records.iter().enumerate() {
+        if e % step == 0 || e + 1 == args.epochs {
+            println!("{e:>5}  {:>9.4}  {:>9.3}", r.loss, r.train_accuracy);
+        }
+    }
+
+    let st = &out.stats;
+    let per_epoch = st.modeled_epoch_time() / args.epochs as f64;
+    println!("\n-- modeled cost (Perlmutter-like machine) --");
+    println!("epoch time:      {:>10.3} ms", per_epoch * 1e3);
+    for (label, phase) in [
+        ("local compute", Phase::LocalCompute),
+        ("alltoall", Phase::AllToAll),
+        ("bcast", Phase::Bcast),
+        ("allreduce", Phase::AllReduce),
+        ("p2p", Phase::P2p),
+    ] {
+        let t = st.phase_time(phase) / args.epochs as f64;
+        if t > 0.0 {
+            println!("  {label:<14} {:>10.3} ms", t * 1e3);
+        }
+    }
+    println!("simulation wall time: {wall:.1}s");
+    ExitCode::SUCCESS
+}

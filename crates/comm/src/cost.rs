@@ -1,0 +1,143 @@
+//! α–β–γ machine cost model.
+//!
+//! The paper analyzes its algorithms with the standard `α` (per-message
+//! latency) + `β` (per-byte inverse bandwidth) model (§4.1, §4.2); local
+//! SpMM compute is priced with a `γ` term (seconds per flop). Constants
+//! default to Perlmutter-class hardware — A100 GPUs on 25 GB/s links —
+//! so modeled epoch times land in the same regime as the paper's
+//! measurements even though execution happens on a laptop.
+
+use serde::{Deserialize, Serialize};
+
+/// Machine parameters for pricing communication and compute.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Per-message latency in seconds (NCCL p2p launch + network).
+    pub alpha: f64,
+    /// Seconds per byte (inverse link bandwidth).
+    pub beta: f64,
+    /// Effective local SpMM throughput in flop/s. Sparse kernels on A100
+    /// reach a small fraction of peak; 1 Tflop/s is a realistic effective
+    /// rate for csrmm-style kernels.
+    pub flop_rate: f64,
+}
+
+impl CostModel {
+    /// Perlmutter-like constants: 20 µs message latency, 25 GB/s links,
+    /// 1 Tflop/s effective sparse throughput.
+    pub fn perlmutter_like() -> Self {
+        Self { alpha: 20e-6, beta: 1.0 / 25e9, flop_rate: 1e12 }
+    }
+
+    /// A latency-free, bandwidth-only variant (useful in tests to reason
+    /// about volume terms in isolation).
+    pub fn bandwidth_only() -> Self {
+        Self { alpha: 0.0, beta: 1.0, flop_rate: f64::INFINITY }
+    }
+
+    /// Point-to-point message of `bytes`.
+    pub fn p2p(&self, bytes: u64) -> f64 {
+        self.alpha + bytes as f64 * self.beta
+    }
+
+    /// Binomial-tree broadcast of `bytes` to `p` ranks: `log₂p` latency
+    /// steps; with pipelining the bandwidth term stays `O(bytes·β)`.
+    pub fn bcast(&self, bytes: u64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let logp = (p as f64).log2().ceil();
+        logp * self.alpha + bytes as f64 * self.beta
+    }
+
+    /// Ring/Rabenseifner all-reduce of a `bytes`-sized buffer over `p`
+    /// ranks: `2·(p−1)/p · bytes` moved per rank, `2·log₂p` latency steps.
+    pub fn allreduce(&self, bytes: u64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let pf = p as f64;
+        2.0 * pf.log2().ceil() * self.alpha + 2.0 * (pf - 1.0) / pf * bytes as f64 * self.beta
+    }
+
+    /// Pairwise all-to-allv: `p − 1` point-to-point exchanges; the
+    /// bandwidth term is the larger of what this rank sends and receives
+    /// in total (links are bidirectional; the bottleneck direction
+    /// dominates). This matches the paper's
+    /// `α(P−1) + (P−1)·cut_P(G)·f·β` bound, which prices the *maximum*
+    /// per-pair volume.
+    pub fn alltoallv(&self, send_bytes: u64, recv_bytes: u64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        (p as f64 - 1.0) * self.alpha + send_bytes.max(recv_bytes) as f64 * self.beta
+    }
+
+    /// Local compute of `flops` floating-point operations.
+    pub fn compute(&self, flops: u64) -> f64 {
+        flops as f64 / self.flop_rate
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::perlmutter_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_is_affine() {
+        let m = CostModel { alpha: 1.0, beta: 2.0, flop_rate: 1.0 };
+        assert_eq!(m.p2p(0), 1.0);
+        assert_eq!(m.p2p(10), 21.0);
+    }
+
+    #[test]
+    fn collectives_are_free_on_one_rank() {
+        let m = CostModel::perlmutter_like();
+        assert_eq!(m.bcast(1_000_000, 1), 0.0);
+        assert_eq!(m.allreduce(1_000_000, 1), 0.0);
+        assert_eq!(m.alltoallv(5, 5, 1), 0.0);
+    }
+
+    #[test]
+    fn bcast_latency_scales_logarithmically() {
+        let m = CostModel { alpha: 1.0, beta: 0.0, flop_rate: 1.0 };
+        assert_eq!(m.bcast(0, 2), 1.0);
+        assert_eq!(m.bcast(0, 8), 3.0);
+        assert_eq!(m.bcast(0, 9), 4.0);
+    }
+
+    #[test]
+    fn alltoallv_prices_bottleneck_direction() {
+        let m = CostModel { alpha: 0.0, beta: 1.0, flop_rate: 1.0 };
+        assert_eq!(m.alltoallv(100, 40, 4), 100.0);
+        assert_eq!(m.alltoallv(40, 100, 4), 100.0);
+    }
+
+    #[test]
+    fn allreduce_bandwidth_approaches_2x() {
+        let m = CostModel { alpha: 0.0, beta: 1.0, flop_rate: 1.0 };
+        let t = m.allreduce(1000, 1024);
+        assert!((t - 2.0 * 1023.0 / 1024.0 * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_uses_flop_rate() {
+        let m = CostModel { alpha: 0.0, beta: 0.0, flop_rate: 100.0 };
+        assert_eq!(m.compute(250), 2.5);
+    }
+
+    #[test]
+    fn perlmutter_constants_plausible() {
+        let m = CostModel::perlmutter_like();
+        // 1 MB broadcast across 64 ranks should be tens of microseconds
+        // of bandwidth plus a few latency hops — well under 1 ms.
+        let t = m.bcast(1 << 20, 64);
+        assert!(t > 0.0 && t < 1e-3);
+    }
+}

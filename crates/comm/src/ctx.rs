@@ -1,0 +1,268 @@
+//! The per-rank communication handle.
+//!
+//! A `RankCtx` is what each SPMD rank closure receives: point-to-point
+//! messaging plus the three collectives the paper's algorithms use. Every
+//! operation records volumes and cost-model time into the rank's
+//! [`RankStats`].
+//!
+//! ## Pricing conventions
+//!
+//! * `send`/`recv` (phase `P2p`): each side pays `α + bytes·β` for its own
+//!   direction of traffic — a rank's modeled time reflects the bytes
+//!   crossing *its* NIC.
+//! * `alltoallv` (phase `AllToAll`): priced once per call as
+//!   `(P−1)·α + max(sent, received)·β`, matching the paper's §4.1 bound.
+//! * `bcast` (phase `Bcast`): priced on every participant as a pipelined
+//!   binomial tree.
+//! * `allreduce_sum` (phase `AllReduce`): priced on every group member
+//!   with the ring-allreduce formula; recorded bytes are the logical
+//!   buffer size.
+//! * Execution topology (who moves bytes through which channel) is
+//!   whatever is simplest — costs always come from the model, so the
+//!   simulator's internal shortcuts never leak into results.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::cost::CostModel;
+use crate::msg::{Msg, Payload};
+use crate::stats::{Phase, RankStats};
+
+/// Message tags, one per operation kind; mismatches indicate an SPMD
+/// protocol bug and fail fast.
+pub(crate) mod tag {
+    pub const P2P: u8 = 1;
+    pub const BCAST: u8 = 2;
+    pub const ALLTOALLV: u8 = 3;
+    pub const REDUCE_UP: u8 = 4;
+    pub const REDUCE_DOWN: u8 = 5;
+    pub const GATHER: u8 = 6;
+}
+
+/// Per-rank handle passed to the SPMD closure by
+/// [`crate::world::ThreadWorld::run`].
+pub struct RankCtx {
+    rank: usize,
+    p: usize,
+    model: CostModel,
+    to: Vec<Sender<Msg>>,
+    from: Vec<Receiver<Msg>>,
+    barrier: Arc<Barrier>,
+    stats: RankStats,
+}
+
+impl RankCtx {
+    pub(crate) fn new(
+        rank: usize,
+        p: usize,
+        model: CostModel,
+        to: Vec<Sender<Msg>>,
+        from: Vec<Receiver<Msg>>,
+        barrier: Arc<Barrier>,
+    ) -> Self {
+        Self { rank, p, model, to, from, barrier, stats: RankStats::default() }
+    }
+
+    /// This rank's id in `0..p`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The cost model pricing this run.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Read access to the accumulated statistics.
+    pub fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+
+    pub(crate) fn into_stats(self) -> RankStats {
+        self.stats
+    }
+
+    fn raw_send(&self, dst: usize, tag: u8, payload: Payload) {
+        self.to[dst].send(Msg { tag, payload }).expect("peer rank hung up");
+    }
+
+    fn raw_recv(&self, src: usize, expect_tag: u8) -> Payload {
+        let msg = self.from[src].recv().expect("peer rank hung up");
+        assert_eq!(
+            msg.tag, expect_tag,
+            "rank {}: protocol mismatch receiving from {} (got tag {}, expected {})",
+            self.rank, src, msg.tag, expect_tag
+        );
+        msg.payload
+    }
+
+    /// Non-blocking point-to-point send (phase `P2p`). Pays
+    /// `α + bytes·β` on this rank.
+    pub fn send(&mut self, dst: usize, payload: Payload) {
+        assert_ne!(dst, self.rank, "self-sends indicate an algorithm bug");
+        let bytes = payload.bytes();
+        let c = self.stats.phase_mut(Phase::P2p);
+        c.ops += 1;
+        c.bytes_sent += bytes;
+        c.modeled_seconds += self.model.p2p(bytes);
+        self.raw_send(dst, tag::P2P, payload);
+    }
+
+    /// Blocking point-to-point receive (phase `P2p`). Pays
+    /// `α + bytes·β` on this rank.
+    pub fn recv(&mut self, src: usize) -> Payload {
+        let payload = self.raw_recv(src, tag::P2P);
+        let bytes = payload.bytes();
+        let c = self.stats.phase_mut(Phase::P2p);
+        c.ops += 1;
+        c.bytes_recv += bytes;
+        c.modeled_seconds += self.model.p2p(bytes);
+        payload
+    }
+
+    /// Broadcast from `root` (phase `Bcast`): the root passes its payload,
+    /// everyone else passes `None` and receives the root's payload.
+    pub fn bcast(&mut self, root: usize, payload: Option<Payload>) -> Payload {
+        let out = if self.rank == root {
+            let payload = payload.expect("root must supply the broadcast payload");
+            for dst in 0..self.p {
+                if dst != root {
+                    self.raw_send(dst, tag::BCAST, payload.clone());
+                }
+            }
+            payload
+        } else {
+            assert!(payload.is_none(), "non-root rank supplied a broadcast payload");
+            self.raw_recv(root, tag::BCAST)
+        };
+        let bytes = out.bytes();
+        let c = self.stats.phase_mut(Phase::Bcast);
+        c.ops += 1;
+        if self.rank == root {
+            c.bytes_sent += bytes;
+        } else {
+            c.bytes_recv += bytes;
+        }
+        c.modeled_seconds += self.model.bcast(bytes, self.p);
+        out
+    }
+
+    /// Variable all-to-all (phase `AllToAll`): `sends[d]` goes to rank
+    /// `d`; returns what every rank sent to us (`out[s]` from rank `s`).
+    /// The self-slot is moved locally without being priced.
+    ///
+    /// # Panics
+    /// Panics if `sends.len() != p`.
+    pub fn alltoallv(&mut self, mut sends: Vec<Payload>) -> Vec<Payload> {
+        assert_eq!(sends.len(), self.p, "alltoallv needs one payload per rank");
+        let mut sent_bytes = 0u64;
+        let me = self.rank;
+        // Shifted order avoids all ranks hammering rank 0's queue first.
+        for off in 1..self.p {
+            let dst = (me + off) % self.p;
+            let payload = std::mem::replace(&mut sends[dst], Payload::Empty);
+            sent_bytes += payload.bytes();
+            self.raw_send(dst, tag::ALLTOALLV, payload);
+        }
+        let mut out: Vec<Payload> = (0..self.p).map(|_| Payload::Empty).collect();
+        out[me] = std::mem::replace(&mut sends[me], Payload::Empty);
+        let mut recv_bytes = 0u64;
+        for off in 1..self.p {
+            let src = (me + self.p - off) % self.p;
+            let payload = self.raw_recv(src, tag::ALLTOALLV);
+            recv_bytes += payload.bytes();
+            out[src] = payload;
+        }
+        let c = self.stats.phase_mut(Phase::AllToAll);
+        c.ops += 1;
+        c.bytes_sent += sent_bytes;
+        c.bytes_recv += recv_bytes;
+        c.modeled_seconds += self.model.alltoallv(sent_bytes, recv_bytes, self.p);
+        out
+    }
+
+    /// Sum-all-reduce of `buf` over `group` (phase `AllReduce`). Every
+    /// member must call with the same group slice (which must contain this
+    /// rank); afterwards all members hold the element-wise sum.
+    pub fn allreduce_sum(&mut self, buf: &mut [f64], group: &[usize]) {
+        debug_assert!(group.contains(&self.rank), "rank not in its own allreduce group");
+        let g = group.len();
+        let bytes = 8 * buf.len() as u64;
+        if g > 1 {
+            let root = group[0];
+            if self.rank == root {
+                for &src in &group[1..] {
+                    let part = self.raw_recv(src, tag::REDUCE_UP).into_f64();
+                    assert_eq!(part.len(), buf.len(), "allreduce length mismatch");
+                    for (a, b) in buf.iter_mut().zip(part) {
+                        *a += b;
+                    }
+                }
+                for &dst in &group[1..] {
+                    self.raw_send(dst, tag::REDUCE_DOWN, Payload::F64(buf.to_vec()));
+                }
+            } else {
+                self.raw_send(root, tag::REDUCE_UP, Payload::F64(buf.to_vec()));
+                let summed = self.raw_recv(root, tag::REDUCE_DOWN).into_f64();
+                buf.copy_from_slice(&summed);
+            }
+        }
+        let c = self.stats.phase_mut(Phase::AllReduce);
+        c.ops += 1;
+        c.bytes_sent += bytes;
+        c.bytes_recv += bytes;
+        c.modeled_seconds += self.model.allreduce(bytes, g);
+    }
+
+    /// Gathers every rank's payload to `root` (phase `Other`; used for
+    /// assembling final results, not priced as training communication).
+    pub fn gather(&mut self, root: usize, payload: Payload) -> Option<Vec<Payload>> {
+        if self.rank == root {
+            let mut out: Vec<Payload> = (0..self.p).map(|_| Payload::Empty).collect();
+            out[root] = payload;
+            for src in 0..self.p {
+                if src != root {
+                    out[src] = self.raw_recv(src, tag::GATHER);
+                }
+            }
+            Some(out)
+        } else {
+            self.raw_send(root, tag::GATHER, payload);
+            None
+        }
+    }
+
+    /// Barrier over all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Runs `work`, recording its wall time and `flops` into
+    /// `LocalCompute` with modeled time `flops / flop_rate`.
+    pub fn compute<R>(&mut self, flops: u64, work: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = work();
+        let c = self.stats.phase_mut(Phase::LocalCompute);
+        c.ops += 1;
+        c.flops += flops;
+        c.modeled_seconds += self.model.compute(flops);
+        c.wall_seconds += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    /// Records compute cost without timing a closure (when the caller
+    /// already knows the flop count of work done elsewhere).
+    pub fn record_compute(&mut self, flops: u64) {
+        let c = self.stats.phase_mut(Phase::LocalCompute);
+        c.ops += 1;
+        c.flops += flops;
+        c.modeled_seconds += self.model.compute(flops);
+    }
+}

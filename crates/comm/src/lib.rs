@@ -1,0 +1,30 @@
+//! Simulated distributed runtime for communication-volume research.
+//!
+//! The paper ran on 256 GPUs with NCCL; this crate provides the
+//! drop-in substrate for running the *same algorithms* on one machine:
+//!
+//! * [`world::ThreadWorld`] — spawns `P` ranks as OS threads connected by
+//!   a full mesh of channels; every rank runs the identical SPMD program a
+//!   GPU process would run.
+//! * [`ctx::RankCtx`] — the per-rank handle: point-to-point sends/recvs
+//!   and the collectives the paper's algorithms use (broadcast,
+//!   all-to-allv, group all-reduce), each recording exact per-phase
+//!   communication volumes.
+//! * [`cost::CostModel`] — an α–β(–γ) machine model calibrated to
+//!   Perlmutter-class interconnects that converts recorded volumes and
+//!   FLOP counts into modeled epoch times. Executions measure *what* is
+//!   communicated; the model prices it like the paper's testbed would.
+//! * [`stats`] — per-rank, per-phase counters with the aggregation the
+//!   figures need (max-over-ranks epoch time, per-phase breakdown,
+//!   communication imbalance).
+
+pub mod cost;
+pub mod ctx;
+pub mod msg;
+pub mod stats;
+pub mod world;
+
+pub use cost::CostModel;
+pub use ctx::RankCtx;
+pub use stats::{Phase, RankStats, WorldStats};
+pub use world::ThreadWorld;

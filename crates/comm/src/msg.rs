@@ -1,0 +1,118 @@
+//! Typed message payloads exchanged between ranks.
+//!
+//! The algorithms in this workspace move exactly three kinds of data:
+//! dense row blocks (`f64` buffers), index lists (`u32`), and row blocks
+//! *with* their row indices attached (the sparsity-aware exchanges). A
+//! small enum beats byte-serialization: zero copies, and the byte sizes
+//! used for accounting are the true wire sizes of the equivalent MPI/NCCL
+//! messages.
+
+/// One message payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// Nothing (synchronization or an empty v-exchange slot).
+    Empty,
+    /// A dense `f64` buffer (rows of `H`, gradient blocks, …).
+    F64(Vec<f64>),
+    /// An index list (`NnzCols` requests, row id headers).
+    U32(Vec<u32>),
+    /// Row indices plus their dense rows, the sparsity-aware unit of
+    /// exchange: "here are rows `idx` of my `H` block".
+    Rows {
+        /// Global row ids.
+        idx: Vec<u32>,
+        /// Row-major `idx.len() × f` data.
+        data: Vec<f64>,
+    },
+}
+
+impl Payload {
+    /// Wire size in bytes (8 per f64, 4 per u32).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Payload::Empty => 0,
+            Payload::F64(v) => 8 * v.len() as u64,
+            Payload::U32(v) => 4 * v.len() as u64,
+            Payload::Rows { idx, data } => 4 * idx.len() as u64 + 8 * data.len() as u64,
+        }
+    }
+
+    /// Unwraps an `F64` payload.
+    ///
+    /// # Panics
+    /// Panics on a different variant (protocol error).
+    pub fn into_f64(self) -> Vec<f64> {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {:?}", kind(&other)),
+        }
+    }
+
+    /// Unwraps a `U32` payload.
+    ///
+    /// # Panics
+    /// Panics on a different variant (protocol error).
+    pub fn into_u32(self) -> Vec<u32> {
+        match self {
+            Payload::U32(v) => v,
+            other => panic!("expected U32 payload, got {:?}", kind(&other)),
+        }
+    }
+
+    /// Unwraps a `Rows` payload.
+    ///
+    /// # Panics
+    /// Panics on a different variant (protocol error).
+    pub fn into_rows(self) -> (Vec<u32>, Vec<f64>) {
+        match self {
+            Payload::Rows { idx, data } => (idx, data),
+            other => panic!("expected Rows payload, got {:?}", kind(&other)),
+        }
+    }
+}
+
+fn kind(p: &Payload) -> &'static str {
+    match p {
+        Payload::Empty => "Empty",
+        Payload::F64(_) => "F64",
+        Payload::U32(_) => "U32",
+        Payload::Rows { .. } => "Rows",
+    }
+}
+
+/// A tagged message; the tag carries the phase/op kind so protocol
+/// mismatches fail fast instead of silently mis-pairing buffers.
+#[derive(Clone, Debug)]
+pub struct Msg {
+    /// Op discriminator (see [`crate::ctx`] constants).
+    pub tag: u8,
+    /// The data.
+    pub payload: Payload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        assert_eq!(Payload::Empty.bytes(), 0);
+        assert_eq!(Payload::F64(vec![0.0; 3]).bytes(), 24);
+        assert_eq!(Payload::U32(vec![0; 3]).bytes(), 12);
+        assert_eq!(Payload::Rows { idx: vec![1, 2], data: vec![0.0; 4] }.bytes(), 8 + 32);
+    }
+
+    #[test]
+    fn unwrap_roundtrip() {
+        assert_eq!(Payload::F64(vec![1.0]).into_f64(), vec![1.0]);
+        assert_eq!(Payload::U32(vec![7]).into_u32(), vec![7]);
+        let (i, d) = Payload::Rows { idx: vec![3], data: vec![9.0] }.into_rows();
+        assert_eq!((i, d), (vec![3], vec![9.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F64")]
+    fn wrong_variant_panics() {
+        Payload::U32(vec![1]).into_f64();
+    }
+}

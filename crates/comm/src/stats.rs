@@ -1,0 +1,295 @@
+//! Per-rank, per-phase communication/compute accounting.
+//!
+//! Every [`crate::RankCtx`] operation records what it moved or computed
+//! into a [`RankStats`]; after a run, [`WorldStats`] aggregates the ranks
+//! into the quantities the paper's tables and figures report: modeled
+//! epoch time (max over ranks), per-phase breakdowns (Fig. 4/5), and
+//! communication load imbalance (Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// The phases of the paper's timing breakdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Local SpMM/GEMM work, plus gather/pack/allocate time (the paper
+    /// folds packing into "local computation").
+    LocalCompute,
+    /// The sparsity-aware row exchange (1D algorithm).
+    AllToAll,
+    /// The sparsity-oblivious block-row broadcast.
+    Bcast,
+    /// Partial-result reduction (1.5D algorithm; weight-gradient reduce).
+    AllReduce,
+    /// Point-to-point Isend/Recv traffic (1.5D stage loop).
+    P2p,
+    /// Anything else.
+    Other,
+}
+
+/// All phases, in breakdown display order.
+pub const PHASES: [Phase; 6] =
+    [Phase::LocalCompute, Phase::AllToAll, Phase::Bcast, Phase::AllReduce, Phase::P2p, Phase::Other];
+
+impl Phase {
+    fn index(self) -> usize {
+        match self {
+            Phase::LocalCompute => 0,
+            Phase::AllToAll => 1,
+            Phase::Bcast => 2,
+            Phase::AllReduce => 3,
+            Phase::P2p => 4,
+            Phase::Other => 5,
+        }
+    }
+}
+
+/// Counters for one phase on one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCounters {
+    /// Number of operations (collective calls, messages, kernel launches).
+    pub ops: u64,
+    /// Bytes this rank sent in this phase. For `AllReduce` this is the
+    /// logical buffer size per call, not wire traffic.
+    pub bytes_sent: u64,
+    /// Bytes this rank received in this phase (same convention).
+    pub bytes_recv: u64,
+    /// Floating-point operations executed (compute phases).
+    pub flops: u64,
+    /// Time priced by the [`crate::CostModel`] at op time.
+    pub modeled_seconds: f64,
+    /// Wall-clock seconds actually spent (informational; the simulator's
+    /// wall time says nothing about a GPU cluster).
+    pub wall_seconds: f64,
+}
+
+impl PhaseCounters {
+    fn merge(&mut self, o: &PhaseCounters) {
+        self.ops += o.ops;
+        self.bytes_sent += o.bytes_sent;
+        self.bytes_recv += o.bytes_recv;
+        self.flops += o.flops;
+        self.modeled_seconds += o.modeled_seconds;
+        self.wall_seconds += o.wall_seconds;
+    }
+}
+
+/// Per-rank accounting across all phases.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankStats {
+    phases: [PhaseCounters; 6],
+}
+
+impl RankStats {
+    /// Counters for one phase.
+    pub fn phase(&self, p: Phase) -> &PhaseCounters {
+        &self.phases[p.index()]
+    }
+
+    /// Mutable counters for one phase.
+    pub fn phase_mut(&mut self, p: Phase) -> &mut PhaseCounters {
+        &mut self.phases[p.index()]
+    }
+
+    /// Total modeled seconds across phases — this rank's epoch time.
+    pub fn modeled_total(&self) -> f64 {
+        self.phases.iter().map(|c| c.modeled_seconds).sum()
+    }
+
+    /// Total bytes sent across communication phases.
+    pub fn bytes_sent_total(&self) -> u64 {
+        self.phases.iter().map(|c| c.bytes_sent).sum()
+    }
+
+    /// Total bytes received across communication phases.
+    pub fn bytes_recv_total(&self) -> u64 {
+        self.phases.iter().map(|c| c.bytes_recv).sum()
+    }
+
+    /// Adds another rank-stats (e.g. accumulating epochs).
+    pub fn merge(&mut self, other: &RankStats) {
+        for (a, b) in self.phases.iter_mut().zip(&other.phases) {
+            a.merge(b);
+        }
+    }
+}
+
+/// Aggregated statistics for a whole run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorldStats {
+    /// One entry per rank.
+    pub per_rank: Vec<RankStats>,
+}
+
+impl WorldStats {
+    /// Builds from per-rank stats.
+    pub fn new(per_rank: Vec<RankStats>) -> Self {
+        Self { per_rank }
+    }
+
+    /// Number of ranks.
+    pub fn p(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    /// Modeled epoch time: the slowest rank determines the bulk-
+    /// synchronous step, exactly the "bottleneck process" argument of §5.
+    pub fn modeled_epoch_time(&self) -> f64 {
+        self.per_rank.iter().map(RankStats::modeled_total).fold(0.0, f64::max)
+    }
+
+    /// Modeled epoch time under **perfect communication/computation
+    /// overlap**: per rank, `max(compute, communication)` instead of
+    /// their sum. The paper's §1 lists overlap as a benefit of the
+    /// sparsity-oblivious approach's regular communication pattern; this
+    /// bound is the most charitable possible reading of it.
+    pub fn modeled_epoch_time_overlapped(&self) -> f64 {
+        self.per_rank
+            .iter()
+            .map(|r| {
+                let compute = r.phase(Phase::LocalCompute).modeled_seconds;
+                let comm = r.modeled_total() - compute;
+                compute.max(comm)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Max over ranks of one phase's modeled seconds (figure breakdowns).
+    pub fn phase_time(&self, p: Phase) -> f64 {
+        self.per_rank.iter().map(|r| r.phase(p).modeled_seconds).fold(0.0, f64::max)
+    }
+
+    /// Sum over ranks of bytes sent in one phase. Note broadcast sends
+    /// are counted once at the root (tree model); when comparing a
+    /// broadcast-based scheme against a point-to-point scheme, compare
+    /// [`WorldStats::phase_recv_bytes_total`] instead.
+    pub fn phase_bytes_total(&self, p: Phase) -> u64 {
+        self.per_rank.iter().map(|r| r.phase(p).bytes_sent).sum()
+    }
+
+    /// Sum over ranks of bytes received in one phase — the volume that
+    /// actually crossed each rank's ingress link.
+    pub fn phase_recv_bytes_total(&self, p: Phase) -> u64 {
+        self.per_rank.iter().map(|r| r.phase(p).bytes_recv).sum()
+    }
+
+    /// Mean bytes sent per rank in one phase (Table 2's "average").
+    pub fn avg_send_bytes(&self, p: Phase) -> f64 {
+        if self.per_rank.is_empty() {
+            return 0.0;
+        }
+        self.phase_bytes_total(p) as f64 / self.per_rank.len() as f64
+    }
+
+    /// Max bytes sent by any rank in one phase (Table 2's "max").
+    pub fn max_send_bytes(&self, p: Phase) -> u64 {
+        self.per_rank.iter().map(|r| r.phase(p).bytes_sent).max().unwrap_or(0)
+    }
+
+    /// Communication load imbalance `(max/avg − 1)·100%`, the paper's
+    /// Table 2 metric.
+    pub fn send_imbalance_pct(&self, p: Phase) -> f64 {
+        let avg = self.avg_send_bytes(p);
+        if avg == 0.0 {
+            return 0.0;
+        }
+        (self.max_send_bytes(p) as f64 / avg - 1.0) * 100.0
+    }
+
+    /// Element-wise merge (accumulate multiple epochs/runs).
+    pub fn merge(&mut self, other: &WorldStats) {
+        assert_eq!(self.per_rank.len(), other.per_rank.len(), "rank count mismatch");
+        for (a, b) in self.per_rank.iter_mut().zip(&other.per_rank) {
+            a.merge(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank_with(phase: Phase, sent: u64, modeled: f64) -> RankStats {
+        let mut r = RankStats::default();
+        let c = r.phase_mut(phase);
+        c.ops = 1;
+        c.bytes_sent = sent;
+        c.modeled_seconds = modeled;
+        r
+    }
+
+    #[test]
+    fn epoch_time_is_max_over_ranks() {
+        let w = WorldStats::new(vec![
+            rank_with(Phase::AllToAll, 10, 1.0),
+            rank_with(Phase::AllToAll, 20, 3.0),
+            rank_with(Phase::AllToAll, 5, 2.0),
+        ]);
+        assert_eq!(w.modeled_epoch_time(), 3.0);
+    }
+
+    #[test]
+    fn imbalance_matches_table2_definition() {
+        // avg = 20, max = 40 → 100%
+        let w = WorldStats::new(vec![
+            rank_with(Phase::AllToAll, 40, 0.0),
+            rank_with(Phase::AllToAll, 10, 0.0),
+            rank_with(Phase::AllToAll, 10, 0.0),
+            rank_with(Phase::AllToAll, 20, 0.0),
+        ]);
+        assert!((w.send_imbalance_pct(Phase::AllToAll) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_world_has_zero_imbalance() {
+        let w = WorldStats::new(vec![
+            rank_with(Phase::Bcast, 7, 0.0),
+            rank_with(Phase::Bcast, 7, 0.0),
+        ]);
+        assert_eq!(w.send_imbalance_pct(Phase::Bcast), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = WorldStats::new(vec![rank_with(Phase::P2p, 5, 1.0)]);
+        let b = WorldStats::new(vec![rank_with(Phase::P2p, 7, 2.0)]);
+        a.merge(&b);
+        assert_eq!(a.per_rank[0].phase(Phase::P2p).bytes_sent, 12);
+        assert_eq!(a.per_rank[0].phase(Phase::P2p).modeled_seconds, 3.0);
+        assert_eq!(a.per_rank[0].phase(Phase::P2p).ops, 2);
+    }
+
+    #[test]
+    fn totals_span_phases() {
+        let mut r = rank_with(Phase::AllToAll, 5, 1.0);
+        r.phase_mut(Phase::Bcast).bytes_sent = 3;
+        r.phase_mut(Phase::Bcast).modeled_seconds = 0.5;
+        assert_eq!(r.bytes_sent_total(), 8);
+        assert!((r.modeled_total() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_bound_takes_max_of_compute_and_comm() {
+        let mut r = RankStats::default();
+        r.phase_mut(Phase::LocalCompute).modeled_seconds = 2.0;
+        r.phase_mut(Phase::AllToAll).modeled_seconds = 5.0;
+        r.phase_mut(Phase::Bcast).modeled_seconds = 1.0;
+        let w = WorldStats::new(vec![r]);
+        assert_eq!(w.modeled_epoch_time(), 8.0);
+        assert_eq!(w.modeled_epoch_time_overlapped(), 6.0);
+    }
+
+    #[test]
+    fn overlap_equals_plain_when_compute_dominates() {
+        let mut r = RankStats::default();
+        r.phase_mut(Phase::LocalCompute).modeled_seconds = 9.0;
+        let w = WorldStats::new(vec![r]);
+        assert_eq!(w.modeled_epoch_time_overlapped(), 9.0);
+    }
+
+    #[test]
+    fn empty_phase_is_zero() {
+        let w = WorldStats::new(vec![RankStats::default()]);
+        assert_eq!(w.phase_time(Phase::AllReduce), 0.0);
+        assert_eq!(w.send_imbalance_pct(Phase::AllReduce), 0.0);
+    }
+}

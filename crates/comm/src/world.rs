@@ -1,0 +1,355 @@
+//! The thread-backed SPMD world.
+//!
+//! `ThreadWorld::run(p, f)` executes the closure `f` once per rank on `p`
+//! OS threads connected by a full mesh of unbounded channels, then returns
+//! every rank's result together with the aggregated [`WorldStats`].
+//!
+//! Channels are unbounded so sends never block — the same progress
+//! guarantee NCCL's grouped nonblocking `ncclSend`/`ncclRecv` calls give
+//! the paper's implementation.
+
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::unbounded;
+
+use crate::cost::CostModel;
+use crate::ctx::RankCtx;
+use crate::msg::Msg;
+use crate::stats::WorldStats;
+
+/// Factory for SPMD runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadWorld {
+    p: usize,
+    model: CostModel,
+}
+
+impl ThreadWorld {
+    /// A world of `p` ranks priced by `model`.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize, model: CostModel) -> Self {
+        assert!(p >= 1, "world needs at least one rank");
+        Self { p, model }
+    }
+
+    /// World size.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Runs `f` on every rank; returns rank-indexed results and stats.
+    ///
+    /// `f` must be deterministic per rank and must execute a consistent
+    /// SPMD protocol (matching sends/recvs); a protocol mismatch panics
+    /// (tag assert) or deadlocks only if a rank waits for a message that
+    /// is never sent.
+    ///
+    /// # Panics
+    /// Propagates any rank's panic.
+    pub fn run<R, F>(&self, f: F) -> (Vec<R>, WorldStats)
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        let p = self.p;
+        // Mesh of channels: tx[src][dst] feeds rx[dst][src].
+        let mut senders: Vec<Vec<Option<crossbeam::channel::Sender<Msg>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Msg>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        for src in 0..p {
+            for dst in 0..p {
+                let (tx, rx) = unbounded();
+                senders[src][dst] = Some(tx);
+                receivers[dst][src] = Some(rx);
+            }
+        }
+        let barrier = Arc::new(Barrier::new(p));
+
+        // Per-rank contexts, built outside the threads.
+        let mut ctxs: Vec<RankCtx> = senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(rank, (tx_row, rx_row))| {
+                RankCtx::new(
+                    rank,
+                    p,
+                    self.model,
+                    tx_row.into_iter().map(Option::unwrap).collect(),
+                    rx_row.into_iter().map(Option::unwrap).collect(),
+                    barrier.clone(),
+                )
+            })
+            .collect();
+
+        let mut results: Vec<Option<(R, crate::stats::RankStats)>> =
+            (0..p).map(|_| None).collect();
+
+        crossbeam::thread::scope(|s| {
+            let f = &f;
+            let mut handles = Vec::with_capacity(p);
+            for (rank, (ctx, slot)) in
+                ctxs.drain(..).zip(results.iter_mut()).enumerate()
+            {
+                let handle = s
+                    .builder()
+                    .name(format!("rank-{rank}"))
+                    .spawn(move |_| {
+                        let mut ctx = ctx;
+                        let out = f(&mut ctx);
+                        *slot = Some((out, ctx.into_stats()));
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            for h in handles {
+                h.join().expect("a rank panicked");
+            }
+        })
+        .expect("scope error");
+
+        let mut outs = Vec::with_capacity(p);
+        let mut stats = Vec::with_capacity(p);
+        for slot in results {
+            let (r, st) = slot.expect("rank produced no result");
+            outs.push(r);
+            stats.push(st);
+        }
+        (outs, WorldStats::new(stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Payload;
+    use crate::stats::Phase;
+
+    fn world(p: usize) -> ThreadWorld {
+        ThreadWorld::new(p, CostModel::bandwidth_only())
+    }
+
+    #[test]
+    fn single_rank_runs() {
+        let (outs, _) = world(1).run(|ctx| ctx.rank() * 10);
+        assert_eq!(outs, vec![0]);
+    }
+
+    #[test]
+    fn ranks_are_distinct_and_ordered() {
+        let (outs, _) = world(8).run(|ctx| ctx.rank());
+        assert_eq!(outs, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn p2p_ring_delivers() {
+        let p = 5;
+        let (outs, stats) = world(p).run(|ctx| {
+            let me = ctx.rank();
+            let next = (me + 1) % p;
+            let prev = (me + p - 1) % p;
+            ctx.send(next, Payload::F64(vec![me as f64]));
+            ctx.recv(prev).into_f64()[0] as usize
+        });
+        for (rank, got) in outs.iter().enumerate() {
+            assert_eq!(*got, (rank + p - 1) % p);
+        }
+        // Each rank sent and received one 8-byte message.
+        for r in &stats.per_rank {
+            assert_eq!(r.phase(Phase::P2p).bytes_sent, 8);
+            assert_eq!(r.phase(Phase::P2p).bytes_recv, 8);
+            assert_eq!(r.phase(Phase::P2p).ops, 2);
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_to_everyone() {
+        let (outs, stats) = world(4).run(|ctx| {
+            let payload =
+                if ctx.rank() == 2 { Some(Payload::U32(vec![42, 43])) } else { None };
+            ctx.bcast(2, payload).into_u32()
+        });
+        for o in outs {
+            assert_eq!(o, vec![42, 43]);
+        }
+        assert_eq!(stats.per_rank[2].phase(Phase::Bcast).bytes_sent, 8);
+        assert_eq!(stats.per_rank[0].phase(Phase::Bcast).bytes_recv, 8);
+        // Everyone is charged the same collective completion time.
+        let t0 = stats.per_rank[0].phase(Phase::Bcast).modeled_seconds;
+        for r in &stats.per_rank {
+            assert_eq!(r.phase(Phase::Bcast).modeled_seconds, t0);
+        }
+    }
+
+    #[test]
+    fn alltoallv_routes_by_rank() {
+        let p = 4;
+        let (outs, _) = world(p).run(|ctx| {
+            let me = ctx.rank();
+            let sends = (0..p)
+                .map(|dst| Payload::F64(vec![(me * 10 + dst) as f64]))
+                .collect();
+            let recvd = ctx.alltoallv(sends);
+            recvd
+                .into_iter()
+                .map(|pl| pl.into_f64()[0] as usize)
+                .collect::<Vec<_>>()
+        });
+        for (me, got) in outs.iter().enumerate() {
+            for (src, &v) in got.iter().enumerate() {
+                assert_eq!(v, src * 10 + me, "rank {me} slot {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_self_slot_not_priced() {
+        let (_, stats) = world(2).run(|ctx| {
+            let me = ctx.rank();
+            let mut sends: Vec<Payload> = vec![Payload::Empty, Payload::Empty];
+            sends[me] = Payload::F64(vec![0.0; 100]); // only to self
+            ctx.alltoallv(sends);
+        });
+        for r in &stats.per_rank {
+            assert_eq!(r.phase(Phase::AllToAll).bytes_sent, 0);
+            assert_eq!(r.phase(Phase::AllToAll).bytes_recv, 0);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_over_subgroups() {
+        let p = 6;
+        // Two groups: ranks {0,1,2} and {3,4,5}.
+        let (outs, _) = world(p).run(|ctx| {
+            let me = ctx.rank();
+            let group: Vec<usize> = if me < 3 { vec![0, 1, 2] } else { vec![3, 4, 5] };
+            let mut buf = vec![me as f64, 1.0];
+            ctx.allreduce_sum(&mut buf, &group);
+            buf
+        });
+        for me in 0..3 {
+            assert_eq!(outs[me], vec![0.0 + 1.0 + 2.0, 3.0]);
+        }
+        for me in 3..6 {
+            assert_eq!(outs[me], vec![3.0 + 4.0 + 5.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_single_member_is_identity() {
+        let (outs, stats) = world(2).run(|ctx| {
+            let me = ctx.rank();
+            let mut buf = vec![me as f64 + 1.0];
+            ctx.allreduce_sum(&mut buf, &[me]);
+            buf[0]
+        });
+        assert_eq!(outs, vec![1.0, 2.0]);
+        // Group of one: zero modeled time.
+        for r in &stats.per_rank {
+            assert_eq!(r.phase(Phase::AllReduce).modeled_seconds, 0.0);
+        }
+    }
+
+    #[test]
+    fn gather_collects_at_root() {
+        let (outs, _) = world(3).run(|ctx| {
+            let me = ctx.rank();
+            ctx.gather(0, Payload::U32(vec![me as u32 * 7]))
+                .map(|v| v.into_iter().map(|p| p.into_u32()[0]).collect::<Vec<_>>())
+        });
+        assert_eq!(outs[0], Some(vec![0, 7, 14]));
+        assert_eq!(outs[1], None);
+        assert_eq!(outs[2], None);
+    }
+
+    #[test]
+    fn compute_records_flops_and_model_time() {
+        let model = CostModel { alpha: 0.0, beta: 0.0, flop_rate: 1000.0 };
+        let (_, stats) = ThreadWorld::new(2, model).run(|ctx| {
+            ctx.compute(500, || std::hint::black_box(3 + 4));
+        });
+        for r in &stats.per_rank {
+            let c = r.phase(Phase::LocalCompute);
+            assert_eq!(c.flops, 500);
+            assert!((c.modeled_seconds - 0.5).abs() < 1e-12);
+            assert!(c.wall_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn barrier_is_rendezvous() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let (outs, _) = world(4).run(|ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            counter.load(Ordering::SeqCst)
+        });
+        // After the barrier every rank must observe all 4 increments.
+        for o in outs {
+            assert_eq!(o, 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a rank panicked")]
+    fn protocol_mismatch_fails_fast() {
+        // Rank 0 sends a point-to-point message; rank 1 expects a
+        // broadcast. The tag check must abort the run rather than
+        // silently mis-pairing buffers.
+        world(2).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, Payload::F64(vec![1.0]));
+            } else {
+                ctx.bcast(0, None);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "a rank panicked")]
+    fn rank_panic_propagates() {
+        world(3).run(|ctx| {
+            if ctx.rank() == 2 {
+                panic!("worker blew up");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "self-sends")]
+    fn self_send_is_rejected() {
+        // Assert fires on the calling thread before any message moves.
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(1));
+        let mut ctx = crate::ctx::RankCtx::new(
+            0,
+            1,
+            CostModel::bandwidth_only(),
+            vec![tx],
+            vec![rx],
+            barrier,
+        );
+        ctx.send(0, Payload::Empty);
+    }
+
+    #[test]
+    fn stats_survive_multiple_collectives() {
+        let (_, stats) = world(3).run(|ctx| {
+            for _ in 0..4 {
+                let payload = if ctx.rank() == 0 {
+                    Some(Payload::F64(vec![0.0; 10]))
+                } else {
+                    None
+                };
+                ctx.bcast(0, payload);
+            }
+        });
+        assert_eq!(stats.per_rank[0].phase(Phase::Bcast).ops, 4);
+        assert_eq!(stats.per_rank[0].phase(Phase::Bcast).bytes_sent, 4 * 80);
+        assert_eq!(stats.per_rank[1].phase(Phase::Bcast).bytes_recv, 4 * 80);
+    }
+}

@@ -1,0 +1,321 @@
+//! Closed-form per-rank cost estimation — no threads, no data movement.
+//!
+//! For large sweeps (Fig. 3/6/7 go to p = 256) spawning hundreds of
+//! threads per configuration is wasteful: every quantity the cost model
+//! prices is already determined by the communication plan. This module
+//! replays the exact op sequence of [`crate::dist::trainer`] against the
+//! plan's row lists and charges the same [`CostModel`] formulas, yielding
+//! [`WorldStats`] **identical** (bytes, flops, modeled seconds) to what
+//! the threaded executor records — an equality asserted by the
+//! integration tests (`tests/analytic_matches_executor.rs`).
+
+use gnn_comm::stats::{Phase, RankStats, WorldStats};
+use gnn_comm::CostModel;
+use spmat::Csr;
+
+use crate::dist::plan::{Plan15d, Plan1d};
+use crate::dist::Algo;
+use crate::model::ArchKind;
+
+/// Inputs for an estimate.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyticInput<'a> {
+    /// Permuted, normalized adjacency.
+    pub adj: &'a Csr,
+    /// Block-row boundaries (`p + 1` for 1D, `p/c + 1` for 1.5D).
+    pub bounds: &'a [usize],
+    /// Algorithm variant.
+    pub algo: Algo,
+    /// Layer widths (`dims[0]` = features, last = classes).
+    pub dims: &'a [usize],
+    /// Machine model.
+    pub model: CostModel,
+    /// Number of epochs to charge.
+    pub epochs: usize,
+    /// Layer architecture (changes local compute and gradient-reduce
+    /// sizes; communication plans are identical).
+    pub arch: ArchKind,
+}
+
+fn add_compute(st: &mut RankStats, model: &CostModel, flops: u64) {
+    let c = st.phase_mut(Phase::LocalCompute);
+    c.ops += 1;
+    c.flops += flops;
+    c.modeled_seconds += model.compute(flops);
+}
+
+fn add_allreduce(st: &mut RankStats, model: &CostModel, bytes: u64, group: usize) {
+    let c = st.phase_mut(Phase::AllReduce);
+    c.ops += 1;
+    c.bytes_sent += bytes;
+    c.bytes_recv += bytes;
+    c.modeled_seconds += model.allreduce(bytes, group);
+}
+
+/// Bytes of a `Rows` payload with `rows` indices and width `f`.
+fn rows_payload_bytes(rows: u64, f: u64) -> u64 {
+    4 * rows + 8 * rows * f
+}
+
+/// One sparsity-aware 1D SpMM's charges on rank `me` at width `f`.
+fn spmm_1d_aware_charges(
+    plan: &Plan1d,
+    me: usize,
+    f: u64,
+    model: &CostModel,
+    st: &mut RankStats,
+) {
+    let rp = &plan.ranks[me];
+    let mut pack_elems = 0u64;
+    let mut sent = 0u64;
+    let mut recv = 0u64;
+    for j in 0..plan.p {
+        if j == me {
+            continue;
+        }
+        let s = rp.send_to[j].len() as u64;
+        if s > 0 {
+            pack_elems += s * f;
+            sent += rows_payload_bytes(s, f);
+        }
+        let r = rp.recv_from(j).len() as u64;
+        if r > 0 {
+            recv += rows_payload_bytes(r, f);
+        }
+    }
+    add_compute(st, model, pack_elems);
+    let c = st.phase_mut(Phase::AllToAll);
+    c.ops += 1;
+    c.bytes_sent += sent;
+    c.bytes_recv += recv;
+    c.modeled_seconds += model.alltoallv(sent, recv, plan.p);
+    add_compute(st, model, rp.cols.len() as u64 * f);
+    add_compute(st, model, 2 * rp.block_compact.nnz() as u64 * f);
+}
+
+/// One sparsity-oblivious 1D SpMM's charges.
+fn spmm_1d_oblivious_charges(
+    plan: &Plan1d,
+    me: usize,
+    f: u64,
+    model: &CostModel,
+    st: &mut RankStats,
+) {
+    for j in 0..plan.p {
+        let bytes = 8 * plan.rows_of(j) as u64 * f;
+        let c = st.phase_mut(Phase::Bcast);
+        c.ops += 1;
+        if j == me {
+            c.bytes_sent += bytes;
+        } else {
+            c.bytes_recv += bytes;
+        }
+        c.modeled_seconds += model.bcast(bytes, plan.p);
+    }
+    add_compute(st, model, plan.n as u64 * f);
+    add_compute(st, model, 2 * plan.ranks[me].block.nnz() as u64 * f);
+}
+
+/// One 1.5D SpMM's charges on linear rank `me`.
+fn spmm_15d_charges(
+    plan: &Plan15d,
+    me: usize,
+    f: u64,
+    aware: bool,
+    model: &CostModel,
+    st: &mut RankStats,
+) {
+    let rp = &plan.ranks[me];
+    let rows_i = (rp.row_hi - rp.row_lo) as u64;
+    // Sender side.
+    if !rp.send_lists.is_empty() {
+        let mut pack_elems = 0u64;
+        for (l, idx) in rp.send_lists.iter().enumerate() {
+            if l == rp.i || idx.is_empty() {
+                continue;
+            }
+            let bytes = if aware {
+                pack_elems += idx.len() as u64 * f;
+                rows_payload_bytes(idx.len() as u64, f)
+            } else {
+                8 * rows_i * f
+            };
+            let c = st.phase_mut(Phase::P2p);
+            c.ops += 1;
+            c.bytes_sent += bytes;
+            c.modeled_seconds += model.p2p(bytes);
+        }
+        if pack_elems > 0 {
+            add_compute(st, model, pack_elems);
+        }
+    }
+    // Stage loop.
+    for stage in &rp.stages {
+        if stage.q == rp.i {
+            add_compute(st, model, stage.needed.len() as u64 * f);
+        } else if !stage.needed.is_empty() {
+            let bytes = if aware {
+                rows_payload_bytes(stage.needed.len() as u64, f)
+            } else {
+                8 * (plan.bounds[stage.q + 1] - plan.bounds[stage.q]) as u64 * f
+            };
+            let c = st.phase_mut(Phase::P2p);
+            c.ops += 1;
+            c.bytes_recv += bytes;
+            c.modeled_seconds += model.p2p(bytes);
+        }
+        add_compute(st, model, 2 * stage.block_compact.nnz() as u64 * f);
+    }
+    add_allreduce(st, model, 8 * rows_i * f, plan.c);
+}
+
+/// Estimates the full training stats (all epochs) without executing.
+pub fn estimate(input: &AnalyticInput<'_>) -> WorldStats {
+    let dims = input.dims;
+    let l_total = dims.len() - 1;
+    let model = &input.model;
+
+    enum P {
+        OneD(Plan1d, bool),
+        OneFiveD(Plan15d, bool),
+    }
+    let (p, plan) = match input.algo {
+        Algo::OneD { aware } => {
+            let p = input.bounds.len() - 1;
+            (p, P::OneD(Plan1d::build(input.adj, input.bounds), aware))
+        }
+        Algo::OneFiveD { aware, c } => {
+            let pr = input.bounds.len() - 1;
+            let p = pr * c;
+            (p, P::OneFiveD(Plan15d::build(input.adj, p, c, input.bounds, aware), aware))
+        }
+    };
+
+    let mut per_rank = Vec::with_capacity(p);
+    for me in 0..p {
+        let mut st = RankStats::default();
+        let rows = match &plan {
+            P::OneD(pl, _) => pl.rows_of(me) as u64,
+            P::OneFiveD(pl, _) => {
+                let rp = &pl.ranks[me];
+                (rp.row_hi - rp.row_lo) as u64
+            }
+        };
+        let charge_spmm = |st: &mut RankStats, f: u64| match &plan {
+            P::OneD(pl, true) => spmm_1d_aware_charges(pl, me, f, model, st),
+            P::OneD(pl, false) => spmm_1d_oblivious_charges(pl, me, f, model, st),
+            P::OneFiveD(pl, aware) => spmm_15d_charges(pl, me, f, *aware, model, st),
+        };
+
+        for _epoch in 0..input.epochs {
+            // Forward.
+            for l in 0..l_total {
+                let (d, d_out) = (dims[l] as u64, dims[l + 1] as u64);
+                charge_spmm(&mut st, d);
+                let gemm = match input.arch {
+                    ArchKind::Gcn => 2 * rows * d * d_out,
+                    ArchKind::Sage => 4 * rows * d * d_out + rows * d_out,
+                };
+                add_compute(&mut st, model, gemm);
+                if l + 1 < l_total {
+                    add_compute(&mut st, model, rows * d_out);
+                }
+            }
+            // Loss reduction: [loss_sum, count, correct].
+            add_allreduce(&mut st, model, 24, p);
+            // Backward.
+            for l in (0..l_total).rev() {
+                let (d, d_out) = (dims[l] as u64, dims[l + 1] as u64);
+                charge_spmm(&mut st, d_out);
+                let (y_flops, w_in) = match input.arch {
+                    ArchKind::Gcn => (2 * rows * d * d_out, d),
+                    ArchKind::Sage => (4 * rows * d * d_out, 2 * d),
+                };
+                add_compute(&mut st, model, y_flops);
+                add_allreduce(&mut st, model, 8 * w_in * d_out, p);
+                if l > 0 {
+                    let prop = match input.arch {
+                        ArchKind::Gcn => 2 * rows * d_out * d + 2 * rows * d,
+                        ArchKind::Sage => 4 * rows * d_out * d + 3 * rows * d,
+                    };
+                    add_compute(&mut st, model, prop);
+                }
+            }
+        }
+        per_rank.push(st);
+    }
+    WorldStats::new(per_rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::plan::even_bounds;
+    use gnn_comm::Phase;
+    use spmat::gen::{rmat, RmatConfig};
+    use spmat::graph::gcn_normalize;
+
+    fn input_for<'a>(
+        adj: &'a Csr,
+        bounds: &'a [usize],
+        algo: Algo,
+        dims: &'a [usize],
+    ) -> AnalyticInput<'a> {
+        AnalyticInput {
+            adj,
+            bounds,
+            algo,
+            dims,
+            model: CostModel::perlmutter_like(),
+            epochs: 1,
+            arch: crate::model::ArchKind::Gcn,
+        }
+    }
+
+    #[test]
+    fn aware_estimates_less_comm_than_oblivious() {
+        let adj = gcn_normalize(&rmat(RmatConfig::graph500(9, 6, 1)));
+        let bounds = even_bounds(adj.rows(), 16);
+        let dims = [32usize, 16, 8];
+        let aware = estimate(&input_for(&adj, &bounds, Algo::OneD { aware: true }, &dims));
+        let obliv = estimate(&input_for(&adj, &bounds, Algo::OneD { aware: false }, &dims));
+        assert!(
+            aware.phase_recv_bytes_total(Phase::AllToAll)
+                < obliv.phase_recv_bytes_total(Phase::Bcast)
+        );
+    }
+
+    #[test]
+    fn epochs_scale_linearly() {
+        let adj = gcn_normalize(&rmat(RmatConfig::graph500(7, 6, 2)));
+        let bounds = even_bounds(adj.rows(), 4);
+        let dims = [8usize, 16, 4];
+        let mut one = input_for(&adj, &bounds, Algo::OneD { aware: true }, &dims);
+        let t1 = estimate(&one).modeled_epoch_time();
+        one.epochs = 5;
+        let t5 = estimate(&one).modeled_epoch_time();
+        assert!((t5 - 5.0 * t1).abs() < 1e-12 * t5.max(1.0));
+    }
+
+    #[test]
+    fn replication_shifts_cost_from_p2p_to_allreduce() {
+        let adj = gcn_normalize(&rmat(RmatConfig::graph500(10, 6, 3)));
+        let dims = [16usize, 16, 8];
+        let b2 = even_bounds(adj.rows(), 16 / 2);
+        let b4 = even_bounds(adj.rows(), 16 / 4);
+        let c2 = estimate(&input_for(&adj, &b2, Algo::OneFiveD { aware: true, c: 2 }, &dims));
+        let c4 = estimate(&input_for(&adj, &b4, Algo::OneFiveD { aware: true, c: 4 }, &dims));
+        assert!(c4.phase_bytes_total(Phase::P2p) < c2.phase_bytes_total(Phase::P2p));
+        assert!(c4.phase_time(Phase::AllReduce) > c2.phase_time(Phase::AllReduce));
+    }
+
+    #[test]
+    fn single_rank_has_no_communication_time() {
+        let adj = gcn_normalize(&rmat(RmatConfig::graph500(6, 6, 4)));
+        let bounds = even_bounds(adj.rows(), 1);
+        let dims = [8usize, 4];
+        let st = estimate(&input_for(&adj, &bounds, Algo::OneD { aware: true }, &dims));
+        assert_eq!(st.phase_time(Phase::AllToAll), 0.0);
+        assert!(st.phase_time(Phase::LocalCompute) > 0.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! Distributed training: communication plans, the four SpMM algorithm
+//! variants, and the SPMD trainer that runs full GCN training over a
+//! [`gnn_comm::ThreadWorld`].
+
+pub mod oned;
+pub mod onefived;
+pub mod plan;
+pub mod trainer;
+pub mod twod;
+
+pub use plan::{even_bounds, Plan15d, Plan1d};
+pub use trainer::{train_distributed, Algo, DistConfig, DistOutcome};
+pub use twod::Plan2d;

@@ -1,0 +1,197 @@
+//! 1D distributed SpMM: sparsity-oblivious (CAGNET-style broadcast) and
+//! sparsity-aware (Algorithm 1's all-to-allv of needed rows).
+//!
+//! Both compute `Zᵢ = (Aᵀ H)ᵢ` for the calling rank from its local block
+//! row of `H`. They are drop-in alternatives — the trainer picks one per
+//! the scheme under evaluation.
+
+use gnn_comm::msg::Payload;
+use gnn_comm::RankCtx;
+use spmat::spmm::{spmm, spmm_flops};
+use spmat::Dense;
+
+use super::plan::Plan1d;
+
+/// Sparsity-oblivious 1D SpMM: every rank broadcasts its whole `Hⱼ`
+/// block; each rank assembles the full `H` and multiplies its block row.
+///
+/// Returns `Zᵢ` (`rows_i × f`).
+pub fn spmm_1d_oblivious(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> Dense {
+    let me = ctx.rank();
+    let rp = &plan.ranks[me];
+    let f = h_local.cols();
+    assert_eq!(h_local.rows(), rp.row_hi - rp.row_lo, "local H block shape mismatch");
+
+    // Assemble the full H via p broadcasts (the paper's CAGNET baseline).
+    let mut h_full = Dense::zeros(plan.n, f);
+    for j in 0..plan.p {
+        let payload = if j == me {
+            Some(Payload::F64(h_local.data().to_vec()))
+        } else {
+            None
+        };
+        let data = ctx.bcast(j, payload).into_f64();
+        let rows_j = plan.rows_of(j);
+        assert_eq!(data.len(), rows_j * f, "broadcast size mismatch from rank {j}");
+        h_full.data_mut()[plan.bounds[j] * f..plan.bounds[j + 1] * f].copy_from_slice(&data);
+    }
+    // Copy/assembly cost: one element move per entry of H.
+    ctx.record_compute((plan.n * f) as u64);
+
+    // Local SpMM against the full H.
+    let flops = spmm_flops(&rp.block, f);
+    ctx.compute(flops, || spmm(&rp.block, &h_full))
+}
+
+/// Sparsity-aware 1D SpMM (Algorithm 1): exchange only the needed rows of
+/// `H` with a single all-to-allv, then multiply the compacted block
+/// against the gathered `H̃`.
+///
+/// Returns `Zᵢ` (`rows_i × f`).
+pub fn spmm_1d_aware(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> Dense {
+    let me = ctx.rank();
+    let rp = &plan.ranks[me];
+    let f = h_local.cols();
+    let lo = rp.row_lo;
+    assert_eq!(h_local.rows(), rp.row_hi - lo, "local H block shape mismatch");
+
+    // Pack: gather the rows each peer asked for.
+    let mut pack_elems = 0u64;
+    let sends: Vec<Payload> = (0..plan.p)
+        .map(|j| {
+            if j == me || rp.send_to[j].is_empty() {
+                return Payload::Empty;
+            }
+            let idx = &rp.send_to[j];
+            pack_elems += (idx.len() * f) as u64;
+            let mut data = Vec::with_capacity(idx.len() * f);
+            for &g in idx {
+                data.extend_from_slice(h_local.row(g as usize - lo));
+            }
+            Payload::Rows { idx: idx.clone(), data }
+        })
+        .collect();
+    ctx.record_compute(pack_elems);
+
+    let received = ctx.alltoallv(sends);
+
+    // Assemble the compact H̃ aligned with `rp.cols`. Own rows come from
+    // h_local; received rows land at their contiguous col_ranges slice.
+    let mut h_tilde = Dense::zeros(rp.cols.len(), f);
+    for (j, payload) in received.into_iter().enumerate() {
+        let (start, len) = rp.col_ranges[j];
+        if j == me {
+            for (off, &g) in rp.cols[start..start + len].iter().enumerate() {
+                h_tilde
+                    .row_mut(start + off)
+                    .copy_from_slice(h_local.row(g as usize - lo));
+            }
+            continue;
+        }
+        match payload {
+            Payload::Empty => assert_eq!(len, 0, "peer {j} sent nothing but rows were expected"),
+            other => {
+                let (idx, data) = other.into_rows();
+                assert_eq!(idx.len(), len, "row count mismatch from {j}");
+                debug_assert_eq!(idx, rp.recv_from(j), "row ids mismatch from {j}");
+                h_tilde.data_mut()[start * f..(start + len) * f].copy_from_slice(&data);
+            }
+        }
+    }
+    ctx.record_compute((rp.cols.len() * f) as u64);
+
+    let flops = spmm_flops(&rp.block_compact, f);
+    ctx.compute(flops, || spmm(&rp.block_compact, &h_tilde))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::plan::even_bounds;
+    use gnn_comm::{CostModel, Phase, ThreadWorld};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spmat::gen::{rmat, RmatConfig};
+    use spmat::graph::gcn_normalize;
+
+    fn setup(scale: u32, seed: u64) -> (spmat::Csr, Dense) {
+        let adj = gcn_normalize(&rmat(RmatConfig::graph500(scale, 5, seed)));
+        let mut rng = StdRng::seed_from_u64(seed ^ 99);
+        let h = Dense::glorot(adj.rows(), 7, &mut rng);
+        (adj, h)
+    }
+
+    fn run_dist(
+        adj: &spmat::Csr,
+        h: &Dense,
+        p: usize,
+        aware: bool,
+    ) -> (Dense, gnn_comm::WorldStats) {
+        let bounds = even_bounds(adj.rows(), p);
+        let plan = Plan1d::build(adj, &bounds);
+        let world = ThreadWorld::new(p, CostModel::perlmutter_like());
+        let (blocks, stats) = world.run(|ctx| {
+            let me = ctx.rank();
+            let local = h.row_slice(bounds[me], bounds[me + 1]);
+            if aware {
+                spmm_1d_aware(ctx, &plan, &local)
+            } else {
+                spmm_1d_oblivious(ctx, &plan, &local)
+            }
+        });
+        let refs: Vec<&Dense> = blocks.iter().collect();
+        (Dense::vstack(&refs), stats)
+    }
+
+    #[test]
+    fn oblivious_matches_sequential() {
+        let (adj, h) = setup(6, 1);
+        let expected = spmm(&adj, &h);
+        for p in [1, 2, 4, 8] {
+            let (got, _) = run_dist(&adj, &h, p, false);
+            assert!(got.approx_eq(&expected, 1e-12), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn aware_matches_sequential() {
+        let (adj, h) = setup(6, 2);
+        let expected = spmm(&adj, &h);
+        for p in [1, 2, 3, 4, 8] {
+            let (got, _) = run_dist(&adj, &h, p, true);
+            assert!(got.approx_eq(&expected, 1e-12), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn aware_and_oblivious_agree_exactly() {
+        // Same multiplication order per row → bitwise identical results.
+        let (adj, h) = setup(6, 3);
+        let (a, _) = run_dist(&adj, &h, 4, true);
+        let (b, _) = run_dist(&adj, &h, 4, false);
+        assert!(a.approx_eq(&b, 1e-13));
+    }
+
+    #[test]
+    fn aware_communicates_less() {
+        let (adj, h) = setup(8, 4);
+        let (_, st_aware) = run_dist(&adj, &h, 8, true);
+        let (_, st_obliv) = run_dist(&adj, &h, 8, false);
+        let aware_bytes = st_aware.phase_recv_bytes_total(Phase::AllToAll);
+        let obliv_bytes = st_obliv.phase_recv_bytes_total(Phase::Bcast);
+        assert!(aware_bytes > 0);
+        assert!(
+            aware_bytes < obliv_bytes,
+            "aware {aware_bytes} >= oblivious {obliv_bytes}"
+        );
+    }
+
+    #[test]
+    fn phases_are_disjoint() {
+        let (adj, h) = setup(6, 5);
+        let (_, st_aware) = run_dist(&adj, &h, 4, true);
+        assert_eq!(st_aware.phase_bytes_total(Phase::Bcast), 0);
+        let (_, st_obliv) = run_dist(&adj, &h, 4, false);
+        assert_eq!(st_obliv.phase_bytes_total(Phase::AllToAll), 0);
+    }
+}

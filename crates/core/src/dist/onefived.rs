@@ -1,0 +1,230 @@
+//! 1.5D distributed SpMM (Algorithm 2): a `p/c × c` process grid where
+//! each block row of `Aᵀ` and `H` is replicated on `c` ranks. Each rank
+//! multiplies `s = p/c²` column blocks against received `H` blocks and
+//! the partial results are summed with an all-reduce over the process
+//! row.
+//!
+//! Communication: block row `q`'s data is consumed only by grid column
+//! `j* = q / s`, and the replica of `H_q` living in that column —
+//! rank `(q, j*)` — is the designated sender. The sparsity-aware variant
+//! ships only `NnzCols(l, q)` rows to each consumer `(l, j*)`; the
+//! oblivious variant ships the whole block.
+
+use gnn_comm::msg::Payload;
+use gnn_comm::RankCtx;
+use spmat::spmm::{spmm_acc, spmm_flops};
+use spmat::Dense;
+
+use super::plan::Plan15d;
+
+/// Executes one 1.5D SpMM on the calling rank. `h_local` is this rank's
+/// replicated block row `H_i`; `aware` must match the plan's build flag.
+///
+/// Returns the full `Zᵢ = (Aᵀ H)ᵢ`, replicated across the process row.
+pub fn spmm_15d(ctx: &mut RankCtx, plan: &Plan15d, h_local: &Dense, aware: bool) -> Dense {
+    let me = ctx.rank();
+    let rp = &plan.ranks[me];
+    let f = h_local.cols();
+    let rows_i = rp.row_hi - rp.row_lo;
+    assert_eq!(h_local.rows(), rows_i, "local H block shape mismatch");
+
+    // Phase 1: designated senders ship block-row data to their column.
+    if !rp.send_lists.is_empty() {
+        let mut pack_elems = 0u64;
+        for l in 0..plan.pr {
+            let dst = plan.rank_of(l, rp.j);
+            if dst == me {
+                continue; // own stage gathers locally below
+            }
+            let idx = &rp.send_lists[l];
+            if idx.is_empty() {
+                continue;
+            }
+            let payload = if aware {
+                let mut data = Vec::with_capacity(idx.len() * f);
+                for &g in idx {
+                    data.extend_from_slice(h_local.row(g as usize - rp.row_lo));
+                }
+                pack_elems += (idx.len() * f) as u64;
+                Payload::Rows { idx: idx.clone(), data }
+            } else {
+                Payload::F64(h_local.data().to_vec())
+            };
+            ctx.send(dst, payload);
+        }
+        if pack_elems > 0 {
+            ctx.record_compute(pack_elems);
+        }
+    }
+
+    // Phase 2: stage loop — receive (or locally gather) each needed H
+    // block and accumulate the partial product.
+    let mut partial = Dense::zeros(rows_i, f);
+    for st in &rp.stages {
+        let h_stage: Dense = if st.q == rp.i {
+            // Local gather of our own replicated block's needed rows.
+            let mut data = Vec::with_capacity(st.needed.len() * f);
+            for &g in &st.needed {
+                data.extend_from_slice(h_local.row(g as usize - rp.row_lo));
+            }
+            ctx.record_compute((st.needed.len() * f) as u64);
+            Dense::from_vec(st.needed.len(), f, data)
+        } else if st.needed.is_empty() {
+            Dense::zeros(0, f)
+        } else {
+            let src = plan.rank_of(st.q, rp.j);
+            if aware {
+                let (idx, data) = ctx.recv(src).into_rows();
+                debug_assert_eq!(idx, st.needed, "row ids mismatch from rank {src}");
+                Dense::from_vec(idx.len(), f, data)
+            } else {
+                let data = ctx.recv(src).into_f64();
+                assert_eq!(data.len(), st.needed.len() * f, "block size mismatch from {src}");
+                Dense::from_vec(st.needed.len(), f, data)
+            }
+        };
+        let flops = spmm_flops(&st.block_compact, f);
+        let block = &st.block_compact;
+        ctx.compute(flops, || spmm_acc(block, &h_stage, &mut partial));
+    }
+
+    // Phase 3: sum partials across the process row.
+    let group: Vec<usize> = (0..plan.c).map(|j| plan.rank_of(rp.i, j)).collect();
+    ctx.allreduce_sum(partial.data_mut(), &group);
+    partial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::plan::even_bounds;
+    use gnn_comm::{CostModel, Phase, ThreadWorld};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spmat::gen::{rmat, RmatConfig};
+    use spmat::graph::gcn_normalize;
+    use spmat::spmm::spmm;
+
+    fn setup(scale: u32, seed: u64, f: usize) -> (spmat::Csr, Dense) {
+        let adj = gcn_normalize(&rmat(RmatConfig::graph500(scale, 5, seed)));
+        let mut rng = StdRng::seed_from_u64(seed ^ 7);
+        let h = Dense::glorot(adj.rows(), f, &mut rng);
+        (adj, h)
+    }
+
+    fn run_dist(
+        adj: &spmat::Csr,
+        h: &Dense,
+        p: usize,
+        c: usize,
+        aware: bool,
+    ) -> (Dense, gnn_comm::WorldStats) {
+        let pr = p / c;
+        let bounds = even_bounds(adj.rows(), pr);
+        let plan = Plan15d::build(adj, p, c, &bounds, aware);
+        let world = ThreadWorld::new(p, CostModel::perlmutter_like());
+        let (blocks, stats) = world.run(|ctx| {
+            let rp = &plan.ranks[ctx.rank()];
+            let local = h.row_slice(rp.row_lo, rp.row_hi);
+            spmm_15d(ctx, &plan, &local, aware)
+        });
+        // Grid column 0's results stacked = full Z; other columns hold
+        // replicas (verified in replicas_agree).
+        let col0: Vec<&Dense> = (0..pr).map(|i| &blocks[i * c]).collect();
+        (Dense::vstack(&col0), stats)
+    }
+
+    #[test]
+    fn aware_matches_sequential_for_various_grids() {
+        let (adj, h) = setup(6, 1, 5);
+        let expected = spmm(&adj, &h);
+        for (p, c) in [(4, 1), (4, 2), (8, 2), (16, 4), (9, 3)] {
+            let (got, _) = run_dist(&adj, &h, p, c, true);
+            assert!(got.approx_eq(&expected, 1e-11), "p={p} c={c}");
+        }
+    }
+
+    #[test]
+    fn oblivious_matches_sequential() {
+        let (adj, h) = setup(6, 2, 5);
+        let expected = spmm(&adj, &h);
+        for (p, c) in [(4, 2), (8, 2), (16, 4)] {
+            let (got, _) = run_dist(&adj, &h, p, c, false);
+            assert!(got.approx_eq(&expected, 1e-11), "p={p} c={c}");
+        }
+    }
+
+    #[test]
+    fn replicas_agree() {
+        let (adj, h) = setup(6, 3, 4);
+        let p = 8;
+        let c = 2;
+        let pr = p / c;
+        let bounds = even_bounds(adj.rows(), pr);
+        let plan = Plan15d::build(&adj, p, c, &bounds, true);
+        let world = ThreadWorld::new(p, CostModel::perlmutter_like());
+        let (blocks, _) = world.run(|ctx| {
+            let rp = &plan.ranks[ctx.rank()];
+            let local = h.row_slice(rp.row_lo, rp.row_hi);
+            spmm_15d(ctx, &plan, &local, true)
+        });
+        for i in 0..pr {
+            for j in 1..c {
+                assert!(
+                    blocks[i * c].approx_eq(&blocks[i * c + j], 0.0),
+                    "replica divergence at row {i} col {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aware_sends_fewer_bytes_than_oblivious() {
+        let (adj, h) = setup(8, 4, 6);
+        let (_, st_a) = run_dist(&adj, &h, 8, 2, true);
+        let (_, st_o) = run_dist(&adj, &h, 8, 2, false);
+        let a = st_a.phase_bytes_total(Phase::P2p);
+        let o = st_o.phase_bytes_total(Phase::P2p);
+        assert!(a > 0 && a < o, "aware {a} vs oblivious {o}");
+    }
+
+    #[test]
+    fn replication_reduces_p2p_volume() {
+        // Same p, larger c → fewer, bigger blocks → less total traffic
+        // (each block row is fetched by fewer distinct consumers).
+        let (adj, h) = setup(8, 5, 6);
+        let (_, c2) = run_dist(&adj, &h, 16, 2, true);
+        let (_, c4) = run_dist(&adj, &h, 16, 4, true);
+        assert!(
+            c4.phase_bytes_total(Phase::P2p) < c2.phase_bytes_total(Phase::P2p),
+            "c=4 {} vs c=2 {}",
+            c4.phase_bytes_total(Phase::P2p),
+            c2.phase_bytes_total(Phase::P2p)
+        );
+    }
+
+    #[test]
+    fn allreduce_volume_grows_with_c() {
+        let (adj, h) = setup(7, 6, 6);
+        let (_, c2) = run_dist(&adj, &h, 16, 2, true);
+        let (_, c4) = run_dist(&adj, &h, 16, 4, true);
+        // Larger c → bigger block rows (n/(p/c) rows) and bigger groups.
+        assert!(
+            c4.phase_time(Phase::AllReduce) > c2.phase_time(Phase::AllReduce),
+            "c=4 {} vs c=2 {}",
+            c4.phase_time(Phase::AllReduce),
+            c2.phase_time(Phase::AllReduce)
+        );
+    }
+
+    #[test]
+    fn c_equals_one_reduces_to_1d_pattern() {
+        // With c = 1 the result must still be correct and all traffic is
+        // point-to-point.
+        let (adj, h) = setup(6, 7, 3);
+        let expected = spmm(&adj, &h);
+        let (got, stats) = run_dist(&adj, &h, 4, 1, true);
+        assert!(got.approx_eq(&expected, 1e-11));
+        assert_eq!(stats.phase_time(Phase::AllReduce), 0.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! The SPMD GCN trainer: full forward/backward/SGD training where every
+//! SpMM runs through one of the four distributed algorithm variants.
+//!
+//! Every rank holds its block of `H⁰`, labels and mask; weights are
+//! replicated (deterministic seeded init) and kept consistent by
+//! all-reducing the weight gradients, exactly as the paper's
+//! formulation (§4.1 "W is fully-replicated").
+
+use gnn_comm::{CostModel, RankCtx, ThreadWorld, WorldStats};
+use serde::{Deserialize, Serialize};
+use spmat::dataset::Dataset;
+use spmat::Dense;
+
+use crate::model::{softmax_cross_entropy_sums, ArchKind, GcnConfig, Weights};
+use crate::optim::Optimizer;
+use crate::reference::EpochRecord;
+
+use super::oned::{spmm_1d_aware, spmm_1d_oblivious};
+use super::onefived::spmm_15d;
+use super::plan::{Plan15d, Plan1d};
+
+/// Which distributed SpMM drives training.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algo {
+    /// Block-row distribution over all `p` ranks.
+    OneD {
+        /// Sparsity-aware (all-to-allv of needed rows) vs oblivious
+        /// (CAGNET-style broadcasts).
+        aware: bool,
+    },
+    /// `p/c × c` grid with `c`-fold block-row replication.
+    OneFiveD {
+        /// Sparsity-aware vs oblivious block exchange.
+        aware: bool,
+        /// Replication factor.
+        c: usize,
+    },
+}
+
+impl Algo {
+    /// Replication degree (1 for 1D).
+    pub fn replication(&self) -> usize {
+        match *self {
+            Algo::OneD { .. } => 1,
+            Algo::OneFiveD { c, .. } => c,
+        }
+    }
+
+    /// Figure-legend style label.
+    pub fn label(&self) -> String {
+        match *self {
+            Algo::OneD { aware: false } => "1D oblivious (CAGNET)".into(),
+            Algo::OneD { aware: true } => "1D sparsity-aware".into(),
+            Algo::OneFiveD { aware: false, c } => format!("1.5D oblivious c={c}"),
+            Algo::OneFiveD { aware: true, c } => format!("1.5D sparsity-aware c={c}"),
+        }
+    }
+}
+
+/// Training-run configuration.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// SpMM algorithm variant.
+    pub algo: Algo,
+    /// Model shape / learning rate / init seed.
+    pub gcn: GcnConfig,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Machine model pricing the run.
+    pub model: CostModel,
+}
+
+/// Everything a distributed run produces.
+#[derive(Clone, Debug)]
+pub struct DistOutcome {
+    /// Per-epoch loss/accuracy (identical on all ranks; rank 0's copy).
+    pub records: Vec<EpochRecord>,
+    /// Final weights (identical on all ranks; rank 0's copy).
+    pub weights: Weights,
+    /// Accumulated per-rank stats over all epochs.
+    pub stats: WorldStats,
+}
+
+enum PlanKind {
+    OneD(Plan1d),
+    OneFiveD { plan: Plan15d, aware: bool },
+}
+
+/// Trains a GCN on `ds` (already permuted so parts are contiguous).
+///
+/// `bounds` are the block-row boundaries: `p + 1` entries for 1D, or
+/// `p/c + 1` entries for 1.5D (each block row is replicated on `c`
+/// ranks). The world size is derived accordingly.
+///
+/// # Panics
+/// Panics on shape mismatches (dims vs dataset) or invalid grids.
+pub fn train_distributed(ds: &Dataset, bounds: &[usize], cfg: &DistConfig) -> DistOutcome {
+    assert_eq!(cfg.gcn.dims[0], ds.f(), "input width mismatch");
+    assert_eq!(*cfg.gcn.dims.last().unwrap(), ds.num_classes, "class count mismatch");
+    let (p, plan) = match cfg.algo {
+        Algo::OneD { aware: _ } => {
+            let p = bounds.len() - 1;
+            (p, PlanKind::OneD(Plan1d::build(&ds.norm_adj, bounds)))
+        }
+        Algo::OneFiveD { aware, c } => {
+            let pr = bounds.len() - 1;
+            let p = pr * c;
+            (p, PlanKind::OneFiveD { plan: Plan15d::build(&ds.norm_adj, p, c, bounds, aware), aware })
+        }
+    };
+    let world = ThreadWorld::new(p, cfg.model);
+    let aware_1d = matches!(cfg.algo, Algo::OneD { aware: true });
+    let c_rep = cfg.algo.replication() as f64;
+
+    let (mut results, stats) = world.run(|ctx| {
+        // Resolve this rank's block row.
+        let (lo, hi) = match &plan {
+            PlanKind::OneD(pl) => {
+                let rp = &pl.ranks[ctx.rank()];
+                (rp.row_lo, rp.row_hi)
+            }
+            PlanKind::OneFiveD { plan: pl, .. } => {
+                let rp = &pl.ranks[ctx.rank()];
+                (rp.row_lo, rp.row_hi)
+            }
+        };
+        let rows = hi - lo;
+        let h0 = ds.features.row_slice(lo, hi);
+        let labels = &ds.labels[lo..hi];
+        let mask = &ds.train_mask[lo..hi];
+        let mut weights = Weights::init(&cfg.gcn);
+        let mut optimizer = Optimizer::from_config(&cfg.gcn);
+        let l_total = cfg.gcn.layers();
+        let dims = &cfg.gcn.dims;
+        let mut records = Vec::with_capacity(cfg.epochs);
+
+        let dist_spmm = |ctx: &mut RankCtx, h: &Dense| -> Dense {
+            match &plan {
+                PlanKind::OneD(pl) => {
+                    if aware_1d {
+                        spmm_1d_aware(ctx, pl, h)
+                    } else {
+                        spmm_1d_oblivious(ctx, pl, h)
+                    }
+                }
+                PlanKind::OneFiveD { plan: pl, aware } => spmm_15d(ctx, pl, h, *aware),
+            }
+        };
+
+        for _epoch in 0..cfg.epochs {
+            // ---- forward ----
+            let mut hs: Vec<Dense> = Vec::with_capacity(l_total + 1);
+            let mut zs: Vec<Dense> = Vec::with_capacity(l_total);
+            let mut ahs: Vec<Dense> = Vec::with_capacity(l_total);
+            hs.push(h0.clone());
+            for l in 0..l_total {
+                let ah = dist_spmm(ctx, &hs[l]);
+                let w = &weights.mats[l];
+                let (d, d_out) = (dims[l], dims[l + 1]);
+                let z = match cfg.gcn.arch {
+                    ArchKind::Gcn => {
+                        ctx.compute((2 * rows * d * d_out) as u64, || ah.matmul(w))
+                    }
+                    ArchKind::Sage => {
+                        let h_prev = &hs[l];
+                        ctx.compute((4 * rows * d * d_out + rows * d_out) as u64, || {
+                            let mut z = h_prev.matmul(&w.row_slice(0, d));
+                            z.add_assign(&ah.matmul(&w.row_slice(d, 2 * d)));
+                            z
+                        })
+                    }
+                };
+                let h = if l + 1 == l_total {
+                    z.clone()
+                } else {
+                    ctx.compute((rows * dims[l + 1]) as u64, || z.relu())
+                };
+                zs.push(z);
+                hs.push(h);
+                ahs.push(ah);
+            }
+
+            // ---- loss / metrics ----
+            let logits = &hs[l_total];
+            let (loss_sum, count, grad_sum) =
+                softmax_cross_entropy_sums(logits, labels, mask);
+            let correct = {
+                let acc = crate::model::accuracy(logits, labels, mask);
+                acc * count as f64
+            };
+            let mut reduce = [loss_sum, count as f64, correct];
+            ctx.allreduce_sum(&mut reduce, &(0..ctx.p()).collect::<Vec<_>>());
+            let [g_loss, g_count, g_correct] = reduce;
+            records.push(EpochRecord {
+                loss: g_loss / g_count.max(1.0),
+                train_accuracy: if g_count > 0.0 { g_correct / g_count } else { 0.0 },
+            });
+
+            // ---- backward ----
+            // True (unreplicated) masked count normalizes the gradient.
+            let denom = (g_count / c_rep).max(1.0);
+            let mut g = grad_sum;
+            g.scale(1.0 / denom);
+
+            let mut grads: Vec<Option<Dense>> = vec![None; l_total];
+            for l in (0..l_total).rev() {
+                let s = dist_spmm(ctx, &g);
+                let h_prev = &hs[l];
+                let (d, d_out) = (dims[l], dims[l + 1]);
+                let mut y = match cfg.gcn.arch {
+                    ArchKind::Gcn => ctx.compute((2 * rows * d * d_out) as u64, || {
+                        h_prev.transpose_matmul(&s)
+                    }),
+                    ArchKind::Sage => {
+                        let ah = &ahs[l];
+                        let g_ref = &g;
+                        ctx.compute((4 * rows * d * d_out) as u64, || {
+                            let top = h_prev.transpose_matmul(g_ref);
+                            let bottom = ah.transpose_matmul(g_ref);
+                            Dense::vstack(&[&top, &bottom])
+                        })
+                    }
+                };
+                ctx.allreduce_sum(y.data_mut(), &(0..ctx.p()).collect::<Vec<_>>());
+                // Replicated rows contributed c times each.
+                y.scale(1.0 / c_rep);
+                grads[l] = Some(y);
+                if l > 0 {
+                    let w = &weights.mats[l];
+                    let prev_z = &zs[l - 1];
+                    g = match cfg.gcn.arch {
+                        ArchKind::Gcn => ctx.compute(
+                            (2 * rows * d_out * d + 2 * rows * d) as u64,
+                            || s.matmul_transpose(w).hadamard(&prev_z.relu_prime()),
+                        ),
+                        ArchKind::Sage => {
+                            let g_ref = &g;
+                            ctx.compute(
+                                (4 * rows * d_out * d + 3 * rows * d) as u64,
+                                || {
+                                    let mut gg = g_ref.matmul_transpose(&w.row_slice(0, d));
+                                    gg.add_assign(&s.matmul_transpose(&w.row_slice(d, 2 * d)));
+                                    gg.hadamard(&prev_z.relu_prime())
+                                },
+                            )
+                        }
+                    };
+                }
+            }
+            let grads: Vec<Dense> = grads.into_iter().map(Option::unwrap).collect();
+            optimizer.step(&mut weights, &grads);
+        }
+        (records, weights)
+    });
+
+    let (records, weights) = results.swap_remove(0);
+    DistOutcome { records, weights, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::plan::even_bounds;
+    use crate::reference::ReferenceTrainer;
+    use spmat::dataset::reddit_scaled;
+
+    fn run(algo: Algo, bounds_parts: usize, epochs: usize) -> (DistOutcome, Vec<EpochRecord>, Weights) {
+        let ds = reddit_scaled(7, 11); // 128 vertices
+        let cfg = GcnConfig::paper_default(ds.f(), ds.num_classes);
+        let mut reference = ReferenceTrainer::new(&ds, cfg.clone());
+        let ref_records = reference.train(epochs);
+
+        let bounds = even_bounds(ds.n(), bounds_parts);
+        let dist_cfg = DistConfig {
+            algo,
+            gcn: cfg,
+            epochs,
+            model: CostModel::perlmutter_like(),
+        };
+        let out = train_distributed(&ds, &bounds, &dist_cfg);
+        (out, ref_records, reference.weights)
+    }
+
+    #[test]
+    fn oned_aware_matches_reference() {
+        let (out, ref_records, ref_weights) = run(Algo::OneD { aware: true }, 4, 4);
+        for (a, b) in out.records.iter().zip(&ref_records) {
+            assert!((a.loss - b.loss).abs() < 1e-9, "loss {} vs {}", a.loss, b.loss);
+            assert!((a.train_accuracy - b.train_accuracy).abs() < 1e-9);
+        }
+        assert!(out.weights.max_abs_diff(&ref_weights) < 1e-9);
+    }
+
+    #[test]
+    fn oned_oblivious_matches_reference() {
+        let (out, ref_records, ref_weights) = run(Algo::OneD { aware: false }, 3, 3);
+        for (a, b) in out.records.iter().zip(&ref_records) {
+            assert!((a.loss - b.loss).abs() < 1e-9);
+        }
+        assert!(out.weights.max_abs_diff(&ref_weights) < 1e-9);
+    }
+
+    #[test]
+    fn onefived_aware_matches_reference() {
+        let (out, ref_records, ref_weights) = run(Algo::OneFiveD { aware: true, c: 2 }, 2, 3);
+        for (a, b) in out.records.iter().zip(&ref_records) {
+            assert!((a.loss - b.loss).abs() < 1e-8, "loss {} vs {}", a.loss, b.loss);
+        }
+        assert!(out.weights.max_abs_diff(&ref_weights) < 1e-8);
+    }
+
+    #[test]
+    fn onefived_oblivious_matches_reference() {
+        let (out, ref_records, ref_weights) = run(Algo::OneFiveD { aware: false, c: 2 }, 2, 3);
+        for (a, b) in out.records.iter().zip(&ref_records) {
+            assert!((a.loss - b.loss).abs() < 1e-8);
+        }
+        assert!(out.weights.max_abs_diff(&ref_weights) < 1e-8);
+    }
+
+    #[test]
+    fn algo_labels_and_replication() {
+        assert_eq!(Algo::OneD { aware: true }.replication(), 1);
+        assert_eq!(Algo::OneFiveD { aware: true, c: 4 }.replication(), 4);
+        assert!(Algo::OneD { aware: false }.label().contains("CAGNET"));
+        assert!(Algo::OneFiveD { aware: true, c: 2 }.label().contains("c=2"));
+    }
+}

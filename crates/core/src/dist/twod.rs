@@ -1,0 +1,404 @@
+//! 2D (SUMMA-style) distributed SpMM — the generalization the paper's
+//! conclusion points to ("the same idea of sparsity-awareness ... can be
+//! applied to other communication-avoiding schemes, such as 2D").
+//!
+//! Layout: a `pr × pc` grid. `Aᵀ` is blocked both ways — rank `(i, j)`
+//! owns `Aᵀ[i][k]` for all `k` handled in stages — and the dense
+//! matrices (`H`, `Z`) are blocked by **rows across grid rows** and
+//! **feature panels across grid columns**: rank `(i, j)` owns the
+//! `n/pr × f/pc` block `H[i][j]`. One layer step computes
+//!
+//! ```text
+//! Z[i][j] = Σₖ Aᵀ[i][k] · H[k][j]          (SUMMA stages over k)
+//! out     = (Z · W)[i][j]                   (row-allreduce of partials)
+//! ```
+//!
+//! so the output has the same layout as the input and layers compose.
+//!
+//! Communication per stage: the owner `(k, j)` of `H[k][j]` sends to the
+//! grid column's ranks `(i, j)`. The sparsity-oblivious variant ships the
+//! whole block; the sparsity-aware variant ships only `NnzCols(i, k)`
+//! rows — the same sets as the 1D/1.5D algorithms, reused unchanged.
+//! The `× W` step costs an `n/pr × f_out` all-reduce over each grid row,
+//! which is exactly why the paper finds 2D less performant for
+//! tall-skinny GNN operands (the reduction doesn't shrink with `pc`).
+
+use gnn_comm::msg::Payload;
+use gnn_comm::RankCtx;
+use spmat::spmm::{spmm_acc, spmm_flops};
+use spmat::{Csr, Dense};
+
+/// Per-rank stage: one column block of the owned block row.
+#[derive(Clone, Debug)]
+pub struct Stage2d {
+    /// Block-row index `k` of `H` consumed by this stage.
+    pub k: usize,
+    /// `Aᵀ[i][k]` with columns remapped to positions in `needed`.
+    pub block_compact: Csr,
+    /// Global rows of `H` block `k` this stage reads.
+    pub needed: Vec<u32>,
+}
+
+/// Per-rank plan for the 2D algorithm.
+#[derive(Clone, Debug)]
+pub struct RankPlan2d {
+    /// Grid row.
+    pub i: usize,
+    /// Grid column.
+    pub j: usize,
+    /// Global row range of the owned `H`/`Z` block.
+    pub row_lo: usize,
+    /// End of the global row range.
+    pub row_hi: usize,
+    /// Feature-panel column range `[f_lo, f_hi)` owned (fractions of the
+    /// *current* width are computed per call; this stores the panel id).
+    pub stages: Vec<Stage2d>,
+    /// `send_lists[l]` — rows of the owned `H` block to ship to grid row
+    /// `l` of the same column (this rank owns block row `i`, needed by
+    /// `(l, j)` at stage `k = i`).
+    pub send_lists: Vec<Vec<u32>>,
+}
+
+/// The 2D distribution plan.
+#[derive(Clone, Debug)]
+pub struct Plan2d {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Grid rows.
+    pub pr: usize,
+    /// Grid columns.
+    pub pc: usize,
+    /// Row-block boundaries (`pr + 1`).
+    pub bounds: Vec<usize>,
+    /// Whether exchanges are sparsity-aware.
+    pub aware: bool,
+    /// Rank-indexed plans (`rank = i·pc + j`).
+    pub ranks: Vec<RankPlan2d>,
+}
+
+impl Plan2d {
+    /// Linear rank of `(i, j)`.
+    pub fn rank_of(&self, i: usize, j: usize) -> usize {
+        i * self.pc + j
+    }
+
+    /// Splits a feature width into `pc` panel boundaries.
+    pub fn panel_bounds(&self, f: usize) -> Vec<usize> {
+        spmat::gen::sbm::block_bounds(f, self.pc)
+    }
+
+    /// Builds the plan from an already-permuted adjacency and `pr + 1`
+    /// row boundaries.
+    ///
+    /// # Panics
+    /// Panics if `bounds` doesn't cover `0..n` with `pr` parts.
+    pub fn build(adj: &Csr, pr: usize, pc: usize, bounds: &[usize], aware: bool) -> Plan2d {
+        let n = adj.rows();
+        assert_eq!(bounds.len(), pr + 1, "bounds must have pr + 1 entries");
+        assert_eq!(bounds[pr], n);
+        assert!(pc >= 1);
+
+        // Per (i, k): needed rows + compact block, shared by all pc
+        // replicas in grid row i.
+        let mut cache: Vec<Vec<Option<(Vec<u32>, Csr)>>> =
+            (0..pr).map(|_| (0..pr).map(|_| None).collect()).collect();
+        let mut block_of = |i: usize, k: usize| -> (Vec<u32>, Csr) {
+            if let Some(v) = &cache[i][k] {
+                return v.clone();
+            }
+            let (lo, hi) = (bounds[i], bounds[i + 1]);
+            let (klo, khi) = (bounds[k], bounds[k + 1]);
+            let block = adj.row_block(lo, hi).col_range_block(klo, khi);
+            let needed: Vec<u32> = if aware {
+                block.distinct_cols_in_range(klo, khi)
+            } else {
+                (klo as u32..khi as u32).collect()
+            };
+            let compact = block.remap_cols(&needed);
+            let out = (needed, compact);
+            cache[i][k] = Some(out.clone());
+            out
+        };
+
+        let mut ranks = Vec::with_capacity(pr * pc);
+        for i in 0..pr {
+            for j in 0..pc {
+                let stages: Vec<Stage2d> = (0..pr)
+                    .map(|k| {
+                        let (needed, block_compact) = block_of(i, k);
+                        Stage2d { k, block_compact, needed }
+                    })
+                    .collect();
+                // This rank owns H block-row i, panel j; at stage k = i
+                // every rank (l, j) of its grid column needs rows
+                // NnzCols(l, i) of it.
+                let send_lists: Vec<Vec<u32>> = (0..pr).map(|l| block_of(l, i).0).collect();
+                ranks.push(RankPlan2d {
+                    i,
+                    j,
+                    row_lo: bounds[i],
+                    row_hi: bounds[i + 1],
+                    stages,
+                    send_lists,
+                });
+            }
+        }
+        Plan2d { n, pr, pc, bounds: bounds.to_vec(), aware, ranks }
+    }
+}
+
+/// One 2D SpMM: computes `Z[i][j] = (Aᵀ H)[i][j]` from the local block
+/// `h_local` (`rows_i × panel_width`). All communication stays within
+/// grid columns (every rank exchanges only its own feature panel).
+pub fn spmm_2d(ctx: &mut RankCtx, plan: &Plan2d, h_local: &Dense) -> Dense {
+    let me = ctx.rank();
+    let rp = &plan.ranks[me];
+    let fw = h_local.cols();
+    let rows_i = rp.row_hi - rp.row_lo;
+    assert_eq!(h_local.rows(), rows_i, "local H block shape mismatch");
+
+    // Send phase: ship our block's rows to every grid-row peer in our
+    // column (they consume block row i at their stage k = i).
+    let mut pack_elems = 0u64;
+    for (l, idx) in rp.send_lists.iter().enumerate() {
+        let dst = plan.rank_of(l, rp.j);
+        if dst == me || idx.is_empty() {
+            continue;
+        }
+        let payload = if plan.aware {
+            let mut data = Vec::with_capacity(idx.len() * fw);
+            for &g in idx {
+                data.extend_from_slice(h_local.row(g as usize - rp.row_lo));
+            }
+            pack_elems += (idx.len() * fw) as u64;
+            Payload::Rows { idx: idx.clone(), data }
+        } else {
+            Payload::F64(h_local.data().to_vec())
+        };
+        ctx.send(dst, payload);
+    }
+    if pack_elems > 0 {
+        ctx.record_compute(pack_elems);
+    }
+
+    // Stage loop.
+    let mut z = Dense::zeros(rows_i, fw);
+    for st in &rp.stages {
+        let h_stage: Dense = if st.k == rp.i {
+            let mut data = Vec::with_capacity(st.needed.len() * fw);
+            for &g in &st.needed {
+                data.extend_from_slice(h_local.row(g as usize - rp.row_lo));
+            }
+            ctx.record_compute((st.needed.len() * fw) as u64);
+            Dense::from_vec(st.needed.len(), fw, data)
+        } else if st.needed.is_empty() {
+            Dense::zeros(0, fw)
+        } else {
+            let src = plan.rank_of(st.k, rp.j);
+            if plan.aware {
+                let (idx, data) = ctx.recv(src).into_rows();
+                debug_assert_eq!(idx, st.needed, "row ids mismatch from rank {src}");
+                Dense::from_vec(idx.len(), fw, data)
+            } else {
+                let data = ctx.recv(src).into_f64();
+                assert_eq!(data.len(), st.needed.len() * fw, "block size mismatch from {src}");
+                Dense::from_vec(st.needed.len(), fw, data)
+            }
+        };
+        let flops = spmm_flops(&st.block_compact, fw);
+        let block = &st.block_compact;
+        ctx.compute(flops, || spmm_acc(block, &h_stage, &mut z));
+    }
+    z
+}
+
+/// The dense `× W` step in 2D layout: given `Z[i][j]` (`rows_i × f_in
+/// panel j`) and the replicated `W` (`f_in × f_out`), produces the output
+/// block `(Z·W)[i][j']` where `j'` is this rank's panel of `f_out`.
+///
+/// Each rank multiplies its panel against the matching rows of `W`
+/// (a partial product over the full `f_out`), all-reduces the partials
+/// across its grid row, and keeps its own output panel.
+pub fn panel_gemm_2d(
+    ctx: &mut RankCtx,
+    plan: &Plan2d,
+    z_local: &Dense,
+    w: &Dense,
+    f_in: usize,
+) -> Dense {
+    let me = ctx.rank();
+    let rp = &plan.ranks[me];
+    let rows_i = rp.row_hi - rp.row_lo;
+    assert_eq!(z_local.rows(), rows_i);
+    assert_eq!(w.rows(), f_in, "W row count must equal the full input width");
+    let f_out = w.cols();
+    let in_bounds = plan.panel_bounds(f_in);
+    let (in_lo, in_hi) = (in_bounds[rp.j], in_bounds[rp.j + 1]);
+    assert_eq!(z_local.cols(), in_hi - in_lo, "input panel width mismatch");
+
+    // Partial product: Z[i][j] · W[in_lo..in_hi, :]  (rows_i × f_out).
+    let mut partial = Dense::zeros(rows_i, f_out);
+    for r in 0..rows_i {
+        let zrow = z_local.row(r);
+        let out = partial.row_mut(r);
+        for (kk, &zv) in zrow.iter().enumerate() {
+            if zv == 0.0 {
+                continue;
+            }
+            let wrow = w.row(in_lo + kk);
+            for (o, &wv) in out.iter_mut().zip(wrow) {
+                *o += zv * wv;
+            }
+        }
+    }
+    ctx.record_compute((2 * rows_i * (in_hi - in_lo) * f_out) as u64);
+
+    // Sum partials across the grid row; everyone then slices its panel.
+    let group: Vec<usize> = (0..plan.pc).map(|j| plan.rank_of(rp.i, j)).collect();
+    ctx.allreduce_sum(partial.data_mut(), &group);
+
+    let out_bounds = plan.panel_bounds(f_out);
+    let (out_lo, out_hi) = (out_bounds[rp.j], out_bounds[rp.j + 1]);
+    let mut panel = Dense::zeros(rows_i, out_hi - out_lo);
+    for r in 0..rows_i {
+        panel.row_mut(r).copy_from_slice(&partial.row(r)[out_lo..out_hi]);
+    }
+    panel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::plan::even_bounds;
+    use gnn_comm::{CostModel, Phase, ThreadWorld};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spmat::gen::{rmat, RmatConfig};
+    use spmat::graph::gcn_normalize;
+    use spmat::spmm::spmm;
+
+    fn setup(scale: u32, seed: u64, f: usize) -> (Csr, Dense) {
+        let adj = gcn_normalize(&rmat(RmatConfig::graph500(scale, 5, seed)));
+        let mut rng = StdRng::seed_from_u64(seed ^ 31);
+        let h = Dense::glorot(adj.rows(), f, &mut rng);
+        (adj, h)
+    }
+
+    /// Extracts rank (i,j)'s 2D block of a full dense matrix.
+    fn block_of(h: &Dense, plan: &Plan2d, i: usize, j: usize, f: usize) -> Dense {
+        let rows = h.row_slice(plan.bounds[i], plan.bounds[i + 1]);
+        let pb = plan.panel_bounds(f);
+        Dense::from_fn(rows.rows(), pb[j + 1] - pb[j], |r, c| rows.get(r, pb[j] + c))
+    }
+
+    /// Reassembles the full matrix from 2D blocks.
+    fn assemble(blocks: &[Dense], plan: &Plan2d, n: usize, f: usize) -> Dense {
+        let pb = plan.panel_bounds(f);
+        let mut out = Dense::zeros(n, f);
+        for i in 0..plan.pr {
+            for j in 0..plan.pc {
+                let b = &blocks[plan.rank_of(i, j)];
+                for r in 0..b.rows() {
+                    for c in 0..b.cols() {
+                        out.set(plan.bounds[i] + r, pb[j] + c, b.get(r, c));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn run_spmm(adj: &Csr, h: &Dense, pr: usize, pc: usize, aware: bool) -> (Dense, gnn_comm::WorldStats) {
+        let f = h.cols();
+        let bounds = even_bounds(adj.rows(), pr);
+        let plan = Plan2d::build(adj, pr, pc, &bounds, aware);
+        let world = ThreadWorld::new(pr * pc, CostModel::perlmutter_like());
+        let (blocks, stats) = world.run(|ctx| {
+            let rp = &plan.ranks[ctx.rank()];
+            let local = block_of(h, &plan, rp.i, rp.j, f);
+            spmm_2d(ctx, &plan, &local)
+        });
+        (assemble(&blocks, &plan, adj.rows(), f), stats)
+    }
+
+    #[test]
+    fn aware_matches_sequential() {
+        let (adj, h) = setup(6, 1, 8);
+        let expected = spmm(&adj, &h);
+        for (pr, pc) in [(2, 2), (4, 2), (2, 4), (4, 1), (1, 4)] {
+            let (got, _) = run_spmm(&adj, &h, pr, pc, true);
+            assert!(got.approx_eq(&expected, 1e-11), "pr={pr} pc={pc}");
+        }
+    }
+
+    #[test]
+    fn oblivious_matches_sequential() {
+        let (adj, h) = setup(6, 2, 8);
+        let expected = spmm(&adj, &h);
+        let (got, _) = run_spmm(&adj, &h, 2, 2, false);
+        assert!(got.approx_eq(&expected, 1e-11));
+    }
+
+    #[test]
+    fn aware_communicates_less() {
+        let (adj, h) = setup(8, 3, 8);
+        let (_, st_a) = run_spmm(&adj, &h, 4, 2, true);
+        let (_, st_o) = run_spmm(&adj, &h, 4, 2, false);
+        let a = st_a.phase_recv_bytes_total(Phase::P2p);
+        let o = st_o.phase_recv_bytes_total(Phase::P2p);
+        assert!(a > 0 && a < o, "aware {a} vs oblivious {o}");
+    }
+
+    #[test]
+    fn panels_shrink_per_rank_traffic() {
+        // Widening the grid (more feature panels) divides each rank's
+        // exchanged bytes, the 2D scaling promise.
+        let (adj, h) = setup(8, 4, 16);
+        let (_, pc1) = run_spmm(&adj, &h, 4, 1, true);
+        let (_, pc4) = run_spmm(&adj, &h, 4, 4, true);
+        let max_recv = |st: &gnn_comm::WorldStats| {
+            st.per_rank.iter().map(|r| r.phase(Phase::P2p).bytes_recv).max().unwrap()
+        };
+        assert!(
+            max_recv(&pc4) < max_recv(&pc1) / 2,
+            "pc=4 {} !< pc=1 {} / 2",
+            max_recv(&pc4),
+            max_recv(&pc1)
+        );
+    }
+
+    #[test]
+    fn full_layer_matches_sequential() {
+        // Z = AᵀH then ·W, panels recombined — layers must compose.
+        let (adj, h) = setup(6, 5, 8);
+        let f_in = 8;
+        let f_out = 6;
+        let mut rng = StdRng::seed_from_u64(77);
+        let w = Dense::glorot(f_in, f_out, &mut rng);
+        let expected = spmm(&adj, &h).matmul(&w);
+
+        let (pr, pc) = (2, 2);
+        let bounds = even_bounds(adj.rows(), pr);
+        let plan = Plan2d::build(&adj, pr, pc, &bounds, true);
+        let world = ThreadWorld::new(pr * pc, CostModel::perlmutter_like());
+        let (blocks, _) = world.run(|ctx| {
+            let rp = &plan.ranks[ctx.rank()];
+            let local = block_of(&h, &plan, rp.i, rp.j, f_in);
+            let z = spmm_2d(ctx, &plan, &local);
+            panel_gemm_2d(ctx, &plan, &z, &w, f_in)
+        });
+        let got = assemble(&blocks, &plan, adj.rows(), f_out);
+        assert!(got.approx_eq(&expected, 1e-11));
+    }
+
+    #[test]
+    fn communication_stays_within_grid_columns() {
+        // pc=2: per-rank p2p traffic must exist, and the allreduce (from
+        // panel_gemm) happens only across grid rows — verified by the
+        // full-layer test passing plus nonzero phases here.
+        let (adj, h) = setup(6, 6, 8);
+        let (_, st) = run_spmm(&adj, &h, 2, 2, true);
+        assert!(st.phase_recv_bytes_total(Phase::P2p) > 0);
+        assert_eq!(st.phase_recv_bytes_total(Phase::AllReduce), 0);
+    }
+}

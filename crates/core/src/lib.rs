@@ -1,0 +1,27 @@
+//! Full-graph GCN training with sparsity-aware distributed SpMM —
+//! the primary contribution of *"Sparsity-Aware Communication for
+//! Distributed Graph Neural Network Training"* (ICPP 2024), rebuilt on
+//! this workspace's simulated distributed runtime.
+//!
+//! Layering:
+//!
+//! * [`model`] — GCN weights, softmax cross-entropy, accuracy.
+//! * [`reference`] — sequential full-graph trainer (ground truth).
+//! * [`dist`] — communication plans and the four distributed SpMM
+//!   variants (1D/1.5D × oblivious/sparsity-aware), plus the SPMD
+//!   trainer that runs them over [`gnn_comm::ThreadWorld`].
+//! * [`analytic`] — closed-form cost replay for large sweeps; proven
+//!   equal to the executor's accounting by integration tests.
+//!
+//! Quick start: see `examples/quickstart.rs` at the workspace root.
+
+pub mod analytic;
+pub mod dist;
+pub mod model;
+pub mod optim;
+pub mod reference;
+
+pub use dist::{train_distributed, Algo, DistConfig, DistOutcome};
+pub use model::{GcnConfig, Weights};
+pub use optim::{OptKind, Optimizer};
+pub use reference::{EpochRecord, ReferenceTrainer};

@@ -1,0 +1,308 @@
+//! The GCN model: layer dimensions, weights, activations, loss.
+//!
+//! The paper trains a 3-layer Kipf–Welling GCN with 16 hidden units for
+//! 100 epochs; [`GcnConfig::paper_default`] mirrors that. Weights are
+//! Glorot-initialized from a seed so every rank (and the sequential
+//! reference) starts from bit-identical parameters.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spmat::Dense;
+
+/// Layer architecture. The paper focuses on GCN but notes all methods
+/// generalize to other GNNs (§2.1); GraphSAGE demonstrates it here —
+/// its distributed form reuses the *identical* communication plans (one
+/// SpMM forward, one backward per layer), only local compute changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ArchKind {
+    /// Kipf–Welling GCN: `Zˡ = Â Hˡ⁻¹ Wˡ`.
+    #[default]
+    Gcn,
+    /// GraphSAGE (mean aggregator, matrix form):
+    /// `Zˡ = Hˡ⁻¹ W_self + (Â Hˡ⁻¹) W_neigh`, stored as one
+    /// `2·f_in × f_out` weight matrix per layer.
+    Sage,
+}
+
+/// Model hyperparameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GcnConfig {
+    /// Layer widths: `dims[0]` = input features, `dims.last()` = classes.
+    /// `dims.len() - 1` is the number of GCN layers `L`.
+    pub dims: Vec<usize>,
+    /// Learning rate.
+    pub lr: f64,
+    /// Weight init seed (shared across ranks).
+    pub seed: u64,
+    /// Optimizer selection (SGD is the paper's update rule).
+    pub opt: crate::optim::OptKind,
+    /// Layer architecture.
+    pub arch: ArchKind,
+}
+
+impl GcnConfig {
+    /// The paper's architecture: 3 GCN layers, 16 hidden units, plain SGD.
+    pub fn paper_default(input_features: usize, classes: usize) -> Self {
+        Self {
+            dims: vec![input_features, 16, 16, classes],
+            lr: 0.5,
+            seed: 0x6CC,
+            opt: crate::optim::OptKind::Sgd,
+            arch: ArchKind::Gcn,
+        }
+    }
+
+    /// Adam variant (what GNN systems practice uses).
+    pub fn with_adam(mut self, lr: f64) -> Self {
+        self.opt = crate::optim::OptKind::Adam;
+        self.lr = lr;
+        self
+    }
+
+    /// GraphSAGE variant (same dims; weights become `2·f_in × f_out`).
+    pub fn with_sage(mut self) -> Self {
+        self.arch = ArchKind::Sage;
+        self
+    }
+
+    /// Weight-matrix input width for layer `l` (doubled for SAGE's
+    /// `[self | neighbor]` stacking).
+    pub fn w_in(&self, l: usize) -> usize {
+        match self.arch {
+            ArchKind::Gcn => self.dims[l],
+            ArchKind::Sage => 2 * self.dims[l],
+        }
+    }
+
+    /// Number of GCN layers `L`.
+    pub fn layers(&self) -> usize {
+        self.dims.len() - 1
+    }
+}
+
+/// The trainable parameters: one weight matrix per layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Weights {
+    /// `mats[l]` is `dims[l] × dims[l+1]`.
+    pub mats: Vec<Dense>,
+}
+
+impl Weights {
+    /// Glorot initialization from the config's seed — deterministic, so
+    /// replicated ranks agree without communication.
+    pub fn init(cfg: &GcnConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let layers = cfg.layers();
+        let mats = (0..layers)
+            .map(|l| Dense::glorot(cfg.w_in(l), cfg.dims[l + 1], &mut rng))
+            .collect();
+        Self { mats }
+    }
+
+    /// SGD step: `W^l -= lr · grads[l]`.
+    pub fn sgd_step(&mut self, grads: &[Dense], lr: f64) {
+        assert_eq!(grads.len(), self.mats.len());
+        for (w, g) in self.mats.iter_mut().zip(grads) {
+            w.sub_scaled_assign(g, lr);
+        }
+    }
+
+    /// Max absolute difference across all layers (testing parity between
+    /// distributed and sequential training).
+    pub fn max_abs_diff(&self, other: &Weights) -> f64 {
+        self.mats
+            .iter()
+            .zip(&other.mats)
+            .map(|(a, b)| a.max_abs_diff(b).expect("shape mismatch"))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Row-wise softmax.
+pub fn softmax(logits: &Dense) -> Dense {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Masked softmax cross-entropy **sums** (not yet averaged): returns
+/// `(loss_sum, count, grad_sum)` where `grad_sum` is `softmax − onehot`
+/// on masked rows and zero elsewhere. Callers divide by the global count
+/// — in distributed training that count is only known after an
+/// all-reduce, which is why this returns unnormalized values.
+pub fn softmax_cross_entropy_sums(
+    logits: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+) -> (f64, usize, Dense) {
+    assert_eq!(logits.rows(), labels.len());
+    assert_eq!(logits.rows(), mask.len());
+    let probs = softmax(logits);
+    let mut grad = Dense::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0;
+    let mut count = 0usize;
+    for r in 0..logits.rows() {
+        if !mask[r] {
+            continue;
+        }
+        count += 1;
+        let y = labels[r] as usize;
+        let p = probs.get(r, y).max(1e-300);
+        loss -= p.ln();
+        let g = grad.row_mut(r);
+        g.copy_from_slice(probs.row(r));
+        g[y] -= 1.0;
+    }
+    (loss, count, grad)
+}
+
+/// Fraction of masked vertices whose argmax prediction matches the label.
+pub fn accuracy(logits: &Dense, labels: &[u32], mask: &[bool]) -> f64 {
+    let mut correct = 0usize;
+    let mut count = 0usize;
+    for r in 0..logits.rows() {
+        if !mask[r] {
+            continue;
+        }
+        count += 1;
+        let row = logits.row(r);
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
+            .map(|(i, _)| i)
+            .expect("empty logits row");
+        if pred == labels[r] as usize {
+            correct += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        correct as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_layer_count() {
+        let cfg = GcnConfig::paper_default(300, 24);
+        assert_eq!(cfg.layers(), 3);
+        assert_eq!(cfg.dims, vec![300, 16, 16, 24]);
+    }
+
+    #[test]
+    fn weights_deterministic() {
+        let cfg = GcnConfig::paper_default(8, 4);
+        let a = Weights::init(&cfg);
+        let b = Weights::init(&cfg);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Dense::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let s = softmax(&logits);
+        for r in 0..2 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(s.row(r).iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Dense::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Dense::from_vec(1, 3, vec![101.0, 102.0, 103.0]);
+        assert!(softmax(&a).approx_eq(&softmax(&b), 1e-12));
+    }
+
+    #[test]
+    fn cross_entropy_on_confident_prediction_is_small() {
+        let logits = Dense::from_vec(1, 2, vec![10.0, -10.0]);
+        let (loss, count, grad) = softmax_cross_entropy_sums(&logits, &[0], &[true]);
+        assert_eq!(count, 1);
+        assert!(loss < 1e-6);
+        assert!(grad.get(0, 0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero() {
+        let logits = Dense::from_vec(2, 3, vec![0.3, -1.0, 0.5, 2.0, 0.0, -2.0]);
+        let (_, _, grad) = softmax_cross_entropy_sums(&logits, &[2, 0], &[true, true]);
+        for r in 0..2 {
+            let s: f64 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn masked_rows_are_ignored() {
+        let logits = Dense::from_vec(2, 2, vec![5.0, 0.0, 0.0, 5.0]);
+        let (loss, count, grad) = softmax_cross_entropy_sums(&logits, &[1, 1], &[false, true]);
+        assert_eq!(count, 1);
+        assert!(loss < 1e-2);
+        assert_eq!(grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Dense::from_vec(1, 3, vec![0.5, -0.2, 0.1]);
+        let labels = [2u32];
+        let mask = [true];
+        let (_, _, grad) = softmax_cross_entropy_sums(&logits, &labels, &mask);
+        let eps = 1e-6;
+        for j in 0..3 {
+            let mut plus = logits.clone();
+            plus.set(0, j, plus.get(0, j) + eps);
+            let (lp, _, _) = softmax_cross_entropy_sums(&plus, &labels, &mask);
+            let mut minus = logits.clone();
+            minus.set(0, j, minus.get(0, j) - eps);
+            let (lm, _, _) = softmax_cross_entropy_sums(&minus, &labels, &mask);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad.get(0, j)).abs() < 1e-6,
+                "dim {j}: fd {fd} vs grad {}",
+                grad.get(0, j)
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Dense::from_vec(3, 2, vec![2.0, 1.0, 0.0, 3.0, 1.0, 0.0]);
+        let labels = [0u32, 1, 1];
+        assert!((accuracy(&logits, &labels, &[true; 3]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&logits, &labels, &[false; 3]), 0.0);
+    }
+
+    #[test]
+    fn sgd_moves_weights_against_gradient() {
+        let cfg = GcnConfig {
+            dims: vec![2, 2],
+            lr: 0.5,
+            seed: 1,
+            opt: crate::optim::OptKind::Sgd,
+            arch: ArchKind::Gcn,
+        };
+        let mut w = Weights::init(&cfg);
+        let before = w.mats[0].get(0, 0);
+        let grad = Dense::from_vec(2, 2, vec![1.0, 0.0, 0.0, 0.0]);
+        w.sgd_step(&[grad], 0.5);
+        assert!((w.mats[0].get(0, 0) - (before - 0.5)).abs() < 1e-15);
+    }
+}

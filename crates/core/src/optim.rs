@@ -1,0 +1,180 @@
+//! Optimizers. Plain SGD is the paper's formulation
+//! (`W^{l-1} ← W^{l-1} − Y^{l-1}`); Adam is what GNN practice (and
+//! CAGNET's training scripts) actually use. Both are deterministic pure
+//! functions of (state, gradients), so replicated ranks stay bit-identical
+//! without extra communication.
+
+use serde::{Deserialize, Serialize};
+use spmat::Dense;
+
+use crate::model::{GcnConfig, Weights};
+
+/// Which optimizer a trainer uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptKind {
+    /// Plain SGD (the paper's update rule).
+    #[default]
+    Sgd,
+    /// Adam with the standard (0.9, 0.999, 1e-8) moments.
+    Adam,
+}
+
+/// Stateful optimizer instance.
+#[derive(Clone, Debug)]
+pub enum Optimizer {
+    /// `W -= lr · G`.
+    Sgd {
+        /// Learning rate.
+        lr: f64,
+    },
+    /// Adam (Kingma & Ba, 2015) with bias correction.
+    Adam {
+        /// Learning rate.
+        lr: f64,
+        /// First-moment decay.
+        beta1: f64,
+        /// Second-moment decay.
+        beta2: f64,
+        /// Numerical floor.
+        eps: f64,
+        /// Step counter.
+        t: u64,
+        /// First moments, one per layer.
+        m: Vec<Dense>,
+        /// Second moments, one per layer.
+        v: Vec<Dense>,
+    },
+}
+
+impl Optimizer {
+    /// Builds the optimizer selected by `cfg.opt`.
+    pub fn from_config(cfg: &GcnConfig) -> Self {
+        match cfg.opt {
+            OptKind::Sgd => Optimizer::Sgd { lr: cfg.lr },
+            OptKind::Adam => {
+                let zeros: Vec<Dense> = (0..cfg.layers())
+                    .map(|l| Dense::zeros(cfg.w_in(l), cfg.dims[l + 1]))
+                    .collect();
+                Optimizer::Adam {
+                    lr: cfg.lr,
+                    beta1: 0.9,
+                    beta2: 0.999,
+                    eps: 1e-8,
+                    t: 0,
+                    m: zeros.clone(),
+                    v: zeros,
+                }
+            }
+        }
+    }
+
+    /// Applies one update step.
+    ///
+    /// # Panics
+    /// Panics if `grads` doesn't match the weight layout.
+    pub fn step(&mut self, weights: &mut Weights, grads: &[Dense]) {
+        assert_eq!(grads.len(), weights.mats.len(), "gradient arity mismatch");
+        match self {
+            Optimizer::Sgd { lr } => weights.sgd_step(grads, *lr),
+            Optimizer::Adam { lr, beta1, beta2, eps, t, m, v } => {
+                *t += 1;
+                let bc1 = 1.0 - beta1.powi(*t as i32);
+                let bc2 = 1.0 - beta2.powi(*t as i32);
+                for ((w, g), (mk, vk)) in
+                    weights.mats.iter_mut().zip(grads).zip(m.iter_mut().zip(v.iter_mut()))
+                {
+                    let wd = w.data_mut();
+                    for i in 0..wd.len() {
+                        let gi = g.data()[i];
+                        let mi = *beta1 * mk.data()[i] + (1.0 - *beta1) * gi;
+                        let vi = *beta2 * vk.data()[i] + (1.0 - *beta2) * gi * gi;
+                        mk.data_mut()[i] = mi;
+                        vk.data_mut()[i] = vi;
+                        let m_hat = mi / bc1;
+                        let v_hat = vi / bc2;
+                        wd[i] -= *lr * m_hat / (v_hat.sqrt() + *eps);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(opt: OptKind) -> GcnConfig {
+        GcnConfig { dims: vec![2, 2], lr: 0.1, seed: 3, opt, arch: Default::default() }
+    }
+
+    #[test]
+    fn sgd_matches_manual_update() {
+        let c = cfg(OptKind::Sgd);
+        let mut w = Weights::init(&c);
+        let w0 = w.clone();
+        let g = Dense::from_vec(2, 2, vec![1.0, -1.0, 0.5, 0.0]);
+        let mut opt = Optimizer::from_config(&c);
+        opt.step(&mut w, &[g.clone()]);
+        for i in 0..4 {
+            assert!(
+                (w.mats[0].data()[i] - (w0.mats[0].data()[i] - 0.1 * g.data()[i])).abs()
+                    < 1e-15
+            );
+        }
+    }
+
+    #[test]
+    fn adam_first_step_is_signed_lr() {
+        // With zero state, the first Adam step is ≈ lr · sign(g).
+        let c = cfg(OptKind::Adam);
+        let mut w = Weights::init(&c);
+        let w0 = w.clone();
+        let g = Dense::from_vec(2, 2, vec![0.3, -0.7, 0.0, 2.0]);
+        let mut opt = Optimizer::from_config(&c);
+        opt.step(&mut w, &[g.clone()]);
+        for i in 0..4 {
+            let delta = w.mats[0].data()[i] - w0.mats[0].data()[i];
+            let expected = -0.1 * g.data()[i].signum();
+            if g.data()[i] != 0.0 {
+                assert!(
+                    (delta - expected).abs() < 1e-6,
+                    "i={i}: delta {delta} vs {expected}"
+                );
+            } else {
+                assert_eq!(delta, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn adam_is_deterministic() {
+        let c = cfg(OptKind::Adam);
+        let run = || {
+            let mut w = Weights::init(&c);
+            let mut opt = Optimizer::from_config(&c);
+            for step in 0..5 {
+                let g = Dense::from_fn(2, 2, |r, cc| (r + cc + step) as f64 * 0.1 - 0.2);
+                opt.step(&mut w, &[g]);
+            }
+            w
+        };
+        assert_eq!(run().max_abs_diff(&run()), 0.0);
+    }
+
+    #[test]
+    fn adam_dampens_large_gradients() {
+        // After many identical steps the Adam update magnitude stays
+        // ≈ lr regardless of gradient scale.
+        let c = cfg(OptKind::Adam);
+        let mut w = Weights::init(&c);
+        let mut opt = Optimizer::from_config(&c);
+        let g = Dense::from_vec(2, 2, vec![1000.0; 4]);
+        let before = w.mats[0].get(0, 0);
+        for _ in 0..3 {
+            opt.step(&mut w, &[g.clone()]);
+        }
+        let moved = (w.mats[0].get(0, 0) - before).abs();
+        assert!(moved < 0.35, "moved {moved} (should be ≈ 3·lr at most)");
+    }
+}

@@ -1,0 +1,303 @@
+//! Recursive bisection — the initial-partitioning method used at the
+//! coarsest level of the multilevel pipeline.
+//!
+//! k-way greedy growing has high variance: one bad seed placement mixes
+//! two communities and k-way FM (positive-gain, balance-capped) cannot
+//! pull them apart. Bisection only ever solves 2-way problems, where FM
+//! refinement is far more effective, and recursion composes the result:
+//! split `k` into `⌈k/2⌉ + ⌊k/2⌋`, bisect the graph by weight in that
+//! proportion, refine the bisection, recurse into the induced subgraphs.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::Partition;
+use crate::wgraph::WGraph;
+
+/// Recursively bisects `g` into `k` parts.
+///
+/// # Panics
+/// Panics if `k` is 0 or exceeds the vertex count.
+pub fn recursive_bisection(g: &WGraph, k: usize, seed: u64) -> Partition {
+    assert!(k >= 1 && k <= g.n(), "k={k} out of range");
+    let mut parts = vec![0u32; g.n()];
+    let all: Vec<u32> = (0..g.n() as u32).collect();
+    split(g, &all, k, 0, seed, &mut parts);
+    Partition::new(parts, k)
+}
+
+/// Assigns parts `base..base+k` to the vertex subset `verts`.
+fn split(g: &WGraph, verts: &[u32], k: usize, base: u32, seed: u64, parts: &mut [u32]) {
+    if k == 1 {
+        for &v in verts {
+            parts[v as usize] = base;
+        }
+        return;
+    }
+    let k0 = k.div_ceil(2);
+    let frac0 = k0 as f64 / k as f64;
+    let (sub, map_back) = induced_subgraph(g, verts);
+    let side = bisect(&sub, frac0, seed);
+    let left: Vec<u32> = map_back
+        .iter()
+        .zip(&side)
+        .filter(|&(_, &s)| !s)
+        .map(|(&v, _)| v)
+        .collect();
+    let right: Vec<u32> = map_back
+        .iter()
+        .zip(&side)
+        .filter(|&(_, &s)| s)
+        .map(|(&v, _)| v)
+        .collect();
+    split(g, &left, k0, base, seed.wrapping_mul(0x9E37_79B9).wrapping_add(1), parts);
+    split(
+        g,
+        &right,
+        k - k0,
+        base + k0 as u32,
+        seed.wrapping_mul(0x9E37_79B9).wrapping_add(2),
+        parts,
+    );
+}
+
+/// Builds the subgraph induced by `verts`; returns it plus the mapping
+/// from subgraph ids back to `g`'s ids.
+pub fn induced_subgraph(g: &WGraph, verts: &[u32]) -> (WGraph, Vec<u32>) {
+    let mut local = vec![u32::MAX; g.n()];
+    for (i, &v) in verts.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+    let mut vwgt = Vec::with_capacity(verts.len());
+    let mut xadj = Vec::with_capacity(verts.len() + 1);
+    let mut adjncy = Vec::new();
+    let mut adjwgt = Vec::new();
+    xadj.push(0usize);
+    for &v in verts {
+        vwgt.push(g.vwgt[v as usize]);
+        for (u, w) in g.neighbors(v as usize) {
+            let lu = local[u as usize];
+            if lu != u32::MAX {
+                adjncy.push(lu);
+                adjwgt.push(w);
+            }
+        }
+        xadj.push(adjncy.len());
+    }
+    (WGraph { vwgt, xadj, adjncy, adjwgt }, verts.to_vec())
+}
+
+/// Bisects `g` so side `false` holds ≈ `frac0` of the total vertex
+/// weight. Returns the side of every vertex. Growth by BFS from a random
+/// seed, then 2-way FM refinement with per-side weight caps; the best of
+/// a few restarts (by cut) wins.
+pub fn bisect(g: &WGraph, frac0: f64, seed: u64) -> Vec<bool> {
+    let total = g.total_vwgt();
+    let target0 = (total as f64 * frac0).round() as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(u64, Vec<bool>)> = None;
+    for _attempt in 0..3 {
+        let mut side = grow_half(g, target0, rng.gen());
+        refine_bisection(g, &mut side, target0, 8);
+        let cut = bisection_cut(g, &side);
+        if best.as_ref().is_none_or(|&(bc, _)| cut < bc) {
+            best = Some((cut, side));
+        }
+    }
+    best.expect("at least one attempt").1
+}
+
+/// BFS-grows side `false` to `target0` weight from a random seed;
+/// everything unreached is side `true`.
+fn grow_half(g: &WGraph, target0: u64, seed: u64) -> Vec<bool> {
+    let n = g.n();
+    let mut side = vec![true; n];
+    if n == 0 {
+        return side;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut weight0 = 0u64;
+    let mut queue = VecDeque::new();
+    let mut visited = vec![false; n];
+    while weight0 < target0 {
+        if queue.is_empty() {
+            // (Re)seed from an unvisited vertex; handles disconnection.
+            let Some(s) = pick_unvisited(&visited, &mut rng) else { break };
+            visited[s] = true;
+            queue.push_back(s as u32);
+        }
+        let Some(v) = queue.pop_front() else { break };
+        let v = v as usize;
+        side[v] = false;
+        weight0 += g.vwgt[v];
+        for (u, _) in g.neighbors(v) {
+            if !visited[u as usize] {
+                visited[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    side
+}
+
+fn pick_unvisited(visited: &[bool], rng: &mut StdRng) -> Option<usize> {
+    let unvisited: Vec<usize> =
+        visited.iter().enumerate().filter(|&(_, &v)| !v).map(|(i, _)| i).collect();
+    if unvisited.is_empty() {
+        None
+    } else {
+        Some(unvisited[rng.gen_range(0..unvisited.len())])
+    }
+}
+
+/// Total weight of edges crossing the bisection.
+pub fn bisection_cut(g: &WGraph, side: &[bool]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..g.n() {
+        for (u, w) in g.neighbors(v) {
+            if side[v] != side[u as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut / 2
+}
+
+/// 2-way FM: passes of positive-gain moves with per-side caps (10%
+/// slack around the targets), vertices locked after moving once per
+/// pass.
+fn refine_bisection(g: &WGraph, side: &mut [bool], target0: u64, max_passes: usize) {
+    let total = g.total_vwgt();
+    let target1 = total - target0;
+    let cap0 = target0 + total / 20;
+    let cap1 = target1 + total / 20;
+    let mut w0: u64 = (0..g.n()).filter(|&v| !side[v]).map(|v| g.vwgt[v]).sum();
+
+    for _pass in 0..max_passes {
+        let mut moved = 0usize;
+        let mut locked = vec![false; g.n()];
+        // Greedy sweep: compute gains fresh, move all strictly-improving
+        // boundary vertices once.
+        for v in 0..g.n() {
+            if locked[v] {
+                continue;
+            }
+            let mut int = 0i64;
+            let mut ext = 0i64;
+            for (u, w) in g.neighbors(v) {
+                if side[u as usize] == side[v] {
+                    int += w as i64;
+                } else {
+                    ext += w as i64;
+                }
+            }
+            if ext <= int {
+                continue;
+            }
+            // Balance check for the destination side.
+            let w1 = total - w0;
+            let (dest_w, cap) = if side[v] { (w0, cap0) } else { (w1, cap1) };
+            if dest_w + g.vwgt[v] > cap {
+                continue;
+            }
+            if side[v] {
+                w0 += g.vwgt[v];
+            } else {
+                w0 -= g.vwgt[v];
+            }
+            side[v] = !side[v];
+            locked[v] = true;
+            moved += 1;
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::edgecut;
+    use spmat::gen::{grid2d, sbm, SbmConfig};
+
+    #[test]
+    fn covers_all_vertices_with_k_parts() {
+        let g = WGraph::from_csr(&grid2d(8));
+        for k in [1usize, 2, 3, 5, 8] {
+            let p = recursive_bisection(&g, k, 7);
+            assert_eq!(p.k(), k);
+            let sizes = p.sizes();
+            assert_eq!(sizes.iter().sum::<usize>(), 64);
+            assert!(sizes.iter().all(|&s| s > 0), "k={k} sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_within_slack() {
+        let g = WGraph::from_csr(&grid2d(12));
+        let p = recursive_bisection(&g, 4, 3);
+        assert!(p.weight_imbalance(&g) < 1.35, "imbalance {}", p.weight_imbalance(&g));
+    }
+
+    #[test]
+    fn recovers_planted_bisection() {
+        let (adj, labels) = sbm(SbmConfig {
+            n: 512,
+            blocks: 2,
+            avg_degree_in: 16.0,
+            avg_degree_out: 0.25,
+            seed: 5,
+        });
+        let g = WGraph::from_csr(&adj);
+        let p = recursive_bisection(&g, 2, 11);
+        let planted = Partition::new(labels, 2);
+        assert!(
+            edgecut(&g, &p) <= 2 * edgecut(&g, &planted),
+            "cut {} vs planted {}",
+            edgecut(&g, &p),
+            edgecut(&g, &planted)
+        );
+    }
+
+    #[test]
+    fn induced_subgraph_is_consistent() {
+        let g = WGraph::from_csr(&grid2d(4));
+        let verts: Vec<u32> = (0..8).collect(); // top two rows
+        let (sub, back) = induced_subgraph(&g, &verts);
+        sub.validate();
+        assert_eq!(sub.n(), 8);
+        assert_eq!(back, verts);
+        // Internal edges of the top 2 rows of a 4-torus: horizontal 8
+        // (with wrap) + vertical 4 between the rows = 12.
+        assert_eq!(sub.total_edge_weight(), 12);
+    }
+
+    #[test]
+    fn grow_half_hits_target_weight() {
+        let g = WGraph::from_csr(&grid2d(8)); // uniform weight 5, total 320
+        let side = grow_half(&g, 160, 3);
+        let w0: u64 = (0..64).filter(|&v| !side[v]).map(|v| g.vwgt[v]).sum();
+        assert!((150..=170).contains(&w0), "w0 = {w0}");
+    }
+
+    #[test]
+    fn bisection_cut_on_grid_is_near_optimal() {
+        // Optimal bisection of a 8x8 torus cuts 2 rows of 8 edges = 16.
+        let g = WGraph::from_csr(&grid2d(8));
+        let side = bisect(&g, 0.5, 1);
+        let cut = bisection_cut(&g, &side);
+        assert!(cut <= 32, "cut {cut} far from optimal 16");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = WGraph::from_csr(&grid2d(6));
+        assert_eq!(
+            recursive_bisection(&g, 4, 9),
+            recursive_bisection(&g, 4, 9)
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Graph contraction: collapse matched vertex pairs into coarse vertices,
+//! summing vertex weights and merging parallel edges by weight.
+
+use crate::wgraph::WGraph;
+
+/// A coarsening step: the coarse graph plus the fine→coarse vertex map.
+#[derive(Clone, Debug)]
+pub struct Coarsening {
+    /// The contracted graph.
+    pub graph: WGraph,
+    /// `coarse_of[v]` — coarse vertex containing fine vertex `v`.
+    pub coarse_of: Vec<u32>,
+}
+
+/// Contracts `g` along a matching (`mate[v]` = partner or self).
+pub fn contract(g: &WGraph, mate: &[u32]) -> Coarsening {
+    let n = g.n();
+    assert_eq!(mate.len(), n);
+
+    // Assign coarse ids: each pair gets one id (owned by the smaller
+    // endpoint), singletons keep their own.
+    let mut coarse_of = vec![u32::MAX; n];
+    let mut nc = 0u32;
+    for v in 0..n {
+        let m = mate[v] as usize;
+        if m < v {
+            continue; // the partner already claimed an id
+        }
+        coarse_of[v] = nc;
+        if m != v {
+            coarse_of[m] = nc;
+        }
+        nc += 1;
+    }
+    let nc = nc as usize;
+
+    // Accumulate coarse vertex weights.
+    let mut vwgt = vec![0u64; nc];
+    for v in 0..n {
+        vwgt[coarse_of[v] as usize] += g.vwgt[v];
+    }
+
+    // Merge edges with a timestamped scratch accumulator.
+    let mut xadj = Vec::with_capacity(nc + 1);
+    let mut adjncy: Vec<u32> = Vec::new();
+    let mut adjwgt: Vec<u64> = Vec::new();
+    xadj.push(0usize);
+
+    let mut stamp = vec![u32::MAX; nc];
+    let mut slot = vec![0usize; nc];
+    // members[c] listed implicitly: iterate fine vertices grouped by id.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); nc];
+    for v in 0..n {
+        members[coarse_of[v] as usize].push(v as u32);
+    }
+
+    for (c, mem) in members.iter().enumerate() {
+        let start = adjncy.len();
+        for &v in mem {
+            for (u, w) in g.neighbors(v as usize) {
+                let cu = coarse_of[u as usize];
+                if cu as usize == c {
+                    continue; // internal edge disappears
+                }
+                if stamp[cu as usize] == c as u32 {
+                    adjwgt[slot[cu as usize]] += w;
+                } else {
+                    stamp[cu as usize] = c as u32;
+                    slot[cu as usize] = adjncy.len();
+                    adjncy.push(cu);
+                    adjwgt.push(w);
+                }
+            }
+        }
+        // Keep neighbor lists sorted for reproducibility.
+        let mut pairs: Vec<(u32, u64)> = adjncy[start..]
+            .iter()
+            .copied()
+            .zip(adjwgt[start..].iter().copied())
+            .collect();
+        pairs.sort_unstable_by_key(|&(u, _)| u);
+        for (i, (u, w)) in pairs.into_iter().enumerate() {
+            adjncy[start + i] = u;
+            adjwgt[start + i] = w;
+        }
+        xadj.push(adjncy.len());
+    }
+
+    Coarsening { graph: WGraph { vwgt, xadj, adjncy, adjwgt }, coarse_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::heavy_edge_matching;
+    use spmat::gen::{erdos_renyi, grid2d};
+
+    #[test]
+    fn contraction_preserves_total_vertex_weight() {
+        let g = WGraph::from_csr(&grid2d(6));
+        let mate = heavy_edge_matching(&g, 1);
+        let c = contract(&g, &mate);
+        c.graph.validate();
+        assert_eq!(c.graph.total_vwgt(), g.total_vwgt());
+    }
+
+    #[test]
+    fn contraction_preserves_cross_pair_edge_weight() {
+        // Total edge weight = internal (vanished) + external (kept).
+        let g = WGraph::from_csr(&erdos_renyi(300, 1500, 2));
+        let mate = heavy_edge_matching(&g, 3);
+        let c = contract(&g, &mate);
+        c.graph.validate();
+        let mut internal = 0u64;
+        for v in 0..g.n() {
+            for (u, w) in g.neighbors(v) {
+                if mate[v] == u {
+                    internal += w;
+                }
+            }
+        }
+        assert_eq!(
+            c.graph.total_edge_weight(),
+            g.total_edge_weight() - internal / 2
+        );
+    }
+
+    #[test]
+    fn pair_contraction_counts() {
+        let g = WGraph::from_csr(&grid2d(4));
+        let mate = heavy_edge_matching(&g, 5);
+        let c = contract(&g, &mate);
+        let pairs = (0..g.n()).filter(|&v| (mate[v] as usize) != v).count() / 2;
+        assert_eq!(c.graph.n(), g.n() - pairs);
+    }
+
+    #[test]
+    fn coarse_map_is_total_and_in_range() {
+        let g = WGraph::from_csr(&erdos_renyi(100, 300, 4));
+        let mate = heavy_edge_matching(&g, 6);
+        let c = contract(&g, &mate);
+        for v in 0..g.n() {
+            assert!((c.coarse_of[v] as usize) < c.graph.n());
+        }
+        // Matched pairs share a coarse vertex.
+        for v in 0..g.n() {
+            assert_eq!(c.coarse_of[v], c.coarse_of[mate[v] as usize]);
+        }
+    }
+
+    #[test]
+    fn empty_matching_is_isomorphic_copy() {
+        let g = WGraph::from_csr(&grid2d(3));
+        let mate: Vec<u32> = (0..g.n() as u32).collect();
+        let c = contract(&g, &mate);
+        assert_eq!(c.graph.n(), g.n());
+        assert_eq!(c.graph.total_edge_weight(), g.total_edge_weight());
+    }
+}

@@ -1,0 +1,226 @@
+//! Initial partitioning at the coarsest level: greedy graph growing
+//! (BFS region growing to a weight target), plus an explicit balance
+//! repair used throughout the pipeline.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::types::Partition;
+use crate::wgraph::WGraph;
+
+/// Grows `k` parts by BFS from random seeds, each capped near the average
+/// part weight. Vertices unreached by any growth (disconnected leftovers)
+/// go to the currently lightest part.
+pub fn greedy_growing(g: &WGraph, k: usize, seed: u64) -> Partition {
+    let n = g.n();
+    assert!(k >= 1 && n >= k, "need at least one vertex per part");
+    let target = g.total_vwgt() as f64 / k as f64;
+
+    let mut parts = vec![u32::MAX; n];
+    let mut weights = vec![0u64; k];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+    let mut cursor = 0usize;
+
+    for part in 0..k.saturating_sub(1) {
+        // Find an unassigned seed.
+        while cursor < n && parts[order[cursor] as usize] != u32::MAX {
+            cursor += 1;
+        }
+        if cursor >= n {
+            break;
+        }
+        let root = order[cursor] as usize;
+        let mut queue = VecDeque::new();
+        queue.push_back(root as u32);
+        parts[root] = part as u32;
+        weights[part] += g.vwgt[root];
+        while let Some(v) = queue.pop_front() {
+            if weights[part] as f64 >= target {
+                break;
+            }
+            for (u, _) in g.neighbors(v as usize) {
+                let u = u as usize;
+                if parts[u] == u32::MAX && (weights[part] as f64) < target {
+                    parts[u] = part as u32;
+                    weights[part] += g.vwgt[u];
+                    queue.push_back(u as u32);
+                }
+            }
+        }
+    }
+    // Everything unassigned goes to the last part first, then rebalance
+    // spreads leftovers if the graph was disconnected.
+    for v in 0..n {
+        if parts[v] == u32::MAX {
+            let last = k - 1;
+            parts[v] = last as u32;
+            weights[last] += g.vwgt[v];
+        }
+    }
+    let mut p = Partition::new(parts, k);
+    rebalance(g, &mut p, 1.10);
+    p
+}
+
+/// Moves vertices out of overweight parts until every part weight is at
+/// most `max_ratio · average` (or a move budget runs out). Moves are
+/// chosen to damage the cut as little as possible: boundary vertices go
+/// to the *adjacent* part they are most connected to (among parts with
+/// room); only when a part has no movable boundary vertex does a vertex
+/// fall back to the lightest part.
+pub fn rebalance(g: &WGraph, p: &mut Partition, max_ratio: f64) {
+    let k = p.k();
+    if k == 1 {
+        return;
+    }
+    let avg = g.total_vwgt() as f64 / k as f64;
+    let cap = (avg * max_ratio).ceil() as u64;
+    let mut weights = p.weights(g);
+
+    // Hard bound: a vertex heavier than the cap itself could ping-pong
+    // forever; 2n moves is more than any convergent repair needs.
+    let mut budget = 2 * g.n();
+    // Passes: each sweeps all vertices once, moving out of overweight
+    // parts as encountered. A few passes suffice; the budget is the
+    // emergency brake.
+    for _pass in 0..6 {
+        if weights.iter().all(|&w| w <= cap) || budget == 0 {
+            break;
+        }
+        // Phase 1: gain-ordered boundary moves. Collect candidates
+        // (gain, v, dest) where dest is v's best-connected part with
+        // room, then apply from best gain down while parts remain
+        // overweight.
+        let mut cands: Vec<(i64, u32, u32)> = Vec::new();
+        for v in 0..g.n() {
+            let a = p.part(v);
+            if weights[a] <= cap {
+                continue;
+            }
+            let mut internal = 0i64;
+            let mut per_part: Vec<(u32, i64)> = Vec::with_capacity(4);
+            for (u, w) in g.neighbors(v) {
+                let q = p.part(u as usize) as u32;
+                if q as usize == a {
+                    internal += w as i64;
+                } else {
+                    match per_part.iter_mut().find(|e| e.0 == q) {
+                        Some(e) => e.1 += w as i64,
+                        None => per_part.push((q, w as i64)),
+                    }
+                }
+            }
+            if let Some(&(q, ext)) = per_part.iter().max_by_key(|&&(_, w)| w) {
+                cands.push((ext - internal, v as u32, q));
+            }
+        }
+        cands.sort_unstable_by_key(|&(gain, _, _)| std::cmp::Reverse(gain));
+        for (_, v, q) in cands {
+            let (v, q) = (v as usize, q as usize);
+            let a = p.part(v);
+            if weights[a] <= cap || weights[q] + g.vwgt[v] > cap || budget == 0 {
+                continue;
+            }
+            weights[a] -= g.vwgt[v];
+            weights[q] += g.vwgt[v];
+            p.parts_mut()[v] = q as u32;
+            budget -= 1;
+        }
+        // Phase 2: any part still overweight sheds interior vertices to
+        // the lightest part with room (cut-damaging but necessary).
+        for v in 0..g.n() {
+            if budget == 0 {
+                break;
+            }
+            let a = p.part(v);
+            if weights[a] <= cap {
+                continue;
+            }
+            let light = (0..k).min_by_key(|&q| weights[q]).expect("k >= 1");
+            if light == a || weights[light] + g.vwgt[v] > cap {
+                continue;
+            }
+            weights[a] -= g.vwgt[v];
+            weights[light] += g.vwgt[v];
+            p.parts_mut()[v] = light as u32;
+            budget -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::edgecut;
+    use spmat::gen::{erdos_renyi, grid2d, sbm, SbmConfig};
+
+    #[test]
+    fn covers_all_vertices() {
+        let g = WGraph::from_csr(&grid2d(8));
+        let p = greedy_growing(&g, 4, 1);
+        assert_eq!(p.n(), 64);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 64);
+        assert!(p.sizes().iter().all(|&s| s > 0), "empty part: {:?}", p.sizes());
+    }
+
+    #[test]
+    fn balance_within_tolerance() {
+        let g = WGraph::from_csr(&erdos_renyi(400, 1600, 2));
+        let p = greedy_growing(&g, 8, 3);
+        assert!(p.weight_imbalance(&g) <= 1.25, "imbalance {}", p.weight_imbalance(&g));
+    }
+
+    #[test]
+    fn growing_beats_random_on_community_graph() {
+        let (adj, _) = sbm(SbmConfig {
+            n: 400,
+            blocks: 4,
+            avg_degree_in: 16.0,
+            avg_degree_out: 0.5,
+            seed: 5,
+        });
+        let g = WGraph::from_csr(&adj);
+        let grown = greedy_growing(&g, 4, 7);
+        // Random assignment cuts ~3/4 of edges; BFS growth should do
+        // noticeably better on a strong-community graph.
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let random = Partition::new(
+            (0..400).map(|_| rng.gen_range(0..4u32)).collect::<Vec<_>>(),
+            4,
+        );
+        assert!(edgecut(&g, &grown) < edgecut(&g, &random) / 2);
+    }
+
+    #[test]
+    fn rebalance_enforces_cap() {
+        let g = WGraph::from_csr(&grid2d(6)); // 36 vertices, uniform weight 5
+        let mut p = Partition::new(
+            (0..36).map(|v| u32::from(v >= 34)).collect::<Vec<_>>(),
+            2,
+        );
+        assert!(p.weight_imbalance(&g) > 1.8);
+        rebalance(&g, &mut p, 1.05);
+        assert!(p.weight_imbalance(&g) <= 1.06, "imbalance {}", p.weight_imbalance(&g));
+    }
+
+    #[test]
+    fn single_part_is_trivial() {
+        let g = WGraph::from_csr(&grid2d(3));
+        let p = greedy_growing(&g, 1, 1);
+        assert!(p.parts().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let g = WGraph::from_csr(&grid2d(2));
+        let p = greedy_growing(&g, 4, 2);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 4);
+        assert!(p.sizes().iter().all(|&s| s >= 1), "sizes {:?}", p.sizes());
+    }
+}

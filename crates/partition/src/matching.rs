@@ -1,0 +1,124 @@
+//! Heavy-edge matching — the coarsening heuristic of METIS-style
+//! multilevel partitioners. Visiting vertices in random order, each
+//! unmatched vertex pairs with its unmatched neighbor of maximum edge
+//! weight; ties break toward lower degree to keep coarse graphs sparse.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::wgraph::WGraph;
+
+/// Computes a heavy-edge matching. Returns `mate[v]`: the matched partner
+/// of `v`, or `v` itself when unmatched.
+pub fn heavy_edge_matching(g: &WGraph, seed: u64) -> Vec<u32> {
+    let n = g.n();
+    let mut mate: Vec<u32> = (0..n as u32).collect();
+    let mut matched = vec![false; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    for &v in &order {
+        let v = v as usize;
+        if matched[v] {
+            continue;
+        }
+        let mut best: Option<(u32, u64)> = None;
+        for (u, w) in g.neighbors(v) {
+            if matched[u as usize] {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bu, bw)) => {
+                    w > bw || (w == bw && g.degree(u as usize) < g.degree(bu as usize))
+                }
+            };
+            if better {
+                best = Some((u, w));
+            }
+        }
+        if let Some((u, _)) = best {
+            matched[v] = true;
+            matched[u as usize] = true;
+            mate[v] = u;
+            mate[u as usize] = v as u32;
+        }
+    }
+    mate
+}
+
+/// Fraction of vertices that found a partner.
+pub fn matched_fraction(mate: &[u32]) -> f64 {
+    if mate.is_empty() {
+        return 0.0;
+    }
+    let matched = mate.iter().enumerate().filter(|&(v, &m)| m as usize != v).count();
+    matched as f64 / mate.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmat::gen::{erdos_renyi, grid2d};
+
+    fn check_matching(g: &WGraph, mate: &[u32]) {
+        for v in 0..g.n() {
+            let m = mate[v] as usize;
+            if m != v {
+                assert_eq!(mate[m] as usize, v, "matching not symmetric at {v}");
+                assert!(
+                    g.neighbors(v).any(|(u, _)| u as usize == m),
+                    "matched non-neighbors {v}, {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn valid_on_grid() {
+        let g = WGraph::from_csr(&grid2d(8));
+        let mate = heavy_edge_matching(&g, 1);
+        check_matching(&g, &mate);
+        // Grids have perfect matchings; the greedy pass should find most.
+        assert!(matched_fraction(&mate) > 0.8);
+    }
+
+    #[test]
+    fn valid_on_random_graph() {
+        let g = WGraph::from_csr(&erdos_renyi(500, 2000, 2));
+        let mate = heavy_edge_matching(&g, 3);
+        check_matching(&g, &mate);
+        assert!(matched_fraction(&mate) > 0.5);
+    }
+
+    #[test]
+    fn prefers_heavy_edges() {
+        // Triangle with one heavy edge 0-1: the heavy edge must be matched.
+        let mut g = WGraph::from_csr(&erdos_renyi(3, 0, 0));
+        g.xadj = vec![0, 2, 4, 6];
+        g.adjncy = vec![1, 2, 0, 2, 0, 1];
+        g.adjwgt = vec![10, 1, 10, 1, 1, 1];
+        g.vwgt = vec![1, 1, 1];
+        g.validate();
+        let mate = heavy_edge_matching(&g, 5);
+        assert_eq!(mate[0], 1);
+        assert_eq!(mate[1], 0);
+        assert_eq!(mate[2], 2);
+    }
+
+    #[test]
+    fn isolated_vertices_stay_unmatched() {
+        let g = WGraph::from_csr(&spmat::Csr::empty(4, 4));
+        let mate = heavy_edge_matching(&g, 7);
+        assert_eq!(mate, vec![0, 1, 2, 3]);
+        assert_eq!(matched_fraction(&mate), 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = WGraph::from_csr(&erdos_renyi(200, 800, 4));
+        assert_eq!(heavy_edge_matching(&g, 9), heavy_edge_matching(&g, 9));
+    }
+}

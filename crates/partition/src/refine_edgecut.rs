@@ -1,0 +1,205 @@
+//! FM-style boundary refinement minimizing **total edgecut** under a
+//! balance constraint — the refinement METIS performs, and the mode this
+//! workspace labels "SA+METIS".
+//!
+//! Pass structure: collect boundary vertices, push (gain, vertex, target)
+//! moves into a max-heap, pop lazily (revalidating stale gains), apply
+//! positive-gain moves that respect the weight cap; repeat until a pass
+//! makes no move.
+
+use std::collections::BinaryHeap;
+
+use crate::types::Partition;
+use crate::wgraph::WGraph;
+
+/// Configuration for edgecut refinement.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgecutRefineConfig {
+    /// Maximum part weight as a multiple of the average.
+    pub max_ratio: f64,
+    /// Maximum refinement passes.
+    pub max_passes: usize,
+}
+
+impl Default for EdgecutRefineConfig {
+    fn default() -> Self {
+        Self { max_ratio: 1.10, max_passes: 8 }
+    }
+}
+
+/// Edge weight from `v` into each part it touches; returns
+/// (weight into own part, best foreign part and its weight).
+fn connectivity(
+    g: &WGraph,
+    p: &Partition,
+    v: usize,
+    scratch: &mut Vec<u64>,
+    touched: &mut Vec<u32>,
+) -> (u64, Option<(usize, u64)>) {
+    let own = p.part(v);
+    let mut internal = 0u64;
+    for (u, w) in g.neighbors(v) {
+        let pu = p.part(u as usize);
+        if pu == own {
+            internal += w;
+        } else {
+            if scratch[pu] == 0 {
+                touched.push(pu as u32);
+            }
+            scratch[pu] += w;
+        }
+    }
+    let mut best: Option<(usize, u64)> = None;
+    for &q in touched.iter() {
+        let q = q as usize;
+        if best.is_none_or(|(_, bw)| scratch[q] > bw) {
+            best = Some((q, scratch[q]));
+        }
+        scratch[q] = 0;
+    }
+    touched.clear();
+    (internal, best)
+}
+
+/// Refines `p` in place; returns the total number of applied moves.
+pub fn refine_edgecut(g: &WGraph, p: &mut Partition, cfg: EdgecutRefineConfig) -> usize {
+    let k = p.k();
+    if k == 1 {
+        return 0;
+    }
+    let cap = (g.total_vwgt() as f64 / k as f64 * cfg.max_ratio).ceil() as u64;
+    let mut weights = p.weights(g);
+    let mut scratch = vec![0u64; k];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut total_moves = 0usize;
+
+    for _pass in 0..cfg.max_passes {
+        // Gather candidate moves from the current boundary.
+        let mut heap: BinaryHeap<(i64, u32, u32)> = BinaryHeap::new();
+        for v in 0..g.n() {
+            let (internal, best) = connectivity(g, p, v, &mut scratch, &mut touched);
+            if let Some((q, external)) = best {
+                let gain = external as i64 - internal as i64;
+                if gain > 0 {
+                    heap.push((gain, v as u32, q as u32));
+                }
+            }
+        }
+        let mut moves_this_pass = 0usize;
+        // Classic FM locking: a vertex moves at most once per pass, which
+        // (with strictly positive gains) guarantees termination.
+        let mut locked = vec![false; g.n()];
+        while let Some((stale_gain, v, q)) = heap.pop() {
+            let v = v as usize;
+            let q = q as usize;
+            if locked[v] {
+                continue;
+            }
+            // Lazy revalidation: neighborhood may have changed since push.
+            let (internal, best) = connectivity(g, p, v, &mut scratch, &mut touched);
+            let Some((cur_q, external)) = best else { continue };
+            let gain = external as i64 - internal as i64;
+            if cur_q != q || gain != stale_gain {
+                if gain > 0 {
+                    heap.push((gain, v as u32, cur_q as u32));
+                }
+                continue;
+            }
+            if gain <= 0 {
+                continue;
+            }
+            let own = p.part(v);
+            if weights[q] + g.vwgt[v] > cap {
+                continue; // would break balance
+            }
+            weights[own] -= g.vwgt[v];
+            weights[q] += g.vwgt[v];
+            p.parts_mut()[v] = q as u32;
+            locked[v] = true;
+            moves_this_pass += 1;
+        }
+        total_moves += moves_this_pass;
+        if moves_this_pass == 0 {
+            break;
+        }
+    }
+    total_moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::initial::greedy_growing;
+    use crate::metrics::edgecut;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spmat::gen::{grid2d, sbm, SbmConfig};
+
+    #[test]
+    fn never_increases_cut() {
+        let g = WGraph::from_csr(&grid2d(10));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = Partition::new(
+            (0..100).map(|_| rng.gen_range(0..4u32)).collect::<Vec<_>>(),
+            4,
+        );
+        let before = edgecut(&g, &p);
+        refine_edgecut(&g, &mut p, EdgecutRefineConfig::default());
+        assert!(edgecut(&g, &p) <= before);
+    }
+
+    #[test]
+    fn recovers_planted_communities() {
+        let (adj, labels) = sbm(SbmConfig {
+            n: 300,
+            blocks: 3,
+            avg_degree_in: 20.0,
+            avg_degree_out: 0.5,
+            seed: 2,
+        });
+        let g = WGraph::from_csr(&adj);
+        // Start from a grown partition, refine, compare to planted cut.
+        let mut p = greedy_growing(&g, 3, 3);
+        refine_edgecut(&g, &mut p, EdgecutRefineConfig::default());
+        let planted = Partition::new(labels, 3);
+        let refined_cut = edgecut(&g, &p);
+        let planted_cut = edgecut(&g, &planted);
+        // Within 3x of the planted cut is a decisive community recovery
+        // (random is ~60x worse here).
+        assert!(
+            refined_cut <= planted_cut * 3,
+            "refined {refined_cut} vs planted {planted_cut}"
+        );
+    }
+
+    #[test]
+    fn respects_balance_cap() {
+        let g = WGraph::from_csr(&grid2d(8));
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p = Partition::new(
+            (0..64).map(|_| rng.gen_range(0..4u32)).collect::<Vec<_>>(),
+            4,
+        );
+        let cfg = EdgecutRefineConfig { max_ratio: 1.10, max_passes: 8 };
+        refine_edgecut(&g, &mut p, cfg);
+        assert!(p.weight_imbalance(&g) <= 1.40, "imbalance {}", p.weight_imbalance(&g));
+    }
+
+    #[test]
+    fn converged_partition_is_fixed_point() {
+        let g = WGraph::from_csr(&grid2d(6));
+        let mut p = greedy_growing(&g, 2, 5);
+        refine_edgecut(&g, &mut p, EdgecutRefineConfig::default());
+        let snapshot = p.clone();
+        let moves = refine_edgecut(&g, &mut p, EdgecutRefineConfig::default());
+        assert_eq!(moves, 0);
+        assert_eq!(p, snapshot);
+    }
+
+    #[test]
+    fn single_part_noop() {
+        let g = WGraph::from_csr(&grid2d(4));
+        let mut p = Partition::new(vec![0; 16], 1);
+        assert_eq!(refine_edgecut(&g, &mut p, EdgecutRefineConfig::default()), 0);
+    }
+}

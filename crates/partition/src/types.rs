@@ -1,0 +1,179 @@
+//! The partition assignment type and its derived distributions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::wgraph::WGraph;
+
+/// A k-way vertex assignment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    parts: Vec<u32>,
+    k: usize,
+}
+
+impl Partition {
+    /// Wraps an assignment vector.
+    ///
+    /// # Panics
+    /// Panics if any part id is `≥ k`.
+    pub fn new(parts: Vec<u32>, k: usize) -> Self {
+        assert!(k >= 1);
+        assert!(parts.iter().all(|&p| (p as usize) < k), "part id out of range");
+        Self { parts, k }
+    }
+
+    /// Contiguous block partition: first `⌈n/k⌉` vertices to part 0, etc.
+    pub fn block(n: usize, k: usize) -> Self {
+        let bounds = spmat::gen::sbm::block_bounds(n, k);
+        let mut parts = vec![0u32; n];
+        for (b, w) in bounds.windows(2).enumerate() {
+            for v in w[0]..w[1] {
+                parts[v] = b as u32;
+            }
+        }
+        Self { parts, k }
+    }
+
+    /// Number of parts.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Part of vertex `v`.
+    #[inline]
+    pub fn part(&self, v: usize) -> usize {
+        self.parts[v] as usize
+    }
+
+    /// The raw assignment slice.
+    pub fn parts(&self) -> &[u32] {
+        &self.parts
+    }
+
+    /// Mutable assignment access (refinement passes).
+    pub(crate) fn parts_mut(&mut self) -> &mut [u32] {
+        &mut self.parts
+    }
+
+    /// Vertex count per part.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.k];
+        for &p in &self.parts {
+            s[p as usize] += 1;
+        }
+        s
+    }
+
+    /// Sum of vertex weights per part.
+    pub fn weights(&self, g: &WGraph) -> Vec<u64> {
+        let mut w = vec![0u64; self.k];
+        for (v, &p) in self.parts.iter().enumerate() {
+            w[p as usize] += g.vwgt[v];
+        }
+        w
+    }
+
+    /// Load imbalance of the weighted parts: `max/avg`.
+    pub fn weight_imbalance(&self, g: &WGraph) -> f64 {
+        let w = self.weights(g);
+        let max = *w.iter().max().unwrap() as f64;
+        let avg = g.total_vwgt() as f64 / self.k as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+
+    /// Builds the vertex relabeling (old → new) that makes every part's
+    /// vertices contiguous, parts in ascending order, preserving relative
+    /// order within a part. Feed this to
+    /// [`spmat::Csr::permute_symmetric`] / [`spmat::Dense::permute_rows`].
+    pub fn to_permutation(&self) -> Vec<u32> {
+        let sizes = self.sizes();
+        let mut next: Vec<u32> = Vec::with_capacity(self.k);
+        let mut acc = 0u32;
+        for s in &sizes {
+            next.push(acc);
+            acc += *s as u32;
+        }
+        let mut perm = vec![0u32; self.n()];
+        for (v, &p) in self.parts.iter().enumerate() {
+            perm[v] = next[p as usize];
+            next[p as usize] += 1;
+        }
+        perm
+    }
+
+    /// Part boundaries after applying [`Partition::to_permutation`]:
+    /// `k + 1` offsets, part `i` owning new ids `bounds[i]..bounds[i+1]`.
+    pub fn block_bounds(&self) -> Vec<usize> {
+        let sizes = self.sizes();
+        let mut bounds = Vec::with_capacity(self.k + 1);
+        bounds.push(0usize);
+        let mut acc = 0usize;
+        for s in sizes {
+            acc += s;
+            bounds.push(acc);
+        }
+        bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmat::gen::grid2d;
+
+    #[test]
+    fn block_partition_is_contiguous_and_even() {
+        let p = Partition::block(10, 3);
+        assert_eq!(p.sizes(), vec![4, 3, 3]);
+        assert_eq!(p.part(0), 0);
+        assert_eq!(p.part(9), 2);
+    }
+
+    #[test]
+    fn permutation_groups_parts_contiguously() {
+        let p = Partition::new(vec![1, 0, 1, 0, 2], 3);
+        let perm = p.to_permutation();
+        // Part 0 = {1, 3} → new ids 0, 1; part 1 = {0, 2} → 2, 3; part 2 = {4} → 4.
+        assert_eq!(perm, vec![2, 0, 3, 1, 4]);
+        assert_eq!(p.block_bounds(), vec![0, 2, 4, 5]);
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        let p = Partition::new(vec![2, 2, 0, 1, 0, 1, 2], 3);
+        let perm = p.to_permutation();
+        let mut seen = vec![false; perm.len()];
+        for &x in &perm {
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+    }
+
+    #[test]
+    fn weights_and_imbalance() {
+        let g = WGraph::from_csr(&grid2d(4)); // uniform vwgt = 5
+        let balanced = Partition::block(16, 4);
+        assert!((balanced.weight_imbalance(&g) - 1.0).abs() < 1e-12);
+        let skewed = Partition::new(
+            (0..16).map(|v| u32::from(v == 0)).collect::<Vec<_>>(),
+            2,
+        );
+        // Part 1 has one vertex (weight 5), part 0 has 75; avg 40 → 75/40.
+        assert!((skewed.weight_imbalance(&g) - 75.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "part id out of range")]
+    fn invalid_part_id_panics() {
+        Partition::new(vec![0, 3], 3);
+    }
+}

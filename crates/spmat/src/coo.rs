@@ -1,0 +1,176 @@
+//! Coordinate-format (triplet) sparse matrix builder.
+//!
+//! `Coo` is the mutable staging format: generators push `(row, col, val)`
+//! triplets, then [`Coo::to_csr`] sorts, deduplicates (summing values of
+//! duplicate coordinates) and produces an immutable [`crate::Csr`].
+
+use crate::csr::Csr;
+
+/// A sparse matrix in coordinate (triplet) format.
+///
+/// Invariants are intentionally loose — entries may be unsorted and may
+/// contain duplicates until [`Coo::to_csr`] canonicalizes them.
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Coo {
+    /// Creates an empty `rows × cols` COO matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension exceeds `u32::MAX`, the index width used
+    /// throughout this crate to halve index memory traffic.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize);
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// Creates an empty COO with capacity for `nnz` entries.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        let mut c = Self::new(rows, cols);
+        c.entries.reserve(nnz);
+        c
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (before deduplication).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends a triplet.
+    ///
+    /// # Panics
+    /// Panics if `row`/`col` are out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        assert!(col < self.cols, "col {col} out of bounds ({})", self.cols);
+        self.entries.push((row as u32, col as u32, val));
+    }
+
+    /// Appends the mirror of every off-diagonal triplet, making the pattern
+    /// symmetric. Values are mirrored as-is; duplicates merge in `to_csr`.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.rows, self.cols, "symmetrize requires a square matrix");
+        let n = self.entries.len();
+        for i in 0..n {
+            let (r, c, v) = self.entries[i];
+            if r != c {
+                self.entries.push((c, r, v));
+            }
+        }
+    }
+
+    /// Iterates over raw (possibly duplicated) triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
+    /// Converts to CSR, sorting by `(row, col)` and summing duplicates.
+    pub fn to_csr(&self) -> Csr {
+        let mut entries = self.entries.clone();
+        entries.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+
+        let mut indptr = vec![0u64; self.rows + 1];
+        for &(r, _, _) in &merged {
+            indptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            indptr[i + 1] += indptr[i];
+        }
+        let indices = merged.iter().map(|e| e.1).collect();
+        let values = merged.iter().map(|e| e.2).collect();
+        Csr::from_raw_parts(self.rows, self.cols, indptr, indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let coo = Coo::new(3, 4);
+        let csr = coo.to_csr();
+        assert_eq!(csr.rows(), 3);
+        assert_eq!(csr.cols(), 4);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.5);
+        coo.push(1, 0, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 1), Some(3.5));
+        assert_eq!(csr.get(1, 0), Some(1.0));
+        assert_eq!(csr.get(0, 0), None);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(2, 2, 1.0);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(0, 0, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.row_cols(0), &[0, 1]);
+        assert_eq!(csr.row_cols(1), &[0]);
+        assert_eq!(csr.row_cols(2), &[2]);
+    }
+
+    #[test]
+    fn symmetrize_mirrors_offdiagonal() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 2.0);
+        coo.push(2, 2, 5.0);
+        coo.symmetrize();
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 1), Some(2.0));
+        assert_eq!(csr.get(1, 0), Some(2.0));
+        assert_eq!(csr.get(2, 2), Some(5.0)); // diagonal not doubled
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn empty_rows_have_valid_ptrs() {
+        let mut coo = Coo::new(5, 5);
+        coo.push(4, 0, 1.0);
+        let csr = coo.to_csr();
+        for i in 0..4 {
+            assert_eq!(csr.row_cols(i).len(), 0);
+        }
+        assert_eq!(csr.row_cols(4), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+}

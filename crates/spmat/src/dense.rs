@@ -1,0 +1,387 @@
+//! Row-major dense matrices.
+//!
+//! `Dense` stores activations (`H`, tall-skinny `n × f`) and weights
+//! (`W`, small `f × f'`). Row-major layout matches the access pattern of
+//! both the SpMM kernels (stream rows of `H`) and row gather/scatter for
+//! communication.
+
+use rand::Rng;
+
+/// A row-major dense `rows × cols` matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dense {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Dense {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a generator function over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Glorot/Xavier-uniform initialization, the standard GCN weight init.
+    pub fn glorot(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let limit = (6.0 / (rows + cols) as f64).sqrt();
+        Self::from_fn(rows, cols, |_, _| rng.gen_range(-limit..limit))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `C = self · other` (standard GEMM, `m×k · k×n`).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Dense) -> Dense {
+        assert_eq!(self.cols, other.rows, "gemm inner dimension mismatch");
+        let mut out = Dense::zeros(self.rows, other.cols);
+        // ikj loop order: streams `other` and `out` rows, vectorizes well.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `C = selfᵀ · other` without materializing the transpose
+    /// (`k×m` result from `m×?` inputs). Used for weight gradients
+    /// `Y = Hᵀ(AG)`.
+    pub fn transpose_matmul(&self, other: &Dense) -> Dense {
+        assert_eq!(self.rows, other.rows, "transpose_matmul row mismatch");
+        let mut out = Dense::zeros(self.cols, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let b_row = other.row(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `C = self · otherᵀ` without materializing the transpose. Used for
+    /// gradient propagation `G W ᵀ`.
+    pub fn matmul_transpose(&self, other: &Dense) -> Dense {
+        assert_eq!(self.cols, other.cols, "matmul_transpose col mismatch");
+        let mut out = Dense::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Materialized transpose.
+    pub fn transpose(&self) -> Dense {
+        let mut out = Dense::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &Dense) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self -= scale * other` (SGD update).
+    pub fn sub_scaled_assign(&mut self, other: &Dense, scale: f64) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a -= scale * b;
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale(&mut self, s: f64) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Element-wise product `self ⊙ other` (Hadamard).
+    pub fn hadamard(&self, other: &Dense) -> Dense {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect();
+        Dense { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&self) -> Dense {
+        let data = self.data.iter().map(|&v| v.max(0.0)).collect();
+        Dense { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise ReLU derivative (1 where the input was positive).
+    pub fn relu_prime(&self) -> Dense {
+        let data = self.data.iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect();
+        Dense { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Gathers the listed rows into a new matrix (communication packing:
+    /// the rows of `H` a peer asked for).
+    pub fn gather_rows(&self, rows: &[u32]) -> Dense {
+        let mut out = Dense::zeros(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r as usize));
+        }
+        out
+    }
+
+    /// Scatters `src`'s rows into this matrix at the listed positions
+    /// (communication unpacking).
+    pub fn scatter_rows(&mut self, rows: &[u32], src: &Dense) {
+        assert_eq!(rows.len(), src.rows);
+        assert_eq!(self.cols, src.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            self.row_mut(r as usize).copy_from_slice(src.row(i));
+        }
+    }
+
+    /// Extracts rows `lo..hi`.
+    pub fn row_slice(&self, lo: usize, hi: usize) -> Dense {
+        assert!(lo <= hi && hi <= self.rows);
+        Dense {
+            rows: hi - lo,
+            cols: self.cols,
+            data: self.data[lo * self.cols..hi * self.cols].to_vec(),
+        }
+    }
+
+    /// Vertically concatenates blocks with equal column counts.
+    pub fn vstack(blocks: &[&Dense]) -> Dense {
+        assert!(!blocks.is_empty());
+        let cols = blocks[0].cols;
+        let rows = blocks.iter().map(|b| b.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for b in blocks {
+            assert_eq!(b.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&b.data);
+        }
+        Dense { rows, cols, data }
+    }
+
+    /// Applies a row permutation: `out[perm[i]] = self[i]` (old → new),
+    /// matching [`crate::Csr::permute_symmetric`] so features follow their
+    /// relabeled vertices.
+    pub fn permute_rows(&self, perm: &[u32]) -> Dense {
+        assert_eq!(perm.len(), self.rows);
+        let mut out = Dense::zeros(self.rows, self.cols);
+        for (old, &new) in perm.iter().enumerate() {
+            out.row_mut(new as usize).copy_from_slice(self.row(old));
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Max absolute element-wise difference; `None` on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Dense) -> Option<f64> {
+        if (self.rows, self.cols) != (other.rows, other.cols) {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| (a - b).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+
+    /// True when all elements differ by at most `tol`.
+    pub fn approx_eq(&self, other: &Dense, tol: f64) -> bool {
+        self.max_abs_diff(other).is_some_and(|d| d <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn m(rows: usize, cols: usize, vals: &[f64]) -> Dense {
+        Dense::from_vec(rows, cols, vals.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Dense::glorot(5, 3, &mut rng);
+        let b = Dense::glorot(5, 4, &mut rng);
+        let fast = a.transpose_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert!(fast.approx_eq(&explicit, 1e-12));
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Dense::glorot(4, 3, &mut rng);
+        let b = Dense::glorot(5, 3, &mut rng);
+        let fast = a.matmul_transpose(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert!(fast.approx_eq(&explicit, 1e-12));
+    }
+
+    #[test]
+    fn relu_and_prime() {
+        let a = m(1, 4, &[-1.0, 0.0, 2.0, -0.5]);
+        assert_eq!(a.relu().data(), &[0.0, 0.0, 2.0, 0.0]);
+        assert_eq!(a.relu_prime().data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let a = m(4, 2, &[0.0, 1.0, 10.0, 11.0, 20.0, 21.0, 30.0, 31.0]);
+        let picked = a.gather_rows(&[3, 1]);
+        assert_eq!(picked.row(0), &[30.0, 31.0]);
+        assert_eq!(picked.row(1), &[10.0, 11.0]);
+        let mut b = Dense::zeros(4, 2);
+        b.scatter_rows(&[3, 1], &picked);
+        assert_eq!(b.row(3), a.row(3));
+        assert_eq!(b.row(1), a.row(1));
+        assert_eq!(b.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn permute_rows_matches_csr_convention() {
+        let a = m(3, 1, &[0.0, 1.0, 2.0]);
+        let p = a.permute_rows(&[2, 0, 1]);
+        assert_eq!(p.data(), &[1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = m(1, 2, &[1.0, 2.0]);
+        let b = m(2, 2, &[3.0, 4.0, 5.0, 6.0]);
+        let s = Dense::vstack(&[&a, &b]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn sgd_update() {
+        let mut w = m(1, 2, &[1.0, 1.0]);
+        let g = m(1, 2, &[0.5, -0.5]);
+        w.sub_scaled_assign(&g, 0.1);
+        assert!(w.approx_eq(&m(1, 2, &[0.95, 1.05]), 1e-15));
+    }
+
+    #[test]
+    fn glorot_within_limit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Dense::glorot(10, 10, &mut rng);
+        let limit = (6.0 / 20.0f64).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn frobenius() {
+        let a = m(1, 2, &[3.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-15);
+    }
+}

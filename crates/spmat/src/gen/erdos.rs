@@ -1,0 +1,54 @@
+//! Erdős–Rényi `G(n, m)` generator: m uniformly random edges, no
+//! exploitable structure. The worst case for partitioners — useful as a
+//! control in the partitioning benchmarks.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::rmat::unit_weights;
+
+/// Generates a symmetric `G(n, m)` graph (m undirected edge draws; fewer
+/// distinct edges survive dedup and self-loop removal).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::with_capacity(n, n, 2 * m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
+        }
+    }
+    unit_weights(coo.to_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::degree_cv;
+
+    #[test]
+    fn deterministic_and_symmetric() {
+        let a = erdos_renyi(200, 800, 1);
+        let b = erdos_renyi(200, 800, 1);
+        assert_eq!(a, b);
+        assert!(a.is_symmetric());
+    }
+
+    #[test]
+    fn edge_count_near_target() {
+        let g = erdos_renyi(1000, 5000, 2);
+        assert!(g.nnz() <= 10_000);
+        assert!(g.nnz() > 9_000, "unexpectedly many collisions: {}", g.nnz());
+    }
+
+    #[test]
+    fn low_degree_variance() {
+        // Poisson-ish degrees: CV ≈ 1/sqrt(mean-degree), far below R-MAT.
+        let g = erdos_renyi(2000, 20_000, 3);
+        assert!(degree_cv(&g) < 0.5);
+    }
+}

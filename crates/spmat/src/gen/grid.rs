@@ -1,0 +1,62 @@
+//! 2-D torus mesh generator: the perfectly regular extreme, where an ideal
+//! partitioner achieves an O(√(n/p)) cut. Used by partitioner sanity tests
+//! ("does refinement find the obvious geometric cut?").
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+/// Generates a `side × side` 4-neighbor torus (n = side²) with unit
+/// weights.
+pub fn grid2d(side: usize) -> Csr {
+    assert!(side >= 2, "torus needs side >= 2");
+    let n = side * side;
+    let idx = |r: usize, c: usize| r * side + c;
+    let mut coo = Coo::with_capacity(n, n, 4 * n);
+    for r in 0..side {
+        for c in 0..side {
+            let v = idx(r, c);
+            let right = idx(r, (c + 1) % side);
+            let down = idx((r + 1) % side, c);
+            // Undirected edges added once per direction pair; the torus
+            // wrap on side == 2 would duplicate, which Coo::to_csr merges.
+            coo.push(v, right, 1.0);
+            coo.push(right, v, 1.0);
+            coo.push(v, down, 1.0);
+            coo.push(down, v, 1.0);
+        }
+    }
+    super::rmat::unit_weights(coo.to_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{degree_cv, degree_stats};
+
+    #[test]
+    fn four_regular() {
+        let g = grid2d(8);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 4);
+        assert!(degree_cv(&g) < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert!(grid2d(5).is_symmetric());
+    }
+
+    #[test]
+    fn side_two_merges_wraparound() {
+        // On a 2-torus, the wrap edge coincides with the direct edge.
+        let g = grid2d(2);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 2);
+    }
+
+    #[test]
+    fn vertex_count() {
+        assert_eq!(grid2d(6).rows(), 36);
+    }
+}

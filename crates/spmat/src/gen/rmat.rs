@@ -1,0 +1,129 @@
+//! R-MAT (recursive matrix) graph generator (Chakrabarti et al., 2004).
+//!
+//! Produces graphs with heavy-tailed degree distributions and poor
+//! community structure — the "irregular" regime where the paper reports
+//! large communication imbalance (Amazon) and partitioner difficulty.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`rmat`].
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// log2 of the vertex count (`n = 2^scale`).
+    pub scale: u32,
+    /// Directed edges sampled per vertex before symmetrization/dedup.
+    pub edge_factor: usize,
+    /// Quadrant probabilities; must sum to 1. Graph500 uses
+    /// (0.57, 0.19, 0.19, 0.05).
+    pub a: f64,
+    /// Upper-right quadrant probability.
+    pub b: f64,
+    /// Lower-left quadrant probability.
+    pub c: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// Graph500-style skew with the given size and seed.
+    pub fn graph500(scale: u32, edge_factor: usize, seed: u64) -> Self {
+        Self { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19, seed }
+    }
+}
+
+/// Generates a symmetric R-MAT graph. Self-loops are dropped and duplicate
+/// edges merged, so the resulting edge count is somewhat below
+/// `2 · n · edge_factor`.
+pub fn rmat(cfg: RmatConfig) -> Csr {
+    assert!(cfg.a + cfg.b + cfg.c <= 1.0 + 1e-12, "quadrant probabilities exceed 1");
+    let n = 1usize << cfg.scale;
+    let m = n * cfg.edge_factor;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut coo = Coo::with_capacity(n, n, 2 * m);
+    // Mild per-level probability noise decorrelates the quadrant choice
+    // across levels, avoiding the grid artifacts of pure R-MAT.
+    for _ in 0..m {
+        let (mut r, mut c) = (0usize, 0usize);
+        for level in (0..cfg.scale).rev() {
+            let noise = 0.9 + 0.2 * rng.gen::<f64>();
+            let a = (cfg.a * noise).min(1.0);
+            let u: f64 = rng.gen();
+            let (dr, dc) = if u < a {
+                (0, 0)
+            } else if u < a + cfg.b {
+                (0, 1)
+            } else if u < a + cfg.b + cfg.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r |= dr << level;
+            c |= dc << level;
+        }
+        if r != c {
+            coo.push(r, c, 1.0);
+            coo.push(c, r, 1.0);
+        }
+    }
+    // Merge duplicates into unit weights by converting and re-normalizing.
+    unit_weights(coo.to_csr())
+}
+
+/// Clamps all stored values to 1.0 (duplicate edges merge to weight > 1 in
+/// `to_csr`; adjacency patterns are unweighted).
+pub(crate) fn unit_weights(m: Csr) -> Csr {
+    let values = vec![1.0; m.nnz()];
+    Csr::from_raw_parts(m.rows(), m.cols(), m.indptr().to_vec(), m.indices().to_vec(), values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{degree_cv, degree_stats};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = rmat(RmatConfig::graph500(8, 8, 1));
+        let b = rmat(RmatConfig::graph500(8, 8, 1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = rmat(RmatConfig::graph500(8, 8, 1));
+        let b = rmat(RmatConfig::graph500(8, 8, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn symmetric_no_self_loops_unit_weights() {
+        let g = rmat(RmatConfig::graph500(7, 6, 3));
+        assert!(g.is_symmetric());
+        for i in 0..g.rows() {
+            assert_eq!(g.get(i, i), None, "self loop at {i}");
+        }
+        assert!(g.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn heavy_tail_degree_distribution() {
+        let g = rmat(RmatConfig::graph500(10, 8, 4));
+        let stats = degree_stats(&g);
+        // Skewed generator: max degree far exceeds the mean and the
+        // coefficient of variation is large.
+        assert!(stats.max as f64 > 5.0 * stats.avg, "max {} avg {}", stats.max, stats.avg);
+        assert!(degree_cv(&g) > 0.8);
+    }
+
+    #[test]
+    fn edge_count_in_expected_range() {
+        let g = rmat(RmatConfig::graph500(9, 8, 5));
+        let n = 512usize;
+        // Before dedup we sample n*8 directed edges, symmetrized to ≤ 2x.
+        assert!(g.nnz() <= 2 * n * 8);
+        assert!(g.nnz() >= n * 4, "too many collisions: {}", g.nnz());
+    }
+}

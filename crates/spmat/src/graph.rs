@@ -1,0 +1,175 @@
+//! Graph-level helpers on top of CSR adjacency matrices: the GCN
+//! normalization `Â = D^{-1/2}(A + I)D^{-1/2}` and structural statistics
+//! used by the dataset tables.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+/// Applies the Kipf–Welling GCN normalization: adds self-loops, then
+/// symmetrically scales by inverse square-root degrees, producing the
+/// "modified adjacency matrix" `A` the paper's equations multiply with.
+///
+/// # Panics
+/// Panics if `adj` is not square.
+pub fn gcn_normalize(adj: &Csr) -> Csr {
+    assert_eq!(adj.rows(), adj.cols(), "adjacency matrix must be square");
+    let n = adj.rows();
+    let mut coo = Coo::with_capacity(n, n, adj.nnz() + n);
+    for (r, c, v) in adj.iter() {
+        if r != c {
+            coo.push(r, c, v);
+        }
+    }
+    for i in 0..n {
+        coo.push(i, i, 1.0); // self loop (replaces any existing diagonal)
+    }
+    let with_loops = coo.to_csr();
+
+    let mut inv_sqrt_deg = vec![0.0f64; n];
+    for (i, d) in inv_sqrt_deg.iter_mut().enumerate() {
+        let deg: f64 = with_loops.row_vals(i).iter().sum();
+        *d = 1.0 / deg.sqrt();
+    }
+    let mut out = Coo::with_capacity(n, n, with_loops.nnz());
+    for (r, c, v) in with_loops.iter() {
+        out.push(r, c, v * inv_sqrt_deg[r] * inv_sqrt_deg[c]);
+    }
+    out.to_csr()
+}
+
+/// Summary statistics of an adjacency matrix (Table 3-style reporting).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum row nonzero count.
+    pub min: usize,
+    /// Maximum row nonzero count.
+    pub max: usize,
+    /// Mean row nonzero count.
+    pub avg: f64,
+    /// Number of rows with no nonzeros (isolated vertices).
+    pub isolated: usize,
+}
+
+/// Computes degree statistics over the rows of `adj`.
+pub fn degree_stats(adj: &Csr) -> DegreeStats {
+    let n = adj.rows();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, avg: 0.0, isolated: 0 };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut isolated = 0usize;
+    for r in 0..n {
+        let d = adj.row_nnz(r);
+        min = min.min(d);
+        max = max.max(d);
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    DegreeStats { min, max, avg: adj.nnz() as f64 / n as f64, isolated }
+}
+
+/// Coefficient of variation of row degrees: a scalar "irregularity" score.
+/// R-MAT graphs (Amazon/Reddit analogues) score high; planted-partition
+/// graphs (Protein analogue) score low — this is the property the paper
+/// says determines how hard the partitioner's job is.
+pub fn degree_cv(adj: &Csr) -> f64 {
+    let n = adj.rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = adj.nnz() as f64 / n as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = (0..n)
+        .map(|r| {
+            let d = adj.row_nnz(r) as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n - 1 {
+            coo.push(i, i + 1, 1.0);
+            coo.push(i + 1, i, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn normalize_adds_self_loops() {
+        let a = path_graph(3);
+        let norm = gcn_normalize(&a);
+        for i in 0..3 {
+            assert!(norm.get(i, i).is_some(), "diagonal missing at {i}");
+        }
+        assert_eq!(norm.nnz(), a.nnz() + 3);
+    }
+
+    #[test]
+    fn normalize_is_symmetric_with_bounded_entries() {
+        let a = path_graph(5);
+        let norm = gcn_normalize(&a);
+        assert!(norm.is_symmetric());
+        // Entries of D^{-1/2}(A+I)D^{-1/2} lie in (0, 1] for unit weights.
+        for &v in norm.values() {
+            assert!(v > 0.0 && v <= 1.0 + 1e-12, "entry {v} out of (0, 1]");
+        }
+    }
+
+    #[test]
+    fn normalize_two_cycle_values() {
+        // Two vertices with one edge: degrees with loops are 2, so every
+        // entry of Â is 1/2.
+        let a = path_graph(2);
+        let norm = gcn_normalize(&a);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!((norm.get(r, c).unwrap() - 0.5).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_on_path() {
+        let a = path_graph(4);
+        let s = degree_stats(&a);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.isolated, 0);
+        assert!((s.avg - 6.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_zero_for_regular_graph() {
+        // A 4-cycle is 2-regular.
+        let mut coo = Coo::new(4, 4);
+        for i in 0..4 {
+            let j = (i + 1) % 4;
+            coo.push(i, j, 1.0);
+            coo.push(j, i, 1.0);
+        }
+        assert!(degree_cv(&coo.to_csr()) < 1e-12);
+    }
+
+    #[test]
+    fn cv_positive_for_star() {
+        let mut coo = Coo::new(5, 5);
+        for i in 1..5 {
+            coo.push(0, i, 1.0);
+            coo.push(i, 0, 1.0);
+        }
+        // Degrees 4,1,1,1,1: mean 1.6, std 1.2 → CV = 0.75.
+        assert!((degree_cv(&coo.to_csr()) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Sequential sparse × tall-skinny-dense multiplication kernels.
+//!
+//! These are the local compute kernels every distributed variant calls
+//! after communication has assembled the needed rows of `H`
+//! (the role cuSPARSE `csrmm2` plays in the paper's implementation).
+
+use crate::csr::Csr;
+use crate::dense::Dense;
+
+/// `C = A · H` for CSR `A` (`m × k`) and dense `H` (`k × f`).
+///
+/// # Panics
+/// Panics if `A.cols() != H.rows()`.
+pub fn spmm(a: &Csr, h: &Dense) -> Dense {
+    let mut out = Dense::zeros(a.rows(), h.cols());
+    spmm_acc(a, h, &mut out);
+    out
+}
+
+/// `C += A · H`, accumulating into an existing output. This is the kernel
+/// used inside the 1.5D stage loop, where each stage adds one partial
+/// product `AᵀᵢₖHₖ`.
+///
+/// # Panics
+/// Panics on any dimension mismatch.
+pub fn spmm_acc(a: &Csr, h: &Dense, out: &mut Dense) {
+    assert_eq!(a.cols(), h.rows(), "spmm inner dimension mismatch");
+    assert_eq!(out.rows(), a.rows(), "spmm output rows mismatch");
+    assert_eq!(out.cols(), h.cols(), "spmm output cols mismatch");
+    let f = h.cols();
+    for r in 0..a.rows() {
+        let cols = a.row_cols(r);
+        let vals = a.row_vals(r);
+        let out_row = out.row_mut(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            let h_row = h.row(c as usize);
+            debug_assert_eq!(h_row.len(), f);
+            for (o, &x) in out_row.iter_mut().zip(h_row) {
+                *o += v * x;
+            }
+        }
+    }
+}
+
+/// Number of floating-point operations one `A · H` performs
+/// (`2 · nnz(A) · f`); feeds the compute-time model.
+pub fn spmm_flops(a: &Csr, f: usize) -> u64 {
+    2 * a.nnz() as u64 * f as u64
+}
+
+/// Reference implementation via dense conversion; O(m·k·f), tests only.
+pub fn spmm_naive(a: &Csr, h: &Dense) -> Dense {
+    let ad = a.to_dense();
+    Dense::from_fn(a.rows(), h.cols(), |r, c| {
+        (0..a.cols()).map(|k| ad[r][k] * h.get(k, c)).sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_csr(rows: usize, cols: usize, density: f64, rng: &mut StdRng) -> Csr {
+        let mut coo = Coo::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen_bool(density) {
+                    coo.push(r, c, rng.gen_range(-1.0..1.0));
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..5 {
+            let a = random_csr(13, 9, 0.3, &mut rng);
+            let h = Dense::glorot(9, 4, &mut rng);
+            let fast = spmm(&a, &h);
+            let slow = spmm_naive(&a, &h);
+            assert!(fast.approx_eq(&slow, 1e-12));
+        }
+    }
+
+    #[test]
+    fn identity_spmm_is_identity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let h = Dense::glorot(6, 3, &mut rng);
+        let i = Csr::identity(6);
+        assert!(spmm(&i, &h).approx_eq(&h, 0.0));
+    }
+
+    #[test]
+    fn acc_adds_partial_products() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = random_csr(5, 5, 0.5, &mut rng);
+        let h = Dense::glorot(5, 2, &mut rng);
+        let mut out = spmm(&a, &h);
+        spmm_acc(&a, &h, &mut out);
+        let mut twice = spmm(&a, &h);
+        twice.scale(2.0);
+        assert!(out.approx_eq(&twice, 1e-12));
+    }
+
+    #[test]
+    fn empty_matrix_gives_zeros() {
+        let a = Csr::empty(3, 4);
+        let h = Dense::zeros(4, 2);
+        let out = spmm(&a, &h);
+        assert_eq!(out.data(), &[0.0; 6]);
+    }
+
+    #[test]
+    fn flops_formula() {
+        let a = Csr::identity(10);
+        assert_eq!(spmm_flops(&a, 8), 2 * 10 * 8);
+    }
+
+    #[test]
+    fn block_decomposition_sums_to_whole() {
+        // Σⱼ A[:, jblock] · H[jblock] == A · H — the algebraic identity the
+        // 1D algorithm relies on.
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = random_csr(8, 8, 0.4, &mut rng);
+        let h = Dense::glorot(8, 3, &mut rng);
+        let whole = spmm(&a, &h);
+
+        let mut sum = Dense::zeros(8, 3);
+        for (lo, hi) in [(0usize, 3usize), (3, 8)] {
+            // Build the column block of `a` restricted to [lo, hi).
+            let mut coo = Coo::new(8, 8);
+            for (r, c, v) in a.iter() {
+                if c >= lo && c < hi {
+                    coo.push(r, c, v);
+                }
+            }
+            let block = coo.to_csr();
+            spmm_acc(&block, &h, &mut sum);
+        }
+        assert!(sum.approx_eq(&whole, 1e-12));
+    }
+}

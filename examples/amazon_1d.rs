@@ -1,0 +1,53 @@
+//! The paper's headline comparison on the irregular (Amazon-like)
+//! dataset: sparsity-oblivious CAGNET vs sparsity-aware (SA) vs
+//! sparsity-aware with volume-balanced partitioning (SA+GVB), 1D
+//! algorithm, with the Fig. 4-style timing breakdown.
+//!
+//! ```sh
+//! cargo run --release --example amazon_1d [-- <scale> <p>]
+//! ```
+
+use dist_gnn::comm::Phase;
+use gnn_bench::experiments::stats_1d;
+use gnn_bench::Scheme;
+use dist_gnn::spmat::dataset::amazon_scaled;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().map(|s| s.parse().expect("bad scale")).unwrap_or(13);
+    let p: usize = args.next().map(|s| s.parse().expect("bad p")).unwrap_or(32);
+
+    println!("building amazon-scaled (2^{scale} vertices)...");
+    let ds = amazon_scaled(scale, 1);
+    println!(
+        "{}: {} vertices, {} edges (irregular R-MAT)\n",
+        ds.name,
+        ds.n(),
+        ds.edges()
+    );
+
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>12}  {:>12}",
+        "scheme", "epoch", "compute", "alltoall", "bcast"
+    );
+    let ms = |s: f64| format!("{:.3} ms", s * 1e3);
+    let mut epoch_times = Vec::new();
+    for scheme in [Scheme::Cagnet, Scheme::Sa, Scheme::SaMetis, Scheme::SaGvb] {
+        let st = stats_1d(&ds, scheme, p, 1);
+        epoch_times.push((scheme.label(), st.modeled_epoch_time()));
+        println!(
+            "{:>10}  {:>12}  {:>12}  {:>12}  {:>12}",
+            scheme.label(),
+            ms(st.modeled_epoch_time()),
+            ms(st.phase_time(Phase::LocalCompute)),
+            ms(st.phase_time(Phase::AllToAll)),
+            ms(st.phase_time(Phase::Bcast)),
+        );
+    }
+    let t = |l: &str| epoch_times.iter().find(|e| e.0 == l).unwrap().1;
+    println!(
+        "\nat p = {p}: SA+GVB is {:.1}x faster than CAGNET and {:.1}x faster than plain SA",
+        t("CAGNET") / t("SA+GVB"),
+        t("SA") / t("SA+GVB"),
+    );
+}

@@ -1,0 +1,255 @@
+//! Property-based tests on the core data structures and the invariants
+//! the distributed algorithms rely on.
+
+use gnn_core::dist::{even_bounds, Plan1d};
+use partition::metrics::volumes;
+use partition::types::Partition;
+use partition::wgraph::WGraph;
+use proptest::prelude::*;
+use spmat::spmm::{spmm, spmm_naive};
+use spmat::{Coo, Csr, Dense};
+
+/// Random sparse matrix as an entry list.
+fn sparse_entries(
+    rows: usize,
+    cols: usize,
+) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..rows, 0..cols, -2.0..2.0f64),
+        0..rows * 4,
+    )
+}
+
+fn build_csr(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> Csr {
+    let mut coo = Coo::new(rows, cols);
+    for &(r, c, v) in entries {
+        coo.push(r, c, v);
+    }
+    coo.to_csr()
+}
+
+/// Random symmetric unit-weight graph on `n` vertices.
+fn sym_graph(n: usize) -> impl Strategy<Value = Csr> {
+    prop::collection::vec((0..n, 0..n), 0..n * 3).prop_map(move |edges| {
+        let mut coo = Coo::new(n, n);
+        for (u, v) in edges {
+            if u != v {
+                coo.push(u, v, 1.0);
+                coo.push(v, u, 1.0);
+            }
+        }
+        // Unit weights regardless of duplicates.
+        let m = coo.to_csr();
+        Csr::from_raw_parts(
+            n,
+            n,
+            m.indptr().to_vec(),
+            m.indices().to_vec(),
+            vec![1.0; m.nnz()],
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coo_to_csr_preserves_sums(entries in sparse_entries(12, 9)) {
+        let csr = build_csr(12, 9, &entries);
+        // Ground truth by dense accumulation.
+        let mut dense = vec![vec![0.0f64; 9]; 12];
+        for &(r, c, v) in &entries {
+            dense[r][c] += v;
+        }
+        for r in 0..12 {
+            for c in 0..9 {
+                let got = csr.get(r, c).unwrap_or(0.0);
+                prop_assert!((got - dense[r][c]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(entries in sparse_entries(10, 14)) {
+        let m = build_csr(10, 14, &entries);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn spmm_matches_naive(entries in sparse_entries(8, 8), seed in 0u64..1000) {
+        let a = build_csr(8, 8, &entries);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let h = Dense::glorot(8, 3, &mut rng);
+        prop_assert!(spmm(&a, &h).approx_eq(&spmm_naive(&a, &h), 1e-10));
+    }
+
+    #[test]
+    fn spmm_is_linear(entries in sparse_entries(8, 8), seed in 0u64..1000) {
+        // A(x + y) == Ax + Ay
+        let a = build_csr(8, 8, &entries);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Dense::glorot(8, 3, &mut rng);
+        let y = Dense::glorot(8, 3, &mut rng);
+        let mut xy = x.clone();
+        xy.add_assign(&y);
+        let mut sum = spmm(&a, &x);
+        sum.add_assign(&spmm(&a, &y));
+        prop_assert!(spmm(&a, &xy).approx_eq(&sum, 1e-10));
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_spectrum_proxies(
+        g in sym_graph(12),
+        perm_seed in 0u64..1000,
+    ) {
+        // nnz, degree multiset and total weight are permutation-invariant.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        let mut perm: Vec<u32> = (0..12u32).collect();
+        perm.shuffle(&mut rng);
+        let pg = g.permute_symmetric(&perm);
+        prop_assert_eq!(pg.nnz(), g.nnz());
+        let mut d1: Vec<usize> = (0..12).map(|v| g.row_nnz(v)).collect();
+        let mut d2: Vec<usize> = (0..12).map(|v| pg.row_nnz(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+        prop_assert!(pg.is_symmetric());
+    }
+
+    #[test]
+    fn plan_volumes_equal_partition_metrics(g in sym_graph(24), k in 2usize..6) {
+        // Two independent codepaths must agree: the communication plan's
+        // per-rank send/recv row counts (built from NnzCols on block
+        // rows) and the partition metrics' λ−1 volumes (built from
+        // vertex neighborhoods).
+        let part = Partition::block(24, k);
+        let bounds = part.block_bounds();
+        let plan = Plan1d::build(&g, &bounds);
+        let wg = WGraph::from_csr(&g);
+        let (send, recv) = volumes(&wg, &part);
+        for i in 0..k {
+            prop_assert_eq!(
+                plan.ranks[i].send_row_count(),
+                send[i],
+                "send volume mismatch at rank {}", i
+            );
+            prop_assert_eq!(
+                plan.ranks[i].recv_row_count(i),
+                recv[i],
+                "recv volume mismatch at rank {}", i
+            );
+        }
+    }
+
+    #[test]
+    fn even_bounds_cover_and_balance(n in 1usize..500, p in 1usize..32) {
+        prop_assume!(p <= n);
+        let b = even_bounds(n, p);
+        prop_assert_eq!(b.len(), p + 1);
+        prop_assert_eq!(b[0], 0);
+        prop_assert_eq!(b[p], n);
+        for w in b.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+            prop_assert!(w[1] - w[0] <= n.div_ceil(p));
+        }
+    }
+
+    #[test]
+    fn multilevel_partitions_are_always_valid(
+        g in sym_graph(64),
+        k in 2usize..8,
+        seed in 0u64..100,
+    ) {
+        use partition::{partition_graph, Method, PartitionConfig};
+        for method in [Method::EdgeCut, Method::VolumeBalanced] {
+            let p = partition_graph(&g, k, &PartitionConfig::new(method).with_seed(seed));
+            prop_assert_eq!(p.k(), k);
+            prop_assert_eq!(p.n(), 64);
+            prop_assert!(p.parts().iter().all(|&x| (x as usize) < k));
+        }
+    }
+
+    #[test]
+    fn col_range_block_respects_window(
+        entries in sparse_entries(10, 16),
+        lo in 0usize..16,
+        len in 0usize..16,
+    ) {
+        let m = build_csr(10, 16, &entries);
+        let hi = (lo + len).min(16);
+        let b = m.col_range_block(lo, hi);
+        for (r, c, v) in b.iter() {
+            prop_assert!((lo..hi).contains(&c));
+            prop_assert_eq!(m.get(r, c), Some(v));
+        }
+        // Every original entry inside the window survives.
+        let kept = m.iter().filter(|&(_, c, _)| (lo..hi).contains(&c)).count();
+        prop_assert_eq!(b.nnz(), kept);
+    }
+
+    #[test]
+    fn alltoallv_routes_arbitrary_payload_sizes(
+        sizes in prop::collection::vec(0usize..20, 9),
+    ) {
+        // 3 ranks, arbitrary per-pair payload sizes; everything must
+        // arrive at the right place with the right length.
+        use gnn_comm::msg::Payload;
+        use gnn_comm::{CostModel, ThreadWorld};
+        let p = 3;
+        let world = ThreadWorld::new(p, CostModel::bandwidth_only());
+        let sz = sizes.clone();
+        let (outs, _) = world.run(|ctx| {
+            let me = ctx.rank();
+            let sends = (0..p)
+                .map(|dst| {
+                    let n = sz[me * p + dst];
+                    if n == 0 {
+                        Payload::Empty
+                    } else {
+                        Payload::F64(vec![(me * p + dst) as f64; n])
+                    }
+                })
+                .collect();
+            ctx.alltoallv(sends)
+                .into_iter()
+                .map(|pl| match pl {
+                    Payload::Empty => Vec::new(),
+                    other => other.into_f64(),
+                })
+                .collect::<Vec<_>>()
+        });
+        for me in 0..p {
+            for src in 0..p {
+                let expect = sizes[src * p + me];
+                prop_assert_eq!(outs[me][src].len(), expect);
+                prop_assert!(outs[me][src]
+                    .iter()
+                    .all(|&v| v == (src * p + me) as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_permutation_is_bijection(
+        parts in prop::collection::vec(0u32..5, 1..200),
+    ) {
+        let k = 5;
+        let part = Partition::new(parts.clone(), k);
+        let perm = part.to_permutation();
+        let mut seen = vec![false; parts.len()];
+        for &x in &perm {
+            prop_assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+        // Parts are contiguous in the new order.
+        let bounds = part.block_bounds();
+        for (v, &pt) in parts.iter().enumerate() {
+            let new = perm[v] as usize;
+            prop_assert!(new >= bounds[pt as usize] && new < bounds[pt as usize + 1]);
+        }
+    }
+}
