@@ -20,8 +20,14 @@ fn bench_refine(c: &mut Criterion) {
 
     // Quality report (once).
     for (label, cfg) in [
-        ("edgecut-only", PartitionConfig::new(Method::EdgeCut).with_seed(3)),
-        ("with-volume-refine", PartitionConfig::new(Method::VolumeBalanced).with_seed(3)),
+        (
+            "edgecut-only",
+            PartitionConfig::new(Method::EdgeCut).with_seed(3),
+        ),
+        (
+            "with-volume-refine",
+            PartitionConfig::new(Method::VolumeBalanced).with_seed(3),
+        ),
         ("flat-fm", {
             let mut c = PartitionConfig::new(Method::EdgeCut).with_seed(3);
             c.coarsen_factor = usize::MAX / k; // disable coarsening

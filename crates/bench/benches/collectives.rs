@@ -18,8 +18,8 @@ fn bench_collectives(c: &mut Criterion) {
             b.iter(|| {
                 world.run(|ctx| {
                     for root in 0..ctx.p() {
-                        let payload = (ctx.rank() == root)
-                            .then(|| Payload::F64(vec![1.0; rows * f]));
+                        let payload =
+                            (ctx.rank() == root).then(|| Payload::F64(vec![1.0; rows * f]));
                         ctx.bcast(root, payload);
                     }
                 })

@@ -22,12 +22,7 @@ fn bench_epoch(c: &mut Criterion) {
     ];
     for (algo, parts) in cases {
         let bounds = even_bounds(ds.n(), parts);
-        let cfg = DistConfig {
-            algo,
-            gcn: gcn.clone(),
-            epochs: 1,
-            model: CostModel::perlmutter_like(),
-        };
+        let cfg = DistConfig::new(algo, gcn.clone(), 1, CostModel::perlmutter_like());
         group.bench_with_input(BenchmarkId::new("train", algo.label()), &cfg, |b, cfg| {
             b.iter(|| train_distributed(&ds, &bounds, cfg));
         });

@@ -12,9 +12,12 @@ fn bench_partitioners(c: &mut Criterion) {
 
     let datasets = vec![amazon_scaled(11, 1), protein_scaled(2048, 32, 1)];
     for ds in &datasets {
-        for method in
-            [Method::Block, Method::Random, Method::EdgeCut, Method::VolumeBalanced]
-        {
+        for method in [
+            Method::Block,
+            Method::Random,
+            Method::EdgeCut,
+            Method::VolumeBalanced,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(method.label(), &ds.name),
                 &ds.adj,

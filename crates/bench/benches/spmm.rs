@@ -15,7 +15,10 @@ fn bench_spmm(c: &mut Criterion) {
 
     let mut rng = StdRng::seed_from_u64(1);
     let cases = vec![
-        ("rmat-irregular", gcn_normalize(&rmat(RmatConfig::graph500(12, 8, 1)))),
+        (
+            "rmat-irregular",
+            gcn_normalize(&rmat(RmatConfig::graph500(12, 8, 1))),
+        ),
         (
             "sbm-regular",
             gcn_normalize(

@@ -38,11 +38,10 @@ fn bench_twod(c: &mut Criterion) {
                     world.run(|ctx| {
                         let rp = &plan.ranks[ctx.rank()];
                         let rows = h.row_slice(rp.row_lo, rp.row_hi);
-                        let local = Dense::from_fn(
-                            rows.rows(),
-                            pb[rp.j + 1] - pb[rp.j],
-                            |r, cc| rows.get(r, pb[rp.j] + cc),
-                        );
+                        let local =
+                            Dense::from_fn(rows.rows(), pb[rp.j + 1] - pb[rp.j], |r, cc| {
+                                rows.get(r, pb[rp.j] + cc)
+                            });
                         spmm_2d(ctx, plan, &local)
                     })
                 });

@@ -58,7 +58,7 @@ fn usage() -> String {
         .to_string()
 }
 
-fn emit(name: &str, title: &str, table: &Table, out: &PathBuf) {
+fn emit(name: &str, title: &str, table: &Table, out: &std::path::Path) {
     println!("\n=== {title} ===");
     print!("{}", table.render());
     match table.write_csv(out, name) {
@@ -81,23 +81,33 @@ fn main() -> ExitCode {
         if args.small { "small" } else { "full" },
         args.seed
     );
-    let suite = if args.small { Suite::small(args.seed) } else { Suite::full(args.seed) };
+    let suite = if args.small {
+        Suite::small(args.seed)
+    } else {
+        Suite::full(args.seed)
+    };
     eprintln!("suite ready in {:.1}s", t0.elapsed().as_secs_f64());
 
     let mut commands = args.commands.clone();
     if commands.iter().any(|c| c == "all") {
-        commands = ["table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "volumes", "overlap", "algos"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        commands = [
+            "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "volumes", "overlap",
+            "algos",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     for cmd in &commands {
         let t = Instant::now();
         match cmd.as_str() {
             "table2" => {
-                let ps: Vec<usize> =
-                    if args.small { vec![4, 8, 16, 32] } else { vec![16, 32, 64, 128, 256] };
+                let ps: Vec<usize> = if args.small {
+                    vec![4, 8, 16, 32]
+                } else {
+                    vec![16, 32, 64, 128, 256]
+                };
                 let (table, _) = experiments::table2(&suite.amazon, &ps, args.seed);
                 emit(
                     "table2",
@@ -108,7 +118,12 @@ fn main() -> ExitCode {
             }
             "table3" => {
                 let table = experiments::table3(&suite);
-                emit("table3", "Table 3: dataset properties (scaled analogues)", &table, &args.out);
+                emit(
+                    "table3",
+                    "Table 3: dataset properties (scaled analogues)",
+                    &table,
+                    &args.out,
+                );
             }
             "fig3" => {
                 let (table, _) = experiments::fig3(&suite, args.seed);
@@ -128,7 +143,12 @@ fn main() -> ExitCode {
             }
             "fig7" => {
                 let (table, _) = experiments::fig7(&suite, args.seed);
-                emit("fig7", "Figure 7: 1.5D epoch time vs GPUs", &table, &args.out);
+                emit(
+                    "fig7",
+                    "Figure 7: 1.5D epoch time vs GPUs",
+                    &table,
+                    &args.out,
+                );
             }
             "volumes" => {
                 let (table, _) = experiments::volumes(&suite, args.seed);

@@ -6,17 +6,25 @@
 //!       [--partitioner block|random|metis|gvb] [--p N]
 //!       [--arch gcn|sage] [--opt sgd|adam] [--lr X]
 //!       [--epochs N] [--scale N] [--seed N]
+//!       [--inject-crash RANK@EPOCH] [--slow-rank RANK:FACTOR]
+//!       [--drop-prob X] [--corrupt-prob X] [--fault-seed N]
+//!       [--checkpoint-every N] [--max-restarts N] [--watchdog-ms N]
 //! ```
 //!
 //! Trains on the simulated distributed runtime, prints the loss/accuracy
-//! trajectory and the modeled communication/compute cost summary.
+//! trajectory and the modeled communication/compute cost summary. The
+//! fault flags rehearse degraded conditions: injected crashes trigger
+//! checkpoint/restart, link faults exercise the retry path, and the
+//! watchdog bounds every hang.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use gnn_comm::{CostModel, Phase};
-use gnn_core::{train_distributed, Algo, DistConfig, GcnConfig};
+use std::time::Duration;
+
+use gnn_comm::{CostModel, FaultPlan, Phase};
+use gnn_core::{try_train_distributed, Algo, DistConfig, GcnConfig, RobustnessConfig};
 use partition::{partition_graph, Method, PartitionConfig};
 use spmat::dataset::{amazon_scaled, papers_scaled, protein_scaled, reddit_scaled, Dataset};
 
@@ -34,6 +42,14 @@ struct Args {
     epochs: usize,
     scale: u32,
     seed: u64,
+    inject_crash: Option<(usize, usize)>,
+    slow_rank: Option<(usize, f64)>,
+    drop_prob: f64,
+    corrupt_prob: f64,
+    fault_seed: u64,
+    checkpoint_every: usize,
+    max_restarts: usize,
+    watchdog_ms: u64,
 }
 
 fn parse() -> Result<Args, String> {
@@ -51,9 +67,17 @@ fn parse() -> Result<Args, String> {
         epochs: 30,
         scale: 11,
         seed: 1,
+        inject_crash: None,
+        slow_rank: None,
+        drop_prob: 0.0,
+        corrupt_prob: 0.0,
+        fault_seed: 0,
+        checkpoint_every: 5,
+        max_restarts: 2,
+        watchdog_ms: 30_000,
     };
     let mut it = std::env::args().skip(1);
-    let mut next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or(format!("{flag} needs a value"))
     };
     while let Some(arg) = it.next() {
@@ -68,7 +92,11 @@ fn parse() -> Result<Args, String> {
                 }
             }
             "--oblivious" => a.aware = false,
-            "--c" => a.c = next(&mut it, "--c")?.parse().map_err(|e| format!("bad --c: {e}"))?,
+            "--c" => {
+                a.c = next(&mut it, "--c")?
+                    .parse()
+                    .map_err(|e| format!("bad --c: {e}"))?
+            }
             "--partitioner" => {
                 a.partitioner = match next(&mut it, "--partitioner")?.as_str() {
                     "block" => Method::Block,
@@ -78,7 +106,11 @@ fn parse() -> Result<Args, String> {
                     other => return Err(format!("unknown partitioner {other}")),
                 }
             }
-            "--p" => a.p = next(&mut it, "--p")?.parse().map_err(|e| format!("bad --p: {e}"))?,
+            "--p" => {
+                a.p = next(&mut it, "--p")?
+                    .parse()
+                    .map_err(|e| format!("bad --p: {e}"))?
+            }
             "--arch" => {
                 a.sage = match next(&mut it, "--arch")?.as_str() {
                     "gcn" => false,
@@ -94,18 +126,76 @@ fn parse() -> Result<Args, String> {
                 }
             }
             "--lr" => {
-                a.lr = Some(next(&mut it, "--lr")?.parse().map_err(|e| format!("bad --lr: {e}"))?)
+                a.lr = Some(
+                    next(&mut it, "--lr")?
+                        .parse()
+                        .map_err(|e| format!("bad --lr: {e}"))?,
+                )
             }
             "--epochs" => {
-                a.epochs =
-                    next(&mut it, "--epochs")?.parse().map_err(|e| format!("bad --epochs: {e}"))?
+                a.epochs = next(&mut it, "--epochs")?
+                    .parse()
+                    .map_err(|e| format!("bad --epochs: {e}"))?
             }
             "--scale" => {
-                a.scale =
-                    next(&mut it, "--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?
+                a.scale = next(&mut it, "--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
             }
             "--seed" => {
-                a.seed = next(&mut it, "--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                a.seed = next(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--inject-crash" => {
+                let v = next(&mut it, "--inject-crash")?;
+                let (r, e) = v
+                    .split_once('@')
+                    .ok_or(format!("--inject-crash wants RANK@EPOCH, got {v}"))?;
+                a.inject_crash = Some((
+                    r.parse().map_err(|e| format!("bad crash rank: {e}"))?,
+                    e.parse().map_err(|e| format!("bad crash epoch: {e}"))?,
+                ));
+            }
+            "--slow-rank" => {
+                let v = next(&mut it, "--slow-rank")?;
+                let (r, f) = v
+                    .split_once(':')
+                    .ok_or(format!("--slow-rank wants RANK:FACTOR, got {v}"))?;
+                a.slow_rank = Some((
+                    r.parse().map_err(|e| format!("bad slow rank: {e}"))?,
+                    f.parse().map_err(|e| format!("bad slow factor: {e}"))?,
+                ));
+            }
+            "--drop-prob" => {
+                a.drop_prob = next(&mut it, "--drop-prob")?
+                    .parse()
+                    .map_err(|e| format!("bad --drop-prob: {e}"))?
+            }
+            "--corrupt-prob" => {
+                a.corrupt_prob = next(&mut it, "--corrupt-prob")?
+                    .parse()
+                    .map_err(|e| format!("bad --corrupt-prob: {e}"))?
+            }
+            "--fault-seed" => {
+                a.fault_seed = next(&mut it, "--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-seed: {e}"))?
+            }
+            "--checkpoint-every" => {
+                a.checkpoint_every = next(&mut it, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?
+            }
+            "--max-restarts" => {
+                a.max_restarts = next(&mut it, "--max-restarts")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-restarts: {e}"))?
+            }
+            "--watchdog-ms" => {
+                a.watchdog_ms = next(&mut it, "--watchdog-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --watchdog-ms: {e}"))?
             }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
@@ -118,7 +208,10 @@ fn usage() -> String {
     "usage: train [--dataset reddit|amazon|protein|papers] [--mtx FILE] \
      [--algo 1d|1.5d] [--oblivious] [--c N] \
      [--partitioner block|random|metis|gvb] [--p N] [--arch gcn|sage] \
-     [--opt sgd|adam] [--lr X] [--epochs N] [--scale N] [--seed N]"
+     [--opt sgd|adam] [--lr X] [--epochs N] [--scale N] [--seed N] \
+     [--inject-crash RANK@EPOCH] [--slow-rank RANK:FACTOR] [--drop-prob X] \
+     [--corrupt-prob X] [--fault-seed N] [--checkpoint-every N] \
+     [--max-restarts N] [--watchdog-ms N]"
         .to_string()
 }
 
@@ -138,8 +231,9 @@ fn load_dataset(a: &Args) -> Result<Dataset, String> {
         let n = adj.rows();
         let classes = 16;
         let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..classes as u32)).collect();
-        let features =
-            spmat::Dense::from_fn(n, 64, |r, _| labels[r] as f64 / classes as f64 + rng.gen::<f64>());
+        let features = spmat::Dense::from_fn(n, 64, |r, _| {
+            labels[r] as f64 / classes as f64 + rng.gen::<f64>()
+        });
         let train_mask = (0..n).map(|_| rng.gen_bool(0.6)).collect();
         return Ok(Dataset {
             name: format!("mtx:{}", path.display()),
@@ -187,7 +281,11 @@ fn main() -> ExitCode {
     );
 
     // Partition & permute.
-    let parts = if args.algo_15d { args.p / args.c } else { args.p };
+    let parts = if args.algo_15d {
+        args.p / args.c
+    } else {
+        args.p
+    };
     if parts == 0 || (args.algo_15d && args.p % (args.c * args.c) != 0) {
         eprintln!("invalid grid: p={} c={}", args.p, args.c);
         return ExitCode::FAILURE;
@@ -217,18 +315,62 @@ fn main() -> ExitCode {
         gcn.lr = lr;
     }
     let algo = if args.algo_15d {
-        Algo::OneFiveD { aware: args.aware, c: args.c }
+        Algo::OneFiveD {
+            aware: args.aware,
+            c: args.c,
+        }
     } else {
         Algo::OneD { aware: args.aware }
     };
-    println!("training: {} | {:?} arch | {} epochs", algo.label(), gcn.arch, args.epochs);
+    println!(
+        "training: {} | {:?} arch | {} epochs",
+        algo.label(),
+        gcn.arch,
+        args.epochs
+    );
+
+    let mut plan = FaultPlan::new(args.fault_seed);
+    if let Some((rank, epoch)) = args.inject_crash {
+        plan = plan.crash_at(rank, epoch, 0);
+    }
+    if let Some((rank, factor)) = args.slow_rank {
+        plan = plan.slow_compute(rank, factor);
+    }
+    if args.drop_prob > 0.0 {
+        for rank in 0..args.p {
+            plan = plan.drop_messages(rank, None, args.drop_prob);
+        }
+    }
+    if args.corrupt_prob > 0.0 {
+        for rank in 0..args.p {
+            plan = plan.corrupt_messages(rank, None, args.corrupt_prob);
+        }
+    }
+    let faulty = !plan.is_empty();
+    if faulty {
+        println!(
+            "fault plan: {} fault(s), seed {}",
+            plan.faults.len(),
+            args.fault_seed
+        );
+    }
+
+    let mut cfg = DistConfig::new(algo, gcn, args.epochs, CostModel::perlmutter_like());
+    cfg.robust = RobustnessConfig {
+        faults: faulty.then_some(plan),
+        checkpoint_every: args.checkpoint_every,
+        max_restarts: args.max_restarts,
+        timeout: Duration::from_millis(args.watchdog_ms.max(1)),
+    };
 
     let t2 = Instant::now();
-    let out = train_distributed(
-        &ds,
-        &bounds,
-        &DistConfig { algo, gcn, epochs: args.epochs, model: CostModel::perlmutter_like() },
-    );
+    let out = match try_train_distributed(&ds, &bounds, &cfg) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let wall = t2.elapsed().as_secs_f64();
 
     println!("\nepoch       loss   accuracy");
@@ -253,6 +395,22 @@ fn main() -> ExitCode {
         let t = st.phase_time(phase) / args.epochs as f64;
         if t > 0.0 {
             println!("  {label:<14} {:>10.3} ms", t * 1e3);
+        }
+    }
+    if faulty || out.restarts > 0 {
+        println!("\n-- fault summary --");
+        println!("restarts:          {}", out.restarts);
+        println!("injected faults:   {}", st.total_injected_faults());
+        println!("retries:           {}", st.total_retries());
+        for (rank, r) in st.per_rank.iter().enumerate() {
+            let f = &r.faults;
+            if f.injected_total() > 0 || f.retries > 0 {
+                println!(
+                    "  rank {rank}: {} delays, {} drops, {} corruptions, \
+                     {} retries, {} slowed ops",
+                    f.delays, f.drops, f.corruptions, f.retries, f.slowed_ops
+                );
+            }
         }
     }
     println!("simulation wall time: {wall:.1}s");

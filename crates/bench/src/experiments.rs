@@ -13,9 +13,7 @@ use gnn_core::{Algo, GcnConfig};
 use partition::metrics::volume_metrics;
 use partition::wgraph::WGraph;
 use partition::{partition_graph, Method, PartitionConfig};
-use spmat::dataset::{
-    amazon_scaled, papers_scaled, protein_scaled, reddit_scaled, Dataset,
-};
+use spmat::dataset::{amazon_scaled, papers_scaled, protein_scaled, reddit_scaled, Dataset};
 use spmat::graph::{degree_cv, degree_stats};
 
 use crate::schemes::{prepare, Scheme};
@@ -82,7 +80,9 @@ pub fn stats_1d(ds: &Dataset, scheme: Scheme, p: usize, seed: u64) -> WorldStats
     estimate(&AnalyticInput {
         adj: &prep.norm_adj,
         bounds: &prep.bounds,
-        algo: Algo::OneD { aware: scheme.aware() },
+        algo: Algo::OneD {
+            aware: scheme.aware(),
+        },
         dims: &gcn_dims(ds),
         model: CostModel::perlmutter_like(),
         epochs: 1,
@@ -97,7 +97,10 @@ pub fn stats_15d(ds: &Dataset, scheme: Scheme, p: usize, c: usize, seed: u64) ->
     estimate(&AnalyticInput {
         adj: &prep.norm_adj,
         bounds: &prep.bounds,
-        algo: Algo::OneFiveD { aware: scheme.aware(), c },
+        algo: Algo::OneFiveD {
+            aware: scheme.aware(),
+            c,
+        },
         dims: &gcn_dims(ds),
         model: CostModel::perlmutter_like(),
         epochs: 1,
@@ -250,8 +253,14 @@ pub fn fig3(suite: &Suite, seed: u64) -> (Table, Vec<Point>) {
 /// Fig. 4: 1D timing breakdown (local compute / alltoall / bcast) for the
 /// same sweep as Fig. 3.
 pub fn fig4(suite: &Suite, seed: u64) -> (Table, Vec<Point>) {
-    let mut table =
-        Table::new(&["dataset", "p", "scheme", "local compute", "alltoall", "bcast"]);
+    let mut table = Table::new(&[
+        "dataset",
+        "p",
+        "scheme",
+        "local compute",
+        "alltoall",
+        "bcast",
+    ]);
     let mut points = Vec::new();
     let sweeps: [(&Dataset, &[usize]); 3] = [
         (&suite.reddit, &suite.ps_reddit),
@@ -280,8 +289,7 @@ pub fn fig4(suite: &Suite, seed: u64) -> (Table, Vec<Point>) {
 
 /// Fig. 5: the Papers dataset at p = 16, breakdown per scheme.
 pub fn fig5(suite: &Suite, seed: u64) -> (Table, Vec<Point>) {
-    let mut table =
-        Table::new(&["scheme", "local compute", "alltoall", "bcast", "total"]);
+    let mut table = Table::new(&["scheme", "local compute", "alltoall", "bcast", "total"]);
     let mut points = Vec::new();
     let p = 16;
     for scheme in [Scheme::Cagnet, Scheme::Sa, Scheme::SaGvb] {
@@ -331,8 +339,14 @@ pub fn fig6(suite: &Suite, seed: u64) -> (Table, Vec<Point>) {
 /// strips latency and shows the volume ratios the paper's headline
 /// numbers (2×, 14×, "almost zero") are made of.
 pub fn volumes(suite: &Suite, seed: u64) -> (Table, Vec<(String, usize, &'static str, u64)>) {
-    let mut table =
-        Table::new(&["dataset", "p", "CAGNET (MB)", "SA (MB)", "SA+GVB (MB)", "SA/SA+GVB"]);
+    let mut table = Table::new(&[
+        "dataset",
+        "p",
+        "CAGNET (MB)",
+        "SA (MB)",
+        "SA+GVB (MB)",
+        "SA/SA+GVB",
+    ]);
     let mut rows = Vec::new();
     let sweeps: [(&Dataset, &[usize]); 3] = [
         (&suite.reddit, &suite.ps_reddit),
@@ -344,7 +358,11 @@ pub fn volumes(suite: &Suite, seed: u64) -> (Table, Vec<(String, usize, &'static
             let mut per_scheme = Vec::new();
             for scheme in [Scheme::Cagnet, Scheme::Sa, Scheme::SaGvb] {
                 let st = stats_1d(ds, scheme, p, seed);
-                let phase = if scheme.aware() { Phase::AllToAll } else { Phase::Bcast };
+                let phase = if scheme.aware() {
+                    Phase::AllToAll
+                } else {
+                    Phase::Bcast
+                };
                 let max_recv = st
                     .per_rank
                     .iter()
@@ -379,17 +397,12 @@ pub fn volumes(suite: &Suite, seed: u64) -> (Table, Vec<(String, usize, &'static
 /// non-overlapped SA/SA+GVB — quantifying how far overlap alone can and
 /// cannot close the gap.
 pub fn overlap(suite: &Suite, seed: u64) -> (Table, Vec<Point>) {
-    let mut table = Table::new(&[
-        "dataset",
-        "p",
-        "CAGNET",
-        "CAGNET+overlap",
-        "SA",
-        "SA+GVB",
-    ]);
+    let mut table = Table::new(&["dataset", "p", "CAGNET", "CAGNET+overlap", "SA", "SA+GVB"]);
     let mut points = Vec::new();
-    let sweeps: [(&Dataset, &[usize]); 2] =
-        [(&suite.amazon, &suite.ps_large), (&suite.protein, &suite.ps_large)];
+    let sweeps: [(&Dataset, &[usize]); 2] = [
+        (&suite.amazon, &suite.ps_large),
+        (&suite.protein, &suite.ps_large),
+    ];
     for (ds, ps) in sweeps {
         for &p in ps {
             let cagnet = stats_1d(ds, Scheme::Cagnet, p, seed);
@@ -403,9 +416,11 @@ pub fn overlap(suite: &Suite, seed: u64) -> (Table, Vec<Point>) {
                 fmt_secs(sa.modeled_epoch_time()),
                 fmt_secs(gvb.modeled_epoch_time()),
             ]);
-            for (scheme, st) in
-                [(Scheme::Cagnet, &cagnet), (Scheme::Sa, &sa), (Scheme::SaGvb, &gvb)]
-            {
+            for (scheme, st) in [
+                (Scheme::Cagnet, &cagnet),
+                (Scheme::Sa, &sa),
+                (Scheme::SaGvb, &gvb),
+            ] {
                 points.push(Point::from_stats(ds, scheme, p, 1, st));
             }
         }
@@ -464,9 +479,7 @@ pub fn algos(suite: &Suite, p: usize, seed: u64) -> (Table, Vec<(String, &'stati
             })
             .max()
             .unwrap_or(0);
-        for (algo, v) in
-            [("1D", v1), ("1.5D c=2", v15), ("2D pc=2", v2)]
-        {
+        for (algo, v) in [("1D", v1), ("1.5D c=2", v15), ("2D pc=2", v2)] {
             table.row(vec![ds.name.clone(), algo.to_string(), fmt_mb(v)]);
             rows.push((ds.name.clone(), algo, v));
         }
@@ -518,7 +531,12 @@ mod tests {
         let suite = small_suite();
         let t = table3(&suite);
         let s = t.render();
-        for name in ["reddit-scaled", "amazon-scaled", "protein-scaled", "papers-scaled"] {
+        for name in [
+            "reddit-scaled",
+            "amazon-scaled",
+            "protein-scaled",
+            "papers-scaled",
+        ] {
             assert!(s.contains(name), "missing {name}");
         }
     }
@@ -529,7 +547,12 @@ mod tests {
         let (_, rows) = table2(&suite.amazon, &[4, 16], 5);
         assert_eq!(rows.len(), 2);
         // More parts → thinner blocks → worse balance (Table 2's trend).
-        assert!(rows[1].3 > rows[0].3, "imbalance {} !> {}", rows[1].3, rows[0].3);
+        assert!(
+            rows[1].3 > rows[0].3,
+            "imbalance {} !> {}",
+            rows[1].3,
+            rows[0].3
+        );
         // Average volume per process decreases with p.
         assert!(rows[1].1 < rows[0].1);
     }

@@ -109,11 +109,10 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: Vec<&str> =
-            [Scheme::Cagnet, Scheme::Sa, Scheme::SaMetis, Scheme::SaGvb]
-                .iter()
-                .map(|s| s.label())
-                .collect();
+        let labels: Vec<&str> = [Scheme::Cagnet, Scheme::Sa, Scheme::SaMetis, Scheme::SaGvb]
+            .iter()
+            .map(|s| s.label())
+            .collect();
         let mut dedup = labels.clone();
         dedup.dedup();
         assert_eq!(labels, dedup);

@@ -13,7 +13,10 @@ pub struct Table {
 impl Table {
     /// Starts a table with the given column names.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header length).
@@ -60,7 +63,14 @@ impl Table {
                 s.to_string()
             }
         };
-        out.push_str(&self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|s| esc(s))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));

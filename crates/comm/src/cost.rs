@@ -7,10 +7,8 @@
 //! so modeled epoch times land in the same regime as the paper's
 //! measurements even though execution happens on a laptop.
 
-use serde::{Deserialize, Serialize};
-
 /// Machine parameters for pricing communication and compute.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
     /// Per-message latency in seconds (NCCL p2p launch + network).
     pub alpha: f64,
@@ -26,13 +24,21 @@ impl CostModel {
     /// Perlmutter-like constants: 20 µs message latency, 25 GB/s links,
     /// 1 Tflop/s effective sparse throughput.
     pub fn perlmutter_like() -> Self {
-        Self { alpha: 20e-6, beta: 1.0 / 25e9, flop_rate: 1e12 }
+        Self {
+            alpha: 20e-6,
+            beta: 1.0 / 25e9,
+            flop_rate: 1e12,
+        }
     }
 
     /// A latency-free, bandwidth-only variant (useful in tests to reason
     /// about volume terms in isolation).
     pub fn bandwidth_only() -> Self {
-        Self { alpha: 0.0, beta: 1.0, flop_rate: f64::INFINITY }
+        Self {
+            alpha: 0.0,
+            beta: 1.0,
+            flop_rate: f64::INFINITY,
+        }
     }
 
     /// Point-to-point message of `bytes`.
@@ -91,7 +97,11 @@ mod tests {
 
     #[test]
     fn p2p_is_affine() {
-        let m = CostModel { alpha: 1.0, beta: 2.0, flop_rate: 1.0 };
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 2.0,
+            flop_rate: 1.0,
+        };
         assert_eq!(m.p2p(0), 1.0);
         assert_eq!(m.p2p(10), 21.0);
     }
@@ -106,7 +116,11 @@ mod tests {
 
     #[test]
     fn bcast_latency_scales_logarithmically() {
-        let m = CostModel { alpha: 1.0, beta: 0.0, flop_rate: 1.0 };
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            flop_rate: 1.0,
+        };
         assert_eq!(m.bcast(0, 2), 1.0);
         assert_eq!(m.bcast(0, 8), 3.0);
         assert_eq!(m.bcast(0, 9), 4.0);
@@ -114,21 +128,33 @@ mod tests {
 
     #[test]
     fn alltoallv_prices_bottleneck_direction() {
-        let m = CostModel { alpha: 0.0, beta: 1.0, flop_rate: 1.0 };
+        let m = CostModel {
+            alpha: 0.0,
+            beta: 1.0,
+            flop_rate: 1.0,
+        };
         assert_eq!(m.alltoallv(100, 40, 4), 100.0);
         assert_eq!(m.alltoallv(40, 100, 4), 100.0);
     }
 
     #[test]
     fn allreduce_bandwidth_approaches_2x() {
-        let m = CostModel { alpha: 0.0, beta: 1.0, flop_rate: 1.0 };
+        let m = CostModel {
+            alpha: 0.0,
+            beta: 1.0,
+            flop_rate: 1.0,
+        };
         let t = m.allreduce(1000, 1024);
         assert!((t - 2.0 * 1023.0 / 1024.0 * 1000.0).abs() < 1e-9);
     }
 
     #[test]
     fn compute_uses_flop_rate() {
-        let m = CostModel { alpha: 0.0, beta: 0.0, flop_rate: 100.0 };
+        let m = CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            flop_rate: 100.0,
+        };
         assert_eq!(m.compute(250), 2.5);
     }
 

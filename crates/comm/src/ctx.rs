@@ -20,15 +20,33 @@
 //! * Execution topology (who moves bytes through which channel) is
 //!   whatever is simplest — costs always come from the model, so the
 //!   simulator's internal shortcuts never leak into results.
+//!
+//! ## Robustness
+//!
+//! Blocking receives and barriers are watched: instead of hanging forever
+//! on a protocol bug, a rank whose wait exceeds the world timeout panics
+//! with a structured [`crate::error::DeadlockReport`] that
+//! [`crate::ThreadWorld::try_run`] converts into
+//! [`crate::WorldError::Deadlock`]. When a [`crate::fault::FaultInjector`]
+//! is attached, the link layer injects delays, transient drops (with
+//! modeled retransmission), corruptions (detected by the receiver,
+//! retransmitted by the sender) and one-shot crashes; injected overheads
+//! are charged to the affected operation's phase and counted in
+//! [`crate::stats::FaultCounters`]. Retransmitted bytes are *not* added
+//! to `bytes_sent`/`bytes_recv`, which stay the logical communication
+//! volumes the paper's tables report.
 
-use std::sync::{Arc, Barrier};
+use std::panic::panic_any;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::{Receiver, Sender};
-
 use crate::cost::CostModel;
+use crate::error::{CrashPanic, DeadlockPanic, WaitKind};
+use crate::fault::FaultInjector;
 use crate::msg::{Msg, Payload};
 use crate::stats::{Phase, RankStats};
+use crate::watchdog::{TimeoutBarrier, Watchdog};
 
 /// Message tags, one per operation kind; mismatches indicate an SPMD
 /// protocol bug and fail fast.
@@ -41,6 +59,19 @@ pub(crate) mod tag {
     pub const GATHER: u8 = 6;
 }
 
+/// Human-readable tag name for diagnostics.
+pub(crate) fn tag_name(t: u8) -> &'static str {
+    match t {
+        tag::P2P => "P2P",
+        tag::BCAST => "BCAST",
+        tag::ALLTOALLV => "ALLTOALLV",
+        tag::REDUCE_UP => "REDUCE_UP",
+        tag::REDUCE_DOWN => "REDUCE_DOWN",
+        tag::GATHER => "GATHER",
+        _ => "UNKNOWN",
+    }
+}
+
 /// Per-rank handle passed to the SPMD closure by
 /// [`crate::world::ThreadWorld::run`].
 pub struct RankCtx {
@@ -49,20 +80,44 @@ pub struct RankCtx {
     model: CostModel,
     to: Vec<Sender<Msg>>,
     from: Vec<Receiver<Msg>>,
-    barrier: Arc<Barrier>,
+    barrier: Arc<TimeoutBarrier>,
+    watchdog: Arc<Watchdog>,
+    injector: Option<Arc<FaultInjector>>,
+    /// Trainer-reported epoch (fault-plan coordinates + diagnostics).
+    epoch: Option<usize>,
+    /// Operation counter within the current epoch (fault-plan coordinate).
+    op_in_epoch: u64,
+    /// Monotone transmission counter (deterministic fault decisions).
+    send_seq: u64,
     stats: RankStats,
 }
 
 impl RankCtx {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         p: usize,
         model: CostModel,
         to: Vec<Sender<Msg>>,
         from: Vec<Receiver<Msg>>,
-        barrier: Arc<Barrier>,
+        barrier: Arc<TimeoutBarrier>,
+        watchdog: Arc<Watchdog>,
+        injector: Option<Arc<FaultInjector>>,
     ) -> Self {
-        Self { rank, p, model, to, from, barrier, stats: RankStats::default() }
+        Self {
+            rank,
+            p,
+            model,
+            to,
+            from,
+            barrier,
+            watchdog,
+            injector,
+            epoch: None,
+            op_in_epoch: 0,
+            send_seq: 0,
+            stats: RankStats::default(),
+        }
     }
 
     /// This rank's id in `0..p`.
@@ -85,16 +140,147 @@ impl RankCtx {
         &self.stats
     }
 
+    /// Declares the start of training epoch `e`. Gives crash faults their
+    /// `(epoch, op)` coordinate system and tags deadlock reports with the
+    /// phase of training they occurred in.
+    pub fn set_epoch(&mut self, e: usize) {
+        self.epoch = Some(e);
+        self.op_in_epoch = 0;
+        self.maybe_crash();
+    }
+
+    /// The epoch last declared via [`RankCtx::set_epoch`].
+    pub fn epoch(&self) -> Option<usize> {
+        self.epoch
+    }
+
     pub(crate) fn into_stats(self) -> RankStats {
         self.stats
     }
 
-    fn raw_send(&self, dst: usize, tag: u8, payload: Payload) {
-        self.to[dst].send(Msg { tag, payload }).expect("peer rank hung up");
+    /// Advances the per-epoch op counter and fires any due crash fault.
+    fn op_tick(&mut self) {
+        self.op_in_epoch += 1;
+        self.maybe_crash();
     }
 
-    fn raw_recv(&self, src: usize, expect_tag: u8) -> Payload {
-        let msg = self.from[src].recv().expect("peer rank hung up");
+    fn maybe_crash(&mut self) {
+        if let Some(inj) = &self.injector {
+            if inj.crash_due(self.rank, self.epoch, self.op_in_epoch) {
+                panic_any(CrashPanic {
+                    rank: self.rank,
+                    epoch: self.epoch,
+                    op: self.op_in_epoch,
+                });
+            }
+        }
+    }
+
+    /// Link-layer send: consults the fault injector, charges injected
+    /// overheads (delay, retransmission) to `phase`, and guarantees the
+    /// uncorrupted payload is eventually delivered.
+    fn raw_send(&mut self, dst: usize, tag: u8, payload: Payload, phase: Phase) {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        if let Some(inj) = self.injector.clone() {
+            let fate = inj.send_fate(self.rank, dst, seq);
+            let bytes = payload.bytes();
+            let mut extra = 0.0;
+            let f = &mut self.stats.faults;
+            if fate.delay_seconds > 0.0 {
+                f.delays += 1;
+                f.delay_seconds += fate.delay_seconds;
+                extra += fate.delay_seconds;
+            }
+            if fate.dropped {
+                // First copy lost in transit: the reliable layer times out
+                // and retransmits; the receiver only ever sees the retry.
+                f.drops += 1;
+                f.retries += 1;
+                extra += inj.plan().retry_backoff_seconds + self.model.p2p(bytes);
+            }
+            if fate.corrupted {
+                // Deliver a corrupt copy first (receiver checksum fails),
+                // then retransmit the good one.
+                f.corruptions += 1;
+                f.retries += 1;
+                extra += inj.plan().retry_backoff_seconds + self.model.p2p(bytes);
+                self.push(
+                    dst,
+                    Msg {
+                        tag,
+                        corrupt: true,
+                        payload: payload.clone(),
+                    },
+                );
+            }
+            if extra > 0.0 {
+                self.stats.phase_mut(phase).modeled_seconds += extra;
+            }
+        }
+        self.push(
+            dst,
+            Msg {
+                tag,
+                corrupt: false,
+                payload,
+            },
+        );
+    }
+
+    fn push(&self, dst: usize, msg: Msg) {
+        let tag = msg.tag;
+        if self.to[dst].send(msg).is_err() {
+            panic!(
+                "rank {}: peer rank {dst} hung up (crashed?) — cannot deliver a {} message",
+                self.rank,
+                tag_name(tag)
+            );
+        }
+    }
+
+    /// Link-layer receive: watched by the deadlock watchdog, discards
+    /// corrupt copies (counting the detection), and fails fast with a
+    /// rank-attributed message when the peer died.
+    fn raw_recv(&mut self, src: usize, expect_tag: u8, phase: Phase) -> Payload {
+        let timeout = self.watchdog.timeout();
+        let deadline = Instant::now() + timeout;
+        self.watchdog.begin(
+            self.rank,
+            WaitKind::Recv,
+            Some(src),
+            Some(expect_tag),
+            self.epoch,
+        );
+        let msg = loop {
+            let now = Instant::now();
+            if now >= deadline {
+                // Leave our wait registered so the report includes us.
+                let report = self.watchdog.report(self.rank);
+                panic_any(DeadlockPanic(report));
+            }
+            match self.from[src].recv_timeout(deadline - now) {
+                Ok(msg) if msg.corrupt => {
+                    // Checksum failure: count it, pay for the useless
+                    // transfer, and wait for the retransmission.
+                    self.stats.faults.corruptions_detected += 1;
+                    let waste = self.model.p2p(msg.payload.bytes());
+                    self.stats.phase_mut(phase).modeled_seconds += waste;
+                }
+                Ok(msg) => break msg,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.watchdog.end(self.rank);
+                    panic!(
+                        "rank {}: peer rank {src} hung up (crashed?) while waiting \
+                         for a {} message",
+                        self.rank,
+                        tag_name(expect_tag)
+                    );
+                }
+            }
+        };
+        self.watchdog.end(self.rank);
         assert_eq!(
             msg.tag, expect_tag,
             "rank {}: protocol mismatch receiving from {} (got tag {}, expected {})",
@@ -107,18 +293,20 @@ impl RankCtx {
     /// `α + bytes·β` on this rank.
     pub fn send(&mut self, dst: usize, payload: Payload) {
         assert_ne!(dst, self.rank, "self-sends indicate an algorithm bug");
+        self.op_tick();
         let bytes = payload.bytes();
         let c = self.stats.phase_mut(Phase::P2p);
         c.ops += 1;
         c.bytes_sent += bytes;
         c.modeled_seconds += self.model.p2p(bytes);
-        self.raw_send(dst, tag::P2P, payload);
+        self.raw_send(dst, tag::P2P, payload, Phase::P2p);
     }
 
     /// Blocking point-to-point receive (phase `P2p`). Pays
     /// `α + bytes·β` on this rank.
     pub fn recv(&mut self, src: usize) -> Payload {
-        let payload = self.raw_recv(src, tag::P2P);
+        self.op_tick();
+        let payload = self.raw_recv(src, tag::P2P, Phase::P2p);
         let bytes = payload.bytes();
         let c = self.stats.phase_mut(Phase::P2p);
         c.ops += 1;
@@ -130,17 +318,21 @@ impl RankCtx {
     /// Broadcast from `root` (phase `Bcast`): the root passes its payload,
     /// everyone else passes `None` and receives the root's payload.
     pub fn bcast(&mut self, root: usize, payload: Option<Payload>) -> Payload {
+        self.op_tick();
         let out = if self.rank == root {
             let payload = payload.expect("root must supply the broadcast payload");
             for dst in 0..self.p {
                 if dst != root {
-                    self.raw_send(dst, tag::BCAST, payload.clone());
+                    self.raw_send(dst, tag::BCAST, payload.clone(), Phase::Bcast);
                 }
             }
             payload
         } else {
-            assert!(payload.is_none(), "non-root rank supplied a broadcast payload");
-            self.raw_recv(root, tag::BCAST)
+            assert!(
+                payload.is_none(),
+                "non-root rank supplied a broadcast payload"
+            );
+            self.raw_recv(root, tag::BCAST, Phase::Bcast)
         };
         let bytes = out.bytes();
         let c = self.stats.phase_mut(Phase::Bcast);
@@ -162,6 +354,7 @@ impl RankCtx {
     /// Panics if `sends.len() != p`.
     pub fn alltoallv(&mut self, mut sends: Vec<Payload>) -> Vec<Payload> {
         assert_eq!(sends.len(), self.p, "alltoallv needs one payload per rank");
+        self.op_tick();
         let mut sent_bytes = 0u64;
         let me = self.rank;
         // Shifted order avoids all ranks hammering rank 0's queue first.
@@ -169,14 +362,14 @@ impl RankCtx {
             let dst = (me + off) % self.p;
             let payload = std::mem::replace(&mut sends[dst], Payload::Empty);
             sent_bytes += payload.bytes();
-            self.raw_send(dst, tag::ALLTOALLV, payload);
+            self.raw_send(dst, tag::ALLTOALLV, payload, Phase::AllToAll);
         }
         let mut out: Vec<Payload> = (0..self.p).map(|_| Payload::Empty).collect();
         out[me] = std::mem::replace(&mut sends[me], Payload::Empty);
         let mut recv_bytes = 0u64;
         for off in 1..self.p {
             let src = (me + self.p - off) % self.p;
-            let payload = self.raw_recv(src, tag::ALLTOALLV);
+            let payload = self.raw_recv(src, tag::ALLTOALLV, Phase::AllToAll);
             recv_bytes += payload.bytes();
             out[src] = payload;
         }
@@ -192,25 +385,43 @@ impl RankCtx {
     /// member must call with the same group slice (which must contain this
     /// rank); afterwards all members hold the element-wise sum.
     pub fn allreduce_sum(&mut self, buf: &mut [f64], group: &[usize]) {
-        debug_assert!(group.contains(&self.rank), "rank not in its own allreduce group");
+        debug_assert!(
+            group.contains(&self.rank),
+            "rank not in its own allreduce group"
+        );
+        self.op_tick();
         let g = group.len();
         let bytes = 8 * buf.len() as u64;
         if g > 1 {
             let root = group[0];
             if self.rank == root {
                 for &src in &group[1..] {
-                    let part = self.raw_recv(src, tag::REDUCE_UP).into_f64();
+                    let part = self
+                        .raw_recv(src, tag::REDUCE_UP, Phase::AllReduce)
+                        .into_f64();
                     assert_eq!(part.len(), buf.len(), "allreduce length mismatch");
                     for (a, b) in buf.iter_mut().zip(part) {
                         *a += b;
                     }
                 }
                 for &dst in &group[1..] {
-                    self.raw_send(dst, tag::REDUCE_DOWN, Payload::F64(buf.to_vec()));
+                    self.raw_send(
+                        dst,
+                        tag::REDUCE_DOWN,
+                        Payload::F64(buf.to_vec()),
+                        Phase::AllReduce,
+                    );
                 }
             } else {
-                self.raw_send(root, tag::REDUCE_UP, Payload::F64(buf.to_vec()));
-                let summed = self.raw_recv(root, tag::REDUCE_DOWN).into_f64();
+                self.raw_send(
+                    root,
+                    tag::REDUCE_UP,
+                    Payload::F64(buf.to_vec()),
+                    Phase::AllReduce,
+                );
+                let summed = self
+                    .raw_recv(root, tag::REDUCE_DOWN, Phase::AllReduce)
+                    .into_f64();
                 buf.copy_from_slice(&summed);
             }
         }
@@ -223,36 +434,50 @@ impl RankCtx {
 
     /// Gathers every rank's payload to `root` (phase `Other`; used for
     /// assembling final results, not priced as training communication).
-    pub fn gather(&mut self, root: usize, payload: Payload) -> Option<Vec<Payload>> {
+    pub fn gather(&mut self, root: usize, mut payload: Payload) -> Option<Vec<Payload>> {
+        self.op_tick();
         if self.rank == root {
-            let mut out: Vec<Payload> = (0..self.p).map(|_| Payload::Empty).collect();
-            out[root] = payload;
-            for src in 0..self.p {
-                if src != root {
-                    out[src] = self.raw_recv(src, tag::GATHER);
-                }
-            }
+            let out: Vec<Payload> = (0..self.p)
+                .map(|src| {
+                    if src == root {
+                        std::mem::replace(&mut payload, Payload::Empty)
+                    } else {
+                        self.raw_recv(src, tag::GATHER, Phase::Other)
+                    }
+                })
+                .collect();
             Some(out)
         } else {
-            self.raw_send(root, tag::GATHER, payload);
+            self.raw_send(root, tag::GATHER, payload, Phase::Other);
             None
         }
     }
 
-    /// Barrier over all ranks.
-    pub fn barrier(&self) {
-        self.barrier.wait();
+    /// Barrier over all ranks (watched: times out into a deadlock report
+    /// instead of blocking forever when a rank never arrives).
+    pub fn barrier(&mut self) {
+        self.op_tick();
+        self.watchdog
+            .begin(self.rank, WaitKind::Barrier, None, None, self.epoch);
+        if !self.barrier.wait(self.watchdog.timeout()) {
+            let report = self.watchdog.report(self.rank);
+            panic_any(DeadlockPanic(report));
+        }
+        self.watchdog.end(self.rank);
     }
 
     /// Runs `work`, recording its wall time and `flops` into
-    /// `LocalCompute` with modeled time `flops / flop_rate`.
+    /// `LocalCompute` with modeled time `flops / flop_rate` (scaled by any
+    /// injected straggler factor).
     pub fn compute<R>(&mut self, flops: u64, work: impl FnOnce() -> R) -> R {
+        self.op_tick();
         let t0 = Instant::now();
         let out = work();
+        let factor = self.slow_factor();
         let c = self.stats.phase_mut(Phase::LocalCompute);
         c.ops += 1;
         c.flops += flops;
-        c.modeled_seconds += self.model.compute(flops);
+        c.modeled_seconds += self.model.compute(flops) * factor;
         c.wall_seconds += t0.elapsed().as_secs_f64();
         out
     }
@@ -260,9 +485,24 @@ impl RankCtx {
     /// Records compute cost without timing a closure (when the caller
     /// already knows the flop count of work done elsewhere).
     pub fn record_compute(&mut self, flops: u64) {
+        self.op_tick();
+        let factor = self.slow_factor();
         let c = self.stats.phase_mut(Phase::LocalCompute);
         c.ops += 1;
         c.flops += flops;
-        c.modeled_seconds += self.model.compute(flops);
+        c.modeled_seconds += self.model.compute(flops) * factor;
+    }
+
+    fn slow_factor(&mut self) -> f64 {
+        match &self.injector {
+            Some(inj) => {
+                let factor = inj.compute_factor(self.rank);
+                if factor != 1.0 {
+                    self.stats.faults.slowed_ops += 1;
+                }
+                factor
+            }
+            None => 1.0,
+        }
     }
 }

@@ -1,0 +1,345 @@
+//! Deterministic fault injection for the SPMD simulator.
+//!
+//! A [`FaultPlan`] declares straggler, message-loss, corruption and crash
+//! faults; a [`FaultInjector`] evaluates them at runtime. Message-level
+//! decisions are pure functions of `(seed, src, dst, sequence number)`
+//! (SplitMix64 hashing), so a run with a given plan is exactly
+//! reproducible — the property every degraded-mode experiment and every
+//! regression test of the recovery path relies on.
+//!
+//! Fault semantics (all charged through the α–β cost model):
+//!
+//! * **Delay** — matching sends cost `seconds` extra modeled time (a
+//!   slow NIC / congested link on that rank).
+//! * **Drop** — the first transmission is lost; the sender's reliable
+//!   link layer times out (`retry_backoff_seconds`) and retransmits,
+//!   paying the α–β price twice. Progress is guaranteed: a retransmission
+//!   is never dropped again.
+//! * **Corrupt** — the receiver gets a corrupt copy first (checksum
+//!   failure, counted in [`crate::stats::FaultCounters`]), then the
+//!   sender's retransmission.
+//! * **SlowCompute** — modeled compute time on the rank is multiplied by
+//!   `factor` (the paper's bottleneck-rank argument, made injectable).
+//! * **CrashAt** — the rank panics at a chosen `(epoch, op)` point. The
+//!   fault fires **once** per injector (transient node failure): a driver
+//!   that restarts the world with the same injector resumes cleanly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One injected fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fault {
+    /// Extra modeled seconds on every matching send from `rank`
+    /// (to `to`, or to every peer when `None`).
+    DelaySend {
+        /// Sending rank.
+        rank: usize,
+        /// Destination filter (`None` = all peers).
+        to: Option<usize>,
+        /// Extra modeled seconds per message.
+        seconds: f64,
+    },
+    /// Each matching first transmission is lost with probability `prob`;
+    /// the link layer retransmits after a modeled backoff.
+    DropMsg {
+        /// Sending rank.
+        rank: usize,
+        /// Destination filter (`None` = all peers).
+        to: Option<usize>,
+        /// Loss probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Each matching first transmission arrives corrupted with
+    /// probability `prob`; the receiver detects and discards it and the
+    /// sender retransmits.
+    CorruptMsg {
+        /// Sending rank.
+        rank: usize,
+        /// Destination filter (`None` = all peers).
+        to: Option<usize>,
+        /// Corruption probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Modeled compute time on `rank` is multiplied by `factor`.
+    SlowCompute {
+        /// Straggling rank.
+        rank: usize,
+        /// Slowdown multiplier (`> 1` for stragglers).
+        factor: f64,
+    },
+    /// `rank` panics at operation index `op` of `epoch` (fires once).
+    CrashAt {
+        /// Crashing rank.
+        rank: usize,
+        /// Epoch in which to crash (as reported via
+        /// [`crate::RankCtx::set_epoch`]).
+        epoch: usize,
+        /// Per-epoch operation index at which to crash (0 = the
+        /// `set_epoch` call itself).
+        op: u64,
+    },
+}
+
+/// A declarative, seeded set of faults for one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// The faults to inject.
+    pub faults: Vec<Fault>,
+    /// Seed for per-message probabilistic decisions.
+    pub seed: u64,
+    /// Modeled retransmission timeout charged per drop/corruption.
+    pub retry_backoff_seconds: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            faults: Vec::new(),
+            seed,
+            retry_backoff_seconds: 1e-3,
+        }
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds a send-delay fault (builder style).
+    #[must_use]
+    pub fn delay_send(mut self, rank: usize, to: Option<usize>, seconds: f64) -> Self {
+        self.faults.push(Fault::DelaySend { rank, to, seconds });
+        self
+    }
+
+    /// Adds a message-drop fault (builder style).
+    #[must_use]
+    pub fn drop_messages(mut self, rank: usize, to: Option<usize>, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "drop probability out of range");
+        self.faults.push(Fault::DropMsg { rank, to, prob });
+        self
+    }
+
+    /// Adds a message-corruption fault (builder style).
+    #[must_use]
+    pub fn corrupt_messages(mut self, rank: usize, to: Option<usize>, prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "corruption probability out of range"
+        );
+        self.faults.push(Fault::CorruptMsg { rank, to, prob });
+        self
+    }
+
+    /// Adds a compute-straggler fault (builder style).
+    #[must_use]
+    pub fn slow_compute(mut self, rank: usize, factor: f64) -> Self {
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        self.faults.push(Fault::SlowCompute { rank, factor });
+        self
+    }
+
+    /// Adds a one-shot crash fault (builder style).
+    #[must_use]
+    pub fn crash_at(mut self, rank: usize, epoch: usize, op: u64) -> Self {
+        self.faults.push(Fault::CrashAt { rank, epoch, op });
+        self
+    }
+}
+
+/// The injector's verdict for one transmission.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SendFate {
+    /// Extra modeled seconds from delay faults.
+    pub delay_seconds: f64,
+    /// The first transmission is lost.
+    pub dropped: bool,
+    /// The first transmission arrives corrupted.
+    pub corrupted: bool,
+}
+
+/// Runtime evaluator of a [`FaultPlan`]. Shareable across restarted
+/// worlds (crash faults stay fired), which is what makes elastic restart
+/// converge instead of crashing forever.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Parallel to `plan.faults`; `true` once a `CrashAt` has fired.
+    crash_fired: Vec<AtomicBool>,
+}
+
+/// SplitMix64 finalizer over a composite key.
+fn mix(seed: u64, a: u64, b: u64, c: u64, d: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add(b.wrapping_mul(0xBF58476D1CE4E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D049BB133111EB))
+        .wrapping_add(d.wrapping_mul(0xD6E8FEB86659FD93));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from 53 hash bits.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let crash_fired = plan.faults.iter().map(|_| AtomicBool::new(false)).collect();
+        Self { plan, crash_fired }
+    }
+
+    /// The plan this injector evaluates.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether any not-yet-fired crash fault remains.
+    pub fn crashes_pending(&self) -> bool {
+        self.plan
+            .faults
+            .iter()
+            .zip(&self.crash_fired)
+            .any(|(f, fired)| matches!(f, Fault::CrashAt { .. }) && !fired.load(Ordering::Relaxed))
+    }
+
+    /// Deterministic fate of the `seq`-th transmission from `src` to `dst`.
+    pub(crate) fn send_fate(&self, src: usize, dst: usize, seq: u64) -> SendFate {
+        let mut fate = SendFate::default();
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            let key = |prob_kind: u64| {
+                mix(
+                    self.plan.seed ^ prob_kind,
+                    src as u64,
+                    dst as u64,
+                    seq,
+                    i as u64,
+                )
+            };
+            match *fault {
+                Fault::DelaySend { rank, to, seconds }
+                    if rank == src && to.is_none_or(|t| t == dst) =>
+                {
+                    fate.delay_seconds += seconds;
+                }
+                Fault::DropMsg { rank, to, prob } if rank == src && to.is_none_or(|t| t == dst) => {
+                    fate.dropped |= unit(key(1)) < prob;
+                }
+                Fault::CorruptMsg { rank, to, prob }
+                    if rank == src && to.is_none_or(|t| t == dst) =>
+                {
+                    fate.corrupted |= unit(key(2)) < prob;
+                }
+                _ => {}
+            }
+        }
+        fate
+    }
+
+    /// Combined compute-slowdown factor for `rank`.
+    pub(crate) fn compute_factor(&self, rank: usize) -> f64 {
+        self.plan
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::SlowCompute { rank: r, factor } if r == rank => Some(factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Checks (and fires at most once) any crash fault due at this point.
+    pub(crate) fn crash_due(&self, rank: usize, epoch: Option<usize>, op: u64) -> bool {
+        let Some(epoch) = epoch else { return false };
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            if let Fault::CrashAt {
+                rank: r,
+                epoch: e,
+                op: o,
+            } = *fault
+            {
+                if r == rank
+                    && e == epoch
+                    && op >= o
+                    && !self.crash_fired[i].swap(true, Ordering::SeqCst)
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fates_are_deterministic_per_key() {
+        let inj = FaultInjector::new(FaultPlan::new(7).drop_messages(0, None, 0.5));
+        for seq in 0..50 {
+            assert_eq!(inj.send_fate(0, 1, seq), inj.send_fate(0, 1, seq));
+        }
+        // And actually vary with the sequence number.
+        let drops = (0..200).filter(|&s| inj.send_fate(0, 1, s).dropped).count();
+        assert!(drops > 50 && drops < 150, "drops {drops}");
+    }
+
+    #[test]
+    fn fates_respect_rank_and_destination_filters() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(1)
+                .delay_send(2, Some(0), 0.25)
+                .drop_messages(1, None, 1.0),
+        );
+        assert_eq!(inj.send_fate(2, 0, 0).delay_seconds, 0.25);
+        assert_eq!(inj.send_fate(2, 1, 0).delay_seconds, 0.0);
+        assert!(inj.send_fate(1, 0, 3).dropped);
+        assert!(!inj.send_fate(0, 1, 3).dropped);
+    }
+
+    #[test]
+    fn seed_changes_the_stream() {
+        let a = FaultInjector::new(FaultPlan::new(1).drop_messages(0, None, 0.5));
+        let b = FaultInjector::new(FaultPlan::new(2).drop_messages(0, None, 0.5));
+        let differs =
+            (0..100).any(|s| a.send_fate(0, 1, s).dropped != b.send_fate(0, 1, s).dropped);
+        assert!(differs);
+    }
+
+    #[test]
+    fn compute_factor_multiplies() {
+        let inj = FaultInjector::new(FaultPlan::new(0).slow_compute(1, 2.0).slow_compute(1, 3.0));
+        assert_eq!(inj.compute_factor(1), 6.0);
+        assert_eq!(inj.compute_factor(0), 1.0);
+    }
+
+    #[test]
+    fn crash_fires_exactly_once() {
+        let inj = FaultInjector::new(FaultPlan::new(0).crash_at(1, 2, 5));
+        assert!(!inj.crash_due(1, Some(2), 4), "too early");
+        assert!(!inj.crash_due(1, Some(1), 9), "wrong epoch");
+        assert!(!inj.crash_due(0, Some(2), 9), "wrong rank");
+        assert!(inj.crashes_pending());
+        assert!(inj.crash_due(1, Some(2), 5));
+        assert!(!inj.crash_due(1, Some(2), 6), "must not re-fire");
+        assert!(!inj.crashes_pending());
+    }
+
+    #[test]
+    fn crash_needs_epoch_tracking() {
+        let inj = FaultInjector::new(FaultPlan::new(0).crash_at(0, 0, 0));
+        assert!(!inj.crash_due(0, None, 10), "no epoch reported, no crash");
+    }
+}

@@ -16,15 +16,29 @@
 //!   communicated; the model prices it like the paper's testbed would.
 //! * [`stats`] — per-rank, per-phase counters with the aggregation the
 //!   figures need (max-over-ranks epoch time, per-phase breakdown,
-//!   communication imbalance).
+//!   communication imbalance), plus injected-fault/retry counters.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`] /
+//!   [`FaultInjector`]): delayed, dropped, or corrupted messages, slowed
+//!   compute, and rank crashes at a chosen epoch, all derived from a
+//!   seed so faulty runs replay bit-identically.
+//! * [`error`] — structured failure reporting: [`ThreadWorld::try_run`]
+//!   returns a [`WorldError`] naming the panicking rank, the injected
+//!   crash, or a [`DeadlockReport`] from the built-in watchdog instead
+//!   of hanging or aborting opaquely.
 
 pub mod cost;
 pub mod ctx;
+pub mod error;
+pub mod fault;
 pub mod msg;
 pub mod stats;
 pub mod world;
 
+pub(crate) mod watchdog;
+
 pub use cost::CostModel;
 pub use ctx::RankCtx;
-pub use stats::{Phase, RankStats, WorldStats};
+pub use error::{BlockedRank, DeadlockReport, WaitKind, WorldError};
+pub use fault::{Fault, FaultInjector, FaultPlan, SendFate};
+pub use stats::{FaultCounters, Phase, RankStats, WorldStats};
 pub use world::ThreadWorld;

@@ -86,6 +86,9 @@ fn kind(p: &Payload) -> &'static str {
 pub struct Msg {
     /// Op discriminator (see [`crate::ctx`] constants).
     pub tag: u8,
+    /// Set by the fault injector: this copy arrived corrupted (checksum
+    /// failure); the receiver discards it and waits for the retransmit.
+    pub corrupt: bool,
     /// The data.
     pub payload: Payload,
 }
@@ -99,14 +102,25 @@ mod tests {
         assert_eq!(Payload::Empty.bytes(), 0);
         assert_eq!(Payload::F64(vec![0.0; 3]).bytes(), 24);
         assert_eq!(Payload::U32(vec![0; 3]).bytes(), 12);
-        assert_eq!(Payload::Rows { idx: vec![1, 2], data: vec![0.0; 4] }.bytes(), 8 + 32);
+        assert_eq!(
+            Payload::Rows {
+                idx: vec![1, 2],
+                data: vec![0.0; 4]
+            }
+            .bytes(),
+            8 + 32
+        );
     }
 
     #[test]
     fn unwrap_roundtrip() {
         assert_eq!(Payload::F64(vec![1.0]).into_f64(), vec![1.0]);
         assert_eq!(Payload::U32(vec![7]).into_u32(), vec![7]);
-        let (i, d) = Payload::Rows { idx: vec![3], data: vec![9.0] }.into_rows();
+        let (i, d) = Payload::Rows {
+            idx: vec![3],
+            data: vec![9.0],
+        }
+        .into_rows();
         assert_eq!((i, d), (vec![3], vec![9.0]));
     }
 

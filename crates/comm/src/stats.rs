@@ -6,10 +6,8 @@
 //! epoch time (max over ranks), per-phase breakdowns (Fig. 4/5), and
 //! communication load imbalance (Table 2).
 
-use serde::{Deserialize, Serialize};
-
 /// The phases of the paper's timing breakdown.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Local SpMM/GEMM work, plus gather/pack/allocate time (the paper
     /// folds packing into "local computation").
@@ -27,8 +25,14 @@ pub enum Phase {
 }
 
 /// All phases, in breakdown display order.
-pub const PHASES: [Phase; 6] =
-    [Phase::LocalCompute, Phase::AllToAll, Phase::Bcast, Phase::AllReduce, Phase::P2p, Phase::Other];
+pub const PHASES: [Phase; 6] = [
+    Phase::LocalCompute,
+    Phase::AllToAll,
+    Phase::Bcast,
+    Phase::AllReduce,
+    Phase::P2p,
+    Phase::Other,
+];
 
 impl Phase {
     fn index(self) -> usize {
@@ -44,7 +48,7 @@ impl Phase {
 }
 
 /// Counters for one phase on one rank.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PhaseCounters {
     /// Number of operations (collective calls, messages, kernel launches).
     pub ops: u64,
@@ -73,10 +77,50 @@ impl PhaseCounters {
     }
 }
 
+/// Injected-fault and recovery accounting for one rank (satellite data
+/// for degraded-mode experiments: how much adversity a run absorbed).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultCounters {
+    /// Sends hit by an injected delay fault.
+    pub delays: u64,
+    /// Total extra modeled seconds injected by delay faults.
+    pub delay_seconds: f64,
+    /// First transmissions lost to injected drop faults (each triggered a
+    /// modeled retransmission).
+    pub drops: u64,
+    /// First transmissions corrupted by injected corruption faults.
+    pub corruptions: u64,
+    /// Corrupt copies this rank detected (checksum failure) and discarded.
+    pub corruptions_detected: u64,
+    /// Link-layer retransmissions this rank performed (drops + corruptions).
+    pub retries: u64,
+    /// Compute ops priced with an injected straggler slowdown.
+    pub slowed_ops: u64,
+}
+
+impl FaultCounters {
+    fn merge(&mut self, o: &FaultCounters) {
+        self.delays += o.delays;
+        self.delay_seconds += o.delay_seconds;
+        self.drops += o.drops;
+        self.corruptions += o.corruptions;
+        self.corruptions_detected += o.corruptions_detected;
+        self.retries += o.retries;
+        self.slowed_ops += o.slowed_ops;
+    }
+
+    /// Total injected fault events charged to this rank's sends/computes.
+    pub fn injected_total(&self) -> u64 {
+        self.delays + self.drops + self.corruptions + self.slowed_ops
+    }
+}
+
 /// Per-rank accounting across all phases.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RankStats {
     phases: [PhaseCounters; 6],
+    /// Injected-fault and retry counters.
+    pub faults: FaultCounters,
 }
 
 impl RankStats {
@@ -110,11 +154,12 @@ impl RankStats {
         for (a, b) in self.phases.iter_mut().zip(&other.phases) {
             a.merge(b);
         }
+        self.faults.merge(&other.faults);
     }
 }
 
 /// Aggregated statistics for a whole run.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct WorldStats {
     /// One entry per rank.
     pub per_rank: Vec<RankStats>,
@@ -134,7 +179,10 @@ impl WorldStats {
     /// Modeled epoch time: the slowest rank determines the bulk-
     /// synchronous step, exactly the "bottleneck process" argument of §5.
     pub fn modeled_epoch_time(&self) -> f64 {
-        self.per_rank.iter().map(RankStats::modeled_total).fold(0.0, f64::max)
+        self.per_rank
+            .iter()
+            .map(RankStats::modeled_total)
+            .fold(0.0, f64::max)
     }
 
     /// Modeled epoch time under **perfect communication/computation
@@ -155,7 +203,10 @@ impl WorldStats {
 
     /// Max over ranks of one phase's modeled seconds (figure breakdowns).
     pub fn phase_time(&self, p: Phase) -> f64 {
-        self.per_rank.iter().map(|r| r.phase(p).modeled_seconds).fold(0.0, f64::max)
+        self.per_rank
+            .iter()
+            .map(|r| r.phase(p).modeled_seconds)
+            .fold(0.0, f64::max)
     }
 
     /// Sum over ranks of bytes sent in one phase. Note broadcast sends
@@ -182,7 +233,11 @@ impl WorldStats {
 
     /// Max bytes sent by any rank in one phase (Table 2's "max").
     pub fn max_send_bytes(&self, p: Phase) -> u64 {
-        self.per_rank.iter().map(|r| r.phase(p).bytes_sent).max().unwrap_or(0)
+        self.per_rank
+            .iter()
+            .map(|r| r.phase(p).bytes_sent)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Communication load imbalance `(max/avg − 1)·100%`, the paper's
@@ -195,9 +250,28 @@ impl WorldStats {
         (self.max_send_bytes(p) as f64 / avg - 1.0) * 100.0
     }
 
+    /// Sum over ranks of link-layer retransmissions (injected drops and
+    /// corruptions that were recovered in place).
+    pub fn total_retries(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.faults.retries).sum()
+    }
+
+    /// Sum over ranks of injected fault events (delays, drops,
+    /// corruptions, slowed compute ops).
+    pub fn total_injected_faults(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.faults.injected_total())
+            .sum()
+    }
+
     /// Element-wise merge (accumulate multiple epochs/runs).
     pub fn merge(&mut self, other: &WorldStats) {
-        assert_eq!(self.per_rank.len(), other.per_rank.len(), "rank count mismatch");
+        assert_eq!(
+            self.per_rank.len(),
+            other.per_rank.len(),
+            "rank count mismatch"
+        );
         for (a, b) in self.per_rank.iter_mut().zip(&other.per_rank) {
             a.merge(b);
         }

@@ -7,31 +7,54 @@
 //! Channels are unbounded so sends never block — the same progress
 //! guarantee NCCL's grouped nonblocking `ncclSend`/`ncclRecv` calls give
 //! the paper's implementation.
+//!
+//! [`ThreadWorld::try_run`] is the robust entry point: instead of
+//! propagating an opaque panic it returns a structured
+//! [`WorldError`] — the panicking rank and its message, the injected
+//! crash that fired, or a [`crate::error::DeadlockReport`] when the
+//! watchdog converted a hang into a diagnosis. Attach a
+//! [`FaultPlan`]/[`FaultInjector`] to rehearse degraded conditions
+//! deterministically.
 
-use std::sync::{Arc, Barrier};
-
-use crossbeam::channel::unbounded;
+use std::any::Any;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
 
 use crate::cost::CostModel;
 use crate::ctx::RankCtx;
+use crate::error::{CrashPanic, DeadlockPanic, WorldError};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::msg::Msg;
 use crate::stats::WorldStats;
+use crate::watchdog::{TimeoutBarrier, Watchdog};
 
 /// Factory for SPMD runs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ThreadWorld {
     p: usize,
     model: CostModel,
+    timeout: Duration,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl ThreadWorld {
+    /// Default watchdog timeout: generous enough for any legitimate test
+    /// workload, finite so a protocol bug can never hang a suite.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
     /// A world of `p` ranks priced by `model`.
     ///
     /// # Panics
     /// Panics if `p == 0`.
     pub fn new(p: usize, model: CostModel) -> Self {
         assert!(p >= 1, "world needs at least one rank");
-        Self { p, model }
+        Self {
+            p,
+            model,
+            timeout: Self::DEFAULT_TIMEOUT,
+            injector: None,
+        }
     }
 
     /// World size.
@@ -39,34 +62,85 @@ impl ThreadWorld {
         self.p
     }
 
+    /// The configured watchdog timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Sets the deadlock-watchdog timeout for blocking operations.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        assert!(
+            timeout > Duration::ZERO,
+            "watchdog timeout must be positive"
+        );
+        self.timeout = timeout;
+        self
+    }
+
+    /// Attaches a fault plan (fresh injector).
+    #[must_use]
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        self.with_injector(Arc::new(FaultInjector::new(plan)))
+    }
+
+    /// Attaches a (possibly shared) fault injector. Sharing one injector
+    /// across restarted worlds keeps one-shot crash faults fired.
+    #[must_use]
+    pub fn with_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// The attached fault injector, if any.
+    pub fn injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
     /// Runs `f` on every rank; returns rank-indexed results and stats.
     ///
     /// `f` must be deterministic per rank and must execute a consistent
     /// SPMD protocol (matching sends/recvs); a protocol mismatch panics
-    /// (tag assert) or deadlocks only if a rank waits for a message that
-    /// is never sent.
+    /// (tag assert) or — when a rank waits for a message that is never
+    /// sent — is converted by the watchdog into a deadlock panic within
+    /// the configured timeout.
     ///
     /// # Panics
-    /// Propagates any rank's panic.
+    /// Panics with the [`WorldError`] rendering (rank id + panic message,
+    /// injected-crash coordinates, or the deadlock report) when any rank
+    /// fails. Use [`ThreadWorld::try_run`] to handle failures
+    /// programmatically.
     pub fn run<R, F>(&self, f: F) -> (Vec<R>, WorldStats)
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        self.try_run(f)
+            .unwrap_or_else(|e| panic!("world failed: {e}"))
+    }
+
+    /// Runs `f` on every rank, converting any rank failure into a
+    /// structured [`WorldError`] instead of a panic.
+    pub fn try_run<R, F>(&self, f: F) -> Result<(Vec<R>, WorldStats), WorldError>
     where
         R: Send,
         F: Fn(&mut RankCtx) -> R + Sync,
     {
         let p = self.p;
         // Mesh of channels: tx[src][dst] feeds rx[dst][src].
-        let mut senders: Vec<Vec<Option<crossbeam::channel::Sender<Msg>>>> =
+        let mut senders: Vec<Vec<Option<std::sync::mpsc::Sender<Msg>>>> =
             (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Msg>>>> =
+        let mut receivers: Vec<Vec<Option<std::sync::mpsc::Receiver<Msg>>>> =
             (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         for src in 0..p {
             for dst in 0..p {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 senders[src][dst] = Some(tx);
                 receivers[dst][src] = Some(rx);
             }
         }
-        let barrier = Arc::new(Barrier::new(p));
+        let barrier = Arc::new(TimeoutBarrier::new(p));
+        let watchdog = Arc::new(Watchdog::new(p, self.timeout));
 
         // Per-rank contexts, built outside the threads.
         let mut ctxs: Vec<RankCtx> = senders
@@ -81,23 +155,22 @@ impl ThreadWorld {
                     tx_row.into_iter().map(Option::unwrap).collect(),
                     rx_row.into_iter().map(Option::unwrap).collect(),
                     barrier.clone(),
+                    watchdog.clone(),
+                    self.injector.clone(),
                 )
             })
             .collect();
 
-        let mut results: Vec<Option<(R, crate::stats::RankStats)>> =
-            (0..p).map(|_| None).collect();
+        let mut results: Vec<Option<(R, crate::stats::RankStats)>> = (0..p).map(|_| None).collect();
+        let mut failures: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
 
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let f = &f;
             let mut handles = Vec::with_capacity(p);
-            for (rank, (ctx, slot)) in
-                ctxs.drain(..).zip(results.iter_mut()).enumerate()
-            {
-                let handle = s
-                    .builder()
+            for (rank, (ctx, slot)) in ctxs.drain(..).zip(results.iter_mut()).enumerate() {
+                let handle = std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
-                    .spawn(move |_| {
+                    .spawn_scoped(s, move || {
                         let mut ctx = ctx;
                         let out = f(&mut ctx);
                         *slot = Some((out, ctx.into_stats()));
@@ -105,11 +178,16 @@ impl ThreadWorld {
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
             }
-            for h in handles {
-                h.join().expect("a rank panicked");
+            for (rank, h) in handles.into_iter().enumerate() {
+                if let Err(payload) = h.join() {
+                    failures.push((rank, payload));
+                }
             }
-        })
-        .expect("scope error");
+        });
+
+        if !failures.is_empty() {
+            return Err(classify_failures(failures));
+        }
 
         let mut outs = Vec::with_capacity(p);
         let mut stats = Vec::with_capacity(p);
@@ -118,7 +196,59 @@ impl ThreadWorld {
             outs.push(r);
             stats.push(st);
         }
-        (outs, WorldStats::new(stats))
+        Ok((outs, WorldStats::new(stats)))
+    }
+}
+
+/// Picks the root cause out of (possibly cascading) rank failures.
+///
+/// Precedence: an injected crash (the planned root cause) beats an
+/// organic panic, which beats a deadlock report (ranks parked at a
+/// barrier while a peer dies time out as a *consequence*, not a cause);
+/// "peer hung up" panics are cascades of some other rank's death and
+/// are only reported when nothing better is available.
+fn classify_failures(failures: Vec<(usize, Box<dyn Any + Send>)>) -> WorldError {
+    let mut crash: Option<WorldError> = None;
+    let mut deadlock: Option<WorldError> = None;
+    let mut primary: Option<WorldError> = None;
+    let mut cascade: Option<WorldError> = None;
+    for (rank, payload) in failures {
+        if let Some(c) = payload.downcast_ref::<CrashPanic>() {
+            crash.get_or_insert(WorldError::InjectedCrash {
+                rank: c.rank,
+                epoch: c.epoch,
+                op: c.op,
+            });
+        } else if let Some(d) = payload.downcast_ref::<DeadlockPanic>() {
+            deadlock.get_or_insert(WorldError::Deadlock(d.0.clone()));
+        } else {
+            let message = panic_message(payload.as_ref());
+            let err = WorldError::Panicked {
+                rank,
+                message: message.clone(),
+            };
+            if message.contains("hung up") {
+                cascade.get_or_insert(err);
+            } else {
+                primary.get_or_insert(err);
+            }
+        }
+    }
+    crash
+        .or(primary)
+        .or(deadlock)
+        .or(cascade)
+        .expect("classify_failures called with no failures")
+}
+
+/// Downcasts a panic payload to something printable.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -130,6 +260,11 @@ mod tests {
 
     fn world(p: usize) -> ThreadWorld {
         ThreadWorld::new(p, CostModel::bandwidth_only())
+    }
+
+    /// Short watchdog for tests that deliberately hang.
+    fn quick_world(p: usize) -> ThreadWorld {
+        world(p).with_timeout(Duration::from_millis(250))
     }
 
     #[test]
@@ -168,8 +303,11 @@ mod tests {
     #[test]
     fn bcast_delivers_to_everyone() {
         let (outs, stats) = world(4).run(|ctx| {
-            let payload =
-                if ctx.rank() == 2 { Some(Payload::U32(vec![42, 43])) } else { None };
+            let payload = if ctx.rank() == 2 {
+                Some(Payload::U32(vec![42, 43]))
+            } else {
+                None
+            };
             ctx.bcast(2, payload).into_u32()
         });
         for o in outs {
@@ -230,11 +368,11 @@ mod tests {
             ctx.allreduce_sum(&mut buf, &group);
             buf
         });
-        for me in 0..3 {
-            assert_eq!(outs[me], vec![0.0 + 1.0 + 2.0, 3.0]);
+        for out in &outs[..3] {
+            assert_eq!(*out, vec![0.0 + 1.0 + 2.0, 3.0]);
         }
-        for me in 3..6 {
-            assert_eq!(outs[me], vec![3.0 + 4.0 + 5.0, 3.0]);
+        for out in &outs[3..] {
+            assert_eq!(*out, vec![3.0 + 4.0 + 5.0, 3.0]);
         }
     }
 
@@ -267,7 +405,11 @@ mod tests {
 
     #[test]
     fn compute_records_flops_and_model_time() {
-        let model = CostModel { alpha: 0.0, beta: 0.0, flop_rate: 1000.0 };
+        let model = CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            flop_rate: 1000.0,
+        };
         let (_, stats) = ThreadWorld::new(2, model).run(|ctx| {
             ctx.compute(500, || std::hint::black_box(3 + 4));
         });
@@ -295,12 +437,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "a rank panicked")]
+    #[should_panic(expected = "protocol mismatch")]
     fn protocol_mismatch_fails_fast() {
         // Rank 0 sends a point-to-point message; rank 1 expects a
         // broadcast. The tag check must abort the run rather than
         // silently mis-pairing buffers.
-        world(2).run(|ctx| {
+        quick_world(2).run(|ctx| {
             if ctx.rank() == 0 {
                 ctx.send(1, Payload::F64(vec![1.0]));
             } else {
@@ -310,8 +452,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "a rank panicked")]
-    fn rank_panic_propagates() {
+    #[should_panic(expected = "rank 2 panicked: worker blew up")]
+    fn rank_panic_propagates_with_rank_and_message() {
         world(3).run(|ctx| {
             if ctx.rank() == 2 {
                 panic!("worker blew up");
@@ -320,11 +462,134 @@ mod tests {
     }
 
     #[test]
+    fn try_run_returns_ok_results() {
+        let out = world(3).try_run(|ctx| ctx.rank() * 2);
+        let (outs, stats) = out.expect("clean run");
+        assert_eq!(outs, vec![0, 2, 4]);
+        assert_eq!(stats.p(), 3);
+    }
+
+    #[test]
+    fn try_run_captures_panic_rank_and_payload() {
+        let err = quick_world(3)
+            .try_run(|ctx| {
+                if ctx.rank() == 1 {
+                    panic!("numerical blowup at layer 7");
+                }
+                ctx.barrier();
+            })
+            .unwrap_err();
+        match err {
+            WorldError::Panicked { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("numerical blowup at layer 7"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other}"),
+        }
+    }
+
+    #[test]
+    fn try_run_prefers_root_cause_over_cascade() {
+        // Rank 0 panics; rank 1, blocked on a recv from rank 0, dies with
+        // a "hung up" cascade. The reported error must be rank 0's.
+        let err = quick_world(2)
+            .try_run(|ctx| {
+                if ctx.rank() == 0 {
+                    panic!("root cause");
+                }
+                ctx.recv(0);
+            })
+            .unwrap_err();
+        match err {
+            WorldError::Panicked { rank, message } => {
+                assert_eq!(rank, 0);
+                assert!(message.contains("root cause"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cyclic_recv_becomes_deadlock_report() {
+        // Classic head-to-head deadlock: each rank waits for a message
+        // the other will only send after receiving one itself.
+        let t0 = std::time::Instant::now();
+        let err = quick_world(2)
+            .try_run(|ctx| {
+                let peer = 1 - ctx.rank();
+                ctx.recv(peer); // nobody ever sends
+            })
+            .unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "watchdog fired late"
+        );
+        match err {
+            WorldError::Deadlock(report) => {
+                assert!(report.names(0), "rank 0 must be in {report}");
+                let r0 = report
+                    .blocked
+                    .iter()
+                    .find(|b| b.rank == 0)
+                    .expect("rank 0 entry");
+                assert_eq!(r0.waiting_on, Some(1));
+            }
+            other => panic!("expected Deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn peer_exit_without_send_is_reported_promptly() {
+        // Rank 1 returns without ever sending; rank 0's recv must not
+        // wait out the full watchdog timeout — the closed channel is
+        // detected immediately and reported with both rank ids.
+        let t0 = std::time::Instant::now();
+        let err = world(2) // full 30 s timeout on purpose
+            .try_run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.recv(1);
+                }
+            })
+            .unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "should not wait for watchdog"
+        );
+        match err {
+            WorldError::Panicked { rank, message } => {
+                assert_eq!(rank, 0);
+                assert!(message.contains("rank 1"), "{message}");
+                assert!(message.contains("hung up"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_barrier_party_becomes_deadlock_report() {
+        let err = quick_world(3)
+            .try_run(|ctx| {
+                if ctx.rank() != 2 {
+                    ctx.barrier();
+                }
+            })
+            .unwrap_err();
+        match err {
+            WorldError::Deadlock(report) => {
+                assert!(report.names(0) && report.names(1), "{report}");
+                assert!(!report.names(2), "rank 2 exited cleanly: {report}");
+            }
+            other => panic!("expected Deadlock, got {other}"),
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "self-sends")]
     fn self_send_is_rejected() {
         // Assert fires on the calling thread before any message moves.
-        let (tx, rx) = crossbeam::channel::unbounded();
-        let barrier = std::sync::Arc::new(std::sync::Barrier::new(1));
+        let (tx, rx) = channel();
+        let barrier = Arc::new(TimeoutBarrier::new(1));
+        let watchdog = Arc::new(Watchdog::new(1, Duration::from_secs(1)));
         let mut ctx = crate::ctx::RankCtx::new(
             0,
             1,
@@ -332,6 +597,8 @@ mod tests {
             vec![tx],
             vec![rx],
             barrier,
+            watchdog,
+            None,
         );
         ctx.send(0, Payload::Empty);
     }
@@ -351,5 +618,146 @@ mod tests {
         assert_eq!(stats.per_rank[0].phase(Phase::Bcast).ops, 4);
         assert_eq!(stats.per_rank[0].phase(Phase::Bcast).bytes_sent, 4 * 80);
         assert_eq!(stats.per_rank[1].phase(Phase::Bcast).bytes_recv, 4 * 80);
+    }
+
+    // ---- fault injection ----
+
+    #[test]
+    fn injected_crash_is_structured() {
+        let plan = FaultPlan::new(0).crash_at(1, 0, 1);
+        let err = world(2)
+            .with_faults(plan)
+            .try_run(|ctx| {
+                ctx.set_epoch(0);
+                let peer = 1 - ctx.rank();
+                ctx.send(peer, Payload::Empty);
+                ctx.recv(peer);
+            })
+            .unwrap_err();
+        match err {
+            WorldError::InjectedCrash { rank, epoch, .. } => {
+                assert_eq!(rank, 1);
+                assert_eq!(epoch, Some(0));
+            }
+            other => panic!("expected InjectedCrash, got {other}"),
+        }
+    }
+
+    #[test]
+    fn crash_fires_once_across_reruns_of_a_shared_injector() {
+        let injector = Arc::new(FaultInjector::new(FaultPlan::new(0).crash_at(0, 0, 1)));
+        let w = world(2).with_injector(injector.clone());
+        let body = |ctx: &mut RankCtx| {
+            ctx.set_epoch(0);
+            let peer = 1 - ctx.rank();
+            ctx.send(peer, Payload::F64(vec![1.0]));
+            ctx.recv(peer).into_f64()[0]
+        };
+        assert!(w.try_run(body).is_err(), "first run must crash");
+        let (outs, _) = w.try_run(body).expect("second run is clean");
+        assert_eq!(outs, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn dropped_messages_are_retransmitted_and_counted() {
+        let plan = FaultPlan::new(3).drop_messages(0, None, 1.0);
+        let (outs, stats) = world(2).with_faults(plan).run(|ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send(peer, Payload::F64(vec![ctx.rank() as f64]));
+            ctx.recv(peer).into_f64()[0]
+        });
+        // Payloads still arrive intact.
+        assert_eq!(outs, vec![1.0, 0.0]);
+        let r0 = &stats.per_rank[0].faults;
+        assert_eq!(r0.drops, 1);
+        assert_eq!(r0.retries, 1);
+        assert_eq!(stats.per_rank[1].faults.drops, 0);
+        assert_eq!(stats.total_retries(), 1);
+        // The retransmission costs modeled time but not logical bytes.
+        assert_eq!(stats.per_rank[0].phase(Phase::P2p).bytes_sent, 8);
+        assert!(
+            stats.per_rank[0].phase(Phase::P2p).modeled_seconds
+                > stats.per_rank[1].phase(Phase::P2p).modeled_seconds
+        );
+    }
+
+    #[test]
+    fn corruption_is_detected_by_the_receiver() {
+        let plan = FaultPlan::new(5).corrupt_messages(0, Some(1), 1.0);
+        let (outs, stats) = world(2).with_faults(plan).run(|ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send(peer, Payload::U32(vec![7]));
+            ctx.recv(peer).into_u32()[0]
+        });
+        assert_eq!(outs, vec![7, 7]);
+        assert_eq!(stats.per_rank[0].faults.corruptions, 1);
+        assert_eq!(stats.per_rank[1].faults.corruptions_detected, 1);
+        assert_eq!(stats.total_injected_faults(), 1);
+    }
+
+    #[test]
+    fn delay_fault_charges_the_cost_model() {
+        let plan = FaultPlan::new(0).delay_send(0, Some(1), 2.5);
+        let (_, stats) = world(2).with_faults(plan).run(|ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send(peer, Payload::F64(vec![0.0; 4]));
+            ctx.recv(peer);
+        });
+        let f = &stats.per_rank[0].faults;
+        assert_eq!(f.delays, 1);
+        assert_eq!(f.delay_seconds, 2.5);
+        // bandwidth_only model: baseline cost is bytes; delay dominates.
+        assert!(stats.per_rank[0].phase(Phase::P2p).modeled_seconds >= 2.5);
+        assert_eq!(stats.per_rank[1].faults.delays, 0);
+    }
+
+    #[test]
+    fn slow_compute_scales_modeled_time_only_on_the_straggler() {
+        let model = CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            flop_rate: 1000.0,
+        };
+        let plan = FaultPlan::new(0).slow_compute(1, 4.0);
+        let (_, stats) = ThreadWorld::new(2, model).with_faults(plan).run(|ctx| {
+            ctx.compute(1000, || std::hint::black_box(0));
+        });
+        let fast = stats.per_rank[0].phase(Phase::LocalCompute).modeled_seconds;
+        let slow = stats.per_rank[1].phase(Phase::LocalCompute).modeled_seconds;
+        assert!((fast - 1.0).abs() < 1e-12);
+        assert!((slow - 4.0).abs() < 1e-12);
+        assert_eq!(stats.per_rank[1].faults.slowed_ops, 1);
+        // The straggler sets the modeled epoch time — the paper's
+        // bottleneck-process argument, now injectable.
+        assert!((stats.modeled_epoch_time() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let run = || {
+            let plan = FaultPlan::new(11)
+                .drop_messages(0, None, 0.5)
+                .corrupt_messages(1, None, 0.5)
+                .delay_send(2, None, 0.125);
+            world(3).with_faults(plan).run(|ctx| {
+                let mut acc = 0.0;
+                for round in 0..8 {
+                    let sends = (0..3)
+                        .map(|d| Payload::F64(vec![(ctx.rank() * 8 + round + d) as f64]))
+                        .collect();
+                    acc += ctx
+                        .alltoallv(sends)
+                        .into_iter()
+                        .map(|p| p.into_f64()[0])
+                        .sum::<f64>();
+                }
+                acc
+            })
+        };
+        let (a_out, a_stats) = run();
+        let (b_out, b_stats) = run();
+        assert_eq!(a_out, b_out);
+        assert_eq!(a_stats, b_stats);
+        assert!(a_stats.total_injected_faults() > 0, "plan injected nothing");
     }
 }

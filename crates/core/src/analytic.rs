@@ -58,13 +58,7 @@ fn rows_payload_bytes(rows: u64, f: u64) -> u64 {
 }
 
 /// One sparsity-aware 1D SpMM's charges on rank `me` at width `f`.
-fn spmm_1d_aware_charges(
-    plan: &Plan1d,
-    me: usize,
-    f: u64,
-    model: &CostModel,
-    st: &mut RankStats,
-) {
+fn spmm_1d_aware_charges(plan: &Plan1d, me: usize, f: u64, model: &CostModel, st: &mut RankStats) {
     let rp = &plan.ranks[me];
     let mut pack_elems = 0u64;
     let mut sent = 0u64;
@@ -187,7 +181,10 @@ pub fn estimate(input: &AnalyticInput<'_>) -> WorldStats {
         Algo::OneFiveD { aware, c } => {
             let pr = input.bounds.len() - 1;
             let p = pr * c;
-            (p, P::OneFiveD(Plan15d::build(input.adj, p, c, input.bounds, aware), aware))
+            (
+                p,
+                P::OneFiveD(Plan15d::build(input.adj, p, c, input.bounds, aware), aware),
+            )
         }
     };
 
@@ -278,7 +275,12 @@ mod tests {
         let bounds = even_bounds(adj.rows(), 16);
         let dims = [32usize, 16, 8];
         let aware = estimate(&input_for(&adj, &bounds, Algo::OneD { aware: true }, &dims));
-        let obliv = estimate(&input_for(&adj, &bounds, Algo::OneD { aware: false }, &dims));
+        let obliv = estimate(&input_for(
+            &adj,
+            &bounds,
+            Algo::OneD { aware: false },
+            &dims,
+        ));
         assert!(
             aware.phase_recv_bytes_total(Phase::AllToAll)
                 < obliv.phase_recv_bytes_total(Phase::Bcast)
@@ -303,8 +305,18 @@ mod tests {
         let dims = [16usize, 16, 8];
         let b2 = even_bounds(adj.rows(), 16 / 2);
         let b4 = even_bounds(adj.rows(), 16 / 4);
-        let c2 = estimate(&input_for(&adj, &b2, Algo::OneFiveD { aware: true, c: 2 }, &dims));
-        let c4 = estimate(&input_for(&adj, &b4, Algo::OneFiveD { aware: true, c: 4 }, &dims));
+        let c2 = estimate(&input_for(
+            &adj,
+            &b2,
+            Algo::OneFiveD { aware: true, c: 2 },
+            &dims,
+        ));
+        let c4 = estimate(&input_for(
+            &adj,
+            &b4,
+            Algo::OneFiveD { aware: true, c: 4 },
+            &dims,
+        ));
         assert!(c4.phase_bytes_total(Phase::P2p) < c2.phase_bytes_total(Phase::P2p));
         assert!(c4.phase_time(Phase::AllReduce) > c2.phase_time(Phase::AllReduce));
     }

@@ -9,5 +9,7 @@ pub mod trainer;
 pub mod twod;
 
 pub use plan::{even_bounds, Plan15d, Plan1d};
-pub use trainer::{train_distributed, Algo, DistConfig, DistOutcome};
+pub use trainer::{
+    train_distributed, try_train_distributed, Algo, DistConfig, DistOutcome, RobustnessConfig,
+};
 pub use twod::Plan2d;

@@ -20,7 +20,11 @@ pub fn spmm_1d_oblivious(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> D
     let me = ctx.rank();
     let rp = &plan.ranks[me];
     let f = h_local.cols();
-    assert_eq!(h_local.rows(), rp.row_hi - rp.row_lo, "local H block shape mismatch");
+    assert_eq!(
+        h_local.rows(),
+        rp.row_hi - rp.row_lo,
+        "local H block shape mismatch"
+    );
 
     // Assemble the full H via p broadcasts (the paper's CAGNET baseline).
     let mut h_full = Dense::zeros(plan.n, f);
@@ -32,7 +36,11 @@ pub fn spmm_1d_oblivious(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> D
         };
         let data = ctx.bcast(j, payload).into_f64();
         let rows_j = plan.rows_of(j);
-        assert_eq!(data.len(), rows_j * f, "broadcast size mismatch from rank {j}");
+        assert_eq!(
+            data.len(),
+            rows_j * f,
+            "broadcast size mismatch from rank {j}"
+        );
         h_full.data_mut()[plan.bounds[j] * f..plan.bounds[j + 1] * f].copy_from_slice(&data);
     }
     // Copy/assembly cost: one element move per entry of H.
@@ -53,7 +61,11 @@ pub fn spmm_1d_aware(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> Dense
     let rp = &plan.ranks[me];
     let f = h_local.cols();
     let lo = rp.row_lo;
-    assert_eq!(h_local.rows(), rp.row_hi - lo, "local H block shape mismatch");
+    assert_eq!(
+        h_local.rows(),
+        rp.row_hi - lo,
+        "local H block shape mismatch"
+    );
 
     // Pack: gather the rows each peer asked for.
     let mut pack_elems = 0u64;
@@ -68,7 +80,10 @@ pub fn spmm_1d_aware(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> Dense
             for &g in idx {
                 data.extend_from_slice(h_local.row(g as usize - lo));
             }
-            Payload::Rows { idx: idx.clone(), data }
+            Payload::Rows {
+                idx: idx.clone(),
+                data,
+            }
         })
         .collect();
     ctx.record_compute(pack_elems);

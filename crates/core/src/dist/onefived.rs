@@ -46,7 +46,10 @@ pub fn spmm_15d(ctx: &mut RankCtx, plan: &Plan15d, h_local: &Dense, aware: bool)
                     data.extend_from_slice(h_local.row(g as usize - rp.row_lo));
                 }
                 pack_elems += (idx.len() * f) as u64;
-                Payload::Rows { idx: idx.clone(), data }
+                Payload::Rows {
+                    idx: idx.clone(),
+                    data,
+                }
             } else {
                 Payload::F64(h_local.data().to_vec())
             };
@@ -79,7 +82,11 @@ pub fn spmm_15d(ctx: &mut RankCtx, plan: &Plan15d, h_local: &Dense, aware: bool)
                 Dense::from_vec(idx.len(), f, data)
             } else {
                 let data = ctx.recv(src).into_f64();
-                assert_eq!(data.len(), st.needed.len() * f, "block size mismatch from {src}");
+                assert_eq!(
+                    data.len(),
+                    st.needed.len() * f,
+                    "block size mismatch from {src}"
+                );
                 Dense::from_vec(st.needed.len(), f, data)
             }
         };

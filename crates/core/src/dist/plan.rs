@@ -13,6 +13,9 @@
 use spmat::Csr;
 
 /// Per-rank plan for the 1D algorithms.
+/// Per (block-row, block-col) cache of (needed rows, compact block).
+type BlockCache = Vec<Vec<Option<(Vec<u32>, Csr)>>>;
+
 #[derive(Clone, Debug)]
 pub struct RankPlan1d {
     /// First global row owned.
@@ -128,7 +131,12 @@ impl Plan1d {
                 ranks[j].send_to[i] = needed;
             }
         }
-        Plan1d { n, p, bounds: bounds.to_vec(), ranks }
+        Plan1d {
+            n,
+            p,
+            bounds: bounds.to_vec(),
+            ranks,
+        }
     }
 
     /// Rows owned by rank `i`.
@@ -202,7 +210,10 @@ impl Plan15d {
     /// Panics unless `p` is divisible by `c²` (the paper's grid
     /// requirement) and `bounds` covers `0..n` with `p/c` parts.
     pub fn build(adj: &Csr, p: usize, c: usize, bounds: &[usize], aware: bool) -> Plan15d {
-        assert!(c >= 1 && p % (c * c) == 0, "need c² | p (got p={p}, c={c})");
+        assert!(
+            c >= 1 && p.is_multiple_of(c * c),
+            "need c² | p (got p={p}, c={c})"
+        );
         let pr = p / c;
         let s = pr / c;
         let n = adj.rows();
@@ -213,7 +224,7 @@ impl Plan15d {
         // block, computed once and cloned into the c replicas.
         let mut ranks = Vec::with_capacity(p);
         // needed_all[i][q] — computed lazily per (i, q) used.
-        let mut needed_cache: Vec<Vec<Option<(Vec<u32>, Csr)>>> =
+        let mut needed_cache: BlockCache =
             (0..pr).map(|_| (0..pr).map(|_| None).collect()).collect();
 
         let mut block_of = |i: usize, q: usize| -> (Vec<u32>, Csr) {
@@ -241,7 +252,11 @@ impl Plan15d {
                     .map(|k| {
                         let q = j * s + k;
                         let (needed, block_compact) = block_of(i, q);
-                        StagePlan { q, block_compact, needed }
+                        StagePlan {
+                            q,
+                            block_compact,
+                            needed,
+                        }
                     })
                     .collect();
                 // Designated sender of block row i is the replica in the
@@ -262,7 +277,15 @@ impl Plan15d {
                 });
             }
         }
-        Plan15d { n, p, c, pr, s, bounds: bounds.to_vec(), ranks }
+        Plan15d {
+            n,
+            p,
+            c,
+            pr,
+            s,
+            bounds: bounds.to_vec(),
+            ranks,
+        }
     }
 }
 

@@ -5,9 +5,23 @@
 //! replicated (deterministic seeded init) and kept consistent by
 //! all-reducing the weight gradients, exactly as the paper's
 //! formulation (§4.1 "W is fully-replicated").
+//!
+//! # Elastic restart
+//!
+//! [`try_train_distributed`] wraps the epoch loop in a supervisor: the
+//! world runs under [`ThreadWorld::try_run`], rank 0 snapshots the
+//! replicated training state (weights, optimizer, epoch records) into a
+//! shared [`Checkpoint`] every `checkpoint_every` epochs, and a
+//! recoverable failure (an injected rank crash) tears the world down,
+//! rebuilds it, and resumes from the last checkpoint. Because weights
+//! are replicated and every epoch is deterministic, a crashed-and-resumed
+//! run reproduces the fault-free loss trajectory and final weights
+//! bit-for-bit.
 
-use gnn_comm::{CostModel, RankCtx, ThreadWorld, WorldStats};
-use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use gnn_comm::{CostModel, FaultInjector, FaultPlan, RankCtx, ThreadWorld, WorldError, WorldStats};
 use spmat::dataset::Dataset;
 use spmat::Dense;
 
@@ -20,7 +34,7 @@ use super::onefived::spmm_15d;
 use super::plan::{Plan15d, Plan1d};
 
 /// Which distributed SpMM drives training.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algo {
     /// Block-row distribution over all `p` ranks.
     OneD {
@@ -57,6 +71,32 @@ impl Algo {
     }
 }
 
+/// Fault-tolerance knobs for a training run. The default is the
+/// fault-free fast path: no injection, no checkpoints, no restarts.
+#[derive(Clone, Debug)]
+pub struct RobustnessConfig {
+    /// Faults to inject (None = clean run).
+    pub faults: Option<FaultPlan>,
+    /// Snapshot training state every this many epochs (0 = never).
+    /// A crash restarts from the newest snapshot, or from scratch.
+    pub checkpoint_every: usize,
+    /// How many recoverable failures to survive before giving up.
+    pub max_restarts: usize,
+    /// Deadlock-watchdog timeout for blocking communication.
+    pub timeout: Duration,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        Self {
+            faults: None,
+            checkpoint_every: 0,
+            max_restarts: 0,
+            timeout: ThreadWorld::DEFAULT_TIMEOUT,
+        }
+    }
+}
+
 /// Training-run configuration.
 #[derive(Clone, Debug)]
 pub struct DistConfig {
@@ -68,6 +108,21 @@ pub struct DistConfig {
     pub epochs: usize,
     /// Machine model pricing the run.
     pub model: CostModel,
+    /// Fault injection / checkpointing / watchdog settings.
+    pub robust: RobustnessConfig,
+}
+
+impl DistConfig {
+    /// A fault-free configuration (the common case).
+    pub fn new(algo: Algo, gcn: GcnConfig, epochs: usize, model: CostModel) -> Self {
+        Self {
+            algo,
+            gcn,
+            epochs,
+            model,
+            robust: RobustnessConfig::default(),
+        }
+    }
 }
 
 /// Everything a distributed run produces.
@@ -77,8 +132,23 @@ pub struct DistOutcome {
     pub records: Vec<EpochRecord>,
     /// Final weights (identical on all ranks; rank 0's copy).
     pub weights: Weights,
-    /// Accumulated per-rank stats over all epochs.
+    /// Accumulated per-rank stats over all epochs (of the attempt that
+    /// completed; epochs re-run after a restart are counted afresh).
     pub stats: WorldStats,
+    /// How many times the world was torn down and resumed.
+    pub restarts: usize,
+}
+
+/// A consistent snapshot of the replicated training state. Weights and
+/// optimizer state are identical on every rank (deterministic init +
+/// all-reduced gradients), so rank 0's copy is globally valid.
+#[derive(Clone, Debug)]
+struct Checkpoint {
+    /// First epoch that still has to run.
+    next_epoch: usize,
+    weights: Weights,
+    optimizer: Optimizer,
+    records: Vec<EpochRecord>,
 }
 
 enum PlanKind {
@@ -93,10 +163,28 @@ enum PlanKind {
 /// ranks). The world size is derived accordingly.
 ///
 /// # Panics
-/// Panics on shape mismatches (dims vs dataset) or invalid grids.
+/// Panics on shape mismatches (dims vs dataset), invalid grids, or any
+/// unrecovered rank failure — use [`try_train_distributed`] to handle
+/// failures as values.
 pub fn train_distributed(ds: &Dataset, bounds: &[usize], cfg: &DistConfig) -> DistOutcome {
+    try_train_distributed(ds, bounds, cfg)
+        .unwrap_or_else(|e| panic!("distributed training failed: {e}"))
+}
+
+/// Like [`train_distributed`], but failures come back as structured
+/// [`WorldError`]s, and recoverable ones (injected crashes) trigger up
+/// to `cfg.robust.max_restarts` checkpoint-resume cycles first.
+pub fn try_train_distributed(
+    ds: &Dataset,
+    bounds: &[usize],
+    cfg: &DistConfig,
+) -> Result<DistOutcome, WorldError> {
     assert_eq!(cfg.gcn.dims[0], ds.f(), "input width mismatch");
-    assert_eq!(*cfg.gcn.dims.last().unwrap(), ds.num_classes, "class count mismatch");
+    assert_eq!(
+        *cfg.gcn.dims.last().unwrap(),
+        ds.num_classes,
+        "class count mismatch"
+    );
     let (p, plan) = match cfg.algo {
         Algo::OneD { aware: _ } => {
             let p = bounds.len() - 1;
@@ -105,156 +193,223 @@ pub fn train_distributed(ds: &Dataset, bounds: &[usize], cfg: &DistConfig) -> Di
         Algo::OneFiveD { aware, c } => {
             let pr = bounds.len() - 1;
             let p = pr * c;
-            (p, PlanKind::OneFiveD { plan: Plan15d::build(&ds.norm_adj, p, c, bounds, aware), aware })
+            (
+                p,
+                PlanKind::OneFiveD {
+                    plan: Plan15d::build(&ds.norm_adj, p, c, bounds, aware),
+                    aware,
+                },
+            )
         }
     };
-    let world = ThreadWorld::new(p, cfg.model);
+
+    // One injector for the whole supervised run: a crash fault that
+    // fired in attempt k must not re-fire in attempt k+1.
+    let injector = cfg
+        .robust
+        .faults
+        .as_ref()
+        .filter(|plan| !plan.is_empty())
+        .map(|plan| Arc::new(FaultInjector::new(plan.clone())));
+    let checkpoint: Mutex<Option<Checkpoint>> = Mutex::new(None);
+    let mut restarts = 0;
+
+    loop {
+        let mut world = ThreadWorld::new(p, cfg.model).with_timeout(cfg.robust.timeout);
+        if let Some(inj) = &injector {
+            world = world.with_injector(inj.clone());
+        }
+        match world.try_run(|ctx| run_rank(ctx, ds, cfg, &plan, &checkpoint)) {
+            Ok((mut results, stats)) => {
+                let (records, weights) = results.swap_remove(0);
+                return Ok(DistOutcome {
+                    records,
+                    weights,
+                    stats,
+                    restarts,
+                });
+            }
+            Err(e) if e.is_recoverable() && restarts < cfg.robust.max_restarts => {
+                restarts += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One rank's whole training program: restore from the shared
+/// checkpoint (if any), run the remaining epochs, snapshot periodically.
+fn run_rank(
+    ctx: &mut RankCtx,
+    ds: &Dataset,
+    cfg: &DistConfig,
+    plan: &PlanKind,
+    checkpoint: &Mutex<Option<Checkpoint>>,
+) -> (Vec<EpochRecord>, Weights) {
     let aware_1d = matches!(cfg.algo, Algo::OneD { aware: true });
     let c_rep = cfg.algo.replication() as f64;
 
-    let (mut results, stats) = world.run(|ctx| {
-        // Resolve this rank's block row.
-        let (lo, hi) = match &plan {
-            PlanKind::OneD(pl) => {
-                let rp = &pl.ranks[ctx.rank()];
-                (rp.row_lo, rp.row_hi)
-            }
-            PlanKind::OneFiveD { plan: pl, .. } => {
-                let rp = &pl.ranks[ctx.rank()];
-                (rp.row_lo, rp.row_hi)
-            }
-        };
-        let rows = hi - lo;
-        let h0 = ds.features.row_slice(lo, hi);
-        let labels = &ds.labels[lo..hi];
-        let mask = &ds.train_mask[lo..hi];
-        let mut weights = Weights::init(&cfg.gcn);
-        let mut optimizer = Optimizer::from_config(&cfg.gcn);
-        let l_total = cfg.gcn.layers();
-        let dims = &cfg.gcn.dims;
-        let mut records = Vec::with_capacity(cfg.epochs);
-
-        let dist_spmm = |ctx: &mut RankCtx, h: &Dense| -> Dense {
-            match &plan {
-                PlanKind::OneD(pl) => {
-                    if aware_1d {
-                        spmm_1d_aware(ctx, pl, h)
-                    } else {
-                        spmm_1d_oblivious(ctx, pl, h)
-                    }
-                }
-                PlanKind::OneFiveD { plan: pl, aware } => spmm_15d(ctx, pl, h, *aware),
-            }
-        };
-
-        for _epoch in 0..cfg.epochs {
-            // ---- forward ----
-            let mut hs: Vec<Dense> = Vec::with_capacity(l_total + 1);
-            let mut zs: Vec<Dense> = Vec::with_capacity(l_total);
-            let mut ahs: Vec<Dense> = Vec::with_capacity(l_total);
-            hs.push(h0.clone());
-            for l in 0..l_total {
-                let ah = dist_spmm(ctx, &hs[l]);
-                let w = &weights.mats[l];
-                let (d, d_out) = (dims[l], dims[l + 1]);
-                let z = match cfg.gcn.arch {
-                    ArchKind::Gcn => {
-                        ctx.compute((2 * rows * d * d_out) as u64, || ah.matmul(w))
-                    }
-                    ArchKind::Sage => {
-                        let h_prev = &hs[l];
-                        ctx.compute((4 * rows * d * d_out + rows * d_out) as u64, || {
-                            let mut z = h_prev.matmul(&w.row_slice(0, d));
-                            z.add_assign(&ah.matmul(&w.row_slice(d, 2 * d)));
-                            z
-                        })
-                    }
-                };
-                let h = if l + 1 == l_total {
-                    z.clone()
-                } else {
-                    ctx.compute((rows * dims[l + 1]) as u64, || z.relu())
-                };
-                zs.push(z);
-                hs.push(h);
-                ahs.push(ah);
-            }
-
-            // ---- loss / metrics ----
-            let logits = &hs[l_total];
-            let (loss_sum, count, grad_sum) =
-                softmax_cross_entropy_sums(logits, labels, mask);
-            let correct = {
-                let acc = crate::model::accuracy(logits, labels, mask);
-                acc * count as f64
-            };
-            let mut reduce = [loss_sum, count as f64, correct];
-            ctx.allreduce_sum(&mut reduce, &(0..ctx.p()).collect::<Vec<_>>());
-            let [g_loss, g_count, g_correct] = reduce;
-            records.push(EpochRecord {
-                loss: g_loss / g_count.max(1.0),
-                train_accuracy: if g_count > 0.0 { g_correct / g_count } else { 0.0 },
-            });
-
-            // ---- backward ----
-            // True (unreplicated) masked count normalizes the gradient.
-            let denom = (g_count / c_rep).max(1.0);
-            let mut g = grad_sum;
-            g.scale(1.0 / denom);
-
-            let mut grads: Vec<Option<Dense>> = vec![None; l_total];
-            for l in (0..l_total).rev() {
-                let s = dist_spmm(ctx, &g);
-                let h_prev = &hs[l];
-                let (d, d_out) = (dims[l], dims[l + 1]);
-                let mut y = match cfg.gcn.arch {
-                    ArchKind::Gcn => ctx.compute((2 * rows * d * d_out) as u64, || {
-                        h_prev.transpose_matmul(&s)
-                    }),
-                    ArchKind::Sage => {
-                        let ah = &ahs[l];
-                        let g_ref = &g;
-                        ctx.compute((4 * rows * d * d_out) as u64, || {
-                            let top = h_prev.transpose_matmul(g_ref);
-                            let bottom = ah.transpose_matmul(g_ref);
-                            Dense::vstack(&[&top, &bottom])
-                        })
-                    }
-                };
-                ctx.allreduce_sum(y.data_mut(), &(0..ctx.p()).collect::<Vec<_>>());
-                // Replicated rows contributed c times each.
-                y.scale(1.0 / c_rep);
-                grads[l] = Some(y);
-                if l > 0 {
-                    let w = &weights.mats[l];
-                    let prev_z = &zs[l - 1];
-                    g = match cfg.gcn.arch {
-                        ArchKind::Gcn => ctx.compute(
-                            (2 * rows * d_out * d + 2 * rows * d) as u64,
-                            || s.matmul_transpose(w).hadamard(&prev_z.relu_prime()),
-                        ),
-                        ArchKind::Sage => {
-                            let g_ref = &g;
-                            ctx.compute(
-                                (4 * rows * d_out * d + 3 * rows * d) as u64,
-                                || {
-                                    let mut gg = g_ref.matmul_transpose(&w.row_slice(0, d));
-                                    gg.add_assign(&s.matmul_transpose(&w.row_slice(d, 2 * d)));
-                                    gg.hadamard(&prev_z.relu_prime())
-                                },
-                            )
-                        }
-                    };
-                }
-            }
-            let grads: Vec<Dense> = grads.into_iter().map(Option::unwrap).collect();
-            optimizer.step(&mut weights, &grads);
+    // Resolve this rank's block row.
+    let (lo, hi) = match plan {
+        PlanKind::OneD(pl) => {
+            let rp = &pl.ranks[ctx.rank()];
+            (rp.row_lo, rp.row_hi)
         }
-        (records, weights)
-    });
+        PlanKind::OneFiveD { plan: pl, .. } => {
+            let rp = &pl.ranks[ctx.rank()];
+            (rp.row_lo, rp.row_hi)
+        }
+    };
+    let rows = hi - lo;
+    let h0 = ds.features.row_slice(lo, hi);
+    let labels = &ds.labels[lo..hi];
+    let mask = &ds.train_mask[lo..hi];
 
-    let (records, weights) = results.swap_remove(0);
-    DistOutcome { records, weights, stats }
+    // Resume point: the checkpoint holds replicated state, so every
+    // rank restores the identical snapshot without communicating.
+    let (start_epoch, mut weights, mut optimizer, mut records) =
+        match checkpoint.lock().unwrap().clone() {
+            Some(ck) => (ck.next_epoch, ck.weights, ck.optimizer, ck.records),
+            None => (
+                0,
+                Weights::init(&cfg.gcn),
+                Optimizer::from_config(&cfg.gcn),
+                Vec::with_capacity(cfg.epochs),
+            ),
+        };
+    let l_total = cfg.gcn.layers();
+    let dims = &cfg.gcn.dims;
+
+    let dist_spmm = |ctx: &mut RankCtx, h: &Dense| -> Dense {
+        match plan {
+            PlanKind::OneD(pl) => {
+                if aware_1d {
+                    spmm_1d_aware(ctx, pl, h)
+                } else {
+                    spmm_1d_oblivious(ctx, pl, h)
+                }
+            }
+            PlanKind::OneFiveD { plan: pl, aware } => spmm_15d(ctx, pl, h, *aware),
+        }
+    };
+
+    for epoch in start_epoch..cfg.epochs {
+        ctx.set_epoch(epoch);
+        // ---- forward ----
+        let mut hs: Vec<Dense> = Vec::with_capacity(l_total + 1);
+        let mut zs: Vec<Dense> = Vec::with_capacity(l_total);
+        let mut ahs: Vec<Dense> = Vec::with_capacity(l_total);
+        hs.push(h0.clone());
+        for l in 0..l_total {
+            let ah = dist_spmm(ctx, &hs[l]);
+            let w = &weights.mats[l];
+            let (d, d_out) = (dims[l], dims[l + 1]);
+            let z = match cfg.gcn.arch {
+                ArchKind::Gcn => ctx.compute((2 * rows * d * d_out) as u64, || ah.matmul(w)),
+                ArchKind::Sage => {
+                    let h_prev = &hs[l];
+                    ctx.compute((4 * rows * d * d_out + rows * d_out) as u64, || {
+                        let mut z = h_prev.matmul(&w.row_slice(0, d));
+                        z.add_assign(&ah.matmul(&w.row_slice(d, 2 * d)));
+                        z
+                    })
+                }
+            };
+            let h = if l + 1 == l_total {
+                z.clone()
+            } else {
+                ctx.compute((rows * dims[l + 1]) as u64, || z.relu())
+            };
+            zs.push(z);
+            hs.push(h);
+            ahs.push(ah);
+        }
+
+        // ---- loss / metrics ----
+        let logits = &hs[l_total];
+        let (loss_sum, count, grad_sum) = softmax_cross_entropy_sums(logits, labels, mask);
+        let correct = {
+            let acc = crate::model::accuracy(logits, labels, mask);
+            acc * count as f64
+        };
+        let mut reduce = [loss_sum, count as f64, correct];
+        ctx.allreduce_sum(&mut reduce, &(0..ctx.p()).collect::<Vec<_>>());
+        let [g_loss, g_count, g_correct] = reduce;
+        records.push(EpochRecord {
+            loss: g_loss / g_count.max(1.0),
+            train_accuracy: if g_count > 0.0 {
+                g_correct / g_count
+            } else {
+                0.0
+            },
+        });
+
+        // ---- backward ----
+        // True (unreplicated) masked count normalizes the gradient.
+        let denom = (g_count / c_rep).max(1.0);
+        let mut g = grad_sum;
+        g.scale(1.0 / denom);
+
+        let mut grads: Vec<Option<Dense>> = vec![None; l_total];
+        for l in (0..l_total).rev() {
+            let s = dist_spmm(ctx, &g);
+            let h_prev = &hs[l];
+            let (d, d_out) = (dims[l], dims[l + 1]);
+            let mut y = match cfg.gcn.arch {
+                ArchKind::Gcn => ctx.compute((2 * rows * d * d_out) as u64, || {
+                    h_prev.transpose_matmul(&s)
+                }),
+                ArchKind::Sage => {
+                    let ah = &ahs[l];
+                    let g_ref = &g;
+                    ctx.compute((4 * rows * d * d_out) as u64, || {
+                        let top = h_prev.transpose_matmul(g_ref);
+                        let bottom = ah.transpose_matmul(g_ref);
+                        Dense::vstack(&[&top, &bottom])
+                    })
+                }
+            };
+            ctx.allreduce_sum(y.data_mut(), &(0..ctx.p()).collect::<Vec<_>>());
+            // Replicated rows contributed c times each.
+            y.scale(1.0 / c_rep);
+            grads[l] = Some(y);
+            if l > 0 {
+                let w = &weights.mats[l];
+                let prev_z = &zs[l - 1];
+                g = match cfg.gcn.arch {
+                    ArchKind::Gcn => ctx
+                        .compute((2 * rows * d_out * d + 2 * rows * d) as u64, || {
+                            s.matmul_transpose(w).hadamard(&prev_z.relu_prime())
+                        }),
+                    ArchKind::Sage => {
+                        let g_ref = &g;
+                        ctx.compute((4 * rows * d_out * d + 3 * rows * d) as u64, || {
+                            let mut gg = g_ref.matmul_transpose(&w.row_slice(0, d));
+                            gg.add_assign(&s.matmul_transpose(&w.row_slice(d, 2 * d)));
+                            gg.hadamard(&prev_z.relu_prime())
+                        })
+                    }
+                };
+            }
+        }
+        let grads: Vec<Dense> = grads.into_iter().map(Option::unwrap).collect();
+        optimizer.step(&mut weights, &grads);
+
+        // ---- checkpoint ----
+        // End-of-epoch state is consistent: rank 0 could only get here
+        // by completing every collective of this epoch, and the state
+        // it snapshots is replicated on all ranks.
+        let every = cfg.robust.checkpoint_every;
+        if ctx.rank() == 0 && every > 0 && (epoch + 1) % every == 0 {
+            *checkpoint.lock().unwrap() = Some(Checkpoint {
+                next_epoch: epoch + 1,
+                weights: weights.clone(),
+                optimizer: optimizer.clone(),
+                records: records.clone(),
+            });
+        }
+    }
+    (records, weights)
 }
 
 #[cfg(test)]
@@ -264,19 +419,18 @@ mod tests {
     use crate::reference::ReferenceTrainer;
     use spmat::dataset::reddit_scaled;
 
-    fn run(algo: Algo, bounds_parts: usize, epochs: usize) -> (DistOutcome, Vec<EpochRecord>, Weights) {
+    fn run(
+        algo: Algo,
+        bounds_parts: usize,
+        epochs: usize,
+    ) -> (DistOutcome, Vec<EpochRecord>, Weights) {
         let ds = reddit_scaled(7, 11); // 128 vertices
         let cfg = GcnConfig::paper_default(ds.f(), ds.num_classes);
         let mut reference = ReferenceTrainer::new(&ds, cfg.clone());
         let ref_records = reference.train(epochs);
 
         let bounds = even_bounds(ds.n(), bounds_parts);
-        let dist_cfg = DistConfig {
-            algo,
-            gcn: cfg,
-            epochs,
-            model: CostModel::perlmutter_like(),
-        };
+        let dist_cfg = DistConfig::new(algo, cfg, epochs, CostModel::perlmutter_like());
         let out = train_distributed(&ds, &bounds, &dist_cfg);
         (out, ref_records, reference.weights)
     }
@@ -285,10 +439,16 @@ mod tests {
     fn oned_aware_matches_reference() {
         let (out, ref_records, ref_weights) = run(Algo::OneD { aware: true }, 4, 4);
         for (a, b) in out.records.iter().zip(&ref_records) {
-            assert!((a.loss - b.loss).abs() < 1e-9, "loss {} vs {}", a.loss, b.loss);
+            assert!(
+                (a.loss - b.loss).abs() < 1e-9,
+                "loss {} vs {}",
+                a.loss,
+                b.loss
+            );
             assert!((a.train_accuracy - b.train_accuracy).abs() < 1e-9);
         }
         assert!(out.weights.max_abs_diff(&ref_weights) < 1e-9);
+        assert_eq!(out.restarts, 0);
     }
 
     #[test]
@@ -304,7 +464,12 @@ mod tests {
     fn onefived_aware_matches_reference() {
         let (out, ref_records, ref_weights) = run(Algo::OneFiveD { aware: true, c: 2 }, 2, 3);
         for (a, b) in out.records.iter().zip(&ref_records) {
-            assert!((a.loss - b.loss).abs() < 1e-8, "loss {} vs {}", a.loss, b.loss);
+            assert!(
+                (a.loss - b.loss).abs() < 1e-8,
+                "loss {} vs {}",
+                a.loss,
+                b.loss
+            );
         }
         assert!(out.weights.max_abs_diff(&ref_weights) < 1e-8);
     }
@@ -324,5 +489,95 @@ mod tests {
         assert_eq!(Algo::OneFiveD { aware: true, c: 4 }.replication(), 4);
         assert!(Algo::OneD { aware: false }.label().contains("CAGNET"));
         assert!(Algo::OneFiveD { aware: true, c: 2 }.label().contains("c=2"));
+    }
+
+    #[test]
+    fn crash_then_restart_matches_fault_free_run() {
+        let ds = reddit_scaled(7, 11);
+        let cfg = GcnConfig::paper_default(ds.f(), ds.num_classes);
+        let bounds = even_bounds(ds.n(), 4);
+        let epochs = 5;
+
+        let clean_cfg = DistConfig::new(
+            Algo::OneD { aware: true },
+            cfg.clone(),
+            epochs,
+            CostModel::perlmutter_like(),
+        );
+        let clean = train_distributed(&ds, &bounds, &clean_cfg);
+
+        let mut faulty_cfg = clean_cfg.clone();
+        faulty_cfg.robust = RobustnessConfig {
+            faults: Some(FaultPlan::new(1).crash_at(2, 3, 0)),
+            checkpoint_every: 2,
+            max_restarts: 1,
+            timeout: Duration::from_secs(10),
+        };
+        let faulty = try_train_distributed(&ds, &bounds, &faulty_cfg)
+            .expect("restart should recover the run");
+
+        assert_eq!(faulty.restarts, 1);
+        assert_eq!(faulty.records.len(), clean.records.len());
+        // Bit-for-bit: resume replays the deterministic epochs exactly.
+        for (a, b) in faulty.records.iter().zip(&clean.records) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+            assert_eq!(a.train_accuracy.to_bits(), b.train_accuracy.to_bits());
+        }
+        assert_eq!(faulty.weights.max_abs_diff(&clean.weights), 0.0);
+    }
+
+    #[test]
+    fn crash_without_restart_budget_is_an_error() {
+        let ds = reddit_scaled(7, 11);
+        let cfg = GcnConfig::paper_default(ds.f(), ds.num_classes);
+        let bounds = even_bounds(ds.n(), 4);
+        let mut dist_cfg = DistConfig::new(
+            Algo::OneD { aware: true },
+            cfg,
+            3,
+            CostModel::perlmutter_like(),
+        );
+        dist_cfg.robust.faults = Some(FaultPlan::new(0).crash_at(1, 1, 0));
+        dist_cfg.robust.timeout = Duration::from_secs(10);
+        let err = try_train_distributed(&ds, &bounds, &dist_cfg).unwrap_err();
+        match err {
+            WorldError::InjectedCrash { rank, epoch, .. } => {
+                assert_eq!(rank, 1);
+                assert_eq!(epoch, Some(1));
+            }
+            other => panic!("expected InjectedCrash, got {other}"),
+        }
+    }
+
+    #[test]
+    fn link_faults_do_not_change_results() {
+        let ds = reddit_scaled(7, 11);
+        let cfg = GcnConfig::paper_default(ds.f(), ds.num_classes);
+        let bounds = even_bounds(ds.n(), 3);
+        let clean_cfg = DistConfig::new(
+            Algo::OneD { aware: true },
+            cfg,
+            3,
+            CostModel::perlmutter_like(),
+        );
+        let clean = train_distributed(&ds, &bounds, &clean_cfg);
+
+        let mut faulty_cfg = clean_cfg.clone();
+        faulty_cfg.robust.faults = Some(
+            FaultPlan::new(9)
+                .drop_messages(0, None, 0.2)
+                .corrupt_messages(1, None, 0.2),
+        );
+        let faulty = train_distributed(&ds, &bounds, &faulty_cfg);
+
+        assert_eq!(faulty.restarts, 0, "link faults recover in place");
+        for (a, b) in faulty.records.iter().zip(&clean.records) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        }
+        assert_eq!(faulty.weights.max_abs_diff(&clean.weights), 0.0);
+        assert!(
+            faulty.stats.total_retries() > 0,
+            "plan with p=0.2 on every message should have injected something"
+        );
     }
 }

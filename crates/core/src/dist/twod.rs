@@ -29,6 +29,9 @@ use spmat::spmm::{spmm_acc, spmm_flops};
 use spmat::{Csr, Dense};
 
 /// Per-rank stage: one column block of the owned block row.
+/// Per (grid-row, stage) cache of (needed rows, compact block).
+type BlockCache = Vec<Vec<Option<(Vec<u32>, Csr)>>>;
+
 #[derive(Clone, Debug)]
 pub struct Stage2d {
     /// Block-row index `k` of `H` consumed by this stage.
@@ -100,8 +103,7 @@ impl Plan2d {
 
         // Per (i, k): needed rows + compact block, shared by all pc
         // replicas in grid row i.
-        let mut cache: Vec<Vec<Option<(Vec<u32>, Csr)>>> =
-            (0..pr).map(|_| (0..pr).map(|_| None).collect()).collect();
+        let mut cache: BlockCache = (0..pr).map(|_| (0..pr).map(|_| None).collect()).collect();
         let mut block_of = |i: usize, k: usize| -> (Vec<u32>, Csr) {
             if let Some(v) = &cache[i][k] {
                 return v.clone();
@@ -126,7 +128,11 @@ impl Plan2d {
                 let stages: Vec<Stage2d> = (0..pr)
                     .map(|k| {
                         let (needed, block_compact) = block_of(i, k);
-                        Stage2d { k, block_compact, needed }
+                        Stage2d {
+                            k,
+                            block_compact,
+                            needed,
+                        }
                     })
                     .collect();
                 // This rank owns H block-row i, panel j; at stage k = i
@@ -143,7 +149,14 @@ impl Plan2d {
                 });
             }
         }
-        Plan2d { n, pr, pc, bounds: bounds.to_vec(), aware, ranks }
+        Plan2d {
+            n,
+            pr,
+            pc,
+            bounds: bounds.to_vec(),
+            aware,
+            ranks,
+        }
     }
 }
 
@@ -171,7 +184,10 @@ pub fn spmm_2d(ctx: &mut RankCtx, plan: &Plan2d, h_local: &Dense) -> Dense {
                 data.extend_from_slice(h_local.row(g as usize - rp.row_lo));
             }
             pack_elems += (idx.len() * fw) as u64;
-            Payload::Rows { idx: idx.clone(), data }
+            Payload::Rows {
+                idx: idx.clone(),
+                data,
+            }
         } else {
             Payload::F64(h_local.data().to_vec())
         };
@@ -201,7 +217,11 @@ pub fn spmm_2d(ctx: &mut RankCtx, plan: &Plan2d, h_local: &Dense) -> Dense {
                 Dense::from_vec(idx.len(), fw, data)
             } else {
                 let data = ctx.recv(src).into_f64();
-                assert_eq!(data.len(), st.needed.len() * fw, "block size mismatch from {src}");
+                assert_eq!(
+                    data.len(),
+                    st.needed.len() * fw,
+                    "block size mismatch from {src}"
+                );
                 Dense::from_vec(st.needed.len(), fw, data)
             }
         };
@@ -230,7 +250,11 @@ pub fn panel_gemm_2d(
     let rp = &plan.ranks[me];
     let rows_i = rp.row_hi - rp.row_lo;
     assert_eq!(z_local.rows(), rows_i);
-    assert_eq!(w.rows(), f_in, "W row count must equal the full input width");
+    assert_eq!(
+        w.rows(),
+        f_in,
+        "W row count must equal the full input width"
+    );
     let f_out = w.cols();
     let in_bounds = plan.panel_bounds(f_in);
     let (in_lo, in_hi) = (in_bounds[rp.j], in_bounds[rp.j + 1]);
@@ -261,7 +285,9 @@ pub fn panel_gemm_2d(
     let (out_lo, out_hi) = (out_bounds[rp.j], out_bounds[rp.j + 1]);
     let mut panel = Dense::zeros(rows_i, out_hi - out_lo);
     for r in 0..rows_i {
-        panel.row_mut(r).copy_from_slice(&partial.row(r)[out_lo..out_hi]);
+        panel
+            .row_mut(r)
+            .copy_from_slice(&partial.row(r)[out_lo..out_hi]);
     }
     panel
 }
@@ -288,7 +314,9 @@ mod tests {
     fn block_of(h: &Dense, plan: &Plan2d, i: usize, j: usize, f: usize) -> Dense {
         let rows = h.row_slice(plan.bounds[i], plan.bounds[i + 1]);
         let pb = plan.panel_bounds(f);
-        Dense::from_fn(rows.rows(), pb[j + 1] - pb[j], |r, c| rows.get(r, pb[j] + c))
+        Dense::from_fn(rows.rows(), pb[j + 1] - pb[j], |r, c| {
+            rows.get(r, pb[j] + c)
+        })
     }
 
     /// Reassembles the full matrix from 2D blocks.
@@ -308,7 +336,13 @@ mod tests {
         out
     }
 
-    fn run_spmm(adj: &Csr, h: &Dense, pr: usize, pc: usize, aware: bool) -> (Dense, gnn_comm::WorldStats) {
+    fn run_spmm(
+        adj: &Csr,
+        h: &Dense,
+        pr: usize,
+        pc: usize,
+        aware: bool,
+    ) -> (Dense, gnn_comm::WorldStats) {
         let f = h.cols();
         let bounds = even_bounds(adj.rows(), pr);
         let plan = Plan2d::build(adj, pr, pc, &bounds, aware);
@@ -357,7 +391,11 @@ mod tests {
         let (_, pc1) = run_spmm(&adj, &h, 4, 1, true);
         let (_, pc4) = run_spmm(&adj, &h, 4, 4, true);
         let max_recv = |st: &gnn_comm::WorldStats| {
-            st.per_rank.iter().map(|r| r.phase(Phase::P2p).bytes_recv).max().unwrap()
+            st.per_rank
+                .iter()
+                .map(|r| r.phase(Phase::P2p).bytes_recv)
+                .max()
+                .unwrap()
         };
         assert!(
             max_recv(&pc4) < max_recv(&pc1) / 2,

@@ -21,7 +21,9 @@ pub mod model;
 pub mod optim;
 pub mod reference;
 
-pub use dist::{train_distributed, Algo, DistConfig, DistOutcome};
+pub use dist::{
+    train_distributed, try_train_distributed, Algo, DistConfig, DistOutcome, RobustnessConfig,
+};
 pub use model::{GcnConfig, Weights};
 pub use optim::{OptKind, Optimizer};
 pub use reference::{EpochRecord, ReferenceTrainer};

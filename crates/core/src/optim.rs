@@ -4,13 +4,12 @@
 //! functions of (state, gradients), so replicated ranks stay bit-identical
 //! without extra communication.
 
-use serde::{Deserialize, Serialize};
 use spmat::Dense;
 
 use crate::model::{GcnConfig, Weights};
 
 /// Which optimizer a trainer uses.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum OptKind {
     /// Plain SGD (the paper's update rule).
     #[default]
@@ -76,23 +75,36 @@ impl Optimizer {
         assert_eq!(grads.len(), weights.mats.len(), "gradient arity mismatch");
         match self {
             Optimizer::Sgd { lr } => weights.sgd_step(grads, *lr),
-            Optimizer::Adam { lr, beta1, beta2, eps, t, m, v } => {
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                t,
+                m,
+                v,
+            } => {
                 *t += 1;
                 let bc1 = 1.0 - beta1.powi(*t as i32);
                 let bc2 = 1.0 - beta2.powi(*t as i32);
-                for ((w, g), (mk, vk)) in
-                    weights.mats.iter_mut().zip(grads).zip(m.iter_mut().zip(v.iter_mut()))
+                for ((w, g), (mk, vk)) in weights
+                    .mats
+                    .iter_mut()
+                    .zip(grads)
+                    .zip(m.iter_mut().zip(v.iter_mut()))
                 {
                     let wd = w.data_mut();
-                    for i in 0..wd.len() {
-                        let gi = g.data()[i];
-                        let mi = *beta1 * mk.data()[i] + (1.0 - *beta1) * gi;
-                        let vi = *beta2 * vk.data()[i] + (1.0 - *beta2) * gi * gi;
-                        mk.data_mut()[i] = mi;
-                        vk.data_mut()[i] = vi;
-                        let m_hat = mi / bc1;
-                        let v_hat = vi / bc2;
-                        wd[i] -= *lr * m_hat / (v_hat.sqrt() + *eps);
+                    for (((wi, &gi), mi), vi) in wd
+                        .iter_mut()
+                        .zip(g.data())
+                        .zip(mk.data_mut())
+                        .zip(vk.data_mut())
+                    {
+                        *mi = *beta1 * *mi + (1.0 - *beta1) * gi;
+                        *vi = *beta2 * *vi + (1.0 - *beta2) * gi * gi;
+                        let m_hat = *mi / bc1;
+                        let v_hat = *vi / bc2;
+                        *wi -= *lr * m_hat / (v_hat.sqrt() + *eps);
                     }
                 }
             }
@@ -105,7 +117,13 @@ mod tests {
     use super::*;
 
     fn cfg(opt: OptKind) -> GcnConfig {
-        GcnConfig { dims: vec![2, 2], lr: 0.1, seed: 3, opt, arch: Default::default() }
+        GcnConfig {
+            dims: vec![2, 2],
+            lr: 0.1,
+            seed: 3,
+            opt,
+            arch: Default::default(),
+        }
     }
 
     #[test]
@@ -115,11 +133,10 @@ mod tests {
         let w0 = w.clone();
         let g = Dense::from_vec(2, 2, vec![1.0, -1.0, 0.5, 0.0]);
         let mut opt = Optimizer::from_config(&c);
-        opt.step(&mut w, &[g.clone()]);
+        opt.step(&mut w, std::slice::from_ref(&g));
         for i in 0..4 {
             assert!(
-                (w.mats[0].data()[i] - (w0.mats[0].data()[i] - 0.1 * g.data()[i])).abs()
-                    < 1e-15
+                (w.mats[0].data()[i] - (w0.mats[0].data()[i] - 0.1 * g.data()[i])).abs() < 1e-15
             );
         }
     }
@@ -132,7 +149,7 @@ mod tests {
         let w0 = w.clone();
         let g = Dense::from_vec(2, 2, vec![0.3, -0.7, 0.0, 2.0]);
         let mut opt = Optimizer::from_config(&c);
-        opt.step(&mut w, &[g.clone()]);
+        opt.step(&mut w, std::slice::from_ref(&g));
         for i in 0..4 {
             let delta = w.mats[0].data()[i] - w0.mats[0].data()[i];
             let expected = -0.1 * g.data()[i].signum();
@@ -172,7 +189,7 @@ mod tests {
         let g = Dense::from_vec(2, 2, vec![1000.0; 4]);
         let before = w.mats[0].get(0, 0);
         for _ in 0..3 {
-            opt.step(&mut w, &[g.clone()]);
+            opt.step(&mut w, std::slice::from_ref(&g));
         }
         let moved = (w.mats[0].get(0, 0) - before).abs();
         assert!(moved < 0.35, "moved {moved} (should be ≈ 3·lr at most)");

@@ -52,7 +52,14 @@ fn split(g: &WGraph, verts: &[u32], k: usize, base: u32, seed: u64, parts: &mut 
         .filter(|&(_, &s)| s)
         .map(|(&v, _)| v)
         .collect();
-    split(g, &left, k0, base, seed.wrapping_mul(0x9E37_79B9).wrapping_add(1), parts);
+    split(
+        g,
+        &left,
+        k0,
+        base,
+        seed.wrapping_mul(0x9E37_79B9).wrapping_add(1),
+        parts,
+    );
     split(
         g,
         &right,
@@ -86,7 +93,15 @@ pub fn induced_subgraph(g: &WGraph, verts: &[u32]) -> (WGraph, Vec<u32>) {
         }
         xadj.push(adjncy.len());
     }
-    (WGraph { vwgt, xadj, adjncy, adjwgt }, verts.to_vec())
+    (
+        WGraph {
+            vwgt,
+            xadj,
+            adjncy,
+            adjwgt,
+        },
+        verts.to_vec(),
+    )
 }
 
 /// Bisects `g` so side `false` holds ≈ `frac0` of the total vertex
@@ -124,7 +139,9 @@ fn grow_half(g: &WGraph, target0: u64, seed: u64) -> Vec<bool> {
     while weight0 < target0 {
         if queue.is_empty() {
             // (Re)seed from an unvisited vertex; handles disconnection.
-            let Some(s) = pick_unvisited(&visited, &mut rng) else { break };
+            let Some(s) = pick_unvisited(&visited, &mut rng) else {
+                break;
+            };
             visited[s] = true;
             queue.push_back(s as u32);
         }
@@ -143,8 +160,12 @@ fn grow_half(g: &WGraph, target0: u64, seed: u64) -> Vec<bool> {
 }
 
 fn pick_unvisited(visited: &[bool], rng: &mut StdRng) -> Option<usize> {
-    let unvisited: Vec<usize> =
-        visited.iter().enumerate().filter(|&(_, &v)| !v).map(|(i, _)| i).collect();
+    let unvisited: Vec<usize> = visited
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| !v)
+        .map(|(i, _)| i)
+        .collect();
     if unvisited.is_empty() {
         None
     } else {
@@ -239,7 +260,11 @@ mod tests {
     fn balanced_within_slack() {
         let g = WGraph::from_csr(&grid2d(12));
         let p = recursive_bisection(&g, 4, 3);
-        assert!(p.weight_imbalance(&g) < 1.35, "imbalance {}", p.weight_imbalance(&g));
+        assert!(
+            p.weight_imbalance(&g) < 1.35,
+            "imbalance {}",
+            p.weight_imbalance(&g)
+        );
     }
 
     #[test]
@@ -295,9 +320,6 @@ mod tests {
     #[test]
     fn deterministic() {
         let g = WGraph::from_csr(&grid2d(6));
-        assert_eq!(
-            recursive_bisection(&g, 4, 9),
-            recursive_bisection(&g, 4, 9)
-        );
+        assert_eq!(recursive_bisection(&g, 4, 9), recursive_bisection(&g, 4, 9));
     }
 }

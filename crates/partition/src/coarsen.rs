@@ -86,7 +86,15 @@ pub fn contract(g: &WGraph, mate: &[u32]) -> Coarsening {
         xadj.push(adjncy.len());
     }
 
-    Coarsening { graph: WGraph { vwgt, xadj, adjncy, adjwgt }, coarse_of }
+    Coarsening {
+        graph: WGraph {
+            vwgt,
+            xadj,
+            adjncy,
+            adjwgt,
+        },
+        coarse_of,
+    }
 }
 
 #[cfg(test)]
@@ -112,9 +120,9 @@ mod tests {
         let c = contract(&g, &mate);
         c.graph.validate();
         let mut internal = 0u64;
-        for v in 0..g.n() {
+        for (v, &m) in mate.iter().enumerate() {
             for (u, w) in g.neighbors(v) {
-                if mate[v] == u {
+                if m == u {
                     internal += w;
                 }
             }
@@ -143,8 +151,8 @@ mod tests {
             assert!((c.coarse_of[v] as usize) < c.graph.n());
         }
         // Matched pairs share a coarse vertex.
-        for v in 0..g.n() {
-            assert_eq!(c.coarse_of[v], c.coarse_of[mate[v] as usize]);
+        for (v, &m) in mate.iter().enumerate() {
+            assert_eq!(c.coarse_of[v], c.coarse_of[m as usize]);
         }
     }
 

@@ -26,6 +26,7 @@ pub fn greedy_growing(g: &WGraph, k: usize, seed: u64) -> Partition {
     order.shuffle(&mut rng);
     let mut cursor = 0usize;
 
+    #[allow(clippy::needless_range_loop)] // `part` indexes two arrays under break conditions
     for part in 0..k.saturating_sub(1) {
         // Find an unassigned seed.
         while cursor < n && parts[order[cursor] as usize] != u32::MAX {
@@ -55,10 +56,10 @@ pub fn greedy_growing(g: &WGraph, k: usize, seed: u64) -> Partition {
     }
     // Everything unassigned goes to the last part first, then rebalance
     // spreads leftovers if the graph was disconnected.
-    for v in 0..n {
-        if parts[v] == u32::MAX {
+    for (v, pt) in parts.iter_mut().enumerate() {
+        if *pt == u32::MAX {
             let last = k - 1;
-            parts[v] = last as u32;
+            *pt = last as u32;
             weights[last] += g.vwgt[v];
         }
     }
@@ -165,14 +166,22 @@ mod tests {
         let p = greedy_growing(&g, 4, 1);
         assert_eq!(p.n(), 64);
         assert_eq!(p.sizes().iter().sum::<usize>(), 64);
-        assert!(p.sizes().iter().all(|&s| s > 0), "empty part: {:?}", p.sizes());
+        assert!(
+            p.sizes().iter().all(|&s| s > 0),
+            "empty part: {:?}",
+            p.sizes()
+        );
     }
 
     #[test]
     fn balance_within_tolerance() {
         let g = WGraph::from_csr(&erdos_renyi(400, 1600, 2));
         let p = greedy_growing(&g, 8, 3);
-        assert!(p.weight_imbalance(&g) <= 1.25, "imbalance {}", p.weight_imbalance(&g));
+        assert!(
+            p.weight_imbalance(&g) <= 1.25,
+            "imbalance {}",
+            p.weight_imbalance(&g)
+        );
     }
 
     #[test]
@@ -200,13 +209,14 @@ mod tests {
     #[test]
     fn rebalance_enforces_cap() {
         let g = WGraph::from_csr(&grid2d(6)); // 36 vertices, uniform weight 5
-        let mut p = Partition::new(
-            (0..36).map(|v| u32::from(v >= 34)).collect::<Vec<_>>(),
-            2,
-        );
+        let mut p = Partition::new((0..36).map(|v| u32::from(v >= 34)).collect::<Vec<_>>(), 2);
         assert!(p.weight_imbalance(&g) > 1.8);
         rebalance(&g, &mut p, 1.05);
-        assert!(p.weight_imbalance(&g) <= 1.06, "imbalance {}", p.weight_imbalance(&g));
+        assert!(
+            p.weight_imbalance(&g) <= 1.06,
+            "imbalance {}",
+            p.weight_imbalance(&g)
+        );
     }
 
     #[test]

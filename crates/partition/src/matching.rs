@@ -54,7 +54,11 @@ pub fn matched_fraction(mate: &[u32]) -> f64 {
     if mate.is_empty() {
         return 0.0;
     }
-    let matched = mate.iter().enumerate().filter(|&(v, &m)| m as usize != v).count();
+    let matched = mate
+        .iter()
+        .enumerate()
+        .filter(|&(v, &m)| m as usize != v)
+        .count();
     matched as f64 / mate.len() as f64
 }
 

@@ -11,8 +11,6 @@
 //!   volume** determines epoch time; Table 2 reports the max/avg
 //!   imbalance of exactly this quantity.
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::Partition;
 use crate::wgraph::WGraph;
 
@@ -57,7 +55,7 @@ pub fn volumes(g: &WGraph, p: &Partition) -> (Vec<u64>, Vec<u64>) {
 }
 
 /// Aggregate communication-volume metrics for a partition.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct VolumeMetrics {
     /// Total rows communicated (sum of per-part send volumes).
     pub total: u64,
@@ -79,9 +77,18 @@ pub fn volume_metrics(g: &WGraph, p: &Partition) -> VolumeMetrics {
     let max_send = *send.iter().max().unwrap_or(&0);
     let max_recv = *recv.iter().max().unwrap_or(&0);
     let avg_send = total as f64 / p.k() as f64;
-    let imbalance_pct =
-        if avg_send == 0.0 { 0.0 } else { (max_send as f64 / avg_send - 1.0) * 100.0 };
-    VolumeMetrics { total, max_send, max_recv, avg_send, imbalance_pct }
+    let imbalance_pct = if avg_send == 0.0 {
+        0.0
+    } else {
+        (max_send as f64 / avg_send - 1.0) * 100.0
+    };
+    VolumeMetrics {
+        total,
+        max_send,
+        max_recv,
+        avg_send,
+        imbalance_pct,
+    }
 }
 
 /// Converts a row volume to wire bytes for feature width `f`

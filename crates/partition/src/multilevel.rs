@@ -13,7 +13,6 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use spmat::Csr;
 
 use crate::bisect::recursive_bisection;
@@ -26,7 +25,7 @@ use crate::types::Partition;
 use crate::wgraph::WGraph;
 
 /// Distribution strategies, named for the schemes in the paper's figures.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Method {
     /// Contiguous equal-row blocks in the input order ("SA" without a
     /// partitioner).
@@ -148,7 +147,10 @@ fn multilevel(adj: &Csr, k: usize, cfg: &PartitionConfig) -> Partition {
     // refinement — use a loose cap here and try several restarts, keeping
     // the best cut. The finest-level refinement and the final rebalance
     // restore the target balance.
-    let coarse_refine = EdgecutRefineConfig { max_ratio: 1.2, ..cfg.edgecut };
+    let coarse_refine = EdgecutRefineConfig {
+        max_ratio: 1.2,
+        ..cfg.edgecut
+    };
     let mut part = {
         let mut best: Option<(u64, Partition)> = None;
         for attempt in 0..2u64 {
@@ -179,10 +181,11 @@ fn multilevel(adj: &Csr, k: usize, cfg: &PartitionConfig) -> Partition {
     // graphs[i] is the fine graph that levels[i] coarsened.
     for (i, c) in levels.iter().enumerate().rev() {
         let fine = graphs[i];
-        let mut fine_parts = vec![0u32; fine.n()];
-        for v in 0..fine.n() {
-            fine_parts[v] = part.parts()[c.coarse_of[v] as usize];
-        }
+        let fine_parts: Vec<u32> = c
+            .coarse_of
+            .iter()
+            .map(|&cv| part.parts()[cv as usize])
+            .collect();
         part = Partition::new(fine_parts, k);
         // Coarser levels keep the loose cap (vertices are still heavy);
         // the finest level enforces the configured balance.
@@ -294,9 +297,12 @@ mod tests {
     #[test]
     fn all_methods_respect_part_count() {
         let adj = rmat(RmatConfig::graph500(9, 6, 9));
-        for method in
-            [Method::Block, Method::Random, Method::EdgeCut, Method::VolumeBalanced]
-        {
+        for method in [
+            Method::Block,
+            Method::Random,
+            Method::EdgeCut,
+            Method::VolumeBalanced,
+        ] {
             let p = partition_graph(&adj, 7, &PartitionConfig::new(method));
             assert_eq!(p.k(), 7);
             assert_eq!(p.n(), adj.rows());
@@ -308,7 +314,10 @@ mod tests {
     fn partition_is_deterministic() {
         let adj = rmat(RmatConfig::graph500(9, 6, 10));
         let cfg = PartitionConfig::new(Method::VolumeBalanced).with_seed(42);
-        assert_eq!(partition_graph(&adj, 8, &cfg), partition_graph(&adj, 8, &cfg));
+        assert_eq!(
+            partition_graph(&adj, 8, &cfg),
+            partition_graph(&adj, 8, &cfg)
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub struct EdgecutRefineConfig {
 
 impl Default for EdgecutRefineConfig {
     fn default() -> Self {
-        Self { max_ratio: 1.10, max_passes: 8 }
+        Self {
+            max_ratio: 1.10,
+            max_passes: 8,
+        }
     }
 }
 
@@ -33,7 +36,7 @@ fn connectivity(
     g: &WGraph,
     p: &Partition,
     v: usize,
-    scratch: &mut Vec<u64>,
+    scratch: &mut [u64],
     touched: &mut Vec<u32>,
 ) -> (u64, Option<(usize, u64)>) {
     let own = p.part(v);
@@ -97,7 +100,9 @@ pub fn refine_edgecut(g: &WGraph, p: &mut Partition, cfg: EdgecutRefineConfig) -
             }
             // Lazy revalidation: neighborhood may have changed since push.
             let (internal, best) = connectivity(g, p, v, &mut scratch, &mut touched);
-            let Some((cur_q, external)) = best else { continue };
+            let Some((cur_q, external)) = best else {
+                continue;
+            };
             let gain = external as i64 - internal as i64;
             if cur_q != q || gain != stale_gain {
                 if gain > 0 {
@@ -180,9 +185,16 @@ mod tests {
             (0..64).map(|_| rng.gen_range(0..4u32)).collect::<Vec<_>>(),
             4,
         );
-        let cfg = EdgecutRefineConfig { max_ratio: 1.10, max_passes: 8 };
+        let cfg = EdgecutRefineConfig {
+            max_ratio: 1.10,
+            max_passes: 8,
+        };
         refine_edgecut(&g, &mut p, cfg);
-        assert!(p.weight_imbalance(&g) <= 1.40, "imbalance {}", p.weight_imbalance(&g));
+        assert!(
+            p.weight_imbalance(&g) <= 1.40,
+            "imbalance {}",
+            p.weight_imbalance(&g)
+        );
     }
 
     #[test]
@@ -200,6 +212,9 @@ mod tests {
     fn single_part_noop() {
         let g = WGraph::from_csr(&grid2d(4));
         let mut p = Partition::new(vec![0; 16], 1);
-        assert_eq!(refine_edgecut(&g, &mut p, EdgecutRefineConfig::default()), 0);
+        assert_eq!(
+            refine_edgecut(&g, &mut p, EdgecutRefineConfig::default()),
+            0
+        );
     }
 }

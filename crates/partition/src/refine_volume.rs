@@ -80,7 +80,9 @@ struct Deltas {
 
 impl Deltas {
     fn new() -> Self {
-        Self { entries: Vec::with_capacity(8) }
+        Self {
+            entries: Vec::with_capacity(8),
+        }
     }
     fn add(&mut self, part: usize, d: i64) {
         for e in &mut self.entries {
@@ -133,16 +135,18 @@ fn move_deltas(
         let c = p.part(u);
         if a != c {
             // u sent its row to a because of (possibly only) v.
-            let still_needs_a =
-                g.neighbors(u).any(|(w, _)| w as usize != v && p.part(w as usize) == a);
+            let still_needs_a = g
+                .neighbors(u)
+                .any(|(w, _)| w as usize != v && p.part(w as usize) == a);
             if !still_needs_a {
                 send_d.add(c, -1);
                 recv_d.add(a, -1);
             }
         }
         if b != c {
-            let already_sent_b =
-                g.neighbors(u).any(|(w, _)| w as usize != v && p.part(w as usize) == b);
+            let already_sent_b = g
+                .neighbors(u)
+                .any(|(w, _)| w as usize != v && p.part(w as usize) == b);
             if !already_sent_b {
                 send_d.add(c, 1);
                 recv_d.add(b, 1);
@@ -236,8 +240,7 @@ pub fn refine_volume(g: &WGraph, p: &mut Partition, cfg: VolumeRefineConfig) -> 
                     let rv = recv[q] as i64 + lookup(&recv_d, q);
                     new_max = new_max.max(metric(cfg.objective, sv, rv));
                 }
-                let improves = new_max < cur_max
-                    || (new_max == cur_max && dtotal < 0);
+                let improves = new_max < cur_max || (new_max == cur_max && dtotal < 0);
                 if improves {
                     let better = match best.as_ref() {
                         None => true,
@@ -347,11 +350,19 @@ mod tests {
     fn respects_weight_cap() {
         let g = WGraph::from_csr(&grid2d(10));
         let mut p = greedy_growing(&g, 4, 9);
-        let cfg = VolumeRefineConfig { max_ratio: 1.25, seed: 1, ..Default::default() };
+        let cfg = VolumeRefineConfig {
+            max_ratio: 1.25,
+            seed: 1,
+            ..Default::default()
+        };
         refine_volume(&g, &mut p, cfg);
         // Greedy growing leaves ≤ 1.10; refinement must keep ≤ 1.25 + one
         // vertex of slack.
-        assert!(p.weight_imbalance(&g) <= 1.30, "imbalance {}", p.weight_imbalance(&g));
+        assert!(
+            p.weight_imbalance(&g) <= 1.30,
+            "imbalance {}",
+            p.weight_imbalance(&g)
+        );
     }
 
     #[test]
@@ -427,7 +438,10 @@ mod objective_tests {
         refine_volume(
             &g,
             &mut p_both,
-            VolumeRefineConfig { objective: VolumeObjective::MaxSendRecv, ..Default::default() },
+            VolumeRefineConfig {
+                objective: VolumeObjective::MaxSendRecv,
+                ..Default::default()
+            },
         );
         // Different objectives optimize different bottlenecks; at minimum
         // they must each end with valid metrics.

@@ -1,11 +1,9 @@
 //! The partition assignment type and its derived distributions.
 
-use serde::{Deserialize, Serialize};
-
 use crate::wgraph::WGraph;
 
 /// A k-way vertex assignment.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Partition {
     parts: Vec<u32>,
     k: usize,
@@ -18,7 +16,10 @@ impl Partition {
     /// Panics if any part id is `≥ k`.
     pub fn new(parts: Vec<u32>, k: usize) -> Self {
         assert!(k >= 1);
-        assert!(parts.iter().all(|&p| (p as usize) < k), "part id out of range");
+        assert!(
+            parts.iter().all(|&p| (p as usize) < k),
+            "part id out of range"
+        );
         Self { parts, k }
     }
 
@@ -27,9 +28,7 @@ impl Partition {
         let bounds = spmat::gen::sbm::block_bounds(n, k);
         let mut parts = vec![0u32; n];
         for (b, w) in bounds.windows(2).enumerate() {
-            for v in w[0]..w[1] {
-                parts[v] = b as u32;
-            }
+            parts[w[0]..w[1]].fill(b as u32);
         }
         Self { parts, k }
     }
@@ -163,10 +162,7 @@ mod tests {
         let g = WGraph::from_csr(&grid2d(4)); // uniform vwgt = 5
         let balanced = Partition::block(16, 4);
         assert!((balanced.weight_imbalance(&g) - 1.0).abs() < 1e-12);
-        let skewed = Partition::new(
-            (0..16).map(|v| u32::from(v == 0)).collect::<Vec<_>>(),
-            2,
-        );
+        let skewed = Partition::new((0..16).map(|v| u32::from(v == 0)).collect::<Vec<_>>(), 2);
         // Part 1 has one vertex (weight 5), part 0 has 75; avg 40 → 75/40.
         assert!((skewed.weight_imbalance(&g) - 75.0 / 40.0).abs() < 1e-12);
     }

@@ -47,7 +47,12 @@ impl WGraph {
         }
         let vwgt = (0..n).map(|v| (xadj[v + 1] - xadj[v]) as u64 + 1).collect();
         let adjwgt = vec![1u64; adjncy.len()];
-        Self { vwgt, xadj, adjncy, adjwgt }
+        Self {
+            vwgt,
+            xadj,
+            adjncy,
+            adjwgt,
+        }
     }
 
     /// Number of vertices.
@@ -102,8 +107,7 @@ impl WGraph {
                 pairs.push((v as u32, u, w));
             }
         }
-        let mut mirror: Vec<(u32, u32, u64)> =
-            pairs.iter().map(|&(a, b, w)| (b, a, w)).collect();
+        let mut mirror: Vec<(u32, u32, u64)> = pairs.iter().map(|&(a, b, w)| (b, a, w)).collect();
         pairs.sort_unstable();
         mirror.sort_unstable();
         assert_eq!(pairs, mirror, "graph is not symmetric");

@@ -25,7 +25,11 @@ impl Coo {
     /// throughout this crate to halve index memory traffic.
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize);
-        Self { rows, cols, entries: Vec::new() }
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty COO with capacity for `nnz` entries.
@@ -75,7 +79,9 @@ impl Coo {
 
     /// Iterates over raw (possibly duplicated) triplets.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
     }
 
     /// Converts to CSR, sorting by `(row, col)` and summing duplicates.

@@ -42,24 +42,50 @@ impl Csr {
     ) -> Self {
         assert_eq!(indptr.len(), rows + 1, "indptr length mismatch");
         assert_eq!(indptr[0], 0, "indptr must start at 0");
-        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
-        assert_eq!(*indptr.last().unwrap() as usize, indices.len(), "indptr end mismatch");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        assert_eq!(
+            *indptr.last().unwrap() as usize,
+            indices.len(),
+            "indptr end mismatch"
+        );
         for r in 0..rows {
             assert!(indptr[r] <= indptr[r + 1], "indptr not monotone at row {r}");
             let (lo, hi) = (indptr[r] as usize, indptr[r + 1] as usize);
             for k in lo..hi {
-                assert!((indices[k] as usize) < cols, "column out of bounds in row {r}");
+                assert!(
+                    (indices[k] as usize) < cols,
+                    "column out of bounds in row {r}"
+                );
                 if k > lo {
-                    assert!(indices[k - 1] < indices[k], "columns not strictly increasing in row {r}");
+                    assert!(
+                        indices[k - 1] < indices[k],
+                        "columns not strictly increasing in row {r}"
+                    );
                 }
             }
         }
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// An empty `rows × cols` matrix.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+        Self {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// The `n × n` identity.
@@ -122,7 +148,9 @@ impl Csr {
     /// Value at `(r, c)` if stored.
     pub fn get(&self, r: usize, c: usize) -> Option<f64> {
         let cols = self.row_cols(r);
-        cols.binary_search(&(c as u32)).ok().map(|k| self.row_vals(r)[k])
+        cols.binary_search(&(c as u32))
+            .ok()
+            .map(|k| self.row_vals(r)[k])
     }
 
     /// Returns true when the sparsity pattern and values are symmetric.
@@ -160,7 +188,13 @@ impl Csr {
                 cursor[c as usize] += 1;
             }
         }
-        Csr { rows: self.cols, cols: self.rows, indptr, indices, values }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Applies the symmetric permutation `B[perm[i], perm[j]] = A[i, j]`.
@@ -171,13 +205,19 @@ impl Csr {
     /// # Panics
     /// Panics if `perm` is not a permutation of `0..n`.
     pub fn permute_symmetric(&self, perm: &[u32]) -> Csr {
-        assert_eq!(self.rows, self.cols, "symmetric permutation requires square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "symmetric permutation requires square matrix"
+        );
         assert_eq!(perm.len(), self.rows);
         let n = self.rows;
         // inverse: new index -> old index
         let mut inv = vec![u32::MAX; n];
         for (old, &new) in perm.iter().enumerate() {
-            assert!((new as usize) < n && inv[new as usize] == u32::MAX, "perm is not a permutation");
+            assert!(
+                (new as usize) < n && inv[new as usize] == u32::MAX,
+                "perm is not a permutation"
+            );
             inv[new as usize] = old as u32;
         }
         let mut indptr = vec![0u64; n + 1];
@@ -203,7 +243,13 @@ impl Csr {
                 values[base + k] = v;
             }
         }
-        Csr { rows: n, cols: n, indptr, indices, values }
+        Csr {
+            rows: n,
+            cols: n,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Extracts rows `lo..hi` as a new CSR with the *same* column space
@@ -215,7 +261,13 @@ impl Csr {
         let indptr: Vec<u64> = self.indptr[lo..=hi].iter().map(|&p| p - base).collect();
         let indices = self.indices[self.indptr[lo] as usize..self.indptr[hi] as usize].to_vec();
         let values = self.values[self.indptr[lo] as usize..self.indptr[hi] as usize].to_vec();
-        Csr { rows: hi - lo, cols: self.cols, indptr, indices, values }
+        Csr {
+            rows: hi - lo,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Restricts the matrix to columns `[col_lo, col_hi)`, preserving the
@@ -239,7 +291,13 @@ impl Csr {
             values.extend_from_slice(&vals[start..end]);
             indptr.push(indices.len() as u64);
         }
-        Csr { rows: self.rows, cols: self.cols, indptr, indices, values }
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// The sorted set of distinct columns with at least one nonzero in this
@@ -310,9 +368,9 @@ impl Csr {
     /// Dense representation, for tests and tiny examples only.
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut out = vec![vec![0.0; self.cols]; self.rows];
-        for r in 0..self.rows {
+        for (r, row) in out.iter_mut().enumerate() {
             for (&c, &v) in self.row_cols(r).iter().zip(self.row_vals(r)) {
-                out[r][c as usize] = v;
+                row[c as usize] = v;
             }
         }
         out
@@ -448,8 +506,10 @@ mod tests {
     #[test]
     fn col_range_blocks_partition_nnz() {
         let m = sample();
-        let total: usize =
-            [(0, 2), (2, 3), (3, 4)].iter().map(|&(l, h)| m.col_range_block(l, h).nnz()).sum();
+        let total: usize = [(0, 2), (2, 3), (3, 4)]
+            .iter()
+            .map(|&(l, h)| m.col_range_block(l, h).nnz())
+            .sum();
         assert_eq!(total, m.nnz());
     }
 

@@ -131,7 +131,15 @@ fn assemble(
     let features = label_features(&labels, num_classes, f, 1.5, &mut rng);
     let train_mask = train_split(adj.rows(), &mut rng);
     let norm_adj = gcn_normalize(&adj);
-    Dataset { name: name.to_string(), adj, norm_adj, features, labels, num_classes, train_mask }
+    Dataset {
+        name: name.to_string(),
+        adj,
+        norm_adj,
+        features,
+        labels,
+        num_classes,
+        train_mask,
+    }
 }
 
 /// Reddit analogue: small and dense, irregular but weakly community-
@@ -202,10 +210,10 @@ pub fn papers_scaled(scale: u32, seed: u64) -> Dataset {
 /// harness: sizes chosen so an entire figure sweep runs in seconds.
 pub fn default_suite(seed: u64) -> Vec<Dataset> {
     vec![
-        reddit_scaled(12, seed),        // n = 4096, densest
-        amazon_scaled(15, seed),        // n = 32768, sparse irregular
+        reddit_scaled(12, seed),           // n = 4096, densest
+        amazon_scaled(15, seed),           // n = 32768, sparse irregular
         protein_scaled(16_384, 256, seed), // regular, community-rich
-        papers_scaled(16, seed),        // n = 65536, largest
+        papers_scaled(16, seed),           // n = 65536, largest
     ]
 }
 
@@ -219,7 +227,12 @@ mod tests {
         let r = reddit_scaled(10, 1);
         let a = amazon_scaled(10, 1);
         let avg = |d: &Dataset| d.edges() as f64 / d.n() as f64;
-        assert!(avg(&r) > 2.0 * avg(&a), "reddit {} amazon {}", avg(&r), avg(&a));
+        assert!(
+            avg(&r) > 2.0 * avg(&a),
+            "reddit {} amazon {}",
+            avg(&r),
+            avg(&a)
+        );
     }
 
     #[test]
@@ -255,8 +268,8 @@ mod tests {
         // Reverse permutation.
         let perm: Vec<u32> = (0..n as u32).rev().collect();
         let p = d.permute(&perm);
-        for v in 0..n {
-            let pv = perm[v] as usize;
+        for (v, &pv) in perm.iter().enumerate() {
+            let pv = pv as usize;
             assert_eq!(p.labels[pv], d.labels[v]);
             assert_eq!(p.train_mask[pv], d.train_mask[v]);
             assert_eq!(p.features.row(pv), d.features.row(v));
@@ -275,8 +288,8 @@ mod tests {
         for v in 0..d.n() {
             let c = d.labels[v] as usize;
             counts[c] += 1;
-            for j in 0..f {
-                sums[c][j] += d.features.get(v, j);
+            for (j, s) in sums[c].iter_mut().enumerate() {
+                *s += d.features.get(v, j);
             }
         }
         let mean0: Vec<f64> = sums[0].iter().map(|s| s / counts[0] as f64).collect();

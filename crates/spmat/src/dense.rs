@@ -18,7 +18,11 @@ pub struct Dense {
 impl Dense {
     /// An all-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds from a generator function over `(row, col)`.
@@ -193,20 +197,41 @@ impl Dense {
     /// Element-wise product `self ⊙ other` (Hadamard).
     pub fn hadamard(&self, other: &Dense) -> Dense {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect();
-        Dense { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise ReLU.
     pub fn relu(&self) -> Dense {
         let data = self.data.iter().map(|&v| v.max(0.0)).collect();
-        Dense { rows: self.rows, cols: self.cols, data }
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise ReLU derivative (1 where the input was positive).
     pub fn relu_prime(&self) -> Dense {
-        let data = self.data.iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect();
-        Dense { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .map(|&v| if v > 0.0 { 1.0 } else { 0.0 })
+            .collect();
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Gathers the listed rows into a new matrix (communication packing:

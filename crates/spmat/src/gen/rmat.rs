@@ -30,7 +30,14 @@ pub struct RmatConfig {
 impl RmatConfig {
     /// Graph500-style skew with the given size and seed.
     pub fn graph500(scale: u32, edge_factor: usize, seed: u64) -> Self {
-        Self { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19, seed }
+        Self {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed,
+        }
     }
 }
 
@@ -38,7 +45,10 @@ impl RmatConfig {
 /// edges merged, so the resulting edge count is somewhat below
 /// `2 · n · edge_factor`.
 pub fn rmat(cfg: RmatConfig) -> Csr {
-    assert!(cfg.a + cfg.b + cfg.c <= 1.0 + 1e-12, "quadrant probabilities exceed 1");
+    assert!(
+        cfg.a + cfg.b + cfg.c <= 1.0 + 1e-12,
+        "quadrant probabilities exceed 1"
+    );
     let n = 1usize << cfg.scale;
     let m = n * cfg.edge_factor;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -76,7 +86,13 @@ pub fn rmat(cfg: RmatConfig) -> Csr {
 /// `to_csr`; adjacency patterns are unweighted).
 pub(crate) fn unit_weights(m: Csr) -> Csr {
     let values = vec![1.0; m.nnz()];
-    Csr::from_raw_parts(m.rows(), m.cols(), m.indptr().to_vec(), m.indices().to_vec(), values)
+    Csr::from_raw_parts(
+        m.rows(),
+        m.cols(),
+        m.indptr().to_vec(),
+        m.indices().to_vec(),
+        values,
+    )
 }
 
 #[cfg(test)]
@@ -114,7 +130,12 @@ mod tests {
         let stats = degree_stats(&g);
         // Skewed generator: max degree far exceeds the mean and the
         // coefficient of variation is large.
-        assert!(stats.max as f64 > 5.0 * stats.avg, "max {} avg {}", stats.max, stats.avg);
+        assert!(
+            stats.max as f64 > 5.0 * stats.avg,
+            "max {} avg {}",
+            stats.max,
+            stats.avg
+        );
         assert!(degree_cv(&g) > 0.8);
     }
 

@@ -35,7 +35,10 @@ pub struct SbmConfig {
 /// with the ground-truth block id of every vertex (used as classification
 /// labels by the datasets).
 pub fn sbm(cfg: SbmConfig) -> (Csr, Vec<u32>) {
-    assert!(cfg.blocks >= 1 && cfg.n >= cfg.blocks, "need at least one vertex per block");
+    assert!(
+        cfg.blocks >= 1 && cfg.n >= cfg.blocks,
+        "need at least one vertex per block"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let k = cfg.blocks;
     // Block boundaries: blocks of size ⌈n/k⌉ then ⌊n/k⌋.
@@ -43,9 +46,7 @@ pub fn sbm(cfg: SbmConfig) -> (Csr, Vec<u32>) {
     let labels: Vec<u32> = {
         let mut l = vec![0u32; cfg.n];
         for (b, w) in bounds.windows(2).enumerate() {
-            for v in w[0]..w[1] {
-                l[v] = b as u32;
-            }
+            l[w[0]..w[1]].fill(b as u32);
         }
         l
     };
@@ -100,7 +101,13 @@ mod tests {
     use super::*;
 
     fn cfg(seed: u64) -> SbmConfig {
-        SbmConfig { n: 400, blocks: 4, avg_degree_in: 20.0, avg_degree_out: 1.0, seed }
+        SbmConfig {
+            n: 400,
+            blocks: 4,
+            avg_degree_in: 20.0,
+            avg_degree_out: 1.0,
+            seed,
+        }
     }
 
     #[test]

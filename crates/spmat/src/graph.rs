@@ -54,7 +54,12 @@ pub struct DegreeStats {
 pub fn degree_stats(adj: &Csr) -> DegreeStats {
     let n = adj.rows();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, avg: 0.0, isolated: 0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            avg: 0.0,
+            isolated: 0,
+        };
     }
     let mut min = usize::MAX;
     let mut max = 0usize;
@@ -67,7 +72,12 @@ pub fn degree_stats(adj: &Csr) -> DegreeStats {
             isolated += 1;
         }
     }
-    DegreeStats { min, max, avg: adj.nnz() as f64 / n as f64, isolated }
+    DegreeStats {
+        min,
+        max,
+        avg: adj.nnz() as f64 / n as f64,
+        isolated,
+    }
 }
 
 /// Coefficient of variation of row degrees: a scalar "irregularity" score.

@@ -60,7 +60,9 @@ pub fn read_mtx(path: &Path) -> Result<Csr, MtxError> {
     let pattern = header.contains(" pattern");
     let symmetric = header.contains(" symmetric");
     if !header.contains(" general") && !symmetric {
-        return Err(parse_err("only 'general' and 'symmetric' layouts supported"));
+        return Err(parse_err(
+            "only 'general' and 'symmetric' layouts supported",
+        ));
     }
 
     // Size line (skipping comments).
@@ -74,18 +76,21 @@ pub fn read_mtx(path: &Path) -> Result<Csr, MtxError> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let rows: usize =
-            it.next().ok_or_else(|| parse_err("size line too short"))?.parse().map_err(
-                |e| parse_err(format!("bad row count: {e}")),
-            )?;
-        let cols: usize =
-            it.next().ok_or_else(|| parse_err("size line too short"))?.parse().map_err(
-                |e| parse_err(format!("bad col count: {e}")),
-            )?;
-        let nnz: usize =
-            it.next().ok_or_else(|| parse_err("size line too short"))?.parse().map_err(
-                |e| parse_err(format!("bad nnz count: {e}")),
-            )?;
+        let rows: usize = it
+            .next()
+            .ok_or_else(|| parse_err("size line too short"))?
+            .parse()
+            .map_err(|e| parse_err(format!("bad row count: {e}")))?;
+        let cols: usize = it
+            .next()
+            .ok_or_else(|| parse_err("size line too short"))?
+            .parse()
+            .map_err(|e| parse_err(format!("bad col count: {e}")))?;
+        let nnz: usize = it
+            .next()
+            .ok_or_else(|| parse_err("size line too short"))?
+            .parse()
+            .map_err(|e| parse_err(format!("bad nnz count: {e}")))?;
         break (rows, cols, nnz);
     };
 
@@ -152,7 +157,6 @@ pub fn write_mtx(path: &Path, m: &Csr) -> Result<(), MtxError> {
 mod tests {
     use super::*;
     use crate::gen::grid2d;
-    use std::io::Write as _;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
@@ -191,7 +195,11 @@ mod tests {
     #[test]
     fn rejects_bad_header() {
         let path = tmp("bad.mtx");
-        std::fs::write(&path, "%%MatrixMarket matrix array real general\n2 2\n1.0\n").unwrap();
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix array real general\n2 2\n1.0\n",
+        )
+        .unwrap();
         assert!(matches!(read_mtx(&path), Err(MtxError::Parse(_))));
         std::fs::remove_file(&path).ok();
     }

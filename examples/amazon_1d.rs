@@ -8,13 +8,16 @@
 //! ```
 
 use dist_gnn::comm::Phase;
+use dist_gnn::spmat::dataset::amazon_scaled;
 use gnn_bench::experiments::stats_1d;
 use gnn_bench::Scheme;
-use dist_gnn::spmat::dataset::amazon_scaled;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let scale: u32 = args.next().map(|s| s.parse().expect("bad scale")).unwrap_or(13);
+    let scale: u32 = args
+        .next()
+        .map(|s| s.parse().expect("bad scale"))
+        .unwrap_or(13);
     let p: usize = args.next().map(|s| s.parse().expect("bad p")).unwrap_or(32);
 
     println!("building amazon-scaled (2^{scale} vertices)...");

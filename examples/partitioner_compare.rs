@@ -30,8 +30,12 @@ fn main() {
             "{:>12} {:>10} {:>12} {:>10} {:>12} {:>10}",
             "method", "edgecut", "total vol", "max send", "imbalance%", "weight bal"
         );
-        for method in [Method::Block, Method::Random, Method::EdgeCut, Method::VolumeBalanced]
-        {
+        for method in [
+            Method::Block,
+            Method::Random,
+            Method::EdgeCut,
+            Method::VolumeBalanced,
+        ] {
             let part = partition_graph(&ds.adj, k, &PartitionConfig::new(method).with_seed(7));
             let m = volume_metrics(&g, &part);
             println!(

@@ -8,18 +8,29 @@
 //! ```
 
 use dist_gnn::comm::Phase;
+use dist_gnn::spmat::dataset::protein_scaled;
 use gnn_bench::experiments::stats_15d;
 use gnn_bench::Scheme;
-use dist_gnn::spmat::dataset::protein_scaled;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: usize = args.next().map(|s| s.parse().expect("bad n")).unwrap_or(8192);
-    let blocks: usize = args.next().map(|s| s.parse().expect("bad blocks")).unwrap_or(64);
+    let n: usize = args
+        .next()
+        .map(|s| s.parse().expect("bad n"))
+        .unwrap_or(8192);
+    let blocks: usize = args
+        .next()
+        .map(|s| s.parse().expect("bad blocks"))
+        .unwrap_or(64);
 
     println!("building protein-scaled (n = {n}, {blocks} communities)...");
     let ds = protein_scaled(n, blocks, 1);
-    println!("{}: {} vertices, {} edges (regular SBM)\n", ds.name, ds.n(), ds.edges());
+    println!(
+        "{}: {} vertices, {} edges (regular SBM)\n",
+        ds.name,
+        ds.n(),
+        ds.edges()
+    );
 
     let ms = |s: f64| format!("{:.3}", s * 1e3);
     println!(

@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use dist_gnn::comm::{CostModel, Phase};
 use dist_gnn::core::dist::even_bounds;
 use dist_gnn::core::{train_distributed, Algo, DistConfig, GcnConfig, ReferenceTrainer};
-use dist_gnn::comm::{CostModel, Phase};
 use dist_gnn::spmat::dataset::protein_scaled;
 
 fn main() {
@@ -36,12 +36,12 @@ fn main() {
     let out = train_distributed(
         &ds,
         &bounds,
-        &DistConfig {
-            algo: Algo::OneD { aware: true },
-            gcn: cfg,
+        &DistConfig::new(
+            Algo::OneD { aware: true },
+            cfg,
             epochs,
-            model: CostModel::perlmutter_like(),
-        },
+            CostModel::perlmutter_like(),
+        ),
     );
 
     println!("\nepoch   sequential-loss   distributed-loss   accuracy");

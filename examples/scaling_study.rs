@@ -7,14 +7,20 @@
 //! cargo run --release --example scaling_study [-- <protein_n> <blocks>]
 //! ```
 
+use dist_gnn::spmat::dataset::protein_scaled;
 use gnn_bench::experiments::stats_1d;
 use gnn_bench::Scheme;
-use dist_gnn::spmat::dataset::protein_scaled;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: usize = args.next().map(|s| s.parse().expect("bad n")).unwrap_or(16384);
-    let blocks: usize = args.next().map(|s| s.parse().expect("bad blocks")).unwrap_or(128);
+    let n: usize = args
+        .next()
+        .map(|s| s.parse().expect("bad n"))
+        .unwrap_or(16384);
+    let blocks: usize = args
+        .next()
+        .map(|s| s.parse().expect("bad blocks"))
+        .unwrap_or(128);
 
     println!("building protein-scaled (n = {n}, {blocks} communities)...");
     let ds = protein_scaled(n, blocks, 1);

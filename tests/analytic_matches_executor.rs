@@ -47,7 +47,7 @@ fn check(ds: &Dataset, algo: Algo, block_rows: usize, epochs: usize) {
     let out = train_distributed(
         ds,
         &bounds,
-        &DistConfig { algo, gcn: gcn.clone(), epochs, model },
+        &DistConfig::new(algo, gcn.clone(), epochs, model),
     );
     let est = estimate(&AnalyticInput {
         adj: &ds.norm_adj,
@@ -102,11 +102,7 @@ fn sage_architecture_matches() {
     let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes).with_sage();
     let model = CostModel::perlmutter_like();
     let algo = Algo::OneD { aware: true };
-    let out = train_distributed(
-        &ds,
-        &bounds,
-        &DistConfig { algo, gcn: gcn.clone(), epochs: 2, model },
-    );
+    let out = train_distributed(&ds, &bounds, &DistConfig::new(algo, gcn.clone(), 2, model));
     let est = estimate(&AnalyticInput {
         adj: &ds.norm_adj,
         bounds: &bounds,
@@ -128,11 +124,7 @@ fn uneven_bounds_match() {
     let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
     let model = CostModel::perlmutter_like();
     for algo in [Algo::OneD { aware: true }, Algo::OneD { aware: false }] {
-        let out = train_distributed(
-            &ds,
-            &bounds,
-            &DistConfig { algo, gcn: gcn.clone(), epochs: 1, model },
-        );
+        let out = train_distributed(&ds, &bounds, &DistConfig::new(algo, gcn.clone(), 1, model));
         let est = estimate(&AnalyticInput {
             adj: &ds.norm_adj,
             bounds: &bounds,

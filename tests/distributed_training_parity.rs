@@ -23,7 +23,7 @@ fn check(ds: &Dataset, scheme: Scheme, algo: Algo, parts: usize) {
     let out = train_distributed(
         &pds,
         &bounds,
-        &DistConfig { algo, gcn, epochs: EPOCHS, model: CostModel::perlmutter_like() },
+        &DistConfig::new(algo, gcn, EPOCHS, CostModel::perlmutter_like()),
     );
     for (e, (a, b)) in out.records.iter().zip(&ref_records).enumerate() {
         assert!(
@@ -45,7 +45,14 @@ fn check(ds: &Dataset, scheme: Scheme, algo: Algo, parts: usize) {
 fn one_d_all_schemes_on_amazon() {
     let ds = amazon_scaled(8, 21);
     for scheme in [Scheme::Cagnet, Scheme::Sa, Scheme::SaMetis, Scheme::SaGvb] {
-        check(&ds, scheme, Algo::OneD { aware: scheme.aware() }, 4);
+        check(
+            &ds,
+            scheme,
+            Algo::OneD {
+                aware: scheme.aware(),
+            },
+            4,
+        );
     }
 }
 
@@ -67,7 +74,12 @@ fn one_five_d_all_variants() {
 fn one_five_d_c4_grid() {
     let ds = protein_scaled(512, 8, 24);
     // p = 16, c = 4 → 4 block rows, one stage per rank.
-    check(&ds, Scheme::SaMetis, Algo::OneFiveD { aware: true, c: 4 }, 4);
+    check(
+        &ds,
+        Scheme::SaMetis,
+        Algo::OneFiveD { aware: true, c: 4 },
+        4,
+    );
 }
 
 #[test]
@@ -82,12 +94,12 @@ fn adam_optimizer_parity() {
     let out = train_distributed(
         &pds,
         &bounds,
-        &DistConfig {
-            algo: Algo::OneD { aware: true },
+        &DistConfig::new(
+            Algo::OneD { aware: true },
             gcn,
-            epochs: EPOCHS,
-            model: CostModel::perlmutter_like(),
-        },
+            EPOCHS,
+            CostModel::perlmutter_like(),
+        ),
     );
     for (a, b) in out.records.iter().zip(&ref_records) {
         assert!((a.loss - b.loss).abs() < 1e-8);
@@ -104,21 +116,27 @@ fn sage_architecture_parity() {
     let gcn = GcnConfig::paper_default(pds.f(), pds.num_classes).with_sage();
     let mut reference = ReferenceTrainer::new(&pds, gcn.clone());
     let ref_records = reference.train(EPOCHS);
-    for algo in [Algo::OneD { aware: true }, Algo::OneFiveD { aware: true, c: 2 }] {
+    for algo in [
+        Algo::OneD { aware: true },
+        Algo::OneFiveD { aware: true, c: 2 },
+    ] {
         let out = train_distributed(
             &pds,
             &bounds,
-            &DistConfig {
-                algo,
-                gcn: gcn.clone(),
-                epochs: EPOCHS,
-                model: CostModel::perlmutter_like(),
-            },
+            &DistConfig::new(algo, gcn.clone(), EPOCHS, CostModel::perlmutter_like()),
         );
         for (a, b) in out.records.iter().zip(&ref_records) {
-            assert!((a.loss - b.loss).abs() < 1e-8, "{algo:?}: {} vs {}", a.loss, b.loss);
+            assert!(
+                (a.loss - b.loss).abs() < 1e-8,
+                "{algo:?}: {} vs {}",
+                a.loss,
+                b.loss
+            );
         }
-        assert!(out.weights.max_abs_diff(&reference.weights) < 1e-8, "{algo:?}");
+        assert!(
+            out.weights.max_abs_diff(&reference.weights) < 1e-8,
+            "{algo:?}"
+        );
     }
 }
 
@@ -141,12 +159,12 @@ fn uneven_partition_bounds() {
     let out = train_distributed(
         &ds,
         &bounds,
-        &DistConfig {
-            algo: Algo::OneD { aware: true },
+        &DistConfig::new(
+            Algo::OneD { aware: true },
             gcn,
-            epochs: 2,
-            model: CostModel::perlmutter_like(),
-        },
+            2,
+            CostModel::perlmutter_like(),
+        ),
     );
     for (a, b) in out.records.iter().zip(&ref_records) {
         assert!((a.loss - b.loss).abs() < 1e-8);

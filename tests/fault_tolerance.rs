@@ -1,0 +1,313 @@
+//! End-to-end robustness: injected faults, deadlock detection, and
+//! elastic restart, exercised through the public API exactly the way
+//! the `train` binary drives it.
+//!
+//! The headline scenario is the paper-reproduction guarantee under
+//! failure: crash a rank at epoch k, restart from the last checkpoint,
+//! and land on the *bit-identical* loss trajectory and final weights of
+//! a fault-free run — deterministic replicated state makes recovery
+//! exact, not approximate.
+
+use std::time::{Duration, Instant};
+
+use gnn_comm::msg::Payload;
+use gnn_comm::{CostModel, FaultPlan, ThreadWorld, WorldError};
+use gnn_core::dist::even_bounds;
+use gnn_core::{
+    train_distributed, try_train_distributed, Algo, DistConfig, GcnConfig, RobustnessConfig,
+};
+use spmat::dataset::{amazon_scaled, reddit_scaled};
+
+fn quick_world(p: usize) -> ThreadWorld {
+    ThreadWorld::new(p, CostModel::bandwidth_only()).with_timeout(Duration::from_millis(300))
+}
+
+/// Runs a deliberately broken protocol and demands a deadlock report
+/// within a few multiples of the watchdog timeout.
+fn expect_deadlock<F>(p: usize, f: F) -> gnn_comm::DeadlockReport
+where
+    F: Fn(&mut gnn_comm::RankCtx) + Sync,
+{
+    let t0 = Instant::now();
+    let err = quick_world(p).try_run(|ctx| f(ctx)).unwrap_err();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "hang was not cut short: took {:?}",
+        t0.elapsed()
+    );
+    match err {
+        WorldError::Deadlock(report) => report,
+        other => panic!("expected a deadlock report, got: {other}"),
+    }
+}
+
+// ---- deadlock watchdog: every mismatched protocol terminates ----
+
+#[test]
+fn deadlock_mutual_recv_names_both_ranks() {
+    let report = expect_deadlock(2, |ctx| {
+        let peer = 1 - ctx.rank();
+        ctx.recv(peer);
+    });
+    assert!(report.names(0) && report.names(1), "{report}");
+    let r0 = report.blocked.iter().find(|b| b.rank == 0).unwrap();
+    assert_eq!(r0.waiting_on, Some(1));
+}
+
+#[test]
+fn deadlock_recv_from_wrong_peer() {
+    // Rank 0 and 1 exchange; rank 2 waits on rank 0, which never sends
+    // to it. Ranks 0 and 1 finish their protocol and stay resident past
+    // the watchdog (an exiting peer would be flagged as a hang-up
+    // instead); only rank 2 must be in the report.
+    let report = expect_deadlock(3, |ctx| match ctx.rank() {
+        0 => {
+            ctx.send(1, Payload::F64(vec![1.0]));
+            ctx.recv(1);
+            std::thread::sleep(Duration::from_millis(700));
+        }
+        1 => {
+            ctx.send(0, Payload::F64(vec![2.0]));
+            ctx.recv(0);
+            std::thread::sleep(Duration::from_millis(700));
+        }
+        _ => {
+            ctx.recv(0);
+        }
+    });
+    assert!(report.names(2), "{report}");
+    assert!(!report.names(0) && !report.names(1), "{report}");
+}
+
+#[test]
+fn deadlock_missing_barrier_party() {
+    let report = expect_deadlock(4, |ctx| {
+        if ctx.rank() != 3 {
+            ctx.barrier();
+        }
+    });
+    assert_eq!(report.blocked_ranks(), vec![0, 1, 2], "{report}");
+}
+
+#[test]
+fn deadlock_absent_bcast_root() {
+    // Non-root ranks wait for a broadcast the root never performs; the
+    // root stays alive (busy elsewhere) so this is a hang, not a death.
+    let report = expect_deadlock(3, |ctx| {
+        if ctx.rank() != 0 {
+            ctx.bcast(0, None);
+        } else {
+            std::thread::sleep(Duration::from_millis(700));
+        }
+    });
+    assert!(report.names(1) && report.names(2), "{report}");
+    for b in &report.blocked {
+        assert_eq!(b.waiting_on, Some(0), "{report}");
+    }
+}
+
+#[test]
+fn deadlock_report_is_displayable_and_bounded() {
+    let report = expect_deadlock(2, |ctx| {
+        if ctx.rank() == 0 {
+            ctx.barrier();
+        } else {
+            // Keep rank 1 alive past the watchdog so its channels stay
+            // open and rank 0 times out inside the barrier.
+            std::thread::sleep(Duration::from_millis(700));
+        }
+    });
+    let text = report.to_string();
+    assert!(text.contains("rank 0"), "{text}");
+    assert!(text.contains("barrier"), "{text}");
+    assert!(report.timeout >= Duration::from_millis(300));
+}
+
+// ---- elastic restart: the acceptance-criteria demo ----
+
+#[test]
+fn crash_at_epoch_k_restores_and_matches_fault_free_bit_for_bit() {
+    let ds = reddit_scaled(7, 31);
+    let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
+    let bounds = even_bounds(ds.n(), 4);
+    let epochs = 6;
+
+    let clean_cfg = DistConfig::new(
+        Algo::OneD { aware: true },
+        gcn,
+        epochs,
+        CostModel::perlmutter_like(),
+    );
+    let clean = train_distributed(&ds, &bounds, &clean_cfg);
+
+    // Crash rank 3 at epoch 4; checkpoints every 2 epochs → resume
+    // replays epochs 4..6 from the epoch-4 snapshot.
+    let mut faulty_cfg = clean_cfg.clone();
+    faulty_cfg.robust = RobustnessConfig {
+        faults: Some(FaultPlan::new(7).crash_at(3, 4, 0)),
+        checkpoint_every: 2,
+        max_restarts: 1,
+        timeout: Duration::from_secs(15),
+    };
+    let recovered = try_train_distributed(&ds, &bounds, &faulty_cfg)
+        .expect("one restart budget covers one injected crash");
+
+    assert_eq!(recovered.restarts, 1);
+    assert_eq!(recovered.records.len(), clean.records.len());
+    for (e, (a, b)) in recovered.records.iter().zip(&clean.records).enumerate() {
+        assert_eq!(
+            a.loss.to_bits(),
+            b.loss.to_bits(),
+            "epoch {e} loss diverged"
+        );
+        assert_eq!(
+            a.train_accuracy.to_bits(),
+            b.train_accuracy.to_bits(),
+            "epoch {e} accuracy diverged"
+        );
+    }
+    assert_eq!(recovered.weights.max_abs_diff(&clean.weights), 0.0);
+}
+
+#[test]
+fn crash_without_checkpoints_still_recovers_from_scratch() {
+    // checkpoint_every = 0: the restart restores nothing and replays
+    // from epoch 0 — slower, still exact.
+    let ds = reddit_scaled(6, 32);
+    let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
+    let bounds = even_bounds(ds.n(), 2);
+
+    let clean_cfg = DistConfig::new(
+        Algo::OneD { aware: false },
+        gcn,
+        3,
+        CostModel::perlmutter_like(),
+    );
+    let clean = train_distributed(&ds, &bounds, &clean_cfg);
+
+    let mut faulty_cfg = clean_cfg.clone();
+    faulty_cfg.robust.faults = Some(FaultPlan::new(0).crash_at(1, 1, 0));
+    faulty_cfg.robust.max_restarts = 1;
+    faulty_cfg.robust.timeout = Duration::from_secs(15);
+    let recovered = try_train_distributed(&ds, &bounds, &faulty_cfg).expect("recovers");
+    assert_eq!(recovered.restarts, 1);
+    assert_eq!(recovered.weights.max_abs_diff(&clean.weights), 0.0);
+}
+
+#[test]
+fn exhausted_restart_budget_surfaces_the_crash() {
+    let ds = reddit_scaled(6, 33);
+    let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
+    let bounds = even_bounds(ds.n(), 2);
+    let mut cfg = DistConfig::new(
+        Algo::OneD { aware: true },
+        gcn,
+        4,
+        CostModel::perlmutter_like(),
+    );
+    // Two distinct crash faults but budget for only one restart.
+    cfg.robust.faults = Some(FaultPlan::new(0).crash_at(0, 1, 0).crash_at(1, 2, 0));
+    cfg.robust.checkpoint_every = 1;
+    cfg.robust.max_restarts = 1;
+    cfg.robust.timeout = Duration::from_secs(15);
+    let err = try_train_distributed(&ds, &bounds, &cfg).unwrap_err();
+    match err {
+        WorldError::InjectedCrash { rank, epoch, .. } => {
+            assert_eq!(rank, 1, "second crash should be the fatal one");
+            assert_eq!(epoch, Some(2));
+        }
+        other => panic!("expected InjectedCrash, got {other}"),
+    }
+}
+
+#[test]
+fn two_crashes_survive_with_two_restarts() {
+    let ds = reddit_scaled(6, 34);
+    let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
+    let bounds = even_bounds(ds.n(), 2);
+    let clean_cfg = DistConfig::new(
+        Algo::OneD { aware: true },
+        gcn,
+        4,
+        CostModel::perlmutter_like(),
+    );
+    let clean = train_distributed(&ds, &bounds, &clean_cfg);
+
+    let mut cfg = clean_cfg.clone();
+    cfg.robust.faults = Some(FaultPlan::new(0).crash_at(0, 1, 0).crash_at(1, 2, 0));
+    cfg.robust.checkpoint_every = 1;
+    cfg.robust.max_restarts = 2;
+    cfg.robust.timeout = Duration::from_secs(15);
+    let out = try_train_distributed(&ds, &bounds, &cfg).expect("two restarts suffice");
+    assert_eq!(out.restarts, 2);
+    assert_eq!(out.weights.max_abs_diff(&clean.weights), 0.0);
+}
+
+// ---- link faults: transparent retry, visible accounting ----
+
+#[test]
+fn heavy_link_faults_leave_training_results_untouched() {
+    let ds = amazon_scaled(7, 35);
+    let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
+    let bounds = even_bounds(ds.n(), 4);
+    let clean_cfg = DistConfig::new(
+        Algo::OneFiveD { aware: true, c: 2 },
+        gcn,
+        3,
+        CostModel::perlmutter_like(),
+    );
+    let clean = train_distributed(&ds, &bounds, &clean_cfg);
+
+    let mut plan = FaultPlan::new(17);
+    for rank in 0..8 {
+        plan = plan
+            .drop_messages(rank, None, 0.15)
+            .corrupt_messages(rank, None, 0.15);
+    }
+    let mut faulty_cfg = clean_cfg.clone();
+    faulty_cfg.robust.faults = Some(plan);
+    faulty_cfg.robust.timeout = Duration::from_secs(15);
+    let faulty = train_distributed(&ds, &bounds, &faulty_cfg);
+
+    assert_eq!(faulty.restarts, 0, "link faults never need a restart");
+    for (a, b) in faulty.records.iter().zip(&clean.records) {
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+    }
+    assert_eq!(faulty.weights.max_abs_diff(&clean.weights), 0.0);
+    // The degradation is visible in the stats, and priced.
+    assert!(faulty.stats.total_retries() > 0);
+    assert!(faulty.stats.total_injected_faults() > 0);
+    assert!(faulty.stats.modeled_epoch_time() > clean.stats.modeled_epoch_time());
+    // Logical communication volumes are unchanged by retransmission.
+    for (fr, cr) in faulty.stats.per_rank.iter().zip(&clean.stats.per_rank) {
+        assert_eq!(fr.bytes_sent_total(), cr.bytes_sent_total());
+    }
+}
+
+#[test]
+fn slow_rank_shows_up_as_the_bottleneck() {
+    let ds = reddit_scaled(6, 36);
+    let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
+    let bounds = even_bounds(ds.n(), 2);
+    let mut cfg = DistConfig::new(
+        Algo::OneD { aware: true },
+        gcn,
+        2,
+        CostModel::perlmutter_like(),
+    );
+    cfg.robust.faults = Some(FaultPlan::new(0).slow_compute(1, 8.0));
+    cfg.robust.timeout = Duration::from_secs(15);
+    let out = train_distributed(&ds, &bounds, &cfg);
+    let compute = |r: usize| {
+        out.stats.per_rank[r]
+            .phase(gnn_comm::Phase::LocalCompute)
+            .modeled_seconds
+    };
+    assert!(
+        compute(1) > 4.0 * compute(0),
+        "straggler not slowed: {} vs {}",
+        compute(1),
+        compute(0)
+    );
+    assert!(out.stats.per_rank[1].faults.slowed_ops > 0);
+}

@@ -76,7 +76,11 @@ fn table2_imbalance_grows_with_p() {
     // worsens as p grows (67% at p=16 → 165% at p=256 in the paper).
     let s = suite();
     let (_, rows) = table2(&s.amazon, &[4, 16, 32], 9);
-    assert!(rows[2].3 > rows[0].3, "imbalance {:?}", rows.iter().map(|r| r.3).collect::<Vec<_>>());
+    assert!(
+        rows[2].3 > rows[0].3,
+        "imbalance {:?}",
+        rows.iter().map(|r| r.3).collect::<Vec<_>>()
+    );
     // And it is substantial at the top of the sweep.
     assert!(rows[2].3 > 20.0, "imbalance only {}%", rows[2].3);
 }
@@ -132,8 +136,7 @@ fn fig7_allreduce_limits_plain_sa() {
     let s = suite();
     let st = stats_15d(&s.protein, Scheme::SaGvb, 16, s.cs[0], 9);
     assert!(
-        st.phase_recv_bytes_total(Phase::AllReduce)
-            > st.phase_recv_bytes_total(Phase::P2p),
+        st.phase_recv_bytes_total(Phase::AllReduce) > st.phase_recv_bytes_total(Phase::P2p),
         "allreduce bytes {} !> p2p bytes {}",
         st.phase_recv_bytes_total(Phase::AllReduce),
         st.phase_recv_bytes_total(Phase::P2p)

@@ -1,23 +1,35 @@
-//! Property-based tests on the core data structures and the invariants
-//! the distributed algorithms rely on.
+//! Randomized property tests on the core data structures and the
+//! invariants the distributed algorithms rely on.
+//!
+//! Hand-rolled generator loops (seeded `StdRng`, 64 cases per property)
+//! rather than a property-testing framework: the container builds fully
+//! offline, and deterministic seeds make every failure reproducible by
+//! construction — rerun the test, get the same cases.
 
 use gnn_core::dist::{even_bounds, Plan1d};
 use partition::metrics::volumes;
 use partition::types::Partition;
 use partition::wgraph::WGraph;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 use spmat::spmm::{spmm, spmm_naive};
 use spmat::{Coo, Csr, Dense};
 
-/// Random sparse matrix as an entry list.
-fn sparse_entries(
-    rows: usize,
-    cols: usize,
-) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    prop::collection::vec(
-        (0..rows, 0..cols, -2.0..2.0f64),
-        0..rows * 4,
-    )
+const CASES: usize = 64;
+
+/// Random sparse matrix as an entry list (duplicates allowed on purpose).
+fn sparse_entries(rows: usize, cols: usize, rng: &mut StdRng) -> Vec<(usize, usize, f64)> {
+    let len = rng.gen_range(0..rows * 4);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0..rows),
+                rng.gen_range(0..cols),
+                rng.gen_range(-2.0..2.0),
+            )
+        })
+        .collect()
 }
 
 fn build_csr(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> Csr {
@@ -29,177 +41,203 @@ fn build_csr(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> Csr {
 }
 
 /// Random symmetric unit-weight graph on `n` vertices.
-fn sym_graph(n: usize) -> impl Strategy<Value = Csr> {
-    prop::collection::vec((0..n, 0..n), 0..n * 3).prop_map(move |edges| {
-        let mut coo = Coo::new(n, n);
-        for (u, v) in edges {
-            if u != v {
-                coo.push(u, v, 1.0);
-                coo.push(v, u, 1.0);
-            }
+fn sym_graph(n: usize, rng: &mut StdRng) -> Csr {
+    let len = rng.gen_range(0..n * 3);
+    let mut coo = Coo::new(n, n);
+    for _ in 0..len {
+        let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        if u != v {
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
         }
-        // Unit weights regardless of duplicates.
-        let m = coo.to_csr();
-        Csr::from_raw_parts(
-            n,
-            n,
-            m.indptr().to_vec(),
-            m.indices().to_vec(),
-            vec![1.0; m.nnz()],
-        )
-    })
+    }
+    // Unit weights regardless of duplicates.
+    let m = coo.to_csr();
+    Csr::from_raw_parts(
+        n,
+        n,
+        m.indptr().to_vec(),
+        m.indices().to_vec(),
+        vec![1.0; m.nnz()],
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn coo_to_csr_preserves_sums(entries in sparse_entries(12, 9)) {
+#[test]
+fn coo_to_csr_preserves_sums() {
+    let mut rng = StdRng::seed_from_u64(0xC00);
+    for _ in 0..CASES {
+        let entries = sparse_entries(12, 9, &mut rng);
         let csr = build_csr(12, 9, &entries);
         // Ground truth by dense accumulation.
         let mut dense = vec![vec![0.0f64; 9]; 12];
         for &(r, c, v) in &entries {
             dense[r][c] += v;
         }
-        for r in 0..12 {
-            for c in 0..9 {
+        for (r, row) in dense.iter().enumerate() {
+            for (c, want) in row.iter().enumerate() {
                 let got = csr.get(r, c).unwrap_or(0.0);
-                prop_assert!((got - dense[r][c]).abs() < 1e-12);
+                assert!((got - want).abs() < 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn transpose_is_involutive(entries in sparse_entries(10, 14)) {
-        let m = build_csr(10, 14, &entries);
-        prop_assert_eq!(m.transpose().transpose(), m);
+#[test]
+fn transpose_is_involutive() {
+    let mut rng = StdRng::seed_from_u64(0x7A2);
+    for _ in 0..CASES {
+        let m = build_csr(10, 14, &sparse_entries(10, 14, &mut rng));
+        assert_eq!(m.transpose().transpose(), m);
     }
+}
 
-    #[test]
-    fn spmm_matches_naive(entries in sparse_entries(8, 8), seed in 0u64..1000) {
-        let a = build_csr(8, 8, &entries);
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let h = Dense::glorot(8, 3, &mut rng);
-        prop_assert!(spmm(&a, &h).approx_eq(&spmm_naive(&a, &h), 1e-10));
+#[test]
+fn spmm_matches_naive() {
+    let mut rng = StdRng::seed_from_u64(0x5B1);
+    for _ in 0..CASES {
+        let a = build_csr(8, 8, &sparse_entries(8, 8, &mut rng));
+        let mut hr = StdRng::seed_from_u64(rng.gen_range(0..1000u64));
+        let h = Dense::glorot(8, 3, &mut hr);
+        assert!(spmm(&a, &h).approx_eq(&spmm_naive(&a, &h), 1e-10));
     }
+}
 
-    #[test]
-    fn spmm_is_linear(entries in sparse_entries(8, 8), seed in 0u64..1000) {
-        // A(x + y) == Ax + Ay
-        let a = build_csr(8, 8, &entries);
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let x = Dense::glorot(8, 3, &mut rng);
-        let y = Dense::glorot(8, 3, &mut rng);
+#[test]
+fn spmm_is_linear() {
+    // A(x + y) == Ax + Ay
+    let mut rng = StdRng::seed_from_u64(0x5B2);
+    for _ in 0..CASES {
+        let a = build_csr(8, 8, &sparse_entries(8, 8, &mut rng));
+        let mut hr = StdRng::seed_from_u64(rng.gen_range(0..1000u64));
+        let x = Dense::glorot(8, 3, &mut hr);
+        let y = Dense::glorot(8, 3, &mut hr);
         let mut xy = x.clone();
         xy.add_assign(&y);
         let mut sum = spmm(&a, &x);
         sum.add_assign(&spmm(&a, &y));
-        prop_assert!(spmm(&a, &xy).approx_eq(&sum, 1e-10));
+        assert!(spmm(&a, &xy).approx_eq(&sum, 1e-10));
     }
+}
 
-    #[test]
-    fn symmetric_permutation_preserves_spectrum_proxies(
-        g in sym_graph(12),
-        perm_seed in 0u64..1000,
-    ) {
-        // nnz, degree multiset and total weight are permutation-invariant.
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+#[test]
+fn symmetric_permutation_preserves_spectrum_proxies() {
+    // nnz, degree multiset and total weight are permutation-invariant.
+    let mut rng = StdRng::seed_from_u64(0x9E3);
+    for _ in 0..CASES {
+        let g = sym_graph(12, &mut rng);
         let mut perm: Vec<u32> = (0..12u32).collect();
         perm.shuffle(&mut rng);
         let pg = g.permute_symmetric(&perm);
-        prop_assert_eq!(pg.nnz(), g.nnz());
+        assert_eq!(pg.nnz(), g.nnz());
         let mut d1: Vec<usize> = (0..12).map(|v| g.row_nnz(v)).collect();
         let mut d2: Vec<usize> = (0..12).map(|v| pg.row_nnz(v)).collect();
         d1.sort_unstable();
         d2.sort_unstable();
-        prop_assert_eq!(d1, d2);
-        prop_assert!(pg.is_symmetric());
+        assert_eq!(d1, d2);
+        assert!(pg.is_symmetric());
     }
+}
 
-    #[test]
-    fn plan_volumes_equal_partition_metrics(g in sym_graph(24), k in 2usize..6) {
-        // Two independent codepaths must agree: the communication plan's
-        // per-rank send/recv row counts (built from NnzCols on block
-        // rows) and the partition metrics' λ−1 volumes (built from
-        // vertex neighborhoods).
+#[test]
+fn plan_volumes_equal_partition_metrics() {
+    // Two independent codepaths must agree: the communication plan's
+    // per-rank send/recv row counts (built from NnzCols on block
+    // rows) and the partition metrics' λ−1 volumes (built from
+    // vertex neighborhoods).
+    let mut rng = StdRng::seed_from_u64(0xB01);
+    for _ in 0..CASES {
+        let g = sym_graph(24, &mut rng);
+        let k = rng.gen_range(2..6usize);
         let part = Partition::block(24, k);
         let bounds = part.block_bounds();
         let plan = Plan1d::build(&g, &bounds);
         let wg = WGraph::from_csr(&g);
         let (send, recv) = volumes(&wg, &part);
         for i in 0..k {
-            prop_assert_eq!(
+            assert_eq!(
                 plan.ranks[i].send_row_count(),
                 send[i],
-                "send volume mismatch at rank {}", i
+                "send volume at rank {i}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 plan.ranks[i].recv_row_count(i),
                 recv[i],
-                "recv volume mismatch at rank {}", i
+                "recv volume at rank {i}"
             );
         }
     }
+}
 
-    #[test]
-    fn even_bounds_cover_and_balance(n in 1usize..500, p in 1usize..32) {
-        prop_assume!(p <= n);
+#[test]
+fn even_bounds_cover_and_balance() {
+    let mut rng = StdRng::seed_from_u64(0xE0B);
+    let mut checked = 0;
+    while checked < CASES {
+        let n = rng.gen_range(1..500usize);
+        let p = rng.gen_range(1..32usize);
+        if p > n {
+            continue;
+        }
+        checked += 1;
         let b = even_bounds(n, p);
-        prop_assert_eq!(b.len(), p + 1);
-        prop_assert_eq!(b[0], 0);
-        prop_assert_eq!(b[p], n);
+        assert_eq!(b.len(), p + 1);
+        assert_eq!(b[0], 0);
+        assert_eq!(b[p], n);
         for w in b.windows(2) {
-            prop_assert!(w[1] >= w[0]);
-            prop_assert!(w[1] - w[0] <= n.div_ceil(p));
+            assert!(w[1] >= w[0]);
+            assert!(w[1] - w[0] <= n.div_ceil(p));
         }
     }
+}
 
-    #[test]
-    fn multilevel_partitions_are_always_valid(
-        g in sym_graph(64),
-        k in 2usize..8,
-        seed in 0u64..100,
-    ) {
-        use partition::{partition_graph, Method, PartitionConfig};
+#[test]
+fn multilevel_partitions_are_always_valid() {
+    use partition::{partition_graph, Method, PartitionConfig};
+    let mut rng = StdRng::seed_from_u64(0x3A7);
+    // Fewer cases: each builds a 64-vertex multilevel hierarchy twice.
+    for _ in 0..CASES / 4 {
+        let g = sym_graph(64, &mut rng);
+        let k = rng.gen_range(2..8usize);
+        let seed = rng.gen_range(0..100u64);
         for method in [Method::EdgeCut, Method::VolumeBalanced] {
             let p = partition_graph(&g, k, &PartitionConfig::new(method).with_seed(seed));
-            prop_assert_eq!(p.k(), k);
-            prop_assert_eq!(p.n(), 64);
-            prop_assert!(p.parts().iter().all(|&x| (x as usize) < k));
+            assert_eq!(p.k(), k);
+            assert_eq!(p.n(), 64);
+            assert!(p.parts().iter().all(|&x| (x as usize) < k));
         }
     }
+}
 
-    #[test]
-    fn col_range_block_respects_window(
-        entries in sparse_entries(10, 16),
-        lo in 0usize..16,
-        len in 0usize..16,
-    ) {
-        let m = build_csr(10, 16, &entries);
+#[test]
+fn col_range_block_respects_window() {
+    let mut rng = StdRng::seed_from_u64(0xC01);
+    for _ in 0..CASES {
+        let m = build_csr(10, 16, &sparse_entries(10, 16, &mut rng));
+        let lo = rng.gen_range(0..16usize);
+        let len = rng.gen_range(0..16usize);
         let hi = (lo + len).min(16);
         let b = m.col_range_block(lo, hi);
         for (r, c, v) in b.iter() {
-            prop_assert!((lo..hi).contains(&c));
-            prop_assert_eq!(m.get(r, c), Some(v));
+            assert!((lo..hi).contains(&c));
+            assert_eq!(m.get(r, c), Some(v));
         }
         // Every original entry inside the window survives.
         let kept = m.iter().filter(|&(_, c, _)| (lo..hi).contains(&c)).count();
-        prop_assert_eq!(b.nnz(), kept);
+        assert_eq!(b.nnz(), kept);
     }
+}
 
-    #[test]
-    fn alltoallv_routes_arbitrary_payload_sizes(
-        sizes in prop::collection::vec(0usize..20, 9),
-    ) {
-        // 3 ranks, arbitrary per-pair payload sizes; everything must
-        // arrive at the right place with the right length.
-        use gnn_comm::msg::Payload;
-        use gnn_comm::{CostModel, ThreadWorld};
-        let p = 3;
+#[test]
+fn alltoallv_routes_arbitrary_payload_sizes() {
+    // 3 ranks, arbitrary per-pair payload sizes; everything must
+    // arrive at the right place with the right length.
+    use gnn_comm::msg::Payload;
+    use gnn_comm::{CostModel, ThreadWorld};
+    let mut rng = StdRng::seed_from_u64(0xA2A);
+    let p = 3;
+    // Fewer cases: each spins up a 3-thread world.
+    for _ in 0..CASES / 4 {
+        let sizes: Vec<usize> = (0..p * p).map(|_| rng.gen_range(0..20)).collect();
         let world = ThreadWorld::new(p, CostModel::bandwidth_only());
         let sz = sizes.clone();
         let (outs, _) = world.run(|ctx| {
@@ -225,31 +263,32 @@ proptest! {
         for me in 0..p {
             for src in 0..p {
                 let expect = sizes[src * p + me];
-                prop_assert_eq!(outs[me][src].len(), expect);
-                prop_assert!(outs[me][src]
-                    .iter()
-                    .all(|&v| v == (src * p + me) as f64));
+                assert_eq!(outs[me][src].len(), expect);
+                assert!(outs[me][src].iter().all(|&v| v == (src * p + me) as f64));
             }
         }
     }
+}
 
-    #[test]
-    fn partition_permutation_is_bijection(
-        parts in prop::collection::vec(0u32..5, 1..200),
-    ) {
+#[test]
+fn partition_permutation_is_bijection() {
+    let mut rng = StdRng::seed_from_u64(0xB13);
+    for _ in 0..CASES {
         let k = 5;
+        let len = rng.gen_range(1..200usize);
+        let parts: Vec<u32> = (0..len).map(|_| rng.gen_range(0..k as u32)).collect();
         let part = Partition::new(parts.clone(), k);
         let perm = part.to_permutation();
         let mut seen = vec![false; parts.len()];
         for &x in &perm {
-            prop_assert!(!seen[x as usize]);
+            assert!(!seen[x as usize]);
             seen[x as usize] = true;
         }
         // Parts are contiguous in the new order.
         let bounds = part.block_bounds();
         for (v, &pt) in parts.iter().enumerate() {
             let new = perm[v] as usize;
-            prop_assert!(new >= bounds[pt as usize] && new < bounds[pt as usize + 1]);
+            assert!(new >= bounds[pt as usize] && new < bounds[pt as usize + 1]);
         }
     }
 }
