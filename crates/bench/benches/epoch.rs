@@ -7,6 +7,7 @@ use gnn_comm::CostModel;
 use gnn_core::dist::even_bounds;
 use gnn_core::{train_distributed, Algo, DistConfig, GcnConfig};
 use spmat::dataset::amazon_scaled;
+use spmat::pool;
 
 fn bench_epoch(c: &mut Criterion) {
     let mut group = c.benchmark_group("epoch");
@@ -23,10 +24,15 @@ fn bench_epoch(c: &mut Criterion) {
     for (algo, parts) in cases {
         let bounds = even_bounds(ds.n(), parts);
         let cfg = DistConfig::new(algo, gcn.clone(), 1, CostModel::perlmutter_like());
-        group.bench_with_input(BenchmarkId::new("train", algo.label()), &cfg, |b, cfg| {
-            b.iter(|| train_distributed(&ds, &bounds, cfg));
-        });
+        for threads in [1usize, 4] {
+            pool::set_threads(threads);
+            let id = BenchmarkId::new(format!("train-t{threads}"), algo.label());
+            group.bench_with_input(id, &cfg, |b, cfg| {
+                b.iter(|| train_distributed(&ds, &bounds, cfg));
+            });
+        }
     }
+    pool::set_threads(0);
     group.finish();
 }
 

@@ -1,0 +1,191 @@
+//! Kernel-level scaling bench: serial vs multi-threaded SpMM across
+//! matrix density and feature width, plus an end-to-end epoch-time axis
+//! over thread counts. Writes machine-readable results (with GFLOP/s) to
+//! `results/BENCH_kernels.json` in one run:
+//!
+//! ```text
+//! cargo bench --bench spmm_parallel
+//! ```
+//!
+//! Times are minimums over several repetitions (the usual way to cut
+//! scheduler noise out of kernel measurements). The JSON records the
+//! host's hardware thread count so speedups can be judged fairly: thread
+//! counts beyond the physical cores time-slice one core and cannot beat
+//! serial.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gnn_comm::CostModel;
+use gnn_core::dist::even_bounds;
+use gnn_core::{train_distributed, Algo, DistConfig, GcnConfig};
+use spmat::dataset::amazon_scaled;
+use spmat::gen::{rmat, RmatConfig};
+use spmat::graph::gcn_normalize;
+use spmat::pool;
+use spmat::spmm::{spmm_flops, spmm_with};
+use spmat::{Csr, Dense};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 5;
+
+struct KernelRow {
+    matrix: String,
+    n: usize,
+    nnz: usize,
+    f: usize,
+    threads: usize,
+    seconds: f64,
+    gflops: f64,
+    speedup: f64,
+}
+
+struct EpochRow {
+    algo: String,
+    threads: usize,
+    seconds_per_epoch: f64,
+}
+
+fn min_time(mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        run();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_kernels() -> Vec<KernelRow> {
+    let mut rows = Vec::new();
+    // Density axis: R-MAT edge factor; width axis: feature count.
+    let cases: Vec<(u32, usize, usize)> = vec![
+        (12, 4, 32),   // sparse, narrow
+        (12, 4, 128),  // sparse, wide
+        (12, 16, 32),  // dense, narrow
+        (12, 16, 128), // dense, wide — the largest benchmark matrix
+    ];
+    for (scale, edge_factor, f) in cases {
+        let adj: Csr = gcn_normalize(&rmat(RmatConfig::graph500(scale, edge_factor, 7)));
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(scale as u64);
+        let h = Dense::glorot(adj.rows(), f, &mut rng);
+        let name = format!("rmat-s{scale}-e{edge_factor}");
+        let flops = spmm_flops(&adj, f) as f64;
+
+        let serial = min_time(|| {
+            std::hint::black_box(spmm_with(&adj, &h, 1));
+        });
+        for &t in &THREAD_COUNTS {
+            let secs = if t == 1 {
+                serial
+            } else {
+                min_time(|| {
+                    std::hint::black_box(spmm_with(&adj, &h, t));
+                })
+            };
+            let row = KernelRow {
+                matrix: name.clone(),
+                n: adj.rows(),
+                nnz: adj.nnz(),
+                f,
+                threads: t,
+                seconds: secs,
+                gflops: flops / secs / 1e9,
+                speedup: serial / secs,
+            };
+            println!(
+                "spmm/{}/f{}/t{}  {:>10.3} ms   {:>7.3} GFLOP/s   {:>5.2}x vs serial",
+                row.matrix,
+                row.f,
+                row.threads,
+                row.seconds * 1e3,
+                row.gflops,
+                row.speedup
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+fn bench_epochs() -> Vec<EpochRow> {
+    let mut rows = Vec::new();
+    let ds = amazon_scaled(10, 1);
+    let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
+    let algo = Algo::OneD { aware: true };
+    let bounds = even_bounds(ds.n(), 4);
+    let epochs = 2;
+    let cfg = DistConfig::new(algo, gcn, epochs, CostModel::perlmutter_like());
+    for &t in &THREAD_COUNTS {
+        pool::set_threads(t);
+        let secs = min_time(|| {
+            std::hint::black_box(train_distributed(&ds, &bounds, &cfg));
+        }) / epochs as f64;
+        println!(
+            "epoch/{}/t{}  {:>10.3} ms per epoch (simulation wall time)",
+            algo.label(),
+            t,
+            secs * 1e3
+        );
+        rows.push(EpochRow {
+            algo: algo.label(),
+            threads: t,
+            seconds_per_epoch: secs,
+        });
+    }
+    pool::set_threads(0);
+    rows
+}
+
+fn write_json(kernels: &[KernelRow], epochs: &[EpochRow]) -> std::io::Result<String> {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(
+        s,
+        "  \"host\": {{ \"hardware_threads\": {} }},",
+        pool::hardware_threads()
+    );
+    let _ = writeln!(s, "  \"kernels\": [");
+    for (i, r) in kernels.iter().enumerate() {
+        let comma = if i + 1 == kernels.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{ \"matrix\": \"{}\", \"n\": {}, \"nnz\": {}, \"f\": {}, \"threads\": {}, \
+             \"seconds\": {:.6e}, \"gflops\": {:.4}, \"speedup_vs_serial\": {:.3} }}{comma}",
+            r.matrix, r.n, r.nnz, r.f, r.threads, r.seconds, r.gflops, r.speedup
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"epochs\": [");
+    for (i, r) in epochs.iter().enumerate() {
+        let comma = if i + 1 == epochs.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{ \"algo\": \"{}\", \"threads\": {}, \"seconds_per_epoch\": {:.6e} }}{comma}",
+            r.algo, r.threads, r.seconds_per_epoch
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+
+    // Bench binaries run with the package as CWD; anchor the output at
+    // the workspace-level results/ directory instead.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_kernels.json");
+    std::fs::write(&path, &s)?;
+    Ok(path.display().to_string())
+}
+
+fn main() {
+    println!(
+        "host: {} hardware thread(s) available",
+        pool::hardware_threads()
+    );
+    let kernels = bench_kernels();
+    let epochs = bench_epochs();
+    match write_json(&kernels, &epochs) {
+        Ok(path) => println!("[results written to {path}]"),
+        Err(e) => eprintln!("warning: could not write BENCH_kernels.json: {e}"),
+    }
+}

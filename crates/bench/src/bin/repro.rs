@@ -1,12 +1,15 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--small] [--seed N] [--out DIR] <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|all>
+//! repro [--small] [--seed N] [--out DIR] [--threads N] <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|all>
 //! ```
 //!
 //! Prints each artifact as an aligned table and writes a CSV twin to
 //! `--out` (default `results/`). `--small` runs miniature datasets with
 //! the same sweep shapes (seconds instead of minutes; used by CI).
+//! `--threads N` sets the kernel thread count for every local SpMM/GEMM
+//! (default: `GNN_THREADS` env, then available parallelism); results are
+//! bit-identical at any thread count.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,6 +22,7 @@ struct Args {
     small: bool,
     seed: u64,
     out: PathBuf,
+    threads: usize,
     commands: Vec<String>,
 }
 
@@ -27,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
         small: false,
         seed: 1,
         out: PathBuf::from("results"),
+        threads: 0, // auto
         commands: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -41,6 +46,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
             "--help" | "-h" => return Err(usage()),
             cmd if !cmd.starts_with('-') => args.commands.push(cmd.to_string()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
@@ -53,7 +65,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro [--small] [--seed N] [--out DIR] \
+    "usage: repro [--small] [--seed N] [--out DIR] [--threads N] \
      <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|all> ..."
         .to_string()
 }
@@ -75,6 +87,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    spmat::pool::set_threads(args.threads); // 0 keeps the auto default
+    eprintln!(
+        "kernel threads: {} (results are thread-count independent)",
+        spmat::pool::current_threads()
+    );
     let t0 = Instant::now();
     eprintln!(
         "building {} dataset suite (seed {})...",

@@ -50,6 +50,7 @@ struct Args {
     checkpoint_every: usize,
     max_restarts: usize,
     watchdog_ms: u64,
+    threads: usize,
 }
 
 fn parse() -> Result<Args, String> {
@@ -75,6 +76,7 @@ fn parse() -> Result<Args, String> {
         checkpoint_every: 5,
         max_restarts: 2,
         watchdog_ms: 30_000,
+        threads: 0, // auto: GNN_THREADS env or available parallelism
     };
     let mut it = std::env::args().skip(1);
     let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -197,6 +199,11 @@ fn parse() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --watchdog-ms: {e}"))?
             }
+            "--threads" => {
+                a.threads = next(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -211,7 +218,7 @@ fn usage() -> String {
      [--opt sgd|adam] [--lr X] [--epochs N] [--scale N] [--seed N] \
      [--inject-crash RANK@EPOCH] [--slow-rank RANK:FACTOR] [--drop-prob X] \
      [--corrupt-prob X] [--fault-seed N] [--checkpoint-every N] \
-     [--max-restarts N] [--watchdog-ms N]"
+     [--max-restarts N] [--watchdog-ms N] [--threads N]"
         .to_string()
 }
 
@@ -262,6 +269,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    spmat::pool::set_threads(args.threads); // 0 keeps the auto default
+    let threads = spmat::pool::current_threads();
     let t0 = Instant::now();
     let ds = match load_dataset(&args) {
         Ok(d) => d,
@@ -323,7 +332,7 @@ fn main() -> ExitCode {
         Algo::OneD { aware: args.aware }
     };
     println!(
-        "training: {} | {:?} arch | {} epochs",
+        "training: {} | {:?} arch | {} epochs | {threads} kernel thread(s)",
         algo.label(),
         gcn.arch,
         args.epochs
@@ -355,7 +364,12 @@ fn main() -> ExitCode {
         );
     }
 
-    let mut cfg = DistConfig::new(algo, gcn, args.epochs, CostModel::perlmutter_like());
+    let mut cfg = DistConfig::new(
+        algo,
+        gcn,
+        args.epochs,
+        CostModel::perlmutter_like().with_threads(threads),
+    );
     cfg.robust = RobustnessConfig {
         faults: faulty.then_some(plan),
         checkpoint_every: args.checkpoint_every,
@@ -396,6 +410,20 @@ fn main() -> ExitCode {
         if t > 0.0 {
             println!("  {label:<14} {:>10.3} ms", t * 1e3);
         }
+    }
+    let (kernel_flops, kernel_wall) = st
+        .per_rank
+        .iter()
+        .map(|r| {
+            let c = r.phase(Phase::LocalCompute);
+            (c.flops, c.wall_seconds)
+        })
+        .fold((0u64, 0.0f64), |(f, w), (cf, cw)| (f + cf, w + cw));
+    if kernel_wall > 0.0 {
+        println!(
+            "kernel throughput: {:>7.3} GFLOP/s measured ({threads} thread(s), all ranks)",
+            kernel_flops as f64 / kernel_wall / 1e9
+        );
     }
     if faulty || out.restarts > 0 {
         println!("\n-- fault summary --");

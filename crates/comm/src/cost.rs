@@ -14,20 +14,30 @@ pub struct CostModel {
     pub alpha: f64,
     /// Seconds per byte (inverse link bandwidth).
     pub beta: f64,
-    /// Effective local SpMM throughput in flop/s. Sparse kernels on A100
-    /// reach a small fraction of peak; 1 Tflop/s is a realistic effective
-    /// rate for csrmm-style kernels.
+    /// Effective local SpMM throughput in flop/s *per worker thread*.
+    /// Sparse kernels on A100 reach a small fraction of peak; 1 Tflop/s
+    /// is a realistic effective rate for csrmm-style kernels.
     pub flop_rate: f64,
+    /// Worker threads each rank's local kernels run on (≥ 1). Compute
+    /// time divides by the sub-linear speedup of
+    /// [`CostModel::parallel_speedup`].
+    pub threads: usize,
 }
+
+/// Marginal efficiency of each additional kernel thread: memory-bound
+/// SpMM doesn't scale linearly, so thread `t` contributes `EFF^(t-1)`
+/// of a full thread's throughput (≈ 0.85 on multicore CPUs).
+const THREAD_EFFICIENCY: f64 = 0.85;
 
 impl CostModel {
     /// Perlmutter-like constants: 20 µs message latency, 25 GB/s links,
-    /// 1 Tflop/s effective sparse throughput.
+    /// 1 Tflop/s effective sparse throughput, single-threaded kernels.
     pub fn perlmutter_like() -> Self {
         Self {
             alpha: 20e-6,
             beta: 1.0 / 25e9,
             flop_rate: 1e12,
+            threads: 1,
         }
     }
 
@@ -38,6 +48,28 @@ impl CostModel {
             alpha: 0.0,
             beta: 1.0,
             flop_rate: f64::INFINITY,
+            threads: 1,
+        }
+    }
+
+    /// The same machine with `n`-threaded local kernels.
+    #[must_use]
+    pub fn with_threads(self, n: usize) -> Self {
+        Self {
+            threads: n.max(1),
+            ..self
+        }
+    }
+
+    /// Modeled speedup of `threads`-way kernels over serial: the sum of
+    /// the geometric per-thread efficiencies `Σ EFF^(t-1)` — sub-linear,
+    /// monotone, and exactly 1 for one thread.
+    pub fn parallel_speedup(threads: usize) -> f64 {
+        let t = threads.max(1) as f64;
+        if (THREAD_EFFICIENCY - 1.0).abs() < f64::EPSILON {
+            t
+        } else {
+            (1.0 - THREAD_EFFICIENCY.powf(t)) / (1.0 - THREAD_EFFICIENCY)
         }
     }
 
@@ -79,9 +111,10 @@ impl CostModel {
         (p as f64 - 1.0) * self.alpha + send_bytes.max(recv_bytes) as f64 * self.beta
     }
 
-    /// Local compute of `flops` floating-point operations.
+    /// Local compute of `flops` floating-point operations across the
+    /// model's worker threads.
     pub fn compute(&self, flops: u64) -> f64 {
-        flops as f64 / self.flop_rate
+        flops as f64 / (self.flop_rate * Self::parallel_speedup(self.threads))
     }
 }
 
@@ -101,6 +134,7 @@ mod tests {
             alpha: 1.0,
             beta: 2.0,
             flop_rate: 1.0,
+            threads: 1,
         };
         assert_eq!(m.p2p(0), 1.0);
         assert_eq!(m.p2p(10), 21.0);
@@ -120,6 +154,7 @@ mod tests {
             alpha: 1.0,
             beta: 0.0,
             flop_rate: 1.0,
+            threads: 1,
         };
         assert_eq!(m.bcast(0, 2), 1.0);
         assert_eq!(m.bcast(0, 8), 3.0);
@@ -132,6 +167,7 @@ mod tests {
             alpha: 0.0,
             beta: 1.0,
             flop_rate: 1.0,
+            threads: 1,
         };
         assert_eq!(m.alltoallv(100, 40, 4), 100.0);
         assert_eq!(m.alltoallv(40, 100, 4), 100.0);
@@ -143,6 +179,7 @@ mod tests {
             alpha: 0.0,
             beta: 1.0,
             flop_rate: 1.0,
+            threads: 1,
         };
         let t = m.allreduce(1000, 1024);
         assert!((t - 2.0 * 1023.0 / 1024.0 * 1000.0).abs() < 1e-9);
@@ -154,8 +191,38 @@ mod tests {
             alpha: 0.0,
             beta: 0.0,
             flop_rate: 100.0,
+            threads: 1,
         };
         assert_eq!(m.compute(250), 2.5);
+    }
+
+    #[test]
+    fn thread_speedup_is_sublinear_and_monotone() {
+        assert_eq!(CostModel::parallel_speedup(1), 1.0);
+        assert_eq!(CostModel::parallel_speedup(0), 1.0);
+        let mut prev = 1.0;
+        for t in 2..=16 {
+            let s = CostModel::parallel_speedup(t);
+            assert!(s > prev, "speedup must grow with threads");
+            assert!(s < t as f64, "speedup must stay sub-linear");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn with_threads_divides_compute_time() {
+        let m = CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            flop_rate: 100.0,
+            threads: 1,
+        };
+        let serial = m.compute(1000);
+        let par = m.with_threads(4).compute(1000);
+        assert!(par < serial);
+        assert!((serial / par - CostModel::parallel_speedup(4)).abs() < 1e-12);
+        // Communication terms are untouched by the thread count.
+        assert_eq!(m.with_threads(4).p2p(64), m.p2p(64));
     }
 
     #[test]

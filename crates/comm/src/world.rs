@@ -409,6 +409,7 @@ mod tests {
             alpha: 0.0,
             beta: 0.0,
             flop_rate: 1000.0,
+            threads: 1,
         };
         let (_, stats) = ThreadWorld::new(2, model).run(|ctx| {
             ctx.compute(500, || std::hint::black_box(3 + 4));
@@ -717,6 +718,7 @@ mod tests {
             alpha: 0.0,
             beta: 0.0,
             flop_rate: 1000.0,
+            threads: 1,
         };
         let plan = FaultPlan::new(0).slow_compute(1, 4.0);
         let (_, stats) = ThreadWorld::new(2, model).with_faults(plan).run(|ctx| {

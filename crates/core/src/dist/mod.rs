@@ -2,12 +2,14 @@
 //! variants, and the SPMD trainer that runs full GCN training over a
 //! [`gnn_comm::ThreadWorld`].
 
+pub mod buffers;
 pub mod oned;
 pub mod onefived;
 pub mod plan;
 pub mod trainer;
 pub mod twod;
 
+pub use buffers::EpochBuffers;
 pub use plan::{even_bounds, Plan15d, Plan1d};
 pub use trainer::{
     train_distributed, try_train_distributed, Algo, DistConfig, DistOutcome, RobustnessConfig,

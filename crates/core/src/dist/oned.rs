@@ -7,9 +7,10 @@
 
 use gnn_comm::msg::Payload;
 use gnn_comm::RankCtx;
-use spmat::spmm::{spmm, spmm_flops};
+use spmat::spmm::{spmm_acc, spmm_flops};
 use spmat::Dense;
 
+use super::buffers::EpochBuffers;
 use super::plan::Plan1d;
 
 /// Sparsity-oblivious 1D SpMM: every rank broadcasts its whole `Hⱼ`
@@ -17,6 +18,19 @@ use super::plan::Plan1d;
 ///
 /// Returns `Zᵢ` (`rows_i × f`).
 pub fn spmm_1d_oblivious(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> Dense {
+    spmm_1d_oblivious_buf(ctx, plan, h_local, &mut EpochBuffers::new())
+}
+
+/// [`spmm_1d_oblivious`] with caller-provided scratch: staging and
+/// accumulator buffers come from `bufs` and retired buffers (including
+/// ones received through the mesh) go back into it, so repeated calls
+/// are allocation-free once the pool is warm.
+pub fn spmm_1d_oblivious_buf(
+    ctx: &mut RankCtx,
+    plan: &Plan1d,
+    h_local: &Dense,
+    bufs: &mut EpochBuffers,
+) -> Dense {
     let me = ctx.rank();
     let rp = &plan.ranks[me];
     let f = h_local.cols();
@@ -27,10 +41,12 @@ pub fn spmm_1d_oblivious(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> D
     );
 
     // Assemble the full H via p broadcasts (the paper's CAGNET baseline).
-    let mut h_full = Dense::zeros(plan.n, f);
+    let mut h_full = bufs.take_dense(plan.n, f);
     for j in 0..plan.p {
         let payload = if j == me {
-            Some(Payload::F64(h_local.data().to_vec()))
+            let mut data = bufs.take_vec(h_local.data().len());
+            data.extend_from_slice(h_local.data());
+            Some(Payload::F64(data))
         } else {
             None
         };
@@ -42,13 +58,17 @@ pub fn spmm_1d_oblivious(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> D
             "broadcast size mismatch from rank {j}"
         );
         h_full.data_mut()[plan.bounds[j] * f..plan.bounds[j + 1] * f].copy_from_slice(&data);
+        bufs.put_vec(data);
     }
     // Copy/assembly cost: one element move per entry of H.
     ctx.record_compute((plan.n * f) as u64);
 
     // Local SpMM against the full H.
+    let mut z = bufs.take_dense(rp.row_hi - rp.row_lo, f);
     let flops = spmm_flops(&rp.block, f);
-    ctx.compute(flops, || spmm(&rp.block, &h_full))
+    ctx.compute(flops, || spmm_acc(&rp.block, &h_full, &mut z));
+    bufs.put_dense(h_full);
+    z
 }
 
 /// Sparsity-aware 1D SpMM (Algorithm 1): exchange only the needed rows of
@@ -57,6 +77,17 @@ pub fn spmm_1d_oblivious(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> D
 ///
 /// Returns `Zᵢ` (`rows_i × f`).
 pub fn spmm_1d_aware(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> Dense {
+    spmm_1d_aware_buf(ctx, plan, h_local, &mut EpochBuffers::new())
+}
+
+/// [`spmm_1d_aware`] with caller-provided scratch (see
+/// [`spmm_1d_oblivious_buf`] for the recycling contract).
+pub fn spmm_1d_aware_buf(
+    ctx: &mut RankCtx,
+    plan: &Plan1d,
+    h_local: &Dense,
+    bufs: &mut EpochBuffers,
+) -> Dense {
     let me = ctx.rank();
     let rp = &plan.ranks[me];
     let f = h_local.cols();
@@ -67,7 +98,7 @@ pub fn spmm_1d_aware(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> Dense
         "local H block shape mismatch"
     );
 
-    // Pack: gather the rows each peer asked for.
+    // Pack: gather the rows each peer asked for (parallel row gather).
     let mut pack_elems = 0u64;
     let sends: Vec<Payload> = (0..plan.p)
         .map(|j| {
@@ -76,14 +107,11 @@ pub fn spmm_1d_aware(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> Dense
             }
             let idx = &rp.send_to[j];
             pack_elems += (idx.len() * f) as u64;
-            let mut data = Vec::with_capacity(idx.len() * f);
-            for &g in idx {
-                data.extend_from_slice(h_local.row(g as usize - lo));
-            }
-            Payload::Rows {
-                idx: idx.clone(),
-                data,
-            }
+            let mut data = bufs.take_zeroed(idx.len() * f);
+            h_local.pack_rows_into(idx, lo, &mut data);
+            let mut ids = bufs.take_u32(idx.len());
+            ids.extend_from_slice(idx);
+            Payload::Rows { idx: ids, data }
         })
         .collect();
     ctx.record_compute(pack_elems);
@@ -92,7 +120,7 @@ pub fn spmm_1d_aware(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> Dense
 
     // Assemble the compact H̃ aligned with `rp.cols`. Own rows come from
     // h_local; received rows land at their contiguous col_ranges slice.
-    let mut h_tilde = Dense::zeros(rp.cols.len(), f);
+    let mut h_tilde = bufs.take_dense(rp.cols.len(), f);
     for (j, payload) in received.into_iter().enumerate() {
         let (start, len) = rp.col_ranges[j];
         if j == me {
@@ -110,13 +138,18 @@ pub fn spmm_1d_aware(ctx: &mut RankCtx, plan: &Plan1d, h_local: &Dense) -> Dense
                 assert_eq!(idx.len(), len, "row count mismatch from {j}");
                 debug_assert_eq!(idx, rp.recv_from(j), "row ids mismatch from {j}");
                 h_tilde.data_mut()[start * f..(start + len) * f].copy_from_slice(&data);
+                bufs.put_vec(data);
+                bufs.put_u32(idx);
             }
         }
     }
     ctx.record_compute((rp.cols.len() * f) as u64);
 
+    let mut z = bufs.take_dense(rp.row_hi - lo, f);
     let flops = spmm_flops(&rp.block_compact, f);
-    ctx.compute(flops, || spmm(&rp.block_compact, &h_tilde))
+    ctx.compute(flops, || spmm_acc(&rp.block_compact, &h_tilde, &mut z));
+    bufs.put_dense(h_tilde);
+    z
 }
 
 #[cfg(test)]
@@ -128,6 +161,7 @@ mod tests {
     use rand::SeedableRng;
     use spmat::gen::{rmat, RmatConfig};
     use spmat::graph::gcn_normalize;
+    use spmat::spmm::spmm;
 
     fn setup(scale: u32, seed: u64) -> (spmat::Csr, Dense) {
         let adj = gcn_normalize(&rmat(RmatConfig::graph500(scale, 5, seed)));

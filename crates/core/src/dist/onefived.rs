@@ -15,6 +15,7 @@ use gnn_comm::RankCtx;
 use spmat::spmm::{spmm_acc, spmm_flops};
 use spmat::Dense;
 
+use super::buffers::EpochBuffers;
 use super::plan::Plan15d;
 
 /// Executes one 1.5D SpMM on the calling rank. `h_local` is this rank's
@@ -22,6 +23,19 @@ use super::plan::Plan15d;
 ///
 /// Returns the full `Zᵢ = (Aᵀ H)ᵢ`, replicated across the process row.
 pub fn spmm_15d(ctx: &mut RankCtx, plan: &Plan15d, h_local: &Dense, aware: bool) -> Dense {
+    spmm_15d_buf(ctx, plan, h_local, aware, &mut EpochBuffers::new())
+}
+
+/// [`spmm_15d`] with caller-provided scratch: staging, per-stage blocks
+/// and the partial accumulator come from `bufs`; received buffers retire
+/// into it, so repeated calls are allocation-free once the pool is warm.
+pub fn spmm_15d_buf(
+    ctx: &mut RankCtx,
+    plan: &Plan15d,
+    h_local: &Dense,
+    aware: bool,
+    bufs: &mut EpochBuffers,
+) -> Dense {
     let me = ctx.rank();
     let rp = &plan.ranks[me];
     let f = h_local.cols();
@@ -41,17 +55,16 @@ pub fn spmm_15d(ctx: &mut RankCtx, plan: &Plan15d, h_local: &Dense, aware: bool)
                 continue;
             }
             let payload = if aware {
-                let mut data = Vec::with_capacity(idx.len() * f);
-                for &g in idx {
-                    data.extend_from_slice(h_local.row(g as usize - rp.row_lo));
-                }
+                let mut data = bufs.take_zeroed(idx.len() * f);
+                h_local.pack_rows_into(idx, rp.row_lo, &mut data);
                 pack_elems += (idx.len() * f) as u64;
-                Payload::Rows {
-                    idx: idx.clone(),
-                    data,
-                }
+                let mut ids = bufs.take_u32(idx.len());
+                ids.extend_from_slice(idx);
+                Payload::Rows { idx: ids, data }
             } else {
-                Payload::F64(h_local.data().to_vec())
+                let mut data = bufs.take_vec(h_local.data().len());
+                data.extend_from_slice(h_local.data());
+                Payload::F64(data)
             };
             ctx.send(dst, payload);
         }
@@ -62,14 +75,12 @@ pub fn spmm_15d(ctx: &mut RankCtx, plan: &Plan15d, h_local: &Dense, aware: bool)
 
     // Phase 2: stage loop — receive (or locally gather) each needed H
     // block and accumulate the partial product.
-    let mut partial = Dense::zeros(rows_i, f);
+    let mut partial = bufs.take_dense(rows_i, f);
     for st in &rp.stages {
         let h_stage: Dense = if st.q == rp.i {
             // Local gather of our own replicated block's needed rows.
-            let mut data = Vec::with_capacity(st.needed.len() * f);
-            for &g in &st.needed {
-                data.extend_from_slice(h_local.row(g as usize - rp.row_lo));
-            }
+            let mut data = bufs.take_zeroed(st.needed.len() * f);
+            h_local.pack_rows_into(&st.needed, rp.row_lo, &mut data);
             ctx.record_compute((st.needed.len() * f) as u64);
             Dense::from_vec(st.needed.len(), f, data)
         } else if st.needed.is_empty() {
@@ -79,7 +90,9 @@ pub fn spmm_15d(ctx: &mut RankCtx, plan: &Plan15d, h_local: &Dense, aware: bool)
             if aware {
                 let (idx, data) = ctx.recv(src).into_rows();
                 debug_assert_eq!(idx, st.needed, "row ids mismatch from rank {src}");
-                Dense::from_vec(idx.len(), f, data)
+                let d = Dense::from_vec(idx.len(), f, data);
+                bufs.put_u32(idx);
+                d
             } else {
                 let data = ctx.recv(src).into_f64();
                 assert_eq!(
@@ -93,6 +106,7 @@ pub fn spmm_15d(ctx: &mut RankCtx, plan: &Plan15d, h_local: &Dense, aware: bool)
         let flops = spmm_flops(&st.block_compact, f);
         let block = &st.block_compact;
         ctx.compute(flops, || spmm_acc(block, &h_stage, &mut partial));
+        bufs.put_dense(h_stage);
     }
 
     // Phase 3: sum partials across the process row.

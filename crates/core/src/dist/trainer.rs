@@ -29,8 +29,9 @@ use crate::model::{softmax_cross_entropy_sums, ArchKind, GcnConfig, Weights};
 use crate::optim::Optimizer;
 use crate::reference::EpochRecord;
 
-use super::oned::{spmm_1d_aware, spmm_1d_oblivious};
-use super::onefived::spmm_15d;
+use super::buffers::EpochBuffers;
+use super::oned::{spmm_1d_aware_buf, spmm_1d_oblivious_buf};
+use super::onefived::spmm_15d_buf;
 use super::plan::{Plan15d, Plan1d};
 
 /// Which distributed SpMM drives training.
@@ -280,46 +281,63 @@ fn run_rank(
     let l_total = cfg.gcn.layers();
     let dims = &cfg.gcn.dims;
 
-    let dist_spmm = |ctx: &mut RankCtx, h: &Dense| -> Dense {
+    // Per-rank scratch: every O(n·f) temporary of the epoch loop —
+    // activations, SpMM accumulators, send/recv staging — cycles through
+    // this pool, so steady-state epochs stay off the allocator.
+    let mut bufs = EpochBuffers::new();
+
+    let dist_spmm = |ctx: &mut RankCtx, h: &Dense, bufs: &mut EpochBuffers| -> Dense {
         match plan {
             PlanKind::OneD(pl) => {
                 if aware_1d {
-                    spmm_1d_aware(ctx, pl, h)
+                    spmm_1d_aware_buf(ctx, pl, h, bufs)
                 } else {
-                    spmm_1d_oblivious(ctx, pl, h)
+                    spmm_1d_oblivious_buf(ctx, pl, h, bufs)
                 }
             }
-            PlanKind::OneFiveD { plan: pl, aware } => spmm_15d(ctx, pl, h, *aware),
+            PlanKind::OneFiveD { plan: pl, aware } => spmm_15d_buf(ctx, pl, h, *aware, bufs),
         }
     };
+
+    // Layer stacks, reused across epochs (drained into `bufs` at the end
+    // of each epoch, repopulated from it at the start of the next).
+    let mut hs: Vec<Dense> = Vec::with_capacity(l_total + 1);
+    let mut zs: Vec<Dense> = Vec::with_capacity(l_total);
+    let mut ahs: Vec<Dense> = Vec::with_capacity(l_total);
+    let mut grads: Vec<Dense> = Vec::with_capacity(l_total);
 
     for epoch in start_epoch..cfg.epochs {
         ctx.set_epoch(epoch);
         // ---- forward ----
-        let mut hs: Vec<Dense> = Vec::with_capacity(l_total + 1);
-        let mut zs: Vec<Dense> = Vec::with_capacity(l_total);
-        let mut ahs: Vec<Dense> = Vec::with_capacity(l_total);
-        hs.push(h0.clone());
+        let mut h0_epoch = bufs.take_dense(rows, dims[0]);
+        h0_epoch.data_mut().copy_from_slice(h0.data());
+        hs.push(h0_epoch);
         for l in 0..l_total {
-            let ah = dist_spmm(ctx, &hs[l]);
+            let ah = dist_spmm(ctx, &hs[l], &mut bufs);
             let w = &weights.mats[l];
             let (d, d_out) = (dims[l], dims[l + 1]);
-            let z = match cfg.gcn.arch {
-                ArchKind::Gcn => ctx.compute((2 * rows * d * d_out) as u64, || ah.matmul(w)),
+            let mut z = bufs.take_dense(rows, d_out);
+            match cfg.gcn.arch {
+                ArchKind::Gcn => {
+                    ctx.compute((2 * rows * d * d_out) as u64, || ah.matmul_into(w, &mut z))
+                }
                 ArchKind::Sage => {
                     let h_prev = &hs[l];
+                    let mut tmp = bufs.take_dense(rows, d_out);
                     ctx.compute((4 * rows * d * d_out + rows * d_out) as u64, || {
-                        let mut z = h_prev.matmul(&w.row_slice(0, d));
-                        z.add_assign(&ah.matmul(&w.row_slice(d, 2 * d)));
-                        z
-                    })
+                        h_prev.matmul_into(&w.row_slice(0, d), &mut z);
+                        ah.matmul_into(&w.row_slice(d, 2 * d), &mut tmp);
+                        z.add_assign(&tmp);
+                    });
+                    bufs.put_dense(tmp);
                 }
-            };
-            let h = if l + 1 == l_total {
-                z.clone()
+            }
+            let mut h = bufs.take_dense(rows, d_out);
+            if l + 1 == l_total {
+                h.data_mut().copy_from_slice(z.data());
             } else {
-                ctx.compute((rows * dims[l + 1]) as u64, || z.relu())
-            };
+                ctx.compute((rows * dims[l + 1]) as u64, || z.relu_into(&mut h));
+            }
             zs.push(z);
             hs.push(h);
             ahs.push(ah);
@@ -350,63 +368,107 @@ fn run_rank(
         let mut g = grad_sum;
         g.scale(1.0 / denom);
 
-        let mut grads: Vec<Option<Dense>> = vec![None; l_total];
         for l in (0..l_total).rev() {
-            let s = dist_spmm(ctx, &g);
+            let s = dist_spmm(ctx, &g, &mut bufs);
             let h_prev = &hs[l];
             let (d, d_out) = (dims[l], dims[l + 1]);
             let mut y = match cfg.gcn.arch {
-                ArchKind::Gcn => ctx.compute((2 * rows * d * d_out) as u64, || {
-                    h_prev.transpose_matmul(&s)
-                }),
+                ArchKind::Gcn => {
+                    let mut y = bufs.take_dense(d, d_out);
+                    ctx.compute((2 * rows * d * d_out) as u64, || {
+                        h_prev.transpose_matmul_into(&s, &mut y)
+                    });
+                    y
+                }
                 ArchKind::Sage => {
                     let ah = &ahs[l];
                     let g_ref = &g;
+                    let mut top = bufs.take_dense(d, d_out);
+                    let mut bottom = bufs.take_dense(d, d_out);
                     ctx.compute((4 * rows * d * d_out) as u64, || {
-                        let top = h_prev.transpose_matmul(g_ref);
-                        let bottom = ah.transpose_matmul(g_ref);
-                        Dense::vstack(&[&top, &bottom])
-                    })
+                        h_prev.transpose_matmul_into(g_ref, &mut top);
+                        ah.transpose_matmul_into(g_ref, &mut bottom);
+                    });
+                    let mut y = bufs.take_dense(2 * d, d_out);
+                    y.data_mut()[..d * d_out].copy_from_slice(top.data());
+                    y.data_mut()[d * d_out..].copy_from_slice(bottom.data());
+                    bufs.put_dense(top);
+                    bufs.put_dense(bottom);
+                    y
                 }
             };
             ctx.allreduce_sum(y.data_mut(), &(0..ctx.p()).collect::<Vec<_>>());
             // Replicated rows contributed c times each.
             y.scale(1.0 / c_rep);
-            grads[l] = Some(y);
+            grads.push(y); // reverse layer order; fixed up below
             if l > 0 {
                 let w = &weights.mats[l];
                 let prev_z = &zs[l - 1];
-                g = match cfg.gcn.arch {
-                    ArchKind::Gcn => ctx
-                        .compute((2 * rows * d_out * d + 2 * rows * d) as u64, || {
-                            s.matmul_transpose(w).hadamard(&prev_z.relu_prime())
-                        }),
+                let mut gg = bufs.take_dense(rows, d);
+                let mut tmp = bufs.take_dense(rows, d);
+                match cfg.gcn.arch {
+                    ArchKind::Gcn => {
+                        ctx.compute((2 * rows * d_out * d + 2 * rows * d) as u64, || {
+                            s.matmul_transpose_into(w, &mut gg);
+                            prev_z.relu_prime_into(&mut tmp);
+                            gg.hadamard_assign(&tmp);
+                        })
+                    }
                     ArchKind::Sage => {
                         let g_ref = &g;
                         ctx.compute((4 * rows * d_out * d + 3 * rows * d) as u64, || {
-                            let mut gg = g_ref.matmul_transpose(&w.row_slice(0, d));
-                            gg.add_assign(&s.matmul_transpose(&w.row_slice(d, 2 * d)));
-                            gg.hadamard(&prev_z.relu_prime())
+                            g_ref.matmul_transpose_into(&w.row_slice(0, d), &mut gg);
+                            s.matmul_transpose_into(&w.row_slice(d, 2 * d), &mut tmp);
+                            gg.add_assign(&tmp);
+                            prev_z.relu_prime_into(&mut tmp);
+                            gg.hadamard_assign(&tmp);
                         })
                     }
-                };
+                }
+                bufs.put_dense(tmp);
+                bufs.put_dense(std::mem::replace(&mut g, gg));
             }
+            bufs.put_dense(s);
         }
-        let grads: Vec<Dense> = grads.into_iter().map(Option::unwrap).collect();
+        grads.reverse();
         optimizer.step(&mut weights, &grads);
+
+        // ---- retire epoch temporaries ----
+        bufs.put_dense(g);
+        for d in hs.drain(..).chain(zs.drain(..)).chain(ahs.drain(..)) {
+            bufs.put_dense(d);
+        }
+        for d in grads.drain(..) {
+            bufs.put_dense(d);
+        }
 
         // ---- checkpoint ----
         // End-of-epoch state is consistent: rank 0 could only get here
         // by completing every collective of this epoch, and the state
-        // it snapshots is replicated on all ranks.
+        // it snapshots is replicated on all ranks. The snapshot is
+        // updated in place so checkpointing epochs reuse the previous
+        // snapshot's allocations instead of cloning fresh ones.
         let every = cfg.robust.checkpoint_every;
         if ctx.rank() == 0 && every > 0 && (epoch + 1) % every == 0 {
-            *checkpoint.lock().unwrap() = Some(Checkpoint {
-                next_epoch: epoch + 1,
-                weights: weights.clone(),
-                optimizer: optimizer.clone(),
-                records: records.clone(),
-            });
+            let mut guard = checkpoint.lock().unwrap();
+            match guard.as_mut() {
+                Some(ck) => {
+                    ck.next_epoch = epoch + 1;
+                    for (dst, src) in ck.weights.mats.iter_mut().zip(&weights.mats) {
+                        dst.data_mut().copy_from_slice(src.data());
+                    }
+                    ck.optimizer.clone_from(&optimizer);
+                    ck.records.clone_from(&records);
+                }
+                None => {
+                    *guard = Some(Checkpoint {
+                        next_epoch: epoch + 1,
+                        weights: weights.clone(),
+                        optimizer: optimizer.clone(),
+                        records: records.clone(),
+                    });
+                }
+            }
         }
     }
     (records, weights)

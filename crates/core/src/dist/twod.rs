@@ -28,6 +28,8 @@ use gnn_comm::RankCtx;
 use spmat::spmm::{spmm_acc, spmm_flops};
 use spmat::{Csr, Dense};
 
+use super::buffers::EpochBuffers;
+
 /// Per-rank stage: one column block of the owned block row.
 /// Per (grid-row, stage) cache of (needed rows, compact block).
 type BlockCache = Vec<Vec<Option<(Vec<u32>, Csr)>>>;
@@ -164,6 +166,18 @@ impl Plan2d {
 /// `h_local` (`rows_i × panel_width`). All communication stays within
 /// grid columns (every rank exchanges only its own feature panel).
 pub fn spmm_2d(ctx: &mut RankCtx, plan: &Plan2d, h_local: &Dense) -> Dense {
+    spmm_2d_buf(ctx, plan, h_local, &mut EpochBuffers::new())
+}
+
+/// [`spmm_2d`] with caller-provided scratch: staging, per-stage blocks
+/// and the accumulator come from `bufs`; received buffers retire into it,
+/// so repeated calls are allocation-free once the pool is warm.
+pub fn spmm_2d_buf(
+    ctx: &mut RankCtx,
+    plan: &Plan2d,
+    h_local: &Dense,
+    bufs: &mut EpochBuffers,
+) -> Dense {
     let me = ctx.rank();
     let rp = &plan.ranks[me];
     let fw = h_local.cols();
@@ -179,17 +193,16 @@ pub fn spmm_2d(ctx: &mut RankCtx, plan: &Plan2d, h_local: &Dense) -> Dense {
             continue;
         }
         let payload = if plan.aware {
-            let mut data = Vec::with_capacity(idx.len() * fw);
-            for &g in idx {
-                data.extend_from_slice(h_local.row(g as usize - rp.row_lo));
-            }
+            let mut data = bufs.take_zeroed(idx.len() * fw);
+            h_local.pack_rows_into(idx, rp.row_lo, &mut data);
             pack_elems += (idx.len() * fw) as u64;
-            Payload::Rows {
-                idx: idx.clone(),
-                data,
-            }
+            let mut ids = bufs.take_u32(idx.len());
+            ids.extend_from_slice(idx);
+            Payload::Rows { idx: ids, data }
         } else {
-            Payload::F64(h_local.data().to_vec())
+            let mut data = bufs.take_vec(h_local.data().len());
+            data.extend_from_slice(h_local.data());
+            Payload::F64(data)
         };
         ctx.send(dst, payload);
     }
@@ -198,13 +211,11 @@ pub fn spmm_2d(ctx: &mut RankCtx, plan: &Plan2d, h_local: &Dense) -> Dense {
     }
 
     // Stage loop.
-    let mut z = Dense::zeros(rows_i, fw);
+    let mut z = bufs.take_dense(rows_i, fw);
     for st in &rp.stages {
         let h_stage: Dense = if st.k == rp.i {
-            let mut data = Vec::with_capacity(st.needed.len() * fw);
-            for &g in &st.needed {
-                data.extend_from_slice(h_local.row(g as usize - rp.row_lo));
-            }
+            let mut data = bufs.take_zeroed(st.needed.len() * fw);
+            h_local.pack_rows_into(&st.needed, rp.row_lo, &mut data);
             ctx.record_compute((st.needed.len() * fw) as u64);
             Dense::from_vec(st.needed.len(), fw, data)
         } else if st.needed.is_empty() {
@@ -214,7 +225,9 @@ pub fn spmm_2d(ctx: &mut RankCtx, plan: &Plan2d, h_local: &Dense) -> Dense {
             if plan.aware {
                 let (idx, data) = ctx.recv(src).into_rows();
                 debug_assert_eq!(idx, st.needed, "row ids mismatch from rank {src}");
-                Dense::from_vec(idx.len(), fw, data)
+                let d = Dense::from_vec(idx.len(), fw, data);
+                bufs.put_u32(idx);
+                d
             } else {
                 let data = ctx.recv(src).into_f64();
                 assert_eq!(
@@ -228,6 +241,7 @@ pub fn spmm_2d(ctx: &mut RankCtx, plan: &Plan2d, h_local: &Dense) -> Dense {
         let flops = spmm_flops(&st.block_compact, fw);
         let block = &st.block_compact;
         ctx.compute(flops, || spmm_acc(block, &h_stage, &mut z));
+        bufs.put_dense(h_stage);
     }
     z
 }
@@ -246,6 +260,19 @@ pub fn panel_gemm_2d(
     w: &Dense,
     f_in: usize,
 ) -> Dense {
+    panel_gemm_2d_buf(ctx, plan, z_local, w, f_in, &mut EpochBuffers::new())
+}
+
+/// [`panel_gemm_2d`] with caller-provided scratch for the partial-product
+/// and output-panel buffers.
+pub fn panel_gemm_2d_buf(
+    ctx: &mut RankCtx,
+    plan: &Plan2d,
+    z_local: &Dense,
+    w: &Dense,
+    f_in: usize,
+    bufs: &mut EpochBuffers,
+) -> Dense {
     let me = ctx.rank();
     let rp = &plan.ranks[me];
     let rows_i = rp.row_hi - rp.row_lo;
@@ -261,7 +288,7 @@ pub fn panel_gemm_2d(
     assert_eq!(z_local.cols(), in_hi - in_lo, "input panel width mismatch");
 
     // Partial product: Z[i][j] · W[in_lo..in_hi, :]  (rows_i × f_out).
-    let mut partial = Dense::zeros(rows_i, f_out);
+    let mut partial = bufs.take_dense(rows_i, f_out);
     for r in 0..rows_i {
         let zrow = z_local.row(r);
         let out = partial.row_mut(r);
@@ -283,12 +310,13 @@ pub fn panel_gemm_2d(
 
     let out_bounds = plan.panel_bounds(f_out);
     let (out_lo, out_hi) = (out_bounds[rp.j], out_bounds[rp.j + 1]);
-    let mut panel = Dense::zeros(rows_i, out_hi - out_lo);
+    let mut panel = bufs.take_dense(rows_i, out_hi - out_lo);
     for r in 0..rows_i {
         panel
             .row_mut(r)
             .copy_from_slice(&partial.row(r)[out_lo..out_hi]);
     }
+    bufs.put_dense(partial);
     panel
 }
 

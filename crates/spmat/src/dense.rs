@@ -4,8 +4,27 @@
 //! (`W`, small `f × f'`). Row-major layout matches the access pattern of
 //! both the SpMM kernels (stream rows of `H`) and row gather/scatter for
 //! communication.
+//!
+//! The GEMM, transpose, element-wise and row-packing kernels are
+//! parallelized over the [`crate::pool`] worker pool with fixed chunk
+//! boundaries and serial-order accumulation per output element, so every
+//! result is bit-identical to the serial kernels at any thread count
+//! (small problems fall back to the serial path automatically). The
+//! `*_into` variants write into caller-provided buffers so steady-state
+//! training epochs can run without heap allocation.
 
+use crate::pool;
 use rand::Rng;
+
+/// Output rows per scheduling chunk for the GEMM-family kernels. Fixed so
+/// chunk boundaries never depend on the thread count.
+const GEMM_CHUNK_ROWS: usize = 16;
+
+/// Elements per scheduling chunk for flat element-wise kernels.
+const ELEM_CHUNK: usize = 1 << 15;
+
+/// Packed rows per scheduling chunk for gather/pack kernels.
+const PACK_CHUNK_ROWS: usize = 128;
 
 /// A row-major dense `rows × cols` matrix of `f64`.
 #[derive(Clone, Debug, PartialEq)]
@@ -43,6 +62,12 @@ impl Dense {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), rows * cols, "buffer length mismatch");
         Self { rows, cols, data }
+    }
+
+    /// Consumes the matrix and returns its backing buffer (so scratch
+    /// pools can recycle the allocation under a different shape).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
     }
 
     /// Glorot/Xavier-uniform initialization, the standard GCN weight init.
@@ -95,157 +120,343 @@ impl Dense {
         self.data[r * self.cols + c] = v;
     }
 
-    /// `C = self · other` (standard GEMM, `m×k · k×n`).
+    /// `C = self · other` (standard GEMM, `m×k · k×n`), parallel over
+    /// output rows with the process-wide thread count.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Dense) -> Dense {
-        assert_eq!(self.cols, other.rows, "gemm inner dimension mismatch");
+        self.matmul_with(other, pool::current_threads())
+    }
+
+    /// [`Dense::matmul`] with an explicit thread count.
+    pub fn matmul_with(&self, other: &Dense, threads: usize) -> Dense {
         let mut out = Dense::zeros(self.rows, other.cols);
-        // ikj loop order: streams `other` and `out` rows, vectorizes well.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        self.matmul_into_with(other, &mut out, threads);
+        out
+    }
+
+    /// `out = self · other` into a caller-provided buffer (overwritten).
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch.
+    pub fn matmul_into(&self, other: &Dense, out: &mut Dense) {
+        self.matmul_into_with(other, out, pool::current_threads());
+    }
+
+    /// [`Dense::matmul_into`] with an explicit thread count.
+    pub fn matmul_into_with(&self, other: &Dense, out: &mut Dense, threads: usize) {
+        assert_eq!(self.cols, other.rows, "gemm inner dimension mismatch");
+        assert_eq!(out.rows, self.rows, "gemm output rows mismatch");
+        assert_eq!(out.cols, other.cols, "gemm output cols mismatch");
+        let (k_dim, n) = (self.cols, other.cols);
+        if self.rows == 0 || n == 0 {
+            return;
+        }
+        let t = pool::effective_threads(threads, 2 * self.rows * k_dim * n);
+        pool::for_each_chunk_mut(t, &mut out.data, GEMM_CHUNK_ROWS * n, |ci, out_chunk| {
+            let row0 = ci * GEMM_CHUNK_ROWS;
+            // ikj loop order per row: streams `other` rows, vectorizes well.
+            for (i, out_row) in out_chunk.chunks_exact_mut(n).enumerate() {
+                out_row.fill(0.0);
+                let a_row = self.row(row0 + i);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
-        out
+        });
     }
 
     /// `C = selfᵀ · other` without materializing the transpose
     /// (`k×m` result from `m×?` inputs). Used for weight gradients
     /// `Y = Hᵀ(AG)`.
     pub fn transpose_matmul(&self, other: &Dense) -> Dense {
-        assert_eq!(self.rows, other.rows, "transpose_matmul row mismatch");
+        self.transpose_matmul_with(other, pool::current_threads())
+    }
+
+    /// [`Dense::transpose_matmul`] with an explicit thread count.
+    pub fn transpose_matmul_with(&self, other: &Dense, threads: usize) -> Dense {
         let mut out = Dense::zeros(self.cols, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let b_row = other.row(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        self.transpose_matmul_into_with(other, &mut out, threads);
+        out
+    }
+
+    /// `out = selfᵀ · other` into a caller-provided buffer (overwritten).
+    pub fn transpose_matmul_into(&self, other: &Dense, out: &mut Dense) {
+        self.transpose_matmul_into_with(other, out, pool::current_threads());
+    }
+
+    /// [`Dense::transpose_matmul_into`] with an explicit thread count.
+    ///
+    /// Parallel over output rows `k`; each output element still
+    /// accumulates over `i = 0..rows` in ascending order, matching the
+    /// serial kernel bit for bit.
+    pub fn transpose_matmul_into_with(&self, other: &Dense, out: &mut Dense, threads: usize) {
+        assert_eq!(self.rows, other.rows, "transpose_matmul row mismatch");
+        assert_eq!(out.rows, self.cols, "transpose_matmul output rows mismatch");
+        assert_eq!(
+            out.cols, other.cols,
+            "transpose_matmul output cols mismatch"
+        );
+        let n = other.cols;
+        if self.cols == 0 || n == 0 {
+            out.data.fill(0.0);
+            return;
+        }
+        let t = pool::effective_threads(threads, 2 * self.rows * self.cols * n);
+        if t <= 1 {
+            // Serial reference order: stream rows of self/other once.
+            out.data.fill(0.0);
+            for i in 0..self.rows {
+                let a_row = self.row(i);
+                let b_row = other.row(i);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
+            return;
         }
-        out
+        let cols = self.cols;
+        pool::for_each_chunk_mut(t, &mut out.data, GEMM_CHUNK_ROWS * n, |ci, out_chunk| {
+            let k0 = ci * GEMM_CHUNK_ROWS;
+            for (dk, out_row) in out_chunk.chunks_exact_mut(n).enumerate() {
+                out_row.fill(0.0);
+                let k = k0 + dk;
+                for i in 0..self.rows {
+                    let a = self.data[i * cols + k];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(i);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
     }
 
     /// `C = self · otherᵀ` without materializing the transpose. Used for
     /// gradient propagation `G W ᵀ`.
     pub fn matmul_transpose(&self, other: &Dense) -> Dense {
-        assert_eq!(self.cols, other.cols, "matmul_transpose col mismatch");
+        self.matmul_transpose_with(other, pool::current_threads())
+    }
+
+    /// [`Dense::matmul_transpose`] with an explicit thread count.
+    pub fn matmul_transpose_with(&self, other: &Dense, threads: usize) -> Dense {
         let mut out = Dense::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
+        self.matmul_transpose_into_with(other, &mut out, threads);
         out
     }
 
-    /// Materialized transpose.
+    /// `out = self · otherᵀ` into a caller-provided buffer (overwritten).
+    pub fn matmul_transpose_into(&self, other: &Dense, out: &mut Dense) {
+        self.matmul_transpose_into_with(other, out, pool::current_threads());
+    }
+
+    /// [`Dense::matmul_transpose_into`] with an explicit thread count.
+    pub fn matmul_transpose_into_with(&self, other: &Dense, out: &mut Dense, threads: usize) {
+        assert_eq!(self.cols, other.cols, "matmul_transpose col mismatch");
+        assert_eq!(out.rows, self.rows, "matmul_transpose output rows mismatch");
+        assert_eq!(
+            out.cols, other.rows,
+            "matmul_transpose output cols mismatch"
+        );
+        let n = other.rows;
+        if self.rows == 0 || n == 0 {
+            return;
+        }
+        let t = pool::effective_threads(threads, 2 * self.rows * self.cols * n);
+        pool::for_each_chunk_mut(t, &mut out.data, GEMM_CHUNK_ROWS * n, |ci, out_chunk| {
+            let row0 = ci * GEMM_CHUNK_ROWS;
+            for (i, out_row) in out_chunk.chunks_exact_mut(n).enumerate() {
+                let a_row = self.row(row0 + i);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = other.row(j);
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
+    }
+
+    /// Materialized transpose (parallel over output rows).
     pub fn transpose(&self) -> Dense {
         let mut out = Dense::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
+        if self.rows == 0 || self.cols == 0 {
+            return out;
         }
+        let t = pool::effective_threads(pool::current_threads(), self.data.len());
+        let (rows, cols) = (self.rows, self.cols);
+        pool::for_each_chunk_mut(t, &mut out.data, GEMM_CHUNK_ROWS * rows, |ci, out_chunk| {
+            let c0 = ci * GEMM_CHUNK_ROWS;
+            for (dc, out_row) in out_chunk.chunks_exact_mut(rows).enumerate() {
+                let c = c0 + dc;
+                for (r, o) in out_row.iter_mut().enumerate() {
+                    *o = self.data[r * cols + c];
+                }
+            }
+        });
         out
     }
 
-    /// `self += other`.
+    /// `self += other` (parallel element-wise).
     pub fn add_assign(&mut self, other: &Dense) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        let t = pool::effective_threads(pool::current_threads(), self.data.len());
+        pool::for_each_chunk_mut(t, &mut self.data, ELEM_CHUNK, |ci, chunk| {
+            let (off, len) = (ci * ELEM_CHUNK, chunk.len());
+            for (a, &b) in chunk.iter_mut().zip(&other.data[off..off + len]) {
+                *a += b;
+            }
+        });
     }
 
-    /// `self -= scale * other` (SGD update).
+    /// `self -= scale * other` (SGD update, parallel element-wise).
     pub fn sub_scaled_assign(&mut self, other: &Dense, scale: f64) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a -= scale * b;
-        }
+        let t = pool::effective_threads(pool::current_threads(), self.data.len());
+        pool::for_each_chunk_mut(t, &mut self.data, ELEM_CHUNK, |ci, chunk| {
+            let (off, len) = (ci * ELEM_CHUNK, chunk.len());
+            for (a, &b) in chunk.iter_mut().zip(&other.data[off..off + len]) {
+                *a -= scale * b;
+            }
+        });
     }
 
-    /// In-place scaling.
+    /// In-place scaling (parallel element-wise).
     pub fn scale(&mut self, s: f64) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        let t = pool::effective_threads(pool::current_threads(), self.data.len());
+        pool::for_each_chunk_mut(t, &mut self.data, ELEM_CHUNK, |_ci, chunk| {
+            for a in chunk.iter_mut() {
+                *a *= s;
+            }
+        });
+    }
+
+    /// `self ⊙= other` (in-place Hadamard, parallel element-wise).
+    pub fn hadamard_assign(&mut self, other: &Dense) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let t = pool::effective_threads(pool::current_threads(), self.data.len());
+        pool::for_each_chunk_mut(t, &mut self.data, ELEM_CHUNK, |ci, chunk| {
+            let (off, len) = (ci * ELEM_CHUNK, chunk.len());
+            for (a, &b) in chunk.iter_mut().zip(&other.data[off..off + len]) {
+                *a *= b;
+            }
+        });
     }
 
     /// Element-wise product `self ⊙ other` (Hadamard).
     pub fn hadamard(&self, other: &Dense) -> Dense {
+        let mut out = Dense::zeros(self.rows, self.cols);
+        self.hadamard_into(other, &mut out);
+        out
+    }
+
+    /// `out = self ⊙ other` into a caller-provided buffer.
+    pub fn hadamard_into(&self, other: &Dense, out: &mut Dense) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| a * b)
-            .collect();
-        Dense {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        }
+        assert_eq!((self.rows, self.cols), (out.rows, out.cols));
+        let t = pool::effective_threads(pool::current_threads(), self.data.len());
+        pool::for_each_chunk_mut(t, &mut out.data, ELEM_CHUNK, |ci, chunk| {
+            let (off, len) = (ci * ELEM_CHUNK, chunk.len());
+            for ((o, &a), &b) in chunk
+                .iter_mut()
+                .zip(&self.data[off..off + len])
+                .zip(&other.data[off..off + len])
+            {
+                *o = a * b;
+            }
+        });
     }
 
     /// Element-wise ReLU.
     pub fn relu(&self) -> Dense {
-        let data = self.data.iter().map(|&v| v.max(0.0)).collect();
-        Dense {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        }
+        let mut out = Dense::zeros(self.rows, self.cols);
+        self.relu_into(&mut out);
+        out
+    }
+
+    /// `out = relu(self)` into a caller-provided buffer.
+    pub fn relu_into(&self, out: &mut Dense) {
+        assert_eq!((self.rows, self.cols), (out.rows, out.cols));
+        let t = pool::effective_threads(pool::current_threads(), self.data.len());
+        pool::for_each_chunk_mut(t, &mut out.data, ELEM_CHUNK, |ci, chunk| {
+            let (off, len) = (ci * ELEM_CHUNK, chunk.len());
+            for (o, &v) in chunk.iter_mut().zip(&self.data[off..off + len]) {
+                *o = v.max(0.0);
+            }
+        });
     }
 
     /// Element-wise ReLU derivative (1 where the input was positive).
     pub fn relu_prime(&self) -> Dense {
-        let data = self
-            .data
-            .iter()
-            .map(|&v| if v > 0.0 { 1.0 } else { 0.0 })
-            .collect();
-        Dense {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        }
+        let mut out = Dense::zeros(self.rows, self.cols);
+        self.relu_prime_into(&mut out);
+        out
+    }
+
+    /// `out = relu'(self)` into a caller-provided buffer.
+    pub fn relu_prime_into(&self, out: &mut Dense) {
+        assert_eq!((self.rows, self.cols), (out.rows, out.cols));
+        let t = pool::effective_threads(pool::current_threads(), self.data.len());
+        pool::for_each_chunk_mut(t, &mut out.data, ELEM_CHUNK, |ci, chunk| {
+            let (off, len) = (ci * ELEM_CHUNK, chunk.len());
+            for (o, &v) in chunk.iter_mut().zip(&self.data[off..off + len]) {
+                *o = if v > 0.0 { 1.0 } else { 0.0 };
+            }
+        });
     }
 
     /// Gathers the listed rows into a new matrix (communication packing:
     /// the rows of `H` a peer asked for).
     pub fn gather_rows(&self, rows: &[u32]) -> Dense {
         let mut out = Dense::zeros(rows.len(), self.cols);
-        for (i, &r) in rows.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(self.row(r as usize));
-        }
+        self.pack_rows_into(rows, 0, &mut out.data);
         out
     }
 
+    /// Packs rows `idx[i] - base` of `self` contiguously into `out`
+    /// (`out.len() == idx.len() * cols`), parallel over packed rows. This
+    /// is the sparsity-aware `NnzCols` send-staging kernel: `idx` holds
+    /// global row ids and `base` the rank's first owned row.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or an id below `base`.
+    pub fn pack_rows_into(&self, idx: &[u32], base: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), idx.len() * self.cols, "pack buffer mismatch");
+        if idx.is_empty() || self.cols == 0 {
+            return;
+        }
+        let cols = self.cols;
+        let t = pool::effective_threads(pool::current_threads(), out.len());
+        pool::for_each_chunk_mut(t, out, PACK_CHUNK_ROWS * cols, |ci, chunk| {
+            let i0 = ci * PACK_CHUNK_ROWS;
+            for (di, dst) in chunk.chunks_exact_mut(cols).enumerate() {
+                let r = idx[i0 + di] as usize - base;
+                dst.copy_from_slice(self.row(r));
+            }
+        });
+    }
+
     /// Scatters `src`'s rows into this matrix at the listed positions
-    /// (communication unpacking).
+    /// (communication unpacking). Serial: `rows` may contain duplicates,
+    /// which a parallel scatter could not handle deterministically.
     pub fn scatter_rows(&mut self, rows: &[u32], src: &Dense) {
         assert_eq!(rows.len(), src.rows);
         assert_eq!(self.cols, src.cols);
@@ -333,6 +544,62 @@ mod tests {
     }
 
     #[test]
+    fn gemm_thread_counts_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Dense::glorot(3 * GEMM_CHUNK_ROWS + 7, 40, &mut rng);
+        let b = Dense::glorot(40, 33, &mut rng);
+        let serial = a.matmul_with(&b, 1);
+        for t in [2, 4, 7] {
+            assert_eq!(a.matmul_with(&b, t).data(), serial.data(), "threads={t}");
+        }
+        let tm1 = a.transpose_matmul_with(&a, 1);
+        for t in [2, 4, 7] {
+            assert_eq!(
+                a.transpose_matmul_with(&a, t).data(),
+                tm1.data(),
+                "threads={t}"
+            );
+        }
+        let mt1 = a.matmul_transpose_with(&a, 1);
+        for t in [2, 4, 7] {
+            assert_eq!(
+                a.matmul_transpose_with(&a, t).data(),
+                mt1.data(),
+                "threads={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_variants_match_owned() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Dense::glorot(9, 5, &mut rng);
+        let b = Dense::glorot(5, 4, &mut rng);
+        let mut out = Dense::from_fn(9, 4, |_, _| 42.0); // dirty buffer
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), a.matmul(&b).data());
+
+        let c = Dense::glorot(9, 4, &mut rng);
+        let mut out2 = Dense::from_fn(5, 4, |_, _| -1.0);
+        a.transpose_matmul_into(&c, &mut out2);
+        assert_eq!(out2.data(), a.transpose_matmul(&c).data());
+
+        let d = Dense::glorot(7, 5, &mut rng);
+        let mut out3 = Dense::from_fn(9, 7, |_, _| 3.0);
+        a.matmul_transpose_into(&d, &mut out3);
+        assert_eq!(out3.data(), a.matmul_transpose(&d).data());
+
+        let mut out4 = Dense::from_fn(9, 5, |_, _| 9.0);
+        a.relu_into(&mut out4);
+        assert_eq!(out4.data(), a.relu().data());
+
+        let e = Dense::glorot(9, 5, &mut rng);
+        let mut out5 = Dense::zeros(9, 5);
+        a.hadamard_into(&e, &mut out5);
+        assert_eq!(out5.data(), a.hadamard(&e).data());
+    }
+
+    #[test]
     fn transpose_matmul_matches_explicit() {
         let mut rng = StdRng::seed_from_u64(1);
         let a = Dense::glorot(5, 3, &mut rng);
@@ -370,6 +637,22 @@ mod tests {
         assert_eq!(b.row(3), a.row(3));
         assert_eq!(b.row(1), a.row(1));
         assert_eq!(b.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_rows_into_with_base() {
+        let a = m(3, 2, &[0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+        // Global ids 5..8 map to local rows 0..3 with base 5.
+        let mut out = vec![0.0; 4];
+        a.pack_rows_into(&[7, 5], 5, &mut out);
+        assert_eq!(out, vec![20.0, 21.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn into_vec_roundtrip() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let v = a.clone().into_vec();
+        assert_eq!(Dense::from_vec(2, 2, v), a);
     }
 
     #[test]

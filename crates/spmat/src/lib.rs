@@ -9,8 +9,10 @@
 //!   column sets, symmetric permutation).
 //! * [`dense::Dense`] — row-major dense matrices (activations, weights)
 //!   with GEMM and the element-wise operations GCN training uses.
-//! * [`spmm`] — sequential CSR × dense kernels, the local workhorse of
-//!   every distributed algorithm variant.
+//! * [`spmm`] — parallel cache-blocked CSR × dense kernels, the local
+//!   workhorse of every distributed algorithm variant.
+//! * [`pool`] — dependency-free scoped-thread worker pool the kernels
+//!   run on (deterministic chunked scheduling, bit-identical to serial).
 //! * [`gen`] — synthetic graph generators (R-MAT, planted partition,
 //!   Erdős–Rényi, 2-D grid).
 //! * [`dataset`] — scaled-down analogues of the paper's four evaluation
@@ -23,6 +25,7 @@ pub mod dense;
 pub mod gen;
 pub mod graph;
 pub mod io;
+pub mod pool;
 pub mod spmm;
 
 pub use coo::Coo;

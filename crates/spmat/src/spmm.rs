@@ -1,43 +1,101 @@
-//! Sequential sparse × tall-skinny-dense multiplication kernels.
+//! Sparse × tall-skinny-dense multiplication kernels.
 //!
 //! These are the local compute kernels every distributed variant calls
 //! after communication has assembled the needed rows of `H`
 //! (the role cuSPARSE `csrmm2` plays in the paper's implementation).
+//!
+//! The kernels are row-parallel over the [`crate::pool`] worker pool and
+//! cache-blocked: output rows are processed in fixed chunks of
+//! [`SPMM_CHUNK_ROWS`], and within a row the dense operand is tiled in
+//! [`FTILE`]-column panels so the output tile stays register/L1-resident
+//! while rows of `H` stream through. Empty sparse rows are skipped before
+//! any dense work, and all inner loops run over pre-sliced windows so the
+//! compiler can drop bounds checks.
+//!
+//! **Determinism:** each output row is produced by exactly one worker and
+//! accumulates its nonzeros in CSR order, exactly like the serial loop —
+//! so results are bit-identical at every thread count (asserted by
+//! `tests/parallel_kernels.rs` at 1, 2, 4 and 7 threads).
 
 use crate::csr::Csr;
 use crate::dense::Dense;
+use crate::pool;
 
-/// `C = A · H` for CSR `A` (`m × k`) and dense `H` (`k × f`).
+/// Rows per scheduling chunk. Fixed (independent of the thread count) so
+/// chunk boundaries — and therefore results — never depend on parallelism.
+pub const SPMM_CHUNK_ROWS: usize = 64;
+
+/// Column-tile width over the dense operand: 64 f64 = one 512-byte output
+/// tile, small enough to stay in registers/L1 across the nnz stream.
+const FTILE: usize = 64;
+
+/// `C = A · H` for CSR `A` (`m × k`) and dense `H` (`k × f`), using the
+/// process-wide thread count ([`pool::current_threads`]).
 ///
 /// # Panics
 /// Panics if `A.cols() != H.rows()`.
 pub fn spmm(a: &Csr, h: &Dense) -> Dense {
+    spmm_with(a, h, pool::current_threads())
+}
+
+/// [`spmm`] with an explicit thread count.
+pub fn spmm_with(a: &Csr, h: &Dense, threads: usize) -> Dense {
     let mut out = Dense::zeros(a.rows(), h.cols());
-    spmm_acc(a, h, &mut out);
+    spmm_acc_with(a, h, &mut out, threads);
     out
 }
 
-/// `C += A · H`, accumulating into an existing output. This is the kernel
-/// used inside the 1.5D stage loop, where each stage adds one partial
-/// product `AᵀᵢₖHₖ`.
+/// `C += A · H`, accumulating into an existing output, using the
+/// process-wide thread count. This is the kernel used inside the 1.5D
+/// stage loop, where each stage adds one partial product `AᵀᵢₖHₖ`.
 ///
 /// # Panics
 /// Panics on any dimension mismatch.
 pub fn spmm_acc(a: &Csr, h: &Dense, out: &mut Dense) {
+    spmm_acc_with(a, h, out, pool::current_threads());
+}
+
+/// [`spmm_acc`] with an explicit thread count.
+pub fn spmm_acc_with(a: &Csr, h: &Dense, out: &mut Dense, threads: usize) {
     assert_eq!(a.cols(), h.rows(), "spmm inner dimension mismatch");
     assert_eq!(out.rows(), a.rows(), "spmm output rows mismatch");
     assert_eq!(out.cols(), h.cols(), "spmm output cols mismatch");
     let f = h.cols();
-    for r in 0..a.rows() {
+    if a.rows() == 0 || f == 0 {
+        return;
+    }
+    let t = pool::effective_threads(threads, 2 * a.nnz() * f);
+    pool::for_each_chunk_mut(t, out.data_mut(), SPMM_CHUNK_ROWS * f, |ci, out_chunk| {
+        spmm_row_chunk(a, h, ci * SPMM_CHUNK_ROWS, out_chunk, f);
+    });
+}
+
+/// Serial kernel for one chunk of output rows (`out_chunk` holds
+/// `row0 .. row0 + out_chunk.len()/f`). Accumulation order per output
+/// element is CSR nonzero order — identical to the historical serial loop.
+fn spmm_row_chunk(a: &Csr, h: &Dense, row0: usize, out_chunk: &mut [f64], f: usize) {
+    let h_data = h.data();
+    for (i, out_row) in out_chunk.chunks_exact_mut(f).enumerate() {
+        let r = row0 + i;
         let cols = a.row_cols(r);
+        if cols.is_empty() {
+            continue; // skip empty rows before touching any dense data
+        }
         let vals = a.row_vals(r);
-        let out_row = out.row_mut(r);
-        for (&c, &v) in cols.iter().zip(vals) {
-            let h_row = h.row(c as usize);
-            debug_assert_eq!(h_row.len(), f);
-            for (o, &x) in out_row.iter_mut().zip(h_row) {
-                *o += v * x;
+        // Column tiling: keep one FTILE-wide output window hot while the
+        // row's nonzeros stream rows of H through it.
+        let mut ft = 0;
+        while ft < f {
+            let fe = (ft + FTILE).min(f);
+            let out_t = &mut out_row[ft..fe];
+            for (&c, &v) in cols.iter().zip(vals) {
+                let base = c as usize * f;
+                let h_t = &h_data[base + ft..base + fe];
+                for (o, &x) in out_t.iter_mut().zip(h_t) {
+                    *o += v * x;
+                }
             }
+            ft = fe;
         }
     }
 }
@@ -88,6 +146,27 @@ mod tests {
     }
 
     #[test]
+    fn thread_counts_are_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(44);
+        // Rows span several chunks so the parallel path really engages.
+        let a = random_csr(3 * SPMM_CHUNK_ROWS + 5, 90, 0.2, &mut rng);
+        let h = Dense::glorot(90, FTILE + 9, &mut rng);
+        let serial = spmm_with(&a, &h, 1);
+        for t in [2, 4, 7] {
+            let par = spmm_with(&a, &h, t);
+            assert_eq!(par.data(), serial.data(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn wide_f_crosses_tile_boundary() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let a = random_csr(20, 20, 0.4, &mut rng);
+        let h = Dense::glorot(20, 2 * FTILE + 3, &mut rng);
+        assert!(spmm(&a, &h).approx_eq(&spmm_naive(&a, &h), 1e-12));
+    }
+
+    #[test]
     fn identity_spmm_is_identity() {
         let mut rng = StdRng::seed_from_u64(7);
         let h = Dense::glorot(6, 3, &mut rng);
@@ -113,6 +192,15 @@ mod tests {
         let h = Dense::zeros(4, 2);
         let out = spmm(&a, &h);
         assert_eq!(out.data(), &[0.0; 6]);
+    }
+
+    #[test]
+    fn zero_width_operand_is_fine() {
+        let a = Csr::identity(4);
+        let h = Dense::zeros(4, 0);
+        let out = spmm_with(&a, &h, 4);
+        assert_eq!(out.rows(), 4);
+        assert_eq!(out.cols(), 0);
     }
 
     #[test]

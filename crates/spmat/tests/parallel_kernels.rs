@@ -1,0 +1,209 @@
+//! Property-style tests for the parallel kernels: for seeded random
+//! shapes and densities, the chunked parallel SpMM/GEMM paths must be
+//! **bit-identical** to their serial forms (chunk boundaries depend only
+//! on the problem size, and per-element accumulation order matches the
+//! serial kernel), and numerically consistent with the naive reference.
+//! Edge cases — empty matrices, single-row chunks, more threads than
+//! rows — are exercised explicitly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spmat::spmm::{spmm_acc_with, spmm_naive, spmm_with};
+use spmat::{Coo, Csr, Dense};
+
+/// Thread counts to pit against serial; deliberately includes an odd
+/// count and one far beyond this machine's cores.
+const THREADS: [usize; 4] = [2, 4, 7, 16];
+
+fn random_csr(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> Csr {
+    let mut coo = Coo::new(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen::<f64>() < density {
+                coo.push(r, c, rng.gen_range(-2.0..2.0));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+fn random_dense(rng: &mut StdRng, rows: usize, cols: usize) -> Dense {
+    Dense::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn assert_bits_eq(a: &Dense, b: &Dense, what: &str) {
+    assert_eq!(a.rows(), b.rows(), "{what}: row mismatch");
+    assert_eq!(a.cols(), b.cols(), "{what}: col mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bit mismatch at flat index {i}: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn spmm_random_shapes_thread_invariant_and_match_naive() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for case in 0..24 {
+        let rows = rng.gen_range(0..200);
+        let cols = rng.gen_range(1..180);
+        // Cross the FTILE=64 column-tile boundary from both sides.
+        let f = rng.gen_range(1..150);
+        let density = [0.01, 0.1, 0.5][case % 3];
+        let a = random_csr(&mut rng, rows, cols, density);
+        let h = random_dense(&mut rng, cols, f);
+
+        let serial = spmm_with(&a, &h, 1);
+        let naive = spmm_naive(&a, &h);
+        assert!(
+            serial.approx_eq(&naive, 1e-12),
+            "case {case}: serial vs naive ({rows}x{cols}, f={f}, d={density})"
+        );
+        for t in THREADS {
+            let par = spmm_with(&a, &h, t);
+            assert_bits_eq(&serial, &par, &format!("case {case} spmm t={t}"));
+        }
+    }
+}
+
+#[test]
+fn spmm_acc_on_dirty_output_thread_invariant() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..8 {
+        let (rows, cols, f) = (
+            rng.gen_range(1..120),
+            rng.gen_range(1..120),
+            rng.gen_range(1..100),
+        );
+        let a = random_csr(&mut rng, rows, cols, 0.15);
+        let h = random_dense(&mut rng, cols, f);
+        let dirty = random_dense(&mut rng, rows, f);
+
+        let mut serial = dirty.clone();
+        spmm_acc_with(&a, &h, &mut serial, 1);
+        for t in THREADS {
+            let mut par = dirty.clone();
+            spmm_acc_with(&a, &h, &mut par, t);
+            assert_bits_eq(&serial, &par, &format!("spmm_acc t={t}"));
+        }
+    }
+}
+
+#[test]
+fn spmm_empty_matrices() {
+    let h0 = Dense::zeros(0, 8);
+    for t in [1, 2, 16] {
+        // Zero rows.
+        let z = spmm_with(&Csr::empty(0, 0), &h0, t);
+        assert_eq!((z.rows(), z.cols()), (0, 8));
+        // Zero feature columns.
+        let z = spmm_with(&Csr::identity(5), &Dense::zeros(5, 0), t);
+        assert_eq!((z.rows(), z.cols()), (5, 0));
+        // Structurally empty (no nonzeros) but shaped.
+        let z = spmm_with(&Csr::empty(6, 4), &Dense::zeros(4, 3), t);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+}
+
+#[test]
+fn spmm_more_threads_than_rows() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let a = random_csr(&mut rng, 3, 10, 0.5);
+    let h = random_dense(&mut rng, 10, 33);
+    let serial = spmm_with(&a, &h, 1);
+    for t in [4, 16, 64] {
+        assert_bits_eq(&serial, &spmm_with(&a, &h, t), &format!("3 rows, t={t}"));
+    }
+}
+
+#[test]
+fn spmm_single_row_identity_chunks() {
+    // One row per matrix forces a single chunk regardless of threads.
+    let mut rng = StdRng::seed_from_u64(13);
+    let a = random_csr(&mut rng, 1, 50, 0.3);
+    let h = random_dense(&mut rng, 50, 65); // f just over one tile
+    let serial = spmm_with(&a, &h, 1);
+    for t in THREADS {
+        assert_bits_eq(&serial, &spmm_with(&a, &h, t), &format!("1 row, t={t}"));
+    }
+}
+
+#[test]
+fn gemm_random_shapes_thread_invariant() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for case in 0..12 {
+        let (m, k, n) = (
+            rng.gen_range(0..90),
+            rng.gen_range(1..90),
+            rng.gen_range(1..90),
+        );
+        let a = random_dense(&mut rng, m, k);
+        let b = random_dense(&mut rng, k, n);
+
+        let serial = a.matmul_with(&b, 1);
+        for t in THREADS {
+            assert_bits_eq(
+                &serial,
+                &a.matmul_with(&b, t),
+                &format!("case {case} matmul t={t}"),
+            );
+        }
+
+        // AᵀB: (k×m)ᵀ · (k×n)
+        let at = random_dense(&mut rng, k, m);
+        let serial = at.transpose_matmul_with(&b, 1);
+        for t in THREADS {
+            assert_bits_eq(
+                &serial,
+                &at.transpose_matmul_with(&b, t),
+                &format!("case {case} transpose_matmul t={t}"),
+            );
+        }
+
+        // ABᵀ: (m×k) · (n×k)ᵀ
+        let bt = random_dense(&mut rng, n, k);
+        let serial = a.matmul_transpose_with(&bt, 1);
+        for t in THREADS {
+            assert_bits_eq(
+                &serial,
+                &a.matmul_transpose_with(&bt, t),
+                &format!("case {case} matmul_transpose t={t}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn gemm_against_explicit_reference() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let (m, k, n) = (17, 23, 9);
+    let a = random_dense(&mut rng, m, k);
+    let b = random_dense(&mut rng, k, n);
+    let got = a.matmul_with(&b, 4);
+    let want = Dense::from_fn(m, n, |i, j| {
+        (0..k)
+            .map(|l| a.data()[i * k + l] * b.data()[l * n + j])
+            .sum()
+    });
+    assert!(got.approx_eq(&want, 1e-12));
+}
+
+#[test]
+fn global_thread_setting_is_bit_invariant_end_to_end() {
+    // The env-driven global default feeds the same `*_with` kernels, so
+    // flipping it must not change results either.
+    let mut rng = StdRng::seed_from_u64(21);
+    let a = random_csr(&mut rng, 150, 150, 0.05);
+    let h = random_dense(&mut rng, 150, 40);
+    let mut outs = Vec::new();
+    for t in [1usize, 2, 4, 7] {
+        spmat::pool::set_threads(t);
+        outs.push(spmat::spmm::spmm(&a, &h));
+    }
+    spmat::pool::set_threads(0);
+    for (i, o) in outs.iter().enumerate().skip(1) {
+        assert_bits_eq(&outs[0], o, &format!("global threads variant {i}"));
+    }
+}
