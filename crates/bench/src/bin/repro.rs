@@ -1,7 +1,9 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--small] [--seed N] [--out DIR] [--threads N] <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|all>
+//! repro [--small] [--seed N] [--out DIR] [--threads N]
+//!       [--trace [PREFIX]] [--trace-format jsonl|chrome|both] [--metrics-out FILE]
+//!       <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|all>
 //! ```
 //!
 //! Prints each artifact as an aligned table and writes a CSV twin to
@@ -10,6 +12,14 @@
 //! `--threads N` sets the kernel thread count for every local SpMM/GEMM
 //! (default: `GNN_THREADS` env, then available parallelism); results are
 //! bit-identical at any thread count.
+//!
+//! The tables and figures are computed analytically from recorded
+//! volumes, so `--trace` instead runs a short *executor-backed*
+//! training pass (1D sparsity-aware on the Reddit analogue) with the
+//! structured tracer armed, writes `<PREFIX>.jsonl` /
+//! `<PREFIX>.chrome.json` (default prefix under `results/traces/`),
+//! and prints the bottleneck-rank attribution report. `--trace` may be
+//! given with no table/figure commands at all.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,12 +27,20 @@ use std::time::Instant;
 
 use gnn_bench::experiments::{self, Suite};
 use gnn_bench::table::Table;
+use gnn_bench::traceio::{self, TraceFormat};
+use gnn_comm::CostModel;
+use gnn_core::{try_train_distributed, Algo, DistConfig, GcnConfig};
+use partition::{partition_graph, Method, PartitionConfig};
 
 struct Args {
     small: bool,
     seed: u64,
     out: PathBuf,
     threads: usize,
+    trace: bool,
+    trace_prefix: Option<PathBuf>,
+    trace_format: TraceFormat,
+    metrics_out: Option<PathBuf>,
     commands: Vec<String>,
 }
 
@@ -32,9 +50,13 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         out: PathBuf::from("results"),
         threads: 0, // auto
+        trace: false,
+        trace_prefix: None,
+        trace_format: TraceFormat::Both,
+        metrics_out: None,
         commands: Vec::new(),
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--small" => args.small = true,
@@ -53,12 +75,32 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
             }
+            "--trace" => {
+                args.trace = true;
+                // Optional value: a path prefix for the artifacts.
+                if let Some(v) = it.peek() {
+                    if v.starts_with('-') || !v.contains(['/', '.']) {
+                        // Bare words are table/figure commands, not paths.
+                    } else {
+                        args.trace_prefix = Some(PathBuf::from(it.next().unwrap()));
+                    }
+                }
+            }
+            "--trace-format" => {
+                args.trace_format =
+                    TraceFormat::parse(&it.next().ok_or("--trace-format needs a value")?)?
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(
+                    it.next().ok_or("--metrics-out needs a value")?,
+                ))
+            }
             "--help" | "-h" => return Err(usage()),
             cmd if !cmd.starts_with('-') => args.commands.push(cmd.to_string()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
-    if args.commands.is_empty() {
+    if args.commands.is_empty() && !args.trace {
         return Err(usage());
     }
     Ok(args)
@@ -66,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: repro [--small] [--seed N] [--out DIR] [--threads N] \
+     [--trace [PREFIX]] [--trace-format jsonl|chrome|both] [--metrics-out FILE] \
      <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|all> ..."
         .to_string()
 }
@@ -201,6 +244,58 @@ fn main() -> ExitCode {
             }
         }
         eprintln!("[{cmd} done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+
+    if args.trace {
+        let t = Instant::now();
+        let p = if args.small { 4 } else { 8 };
+        let epochs = 3;
+        eprintln!("running traced 1D sparsity-aware training (reddit analogue, p={p}, {epochs} epochs)...");
+        let ds = &suite.reddit;
+        let part = partition_graph(
+            &ds.adj,
+            p,
+            &PartitionConfig::new(Method::VolumeBalanced).with_seed(args.seed),
+        );
+        let ds = ds.permute(&part.to_permutation());
+        let bounds = part.block_bounds();
+        let mut cfg = DistConfig::new(
+            Algo::OneD { aware: true },
+            GcnConfig::paper_default(ds.f(), ds.num_classes),
+            epochs,
+            CostModel::perlmutter_like().with_threads(spmat::pool::current_threads()),
+        );
+        cfg.trace = true;
+        let out = match try_train_distributed(&ds, &bounds, &cfg) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("traced run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let trace = out.trace.as_ref().expect("tracing was enabled");
+        print!("\n{}", traceio::render_report(trace));
+        let prefix = args
+            .trace_prefix
+            .clone()
+            .unwrap_or_else(|| traceio::default_prefix(&format!("repro_reddit_1d_p{p}")));
+        match traceio::write_trace(&prefix, args.trace_format, trace) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("[trace written to {}]", p.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not write trace: {e}"),
+        }
+        let metrics_path = args
+            .metrics_out
+            .clone()
+            .unwrap_or_else(|| prefix.with_extension("metrics.json"));
+        match traceio::write_metrics(&metrics_path, &out.stats, Some(trace)) {
+            Ok(()) => println!("[metrics written to {}]", metrics_path.display()),
+            Err(e) => eprintln!("warning: could not write metrics: {e}"),
+        }
+        eprintln!("[trace done in {:.1}s]", t.elapsed().as_secs_f64());
     }
     ExitCode::SUCCESS
 }

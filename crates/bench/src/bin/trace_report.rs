@@ -1,0 +1,94 @@
+//! `trace-report` — inspect a JSONL trace written by `train --trace` or
+//! `repro --trace`.
+//!
+//! ```text
+//! trace-report [--validate] [--timeline] FILE.jsonl
+//! ```
+//!
+//! Reloads the event log and prints the bottleneck-rank attribution
+//! report. `--validate` first runs the strict schema validator (field
+//! whitelist, vocabularies, per-rank sequence monotonicity, header
+//! event count) and prints the summary; a malformed trace exits
+//! nonzero with the offending line number. `--timeline` adds the
+//! per-epoch per-rank timeline table.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gnn_trace::{parse_jsonl, text_timeline, validate_jsonl, BottleneckReport};
+
+struct Args {
+    validate: bool,
+    timeline: bool,
+    file: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut validate = false;
+    let mut timeline = false;
+    let mut file = None;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--validate" => validate = true,
+            "--timeline" => timeline = true,
+            "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with('-') => {
+                if file.replace(PathBuf::from(other)).is_some() {
+                    return Err("exactly one trace file expected".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        validate,
+        timeline,
+        file: file.ok_or_else(usage)?,
+    })
+}
+
+fn usage() -> String {
+    "usage: trace-report [--validate] [--timeline] FILE.jsonl".to_string()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(m) => {
+            eprintln!("{m}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.validate {
+        match validate_jsonl(&text) {
+            Ok(s) => println!(
+                "valid: {} rank(s), {} event(s) ({} spans, {} ops), \
+                 max epoch {}, {} logical bytes sent",
+                s.p, s.events, s.spans, s.ops, s.max_epoch, s.logical_bytes_sent
+            ),
+            Err(e) => {
+                eprintln!("invalid trace {}: {e}", args.file.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let trace = match parse_jsonl(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", args.file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.timeline {
+        print!("{}", text_timeline(&trace));
+    }
+    print!("{}", BottleneckReport::from_trace(&trace).render());
+    ExitCode::SUCCESS
+}

@@ -9,6 +9,8 @@
 //!       [--inject-crash RANK@EPOCH] [--slow-rank RANK:FACTOR]
 //!       [--drop-prob X] [--corrupt-prob X] [--fault-seed N]
 //!       [--checkpoint-every N] [--max-restarts N] [--watchdog-ms N]
+//!       [--trace [PREFIX]] [--trace-format jsonl|chrome|both]
+//!       [--metrics-out FILE]
 //! ```
 //!
 //! Trains on the simulated distributed runtime, prints the loss/accuracy
@@ -16,6 +18,14 @@
 //! fault flags rehearse degraded conditions: injected crashes trigger
 //! checkpoint/restart, link faults exercise the retry path, and the
 //! watchdog bounds every hang.
+//!
+//! `--trace` arms the structured tracer: every comm op and trainer
+//! phase is recorded on each rank's modeled-time axis, artifacts land
+//! at `<PREFIX>.jsonl` / `<PREFIX>.chrome.json` (default prefix under
+//! `results/traces/`; the Chrome file opens in `chrome://tracing` or
+//! Perfetto), and a per-epoch timeline plus bottleneck-rank
+//! attribution report is printed. `--metrics-out` writes the unified
+//! metrics registry as JSON (works with or without `--trace`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,6 +33,7 @@ use std::time::Instant;
 
 use std::time::Duration;
 
+use gnn_bench::traceio::{self, TraceFormat};
 use gnn_comm::{CostModel, FaultPlan, Phase};
 use gnn_core::{try_train_distributed, Algo, DistConfig, GcnConfig, RobustnessConfig};
 use partition::{partition_graph, Method, PartitionConfig};
@@ -51,6 +62,10 @@ struct Args {
     max_restarts: usize,
     watchdog_ms: u64,
     threads: usize,
+    trace: bool,
+    trace_prefix: Option<PathBuf>,
+    trace_format: TraceFormat,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse() -> Result<Args, String> {
@@ -77,8 +92,12 @@ fn parse() -> Result<Args, String> {
         max_restarts: 2,
         watchdog_ms: 30_000,
         threads: 0, // auto: GNN_THREADS env or available parallelism
+        trace: false,
+        trace_prefix: None,
+        trace_format: TraceFormat::Both,
+        metrics_out: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or(format!("{flag} needs a value"))
     };
@@ -204,6 +223,19 @@ fn parse() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?
             }
+            "--trace" => {
+                a.trace = true;
+                // Optional value: a path prefix for the artifacts.
+                if let Some(v) = it.peek() {
+                    if !v.starts_with('-') {
+                        a.trace_prefix = Some(PathBuf::from(it.next().unwrap()));
+                    }
+                }
+            }
+            "--trace-format" => {
+                a.trace_format = TraceFormat::parse(&next(&mut it, "--trace-format")?)?
+            }
+            "--metrics-out" => a.metrics_out = Some(PathBuf::from(next(&mut it, "--metrics-out")?)),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -218,7 +250,8 @@ fn usage() -> String {
      [--opt sgd|adam] [--lr X] [--epochs N] [--scale N] [--seed N] \
      [--inject-crash RANK@EPOCH] [--slow-rank RANK:FACTOR] [--drop-prob X] \
      [--corrupt-prob X] [--fault-seed N] [--checkpoint-every N] \
-     [--max-restarts N] [--watchdog-ms N] [--threads N]"
+     [--max-restarts N] [--watchdog-ms N] [--threads N] \
+     [--trace [PREFIX]] [--trace-format jsonl|chrome|both] [--metrics-out FILE]"
         .to_string()
 }
 
@@ -370,6 +403,7 @@ fn main() -> ExitCode {
         args.epochs,
         CostModel::perlmutter_like().with_threads(threads),
     );
+    cfg.trace = args.trace;
     cfg.robust = RobustnessConfig {
         faults: faulty.then_some(plan),
         checkpoint_every: args.checkpoint_every,
@@ -439,6 +473,36 @@ fn main() -> ExitCode {
                     f.delays, f.drops, f.corruptions, f.retries, f.slowed_ops
                 );
             }
+        }
+    }
+    let prefix = args.trace_prefix.clone().unwrap_or_else(|| {
+        traceio::default_prefix(&format!(
+            "train_{}_{}_p{}",
+            args.dataset,
+            if args.algo_15d { "15d" } else { "1d" },
+            args.p
+        ))
+    });
+    if let Some(trace) = &out.trace {
+        println!("\n-- trace --");
+        print!("{}", traceio::render_report(trace));
+        match traceio::write_trace(&prefix, args.trace_format, trace) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("[trace written to {}]", p.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not write trace: {e}"),
+        }
+    }
+    if args.trace || args.metrics_out.is_some() {
+        let path = args
+            .metrics_out
+            .clone()
+            .unwrap_or_else(|| prefix.with_extension("metrics.json"));
+        match traceio::write_metrics(&path, st, out.trace.as_ref()) {
+            Ok(()) => println!("[metrics written to {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write metrics: {e}"),
         }
     }
     println!("simulation wall time: {wall:.1}s");

@@ -16,5 +16,6 @@
 pub mod experiments;
 pub mod schemes;
 pub mod table;
+pub mod traceio;
 
 pub use schemes::{prepare, prepare_full, Prepared, Scheme};

@@ -41,6 +41,8 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
+use gnn_trace::{EventKind, RankTracer, SpanKind};
+
 use crate::cost::CostModel;
 use crate::error::{CrashPanic, DeadlockPanic, WaitKind};
 use crate::fault::FaultInjector;
@@ -90,6 +92,9 @@ pub struct RankCtx {
     /// Monotone transmission counter (deterministic fault decisions).
     send_seq: u64,
     stats: RankStats,
+    /// Structured event recorder; `None` (a single branch per op) when
+    /// tracing is off, so the steady-state path stays allocation-free.
+    tracer: Option<Box<RankTracer>>,
 }
 
 impl RankCtx {
@@ -103,6 +108,7 @@ impl RankCtx {
         barrier: Arc<TimeoutBarrier>,
         watchdog: Arc<Watchdog>,
         injector: Option<Arc<FaultInjector>>,
+        tracer: Option<Box<RankTracer>>,
     ) -> Self {
         Self {
             rank,
@@ -117,6 +123,7 @@ impl RankCtx {
             op_in_epoch: 0,
             send_seq: 0,
             stats: RankStats::default(),
+            tracer,
         }
     }
 
@@ -146,6 +153,9 @@ impl RankCtx {
     pub fn set_epoch(&mut self, e: usize) {
         self.epoch = Some(e);
         self.op_in_epoch = 0;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.set_epoch(e);
+        }
         self.maybe_crash();
     }
 
@@ -154,8 +164,47 @@ impl RankCtx {
         self.epoch
     }
 
-    pub(crate) fn into_stats(self) -> RankStats {
-        self.stats
+    pub(crate) fn into_parts(self) -> (RankStats, Option<Box<RankTracer>>) {
+        (self.stats, self.tracer)
+    }
+
+    /// True when this rank is recording a structured trace.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Opens a structural trace span (epoch, forward, SpMM, …). A no-op
+    /// (one branch) when tracing is off. Every `span_begin` must be
+    /// matched by a [`RankCtx::span_end`] on all control-flow paths.
+    pub fn span_begin(&mut self, kind: SpanKind, phase: Phase) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.begin_span(kind, phase);
+        }
+    }
+
+    /// Closes the innermost open trace span. No-op when tracing is off.
+    pub fn span_end(&mut self) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.end_span();
+        }
+    }
+
+    /// Records one completed op into the tracer (no-op when off).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn trace_op(
+        &mut self,
+        kind: EventKind,
+        phase: Phase,
+        peer: Option<usize>,
+        bytes_sent: u64,
+        bytes_recv: u64,
+        flops: u64,
+        dur: f64,
+    ) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.op(kind, phase, peer, bytes_sent, bytes_recv, flops, dur);
+        }
     }
 
     /// Advances the per-epoch op counter and fires any due crash fault.
@@ -182,10 +231,11 @@ impl RankCtx {
     fn raw_send(&mut self, dst: usize, tag: u8, payload: Payload, phase: Phase) {
         let seq = self.send_seq;
         self.send_seq += 1;
+        let bytes = payload.bytes();
         if let Some(inj) = self.injector.clone() {
             let fate = inj.send_fate(self.rank, dst, seq);
-            let bytes = payload.bytes();
             let mut extra = 0.0;
+            let mut retries = 0u64;
             let f = &mut self.stats.faults;
             if fate.delay_seconds > 0.0 {
                 f.delays += 1;
@@ -197,6 +247,7 @@ impl RankCtx {
                 // and retransmits; the receiver only ever sees the retry.
                 f.drops += 1;
                 f.retries += 1;
+                retries += 1;
                 extra += inj.plan().retry_backoff_seconds + self.model.p2p(bytes);
             }
             if fate.corrupted {
@@ -204,6 +255,7 @@ impl RankCtx {
                 // then retransmit the good one.
                 f.corruptions += 1;
                 f.retries += 1;
+                retries += 1;
                 extra += inj.plan().retry_backoff_seconds + self.model.p2p(bytes);
                 self.push(
                     dst,
@@ -214,9 +266,29 @@ impl RankCtx {
                     },
                 );
             }
+            let wire_overhead = bytes * retries;
+            self.stats.faults.retransmit_bytes += wire_overhead;
             if extra > 0.0 {
                 self.stats.phase_mut(phase).modeled_seconds += extra;
+                self.trace_op(
+                    EventKind::Retransmit,
+                    phase,
+                    Some(dst),
+                    wire_overhead,
+                    0,
+                    0,
+                    extra,
+                );
             }
+            if let Some(t) = self.tracer.as_deref_mut() {
+                // Each retry is one more wire transmission.
+                for _ in 0..retries {
+                    t.message(bytes);
+                }
+            }
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.message(bytes);
         }
         self.push(
             dst,
@@ -266,6 +338,9 @@ impl RankCtx {
                     self.stats.faults.corruptions_detected += 1;
                     let waste = self.model.p2p(msg.payload.bytes());
                     self.stats.phase_mut(phase).modeled_seconds += waste;
+                    // Zero bytes on the event: the sender accounts the
+                    // wire overhead; this records the receiver's lost time.
+                    self.trace_op(EventKind::Retransmit, phase, Some(src), 0, 0, 0, waste);
                 }
                 Ok(msg) => break msg,
                 Err(RecvTimeoutError::Timeout) => {}
@@ -295,10 +370,12 @@ impl RankCtx {
         assert_ne!(dst, self.rank, "self-sends indicate an algorithm bug");
         self.op_tick();
         let bytes = payload.bytes();
+        let dur = self.model.p2p(bytes);
         let c = self.stats.phase_mut(Phase::P2p);
         c.ops += 1;
         c.bytes_sent += bytes;
-        c.modeled_seconds += self.model.p2p(bytes);
+        c.modeled_seconds += dur;
+        self.trace_op(EventKind::Send, Phase::P2p, Some(dst), bytes, 0, 0, dur);
         self.raw_send(dst, tag::P2P, payload, Phase::P2p);
     }
 
@@ -308,10 +385,12 @@ impl RankCtx {
         self.op_tick();
         let payload = self.raw_recv(src, tag::P2P, Phase::P2p);
         let bytes = payload.bytes();
+        let dur = self.model.p2p(bytes);
         let c = self.stats.phase_mut(Phase::P2p);
         c.ops += 1;
         c.bytes_recv += bytes;
-        c.modeled_seconds += self.model.p2p(bytes);
+        c.modeled_seconds += dur;
+        self.trace_op(EventKind::Recv, Phase::P2p, Some(src), 0, bytes, 0, dur);
         payload
     }
 
@@ -335,14 +414,26 @@ impl RankCtx {
             self.raw_recv(root, tag::BCAST, Phase::Bcast)
         };
         let bytes = out.bytes();
+        let dur = self.model.bcast(bytes, self.p);
+        let is_root = self.rank == root;
         let c = self.stats.phase_mut(Phase::Bcast);
         c.ops += 1;
-        if self.rank == root {
+        if is_root {
             c.bytes_sent += bytes;
         } else {
             c.bytes_recv += bytes;
         }
-        c.modeled_seconds += self.model.bcast(bytes, self.p);
+        c.modeled_seconds += dur;
+        let (sent, recv) = if is_root { (bytes, 0) } else { (0, bytes) };
+        self.trace_op(
+            EventKind::Bcast,
+            Phase::Bcast,
+            Some(root),
+            sent,
+            recv,
+            0,
+            dur,
+        );
         out
     }
 
@@ -373,11 +464,21 @@ impl RankCtx {
             recv_bytes += payload.bytes();
             out[src] = payload;
         }
+        let dur = self.model.alltoallv(sent_bytes, recv_bytes, self.p);
         let c = self.stats.phase_mut(Phase::AllToAll);
         c.ops += 1;
         c.bytes_sent += sent_bytes;
         c.bytes_recv += recv_bytes;
-        c.modeled_seconds += self.model.alltoallv(sent_bytes, recv_bytes, self.p);
+        c.modeled_seconds += dur;
+        self.trace_op(
+            EventKind::AllToAllV,
+            Phase::AllToAll,
+            None,
+            sent_bytes,
+            recv_bytes,
+            0,
+            dur,
+        );
         out
     }
 
@@ -425,17 +526,29 @@ impl RankCtx {
                 buf.copy_from_slice(&summed);
             }
         }
+        let dur = self.model.allreduce(bytes, g);
         let c = self.stats.phase_mut(Phase::AllReduce);
         c.ops += 1;
         c.bytes_sent += bytes;
         c.bytes_recv += bytes;
-        c.modeled_seconds += self.model.allreduce(bytes, g);
+        c.modeled_seconds += dur;
+        self.trace_op(
+            EventKind::AllReduce,
+            Phase::AllReduce,
+            None,
+            bytes,
+            bytes,
+            0,
+            dur,
+        );
     }
 
     /// Gathers every rank's payload to `root` (phase `Other`; used for
     /// assembling final results, not priced as training communication).
     pub fn gather(&mut self, root: usize, mut payload: Payload) -> Option<Vec<Payload>> {
         self.op_tick();
+        // Unpriced and not counted in stats; traced as a zero-cost marker.
+        self.trace_op(EventKind::Gather, Phase::Other, Some(root), 0, 0, 0, 0.0);
         if self.rank == root {
             let out: Vec<Payload> = (0..self.p)
                 .map(|src| {
@@ -457,6 +570,7 @@ impl RankCtx {
     /// instead of blocking forever when a rank never arrives).
     pub fn barrier(&mut self) {
         self.op_tick();
+        self.trace_op(EventKind::Barrier, Phase::Other, None, 0, 0, 0, 0.0);
         self.watchdog
             .begin(self.rank, WaitKind::Barrier, None, None, self.epoch);
         if !self.barrier.wait(self.watchdog.timeout()) {
@@ -474,11 +588,21 @@ impl RankCtx {
         let t0 = Instant::now();
         let out = work();
         let factor = self.slow_factor();
+        let dur = self.model.compute(flops) * factor;
         let c = self.stats.phase_mut(Phase::LocalCompute);
         c.ops += 1;
         c.flops += flops;
-        c.modeled_seconds += self.model.compute(flops) * factor;
+        c.modeled_seconds += dur;
         c.wall_seconds += t0.elapsed().as_secs_f64();
+        self.trace_op(
+            EventKind::Compute,
+            Phase::LocalCompute,
+            None,
+            0,
+            0,
+            flops,
+            dur,
+        );
         out
     }
 
@@ -487,10 +611,20 @@ impl RankCtx {
     pub fn record_compute(&mut self, flops: u64) {
         self.op_tick();
         let factor = self.slow_factor();
+        let dur = self.model.compute(flops) * factor;
         let c = self.stats.phase_mut(Phase::LocalCompute);
         c.ops += 1;
         c.flops += flops;
-        c.modeled_seconds += self.model.compute(flops) * factor;
+        c.modeled_seconds += dur;
+        self.trace_op(
+            EventKind::Compute,
+            Phase::LocalCompute,
+            None,
+            0,
+            0,
+            flops,
+            dur,
+        );
     }
 
     fn slow_factor(&mut self) -> f64 {

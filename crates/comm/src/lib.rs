@@ -25,6 +25,12 @@
 //!   returns a [`WorldError`] naming the panicking rank, the injected
 //!   crash, or a [`DeadlockReport`] from the built-in watchdog instead
 //!   of hanging or aborting opaquely.
+//! * Tracing — [`ThreadWorld::with_tracing`] arms a per-rank
+//!   [`gnn_trace::RankTracer`]; every op above then also emits a
+//!   structured event on the rank's modeled-time axis, and
+//!   [`ThreadWorld::try_run_traced`] returns the collected
+//!   [`gnn_trace::WorldTrace`] alongside the stats (re-exported here as
+//!   [`trace`]).
 
 pub mod cost;
 pub mod ctx;
@@ -36,9 +42,13 @@ pub mod world;
 
 pub(crate) mod watchdog;
 
+/// The observability crate, re-exported for downstream convenience.
+pub use gnn_trace as trace;
+
 pub use cost::CostModel;
 pub use ctx::RankCtx;
 pub use error::{BlockedRank, DeadlockReport, WaitKind, WorldError};
 pub use fault::{Fault, FaultInjector, FaultPlan, SendFate};
+pub use gnn_trace::{SpanKind, WorldTrace};
 pub use stats::{FaultCounters, Phase, RankStats, WorldStats};
 pub use world::ThreadWorld;

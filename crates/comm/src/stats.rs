@@ -6,46 +6,10 @@
 //! epoch time (max over ranks), per-phase breakdowns (Fig. 4/5), and
 //! communication load imbalance (Table 2).
 
-/// The phases of the paper's timing breakdown.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Phase {
-    /// Local SpMM/GEMM work, plus gather/pack/allocate time (the paper
-    /// folds packing into "local computation").
-    LocalCompute,
-    /// The sparsity-aware row exchange (1D algorithm).
-    AllToAll,
-    /// The sparsity-oblivious block-row broadcast.
-    Bcast,
-    /// Partial-result reduction (1.5D algorithm; weight-gradient reduce).
-    AllReduce,
-    /// Point-to-point Isend/Recv traffic (1.5D stage loop).
-    P2p,
-    /// Anything else.
-    Other,
-}
-
-/// All phases, in breakdown display order.
-pub const PHASES: [Phase; 6] = [
-    Phase::LocalCompute,
-    Phase::AllToAll,
-    Phase::Bcast,
-    Phase::AllReduce,
-    Phase::P2p,
-    Phase::Other,
-];
-
-impl Phase {
-    fn index(self) -> usize {
-        match self {
-            Phase::LocalCompute => 0,
-            Phase::AllToAll => 1,
-            Phase::Bcast => 2,
-            Phase::AllReduce => 3,
-            Phase::P2p => 4,
-            Phase::Other => 5,
-        }
-    }
-}
+// The phase taxonomy lives in `gnn-trace` (shared between stats and the
+// tracer's event schema); re-exported here so existing `gnn_comm::Phase`
+// paths keep working.
+pub use gnn_trace::{Phase, PHASES};
 
 /// Counters for one phase on one rank.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -94,6 +58,11 @@ pub struct FaultCounters {
     pub corruptions_detected: u64,
     /// Link-layer retransmissions this rank performed (drops + corruptions).
     pub retries: u64,
+    /// Extra wire bytes those retransmissions moved. Kept out of the
+    /// per-phase `bytes_sent` counters so logical communication volumes
+    /// (the paper's Table 2 quantities) are unaffected by fault
+    /// injection.
+    pub retransmit_bytes: u64,
     /// Compute ops priced with an injected straggler slowdown.
     pub slowed_ops: u64,
 }
@@ -106,6 +75,7 @@ impl FaultCounters {
         self.corruptions += o.corruptions;
         self.corruptions_detected += o.corruptions_detected;
         self.retries += o.retries;
+        self.retransmit_bytes += o.retransmit_bytes;
         self.slowed_ops += o.slowed_ops;
     }
 
@@ -263,6 +233,61 @@ impl WorldStats {
             .iter()
             .map(|r| r.faults.injected_total())
             .sum()
+    }
+
+    /// Sum over ranks of extra wire bytes moved by fault-injected
+    /// retransmissions (not part of any phase's logical volume).
+    pub fn total_retransmit_bytes(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.faults.retransmit_bytes)
+            .sum()
+    }
+
+    /// Flattens the world's accounting into a [`gnn_trace::MetricsRegistry`]
+    /// — the unification point between `RankStats` and the trace/metrics
+    /// artifacts (`--metrics-out`).
+    pub fn to_metrics(&self) -> gnn_trace::MetricsRegistry {
+        let mut reg = gnn_trace::MetricsRegistry::new();
+        reg.counter("world.ranks", self.p() as u64);
+        reg.gauge("world.modeled_epoch_seconds", self.modeled_epoch_time());
+        reg.gauge(
+            "world.modeled_epoch_seconds_overlapped",
+            self.modeled_epoch_time_overlapped(),
+        );
+        reg.counter("faults.retries", self.total_retries());
+        reg.counter("faults.injected", self.total_injected_faults());
+        reg.counter("faults.retransmit_bytes", self.total_retransmit_bytes());
+        for p in PHASES {
+            let name = p.name();
+            reg.counter(
+                format!("phase.bytes_sent{{phase={name}}}"),
+                self.phase_bytes_total(p),
+            );
+            reg.counter(
+                format!("phase.bytes_recv{{phase={name}}}"),
+                self.phase_recv_bytes_total(p),
+            );
+            reg.gauge(
+                format!("phase.max_seconds{{phase={name}}}"),
+                self.phase_time(p),
+            );
+            reg.gauge(
+                format!("phase.send_imbalance_pct{{phase={name}}}"),
+                self.send_imbalance_pct(p),
+            );
+        }
+        for (rank, r) in self.per_rank.iter().enumerate() {
+            reg.gauge(
+                format!("rank.modeled_seconds{{rank={rank}}}"),
+                r.modeled_total(),
+            );
+            reg.counter(
+                format!("rank.bytes_sent{{rank={rank}}}"),
+                r.bytes_sent_total(),
+            );
+        }
+        reg
     }
 
     /// Element-wise merge (accumulate multiple epochs/runs).

@@ -21,6 +21,8 @@ use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Duration;
 
+use gnn_trace::{RankTracer, WorldTrace};
+
 use crate::cost::CostModel;
 use crate::ctx::RankCtx;
 use crate::error::{CrashPanic, DeadlockPanic, WorldError};
@@ -36,6 +38,7 @@ pub struct ThreadWorld {
     model: CostModel,
     timeout: Duration,
     injector: Option<Arc<FaultInjector>>,
+    tracing: bool,
 }
 
 impl ThreadWorld {
@@ -54,6 +57,7 @@ impl ThreadWorld {
             model,
             timeout: Self::DEFAULT_TIMEOUT,
             injector: None,
+            tracing: false,
         }
     }
 
@@ -97,6 +101,21 @@ impl ThreadWorld {
         self.injector.as_ref()
     }
 
+    /// Enables structured tracing: each rank records a span/event
+    /// timeline into a private [`RankTracer`], collected after the run
+    /// into the [`WorldTrace`] returned by
+    /// [`ThreadWorld::try_run_traced`]. Off by default (zero overhead).
+    #[must_use]
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// True when tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
     /// Runs `f` on every rank; returns rank-indexed results and stats.
     ///
     /// `f` must be deterministic per rank and must execute a consistent
@@ -122,6 +141,19 @@ impl ThreadWorld {
     /// Runs `f` on every rank, converting any rank failure into a
     /// structured [`WorldError`] instead of a panic.
     pub fn try_run<R, F>(&self, f: F) -> Result<(Vec<R>, WorldStats), WorldError>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        self.try_run_traced(f).map(|(outs, stats, _)| (outs, stats))
+    }
+
+    /// Like [`ThreadWorld::try_run`], but also returns the collected
+    /// [`WorldTrace`] when tracing is enabled (`None` otherwise).
+    pub fn try_run_traced<R, F>(
+        &self,
+        f: F,
+    ) -> Result<(Vec<R>, WorldStats, Option<WorldTrace>), WorldError>
     where
         R: Send,
         F: Fn(&mut RankCtx) -> R + Sync,
@@ -157,11 +189,13 @@ impl ThreadWorld {
                     barrier.clone(),
                     watchdog.clone(),
                     self.injector.clone(),
+                    self.tracing.then(|| Box::new(RankTracer::new(rank))),
                 )
             })
             .collect();
 
-        let mut results: Vec<Option<(R, crate::stats::RankStats)>> = (0..p).map(|_| None).collect();
+        type RankOut<R> = (R, crate::stats::RankStats, Option<Box<RankTracer>>);
+        let mut results: Vec<Option<RankOut<R>>> = (0..p).map(|_| None).collect();
         let mut failures: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
 
         std::thread::scope(|s| {
@@ -173,7 +207,8 @@ impl ThreadWorld {
                     .spawn_scoped(s, move || {
                         let mut ctx = ctx;
                         let out = f(&mut ctx);
-                        *slot = Some((out, ctx.into_stats()));
+                        let (stats, tracer) = ctx.into_parts();
+                        *slot = Some((out, stats, tracer));
                     })
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
@@ -191,12 +226,17 @@ impl ThreadWorld {
 
         let mut outs = Vec::with_capacity(p);
         let mut stats = Vec::with_capacity(p);
+        let mut tracers = Vec::with_capacity(p);
         for slot in results {
-            let (r, st) = slot.expect("rank produced no result");
+            let (r, st, tr) = slot.expect("rank produced no result");
             outs.push(r);
             stats.push(st);
+            if let Some(t) = tr {
+                tracers.push(*t);
+            }
         }
-        Ok((outs, WorldStats::new(stats)))
+        let trace = (self.tracing && tracers.len() == p).then(|| WorldTrace::collect(tracers));
+        Ok((outs, WorldStats::new(stats), trace))
     }
 }
 
@@ -600,6 +640,7 @@ mod tests {
             barrier,
             watchdog,
             None,
+            None,
         );
         ctx.send(0, Payload::Empty);
     }
@@ -674,8 +715,12 @@ mod tests {
         assert_eq!(r0.retries, 1);
         assert_eq!(stats.per_rank[1].faults.drops, 0);
         assert_eq!(stats.total_retries(), 1);
-        // The retransmission costs modeled time but not logical bytes.
+        // The retransmission costs modeled time and wire bytes (counted
+        // separately), but never logical volume.
         assert_eq!(stats.per_rank[0].phase(Phase::P2p).bytes_sent, 8);
+        assert_eq!(r0.retransmit_bytes, 8);
+        assert_eq!(stats.per_rank[1].faults.retransmit_bytes, 0);
+        assert_eq!(stats.total_retransmit_bytes(), 8);
         assert!(
             stats.per_rank[0].phase(Phase::P2p).modeled_seconds
                 > stats.per_rank[1].phase(Phase::P2p).modeled_seconds

@@ -6,7 +6,7 @@
 //! the scheme under evaluation.
 
 use gnn_comm::msg::Payload;
-use gnn_comm::RankCtx;
+use gnn_comm::{Phase, RankCtx, SpanKind};
 use spmat::spmm::{spmm_acc, spmm_flops};
 use spmat::Dense;
 
@@ -39,6 +39,7 @@ pub fn spmm_1d_oblivious_buf(
         rp.row_hi - rp.row_lo,
         "local H block shape mismatch"
     );
+    ctx.span_begin(SpanKind::Spmm1d, Phase::Bcast);
 
     // Assemble the full H via p broadcasts (the paper's CAGNET baseline).
     let mut h_full = bufs.take_dense(plan.n, f);
@@ -68,6 +69,7 @@ pub fn spmm_1d_oblivious_buf(
     let flops = spmm_flops(&rp.block, f);
     ctx.compute(flops, || spmm_acc(&rp.block, &h_full, &mut z));
     bufs.put_dense(h_full);
+    ctx.span_end();
     z
 }
 
@@ -97,6 +99,7 @@ pub fn spmm_1d_aware_buf(
         rp.row_hi - lo,
         "local H block shape mismatch"
     );
+    ctx.span_begin(SpanKind::Spmm1d, Phase::AllToAll);
 
     // Pack: gather the rows each peer asked for (parallel row gather).
     let mut pack_elems = 0u64;
@@ -149,6 +152,7 @@ pub fn spmm_1d_aware_buf(
     let flops = spmm_flops(&rp.block_compact, f);
     ctx.compute(flops, || spmm_acc(&rp.block_compact, &h_tilde, &mut z));
     bufs.put_dense(h_tilde);
+    ctx.span_end();
     z
 }
 

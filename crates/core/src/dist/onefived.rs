@@ -11,7 +11,7 @@
 //! oblivious variant ships the whole block.
 
 use gnn_comm::msg::Payload;
-use gnn_comm::RankCtx;
+use gnn_comm::{Phase, RankCtx, SpanKind};
 use spmat::spmm::{spmm_acc, spmm_flops};
 use spmat::Dense;
 
@@ -41,6 +41,7 @@ pub fn spmm_15d_buf(
     let f = h_local.cols();
     let rows_i = rp.row_hi - rp.row_lo;
     assert_eq!(h_local.rows(), rows_i, "local H block shape mismatch");
+    ctx.span_begin(SpanKind::Spmm15d, Phase::P2p);
 
     // Phase 1: designated senders ship block-row data to their column.
     if !rp.send_lists.is_empty() {
@@ -112,6 +113,7 @@ pub fn spmm_15d_buf(
     // Phase 3: sum partials across the process row.
     let group: Vec<usize> = (0..plan.c).map(|j| plan.rank_of(rp.i, j)).collect();
     ctx.allreduce_sum(partial.data_mut(), &group);
+    ctx.span_end();
     partial
 }
 

@@ -21,7 +21,10 @@
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use gnn_comm::{CostModel, FaultInjector, FaultPlan, RankCtx, ThreadWorld, WorldError, WorldStats};
+use gnn_comm::{
+    CostModel, FaultInjector, FaultPlan, Phase, RankCtx, SpanKind, ThreadWorld, WorldError,
+    WorldStats, WorldTrace,
+};
 use spmat::dataset::Dataset;
 use spmat::Dense;
 
@@ -111,6 +114,10 @@ pub struct DistConfig {
     pub model: CostModel,
     /// Fault injection / checkpointing / watchdog settings.
     pub robust: RobustnessConfig,
+    /// Record a structured span/event trace of the run (epoch →
+    /// forward/loss/backward → SpMM, plus every communication op).
+    /// Off by default: steady-state epochs then do no tracing work.
+    pub trace: bool,
 }
 
 impl DistConfig {
@@ -122,6 +129,7 @@ impl DistConfig {
             epochs,
             model,
             robust: RobustnessConfig::default(),
+            trace: false,
         }
     }
 }
@@ -138,6 +146,9 @@ pub struct DistOutcome {
     pub stats: WorldStats,
     /// How many times the world was torn down and resumed.
     pub restarts: usize,
+    /// Structured trace of the completed attempt (when
+    /// [`DistConfig::trace`] was set).
+    pub trace: Option<WorldTrace>,
 }
 
 /// A consistent snapshot of the replicated training state. Weights and
@@ -216,18 +227,21 @@ pub fn try_train_distributed(
     let mut restarts = 0;
 
     loop {
-        let mut world = ThreadWorld::new(p, cfg.model).with_timeout(cfg.robust.timeout);
+        let mut world = ThreadWorld::new(p, cfg.model)
+            .with_timeout(cfg.robust.timeout)
+            .with_tracing(cfg.trace);
         if let Some(inj) = &injector {
             world = world.with_injector(inj.clone());
         }
-        match world.try_run(|ctx| run_rank(ctx, ds, cfg, &plan, &checkpoint)) {
-            Ok((mut results, stats)) => {
+        match world.try_run_traced(|ctx| run_rank(ctx, ds, cfg, &plan, &checkpoint)) {
+            Ok((mut results, stats, trace)) => {
                 let (records, weights) = results.swap_remove(0);
                 return Ok(DistOutcome {
                     records,
                     weights,
                     stats,
                     restarts,
+                    trace,
                 });
             }
             Err(e) if e.is_recoverable() && restarts < cfg.robust.max_restarts => {
@@ -308,7 +322,9 @@ fn run_rank(
 
     for epoch in start_epoch..cfg.epochs {
         ctx.set_epoch(epoch);
+        ctx.span_begin(SpanKind::Epoch, Phase::Other);
         // ---- forward ----
+        ctx.span_begin(SpanKind::Forward, Phase::Other);
         let mut h0_epoch = bufs.take_dense(rows, dims[0]);
         h0_epoch.data_mut().copy_from_slice(h0.data());
         hs.push(h0_epoch);
@@ -342,8 +358,10 @@ fn run_rank(
             hs.push(h);
             ahs.push(ah);
         }
+        ctx.span_end();
 
         // ---- loss / metrics ----
+        ctx.span_begin(SpanKind::Loss, Phase::Other);
         let logits = &hs[l_total];
         let (loss_sum, count, grad_sum) = softmax_cross_entropy_sums(logits, labels, mask);
         let correct = {
@@ -361,8 +379,10 @@ fn run_rank(
                 0.0
             },
         });
+        ctx.span_end();
 
         // ---- backward ----
+        ctx.span_begin(SpanKind::Backward, Phase::Other);
         // True (unreplicated) masked count normalizes the gradient.
         let denom = (g_count / c_rep).max(1.0);
         let mut g = grad_sum;
@@ -432,6 +452,7 @@ fn run_rank(
         }
         grads.reverse();
         optimizer.step(&mut weights, &grads);
+        ctx.span_end();
 
         // ---- retire epoch temporaries ----
         bufs.put_dense(g);
@@ -470,6 +491,7 @@ fn run_rank(
                 }
             }
         }
+        ctx.span_end(); // epoch
     }
     (records, weights)
 }

@@ -24,7 +24,7 @@
 //! tall-skinny GNN operands (the reduction doesn't shrink with `pc`).
 
 use gnn_comm::msg::Payload;
-use gnn_comm::RankCtx;
+use gnn_comm::{Phase, RankCtx, SpanKind};
 use spmat::spmm::{spmm_acc, spmm_flops};
 use spmat::{Csr, Dense};
 
@@ -183,6 +183,7 @@ pub fn spmm_2d_buf(
     let fw = h_local.cols();
     let rows_i = rp.row_hi - rp.row_lo;
     assert_eq!(h_local.rows(), rows_i, "local H block shape mismatch");
+    ctx.span_begin(SpanKind::Spmm2d, Phase::P2p);
 
     // Send phase: ship our block's rows to every grid-row peer in our
     // column (they consume block row i at their stage k = i).
@@ -243,6 +244,7 @@ pub fn spmm_2d_buf(
         ctx.compute(flops, || spmm_acc(block, &h_stage, &mut z));
         bufs.put_dense(h_stage);
     }
+    ctx.span_end();
     z
 }
 

@@ -1,0 +1,296 @@
+//! Trace exporters: JSONL event logs, Chrome `trace_event` JSON
+//! (loadable in `chrome://tracing` / Perfetto), and a per-epoch text
+//! timeline.
+//!
+//! All exporters are deterministic: events are emitted in `(rank, seq)`
+//! order, numbers use Rust's shortest-roundtrip formatting, and no wall
+//! time ever reaches an exported field — two runs of the seeded
+//! simulator produce byte-identical artifacts.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, NO_PARENT, NO_PEER};
+use crate::json::{fmt_f64, quote};
+use crate::phase::{Phase, PHASES};
+use crate::recorder::WorldTrace;
+use crate::SCHEMA_VERSION;
+
+/// Renders a trace as JSONL: a header line
+/// `{"type":"header","schema":…,"p":…,"events":…}` followed by one
+/// event object per line in `(rank, seq)` order.
+pub fn jsonl_string(trace: &WorldTrace) -> String {
+    let mut out = String::with_capacity(128 + trace.len() * 160);
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"header\",\"schema\":{},\"p\":{},\"events\":{}}}",
+        quote(SCHEMA_VERSION),
+        trace.p(),
+        trace.len()
+    );
+    for events in &trace.per_rank {
+        for e in events {
+            write_event_json(&mut out, e);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn write_event_json(out: &mut String, e: &Event) {
+    let _ = write!(
+        out,
+        "{{\"type\":\"event\",\"rank\":{},\"seq\":{},",
+        e.rank, e.seq
+    );
+    if e.parent != NO_PARENT {
+        let _ = write!(out, "\"parent\":{},", e.parent);
+    }
+    let _ = write!(
+        out,
+        "\"epoch\":{},\"kind\":{},\"phase\":{},",
+        e.epoch,
+        quote(e.kind.name()),
+        quote(e.phase.name())
+    );
+    if e.peer != NO_PEER {
+        let _ = write!(out, "\"peer\":{},", e.peer);
+    }
+    if e.bytes_sent > 0 {
+        let _ = write!(out, "\"bytes_sent\":{},", e.bytes_sent);
+    }
+    if e.bytes_recv > 0 {
+        let _ = write!(out, "\"bytes_recv\":{},", e.bytes_recv);
+    }
+    if e.flops > 0 {
+        let _ = write!(out, "\"flops\":{},", e.flops);
+    }
+    let _ = write!(
+        out,
+        "\"ts\":{},\"dur\":{}}}",
+        fmt_f64(e.t_start),
+        fmt_f64(e.dur)
+    );
+}
+
+/// Renders a trace as Chrome `trace_event` JSON (the "JSON Array
+/// Format" with a `traceEvents` wrapper). Open the file in
+/// `chrome://tracing` or <https://ui.perfetto.dev>: each rank appears
+/// as a thread, spans and ops as nested slices on the modeled-time
+/// axis (microseconds).
+pub fn chrome_trace_string(trace: &WorldTrace) -> String {
+    let mut out = String::with_capacity(256 + trace.len() * 192);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    for rank in 0..trace.p() {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\
+             \"args\":{{\"name\":\"rank {rank}\"}}}}"
+        );
+    }
+    for events in &trace.per_rank {
+        for e in events {
+            sep(&mut out);
+            write_chrome_event(&mut out, e);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn write_chrome_event(out: &mut String, e: &Event) {
+    // Complete ("X") slices for everything with duration; instant
+    // ("i") marks for zero-duration ops (barriers, unpriced gathers).
+    let ts_us = e.t_start * 1e6;
+    let dur_us = e.dur * 1e6;
+    let name = e.kind.name();
+    if e.dur > 0.0 || e.kind.is_span() {
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{}",
+            quote(name),
+            quote(e.phase.name()),
+            e.rank,
+            fmt_f64(ts_us),
+            fmt_f64(dur_us)
+        );
+    } else {
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{}",
+            quote(name),
+            quote(e.phase.name()),
+            e.rank,
+            fmt_f64(ts_us)
+        );
+    }
+    let _ = write!(out, ",\"args\":{{\"epoch\":{}", e.epoch);
+    if e.peer != NO_PEER {
+        let _ = write!(out, ",\"peer\":{}", e.peer);
+    }
+    if e.bytes_sent > 0 {
+        let _ = write!(out, ",\"bytes_sent\":{}", e.bytes_sent);
+    }
+    if e.bytes_recv > 0 {
+        let _ = write!(out, ",\"bytes_recv\":{}", e.bytes_recv);
+    }
+    if e.flops > 0 {
+        let _ = write!(out, ",\"flops\":{}", e.flops);
+    }
+    out.push_str("}}");
+}
+
+/// Renders a per-epoch text timeline: for every epoch, one line per
+/// rank with its per-phase modeled milliseconds and send volume, the
+/// bottleneck rank marked `◀ max`.
+pub fn text_timeline(trace: &WorldTrace) -> String {
+    let mut out = String::new();
+    let max_epoch = trace.max_epoch();
+    let _ = writeln!(
+        out,
+        "trace timeline: {} rank(s), {} event(s), epochs 0..={max_epoch}",
+        trace.p(),
+        trace.len()
+    );
+    for epoch in 0..=max_epoch.max(-1) {
+        if max_epoch < 0 {
+            break;
+        }
+        let _ = writeln!(out, "epoch {epoch}");
+        let _ = writeln!(
+            out,
+            "  {:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "rank", "total ms", "compute ms", "comm ms", "sent KB", "recv KB"
+        );
+        let mut worst = (0usize, f64::MIN);
+        let rows: Vec<_> = (0..trace.p())
+            .map(|r| {
+                let agg = trace.phase_aggregates(r, Some(epoch));
+                let total: f64 = agg.iter().map(|a| a.seconds).sum();
+                let compute = agg[Phase::LocalCompute.index()].seconds;
+                let sent: u64 = agg.iter().map(|a| a.bytes_sent).sum();
+                let recv: u64 = agg.iter().map(|a| a.bytes_recv).sum();
+                if total > worst.1 {
+                    worst = (r, total);
+                }
+                (r, total, compute, sent, recv)
+            })
+            .collect();
+        for (r, total, compute, sent, recv) in rows {
+            let _ = writeln!(
+                out,
+                "  {:>4}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.1}  {:>10.1}{}",
+                r,
+                total * 1e3,
+                compute * 1e3,
+                (total - compute) * 1e3,
+                sent as f64 / 1024.0,
+                recv as f64 / 1024.0,
+                if r == worst.0 { "  ◀ max" } else { "" }
+            );
+        }
+    }
+    let mut any = false;
+    for p in PHASES {
+        let b = trace.phase_bytes_total(p);
+        if b > 0 {
+            if !any {
+                let _ = writeln!(out, "phase volumes (all ranks, all epochs):");
+                any = true;
+            }
+            let _ = writeln!(out, "  {:<14} {:>12} bytes", p.name(), b);
+        }
+    }
+    out
+}
+
+/// Writes one of the exporter outputs to a file, creating parent
+/// directories as needed.
+pub fn write_to_file(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, SpanKind};
+    use crate::recorder::RankTracer;
+
+    fn tiny_trace() -> WorldTrace {
+        let mut t0 = RankTracer::new(0);
+        t0.set_epoch(0);
+        t0.begin_span(SpanKind::Epoch, Phase::Other);
+        t0.op(EventKind::Send, Phase::P2p, Some(1), 64, 0, 0, 1e-4);
+        t0.op(EventKind::Barrier, Phase::Other, None, 0, 0, 0, 0.0);
+        t0.end_span();
+        let mut t1 = RankTracer::new(1);
+        t1.set_epoch(0);
+        t1.op(EventKind::Recv, Phase::P2p, Some(0), 0, 64, 0, 1e-4);
+        WorldTrace::collect(vec![t0, t1])
+    }
+
+    #[test]
+    fn jsonl_every_line_parses() {
+        let s = jsonl_string(&tiny_trace());
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 1 + 4); // header + 3 rank-0 events + 1 recv
+        let header = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(header.get("schema").unwrap().as_str(), Some(SCHEMA_VERSION));
+        assert_eq!(header.get("p").unwrap().as_u64(), Some(2));
+        for line in &lines[1..] {
+            let v = crate::json::parse(line).unwrap();
+            assert_eq!(v.get("type").unwrap().as_str(), Some("event"));
+            assert!(v.get("kind").is_some() && v.get("ts").is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_thread_names() {
+        let s = chrome_trace_string(&tiny_trace());
+        let v = crate::json::parse(&s).unwrap();
+        let evs = match v.get("traceEvents").unwrap() {
+            crate::json::Json::Arr(a) => a,
+            other => panic!("{other:?}"),
+        };
+        // 2 thread_name metadata + 3 rank-0 + 1 rank-1 events.
+        assert_eq!(evs.len(), 6);
+        assert!(evs
+            .iter()
+            .any(|e| e.get("ph").unwrap().as_str() == Some("M")));
+        // Zero-duration barrier becomes an instant event.
+        assert!(evs
+            .iter()
+            .any(|e| e.get("ph").unwrap().as_str() == Some("i")));
+    }
+
+    #[test]
+    fn text_timeline_marks_bottleneck() {
+        let s = text_timeline(&tiny_trace());
+        assert!(s.contains("epoch 0"), "{s}");
+        assert!(s.contains("◀ max"), "{s}");
+        assert!(s.contains("p2p"), "{s}");
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = jsonl_string(&tiny_trace());
+        let b = jsonl_string(&tiny_trace());
+        assert_eq!(a, b);
+        assert_eq!(
+            chrome_trace_string(&tiny_trace()),
+            chrome_trace_string(&tiny_trace())
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! A minimal, dependency-free JSON reader/writer helper.
+//!
+//! The build environment is fully offline (no serde); traces are
+//! written by hand-rolled formatters and read back by this parser. It
+//! supports the full JSON grammar the exporters emit — objects, arrays,
+//! strings with escapes, numbers, booleans, null — which is enough to
+//! validate any line of a trace and to reload events in `trace-report`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (f64 is exact for every count a trace can hold).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (sorted map: key order does not affect equality).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member of an object, if this is an object and the key exists.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer value, if this is a number with no fractional part.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer value.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|v| u64::try_from(v).ok())
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse error with a byte offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError {
+    /// Byte offset of the error in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(s: &str) -> Result<Json, JsonError> {
+    let b = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(err(pos, "trailing content after document"));
+    }
+    Ok(v)
+}
+
+fn err(at: usize, msg: &str) -> JsonError {
+    JsonError {
+        at,
+        msg: msg.to_string(),
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, &format!("expected '{}'", c as char)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(err(*pos, &format!("expected '{lit}'")))
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(b, pos, b'{')?;
+    let mut m = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(m));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        m.insert(key, val);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(m));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(b, pos, b'[')?;
+    let mut v = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(v));
+    }
+    loop {
+        v.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(v));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(b, pos, b'"')?;
+    let mut s = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(s);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b'b') => s.push('\u{8}'),
+                    Some(b'f') => s.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex =
+                            std::str::from_utf8(hex).map_err(|_| err(*pos, "bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        // Surrogates are not emitted by our writers; map
+                        // them to the replacement char on read.
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar.
+                let start = *pos;
+                let mut end = start + 1;
+                while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                    end += 1;
+                }
+                s.push_str(
+                    std::str::from_utf8(&b[start..end]).map_err(|_| err(start, "bad UTF-8"))?,
+                );
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| err(start, "bad number"))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| err(start, "bad number"))
+}
+
+/// Quotes and escapes a string for JSON output.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number. Rust's shortest-roundtrip `{}`
+/// formatting is deterministic; non-finite values (which no exporter
+/// should produce) become `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_object() {
+        let v = parse(r#"{"a":1,"b":[true,null,"x\"y"],"c":{"d":-2.5e-3}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        let arr = match v.get("b").unwrap() {
+            Json::Arr(a) => a,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(arr[0], Json::Bool(true));
+        assert_eq!(arr[1], Json::Null);
+        assert_eq!(arr[2].as_str(), Some("x\"y"));
+        assert_eq!(
+            v.get("c").unwrap().get("d").unwrap().as_f64(),
+            Some(-0.0025)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} extra").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn quote_escapes() {
+        assert_eq!(quote("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        let q = quote("\u{1}");
+        assert_eq!(q, "\"\\u0001\"");
+        assert_eq!(parse(&q).unwrap().as_str(), Some("\u{1}"));
+    }
+
+    #[test]
+    fn fmt_f64_roundtrips() {
+        for v in [0.0, 1.5, -2.25e-9, 123456.789] {
+            let s = fmt_f64(v);
+            assert_eq!(s.parse::<f64>().unwrap(), v, "{s}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let v = parse("{\"k\":\"héllo→\"}").unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some("héllo→"));
+    }
+}

@@ -1,0 +1,312 @@
+//! A small metrics registry: counters, gauges, and fixed-bucket
+//! histograms with deterministic JSON output.
+//!
+//! The registry is *not* a hot-path structure — per-op accounting stays
+//! in `RankStats` and the tracer's preallocated histograms; the registry
+//! is the end-of-run unification point where stats, trace aggregates,
+//! and run metadata become one queryable, exportable model (the
+//! `--metrics-out` artifact).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A fixed-bucket histogram over `u64` samples (message sizes, volumes).
+///
+/// Buckets are `(-∞, bounds[0]], (bounds[0], bounds[1]], …, (last, ∞)`;
+/// all storage is preallocated at construction, so [`Histogram::record`]
+/// never allocates and is safe on the steady-state path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len() + 1;
+        Self {
+            bounds,
+            counts: vec![0; n],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Power-of-two byte buckets from 64 B to 64 MiB — the message-size
+    /// distribution's default shape.
+    pub fn pow2_bytes() -> Self {
+        Self::new((6..=26).map(|e| 1u64 << e).collect())
+    }
+
+    /// Records one sample. Never allocates.
+    pub fn record(&mut self, v: u64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Merges another histogram with identical bounds.
+    ///
+    /// # Panics
+    /// Panics on a bounds mismatch.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"bounds\":[");
+        for (i, b) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("],\"counts\":[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        let _ = write!(
+            out,
+            "],\"count\":{},\"sum\":{},\"max\":{}}}",
+            self.count, self.sum, self.max
+        );
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotone count.
+    Counter(u64),
+    /// Point-in-time value.
+    Gauge(f64),
+    /// Distribution.
+    Hist(Histogram),
+}
+
+/// A named collection of metrics. Keys are dotted paths with optional
+/// `{label=value}` suffixes (e.g. `comm.bytes_sent{rank=3,phase=p2p}`);
+/// iteration and JSON output are in sorted key order, so two identical
+/// runs serialize identically.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    map: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (or overwrites) a counter.
+    pub fn counter(&mut self, key: impl Into<String>, v: u64) {
+        self.map.insert(key.into(), MetricValue::Counter(v));
+    }
+
+    /// Adds to a counter, creating it at zero first.
+    pub fn add(&mut self, key: impl Into<String>, v: u64) {
+        match self
+            .map
+            .entry(key.into())
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(c) => *c += v,
+            other => panic!("metric is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets (or overwrites) a gauge.
+    pub fn gauge(&mut self, key: impl Into<String>, v: f64) {
+        self.map.insert(key.into(), MetricValue::Gauge(v));
+    }
+
+    /// Inserts a histogram.
+    pub fn hist(&mut self, key: impl Into<String>, h: Histogram) {
+        self.map.insert(key.into(), MetricValue::Hist(h));
+    }
+
+    /// Looks up a metric.
+    pub fn get(&self, key: &str) -> Option<&MetricValue> {
+        self.map.get(key)
+    }
+
+    /// Convenience: counter value (None if absent or a different type).
+    pub fn counter_value(&self, key: &str) -> Option<u64> {
+        match self.map.get(key) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Convenience: gauge value (None if absent or a different type).
+    pub fn gauge_value(&self, key: &str) -> Option<f64> {
+        match self.map.get(key) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates metrics in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Deterministic JSON rendering:
+    /// `{"schema":"gnn-trace/1","metrics":{key:value,…}}` with counters
+    /// as integers, gauges as floats, histograms as objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.map.len() * 48);
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{}\",\"metrics\":{{",
+            crate::SCHEMA_VERSION
+        );
+        for (i, (k, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:", crate::json::quote(k));
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = write!(out, "{c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = write!(out, "{}", crate::json::fmt_f64(*g));
+                }
+                MetricValue::Hist(h) => h.write_json(&mut out),
+            }
+        }
+        out.push_str("}}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_half_open() {
+        let mut h = Histogram::new(vec![10, 100]);
+        for v in [0, 10, 11, 100, 101, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 5000);
+        assert_eq!(h.sum(), 10 + 11 + 100 + 101 + 5000);
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = Histogram::pow2_bytes();
+        let mut b = Histogram::pow2_bytes();
+        a.record(100);
+        b.record(1 << 20);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds mismatch")]
+    fn histogram_merge_rejects_different_shapes() {
+        let mut a = Histogram::new(vec![1]);
+        a.merge(&Histogram::new(vec![2]));
+    }
+
+    #[test]
+    fn registry_json_is_sorted_and_parseable() {
+        let mut r = MetricsRegistry::new();
+        r.counter("z.last", 3);
+        r.gauge("a.first", 1.5);
+        let mut h = Histogram::new(vec![8]);
+        h.record(4);
+        r.hist("m.hist", h);
+        let js = r.to_json();
+        // Sorted: a.first before m.hist before z.last.
+        let a = js.find("a.first").unwrap();
+        let m = js.find("m.hist").unwrap();
+        let z = js.find("z.last").unwrap();
+        assert!(a < m && m < z, "{js}");
+        crate::json::parse(&js).expect("valid JSON");
+    }
+
+    #[test]
+    fn add_creates_and_accumulates() {
+        let mut r = MetricsRegistry::new();
+        r.add("c", 2);
+        r.add("c", 3);
+        assert_eq!(r.counter_value("c"), Some(5));
+        assert_eq!(r.counter_value("missing"), None);
+    }
+}
