@@ -8,7 +8,8 @@
 //!       [--epochs N] [--scale N] [--seed N]
 //!       [--inject-crash RANK@EPOCH] [--slow-rank RANK:FACTOR]
 //!       [--drop-prob X] [--corrupt-prob X] [--fault-seed N]
-//!       [--checkpoint-every N] [--max-restarts N] [--watchdog-ms N]
+//!       [--failover] [--checkpoint-every N] [--max-restarts N]
+//!       [--watchdog-ms N]
 //!       [--trace [PREFIX]] [--trace-format jsonl|chrome|both]
 //!       [--metrics-out FILE]
 //! ```
@@ -17,7 +18,9 @@
 //! trajectory and the modeled communication/compute cost summary. The
 //! fault flags rehearse degraded conditions: injected crashes trigger
 //! checkpoint/restart, link faults exercise the retry path, and the
-//! watchdog bounds every hang.
+//! watchdog bounds every hang. With `--failover` (1.5D only) a crashed
+//! rank's same-row replica takes over in place and the epoch finishes
+//! on the shrunken grid — no world restart, bit-identical weights.
 //!
 //! `--trace` arms the structured tracer: every comm op and trainer
 //! phase is recorded on each rank's modeled-time axis, artifacts land
@@ -58,6 +61,7 @@ struct Args {
     drop_prob: f64,
     corrupt_prob: f64,
     fault_seed: u64,
+    failover: bool,
     checkpoint_every: usize,
     max_restarts: usize,
     watchdog_ms: u64,
@@ -88,6 +92,7 @@ fn parse() -> Result<Args, String> {
         drop_prob: 0.0,
         corrupt_prob: 0.0,
         fault_seed: 0,
+        failover: false,
         checkpoint_every: 5,
         max_restarts: 2,
         watchdog_ms: 30_000,
@@ -203,6 +208,7 @@ fn parse() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --fault-seed: {e}"))?
             }
+            "--failover" => a.failover = true,
             "--checkpoint-every" => {
                 a.checkpoint_every = next(&mut it, "--checkpoint-every")?
                     .parse()
@@ -249,7 +255,7 @@ fn usage() -> String {
      [--partitioner block|random|metis|gvb] [--p N] [--arch gcn|sage] \
      [--opt sgd|adam] [--lr X] [--epochs N] [--scale N] [--seed N] \
      [--inject-crash RANK@EPOCH] [--slow-rank RANK:FACTOR] [--drop-prob X] \
-     [--corrupt-prob X] [--fault-seed N] [--checkpoint-every N] \
+     [--corrupt-prob X] [--fault-seed N] [--failover] [--checkpoint-every N] \
      [--max-restarts N] [--watchdog-ms N] [--threads N] \
      [--trace [PREFIX]] [--trace-format jsonl|chrome|both] [--metrics-out FILE]"
         .to_string()
@@ -404,11 +410,15 @@ fn main() -> ExitCode {
         CostModel::perlmutter_like().with_threads(threads),
     );
     cfg.trace = args.trace;
+    if args.failover && !args.algo_15d {
+        println!("note: --failover needs 1.5D replication; 1D falls back to checkpoint restart");
+    }
     cfg.robust = RobustnessConfig {
         faults: faulty.then_some(plan),
         checkpoint_every: args.checkpoint_every,
         max_restarts: args.max_restarts,
         timeout: Duration::from_millis(args.watchdog_ms.max(1)),
+        failover: args.failover,
     };
 
     let t2 = Instant::now();
@@ -459,9 +469,10 @@ fn main() -> ExitCode {
             kernel_flops as f64 / kernel_wall / 1e9
         );
     }
-    if faulty || out.restarts > 0 {
+    if faulty || out.restarts > 0 || out.failovers > 0 {
         println!("\n-- fault summary --");
         println!("restarts:          {}", out.restarts);
+        println!("failovers:         {}", out.failovers);
         println!("injected faults:   {}", st.total_injected_faults());
         println!("retries:           {}", st.total_retries());
         for (rank, r) in st.per_rank.iter().enumerate() {

@@ -27,14 +27,29 @@
 //! on a protocol bug, a rank whose wait exceeds the world timeout panics
 //! with a structured [`crate::error::DeadlockReport`] that
 //! [`crate::ThreadWorld::try_run`] converts into
-//! [`crate::WorldError::Deadlock`]. When a [`crate::fault::FaultInjector`]
-//! is attached, the link layer injects delays, transient drops (with
-//! modeled retransmission), corruptions (detected by the receiver,
-//! retransmitted by the sender) and one-shot crashes; injected overheads
-//! are charged to the affected operation's phase and counted in
-//! [`crate::stats::FaultCounters`]. Retransmitted bytes are *not* added
-//! to `bytes_sent`/`bytes_recv`, which stay the logical communication
-//! volumes the paper's tables report.
+//! [`crate::WorldError::Deadlock`].
+//!
+//! Every frame carries a reliable-transport header: a per-channel
+//! sequence number, the failover generation, and an FNV checksum over
+//! the payload computed at send time. The receiver verifies the checksum
+//! (discarding damaged frames and waiting for the retransmission),
+//! discards duplicates by sequence number, and treats an out-of-order
+//! future frame as a transport violation. The sender retries failed
+//! attempts under capped exponential backoff on the modeled-time axis;
+//! all retry overhead — backoff waits, retransmitted wire bytes,
+//! receiver time wasted on discarded frames — is charged to
+//! [`Phase::Retransmit`], never to the op's own phase, so
+//! `bytes_sent`/`bytes_recv` stay the logical communication volumes the
+//! paper's tables report. Injected delays are the one exception: a slow
+//! link is part of the op's real cost and stays on the op's phase.
+//!
+//! In failover mode (`ThreadWorld::with_failover`), a crashed peer does
+//! not kill the world: the survivor that observes the closed channel
+//! broadcasts an `ABORT` control frame and unwinds the epoch attempt
+//! with [`crate::EpochAbortPanic`]; all survivors rendezvous at the
+//! death-aware [`RankCtx::commit_epoch`] barrier and retry the epoch in
+//! the next generation with the shrunken grid. Stale frames from the
+//! aborted generation are discarded by their `gen` stamp.
 
 use std::panic::panic_any;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -44,7 +59,7 @@ use std::time::Instant;
 use gnn_trace::{EventKind, RankTracer, SpanKind};
 
 use crate::cost::CostModel;
-use crate::error::{CrashPanic, DeadlockPanic, WaitKind};
+use crate::error::{ColumnLostPanic, CrashPanic, DeadlockPanic, EpochAbortPanic, WaitKind};
 use crate::fault::FaultInjector;
 use crate::msg::{Msg, Payload};
 use crate::stats::{Phase, RankStats};
@@ -59,6 +74,8 @@ pub(crate) mod tag {
     pub const REDUCE_UP: u8 = 4;
     pub const REDUCE_DOWN: u8 = 5;
     pub const GATHER: u8 = 6;
+    /// Failover control frame: "this generation is aborted".
+    pub const ABORT: u8 = 7;
 }
 
 /// Human-readable tag name for diagnostics.
@@ -70,6 +87,7 @@ pub(crate) fn tag_name(t: u8) -> &'static str {
         tag::REDUCE_UP => "REDUCE_UP",
         tag::REDUCE_DOWN => "REDUCE_DOWN",
         tag::GATHER => "GATHER",
+        tag::ABORT => "ABORT",
         _ => "UNKNOWN",
     }
 }
@@ -89,8 +107,17 @@ pub struct RankCtx {
     epoch: Option<usize>,
     /// Operation counter within the current epoch (fault-plan coordinate).
     op_in_epoch: u64,
-    /// Monotone transmission counter (deterministic fault decisions).
-    send_seq: u64,
+    /// Per-destination next sequence number (monotone across the whole
+    /// run, never reset — stale-frame discipline depends on it).
+    next_seq: Vec<u64>,
+    /// Per-source next expected sequence number.
+    expect_seq: Vec<u64>,
+    /// Failover generation: bumped at each poisoned epoch commit.
+    gen: u32,
+    /// Whether the world tolerates crashes via degraded-mode failover.
+    failover: bool,
+    /// Guard so the ABORT broadcast goes out at most once per generation.
+    abort_sent_gen: Option<u32>,
     stats: RankStats,
     /// Structured event recorder; `None` (a single branch per op) when
     /// tracing is off, so the steady-state path stays allocation-free.
@@ -109,6 +136,7 @@ impl RankCtx {
         watchdog: Arc<Watchdog>,
         injector: Option<Arc<FaultInjector>>,
         tracer: Option<Box<RankTracer>>,
+        failover: bool,
     ) -> Self {
         Self {
             rank,
@@ -121,7 +149,11 @@ impl RankCtx {
             injector,
             epoch: None,
             op_in_epoch: 0,
-            send_seq: 0,
+            next_seq: vec![0; p],
+            expect_seq: vec![0; p],
+            gen: 0,
+            failover,
+            abort_sent_gen: None,
             stats: RankStats::default(),
             tracer,
         }
@@ -216,6 +248,12 @@ impl RankCtx {
     fn maybe_crash(&mut self) {
         if let Some(inj) = &self.injector {
             if inj.crash_due(self.rank, self.epoch, self.op_in_epoch) {
+                if self.failover {
+                    // Register the death *before* unwinding so survivors
+                    // that observe the closed channel (or the shrunken
+                    // commit barrier) can attribute it.
+                    self.watchdog.mark_dead(self.rank, self.gen);
+                }
                 panic_any(CrashPanic {
                     rank: self.rank,
                     epoch: self.epoch,
@@ -225,84 +263,137 @@ impl RankCtx {
         }
     }
 
-    /// Link-layer send: consults the fault injector, charges injected
-    /// overheads (delay, retransmission) to `phase`, and guarantees the
-    /// uncorrupted payload is eventually delivered.
+    /// Link-layer send: retries under the injector's per-attempt verdicts
+    /// (drop/corrupt re-rolled each attempt, capped exponential backoff on
+    /// the modeled clock) until a clean frame is queued. All retry
+    /// overhead is charged to [`Phase::Retransmit`]; injected link delay
+    /// stays on the op's own `phase`.
     fn raw_send(&mut self, dst: usize, tag: u8, payload: Payload, phase: Phase) {
-        let seq = self.send_seq;
-        self.send_seq += 1;
+        let seq = self.next_seq[dst];
+        self.next_seq[dst] += 1;
         let bytes = payload.bytes();
+        let checksum = payload.checksum();
+        let mut duplicate = false;
         if let Some(inj) = self.injector.clone() {
-            let fate = inj.send_fate(self.rank, dst, seq);
             let mut extra = 0.0;
-            let mut retries = 0u64;
-            let f = &mut self.stats.faults;
-            if fate.delay_seconds > 0.0 {
-                f.delays += 1;
-                f.delay_seconds += fate.delay_seconds;
-                extra += fate.delay_seconds;
+            let mut wire_overhead = 0u64;
+            let mut overhead_frames = 0u64;
+            let mut attempt: u32 = 0;
+            loop {
+                let fate = inj.transmit_fate(self.rank, dst, seq, attempt);
+                if fate.delay_seconds > 0.0 {
+                    // A slow link delays the message once; that is part of
+                    // the op's real cost, not retry overhead.
+                    let f = &mut self.stats.faults;
+                    f.delays += 1;
+                    f.delay_seconds += fate.delay_seconds;
+                    self.stats.phase_mut(phase).modeled_seconds += fate.delay_seconds;
+                    self.trace_op(
+                        EventKind::Retransmit,
+                        phase,
+                        Some(dst),
+                        0,
+                        0,
+                        0,
+                        fate.delay_seconds,
+                    );
+                }
+                if fate.dropped || fate.corrupted {
+                    {
+                        let f = &mut self.stats.faults;
+                        if fate.dropped {
+                            f.drops += 1;
+                        } else {
+                            f.corruptions += 1;
+                        }
+                        f.retries += 1;
+                    }
+                    if fate.corrupted {
+                        // The frame reaches the receiver bit-flipped; the
+                        // checksum (computed pre-flight) exposes the
+                        // damage end to end. An Empty payload has no bits
+                        // to flip, so the header checksum is mangled
+                        // instead.
+                        let mut damaged = payload.clone();
+                        let flipped = damaged.flip_bit(seq ^ ((attempt as u64) << 32));
+                        let sum = if flipped { checksum } else { !checksum };
+                        self.push(
+                            dst,
+                            Msg {
+                                tag,
+                                seq,
+                                gen: self.gen,
+                                checksum: sum,
+                                payload: damaged,
+                            },
+                        );
+                    }
+                    // Timeout + NACK round trip, then the wire time of the
+                    // retransmission itself.
+                    extra += inj.plan().backoff_seconds(attempt) + self.model.p2p(bytes);
+                    wire_overhead += bytes;
+                    overhead_frames += 1;
+                    attempt += 1;
+                    continue;
+                }
+                duplicate = fate.duplicated;
+                if duplicate {
+                    // Spurious retransmit: the good frame goes out twice.
+                    self.stats.faults.duplicates += 1;
+                    extra += self.model.p2p(bytes);
+                    wire_overhead += bytes;
+                    overhead_frames += 1;
+                }
+                break;
             }
-            if fate.dropped {
-                // First copy lost in transit: the reliable layer times out
-                // and retransmits; the receiver only ever sees the retry.
-                f.drops += 1;
-                f.retries += 1;
-                retries += 1;
-                extra += inj.plan().retry_backoff_seconds + self.model.p2p(bytes);
-            }
-            if fate.corrupted {
-                // Deliver a corrupt copy first (receiver checksum fails),
-                // then retransmit the good one.
-                f.corruptions += 1;
-                f.retries += 1;
-                retries += 1;
-                extra += inj.plan().retry_backoff_seconds + self.model.p2p(bytes);
-                self.push(
-                    dst,
-                    Msg {
-                        tag,
-                        corrupt: true,
-                        payload: payload.clone(),
-                    },
-                );
-            }
-            let wire_overhead = bytes * retries;
-            self.stats.faults.retransmit_bytes += wire_overhead;
-            if extra > 0.0 {
-                self.stats.phase_mut(phase).modeled_seconds += extra;
+            if extra > 0.0 || wire_overhead > 0 {
+                let c = self.stats.phase_mut(Phase::Retransmit);
+                c.ops += overhead_frames;
+                c.bytes_sent += wire_overhead;
+                c.modeled_seconds += extra;
+                self.stats.faults.retransmit_bytes += wire_overhead;
                 self.trace_op(
                     EventKind::Retransmit,
-                    phase,
+                    Phase::Retransmit,
                     Some(dst),
                     wire_overhead,
                     0,
                     0,
                     extra,
                 );
-            }
-            if let Some(t) = self.tracer.as_deref_mut() {
-                // Each retry is one more wire transmission.
-                for _ in 0..retries {
-                    t.message(bytes);
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    // Each overhead frame is one more wire transmission.
+                    for _ in 0..overhead_frames {
+                        t.message(bytes);
+                    }
                 }
             }
         }
         if let Some(t) = self.tracer.as_deref_mut() {
             t.message(bytes);
         }
-        self.push(
-            dst,
-            Msg {
-                tag,
-                corrupt: false,
-                payload,
-            },
-        );
+        let msg = Msg {
+            tag,
+            seq,
+            gen: self.gen,
+            checksum,
+            payload,
+        };
+        let dup = duplicate.then(|| msg.clone());
+        self.push(dst, msg);
+        if let Some(d) = dup {
+            self.push(dst, d);
+        }
     }
 
     fn push(&self, dst: usize, msg: Msg) {
         let tag = msg.tag;
         if self.to[dst].send(msg).is_err() {
+            if self.failover {
+                // Dead peer: the frame evaporates; the death is handled
+                // at the next blocking receive or the commit barrier.
+                return;
+            }
             panic!(
                 "rank {}: peer rank {dst} hung up (crashed?) — cannot deliver a {} message",
                 self.rank,
@@ -311,10 +402,48 @@ impl RankCtx {
         }
     }
 
-    /// Link-layer receive: watched by the deadlock watchdog, discards
-    /// corrupt copies (counting the detection), and fails fast with a
-    /// rank-attributed message when the peer died.
-    fn raw_recv(&mut self, src: usize, expect_tag: u8, phase: Phase) -> Payload {
+    /// Broadcasts the ABORT control frame for generation `gen` to every
+    /// peer, at most once per generation. Dead peers' closed channels are
+    /// ignored.
+    fn broadcast_abort(&mut self, gen: u32) {
+        if self.abort_sent_gen == Some(gen) {
+            return;
+        }
+        self.abort_sent_gen = Some(gen);
+        let payload = Payload::Empty;
+        let checksum = payload.checksum();
+        for dst in 0..self.p {
+            if dst == self.rank {
+                continue;
+            }
+            let _ = self.to[dst].send(Msg {
+                tag: tag::ABORT,
+                seq: 0,
+                gen,
+                checksum,
+                payload: payload.clone(),
+            });
+        }
+    }
+
+    /// Abandons the current epoch attempt: propagate the abort, close any
+    /// trace spans the unwind would otherwise leave dangling, and panic
+    /// with [`EpochAbortPanic`] for the trainer's `catch_unwind`.
+    fn abort_epoch(&mut self, gen: u32) -> ! {
+        debug_assert!(self.failover, "abort protocol requires failover mode");
+        self.broadcast_abort(gen);
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.close_open_spans();
+        }
+        panic_any(EpochAbortPanic { generation: gen });
+    }
+
+    /// Link-layer receive: watched by the deadlock watchdog. Runs the
+    /// reliable-transport state machine — stale-generation discard,
+    /// end-to-end checksum verification, duplicate suppression by
+    /// sequence number — and, in failover mode, converts a dead peer
+    /// (closed channel or ABORT frame) into an epoch abort.
+    fn raw_recv(&mut self, src: usize, expect_tag: u8) -> Payload {
         let timeout = self.watchdog.timeout();
         let deadline = Instant::now() + timeout;
         self.watchdog.begin(
@@ -332,20 +461,85 @@ impl RankCtx {
                 panic_any(DeadlockPanic(report));
             }
             match self.from[src].recv_timeout(deadline - now) {
-                Ok(msg) if msg.corrupt => {
-                    // Checksum failure: count it, pay for the useless
-                    // transfer, and wait for the retransmission.
-                    self.stats.faults.corruptions_detected += 1;
-                    let waste = self.model.p2p(msg.payload.bytes());
-                    self.stats.phase_mut(phase).modeled_seconds += waste;
-                    // Zero bytes on the event: the sender accounts the
-                    // wire overhead; this records the receiver's lost time.
-                    self.trace_op(EventKind::Retransmit, phase, Some(src), 0, 0, 0, waste);
+                Ok(frame) if frame.tag == tag::ABORT => {
+                    match frame.gen.cmp(&self.gen) {
+                        // Stale abort from an already-retired generation.
+                        std::cmp::Ordering::Less => {}
+                        std::cmp::Ordering::Equal => {
+                            self.watchdog.end(self.rank);
+                            self.abort_epoch(frame.gen);
+                        }
+                        std::cmp::Ordering::Greater => panic!(
+                            "rank {}: ABORT from future generation {} (commit barrier violated)",
+                            self.rank, frame.gen
+                        ),
+                    }
                 }
-                Ok(msg) => break msg,
+                Ok(frame) if frame.gen < self.gen => {
+                    // Stale data from an aborted epoch attempt: discard,
+                    // but advance the channel cursor past it so the first
+                    // current-generation frame lands on the expected seq.
+                    self.expect_seq[src] = self.expect_seq[src].max(frame.seq + 1);
+                }
+                Ok(frame) => {
+                    assert_eq!(
+                        frame.gen, self.gen,
+                        "rank {}: data frame from future generation (commit barrier violated)",
+                        self.rank
+                    );
+                    if frame.payload.checksum() != frame.checksum {
+                        // In-flight corruption caught end to end: pay for
+                        // the useless transfer, wait for the retransmit.
+                        self.stats.faults.corruptions_detected += 1;
+                        let waste = self.model.p2p(frame.payload.bytes());
+                        let c = self.stats.phase_mut(Phase::Retransmit);
+                        c.ops += 1;
+                        c.modeled_seconds += waste;
+                        self.trace_op(
+                            EventKind::Retransmit,
+                            Phase::Retransmit,
+                            Some(src),
+                            0,
+                            0,
+                            0,
+                            waste,
+                        );
+                    } else if frame.seq < self.expect_seq[src] {
+                        // Duplicate of a frame already delivered (spurious
+                        // retransmit): discard by sequence number.
+                        self.stats.faults.duplicates_discarded += 1;
+                        let waste = self.model.p2p(frame.payload.bytes());
+                        let c = self.stats.phase_mut(Phase::Retransmit);
+                        c.ops += 1;
+                        c.modeled_seconds += waste;
+                        self.trace_op(
+                            EventKind::Retransmit,
+                            Phase::Retransmit,
+                            Some(src),
+                            0,
+                            0,
+                            0,
+                            waste,
+                        );
+                    } else if frame.seq > self.expect_seq[src] {
+                        panic!(
+                            "rank {}: transport violation — frame {} from rank {src} arrived \
+                             before frame {} (reordered delivery)",
+                            self.rank, frame.seq, self.expect_seq[src]
+                        );
+                    } else {
+                        self.expect_seq[src] += 1;
+                        break frame;
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
                     self.watchdog.end(self.rank);
+                    if self.failover {
+                        // The peer died mid-epoch; abandon this attempt
+                        // and propagate the abort to the other survivors.
+                        self.abort_epoch(self.gen);
+                    }
                     panic!(
                         "rank {}: peer rank {src} hung up (crashed?) while waiting \
                          for a {} message",
@@ -362,6 +556,99 @@ impl RankCtx {
             self.rank, src, msg.tag, expect_tag
         );
         msg.payload
+    }
+
+    /// True when the world tolerates crashes via degraded-mode failover.
+    pub fn failover_enabled(&self) -> bool {
+        self.failover
+    }
+
+    /// Current failover generation — the number of epoch attempts that
+    /// were poisoned by a death and retried. 0 in a fault-free run.
+    pub fn generation(&self) -> u32 {
+        self.gen
+    }
+
+    /// All ranks recorded dead so far (failover mode), in death order.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        self.watchdog.deaths().iter().map(|d| d.rank).collect()
+    }
+
+    /// Ranks whose deaths are *sealed*: recorded in a generation strictly
+    /// before the current one. A rank that died in generation `g` either
+    /// registered its death before the generation-`g` commit barrier
+    /// released (the barrier cannot release while it is alive and
+    /// unarrived), so every survivor entering `g+1` observes the same
+    /// set. Deaths in the current generation are deliberately excluded —
+    /// they are racy to observe and are handled by the abort/retry path
+    /// instead. Role assignment (who covers for whom) must only ever use
+    /// this sealed set, never [`RankCtx::dead_ranks`].
+    pub fn sealed_dead_ranks(&self) -> Vec<usize> {
+        let gen = self.gen;
+        let mut dead: Vec<usize> = self
+            .watchdog
+            .deaths()
+            .iter()
+            .filter(|d| d.gen < gen)
+            .map(|d| d.rank)
+            .collect();
+        dead.sort_unstable();
+        dead
+    }
+
+    /// Failover epoch commit: every survivor rendezvouses at a
+    /// death-aware barrier, then all make the *same* decision — `true`
+    /// (the epoch committed; apply its side effects) or `false` (a rank
+    /// died during the attempt; discard and retry under the next
+    /// generation). A no-op returning `true` outside failover mode.
+    ///
+    /// Determinism argument: the poisoned test (any death recorded in
+    /// the current generation) is evaluated exactly once, by the party
+    /// that trips the barrier release, and the published verdict is what
+    /// every survivor acts on. Per-rank evaluation after release would
+    /// race against a peer that commits cleanly and crashes at the very
+    /// next `set_epoch`: ranks reading the death registry on either side
+    /// of that crash would split into different generations and
+    /// deadlock. A death that lands after the verdict is published is
+    /// uniformly *not* part of this commit; every survivor trips over it
+    /// in the next epoch attempt and the following commit retires it.
+    pub fn commit_epoch(&mut self) -> bool {
+        if !self.failover {
+            return true;
+        }
+        self.watchdog
+            .begin(self.rank, WaitKind::Barrier, None, None, self.epoch);
+        let p = self.p;
+        let wd = self.watchdog.clone();
+        let wd_verdict = self.watchdog.clone();
+        let gen = self.gen;
+        let committed = self.barrier.wait_verdict(
+            self.watchdog.timeout(),
+            move || wd.alive_count(p),
+            // All survivors enter the commit with equal `gen` (they bump
+            // in lockstep on every poisoned verdict), so whichever rank
+            // evaluates this sees the same generation stamp.
+            move || !wd_verdict.deaths().iter().any(|d| d.gen == gen),
+        );
+        let Some(committed) = committed else {
+            let report = self.watchdog.report(self.rank);
+            panic_any(DeadlockPanic(report));
+        };
+        self.watchdog.end(self.rank);
+        if !committed {
+            self.gen += 1;
+        }
+        committed
+    }
+
+    /// Tears the world down: block row `block_row`'s entire replica group
+    /// is dead, so no survivor holds the data needed to cover for it and
+    /// the recovery ladder falls through to checkpoint restart.
+    pub fn replica_column_lost(&mut self, block_row: usize) -> ! {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.close_open_spans();
+        }
+        panic_any(ColumnLostPanic { block_row });
     }
 
     /// Non-blocking point-to-point send (phase `P2p`). Pays
@@ -383,7 +670,7 @@ impl RankCtx {
     /// `α + bytes·β` on this rank.
     pub fn recv(&mut self, src: usize) -> Payload {
         self.op_tick();
-        let payload = self.raw_recv(src, tag::P2P, Phase::P2p);
+        let payload = self.raw_recv(src, tag::P2P);
         let bytes = payload.bytes();
         let dur = self.model.p2p(bytes);
         let c = self.stats.phase_mut(Phase::P2p);
@@ -411,7 +698,7 @@ impl RankCtx {
                 payload.is_none(),
                 "non-root rank supplied a broadcast payload"
             );
-            self.raw_recv(root, tag::BCAST, Phase::Bcast)
+            self.raw_recv(root, tag::BCAST)
         };
         let bytes = out.bytes();
         let dur = self.model.bcast(bytes, self.p);
@@ -460,7 +747,7 @@ impl RankCtx {
         let mut recv_bytes = 0u64;
         for off in 1..self.p {
             let src = (me + self.p - off) % self.p;
-            let payload = self.raw_recv(src, tag::ALLTOALLV, Phase::AllToAll);
+            let payload = self.raw_recv(src, tag::ALLTOALLV);
             recv_bytes += payload.bytes();
             out[src] = payload;
         }
@@ -497,9 +784,7 @@ impl RankCtx {
             let root = group[0];
             if self.rank == root {
                 for &src in &group[1..] {
-                    let part = self
-                        .raw_recv(src, tag::REDUCE_UP, Phase::AllReduce)
-                        .into_f64();
+                    let part = self.raw_recv(src, tag::REDUCE_UP).into_f64();
                     assert_eq!(part.len(), buf.len(), "allreduce length mismatch");
                     for (a, b) in buf.iter_mut().zip(part) {
                         *a += b;
@@ -520,9 +805,7 @@ impl RankCtx {
                     Payload::F64(buf.to_vec()),
                     Phase::AllReduce,
                 );
-                let summed = self
-                    .raw_recv(root, tag::REDUCE_DOWN, Phase::AllReduce)
-                    .into_f64();
+                let summed = self.raw_recv(root, tag::REDUCE_DOWN).into_f64();
                 buf.copy_from_slice(&summed);
             }
         }
@@ -555,7 +838,7 @@ impl RankCtx {
                     if src == root {
                         std::mem::replace(&mut payload, Payload::Empty)
                     } else {
-                        self.raw_recv(src, tag::GATHER, Phase::Other)
+                        self.raw_recv(src, tag::GATHER)
                     }
                 })
                 .collect();
@@ -567,13 +850,22 @@ impl RankCtx {
     }
 
     /// Barrier over all ranks (watched: times out into a deadlock report
-    /// instead of blocking forever when a rank never arrives).
+    /// instead of blocking forever when a rank never arrives). In
+    /// failover mode the barrier waits only for the surviving ranks.
     pub fn barrier(&mut self) {
         self.op_tick();
         self.trace_op(EventKind::Barrier, Phase::Other, None, 0, 0, 0, 0.0);
         self.watchdog
             .begin(self.rank, WaitKind::Barrier, None, None, self.epoch);
-        if !self.barrier.wait(self.watchdog.timeout()) {
+        let ok = if self.failover {
+            let p = self.p;
+            let wd = self.watchdog.clone();
+            self.barrier
+                .wait_with(self.watchdog.timeout(), move || wd.alive_count(p))
+        } else {
+            self.barrier.wait(self.watchdog.timeout())
+        };
+        if !ok {
             let report = self.watchdog.report(self.rank);
             panic_any(DeadlockPanic(report));
         }

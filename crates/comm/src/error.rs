@@ -124,15 +124,26 @@ pub enum WorldError {
     },
     /// The watchdog converted a hang into a structured report.
     Deadlock(DeadlockReport),
+    /// Degraded-mode failover ran out of replicas: every rank holding
+    /// block row `block_row` died, so no survivor can cover for the dead
+    /// and the world must fall back to a checkpoint restart.
+    ReplicaColumnLost {
+        /// The block row whose entire replica group died.
+        block_row: usize,
+    },
 }
 
 impl WorldError {
     /// Whether a driver can reasonably retry the run (e.g. restore from a
     /// checkpoint and resume). Injected crashes model transient node
-    /// failures and are retryable; deadlocks and real panics are
-    /// deterministic program bugs.
+    /// failures and are retryable — as is losing a whole replica group,
+    /// which simply exhausts the in-place recovery budget. Deadlocks and
+    /// real panics are deterministic program bugs.
     pub fn is_recoverable(&self) -> bool {
-        matches!(self, WorldError::InjectedCrash { .. })
+        matches!(
+            self,
+            WorldError::InjectedCrash { .. } | WorldError::ReplicaColumnLost { .. }
+        )
     }
 }
 
@@ -150,6 +161,10 @@ impl fmt::Display for WorldError {
                 write!(f, ", op {op}")
             }
             WorldError::Deadlock(report) => write!(f, "{report}"),
+            WorldError::ReplicaColumnLost { block_row } => write!(
+                f,
+                "replica group for block row {block_row} fully lost; failover impossible"
+            ),
         }
     }
 }
@@ -164,6 +179,23 @@ pub(crate) struct CrashPanic {
     pub rank: usize,
     pub epoch: Option<usize>,
     pub op: u64,
+}
+
+/// Panic payload unwinding an epoch attempt that must be retried under
+/// degraded mode: a peer died mid-epoch, so every survivor abandons the
+/// attempt, re-synchronizes at the commit barrier, and re-runs the epoch
+/// with the shrunken grid. Public so trainers can `catch_unwind` it.
+#[derive(Debug)]
+pub struct EpochAbortPanic {
+    /// The generation that was aborted.
+    pub generation: u32,
+}
+
+/// Panic payload for an unsurvivable loss: a whole replica group is
+/// dead, failover cannot cover it, the world tears down for a
+/// checkpoint restart.
+pub(crate) struct ColumnLostPanic {
+    pub block_row: usize,
 }
 
 #[cfg(test)]
@@ -242,5 +274,10 @@ mod tests {
         }
         .is_recoverable());
         assert!(!WorldError::Deadlock(report()).is_recoverable());
+        // Losing a whole replica group exhausts failover but still
+        // permits a checkpoint restart.
+        assert!(WorldError::ReplicaColumnLost { block_row: 2 }.is_recoverable());
+        let msg = WorldError::ReplicaColumnLost { block_row: 2 }.to_string();
+        assert!(msg.contains("block row 2"), "{msg}");
     }
 }

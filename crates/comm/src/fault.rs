@@ -10,14 +10,20 @@
 //! Fault semantics (all charged through the α–β cost model):
 //!
 //! * **Delay** — matching sends cost `seconds` extra modeled time (a
-//!   slow NIC / congested link on that rank).
-//! * **Drop** — the first transmission is lost; the sender's reliable
-//!   link layer times out (`retry_backoff_seconds`) and retransmits,
-//!   paying the α–β price twice. Progress is guaranteed: a retransmission
-//!   is never dropped again.
-//! * **Corrupt** — the receiver gets a corrupt copy first (checksum
-//!   failure, counted in [`crate::stats::FaultCounters`]), then the
-//!   sender's retransmission.
+//!   slow NIC / congested link on that rank), charged once per logical
+//!   message (not per retry).
+//! * **Drop** — each transmission attempt is lost independently with
+//!   probability `prob`; the sender's reliable link layer times out
+//!   (capped exponential backoff from `retry_backoff_seconds`) and
+//!   retransmits, paying the α–β price per attempt. Progress is
+//!   guaranteed: the attempt at `max_retries` always goes through.
+//! * **Corrupt** — each attempt arrives bit-flipped with probability
+//!   `prob`; the receiver's checksum catches it (counted in
+//!   [`crate::stats::FaultCounters`]) and the sender retransmits under
+//!   the same backoff schedule.
+//! * **Duplicate** — a spurious retransmit: the successfully delivered
+//!   frame is pushed twice; the receiver's sequence numbers discard the
+//!   extra copy.
 //! * **SlowCompute** — modeled compute time on the rank is multiplied by
 //!   `factor` (the paper's bottleneck-rank argument, made injectable).
 //! * **CrashAt** — the rank panics at a chosen `(epoch, op)` point. The
@@ -60,6 +66,17 @@ pub enum Fault {
         /// Corruption probability in `[0, 1]`.
         prob: f64,
     },
+    /// Each matching successful delivery is duplicated (spurious
+    /// retransmit) with probability `prob`; the receiver's sequence
+    /// numbers discard the second copy.
+    DuplicateMsg {
+        /// Sending rank.
+        rank: usize,
+        /// Destination filter (`None` = all peers).
+        to: Option<usize>,
+        /// Duplication probability in `[0, 1]`.
+        prob: f64,
+    },
     /// Modeled compute time on `rank` is multiplied by `factor`.
     SlowCompute {
         /// Straggling rank.
@@ -87,8 +104,15 @@ pub struct FaultPlan {
     pub faults: Vec<Fault>,
     /// Seed for per-message probabilistic decisions.
     pub seed: u64,
-    /// Modeled retransmission timeout charged per drop/corruption.
+    /// Base modeled retransmission timeout; attempt `k` waits
+    /// `retry_backoff_seconds · 2^k`, capped at
+    /// [`FaultPlan::retry_backoff_cap_seconds`].
     pub retry_backoff_seconds: f64,
+    /// Upper bound on a single backoff wait.
+    pub retry_backoff_cap_seconds: f64,
+    /// Retry budget per message: the attempt numbered `max_retries` is
+    /// forced clean, so even a prob=1.0 corruption storm converges.
+    pub max_retries: u32,
 }
 
 impl Default for FaultPlan {
@@ -104,7 +128,16 @@ impl FaultPlan {
             faults: Vec::new(),
             seed,
             retry_backoff_seconds: 1e-3,
+            retry_backoff_cap_seconds: 0.1,
+            max_retries: 6,
         }
+    }
+
+    /// Backoff before retry attempt `attempt` (1-based for waits; the
+    /// wait after failed attempt `k` is `base · 2^k`, capped).
+    pub fn backoff_seconds(&self, attempt: u32) -> f64 {
+        let exp = attempt.min(52);
+        (self.retry_backoff_seconds * (1u64 << exp) as f64).min(self.retry_backoff_cap_seconds)
     }
 
     /// Whether the plan injects nothing.
@@ -138,6 +171,17 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a message-duplication fault (builder style).
+    #[must_use]
+    pub fn duplicate_messages(mut self, rank: usize, to: Option<usize>, prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "duplication probability out of range"
+        );
+        self.faults.push(Fault::DuplicateMsg { rank, to, prob });
+        self
+    }
+
     /// Adds a compute-straggler fault (builder style).
     #[must_use]
     pub fn slow_compute(mut self, rank: usize, factor: f64) -> Self {
@@ -154,15 +198,18 @@ impl FaultPlan {
     }
 }
 
-/// The injector's verdict for one transmission.
+/// The injector's verdict for one transmission attempt.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SendFate {
-    /// Extra modeled seconds from delay faults.
+    /// Extra modeled seconds from delay faults (attempt 0 only — a slow
+    /// link delays the message, not each retry independently).
     pub delay_seconds: f64,
-    /// The first transmission is lost.
+    /// This attempt is lost in flight.
     pub dropped: bool,
-    /// The first transmission arrives corrupted.
+    /// This attempt arrives bit-flipped (checksum will catch it).
     pub corrupted: bool,
+    /// The delivered frame is pushed twice (spurious retransmit).
+    pub duplicated: bool,
 }
 
 /// Runtime evaluator of a [`FaultPlan`]. Shareable across restarted
@@ -213,22 +260,28 @@ impl FaultInjector {
             .any(|(f, fired)| matches!(f, Fault::CrashAt { .. }) && !fired.load(Ordering::Relaxed))
     }
 
-    /// Deterministic fate of the `seq`-th transmission from `src` to `dst`.
-    pub(crate) fn send_fate(&self, src: usize, dst: usize, seq: u64) -> SendFate {
+    /// Deterministic fate of transmission attempt `attempt` of the
+    /// `seq`-th message from `src` to `dst`. Drop/corrupt are re-rolled
+    /// per attempt (independent link events); delay applies to attempt 0
+    /// only; the attempt numbered `plan.max_retries` is forced clean so
+    /// every message eventually lands.
+    pub(crate) fn transmit_fate(&self, src: usize, dst: usize, seq: u64, attempt: u32) -> SendFate {
         let mut fate = SendFate::default();
         for (i, fault) in self.plan.faults.iter().enumerate() {
+            // Folding the attempt into the last key slot keeps attempt 0
+            // on the original (src, dst, seq, i) stream.
             let key = |prob_kind: u64| {
                 mix(
                     self.plan.seed ^ prob_kind,
                     src as u64,
                     dst as u64,
                     seq,
-                    i as u64,
+                    i as u64 | ((attempt as u64) << 32),
                 )
             };
             match *fault {
                 Fault::DelaySend { rank, to, seconds }
-                    if rank == src && to.is_none_or(|t| t == dst) =>
+                    if rank == src && to.is_none_or(|t| t == dst) && attempt == 0 =>
                 {
                     fate.delay_seconds += seconds;
                 }
@@ -240,8 +293,17 @@ impl FaultInjector {
                 {
                     fate.corrupted |= unit(key(2)) < prob;
                 }
+                Fault::DuplicateMsg { rank, to, prob }
+                    if rank == src && to.is_none_or(|t| t == dst) =>
+                {
+                    fate.duplicated |= unit(key(3)) < prob;
+                }
                 _ => {}
             }
+        }
+        if attempt >= self.plan.max_retries {
+            fate.dropped = false;
+            fate.corrupted = false;
         }
         fate
     }
@@ -256,6 +318,20 @@ impl FaultInjector {
                 _ => None,
             })
             .product()
+    }
+
+    /// Worst-case injected compute slowdown across all ranks (≥ 1.0).
+    /// The watchdog scales its deadlock timeout by this budget so heavy
+    /// stragglers don't trip false-positive deadlock reports.
+    pub fn straggler_budget(&self) -> f64 {
+        self.plan
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::SlowCompute { rank, .. } => Some(self.compute_factor(rank)),
+                _ => None,
+            })
+            .fold(1.0, f64::max)
     }
 
     /// Checks (and fires at most once) any crash fault due at this point.
@@ -289,10 +365,15 @@ mod tests {
     fn fates_are_deterministic_per_key() {
         let inj = FaultInjector::new(FaultPlan::new(7).drop_messages(0, None, 0.5));
         for seq in 0..50 {
-            assert_eq!(inj.send_fate(0, 1, seq), inj.send_fate(0, 1, seq));
+            assert_eq!(
+                inj.transmit_fate(0, 1, seq, 0),
+                inj.transmit_fate(0, 1, seq, 0)
+            );
         }
         // And actually vary with the sequence number.
-        let drops = (0..200).filter(|&s| inj.send_fate(0, 1, s).dropped).count();
+        let drops = (0..200)
+            .filter(|&s| inj.transmit_fate(0, 1, s, 0).dropped)
+            .count();
         assert!(drops > 50 && drops < 150, "drops {drops}");
     }
 
@@ -303,19 +384,73 @@ mod tests {
                 .delay_send(2, Some(0), 0.25)
                 .drop_messages(1, None, 1.0),
         );
-        assert_eq!(inj.send_fate(2, 0, 0).delay_seconds, 0.25);
-        assert_eq!(inj.send_fate(2, 1, 0).delay_seconds, 0.0);
-        assert!(inj.send_fate(1, 0, 3).dropped);
-        assert!(!inj.send_fate(0, 1, 3).dropped);
+        assert_eq!(inj.transmit_fate(2, 0, 0, 0).delay_seconds, 0.25);
+        assert_eq!(inj.transmit_fate(2, 1, 0, 0).delay_seconds, 0.0);
+        assert!(inj.transmit_fate(1, 0, 3, 0).dropped);
+        assert!(!inj.transmit_fate(0, 1, 3, 0).dropped);
     }
 
     #[test]
     fn seed_changes_the_stream() {
         let a = FaultInjector::new(FaultPlan::new(1).drop_messages(0, None, 0.5));
         let b = FaultInjector::new(FaultPlan::new(2).drop_messages(0, None, 0.5));
-        let differs =
-            (0..100).any(|s| a.send_fate(0, 1, s).dropped != b.send_fate(0, 1, s).dropped);
+        let differs = (0..100)
+            .any(|s| a.transmit_fate(0, 1, s, 0).dropped != b.transmit_fate(0, 1, s, 0).dropped);
         assert!(differs);
+    }
+
+    #[test]
+    fn retries_reroll_and_final_attempt_is_forced_clean() {
+        let inj = FaultInjector::new(FaultPlan::new(3).drop_messages(0, None, 0.6));
+        // Attempts are independent link events: same message, different
+        // attempt → different verdict stream.
+        let differs = (0..100).any(|s| {
+            inj.transmit_fate(0, 1, s, 0).dropped != inj.transmit_fate(0, 1, s, 1).dropped
+        });
+        assert!(differs);
+        // Even a prob=1.0 storm converges at the retry cap.
+        let storm = FaultInjector::new(FaultPlan::new(3).corrupt_messages(0, None, 1.0));
+        let cap = storm.plan().max_retries;
+        for attempt in 0..cap {
+            assert!(storm.transmit_fate(0, 1, 9, attempt).corrupted);
+        }
+        let last = storm.transmit_fate(0, 1, 9, cap);
+        assert!(!last.corrupted && !last.dropped);
+        // Delay is charged once, on the first attempt only.
+        let slow = FaultInjector::new(FaultPlan::new(0).delay_send(0, None, 0.5));
+        assert_eq!(slow.transmit_fate(0, 1, 0, 0).delay_seconds, 0.5);
+        assert_eq!(slow.transmit_fate(0, 1, 0, 1).delay_seconds, 0.0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_to_the_cap() {
+        let plan = FaultPlan::new(0);
+        assert_eq!(plan.backoff_seconds(0), 1e-3);
+        assert_eq!(plan.backoff_seconds(1), 2e-3);
+        assert_eq!(plan.backoff_seconds(2), 4e-3);
+        assert_eq!(plan.backoff_seconds(60), plan.retry_backoff_cap_seconds);
+    }
+
+    #[test]
+    fn duplicates_follow_their_own_stream() {
+        let inj = FaultInjector::new(FaultPlan::new(5).duplicate_messages(0, Some(1), 1.0));
+        assert!(inj.transmit_fate(0, 1, 0, 0).duplicated);
+        assert!(!inj.transmit_fate(0, 2, 0, 0).duplicated, "dst filter");
+        // Duplication never suppresses delivery.
+        assert!(!inj.transmit_fate(0, 1, 0, 0).dropped);
+    }
+
+    #[test]
+    fn straggler_budget_is_the_worst_rank() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(0)
+                .slow_compute(1, 2.0)
+                .slow_compute(1, 3.0)
+                .slow_compute(2, 4.0),
+        );
+        assert_eq!(inj.straggler_budget(), 6.0);
+        let clean = FaultInjector::new(FaultPlan::new(0).drop_messages(0, None, 0.5));
+        assert_eq!(clean.straggler_budget(), 1.0);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use gnn_trace as trace;
 
 pub use cost::CostModel;
 pub use ctx::RankCtx;
-pub use error::{BlockedRank, DeadlockReport, WaitKind, WorldError};
+pub use error::{BlockedRank, DeadlockReport, EpochAbortPanic, WaitKind, WorldError};
 pub use fault::{Fault, FaultInjector, FaultPlan, SendFate};
 pub use gnn_trace::{SpanKind, WorldTrace};
 pub use stats::{FaultCounters, Phase, RankStats, WorldStats};

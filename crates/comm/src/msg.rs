@@ -26,6 +26,20 @@ pub enum Payload {
     },
 }
 
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 impl Payload {
     /// Wire size in bytes (8 per f64, 4 per u32).
     pub fn bytes(&self) -> u64 {
@@ -34,6 +48,57 @@ impl Payload {
             Payload::F64(v) => 8 * v.len() as u64,
             Payload::U32(v) => 4 * v.len() as u64,
             Payload::Rows { idx, data } => 4 * idx.len() as u64 + 8 * data.len() as u64,
+        }
+    }
+
+    /// End-to-end integrity checksum: FNV-1a over the variant tag and
+    /// the little-endian bytes of every element, exactly what a wire
+    /// serialization would hash. Dependency-free and deterministic.
+    pub fn checksum(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        match self {
+            Payload::Empty => h = fnv_bytes(h, &[0]),
+            Payload::F64(v) => {
+                h = fnv_bytes(h, &[1]);
+                for x in v {
+                    h = fnv_bytes(h, &x.to_bits().to_le_bytes());
+                }
+            }
+            Payload::U32(v) => {
+                h = fnv_bytes(h, &[2]);
+                for x in v {
+                    h = fnv_bytes(h, &x.to_le_bytes());
+                }
+            }
+            Payload::Rows { idx, data } => {
+                h = fnv_bytes(h, &[3]);
+                for x in idx {
+                    h = fnv_bytes(h, &x.to_le_bytes());
+                }
+                for x in data {
+                    h = fnv_bytes(h, &x.to_bits().to_le_bytes());
+                }
+            }
+        }
+        h
+    }
+
+    /// Flips one bit somewhere in the payload (or returns `false` for
+    /// [`Payload::Empty`], which carries no bits to damage). Used by the
+    /// fault injector to model genuine in-flight corruption that the
+    /// receiver must catch via [`Payload::checksum`].
+    pub fn flip_bit(&mut self, which: u64) -> bool {
+        match self {
+            Payload::Empty => false,
+            Payload::F64(v) => flip_f64(v, which),
+            Payload::U32(v) => flip_u32(v, which),
+            Payload::Rows { idx, data } => {
+                if data.is_empty() {
+                    flip_u32(idx, which)
+                } else {
+                    flip_f64(data, which)
+                }
+            }
         }
     }
 
@@ -71,6 +136,26 @@ impl Payload {
     }
 }
 
+fn flip_f64(v: &mut [f64], which: u64) -> bool {
+    if v.is_empty() {
+        return false;
+    }
+    let slot = (which as usize) % v.len();
+    let bit = (which / v.len() as u64) % 64;
+    v[slot] = f64::from_bits(v[slot].to_bits() ^ (1u64 << bit));
+    true
+}
+
+fn flip_u32(v: &mut [u32], which: u64) -> bool {
+    if v.is_empty() {
+        return false;
+    }
+    let slot = (which as usize) % v.len();
+    let bit = ((which / v.len() as u64) % 32) as u32;
+    v[slot] ^= 1u32 << bit;
+    true
+}
+
 fn kind(p: &Payload) -> &'static str {
     match p {
         Payload::Empty => "Empty",
@@ -80,15 +165,25 @@ fn kind(p: &Payload) -> &'static str {
     }
 }
 
-/// A tagged message; the tag carries the phase/op kind so protocol
-/// mismatches fail fast instead of silently mis-pairing buffers.
+/// A tagged, framed message; the tag carries the phase/op kind so
+/// protocol mismatches fail fast instead of silently mis-pairing
+/// buffers, while `seq`/`gen`/`checksum` are the reliable-transport
+/// header: per-channel sequence number, epoch-attempt generation, and
+/// the sender-computed FNV checksum the receiver verifies end to end.
 #[derive(Clone, Debug)]
 pub struct Msg {
     /// Op discriminator (see [`crate::ctx`] constants).
     pub tag: u8,
-    /// Set by the fault injector: this copy arrived corrupted (checksum
-    /// failure); the receiver discards it and waits for the retransmit.
-    pub corrupt: bool,
+    /// Per-(src → dst) channel sequence number, monotone across the
+    /// whole run (never reset on failover).
+    pub seq: u64,
+    /// Failover generation the frame was sent in; receivers discard
+    /// frames from completed (aborted) generations.
+    pub gen: u32,
+    /// [`Payload::checksum`] computed at send time. A mismatch at the
+    /// receiver means in-flight corruption → discard + wait for the
+    /// retransmit.
+    pub checksum: u64,
     /// The data.
     pub payload: Payload,
 }
@@ -128,5 +223,40 @@ mod tests {
     #[should_panic(expected = "expected F64")]
     fn wrong_variant_panics() {
         Payload::U32(vec![1]).into_f64();
+    }
+
+    #[test]
+    fn checksum_detects_any_single_bit_flip() {
+        let base = Payload::Rows {
+            idx: vec![4, 9],
+            data: vec![1.5, -2.25, 0.0, 3.0],
+        };
+        let good = base.checksum();
+        for which in 0..256u64 {
+            let mut bad = base.clone();
+            assert!(bad.flip_bit(which));
+            assert_ne!(bad.checksum(), good, "flip {which} went undetected");
+        }
+    }
+
+    #[test]
+    fn checksum_distinguishes_variants_and_is_stable() {
+        // Same raw bits, different variants → different checksums.
+        assert_ne!(
+            Payload::F64(vec![]).checksum(),
+            Payload::U32(vec![]).checksum()
+        );
+        assert_ne!(Payload::Empty.checksum(), Payload::F64(vec![]).checksum());
+        // Deterministic across calls.
+        let p = Payload::F64(vec![1.0, 2.0]);
+        assert_eq!(p.checksum(), p.checksum());
+    }
+
+    #[test]
+    fn empty_payload_has_no_bits_to_flip() {
+        let mut p = Payload::Empty;
+        assert!(!p.flip_bit(0));
+        let mut z = Payload::F64(vec![]);
+        assert!(!z.flip_bit(3));
     }
 }

@@ -58,11 +58,16 @@ pub struct FaultCounters {
     pub corruptions_detected: u64,
     /// Link-layer retransmissions this rank performed (drops + corruptions).
     pub retries: u64,
-    /// Extra wire bytes those retransmissions moved. Kept out of the
-    /// per-phase `bytes_sent` counters so logical communication volumes
-    /// (the paper's Table 2 quantities) are unaffected by fault
-    /// injection.
+    /// Extra wire bytes those retransmissions moved. Charged to
+    /// [`Phase::Retransmit`] (never to the op's own phase), so logical
+    /// communication volumes (the paper's Table 2 quantities) are
+    /// unaffected by fault injection.
     pub retransmit_bytes: u64,
+    /// Injected duplicate deliveries this rank's sends produced.
+    pub duplicates: u64,
+    /// Duplicate frames this rank detected (stale sequence number) and
+    /// discarded.
+    pub duplicates_discarded: u64,
     /// Compute ops priced with an injected straggler slowdown.
     pub slowed_ops: u64,
 }
@@ -76,19 +81,21 @@ impl FaultCounters {
         self.corruptions_detected += o.corruptions_detected;
         self.retries += o.retries;
         self.retransmit_bytes += o.retransmit_bytes;
+        self.duplicates += o.duplicates;
+        self.duplicates_discarded += o.duplicates_discarded;
         self.slowed_ops += o.slowed_ops;
     }
 
     /// Total injected fault events charged to this rank's sends/computes.
     pub fn injected_total(&self) -> u64 {
-        self.delays + self.drops + self.corruptions + self.slowed_ops
+        self.delays + self.drops + self.corruptions + self.duplicates + self.slowed_ops
     }
 }
 
 /// Per-rank accounting across all phases.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RankStats {
-    phases: [PhaseCounters; 6],
+    phases: [PhaseCounters; PHASES.len()],
     /// Injected-fault and retry counters.
     pub faults: FaultCounters,
 }
@@ -109,14 +116,34 @@ impl RankStats {
         self.phases.iter().map(|c| c.modeled_seconds).sum()
     }
 
-    /// Total bytes sent across communication phases.
+    /// Total **logical** bytes sent across communication phases — the
+    /// `Retransmit` phase carries only wire overhead and is excluded, so
+    /// fault injection never perturbs the paper's volume metrics.
     pub fn bytes_sent_total(&self) -> u64 {
-        self.phases.iter().map(|c| c.bytes_sent).sum()
+        self.phases
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != Phase::Retransmit.index())
+            .map(|(_, c)| c.bytes_sent)
+            .sum()
     }
 
-    /// Total bytes received across communication phases.
+    /// Total **logical** bytes received (same convention as
+    /// [`RankStats::bytes_sent_total`]).
     pub fn bytes_recv_total(&self) -> u64 {
-        self.phases.iter().map(|c| c.bytes_recv).sum()
+        self.phases
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != Phase::Retransmit.index())
+            .map(|(_, c)| c.bytes_recv)
+            .sum()
+    }
+
+    /// Total bytes this rank pushed onto the wire: logical volume plus
+    /// every retransmitted frame. Reconciles with the trace validator's
+    /// `logical_bytes_sent + retransmit_wire_bytes`.
+    pub fn wire_bytes_sent_total(&self) -> u64 {
+        self.bytes_sent_total() + self.phases[Phase::Retransmit.index()].bytes_sent
     }
 
     /// Adds another rank-stats (e.g. accumulating epochs).
@@ -133,12 +160,18 @@ impl RankStats {
 pub struct WorldStats {
     /// One entry per rank.
     pub per_rank: Vec<RankStats>,
+    /// Degraded-mode epochs completed via replica failover (surviving
+    /// replicas covered for dead ranks without a world restart).
+    pub failovers: u64,
 }
 
 impl WorldStats {
     /// Builds from per-rank stats.
     pub fn new(per_rank: Vec<RankStats>) -> Self {
-        Self { per_rank }
+        Self {
+            per_rank,
+            failovers: 0,
+        }
     }
 
     /// Number of ranks.
@@ -244,6 +277,22 @@ impl WorldStats {
             .sum()
     }
 
+    /// Sum over ranks of wire bytes sent (logical + retransmits).
+    pub fn total_wire_bytes_sent(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(RankStats::wire_bytes_sent_total)
+            .sum()
+    }
+
+    /// Sum over ranks of duplicate frames detected and discarded.
+    pub fn total_duplicates_discarded(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.faults.duplicates_discarded)
+            .sum()
+    }
+
     /// Flattens the world's accounting into a [`gnn_trace::MetricsRegistry`]
     /// — the unification point between `RankStats` and the trace/metrics
     /// artifacts (`--metrics-out`).
@@ -258,6 +307,11 @@ impl WorldStats {
         reg.counter("faults.retries", self.total_retries());
         reg.counter("faults.injected", self.total_injected_faults());
         reg.counter("faults.retransmit_bytes", self.total_retransmit_bytes());
+        reg.counter("faults.failovers", self.failovers);
+        reg.counter(
+            "faults.duplicates_discarded",
+            self.total_duplicates_discarded(),
+        );
         for p in PHASES {
             let name = p.name();
             reg.counter(
@@ -300,6 +354,7 @@ impl WorldStats {
         for (a, b) in self.per_rank.iter_mut().zip(&other.per_rank) {
             a.merge(b);
         }
+        self.failovers += other.failovers;
     }
 }
 
@@ -390,5 +445,27 @@ mod tests {
         let w = WorldStats::new(vec![RankStats::default()]);
         assert_eq!(w.phase_time(Phase::AllReduce), 0.0);
         assert_eq!(w.send_imbalance_pct(Phase::AllReduce), 0.0);
+    }
+
+    #[test]
+    fn retransmit_phase_is_wire_not_logical() {
+        let mut r = rank_with(Phase::P2p, 100, 1.0);
+        r.phase_mut(Phase::Retransmit).bytes_sent = 40;
+        assert_eq!(r.bytes_sent_total(), 100, "logical volume unperturbed");
+        assert_eq!(r.wire_bytes_sent_total(), 140);
+        let w = WorldStats::new(vec![r]);
+        assert_eq!(w.total_wire_bytes_sent(), 140);
+    }
+
+    #[test]
+    fn failovers_merge_and_export() {
+        let mut a = WorldStats::new(vec![RankStats::default()]);
+        a.failovers = 1;
+        let mut b = WorldStats::new(vec![RankStats::default()]);
+        b.failovers = 2;
+        a.merge(&b);
+        assert_eq!(a.failovers, 3);
+        let reg = a.to_metrics();
+        assert_eq!(reg.counter_value("faults.failovers"), Some(3));
     }
 }

@@ -25,11 +25,24 @@ struct WaitState {
     since: Instant,
 }
 
+/// One recorded rank death (failover mode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct DeathRecord {
+    /// The dead rank.
+    pub rank: usize,
+    /// The failover generation the rank died in.
+    pub gen: u32,
+}
+
 /// Shared wait-for registry for one world run.
 #[derive(Debug)]
 pub(crate) struct Watchdog {
     timeout: Duration,
     waits: Vec<Mutex<Option<WaitState>>>,
+    /// Death registry for degraded-mode failover: a crashing rank marks
+    /// itself dead *before* unwinding, so survivors can consult the set
+    /// when a channel disconnects or the commit barrier shrinks.
+    deaths: Mutex<Vec<DeathRecord>>,
 }
 
 impl Watchdog {
@@ -37,11 +50,30 @@ impl Watchdog {
         Self {
             timeout,
             waits: (0..p).map(|_| Mutex::new(None)).collect(),
+            deaths: Mutex::new(Vec::new()),
         }
     }
 
     pub(crate) fn timeout(&self) -> Duration {
         self.timeout
+    }
+
+    /// Records that `rank` died during failover generation `gen`.
+    pub(crate) fn mark_dead(&self, rank: usize, gen: u32) {
+        let mut deaths = self.deaths.lock().unwrap();
+        if !deaths.iter().any(|d| d.rank == rank) {
+            deaths.push(DeathRecord { rank, gen });
+        }
+    }
+
+    /// Snapshot of all recorded deaths, in registration order.
+    pub(crate) fn deaths(&self) -> Vec<DeathRecord> {
+        self.deaths.lock().unwrap().clone()
+    }
+
+    /// Ranks still alive out of a world of `p`.
+    pub(crate) fn alive_count(&self, p: usize) -> usize {
+        p - self.deaths.lock().unwrap().len()
     }
 
     /// Registers that `rank` is about to block.
@@ -107,6 +139,9 @@ pub(crate) struct TimeoutBarrier {
 struct BarrierState {
     count: usize,
     generation: u64,
+    /// Verdict published by the releasing party of the most recently
+    /// completed generation (see [`TimeoutBarrier::wait_verdict`]).
+    verdict: bool,
 }
 
 impl TimeoutBarrier {
@@ -116,6 +151,7 @@ impl TimeoutBarrier {
             state: Mutex::new(BarrierState {
                 count: 0,
                 generation: 0,
+                verdict: true,
             }),
             cv: Condvar::new(),
         }
@@ -123,25 +159,65 @@ impl TimeoutBarrier {
 
     /// Waits for all `p` ranks; `false` if `timeout` elapsed first.
     pub(crate) fn wait(&self, timeout: Duration) -> bool {
+        self.wait_with(timeout, || self.p)
+    }
+
+    /// Death-aware wait: releases once the arrival count reaches
+    /// `required()`, re-evaluated on a short poll slice so a party that
+    /// dies *while others already wait* still releases the barrier (the
+    /// arrival count never reaches the original `p`, but `required()`
+    /// shrinks to match the survivors). Returns `false` on timeout.
+    pub(crate) fn wait_with(&self, timeout: Duration, required: impl Fn() -> usize) -> bool {
+        self.wait_verdict(timeout, required, || true).is_some()
+    }
+
+    /// Death-aware wait that also agrees on a verdict: the party that
+    /// trips the release evaluates `verdict()` exactly once, under the
+    /// barrier lock, and every waiter of that generation returns the
+    /// published value. `None` on timeout.
+    ///
+    /// This is what makes the failover epoch commit race-free. Each rank
+    /// deciding for itself *after* release would race against a peer
+    /// that passes the barrier, commits cleanly, and crashes immediately
+    /// afterwards: ranks reading the death registry before and after
+    /// that crash would reach different verdicts and diverge. Publishing
+    /// one verdict at release time removes the window. The single slot
+    /// cannot be overwritten before every waiter has read it: the next
+    /// generation cannot complete until every alive party arrives again,
+    /// which requires having woken from this one first.
+    pub(crate) fn wait_verdict(
+        &self,
+        timeout: Duration,
+        required: impl Fn() -> usize,
+        verdict: impl Fn() -> bool,
+    ) -> Option<bool> {
         let deadline = Instant::now() + timeout;
+        let slice = Duration::from_millis(5);
         let mut st = self.state.lock().unwrap();
         let gen = st.generation;
         st.count += 1;
-        if st.count == self.p {
+        let release = |st: &mut BarrierState| {
             st.count = 0;
             st.generation += 1;
+            st.verdict = verdict();
             self.cv.notify_all();
-            return true;
+            st.verdict
+        };
+        if st.count >= required() {
+            return Some(release(&mut st));
         }
         while st.generation == gen {
+            if st.count >= required() {
+                return Some(release(&mut st));
+            }
             let now = Instant::now();
             if now >= deadline {
-                return false;
+                return None;
             }
-            let (guard, _) = self.cv.wait_timeout(st, deadline - now).unwrap();
+            let (guard, _) = self.cv.wait_timeout(st, slice.min(deadline - now)).unwrap();
             st = guard;
         }
-        true
+        Some(st.verdict)
     }
 }
 
@@ -196,5 +272,41 @@ mod tests {
         assert!(!b.wait(Duration::from_millis(50)));
         assert!(t0.elapsed() >= Duration::from_millis(50));
         assert!(t0.elapsed() < Duration::from_secs(5), "returned promptly");
+    }
+
+    #[test]
+    fn death_registry_dedups_and_counts() {
+        let wd = Watchdog::new(4, Duration::from_millis(100));
+        assert_eq!(wd.alive_count(4), 4);
+        wd.mark_dead(2, 0);
+        wd.mark_dead(2, 1); // second report of the same rank is ignored
+        wd.mark_dead(3, 1);
+        assert_eq!(wd.alive_count(4), 2);
+        let deaths = wd.deaths();
+        assert_eq!(deaths.len(), 2);
+        assert_eq!(deaths[0], DeathRecord { rank: 2, gen: 0 });
+        assert_eq!(deaths[1], DeathRecord { rank: 3, gen: 1 });
+    }
+
+    #[test]
+    fn death_aware_wait_releases_when_requirement_shrinks() {
+        // 3-party barrier, but one party "dies" shortly after the other
+        // two arrive: the requirement drops to 2 and both release.
+        let b = Arc::new(TimeoutBarrier::new(3));
+        let alive = Arc::new(Mutex::new(3usize));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = b.clone();
+                let alive = alive.clone();
+                std::thread::spawn(move || {
+                    b.wait_with(Duration::from_secs(5), || *alive.lock().unwrap())
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        *alive.lock().unwrap() = 2;
+        for h in handles {
+            assert!(h.join().unwrap(), "survivors must release");
+        }
     }
 }

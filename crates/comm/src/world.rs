@@ -25,10 +25,10 @@ use gnn_trace::{RankTracer, WorldTrace};
 
 use crate::cost::CostModel;
 use crate::ctx::RankCtx;
-use crate::error::{CrashPanic, DeadlockPanic, WorldError};
+use crate::error::{ColumnLostPanic, CrashPanic, DeadlockPanic, EpochAbortPanic, WorldError};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::msg::Msg;
-use crate::stats::WorldStats;
+use crate::stats::{RankStats, WorldStats};
 use crate::watchdog::{TimeoutBarrier, Watchdog};
 
 /// Factory for SPMD runs.
@@ -39,7 +39,19 @@ pub struct ThreadWorld {
     timeout: Duration,
     injector: Option<Arc<FaultInjector>>,
     tracing: bool,
+    failover: bool,
 }
+
+/// What one rank thread hands back on success.
+type RankOut<R> = (R, RankStats, Option<Box<RankTracer>>);
+
+/// Joined panic payloads, tagged with the thread's rank index.
+type Failures = Vec<(usize, Box<dyn Any + Send>)>;
+
+/// What a failover run yields: one result slot per rank (`None` for
+/// ranks that died), aggregated stats, and the whole-world trace when
+/// tracing is on and no rank died.
+pub type FailoverRun<R> = (Vec<Option<R>>, WorldStats, Option<WorldTrace>);
 
 impl ThreadWorld {
     /// Default watchdog timeout: generous enough for any legitimate test
@@ -58,6 +70,7 @@ impl ThreadWorld {
             timeout: Self::DEFAULT_TIMEOUT,
             injector: None,
             tracing: false,
+            failover: false,
         }
     }
 
@@ -69,6 +82,18 @@ impl ThreadWorld {
     /// The configured watchdog timeout.
     pub fn timeout(&self) -> Duration {
         self.timeout
+    }
+
+    /// The watchdog timeout actually armed for a run: the configured
+    /// timeout scaled by the injected straggler budget. A deliberately
+    /// slowed rank legitimately takes longer to reach every rendezvous;
+    /// without this scaling a heavy `SlowCompute` plan trips the
+    /// deadlock watchdog on healthy runs.
+    pub fn effective_timeout(&self) -> Duration {
+        match &self.injector {
+            Some(inj) => self.timeout.mul_f64(inj.straggler_budget()),
+            None => self.timeout,
+        }
     }
 
     /// Sets the deadlock-watchdog timeout for blocking operations.
@@ -116,6 +141,24 @@ impl ThreadWorld {
         self.tracing
     }
 
+    /// Enables degraded-mode failover: an injected crash no longer tears
+    /// the world down. The dying rank registers itself in the death
+    /// registry, survivors abort the in-flight epoch attempt (`ABORT`
+    /// control frames + [`EpochAbortPanic`] unwinding), rendezvous at the
+    /// death-aware commit barrier, and retry under the next generation
+    /// with the shrunken grid. Use [`ThreadWorld::try_run_failover`] to
+    /// collect the survivors' results.
+    #[must_use]
+    pub fn with_failover(mut self, on: bool) -> Self {
+        self.failover = on;
+        self
+    }
+
+    /// True when degraded-mode failover is enabled.
+    pub fn failover(&self) -> bool {
+        self.failover
+    }
+
     /// Runs `f` on every rank; returns rank-indexed results and stats.
     ///
     /// `f` must be deterministic per rank and must execute a consistent
@@ -158,6 +201,109 @@ impl ThreadWorld {
         R: Send,
         F: Fn(&mut RankCtx) -> R + Sync,
     {
+        let (results, failures) = self.launch(self.failover, &f);
+        if !failures.is_empty() {
+            return Err(classify_failures(failures));
+        }
+        let p = self.p;
+        let mut outs = Vec::with_capacity(p);
+        let mut stats = Vec::with_capacity(p);
+        let mut tracers = Vec::with_capacity(p);
+        for slot in results {
+            let (r, st, tr) = slot.expect("rank produced no result");
+            outs.push(r);
+            stats.push(st);
+            if let Some(t) = tr {
+                tracers.push(*t);
+            }
+        }
+        let trace = (self.tracing && tracers.len() == p).then(|| WorldTrace::collect(tracers));
+        Ok((outs, WorldStats::new(stats), trace))
+    }
+
+    /// Degraded-mode entry point: runs `f` with failover enabled and
+    /// tolerates injected crashes as long as at least one rank survives.
+    ///
+    /// Returns one slot per rank — `Some(result)` for survivors, `None`
+    /// for ranks that died (their stats slots are default-filled so rank
+    /// indices stay aligned). `WorldStats::failovers` counts the deaths
+    /// the survivors absorbed in place. The trace is returned only for
+    /// death-free runs: a dead rank's tracer unwinds with its thread, so
+    /// a partial trace cannot pass whole-world validation.
+    ///
+    /// Still fails structurally when:
+    /// * an entire replica group died
+    ///   ([`WorldError::ReplicaColumnLost`], checkpoint-restart ladder),
+    /// * every rank died (the first crash is reported),
+    /// * any rank failed for a reason other than an injected crash.
+    pub fn try_run_failover<R, F>(&self, f: F) -> Result<FailoverRun<R>, WorldError>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        let (results, failures) = self.launch(true, &f);
+
+        let mut crash: Option<WorldError> = None;
+        let mut deaths = 0u64;
+        let mut column_lost: Option<usize> = None;
+        let mut other: Failures = Vec::new();
+        for (rank, payload) in failures {
+            if let Some(c) = payload.downcast_ref::<CrashPanic>() {
+                deaths += 1;
+                crash.get_or_insert(WorldError::InjectedCrash {
+                    rank: c.rank,
+                    epoch: c.epoch,
+                    op: c.op,
+                });
+            } else if let Some(c) = payload.downcast_ref::<ColumnLostPanic>() {
+                column_lost.get_or_insert(c.block_row);
+            } else {
+                other.push((rank, payload));
+            }
+        }
+        if let Some(block_row) = column_lost {
+            return Err(WorldError::ReplicaColumnLost { block_row });
+        }
+        if !other.is_empty() {
+            return Err(classify_failures(other));
+        }
+        if results.iter().all(Option::is_none) {
+            return Err(crash.expect("no survivors implies at least one crash"));
+        }
+
+        let mut outs = Vec::with_capacity(self.p);
+        let mut stats = Vec::with_capacity(self.p);
+        let mut tracers = Vec::new();
+        for slot in results {
+            match slot {
+                Some((r, st, tr)) => {
+                    outs.push(Some(r));
+                    stats.push(st);
+                    if let Some(t) = tr {
+                        tracers.push(*t);
+                    }
+                }
+                None => {
+                    outs.push(None);
+                    stats.push(RankStats::default());
+                }
+            }
+        }
+        let mut stats = WorldStats::new(stats);
+        stats.failovers = deaths;
+        let trace = (self.tracing && deaths == 0 && tracers.len() == self.p)
+            .then(|| WorldTrace::collect(tracers));
+        Ok((outs, stats, trace))
+    }
+
+    /// Builds the channel mesh and rank contexts, runs `f` on `p` scoped
+    /// threads, and joins them — shared machinery behind every run mode.
+    fn launch<R, F>(&self, failover: bool, f: &F) -> (Vec<Option<RankOut<R>>>, Failures)
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        silence_structured_panics();
         let p = self.p;
         // Mesh of channels: tx[src][dst] feeds rx[dst][src].
         let mut senders: Vec<Vec<Option<std::sync::mpsc::Sender<Msg>>>> =
@@ -172,7 +318,7 @@ impl ThreadWorld {
             }
         }
         let barrier = Arc::new(TimeoutBarrier::new(p));
-        let watchdog = Arc::new(Watchdog::new(p, self.timeout));
+        let watchdog = Arc::new(Watchdog::new(p, self.effective_timeout()));
 
         // Per-rank contexts, built outside the threads.
         let mut ctxs: Vec<RankCtx> = senders
@@ -190,16 +336,15 @@ impl ThreadWorld {
                     watchdog.clone(),
                     self.injector.clone(),
                     self.tracing.then(|| Box::new(RankTracer::new(rank))),
+                    failover,
                 )
             })
             .collect();
 
-        type RankOut<R> = (R, crate::stats::RankStats, Option<Box<RankTracer>>);
         let mut results: Vec<Option<RankOut<R>>> = (0..p).map(|_| None).collect();
-        let mut failures: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
+        let mut failures: Failures = Vec::new();
 
         std::thread::scope(|s| {
-            let f = &f;
             let mut handles = Vec::with_capacity(p);
             for (rank, (ctx, slot)) in ctxs.drain(..).zip(results.iter_mut()).enumerate() {
                 let handle = std::thread::Builder::new()
@@ -220,34 +365,51 @@ impl ThreadWorld {
             }
         });
 
-        if !failures.is_empty() {
-            return Err(classify_failures(failures));
-        }
-
-        let mut outs = Vec::with_capacity(p);
-        let mut stats = Vec::with_capacity(p);
-        let mut tracers = Vec::with_capacity(p);
-        for slot in results {
-            let (r, st, tr) = slot.expect("rank produced no result");
-            outs.push(r);
-            stats.push(st);
-            if let Some(t) = tr {
-                tracers.push(*t);
-            }
-        }
-        let trace = (self.tracing && tracers.len() == p).then(|| WorldTrace::collect(tracers));
-        Ok((outs, WorldStats::new(stats), trace))
+        (results, failures)
     }
+}
+
+/// Installs — once per process — a panic hook that suppresses the
+/// default "thread panicked" report for the panics the runtime throws on
+/// purpose: the structured control-flow payloads (injected crashes,
+/// epoch aborts, replica-column loss, deadlock reports) and the "peer
+/// hung up" cascades a dead rank leaves behind. All of them are caught
+/// and classified by the run entry points into one structured
+/// [`WorldError`]; printing a backtrace per survivor per aborted epoch
+/// attempt is pure noise. Every other payload (a genuine bug) still
+/// prints through the previously installed hook.
+fn silence_structured_panics() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            let expected = p.is::<CrashPanic>()
+                || p.is::<EpochAbortPanic>()
+                || p.is::<ColumnLostPanic>()
+                || p.is::<DeadlockPanic>()
+                // Same string classify_failures demotes to a cascade.
+                || p.downcast_ref::<String>()
+                    .is_some_and(|m| m.contains("hung up"));
+            if !expected {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// Picks the root cause out of (possibly cascading) rank failures.
 ///
-/// Precedence: an injected crash (the planned root cause) beats an
-/// organic panic, which beats a deadlock report (ranks parked at a
-/// barrier while a peer dies time out as a *consequence*, not a cause);
-/// "peer hung up" panics are cascades of some other rank's death and
-/// are only reported when nothing better is available.
-fn classify_failures(failures: Vec<(usize, Box<dyn Any + Send>)>) -> WorldError {
+/// Precedence: losing a whole replica group (the most informative
+/// diagnosis — it subsumes the crashes that caused it) beats an injected
+/// crash (the planned root cause), which beats an organic panic, which
+/// beats a deadlock report (ranks parked at a barrier while a peer dies
+/// time out as a *consequence*, not a cause); "peer hung up" panics are
+/// cascades of some other rank's death and are only reported when
+/// nothing better is available.
+fn classify_failures(failures: Failures) -> WorldError {
+    let mut column_lost: Option<WorldError> = None;
     let mut crash: Option<WorldError> = None;
     let mut deadlock: Option<WorldError> = None;
     let mut primary: Option<WorldError> = None;
@@ -258,6 +420,20 @@ fn classify_failures(failures: Vec<(usize, Box<dyn Any + Send>)>) -> WorldError 
                 rank: c.rank,
                 epoch: c.epoch,
                 op: c.op,
+            });
+        } else if let Some(c) = payload.downcast_ref::<ColumnLostPanic>() {
+            column_lost.get_or_insert(WorldError::ReplicaColumnLost {
+                block_row: c.block_row,
+            });
+        } else if let Some(a) = payload.downcast_ref::<EpochAbortPanic>() {
+            // Only reachable when no trainer catch_unwind was in place —
+            // a harness bug, reported as an organic panic.
+            primary.get_or_insert(WorldError::Panicked {
+                rank,
+                message: format!(
+                    "epoch abort (generation {}) escaped to the world boundary",
+                    a.generation
+                ),
             });
         } else if let Some(d) = payload.downcast_ref::<DeadlockPanic>() {
             deadlock.get_or_insert(WorldError::Deadlock(d.0.clone()));
@@ -274,7 +450,8 @@ fn classify_failures(failures: Vec<(usize, Box<dyn Any + Send>)>) -> WorldError 
             }
         }
     }
-    crash
+    column_lost
+        .or(crash)
         .or(primary)
         .or(deadlock)
         .or(cascade)
@@ -641,6 +818,7 @@ mod tests {
             watchdog,
             None,
             None,
+            false,
         );
         ctx.send(0, Payload::Empty);
     }
@@ -702,7 +880,10 @@ mod tests {
 
     #[test]
     fn dropped_messages_are_retransmitted_and_counted() {
+        // prob = 1.0: every attempt up to the retry cap is lost; the
+        // attempt at `max_retries` is forced clean.
         let plan = FaultPlan::new(3).drop_messages(0, None, 1.0);
+        let retries = u64::from(plan.max_retries);
         let (outs, stats) = world(2).with_faults(plan).run(|ctx| {
             let peer = 1 - ctx.rank();
             ctx.send(peer, Payload::F64(vec![ctx.rank() as f64]));
@@ -711,34 +892,163 @@ mod tests {
         // Payloads still arrive intact.
         assert_eq!(outs, vec![1.0, 0.0]);
         let r0 = &stats.per_rank[0].faults;
-        assert_eq!(r0.drops, 1);
-        assert_eq!(r0.retries, 1);
+        assert_eq!(r0.drops, retries);
+        assert_eq!(r0.retries, retries);
         assert_eq!(stats.per_rank[1].faults.drops, 0);
-        assert_eq!(stats.total_retries(), 1);
-        // The retransmission costs modeled time and wire bytes (counted
-        // separately), but never logical volume.
+        assert_eq!(stats.total_retries(), retries);
+        // Retransmissions cost modeled time and wire bytes, charged to
+        // the dedicated phase — never to the op's logical volume.
         assert_eq!(stats.per_rank[0].phase(Phase::P2p).bytes_sent, 8);
-        assert_eq!(r0.retransmit_bytes, 8);
+        assert_eq!(
+            stats.per_rank[0].phase(Phase::Retransmit).bytes_sent,
+            retries * 8
+        );
+        assert_eq!(r0.retransmit_bytes, retries * 8);
         assert_eq!(stats.per_rank[1].faults.retransmit_bytes, 0);
-        assert_eq!(stats.total_retransmit_bytes(), 8);
-        assert!(
-            stats.per_rank[0].phase(Phase::P2p).modeled_seconds
-                > stats.per_rank[1].phase(Phase::P2p).modeled_seconds
+        assert_eq!(stats.total_retransmit_bytes(), retries * 8);
+        // Logical totals exclude the wire overhead; the wire view adds it.
+        assert_eq!(stats.per_rank[0].bytes_sent_total(), 8);
+        assert_eq!(stats.per_rank[0].wire_bytes_sent_total(), 8 + retries * 8);
+        assert!(stats.per_rank[0].phase(Phase::Retransmit).modeled_seconds > 0.0);
+        assert_eq!(
+            stats.per_rank[1].phase(Phase::Retransmit).modeled_seconds,
+            0.0
         );
     }
 
     #[test]
     fn corruption_is_detected_by_the_receiver() {
+        // Corrupted frames actually travel: the receiver's checksum
+        // rejects each damaged attempt until the forced-clean one lands.
         let plan = FaultPlan::new(5).corrupt_messages(0, Some(1), 1.0);
+        let retries = u64::from(plan.max_retries);
         let (outs, stats) = world(2).with_faults(plan).run(|ctx| {
             let peer = 1 - ctx.rank();
             ctx.send(peer, Payload::U32(vec![7]));
             ctx.recv(peer).into_u32()[0]
         });
         assert_eq!(outs, vec![7, 7]);
-        assert_eq!(stats.per_rank[0].faults.corruptions, 1);
-        assert_eq!(stats.per_rank[1].faults.corruptions_detected, 1);
-        assert_eq!(stats.total_injected_faults(), 1);
+        assert_eq!(stats.per_rank[0].faults.corruptions, retries);
+        assert_eq!(stats.per_rank[1].faults.corruptions_detected, retries);
+        assert_eq!(stats.total_injected_faults(), retries);
+        // The receiver's wasted transfers land on the retransmit phase.
+        assert_eq!(stats.per_rank[1].phase(Phase::Retransmit).ops, retries);
+        // Logical volume stays that of one clean 4-byte message.
+        assert_eq!(stats.per_rank[1].bytes_recv_total(), 4);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_discarded_by_sequence_number() {
+        // Two messages, every delivery duplicated: the first recv accepts
+        // seq 0, the second recv drains the stale copy of seq 0 before
+        // accepting seq 1. (The duplicate of the final message is never
+        // drained — ending an epoch with junk in flight must be safe.)
+        let plan = FaultPlan::new(9).duplicate_messages(0, Some(1), 1.0);
+        let (outs, stats) = world(2).with_faults(plan).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, Payload::F64(vec![1.0]));
+                ctx.send(1, Payload::F64(vec![2.0]));
+                0.0
+            } else {
+                ctx.recv(0).into_f64()[0] + ctx.recv(0).into_f64()[0]
+            }
+        });
+        assert_eq!(outs, vec![0.0, 3.0]);
+        assert_eq!(stats.per_rank[0].faults.duplicates, 2);
+        assert_eq!(stats.per_rank[1].faults.duplicates_discarded, 1);
+        // Each duplicate is wire overhead, never logical volume.
+        assert_eq!(stats.per_rank[0].phase(Phase::Retransmit).bytes_sent, 16);
+        assert_eq!(stats.per_rank[0].bytes_sent_total(), 16);
+        assert_eq!(stats.per_rank[1].bytes_recv_total(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "transport violation")]
+    fn reordered_future_frame_is_a_transport_violation() {
+        // Hand-deliver a frame from the future (seq 3 while seq 0 is
+        // expected): the receiver must refuse to skip messages.
+        let (tx_self, rx_self) = channel();
+        let (tx_peer, rx_peer) = channel();
+        let payload = Payload::F64(vec![1.0]);
+        tx_peer
+            .send(Msg {
+                tag: crate::ctx::tag::P2P,
+                seq: 3,
+                gen: 0,
+                checksum: payload.checksum(),
+                payload,
+            })
+            .unwrap();
+        let mut ctx = crate::ctx::RankCtx::new(
+            0,
+            2,
+            CostModel::bandwidth_only(),
+            vec![tx_self, tx_peer],
+            vec![rx_self, rx_peer],
+            Arc::new(TimeoutBarrier::new(2)),
+            Arc::new(Watchdog::new(2, Duration::from_secs(1))),
+            None,
+            None,
+            false,
+        );
+        ctx.recv(1);
+    }
+
+    #[test]
+    fn corruption_storm_converges_within_the_backoff_cap() {
+        // Every transmission in both directions is corrupted until the
+        // forced-clean attempt. The run must still converge, and no
+        // single backoff wait may exceed the configured cap.
+        let plan = FaultPlan::new(17)
+            .corrupt_messages(0, None, 1.0)
+            .corrupt_messages(1, None, 1.0);
+        let cap = plan.retry_backoff_cap_seconds;
+        let retries = u64::from(plan.max_retries);
+        let bound: f64 = (0..plan.max_retries).map(|a| plan.backoff_seconds(a)).sum();
+        let (outs, stats) = world(2).with_faults(plan).run(|ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send(peer, Payload::F64(vec![ctx.rank() as f64 + 0.5]));
+            ctx.recv(peer).into_f64()[0]
+        });
+        assert_eq!(outs, vec![1.5, 0.5]);
+        for r in &stats.per_rank {
+            assert_eq!(r.faults.corruptions, retries);
+            assert_eq!(r.faults.corruptions_detected, retries);
+            // Sender-side retransmit time = capped backoffs + wire time
+            // of the resent frames + receiver-side wasted transfers.
+            let rt = r.phase(Phase::Retransmit);
+            let wire = retries as f64 * CostModel::bandwidth_only().p2p(8) * 2.0;
+            assert!(
+                rt.modeled_seconds <= bound + wire + 1e-9,
+                "retransmit time {} exceeds backoff budget {}",
+                rt.modeled_seconds,
+                bound + wire
+            );
+            assert!(
+                bound <= retries as f64 * cap + 1e-12,
+                "cap bounds each wait"
+            );
+        }
+    }
+
+    #[test]
+    fn straggler_budget_scales_the_watchdog_timeout() {
+        // Regression: a heavy straggler used to trip the deadlock
+        // watchdog on healthy runs — the fast ranks' barrier wait
+        // exceeded the unscaled timeout while the slow rank was still
+        // legitimately computing.
+        let plan = FaultPlan::new(0).slow_compute(1, 20.0);
+        let w = world(2)
+            .with_timeout(Duration::from_millis(40))
+            .with_faults(plan);
+        assert_eq!(w.effective_timeout(), Duration::from_millis(800));
+        let (_, stats) = w.run(|ctx| {
+            if ctx.rank() == 1 {
+                ctx.compute(1000, || std::thread::sleep(Duration::from_millis(200)));
+            }
+            ctx.barrier();
+        });
+        assert_eq!(stats.per_rank[1].faults.slowed_ops, 1);
     }
 
     #[test]
@@ -806,5 +1116,114 @@ mod tests {
         assert_eq!(a_out, b_out);
         assert_eq!(a_stats, b_stats);
         assert!(a_stats.total_injected_faults() > 0, "plan injected nothing");
+    }
+
+    // ---- degraded-mode failover ----
+
+    #[test]
+    fn failover_run_tolerates_a_crash_with_survivors() {
+        let plan = FaultPlan::new(0).crash_at(1, 0, 0);
+        let (outs, stats, trace) = world(2)
+            .with_failover(true)
+            .with_faults(plan)
+            .try_run_failover(|ctx| {
+                ctx.set_epoch(0);
+                ctx.rank() * 10
+            })
+            .expect("the survivor's result must come back");
+        assert_eq!(outs, vec![Some(0), None]);
+        assert_eq!(stats.failovers, 1);
+        assert!(trace.is_none());
+    }
+
+    #[test]
+    fn failover_with_no_survivors_reports_the_crash() {
+        let plan = FaultPlan::new(0).crash_at(0, 0, 0).crash_at(1, 0, 0);
+        let err = world(2)
+            .with_failover(true)
+            .with_faults(plan)
+            .try_run_failover(|ctx| {
+                ctx.set_epoch(0);
+            })
+            .unwrap_err();
+        match err {
+            WorldError::InjectedCrash { .. } => {}
+            other => panic!("expected InjectedCrash, got {other}"),
+        }
+    }
+
+    #[test]
+    fn failover_epoch_abort_retries_and_commits_on_survivors() {
+        use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+        // Rank 1 dies at its first op of epoch 0. Rank 0 (waiting on a
+        // message from it) aborts the attempt; rank 2 completes the
+        // attempt obliviously. Both rendezvous at the death-aware commit
+        // barrier, agree the generation is poisoned, and retry with the
+        // shrunken world — stale generation-0 frames are discarded.
+        let plan = FaultPlan::new(0).crash_at(1, 0, 1);
+        let (outs, stats, _) = world(3)
+            .with_failover(true)
+            .with_faults(plan)
+            .try_run_failover(|ctx| {
+                ctx.set_epoch(0);
+                let mut committed = None;
+                let mut attempts = 0;
+                while committed.is_none() {
+                    attempts += 1;
+                    assert!(attempts <= 3, "failover retry did not converge");
+                    let dead = ctx.dead_ranks();
+                    let alive: Vec<usize> = (0..ctx.p()).filter(|r| !dead.contains(r)).collect();
+                    let root = alive[0];
+                    let me = ctx.rank();
+                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                        if me == root {
+                            let mut acc = me as f64;
+                            for &src in &alive[1..] {
+                                acc += ctx.recv(src).into_f64()[0];
+                            }
+                            acc
+                        } else {
+                            ctx.send(root, Payload::F64(vec![me as f64]));
+                            me as f64
+                        }
+                    }));
+                    match attempt {
+                        Ok(v) => {
+                            if ctx.commit_epoch() {
+                                committed = Some(v);
+                            }
+                        }
+                        Err(payload) => {
+                            if payload.downcast_ref::<EpochAbortPanic>().is_none() {
+                                resume_unwind(payload);
+                            }
+                            assert!(!ctx.commit_epoch(), "aborted attempt must not commit");
+                        }
+                    }
+                }
+                (committed.unwrap(), ctx.generation())
+            })
+            .expect("survivors must complete");
+        // Retried sum excludes the dead rank: 0 + 2 at the root.
+        assert_eq!(outs[0], Some((2.0, 1)));
+        assert_eq!(outs[1], None);
+        assert_eq!(outs[2], Some((2.0, 1)));
+        assert_eq!(stats.failovers, 1);
+    }
+
+    #[test]
+    fn failover_propagates_replica_column_loss() {
+        let err = world(2)
+            .with_failover(true)
+            .try_run_failover(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.replica_column_lost(3);
+                }
+            })
+            .unwrap_err();
+        match err {
+            WorldError::ReplicaColumnLost { block_row } => assert_eq!(block_row, 3),
+            other => panic!("expected ReplicaColumnLost, got {other}"),
+        }
     }
 }

@@ -1,0 +1,265 @@
+//! Checksummed training-state checkpoints with corruption fallback.
+//!
+//! The elastic-restart supervisor snapshots the replicated training
+//! state (weights, optimizer state, epoch records) so a torn-down world
+//! can resume instead of recomputing from scratch. A snapshot that was
+//! silently corrupted between write and restore would poison the resumed
+//! run while *looking* healthy — so every [`Checkpoint`] is stamped with
+//! an FNV-1a checksum over all of its bits at save time, and
+//! [`CheckpointStore::restore`] re-verifies before handing it out. The
+//! store keeps the last **two** snapshots: if the newest fails
+//! verification, restore falls back to the previous one, and only when
+//! both are bad (or none exist) does training restart from scratch.
+
+use spmat::Dense;
+
+use crate::model::Weights;
+use crate::optim::Optimizer;
+use crate::reference::EpochRecord;
+
+/// A consistent snapshot of the replicated training state. Weights and
+/// optimizer state are identical on every rank (deterministic init +
+/// all-reduced gradients), so one rank's copy is globally valid.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// First epoch that still has to run.
+    pub next_epoch: usize,
+    /// Replicated model weights.
+    pub weights: Weights,
+    /// Replicated optimizer state.
+    pub optimizer: Optimizer,
+    /// Epoch records accumulated so far.
+    pub records: Vec<EpochRecord>,
+}
+
+#[derive(Clone, Debug)]
+struct Stored {
+    ck: Checkpoint,
+    checksum: u64,
+}
+
+/// Ring of the last two checksummed snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointStore {
+    slots: [Option<Stored>; 2],
+    /// Index of the most recently written slot.
+    newest: usize,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fnv_u64(hash: &mut u64, v: u64) {
+    fnv(hash, &v.to_le_bytes());
+}
+
+fn fnv_f64(hash: &mut u64, v: f64) {
+    fnv_u64(hash, v.to_bits());
+}
+
+fn fnv_dense(hash: &mut u64, d: &Dense) {
+    fnv_u64(hash, d.rows() as u64);
+    fnv_u64(hash, d.cols() as u64);
+    for &x in d.data() {
+        fnv_f64(hash, x);
+    }
+}
+
+/// FNV-1a over every bit of the snapshot: epoch cursor, weight
+/// matrices, full optimizer state, and the epoch records.
+fn checksum(ck: &Checkpoint) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_u64(&mut h, ck.next_epoch as u64);
+    fnv_u64(&mut h, ck.weights.mats.len() as u64);
+    for m in &ck.weights.mats {
+        fnv_dense(&mut h, m);
+    }
+    match &ck.optimizer {
+        Optimizer::Sgd { lr } => {
+            fnv_u64(&mut h, 0);
+            fnv_f64(&mut h, *lr);
+        }
+        Optimizer::Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t,
+            m,
+            v,
+        } => {
+            fnv_u64(&mut h, 1);
+            fnv_f64(&mut h, *lr);
+            fnv_f64(&mut h, *beta1);
+            fnv_f64(&mut h, *beta2);
+            fnv_f64(&mut h, *eps);
+            fnv_u64(&mut h, *t);
+            for d in m.iter().chain(v) {
+                fnv_dense(&mut h, d);
+            }
+        }
+    }
+    fnv_u64(&mut h, ck.records.len() as u64);
+    for r in &ck.records {
+        fnv_f64(&mut h, r.loss);
+        fnv_f64(&mut h, r.train_accuracy);
+    }
+    h
+}
+
+impl CheckpointStore {
+    /// An empty store (restore yields `None` → train from scratch).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stamps `ck` with its checksum and writes it over the *older*
+    /// slot, so the previous snapshot survives as the fallback.
+    pub fn save(&mut self, ck: Checkpoint) {
+        let slot = if self.slots[self.newest].is_some() {
+            1 - self.newest
+        } else {
+            self.newest
+        };
+        self.slots[slot] = Some(Stored {
+            checksum: checksum(&ck),
+            ck,
+        });
+        self.newest = slot;
+    }
+
+    /// The newest snapshot that passes checksum verification: the most
+    /// recent save, the previous one if the newest is corrupted, or
+    /// `None` when neither verifies (train from scratch).
+    pub fn restore(&self) -> Option<Checkpoint> {
+        for slot in [self.newest, 1 - self.newest] {
+            if let Some(st) = &self.slots[slot] {
+                if checksum(&st.ck) == st.checksum {
+                    return Some(st.ck.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// How many snapshots are currently held (verified or not).
+    pub fn len(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Whether no snapshot has ever been saved.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Epoch cursor of the snapshot `restore` would return, if any.
+    pub fn resume_epoch(&self) -> Option<usize> {
+        self.restore().map(|ck| ck.next_epoch)
+    }
+
+    #[cfg(test)]
+    fn corrupt_newest(&mut self) {
+        let st = self.slots[self.newest]
+            .as_mut()
+            .expect("nothing to corrupt");
+        let data = st.ck.weights.mats[0].data_mut();
+        data[0] = f64::from_bits(data[0].to_bits() ^ 1); // single bit flip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GcnConfig;
+    use crate::optim::OptKind;
+
+    fn snapshot(next_epoch: usize, seed: u64, opt: OptKind) -> Checkpoint {
+        let cfg = GcnConfig {
+            dims: vec![4, 3],
+            lr: 0.05,
+            seed,
+            opt,
+            arch: Default::default(),
+        };
+        Checkpoint {
+            next_epoch,
+            weights: Weights::init(&cfg),
+            optimizer: Optimizer::from_config(&cfg),
+            records: vec![EpochRecord {
+                loss: 1.25,
+                train_accuracy: 0.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_restores_the_newest_snapshot() {
+        let mut store = CheckpointStore::new();
+        assert!(store.is_empty());
+        assert!(store.restore().is_none());
+        store.save(snapshot(2, 1, OptKind::Sgd));
+        store.save(snapshot(4, 2, OptKind::Sgd));
+        store.save(snapshot(6, 3, OptKind::Sgd));
+        assert_eq!(store.len(), 2, "ring keeps exactly two snapshots");
+        assert_eq!(store.resume_epoch(), Some(6));
+    }
+
+    #[test]
+    fn corrupted_newest_falls_back_to_previous() {
+        let mut store = CheckpointStore::new();
+        store.save(snapshot(2, 1, OptKind::Adam));
+        store.save(snapshot(4, 2, OptKind::Adam));
+        store.corrupt_newest();
+        let restored = store.restore().expect("fallback snapshot verifies");
+        assert_eq!(restored.next_epoch, 2, "must fall back to the older one");
+    }
+
+    #[test]
+    fn both_corrupted_means_scratch_restart() {
+        let mut store = CheckpointStore::new();
+        store.save(snapshot(2, 1, OptKind::Sgd));
+        store.corrupt_newest();
+        assert!(store.restore().is_none());
+        store.save(snapshot(4, 2, OptKind::Sgd));
+        store.corrupt_newest();
+        assert!(store.restore().is_none(), "no valid snapshot survives");
+    }
+
+    #[test]
+    fn checksum_covers_every_field() {
+        let base = snapshot(2, 1, OptKind::Adam);
+        let sum = checksum(&base);
+
+        let mut c = base.clone();
+        c.next_epoch = 3;
+        assert_ne!(checksum(&c), sum, "epoch cursor");
+
+        let mut c = base.clone();
+        c.records[0].loss += 1e-12;
+        assert_ne!(checksum(&c), sum, "records");
+
+        let mut c = base.clone();
+        if let Optimizer::Adam { t, .. } = &mut c.optimizer {
+            *t += 1;
+        }
+        assert_ne!(checksum(&c), sum, "optimizer step counter");
+
+        let mut c = base.clone();
+        if let Optimizer::Adam { m, .. } = &mut c.optimizer {
+            m[0].data_mut()[0] += 1.0;
+        }
+        assert_ne!(checksum(&c), sum, "optimizer moments");
+
+        let d = base.weights.mats[0].data()[0];
+        let mut c = base;
+        c.weights.mats[0].data_mut()[0] = f64::from_bits(d.to_bits() ^ 1);
+        assert_ne!(checksum(&c), sum, "single weight bit");
+    }
+}

@@ -1,0 +1,553 @@
+//! Degraded-mode failover for the 1.5D algorithm: surviving replicas
+//! take over a dead rank's communication and compute duties so the epoch
+//! completes without a world restart.
+//!
+//! The 1.5D layout replicates block row `i` of `H` (and `Aᵀ`) on the `c`
+//! ranks of grid row `i`. When rank `d = (i, j)` dies, every byte it
+//! would have sent and every partial it would have computed can be
+//! reproduced bit-for-bit by any survivor in grid row `i` — they hold
+//! identical data. [`FailoverView`] assigns each dead rank a *proxy*
+//! (the lowest-ranked survivor in its grid row); the proxy then executes
+//! the dead rank's *persona* inside [`spmm_15d_failover_buf`]: its
+//! designated-sender shipments, its stage partials, and its slot in the
+//! process-row all-reduce.
+//!
+//! Bit-identity with a fault-free run is preserved by folding all
+//! reductions in the same slot order the fault-free
+//! [`RankCtx::allreduce_sum`] uses (slot 0's value first, then `+=` each
+//! later slot in rank order), with a dead slot's value supplied by its
+//! proxy. For *row-replicated* quantities (loss sums, weight-gradient
+//! partials) the proxy's own buffer already equals the dead rank's
+//! bit-for-bit, which is what [`failover_allreduce_replicated`] exploits.
+//!
+//! Role assignment must be identical on every rank without
+//! communication: the view is built from
+//! [`RankCtx::sealed_dead_ranks`] — deaths sealed by the previous commit
+//! barrier — never from the racy full registry. A death *during* the
+//! current epoch attempt is handled by the transport layer's
+//! abort/retry protocol instead, and shows up in the sealed set of the
+//! next attempt.
+
+use gnn_comm::msg::Payload;
+use gnn_comm::{Phase, RankCtx, SpanKind};
+use spmat::spmm::{spmm_acc, spmm_flops};
+use spmat::Dense;
+
+use super::buffers::EpochBuffers;
+use super::plan::Plan15d;
+
+/// Deterministic role assignment for one epoch attempt: which ranks are
+/// dead, and which survivor hosts each dead rank's persona.
+#[derive(Clone, Debug)]
+pub struct FailoverView {
+    /// Sealed dead ranks, ascending.
+    dead: Vec<usize>,
+    /// `hosts[r]`: the rank that executes `r`'s duties — `r` itself when
+    /// alive, its proxy (lowest survivor in `r`'s grid row) when dead.
+    hosts: Vec<usize>,
+}
+
+impl FailoverView {
+    /// Builds the view for the calling rank's current generation.
+    ///
+    /// Diverts to [`RankCtx::replica_column_lost`] (tearing the world
+    /// down for a checkpoint restart) when an entire replica group is
+    /// dead — no survivor holds that block row, so in-place recovery is
+    /// impossible.
+    pub fn compute(ctx: &mut RankCtx, plan: &Plan15d) -> FailoverView {
+        match Self::from_dead(ctx.sealed_dead_ranks(), plan.p, plan.c) {
+            Ok(view) => view,
+            Err(block_row) => ctx.replica_column_lost(block_row),
+        }
+    }
+
+    /// Pure role assignment from an explicit dead set (for a `p/c × c`
+    /// grid with ranks laid out `rank = i·c + j`). `Err(block_row)`
+    /// means every replica of `block_row` is dead.
+    pub fn from_dead(mut dead: Vec<usize>, p: usize, c: usize) -> Result<FailoverView, usize> {
+        dead.sort_unstable();
+        dead.dedup();
+        let mut hosts: Vec<usize> = (0..p).collect();
+        for &d in &dead {
+            let row = d / c;
+            match (row * c..(row + 1) * c).find(|r| !dead.contains(r)) {
+                Some(proxy) => hosts[d] = proxy,
+                None => return Err(row),
+            }
+        }
+        Ok(FailoverView { dead, hosts })
+    }
+
+    /// Whether any rank is dead (the degraded collectives are needed).
+    pub fn is_degraded(&self) -> bool {
+        !self.dead.is_empty()
+    }
+
+    /// Whether `r` is alive.
+    pub fn alive(&self, r: usize) -> bool {
+        self.hosts[r] == r
+    }
+
+    /// The rank executing `r`'s duties (`r` itself when alive).
+    pub fn host_of(&self, r: usize) -> usize {
+        self.hosts[r]
+    }
+
+    /// Lowest-ranked survivor (root of degraded global collectives).
+    pub fn lowest_alive(&self) -> usize {
+        (0..self.hosts.len())
+            .find(|&r| self.alive(r))
+            .expect("a failover view always has at least one survivor")
+    }
+
+    /// Logical ranks whose duties `host` executes this attempt, in
+    /// ascending rank order: itself plus every dead rank it proxies.
+    pub fn personas_of(&self, host: usize) -> Vec<usize> {
+        (0..self.hosts.len())
+            .filter(|&r| self.hosts[r] == host)
+            .collect()
+    }
+
+    /// The sealed dead set, ascending.
+    pub fn dead(&self) -> &[usize] {
+        &self.dead
+    }
+}
+
+/// Degraded-mode 1.5D SpMM: like
+/// [`super::onefived::spmm_15d_buf`], but the calling rank executes
+/// every persona assigned to it by `view` — shipping dead
+/// designated-senders' row data from its own (identical) `H` block,
+/// computing their stage partials, and folding their slots into the
+/// process-row all-reduce. Produces the same `Zᵢ` bits a fault-free run
+/// would.
+pub fn spmm_15d_failover_buf(
+    ctx: &mut RankCtx,
+    plan: &Plan15d,
+    view: &FailoverView,
+    h_local: &Dense,
+    aware: bool,
+    bufs: &mut EpochBuffers,
+) -> Dense {
+    let me = ctx.rank();
+    let rp_me = &plan.ranks[me];
+    let f = h_local.cols();
+    let rows_i = rp_me.row_hi - rp_me.row_lo;
+    assert_eq!(h_local.rows(), rows_i, "local H block shape mismatch");
+    let personas = view.personas_of(me);
+    ctx.span_begin(SpanKind::Spmm15d, Phase::P2p);
+
+    // Phase 1: designated-sender shipments, for every persona. All of
+    // this host's personas share grid row `i`, so at most one of them is
+    // row `i`'s designated sender, and the data it ships is packed from
+    // the host's own replicated block.
+    for &persona in &personas {
+        let rp = &plan.ranks[persona];
+        if rp.send_lists.is_empty() {
+            continue;
+        }
+        let mut pack_elems = 0u64;
+        for l in 0..plan.pr {
+            let dst = plan.rank_of(l, rp.j);
+            if dst == persona {
+                continue; // that persona's own stage gathers locally
+            }
+            let idx = &rp.send_lists[l];
+            if idx.is_empty() {
+                continue;
+            }
+            // A destination hosted *here* would be a same-grid-row
+            // persona, i.e. the local-gather case excluded above.
+            debug_assert_ne!(view.host_of(dst), me, "self-send in failover plan");
+            let payload = if aware {
+                let mut data = bufs.take_zeroed(idx.len() * f);
+                h_local.pack_rows_into(idx, rp.row_lo, &mut data);
+                pack_elems += (idx.len() * f) as u64;
+                let mut ids = bufs.take_u32(idx.len());
+                ids.extend_from_slice(idx);
+                Payload::Rows { idx: ids, data }
+            } else {
+                let mut data = bufs.take_vec(h_local.data().len());
+                data.extend_from_slice(h_local.data());
+                Payload::F64(data)
+            };
+            ctx.send(view.host_of(dst), payload);
+        }
+        if pack_elems > 0 {
+            ctx.record_compute(pack_elems);
+        }
+    }
+
+    // Phase 2: each persona's stage loop, producing one partial per
+    // persona. Receives are redirected to the effective host of each
+    // logical source; per (host, host) channel at most one frame is in
+    // flight per SpMM, so ordering is unambiguous.
+    let mut partials: Vec<Dense> = Vec::with_capacity(personas.len());
+    for &persona in &personas {
+        let rp = &plan.ranks[persona];
+        let mut partial = bufs.take_dense(rows_i, f);
+        for st in &rp.stages {
+            let h_stage: Dense = if st.q == rp.i {
+                let mut data = bufs.take_zeroed(st.needed.len() * f);
+                h_local.pack_rows_into(&st.needed, rp.row_lo, &mut data);
+                ctx.record_compute((st.needed.len() * f) as u64);
+                Dense::from_vec(st.needed.len(), f, data)
+            } else if st.needed.is_empty() {
+                Dense::zeros(0, f)
+            } else {
+                let src = view.host_of(plan.rank_of(st.q, rp.j));
+                if aware {
+                    let (idx, data) = ctx.recv(src).into_rows();
+                    debug_assert_eq!(idx, st.needed, "row ids mismatch from host {src}");
+                    let d = Dense::from_vec(idx.len(), f, data);
+                    bufs.put_u32(idx);
+                    d
+                } else {
+                    let data = ctx.recv(src).into_f64();
+                    assert_eq!(
+                        data.len(),
+                        st.needed.len() * f,
+                        "block size mismatch from {src}"
+                    );
+                    Dense::from_vec(st.needed.len(), f, data)
+                }
+            };
+            let flops = spmm_flops(&st.block_compact, f);
+            let block = &st.block_compact;
+            ctx.compute(flops, || spmm_acc(block, &h_stage, &mut partial));
+            bufs.put_dense(h_stage);
+        }
+        partials.push(partial);
+    }
+
+    // Phase 3: process-row all-reduce with dead slots folded from their
+    // proxies' persona partials, in fault-free slot order.
+    let z = failover_row_allreduce(ctx, plan, view, rp_me.i, &personas, partials, bufs);
+    ctx.span_end();
+    z
+}
+
+/// Sums per-persona partials across grid row `row`, reproducing the
+/// fault-free all-reduce fold bit-for-bit: the slot-`j = 0` value first,
+/// then `+=` each later slot in grid-column order. The root is the
+/// lowest survivor in the row — which is exactly the host of every dead
+/// persona in that row, so it holds the dead slots' partials locally.
+fn failover_row_allreduce(
+    ctx: &mut RankCtx,
+    plan: &Plan15d,
+    view: &FailoverView,
+    row: usize,
+    personas: &[usize],
+    partials: Vec<Dense>,
+    bufs: &mut EpochBuffers,
+) -> Dense {
+    let me = ctx.rank();
+    let row_ranks: Vec<usize> = (0..plan.c).map(|j| plan.rank_of(row, j)).collect();
+    let root = *row_ranks
+        .iter()
+        .find(|&&r| view.alive(r))
+        .expect("view guarantees a survivor per replica group");
+
+    if me == root {
+        let mut mine = personas.iter().zip(partials);
+        let mut acc: Option<Dense> = None;
+        for &r in &row_ranks {
+            let part: Dense = if view.host_of(r) == me {
+                let (persona, part) = mine.next().expect("persona partial exhausted");
+                debug_assert_eq!(*persona, r, "persona order mismatch");
+                part
+            } else {
+                // `r` is alive (its host is not me) and not me. Slot 0
+                // is always locally hosted — either rank (row, 0) is
+                // alive and *is* the root, or its proxy is — so the
+                // accumulator already carries the result shape here.
+                let data = ctx.recv(r).into_f64();
+                let a = acc.as_ref().expect("slot 0 is always locally hosted");
+                Dense::from_vec(a.rows(), a.cols(), data)
+            };
+            match acc.as_mut() {
+                None => acc = Some(part),
+                Some(a) => {
+                    let n = part.data().len() as u64;
+                    ctx.compute(n, || a.add_assign(&part));
+                    bufs.put_dense(part);
+                }
+            }
+        }
+        let acc = acc.expect("row group is never empty");
+        for &r in &row_ranks {
+            if r != me && view.alive(r) {
+                let mut data = bufs.take_vec(acc.data().len());
+                data.extend_from_slice(acc.data());
+                ctx.send(r, Payload::F64(data));
+            }
+        }
+        acc
+    } else {
+        // Non-root hosts carry exactly one persona: themselves.
+        debug_assert_eq!(personas, [me]);
+        let mut it = partials.into_iter();
+        let part = it.next().expect("own partial");
+        debug_assert!(it.next().is_none());
+        let (rows, cols) = (part.rows(), part.cols());
+        let mut data = bufs.take_vec(part.data().len());
+        data.extend_from_slice(part.data());
+        ctx.send(root, Payload::F64(data));
+        bufs.put_dense(part);
+        let summed = ctx.recv(root).into_f64();
+        assert_eq!(summed.len(), rows * cols, "row allreduce length mismatch");
+        Dense::from_vec(rows, cols, summed)
+    }
+}
+
+/// Degraded-mode replacement for a whole-world
+/// `ctx.allreduce_sum(buf, &(0..p))` over **row-replicated** values:
+/// every rank in a grid row contributes bit-identical bytes (loss sums
+/// and weight-gradient partials are functions of the replicated block
+/// row), so a dead slot's contribution is its proxy's own buffer. The
+/// fold runs in fault-free slot order (slot 0 first, then `+=` slots
+/// `1..p`), making the result bit-identical to a fault-free run.
+pub fn failover_allreduce_replicated(ctx: &mut RankCtx, view: &FailoverView, buf: &mut [f64]) {
+    let me = ctx.rank();
+    let p = ctx.p();
+    let root = view.lowest_alive();
+    if me == root {
+        let mut received: Vec<Option<Vec<f64>>> = vec![None; p];
+        for (r, slot) in received.iter_mut().enumerate() {
+            if r != me && view.alive(r) {
+                let data = ctx.recv(r).into_f64();
+                assert_eq!(data.len(), buf.len(), "allreduce length mismatch");
+                *slot = Some(data);
+            }
+        }
+        let own: Vec<f64> = buf.to_vec();
+        let mut first = true;
+        for r in 0..p {
+            let host = view.host_of(r);
+            let v: &[f64] = if host == me {
+                &own
+            } else {
+                received[host]
+                    .as_deref()
+                    .expect("alive host sent its buffer")
+            };
+            if first {
+                buf.copy_from_slice(v);
+                first = false;
+            } else {
+                for (a, b) in buf.iter_mut().zip(v) {
+                    *a += b;
+                }
+            }
+        }
+        ctx.record_compute(((p - 1) * buf.len()) as u64);
+        for r in 0..p {
+            if r != me && view.alive(r) {
+                ctx.send(r, Payload::F64(buf.to_vec()));
+            }
+        }
+    } else {
+        ctx.send(root, Payload::F64(buf.to_vec()));
+        let summed = ctx.recv(root).into_f64();
+        buf.copy_from_slice(&summed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::onefived::{spmm_15d, spmm_15d_buf};
+    use crate::dist::plan::even_bounds;
+    use gnn_comm::{CostModel, EpochAbortPanic, FaultInjector, FaultPlan, ThreadWorld};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spmat::gen::{rmat, RmatConfig};
+    use spmat::graph::gcn_normalize;
+    use spmat::spmm::spmm;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn setup(scale: u32, seed: u64, f: usize) -> (spmat::Csr, Dense) {
+        let adj = gcn_normalize(&rmat(RmatConfig::graph500(scale, 5, seed)));
+        let mut rng = StdRng::seed_from_u64(seed ^ 7);
+        let h = Dense::glorot(adj.rows(), f, &mut rng);
+        (adj, h)
+    }
+
+    /// One "epoch" under the failover protocol: run `body` until an
+    /// attempt commits (retrying after `EpochAbortPanic`s caused by
+    /// mid-attempt deaths).
+    fn commit_loop<R>(
+        ctx: &mut RankCtx,
+        plan: &Plan15d,
+        mut body: impl FnMut(&mut RankCtx, &FailoverView) -> R,
+    ) -> R {
+        loop {
+            ctx.set_epoch(0);
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let view = FailoverView::compute(ctx, plan);
+                body(ctx, &view)
+            }));
+            match attempt {
+                Ok(r) => {
+                    if ctx.commit_epoch() {
+                        return r;
+                    }
+                }
+                Err(e) => {
+                    if !e.is::<EpochAbortPanic>() {
+                        resume_unwind(e);
+                    }
+                    assert!(!ctx.commit_epoch(), "aborted attempt must not commit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_assigns_lowest_alive_proxy() {
+        // p=8, c=2: grid rows {0:[0,1], 1:[2,3], 2:[4,5], 3:[6,7]}.
+        let v = FailoverView::from_dead(vec![3], 8, 2).unwrap();
+        assert!(v.is_degraded());
+        assert!(v.alive(2) && !v.alive(3));
+        assert_eq!(v.host_of(3), 2);
+        assert_eq!(v.personas_of(2), vec![2, 3]);
+        assert_eq!(v.personas_of(0), vec![0]);
+        assert_eq!(v.lowest_alive(), 0);
+        assert_eq!(v.dead(), &[3]);
+
+        // Rank 0 dead: the global root shifts to its row-mate.
+        let v = FailoverView::from_dead(vec![0], 8, 2).unwrap();
+        assert_eq!(v.host_of(0), 1);
+        assert_eq!(v.lowest_alive(), 1);
+
+        // A fault-free view is not degraded.
+        assert!(!FailoverView::from_dead(vec![], 8, 2).unwrap().is_degraded());
+
+        // Whole replica group dead → unrecoverable in place.
+        assert_eq!(FailoverView::from_dead(vec![2, 3], 8, 2).unwrap_err(), 1);
+    }
+
+    #[test]
+    fn degraded_spmm_matches_fault_free_bits() {
+        // p=8, c=2, pr=4, s=2. Rank 2 = (1, 0) is row 1's designated
+        // sender — killing it exercises proxy takeover of send duties,
+        // stage partials, and the row-allreduce root shift.
+        let (adj, h) = setup(6, 11, 4);
+        let (p, c, pr) = (8usize, 2usize, 4usize);
+        let bounds = even_bounds(adj.rows(), pr);
+        for aware in [true, false] {
+            let plan = Plan15d::build(&adj, p, c, &bounds, aware);
+            let expected = spmm(&adj, &h);
+
+            // Fault-free baseline for bit-level comparison.
+            let clean_world = ThreadWorld::new(p, CostModel::perlmutter_like());
+            let (clean, _) = clean_world.run(|ctx| {
+                let rp = &plan.ranks[ctx.rank()];
+                let local = h.row_slice(rp.row_lo, rp.row_hi);
+                spmm_15d(ctx, &plan, &local, aware)
+            });
+
+            let injector = Arc::new(FaultInjector::new(FaultPlan::new(5).crash_at(2, 0, 0)));
+            let world = ThreadWorld::new(p, CostModel::perlmutter_like())
+                .with_timeout(Duration::from_secs(10))
+                .with_failover(true)
+                .with_injector(injector);
+            let (outs, stats, trace) = world
+                .try_run_failover(|ctx| {
+                    let rp = &plan.ranks[ctx.rank()];
+                    let local = h.row_slice(rp.row_lo, rp.row_hi);
+                    let mut bufs = EpochBuffers::new();
+                    commit_loop(ctx, &plan, |ctx, view| {
+                        if view.is_degraded() {
+                            spmm_15d_failover_buf(ctx, &plan, view, &local, aware, &mut bufs)
+                        } else {
+                            spmm_15d_buf(ctx, &plan, &local, aware, &mut bufs)
+                        }
+                    })
+                })
+                .unwrap();
+
+            assert_eq!(stats.failovers, 1, "aware={aware}");
+            assert!(trace.is_none(), "no whole-world trace after a death");
+            assert!(outs[2].is_none(), "dead rank has no result");
+            // Every survivor's block matches the fault-free run exactly.
+            for (r, out) in outs.iter().enumerate() {
+                if let Some(z) = out {
+                    assert!(
+                        z.approx_eq(&clean[r], 0.0),
+                        "rank {r} diverged (aware={aware})"
+                    );
+                }
+            }
+            // And stacking one survivor per grid row reproduces Aᵀ·H.
+            let col: Vec<&Dense> = (0..pr)
+                .map(|i| {
+                    (0..c)
+                        .find_map(|j| outs[i * c + j].as_ref())
+                        .expect("each row has a survivor")
+                })
+                .collect();
+            assert!(Dense::vstack(&col).approx_eq(&expected, 1e-11));
+        }
+    }
+
+    #[test]
+    fn degraded_allreduce_matches_fault_free_fold() {
+        // Row-replicated values: each rank contributes a function of its
+        // grid row only, like the trainer's loss sums and weight grads.
+        let (p, c, pr) = (8usize, 2usize, 4usize);
+        let (adj, _) = setup(5, 3, 2);
+        let bounds = even_bounds(adj.rows(), pr);
+        let plan = Plan15d::build(&adj, p, c, &bounds, true);
+        let value = |rank: usize| {
+            let row = (rank / c) as f64;
+            [row * 1.5 + 0.25, -row * 0.125, 3.0]
+        };
+
+        let clean_world = ThreadWorld::new(p, CostModel::perlmutter_like());
+        let (clean, _) = clean_world.run(|ctx| {
+            let mut buf = value(ctx.rank());
+            let group: Vec<usize> = (0..p).collect();
+            ctx.allreduce_sum(&mut buf, &group);
+            buf
+        });
+
+        // Kill rank 4 = (2, 0): slot 4 must be folded from rank 5's buf.
+        let injector = Arc::new(FaultInjector::new(FaultPlan::new(9).crash_at(4, 0, 0)));
+        let world = ThreadWorld::new(p, CostModel::perlmutter_like())
+            .with_timeout(Duration::from_secs(10))
+            .with_failover(true)
+            .with_injector(injector);
+        let (outs, stats, _) = world
+            .try_run_failover(|ctx| {
+                commit_loop(ctx, &plan, |ctx, view| {
+                    // Each attempt starts from the rank's own fresh
+                    // contribution; an aborted attempt discards `b`.
+                    let mut b = value(ctx.rank());
+                    if view.is_degraded() {
+                        failover_allreduce_replicated(ctx, view, &mut b);
+                    } else {
+                        let group: Vec<usize> = (0..p).collect();
+                        ctx.allreduce_sum(&mut b, &group);
+                    }
+                    b
+                })
+            })
+            .unwrap();
+
+        assert_eq!(stats.failovers, 1);
+        for (r, out) in outs.iter().enumerate() {
+            if let Some(b) = out {
+                for (i, (got, want)) in b.iter().zip(&clean[0]).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "rank {r} slot {i}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+}

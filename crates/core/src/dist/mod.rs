@@ -3,6 +3,8 @@
 //! [`gnn_comm::ThreadWorld`].
 
 pub mod buffers;
+pub mod checkpoint;
+pub mod failover;
 pub mod oned;
 pub mod onefived;
 pub mod plan;
@@ -10,6 +12,8 @@ pub mod trainer;
 pub mod twod;
 
 pub use buffers::EpochBuffers;
+pub use checkpoint::{Checkpoint, CheckpointStore};
+pub use failover::{failover_allreduce_replicated, spmm_15d_failover_buf, FailoverView};
 pub use plan::{even_bounds, Plan15d, Plan1d};
 pub use trainer::{
     train_distributed, try_train_distributed, Algo, DistConfig, DistOutcome, RobustnessConfig,

@@ -6,24 +6,37 @@
 //! all-reducing the weight gradients, exactly as the paper's
 //! formulation (§4.1 "W is fully-replicated").
 //!
-//! # Elastic restart
+//! # Recovery ladder
 //!
-//! [`try_train_distributed`] wraps the epoch loop in a supervisor: the
-//! world runs under [`ThreadWorld::try_run`], rank 0 snapshots the
-//! replicated training state (weights, optimizer, epoch records) into a
-//! shared [`Checkpoint`] every `checkpoint_every` epochs, and a
-//! recoverable failure (an injected rank crash) tears the world down,
-//! rebuilds it, and resumes from the last checkpoint. Because weights
-//! are replicated and every epoch is deterministic, a crashed-and-resumed
-//! run reproduces the fault-free loss trajectory and final weights
-//! bit-for-bit.
+//! [`try_train_distributed`] wraps the epoch loop in a supervisor with
+//! an escalating recovery ladder:
+//!
+//! 1. **Retransmit** — dropped/corrupted frames are re-sent by the
+//!    transport layer in [`gnn_comm`]; invisible here beyond stats.
+//! 2. **Replica failover** (1.5D with [`RobustnessConfig::failover`]) —
+//!    a rank crash mid-epoch aborts the epoch attempt on every
+//!    survivor; the dead rank's duties are reassigned to a same-row
+//!    replica and the epoch re-runs *in the same world*, producing
+//!    bit-identical results with no restart.
+//! 3. **Checkpoint restart** — an unrecoverable-in-place loss (a whole
+//!    replica group dead, or any crash without failover) tears the
+//!    world down and resumes from the newest verified
+//!    [`Checkpoint`] in the [`CheckpointStore`], up to
+//!    `max_restarts` times.
+//! 4. **Abort** — anything else (or an exhausted restart budget)
+//!    surfaces as a structured [`WorldError`].
+//!
+//! Because weights are replicated and every epoch is deterministic,
+//! every rung reproduces the fault-free loss trajectory and final
+//! weights bit-for-bit.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use gnn_comm::{
-    CostModel, FaultInjector, FaultPlan, Phase, RankCtx, SpanKind, ThreadWorld, WorldError,
-    WorldStats, WorldTrace,
+    CostModel, EpochAbortPanic, FaultInjector, FaultPlan, Phase, RankCtx, SpanKind, ThreadWorld,
+    WorldError, WorldStats, WorldTrace,
 };
 use spmat::dataset::Dataset;
 use spmat::Dense;
@@ -33,6 +46,8 @@ use crate::optim::Optimizer;
 use crate::reference::EpochRecord;
 
 use super::buffers::EpochBuffers;
+use super::checkpoint::{Checkpoint, CheckpointStore};
+use super::failover::{failover_allreduce_replicated, spmm_15d_failover_buf, FailoverView};
 use super::oned::{spmm_1d_aware_buf, spmm_1d_oblivious_buf};
 use super::onefived::spmm_15d_buf;
 use super::plan::{Plan15d, Plan1d};
@@ -88,6 +103,12 @@ pub struct RobustnessConfig {
     pub max_restarts: usize,
     /// Deadlock-watchdog timeout for blocking communication.
     pub timeout: Duration,
+    /// Degraded-mode failover (1.5D only): survive a rank crash
+    /// *in place* by reassigning the dead rank's duties to a same-row
+    /// replica, falling back to a checkpoint restart only when an
+    /// entire replica group is lost. Ignored for algorithms without
+    /// replication, which go straight to the restart ladder.
+    pub failover: bool,
 }
 
 impl Default for RobustnessConfig {
@@ -97,6 +118,7 @@ impl Default for RobustnessConfig {
             checkpoint_every: 0,
             max_restarts: 0,
             timeout: ThreadWorld::DEFAULT_TIMEOUT,
+            failover: false,
         }
     }
 }
@@ -146,21 +168,13 @@ pub struct DistOutcome {
     pub stats: WorldStats,
     /// How many times the world was torn down and resumed.
     pub restarts: usize,
+    /// How many rank deaths were absorbed *in place* by degraded-mode
+    /// failover in the attempt that completed (0 without
+    /// [`RobustnessConfig::failover`]).
+    pub failovers: u64,
     /// Structured trace of the completed attempt (when
     /// [`DistConfig::trace`] was set).
     pub trace: Option<WorldTrace>,
-}
-
-/// A consistent snapshot of the replicated training state. Weights and
-/// optimizer state are identical on every rank (deterministic init +
-/// all-reduced gradients), so rank 0's copy is globally valid.
-#[derive(Clone, Debug)]
-struct Checkpoint {
-    /// First epoch that still has to run.
-    next_epoch: usize,
-    weights: Weights,
-    optimizer: Optimizer,
-    records: Vec<EpochRecord>,
 }
 
 enum PlanKind {
@@ -223,22 +237,47 @@ pub fn try_train_distributed(
         .as_ref()
         .filter(|plan| !plan.is_empty())
         .map(|plan| Arc::new(FaultInjector::new(plan.clone())));
-    let checkpoint: Mutex<Option<Checkpoint>> = Mutex::new(None);
+    // Replication is what makes in-place failover possible; without it
+    // the flag silently defers to the checkpoint-restart rung.
+    let use_failover = cfg.robust.failover && matches!(cfg.algo, Algo::OneFiveD { .. });
+    let store: Mutex<CheckpointStore> = Mutex::new(CheckpointStore::new());
     let mut restarts = 0;
 
     loop {
         let mut world = ThreadWorld::new(p, cfg.model)
             .with_timeout(cfg.robust.timeout)
-            .with_tracing(cfg.trace);
+            .with_tracing(cfg.trace)
+            .with_failover(use_failover);
         if let Some(inj) = &injector {
             world = world.with_injector(inj.clone());
         }
-        match world.try_run_traced(|ctx| run_rank(ctx, ds, cfg, &plan, &checkpoint)) {
-            Ok((mut results, stats, trace)) => {
-                let (records, weights) = results.swap_remove(0);
+        let run = if let (true, PlanKind::OneFiveD { plan: pl, aware }) = (use_failover, &plan) {
+            world
+                .try_run_failover(|ctx| run_rank_failover(ctx, ds, cfg, pl, *aware, &store))
+                .map(|(results, stats, trace)| {
+                    // Survivors hold identical replicated results; dead
+                    // ranks' slots are `None`.
+                    let (records, weights) = results
+                        .into_iter()
+                        .flatten()
+                        .next()
+                        .expect("a completed failover run has at least one survivor");
+                    (records, weights, stats, trace)
+                })
+        } else {
+            world
+                .try_run_traced(|ctx| run_rank(ctx, ds, cfg, &plan, &store))
+                .map(|(mut results, stats, trace)| {
+                    let (records, weights) = results.swap_remove(0);
+                    (records, weights, stats, trace)
+                })
+        };
+        match run {
+            Ok((records, weights, stats, trace)) => {
                 return Ok(DistOutcome {
                     records,
                     weights,
+                    failovers: stats.failovers,
                     stats,
                     restarts,
                     trace,
@@ -259,7 +298,7 @@ fn run_rank(
     ds: &Dataset,
     cfg: &DistConfig,
     plan: &PlanKind,
-    checkpoint: &Mutex<Option<Checkpoint>>,
+    store: &Mutex<CheckpointStore>,
 ) -> (Vec<EpochRecord>, Weights) {
     let aware_1d = matches!(cfg.algo, Algo::OneD { aware: true });
     let c_rep = cfg.algo.replication() as f64;
@@ -281,9 +320,10 @@ fn run_rank(
     let mask = &ds.train_mask[lo..hi];
 
     // Resume point: the checkpoint holds replicated state, so every
-    // rank restores the identical snapshot without communicating.
+    // rank restores the identical (checksum-verified) snapshot without
+    // communicating.
     let (start_epoch, mut weights, mut optimizer, mut records) =
-        match checkpoint.lock().unwrap().clone() {
+        match store.lock().unwrap().restore() {
             Some(ck) => (ck.next_epoch, ck.weights, ck.optimizer, ck.records),
             None => (
                 0,
@@ -466,32 +506,276 @@ fn run_rank(
         // ---- checkpoint ----
         // End-of-epoch state is consistent: rank 0 could only get here
         // by completing every collective of this epoch, and the state
-        // it snapshots is replicated on all ranks. The snapshot is
-        // updated in place so checkpointing epochs reuse the previous
-        // snapshot's allocations instead of cloning fresh ones.
+        // it snapshots is replicated on all ranks. The store checksums
+        // the snapshot and keeps the previous one as a verified
+        // fallback.
         let every = cfg.robust.checkpoint_every;
         if ctx.rank() == 0 && every > 0 && (epoch + 1) % every == 0 {
-            let mut guard = checkpoint.lock().unwrap();
-            match guard.as_mut() {
-                Some(ck) => {
-                    ck.next_epoch = epoch + 1;
-                    for (dst, src) in ck.weights.mats.iter_mut().zip(&weights.mats) {
-                        dst.data_mut().copy_from_slice(src.data());
-                    }
-                    ck.optimizer.clone_from(&optimizer);
-                    ck.records.clone_from(&records);
-                }
-                None => {
-                    *guard = Some(Checkpoint {
-                        next_epoch: epoch + 1,
-                        weights: weights.clone(),
-                        optimizer: optimizer.clone(),
-                        records: records.clone(),
-                    });
-                }
-            }
+            store.lock().unwrap().save(Checkpoint {
+                next_epoch: epoch + 1,
+                weights: weights.clone(),
+                optimizer: optimizer.clone(),
+                records: records.clone(),
+            });
         }
         ctx.span_end(); // epoch
+    }
+    (records, weights)
+}
+
+/// One rank's training program under degraded-mode failover (1.5D
+/// only). Epochs run as *attempts*: the full forward/loss/backward is
+/// computed through the final gradient all-reduce, then the attempt is
+/// committed at a death-aware barrier. Only a committed attempt mutates
+/// state (optimizer step, record append, checkpoint), so an attempt
+/// aborted by a mid-epoch death — every survivor unwinds with
+/// [`EpochAbortPanic`] — is side-effect free and simply re-runs with
+/// the dead rank's duties reassigned via [`FailoverView`]. Degraded
+/// collectives fold in fault-free slot order from replicated data, so
+/// committed epochs are bit-identical to a fault-free run.
+fn run_rank_failover(
+    ctx: &mut RankCtx,
+    ds: &Dataset,
+    cfg: &DistConfig,
+    plan: &Plan15d,
+    aware: bool,
+    store: &Mutex<CheckpointStore>,
+) -> (Vec<EpochRecord>, Weights) {
+    let c_rep = cfg.algo.replication() as f64;
+    let rp = &plan.ranks[ctx.rank()];
+    let (lo, hi) = (rp.row_lo, rp.row_hi);
+    let rows = hi - lo;
+    let h0 = ds.features.row_slice(lo, hi);
+    let labels = &ds.labels[lo..hi];
+    let mask = &ds.train_mask[lo..hi];
+
+    let (start_epoch, mut weights, mut optimizer, mut records) =
+        match store.lock().unwrap().restore() {
+            Some(ck) => (ck.next_epoch, ck.weights, ck.optimizer, ck.records),
+            None => (
+                0,
+                Weights::init(&cfg.gcn),
+                Optimizer::from_config(&cfg.gcn),
+                Vec::with_capacity(cfg.epochs),
+            ),
+        };
+    let l_total = cfg.gcn.layers();
+    let dims = &cfg.gcn.dims;
+    let mut bufs = EpochBuffers::new();
+
+    let mut epoch = start_epoch;
+    while epoch < cfg.epochs {
+        ctx.set_epoch(epoch);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            // Role assignment from the *sealed* death set — identical
+            // on every rank of this generation without communication.
+            let view = FailoverView::compute(ctx, plan);
+            let degraded = view.is_degraded();
+            ctx.span_begin(SpanKind::Epoch, Phase::Other);
+
+            // ---- forward ----
+            ctx.span_begin(SpanKind::Forward, Phase::Other);
+            let mut hs: Vec<Dense> = Vec::with_capacity(l_total + 1);
+            let mut zs: Vec<Dense> = Vec::with_capacity(l_total);
+            let mut ahs: Vec<Dense> = Vec::with_capacity(l_total);
+            let mut h0_epoch = bufs.take_dense(rows, dims[0]);
+            h0_epoch.data_mut().copy_from_slice(h0.data());
+            hs.push(h0_epoch);
+            for l in 0..l_total {
+                let ah = if degraded {
+                    spmm_15d_failover_buf(ctx, plan, &view, &hs[l], aware, &mut bufs)
+                } else {
+                    spmm_15d_buf(ctx, plan, &hs[l], aware, &mut bufs)
+                };
+                let w = &weights.mats[l];
+                let (d, d_out) = (dims[l], dims[l + 1]);
+                let mut z = bufs.take_dense(rows, d_out);
+                match cfg.gcn.arch {
+                    ArchKind::Gcn => {
+                        ctx.compute((2 * rows * d * d_out) as u64, || ah.matmul_into(w, &mut z))
+                    }
+                    ArchKind::Sage => {
+                        let h_prev = &hs[l];
+                        let mut tmp = bufs.take_dense(rows, d_out);
+                        ctx.compute((4 * rows * d * d_out + rows * d_out) as u64, || {
+                            h_prev.matmul_into(&w.row_slice(0, d), &mut z);
+                            ah.matmul_into(&w.row_slice(d, 2 * d), &mut tmp);
+                            z.add_assign(&tmp);
+                        });
+                        bufs.put_dense(tmp);
+                    }
+                }
+                let mut h = bufs.take_dense(rows, d_out);
+                if l + 1 == l_total {
+                    h.data_mut().copy_from_slice(z.data());
+                } else {
+                    ctx.compute((rows * dims[l + 1]) as u64, || z.relu_into(&mut h));
+                }
+                zs.push(z);
+                hs.push(h);
+                ahs.push(ah);
+            }
+            ctx.span_end();
+
+            // ---- loss / metrics ----
+            ctx.span_begin(SpanKind::Loss, Phase::Other);
+            let logits = &hs[l_total];
+            let (loss_sum, count, grad_sum) = softmax_cross_entropy_sums(logits, labels, mask);
+            let correct = {
+                let acc = crate::model::accuracy(logits, labels, mask);
+                acc * count as f64
+            };
+            let mut reduce = [loss_sum, count as f64, correct];
+            if degraded {
+                failover_allreduce_replicated(ctx, &view, &mut reduce);
+            } else {
+                ctx.allreduce_sum(&mut reduce, &(0..ctx.p()).collect::<Vec<_>>());
+            }
+            let [g_loss, g_count, g_correct] = reduce;
+            let record = EpochRecord {
+                loss: g_loss / g_count.max(1.0),
+                train_accuracy: if g_count > 0.0 {
+                    g_correct / g_count
+                } else {
+                    0.0
+                },
+            };
+            ctx.span_end();
+
+            // ---- backward ----
+            ctx.span_begin(SpanKind::Backward, Phase::Other);
+            let denom = (g_count / c_rep).max(1.0);
+            let mut g = grad_sum;
+            g.scale(1.0 / denom);
+            let mut grads: Vec<Dense> = Vec::with_capacity(l_total);
+
+            for l in (0..l_total).rev() {
+                let s = if degraded {
+                    spmm_15d_failover_buf(ctx, plan, &view, &g, aware, &mut bufs)
+                } else {
+                    spmm_15d_buf(ctx, plan, &g, aware, &mut bufs)
+                };
+                let h_prev = &hs[l];
+                let (d, d_out) = (dims[l], dims[l + 1]);
+                let mut y = match cfg.gcn.arch {
+                    ArchKind::Gcn => {
+                        let mut y = bufs.take_dense(d, d_out);
+                        ctx.compute((2 * rows * d * d_out) as u64, || {
+                            h_prev.transpose_matmul_into(&s, &mut y)
+                        });
+                        y
+                    }
+                    ArchKind::Sage => {
+                        let ah = &ahs[l];
+                        let g_ref = &g;
+                        let mut top = bufs.take_dense(d, d_out);
+                        let mut bottom = bufs.take_dense(d, d_out);
+                        ctx.compute((4 * rows * d * d_out) as u64, || {
+                            h_prev.transpose_matmul_into(g_ref, &mut top);
+                            ah.transpose_matmul_into(g_ref, &mut bottom);
+                        });
+                        let mut y = bufs.take_dense(2 * d, d_out);
+                        y.data_mut()[..d * d_out].copy_from_slice(top.data());
+                        y.data_mut()[d * d_out..].copy_from_slice(bottom.data());
+                        bufs.put_dense(top);
+                        bufs.put_dense(bottom);
+                        y
+                    }
+                };
+                if degraded {
+                    failover_allreduce_replicated(ctx, &view, y.data_mut());
+                } else {
+                    ctx.allreduce_sum(y.data_mut(), &(0..ctx.p()).collect::<Vec<_>>());
+                }
+                // Replicated rows contributed c times each.
+                y.scale(1.0 / c_rep);
+                grads.push(y); // reverse layer order; fixed up below
+                if l > 0 {
+                    let w = &weights.mats[l];
+                    let prev_z = &zs[l - 1];
+                    let mut gg = bufs.take_dense(rows, d);
+                    let mut tmp = bufs.take_dense(rows, d);
+                    match cfg.gcn.arch {
+                        ArchKind::Gcn => {
+                            ctx.compute((2 * rows * d_out * d + 2 * rows * d) as u64, || {
+                                s.matmul_transpose_into(w, &mut gg);
+                                prev_z.relu_prime_into(&mut tmp);
+                                gg.hadamard_assign(&tmp);
+                            })
+                        }
+                        ArchKind::Sage => {
+                            let g_ref = &g;
+                            ctx.compute((4 * rows * d_out * d + 3 * rows * d) as u64, || {
+                                g_ref.matmul_transpose_into(&w.row_slice(0, d), &mut gg);
+                                s.matmul_transpose_into(&w.row_slice(d, 2 * d), &mut tmp);
+                                gg.add_assign(&tmp);
+                                prev_z.relu_prime_into(&mut tmp);
+                                gg.hadamard_assign(&tmp);
+                            })
+                        }
+                    }
+                    bufs.put_dense(tmp);
+                    bufs.put_dense(std::mem::replace(&mut g, gg));
+                }
+                bufs.put_dense(s);
+            }
+            grads.reverse();
+            ctx.span_end();
+
+            // ---- retire attempt temporaries ----
+            bufs.put_dense(g);
+            for d in hs.drain(..).chain(zs.drain(..)).chain(ahs.drain(..)) {
+                bufs.put_dense(d);
+            }
+            ctx.span_end(); // epoch
+            (grads, record)
+        }));
+
+        match attempt {
+            Ok((grads, record)) => {
+                // Commit gate: true only if nobody died this attempt.
+                let committed = ctx.commit_epoch();
+                if committed {
+                    optimizer.step(&mut weights, &grads);
+                    records.push(record);
+                }
+                for d in grads {
+                    bufs.put_dense(d);
+                }
+                if committed {
+                    let every = cfg.robust.checkpoint_every;
+                    if every > 0 && (epoch + 1) % every == 0 {
+                        // The lowest survivor writes; the sealed view
+                        // makes that choice identical on every rank.
+                        let dead = ctx.sealed_dead_ranks();
+                        let writer = (0..ctx.p())
+                            .find(|r| !dead.contains(r))
+                            .expect("at least one survivor");
+                        if ctx.rank() == writer {
+                            store.lock().unwrap().save(Checkpoint {
+                                next_epoch: epoch + 1,
+                                weights: weights.clone(),
+                                optimizer: optimizer.clone(),
+                                records: records.clone(),
+                            });
+                        }
+                    }
+                    epoch += 1;
+                }
+                // Uncommitted: a peer died mid-attempt after our last
+                // recv — discard and re-run the same epoch degraded.
+            }
+            Err(payload) => {
+                // Only the failover abort is survivable here; injected
+                // crashes, replica-column loss and genuine bugs keep
+                // unwinding to the world boundary.
+                if !payload.is::<EpochAbortPanic>() {
+                    resume_unwind(payload);
+                }
+                let committed = ctx.commit_epoch();
+                debug_assert!(!committed, "an aborted attempt cannot commit");
+            }
+        }
     }
     (records, weights)
 }
@@ -596,6 +880,7 @@ mod tests {
             checkpoint_every: 2,
             max_restarts: 1,
             timeout: Duration::from_secs(10),
+            failover: false,
         };
         let faulty = try_train_distributed(&ds, &bounds, &faulty_cfg)
             .expect("restart should recover the run");
@@ -631,6 +916,104 @@ mod tests {
             }
             other => panic!("expected InjectedCrash, got {other}"),
         }
+    }
+
+    #[test]
+    fn failover_absorbs_crash_without_restart_and_matches_bits() {
+        let ds = reddit_scaled(7, 11);
+        let cfg = GcnConfig::paper_default(ds.f(), ds.num_classes);
+        let bounds = even_bounds(ds.n(), 2); // pr = 2, c = 2 → p = 4
+        let epochs = 5;
+
+        let clean_cfg = DistConfig::new(
+            Algo::OneFiveD { aware: true, c: 2 },
+            cfg,
+            epochs,
+            CostModel::perlmutter_like(),
+        );
+        let clean = train_distributed(&ds, &bounds, &clean_cfg);
+
+        let mut faulty_cfg = clean_cfg.clone();
+        faulty_cfg.robust = RobustnessConfig {
+            faults: Some(FaultPlan::new(3).crash_at(1, 2, 3)),
+            checkpoint_every: 2,
+            max_restarts: 0, // failover must succeed without the restart rung
+            timeout: Duration::from_secs(10),
+            failover: true,
+        };
+        let faulty = try_train_distributed(&ds, &bounds, &faulty_cfg)
+            .expect("failover should absorb the crash in place");
+
+        assert_eq!(faulty.restarts, 0, "no world restart");
+        assert_eq!(faulty.failovers, 1, "exactly one death absorbed");
+        assert_eq!(faulty.records.len(), clean.records.len());
+        // Bit-for-bit: degraded collectives replay the fault-free fold.
+        for (a, b) in faulty.records.iter().zip(&clean.records) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+            assert_eq!(a.train_accuracy.to_bits(), b.train_accuracy.to_bits());
+        }
+        assert_eq!(faulty.weights.max_abs_diff(&clean.weights), 0.0);
+    }
+
+    #[test]
+    fn losing_a_whole_replica_group_falls_back_to_checkpoint_restart() {
+        let ds = reddit_scaled(7, 11);
+        let cfg = GcnConfig::paper_default(ds.f(), ds.num_classes);
+        let bounds = even_bounds(ds.n(), 2); // pr = 2, c = 2 → p = 4
+        let epochs = 5;
+
+        let clean_cfg = DistConfig::new(
+            Algo::OneFiveD { aware: true, c: 2 },
+            cfg,
+            epochs,
+            CostModel::perlmutter_like(),
+        );
+        let clean = train_distributed(&ds, &bounds, &clean_cfg);
+
+        // Ranks 0 and 1 are the two replicas of block row 0; killing
+        // both exhausts the in-place rung and escalates to a restart.
+        let mut faulty_cfg = clean_cfg.clone();
+        faulty_cfg.robust = RobustnessConfig {
+            faults: Some(FaultPlan::new(5).crash_at(0, 2, 0).crash_at(1, 2, 5)),
+            checkpoint_every: 1,
+            max_restarts: 1,
+            timeout: Duration::from_secs(10),
+            failover: true,
+        };
+        let faulty = try_train_distributed(&ds, &bounds, &faulty_cfg)
+            .expect("checkpoint restart should recover the run");
+
+        assert_eq!(faulty.restarts, 1, "escalated to the restart rung");
+        assert_eq!(faulty.records.len(), clean.records.len());
+        for (a, b) in faulty.records.iter().zip(&clean.records) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        }
+        assert_eq!(faulty.weights.max_abs_diff(&clean.weights), 0.0);
+    }
+
+    #[test]
+    fn failover_flag_on_1d_defers_to_restart_ladder() {
+        let ds = reddit_scaled(7, 11);
+        let cfg = GcnConfig::paper_default(ds.f(), ds.num_classes);
+        let bounds = even_bounds(ds.n(), 4);
+        let mut dist_cfg = DistConfig::new(
+            Algo::OneD { aware: true },
+            cfg,
+            4,
+            CostModel::perlmutter_like(),
+        );
+        dist_cfg.robust = RobustnessConfig {
+            faults: Some(FaultPlan::new(2).crash_at(2, 1, 0)),
+            checkpoint_every: 1,
+            max_restarts: 1,
+            timeout: Duration::from_secs(10),
+            failover: true, // no replication → silently uses restarts
+        };
+        let out = try_train_distributed(&ds, &bounds, &dist_cfg)
+            .expect("restart rung should recover the 1D run");
+        assert_eq!(out.restarts, 1);
+        assert_eq!(out.failovers, 0);
+        assert_eq!(out.records.len(), 4);
     }
 
     #[test]

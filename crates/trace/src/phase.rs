@@ -21,16 +21,21 @@ pub enum Phase {
     P2p,
     /// Anything else.
     Other,
+    /// Transport-level retry overhead: retransmitted wire bytes, backoff
+    /// waits, and discarded corrupt/duplicate frames. Never part of the
+    /// logical communication volume.
+    Retransmit,
 }
 
 /// All phases, in breakdown display order.
-pub const PHASES: [Phase; 6] = [
+pub const PHASES: [Phase; 7] = [
     Phase::LocalCompute,
     Phase::AllToAll,
     Phase::Bcast,
     Phase::AllReduce,
     Phase::P2p,
     Phase::Other,
+    Phase::Retransmit,
 ];
 
 impl Phase {
@@ -43,6 +48,7 @@ impl Phase {
             Phase::AllReduce => 3,
             Phase::P2p => 4,
             Phase::Other => 5,
+            Phase::Retransmit => 6,
         }
     }
 
@@ -55,6 +61,7 @@ impl Phase {
             Phase::AllReduce => "allreduce",
             Phase::P2p => "p2p",
             Phase::Other => "other",
+            Phase::Retransmit => "retransmit",
         }
     }
 

@@ -30,6 +30,9 @@ pub struct TraceSummary {
     pub max_epoch: i64,
     /// Sum of `bytes_sent` over non-retransmit op events.
     pub logical_bytes_sent: u64,
+    /// Sum of `bytes_sent` over retransmit op events: wire overhead the
+    /// reliable transport paid on top of the logical volume.
+    pub retransmit_wire_bytes: u64,
 }
 
 /// A validation failure, pointing at the offending line (1-based).
@@ -255,7 +258,9 @@ fn check_and_collect(input: &str) -> Result<(usize, TraceSummary, Vec<Event>), V
             summary.spans += 1;
         } else {
             summary.ops += 1;
-            if e.kind != EventKind::Retransmit {
+            if e.kind == EventKind::Retransmit {
+                summary.retransmit_wire_bytes += e.bytes_sent;
+            } else {
                 summary.logical_bytes_sent += e.bytes_sent;
             }
         }
@@ -330,6 +335,7 @@ mod tests {
         assert_eq!(summary.max_epoch, 0);
         // Retransmit bytes are wire overhead, not logical volume.
         assert_eq!(summary.logical_bytes_sent, 64);
+        assert_eq!(summary.retransmit_wire_bytes, 64);
     }
 
     #[test]

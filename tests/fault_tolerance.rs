@@ -8,15 +8,21 @@
 //! a fault-free run — deterministic replicated state makes recovery
 //! exact, not approximate.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gnn_comm::msg::Payload;
-use gnn_comm::{CostModel, FaultPlan, ThreadWorld, WorldError};
-use gnn_core::dist::even_bounds;
+use gnn_comm::{CostModel, FaultInjector, FaultPlan, ThreadWorld, WorldError};
+use gnn_core::dist::oned::spmm_1d_aware;
+use gnn_core::dist::onefived::spmm_15d;
+use gnn_core::dist::twod::spmm_2d;
+use gnn_core::dist::{even_bounds, Plan15d, Plan1d, Plan2d};
 use gnn_core::{
     train_distributed, try_train_distributed, Algo, DistConfig, GcnConfig, RobustnessConfig,
 };
-use spmat::dataset::{amazon_scaled, reddit_scaled};
+use spmat::dataset::{amazon_scaled, reddit_scaled, Dataset};
+use spmat::spmm::spmm;
+use spmat::Dense;
 
 fn quick_world(p: usize) -> ThreadWorld {
     ThreadWorld::new(p, CostModel::bandwidth_only()).with_timeout(Duration::from_millis(300))
@@ -148,6 +154,7 @@ fn crash_at_epoch_k_restores_and_matches_fault_free_bit_for_bit() {
         checkpoint_every: 2,
         max_restarts: 1,
         timeout: Duration::from_secs(15),
+        failover: false,
     };
     let recovered = try_train_distributed(&ds, &bounds, &faulty_cfg)
         .expect("one restart budget covers one injected crash");
@@ -282,6 +289,338 @@ fn heavy_link_faults_leave_training_results_untouched() {
     for (fr, cr) in faulty.stats.per_rank.iter().zip(&clean.stats.per_rank) {
         assert_eq!(fr.bytes_sent_total(), cr.bytes_sent_total());
     }
+}
+
+// ---- fault-injection smoke matrix: every algorithm × every fault ----
+//
+// The injector lives in the transport layer, so every distributed SpMM
+// (1D, 1.5D, 2D) inherits retransmission and crash semantics without
+// algorithm-specific code. These smoke tests pin that down per
+// algorithm: link faults are absorbed exactly (bit-identical results,
+// visible retries) and a crash surfaces as a structured error.
+
+/// Which distributed SpMM a smoke test drives.
+#[derive(Clone, Copy)]
+enum SmokeAlgo {
+    OneD,
+    OneFiveD,
+    TwoD,
+}
+
+/// Runs one SpMM of `algo` over a seeded graph under `faults` and
+/// returns the assembled result and world stats.
+fn smoke_spmm(
+    algo: SmokeAlgo,
+    faults: Option<FaultPlan>,
+) -> Result<(Dense, gnn_comm::WorldStats), WorldError> {
+    let ds = reddit_scaled(6, 77);
+    let h = &ds.features;
+    let f = h.cols();
+    let n = ds.n();
+    let world_of = |p: usize| {
+        let mut w =
+            ThreadWorld::new(p, CostModel::perlmutter_like()).with_timeout(Duration::from_secs(10));
+        if let Some(plan) = faults.clone() {
+            w = w.with_injector(Arc::new(FaultInjector::new(plan)));
+        }
+        w
+    };
+    match algo {
+        SmokeAlgo::OneD => {
+            let bounds = even_bounds(n, 4);
+            let plan = Plan1d::build(&ds.norm_adj, &bounds);
+            let (blocks, stats) = world_of(4).try_run(|ctx| {
+                ctx.set_epoch(0);
+                let rp = &plan.ranks[ctx.rank()];
+                let local = h.row_slice(rp.row_lo, rp.row_hi);
+                spmm_1d_aware(ctx, &plan, &local)
+            })?;
+            Ok((vstack(&blocks), stats))
+        }
+        SmokeAlgo::OneFiveD => {
+            let bounds = even_bounds(n, 2); // pr = 2, c = 2 → p = 4
+            let plan = Plan15d::build(&ds.norm_adj, 4, 2, &bounds, true);
+            let (blocks, stats) = world_of(4).try_run(|ctx| {
+                ctx.set_epoch(0);
+                let rp = &plan.ranks[ctx.rank()];
+                let local = h.row_slice(rp.row_lo, rp.row_hi);
+                spmm_15d(ctx, &plan, &local, true)
+            })?;
+            // One replica per block row reassembles the full product.
+            Ok((vstack(&[blocks[0].clone(), blocks[2].clone()]), stats))
+        }
+        SmokeAlgo::TwoD => {
+            let bounds = even_bounds(n, 2); // 2 × 2 grid
+            let plan = Plan2d::build(&ds.norm_adj, 2, 2, &bounds, true);
+            let pb = plan.panel_bounds(f);
+            let (blocks, stats) = world_of(4).try_run(|ctx| {
+                ctx.set_epoch(0);
+                let rp = &plan.ranks[ctx.rank()];
+                let rows = h.row_slice(rp.row_lo, rp.row_hi);
+                let local = Dense::from_fn(rows.rows(), pb[rp.j + 1] - pb[rp.j], |r, c| {
+                    rows.get(r, pb[rp.j] + c)
+                });
+                spmm_2d(ctx, &plan, &local)
+            })?;
+            let mut out = Dense::zeros(n, f);
+            for i in 0..plan.pr {
+                for j in 0..plan.pc {
+                    let b = &blocks[plan.rank_of(i, j)];
+                    for r in 0..b.rows() {
+                        for c in 0..b.cols() {
+                            out.set(plan.bounds[i] + r, pb[j] + c, b.get(r, c));
+                        }
+                    }
+                }
+            }
+            Ok((out, stats))
+        }
+    }
+}
+
+fn vstack(blocks: &[Dense]) -> Dense {
+    let cols = blocks[0].cols();
+    let rows = blocks.iter().map(Dense::rows).sum();
+    let mut out = Dense::zeros(rows, cols);
+    let mut r0 = 0;
+    for b in blocks {
+        for r in 0..b.rows() {
+            out.row_mut(r0 + r).copy_from_slice(b.row(r));
+        }
+        r0 += b.rows();
+    }
+    out
+}
+
+fn link_fault_smoke(algo: SmokeAlgo, plan: FaultPlan) {
+    let ds = reddit_scaled(6, 77);
+    let expected = spmm(&ds.norm_adj, &ds.features);
+    let (clean, _) = smoke_spmm(algo, None).expect("fault-free run");
+    assert!(clean.approx_eq(&expected, 1e-11), "clean result wrong");
+    let (faulty, stats) = smoke_spmm(algo, Some(plan)).expect("link faults recover in place");
+    // Bit-identical to the fault-free execution: retransmission is
+    // invisible to the numerics.
+    assert_eq!(faulty.data().len(), clean.data().len());
+    for (a, b) in faulty.data().iter().zip(clean.data()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert!(stats.total_retries() > 0, "faults must actually fire");
+    assert!(stats.total_retransmit_bytes() > 0);
+}
+
+fn all_senders_faulty(f: impl Fn(FaultPlan, usize) -> FaultPlan) -> FaultPlan {
+    let mut plan = FaultPlan::new(23);
+    for rank in 0..4 {
+        plan = f(plan, rank);
+    }
+    plan
+}
+
+#[test]
+fn smoke_1d_drop() {
+    link_fault_smoke(
+        SmokeAlgo::OneD,
+        all_senders_faulty(|p, r| p.drop_messages(r, None, 0.3)),
+    );
+}
+
+#[test]
+fn smoke_1d_corrupt() {
+    link_fault_smoke(
+        SmokeAlgo::OneD,
+        all_senders_faulty(|p, r| p.corrupt_messages(r, None, 0.3)),
+    );
+}
+
+#[test]
+fn smoke_15d_drop() {
+    link_fault_smoke(
+        SmokeAlgo::OneFiveD,
+        all_senders_faulty(|p, r| p.drop_messages(r, None, 0.3)),
+    );
+}
+
+#[test]
+fn smoke_15d_corrupt() {
+    link_fault_smoke(
+        SmokeAlgo::OneFiveD,
+        all_senders_faulty(|p, r| p.corrupt_messages(r, None, 0.3)),
+    );
+}
+
+#[test]
+fn smoke_2d_drop() {
+    link_fault_smoke(
+        SmokeAlgo::TwoD,
+        all_senders_faulty(|p, r| p.drop_messages(r, None, 0.3)),
+    );
+}
+
+#[test]
+fn smoke_2d_corrupt() {
+    link_fault_smoke(
+        SmokeAlgo::TwoD,
+        all_senders_faulty(|p, r| p.corrupt_messages(r, None, 0.3)),
+    );
+}
+
+fn crash_smoke(algo: SmokeAlgo) {
+    let err = smoke_spmm(algo, Some(FaultPlan::new(0).crash_at(1, 0, 2)))
+        .expect_err("a crashed rank must fail the world");
+    match err {
+        WorldError::InjectedCrash { rank, epoch, .. } => {
+            assert_eq!(rank, 1);
+            assert_eq!(epoch, Some(0));
+        }
+        other => panic!("expected InjectedCrash, got {other}"),
+    }
+}
+
+#[test]
+fn smoke_1d_crash() {
+    crash_smoke(SmokeAlgo::OneD);
+}
+
+#[test]
+fn smoke_15d_crash() {
+    crash_smoke(SmokeAlgo::OneFiveD);
+}
+
+#[test]
+fn smoke_2d_crash() {
+    crash_smoke(SmokeAlgo::TwoD);
+}
+
+// ---- degraded-mode failover: the 1.5D acceptance scenario ----
+
+fn failover_dataset() -> (Dataset, GcnConfig, Vec<usize>) {
+    let ds = amazon_scaled(8, 41);
+    let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
+    let bounds = even_bounds(ds.n(), 4); // pr = 4, c = 2 → p = 8
+    (ds, gcn, bounds)
+}
+
+#[test]
+fn failover_crash_mid_training_completes_without_restart() {
+    let (ds, gcn, bounds) = failover_dataset();
+    let epochs = 6;
+    let clean_cfg = DistConfig::new(
+        Algo::OneFiveD { aware: true, c: 2 },
+        gcn,
+        epochs,
+        CostModel::perlmutter_like(),
+    );
+    let clean = train_distributed(&ds, &bounds, &clean_cfg);
+
+    // Rank 5 = grid position (2, 1); its row-2 replica (rank 4) takes
+    // over its duties and the run finishes on the shrunken grid.
+    let mut faulty_cfg = clean_cfg.clone();
+    faulty_cfg.robust = RobustnessConfig {
+        faults: Some(FaultPlan::new(13).crash_at(5, 3, 7)),
+        checkpoint_every: 2,
+        max_restarts: 0, // any restart would fail the run
+        timeout: Duration::from_secs(15),
+        failover: true,
+    };
+    let survived = try_train_distributed(&ds, &bounds, &faulty_cfg)
+        .expect("degraded-mode failover must absorb a single rank crash");
+
+    assert_eq!(survived.restarts, 0, "completed without a world restart");
+    assert_eq!(survived.failovers, 1, "one death absorbed in place");
+    assert_eq!(survived.records.len(), clean.records.len());
+    for (e, (a, b)) in survived.records.iter().zip(&clean.records).enumerate() {
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "epoch {e} loss");
+        assert_eq!(
+            a.train_accuracy.to_bits(),
+            b.train_accuracy.to_bits(),
+            "epoch {e} accuracy"
+        );
+    }
+    assert_eq!(
+        survived.weights.max_abs_diff(&clean.weights),
+        0.0,
+        "final weights must be bit-identical to the fault-free run"
+    );
+}
+
+#[test]
+fn replica_group_wipeout_escalates_to_checkpoint_restart() {
+    let (ds, gcn, bounds) = failover_dataset();
+    let epochs = 5;
+    let clean_cfg = DistConfig::new(
+        Algo::OneFiveD { aware: true, c: 2 },
+        gcn,
+        epochs,
+        CostModel::perlmutter_like(),
+    );
+    let clean = train_distributed(&ds, &bounds, &clean_cfg);
+
+    // Ranks 2 and 3 are both replicas of block row 1: in-place failover
+    // is impossible once both are gone, so the ladder falls through to
+    // a checkpoint restart.
+    let mut faulty_cfg = clean_cfg.clone();
+    faulty_cfg.robust = RobustnessConfig {
+        faults: Some(FaultPlan::new(19).crash_at(2, 2, 0).crash_at(3, 2, 6)),
+        checkpoint_every: 1,
+        max_restarts: 1,
+        timeout: Duration::from_secs(15),
+        failover: true,
+    };
+    let recovered = try_train_distributed(&ds, &bounds, &faulty_cfg)
+        .expect("checkpoint restart covers a replica-group wipeout");
+
+    assert_eq!(recovered.restarts, 1, "escalated exactly once");
+    assert_eq!(recovered.records.len(), clean.records.len());
+    for (a, b) in recovered.records.iter().zip(&clean.records) {
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+    }
+    assert_eq!(recovered.weights.max_abs_diff(&clean.weights), 0.0);
+}
+
+// ---- wire-byte reconciliation: stats vs trace validator ----
+
+#[test]
+fn wire_bytes_reconcile_between_stats_and_trace_validator() {
+    let ds = reddit_scaled(7, 37);
+    let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
+    let bounds = even_bounds(ds.n(), 4);
+    let mut plan = FaultPlan::new(29);
+    for rank in 0..4 {
+        plan = plan
+            .drop_messages(rank, None, 0.2)
+            .corrupt_messages(rank, None, 0.1);
+    }
+    let mut cfg = DistConfig::new(
+        Algo::OneD { aware: true },
+        gcn,
+        2,
+        CostModel::perlmutter_like(),
+    );
+    cfg.trace = true;
+    cfg.robust.faults = Some(plan);
+    cfg.robust.timeout = Duration::from_secs(15);
+    let out = train_distributed(&ds, &bounds, &cfg);
+    assert!(out.stats.total_retransmit_bytes() > 0, "faults must fire");
+
+    let trace = out.trace.expect("trace was requested");
+    let summary =
+        gnn_comm::trace::validate_jsonl(&gnn_comm::trace::jsonl_string(&trace)).expect("valid");
+    // The validator's independent accounting (logical + retransmit
+    // overhead) must agree with the runtime counters to the byte.
+    assert_eq!(
+        summary.logical_bytes_sent,
+        out.stats
+            .per_rank
+            .iter()
+            .map(|r| r.bytes_sent_total())
+            .sum::<u64>(),
+        "logical volumes disagree"
+    );
+    assert_eq!(
+        summary.logical_bytes_sent + summary.retransmit_wire_bytes,
+        out.stats.total_wire_bytes_sent(),
+        "wire-byte totals disagree"
+    );
 }
 
 #[test]
