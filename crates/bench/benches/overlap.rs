@@ -1,0 +1,202 @@
+//! Overlap bench: blocking vs chunked-pipeline schedules through the
+//! real executor, on the modeled clock. Writes machine-readable results
+//! to `results/BENCH_overlap.json` in one run:
+//!
+//! ```text
+//! cargo bench --bench overlap
+//! ```
+//!
+//! Each row runs `train_distributed` twice on the same partitioned
+//! dataset — once blocking, once with `OverlapConfig::on(chunks)` — and
+//! records both modeled epoch times plus the measured hidden/exposed
+//! split. For comm-bound configurations (oblivious 1D broadcasts, 1.5D
+//! stage traffic) the pipelined schedule must come out no slower than
+//! blocking; the JSON makes that inequality auditable. Simulation wall
+//! time is also recorded so the pipeline's host-side overhead is
+//! visible.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gnn_bench::{prepare_full, Scheme};
+use gnn_comm::{CostModel, OverlapConfig};
+use gnn_core::{train_distributed, Algo, DistConfig, GcnConfig};
+use spmat::dataset::amazon_scaled;
+use spmat::pool;
+
+const EPOCHS: usize = 2;
+const CHUNK_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Row {
+    config: String,
+    scheme: &'static str,
+    p: usize,
+    chunks: usize,
+    /// Modeled epoch time of the blocking schedule, seconds.
+    blocking: f64,
+    /// Modeled epoch time of the pipelined schedule, seconds.
+    overlapped: f64,
+    /// Comm seconds hidden behind compute (per epoch, all ranks).
+    hidden: f64,
+    /// Comm seconds the pipeline could not hide (per epoch, all ranks).
+    exposed: f64,
+    /// `true` when the schedule guarantees overlapped <= blocking.
+    comm_bound: bool,
+    /// Simulation wall seconds for the overlapped run.
+    wall: f64,
+}
+
+fn bench_config(
+    name: &str,
+    scheme: Scheme,
+    algo: Algo,
+    parts: usize,
+    p: usize,
+    rows: &mut Vec<Row>,
+) {
+    let ds = amazon_scaled(12, 3);
+    let (pds, bounds) = prepare_full(&ds, parts, scheme, 3);
+    let gcn = GcnConfig::paper_default(pds.f(), pds.num_classes);
+    let mut cfg = DistConfig::new(algo, gcn, EPOCHS, CostModel::perlmutter_like());
+    let blocking = train_distributed(&pds, &bounds, &cfg);
+    let t_block = blocking.stats.modeled_epoch_time() / EPOCHS as f64;
+    // Per-chunk duplex pricing can exceed the blocking collective's
+    // single max(send, recv) term when 1D-aware imbalance varies across
+    // chunks; the guaranteed-≤ configs are the comm-bound ones whose
+    // pipelined charges sum to exactly the blocking charges.
+    let comm_bound = matches!(algo, Algo::OneD { aware: false } | Algo::OneFiveD { .. });
+    for chunks in CHUNK_COUNTS {
+        cfg.overlap = OverlapConfig::on(chunks);
+        let t0 = Instant::now();
+        let out = train_distributed(&pds, &bounds, &cfg);
+        let wall = t0.elapsed().as_secs_f64();
+        let t_ov = out.stats.modeled_epoch_time() / EPOCHS as f64;
+        let hidden = out.stats.total_overlap_hidden_seconds() / EPOCHS as f64;
+        let exposed = out.stats.total_overlap_exposed_seconds() / EPOCHS as f64;
+        println!(
+            "{name}/chunks{chunks}  blocking {:>9.3} ms  overlapped {:>9.3} ms  \
+             ({:>6.3} ms hidden, {:>6.3} ms exposed){}",
+            t_block * 1e3,
+            t_ov * 1e3,
+            hidden * 1e3,
+            exposed * 1e3,
+            if comm_bound && t_ov > t_block * (1.0 + 1e-12) {
+                "  !! REGRESSION"
+            } else {
+                ""
+            }
+        );
+        rows.push(Row {
+            config: name.to_string(),
+            scheme: scheme.label(),
+            p,
+            chunks,
+            blocking: t_block,
+            overlapped: t_ov,
+            hidden,
+            exposed,
+            comm_bound,
+            wall,
+        });
+    }
+    cfg.overlap = OverlapConfig::off();
+}
+
+fn write_json(rows: &[Row]) -> std::io::Result<String> {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(
+        s,
+        "  \"host\": {{ \"hardware_threads\": {} }},",
+        pool::hardware_threads()
+    );
+    let _ = writeln!(s, "  \"epochs\": {EPOCHS},");
+    let _ = writeln!(s, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{ \"config\": \"{}\", \"scheme\": \"{}\", \"p\": {}, \"chunks\": {}, \
+             \"blocking_epoch_s\": {:.6e}, \"overlapped_epoch_s\": {:.6e}, \
+             \"hidden_s\": {:.6e}, \"exposed_s\": {:.6e}, \"comm_bound\": {}, \
+             \"sim_wall_s\": {:.3} }}{comma}",
+            r.config,
+            r.scheme,
+            r.p,
+            r.chunks,
+            r.blocking,
+            r.overlapped,
+            r.hidden,
+            r.exposed,
+            r.comm_bound,
+            r.wall
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+
+    // Bench binaries run with the package as CWD; anchor the output at
+    // the workspace-level results/ directory instead.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_overlap.json");
+    std::fs::write(&path, &s)?;
+    Ok(path.display().to_string())
+}
+
+fn main() {
+    println!(
+        "host: {} hardware thread(s) available",
+        pool::hardware_threads()
+    );
+    let mut rows = Vec::new();
+    bench_config(
+        "1d-oblivious-cagnet",
+        Scheme::Cagnet,
+        Algo::OneD { aware: false },
+        8,
+        8,
+        &mut rows,
+    );
+    bench_config(
+        "1d-aware-gvb",
+        Scheme::SaGvb,
+        Algo::OneD { aware: true },
+        8,
+        8,
+        &mut rows,
+    );
+    bench_config(
+        "15d-aware-gvb",
+        Scheme::SaGvb,
+        Algo::OneFiveD { aware: true, c: 2 },
+        4,
+        8,
+        &mut rows,
+    );
+    bench_config(
+        "15d-oblivious",
+        Scheme::Cagnet,
+        Algo::OneFiveD { aware: false, c: 2 },
+        4,
+        8,
+        &mut rows,
+    );
+    let regressions: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.comm_bound && r.overlapped > r.blocking * (1.0 + 1e-12))
+        .collect();
+    match write_json(&rows) {
+        Ok(path) => println!("[results written to {path}]"),
+        Err(e) => eprintln!("warning: could not write BENCH_overlap.json: {e}"),
+    }
+    if !regressions.is_empty() {
+        for r in regressions {
+            eprintln!(
+                "overlap regression: {}/chunks{}: overlapped {:.6} s > blocking {:.6} s",
+                r.config, r.chunks, r.overlapped, r.blocking
+            );
+        }
+        std::process::exit(1);
+    }
+}

@@ -223,7 +223,7 @@ fn main() -> ExitCode {
                 let (table, _) = experiments::overlap(&suite, args.seed);
                 emit(
                     "overlap",
-                    "Overlap ablation: CAGNET with perfect comm/compute overlap vs SA",
+                    "Overlap ablation: measured chunked-pipeline overlap vs blocking schedules",
                     &table,
                     &args.out,
                 );

@@ -5,6 +5,7 @@
 //!       [--algo 1d|1.5d] [--oblivious] [--c N]
 //!       [--partitioner block|random|metis|gvb] [--p N]
 //!       [--arch gcn|sage] [--opt sgd|adam] [--lr X]
+//!       [--overlap on|off|chunks=N]
 //!       [--epochs N] [--scale N] [--seed N]
 //!       [--inject-crash RANK@EPOCH] [--slow-rank RANK:FACTOR]
 //!       [--drop-prob X] [--corrupt-prob X] [--fault-seed N]
@@ -22,6 +23,12 @@
 //! rank's same-row replica takes over in place and the epoch finishes
 //! on the shrunken grid — no world restart, bit-identical weights.
 //!
+//! `--overlap` pipelines each SpMM: remote blocks are fetched in chunks
+//! with nonblocking sends/receives and folded into the accumulator while
+//! the next chunk is in flight. Outputs are bit-identical to the
+//! blocking schedule; only comm that fits behind a chunk's compute is
+//! hidden, and the exposed remainder is reported as the `overlap` phase.
+//!
 //! `--trace` arms the structured tracer: every comm op and trainer
 //! phase is recorded on each rank's modeled-time axis, artifacts land
 //! at `<PREFIX>.jsonl` / `<PREFIX>.chrome.json` (default prefix under
@@ -37,7 +44,7 @@ use std::time::Instant;
 use std::time::Duration;
 
 use gnn_bench::traceio::{self, TraceFormat};
-use gnn_comm::{CostModel, FaultPlan, Phase};
+use gnn_comm::{CostModel, FaultPlan, OverlapConfig, Phase};
 use gnn_core::{try_train_distributed, Algo, DistConfig, GcnConfig, RobustnessConfig};
 use partition::{partition_graph, Method, PartitionConfig};
 use spmat::dataset::{amazon_scaled, papers_scaled, protein_scaled, reddit_scaled, Dataset};
@@ -53,6 +60,7 @@ struct Args {
     sage: bool,
     adam: bool,
     lr: Option<f64>,
+    overlap: OverlapConfig,
     epochs: usize,
     scale: u32,
     seed: u64,
@@ -84,6 +92,7 @@ fn parse() -> Result<Args, String> {
         sage: false,
         adam: false,
         lr: None,
+        overlap: OverlapConfig::off(),
         epochs: 30,
         scale: 11,
         seed: 1,
@@ -157,6 +166,19 @@ fn parse() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("bad --lr: {e}"))?,
                 )
+            }
+            "--overlap" => {
+                a.overlap = match next(&mut it, "--overlap")?.as_str() {
+                    "off" => OverlapConfig::off(),
+                    "on" => OverlapConfig::on(4),
+                    v => match v.strip_prefix("chunks=") {
+                        Some(n) => OverlapConfig::on(
+                            n.parse()
+                                .map_err(|e| format!("bad --overlap chunks: {e}"))?,
+                        ),
+                        None => return Err(format!("--overlap wants on|off|chunks=N, got {v}")),
+                    },
+                }
             }
             "--epochs" => {
                 a.epochs = next(&mut it, "--epochs")?
@@ -253,7 +275,8 @@ fn usage() -> String {
     "usage: train [--dataset reddit|amazon|protein|papers] [--mtx FILE] \
      [--algo 1d|1.5d] [--oblivious] [--c N] \
      [--partitioner block|random|metis|gvb] [--p N] [--arch gcn|sage] \
-     [--opt sgd|adam] [--lr X] [--epochs N] [--scale N] [--seed N] \
+     [--opt sgd|adam] [--lr X] [--overlap on|off|chunks=N] \
+     [--epochs N] [--scale N] [--seed N] \
      [--inject-crash RANK@EPOCH] [--slow-rank RANK:FACTOR] [--drop-prob X] \
      [--corrupt-prob X] [--fault-seed N] [--failover] [--checkpoint-every N] \
      [--max-restarts N] [--watchdog-ms N] [--threads N] \
@@ -371,10 +394,15 @@ fn main() -> ExitCode {
         Algo::OneD { aware: args.aware }
     };
     println!(
-        "training: {} | {:?} arch | {} epochs | {threads} kernel thread(s)",
+        "training: {} | {:?} arch | {} epochs | {threads} kernel thread(s){}",
         algo.label(),
         gcn.arch,
-        args.epochs
+        args.epochs,
+        if args.overlap.enabled {
+            format!(" | overlap chunks={}", args.overlap.chunks)
+        } else {
+            String::new()
+        }
     );
 
     let mut plan = FaultPlan::new(args.fault_seed);
@@ -410,6 +438,7 @@ fn main() -> ExitCode {
         CostModel::perlmutter_like().with_threads(threads),
     );
     cfg.trace = args.trace;
+    cfg.overlap = args.overlap;
     if args.failover && !args.algo_15d {
         println!("note: --failover needs 1.5D replication; 1D falls back to checkpoint restart");
     }
@@ -449,11 +478,23 @@ fn main() -> ExitCode {
         ("bcast", Phase::Bcast),
         ("allreduce", Phase::AllReduce),
         ("p2p", Phase::P2p),
+        ("overlap (exposed)", Phase::Overlap),
     ] {
         let t = st.phase_time(phase) / args.epochs as f64;
         if t > 0.0 {
-            println!("  {label:<14} {:>10.3} ms", t * 1e3);
+            println!("  {label:<17} {:>10.3} ms", t * 1e3);
         }
+    }
+    if st.total_overlap_stages() > 0 {
+        let hidden = st.total_overlap_hidden_seconds() / args.epochs as f64;
+        let exposed = st.total_overlap_exposed_seconds() / args.epochs as f64;
+        println!(
+            "  overlap window: {:.3} ms comm hidden, {:.3} ms exposed \
+             ({} stages, all ranks)",
+            hidden * 1e3,
+            exposed * 1e3,
+            st.total_overlap_stages()
+        );
     }
     let (kernel_flops, kernel_wall) = st
         .per_rank

@@ -10,9 +10,10 @@
 //! integration tests (`tests/analytic_matches_executor.rs`).
 
 use gnn_comm::stats::{Phase, RankStats, WorldStats};
-use gnn_comm::CostModel;
+use gnn_comm::{CostModel, OverlapConfig};
 use spmat::Csr;
 
+use crate::dist::overlap::{chunk_groups, OverlapPlan1d};
 use crate::dist::plan::{Plan15d, Plan1d};
 use crate::dist::Algo;
 use crate::model::ArchKind;
@@ -35,6 +36,11 @@ pub struct AnalyticInput<'a> {
     /// Layer architecture (changes local compute and gradient-reduce
     /// sizes; communication plans are identical).
     pub arch: ArchKind,
+    /// Comm/compute overlap configuration. When enabled the estimator
+    /// replays the *pipelined* op sequence: per-chunk duplex charges
+    /// with the exposed remainder on [`Phase::Overlap`], exactly
+    /// mirroring the executor's measured overlap window.
+    pub overlap: OverlapConfig,
 }
 
 fn add_compute(st: &mut RankStats, model: &CostModel, flops: u64) {
@@ -55,6 +61,22 @@ fn add_allreduce(st: &mut RankStats, model: &CostModel, bytes: u64, group: usize
 /// Bytes of a `Rows` payload with `rows` indices and width `f`.
 fn rows_payload_bytes(rows: u64, f: u64) -> u64 {
     4 * rows + 8 * rows * f
+}
+
+/// One pipeline-stage boundary: mirrors [`RankCtx::overlap_stage`] —
+/// the exposed remainder of `comm` (after subtracting the compute that
+/// ran since the previous boundary) lands on [`Phase::Overlap`]'s
+/// modeled clock, the hidden part only on the overlap counters.
+///
+/// [`RankCtx::overlap_stage`]: gnn_comm::RankCtx::overlap_stage
+fn add_overlap_boundary(st: &mut RankStats, comm: f64, hidden_budget: f64) {
+    let exposed = (comm - hidden_budget).max(0.0);
+    let c = st.phase_mut(Phase::Overlap);
+    c.ops += 1;
+    c.modeled_seconds += exposed;
+    st.overlap.stages += 1;
+    st.overlap.raw_comm_seconds += comm;
+    st.overlap.hidden_seconds += comm - exposed;
 }
 
 /// One sparsity-aware 1D SpMM's charges on rank `me` at width `f`.
@@ -108,6 +130,183 @@ fn spmm_1d_oblivious_charges(
     }
     add_compute(st, model, plan.n as u64 * f);
     add_compute(st, model, 2 * plan.ranks[me].block.nnz() as u64 * f);
+}
+
+/// One *pipelined* sparsity-aware 1D SpMM's charges: replays
+/// [`crate::dist::overlap::spmm_1d_aware_pipelined_buf`] — per-chunk
+/// duplex pricing at each stage boundary, with the previous chunk's
+/// folding compute available to hide the comm.
+fn spmm_1d_aware_pipelined_charges(
+    plan: &Plan1d,
+    ov: &OverlapPlan1d,
+    me: usize,
+    f: u64,
+    model: &CostModel,
+    st: &mut RankStats,
+) {
+    let rp = &plan.ranks[me];
+    let mut pack_elems = 0u64;
+    for j in 0..plan.p {
+        if j != me && !rp.send_to[j].is_empty() {
+            pack_elems += rp.send_to[j].len() as u64 * f;
+        }
+    }
+    add_compute(st, model, pack_elems);
+
+    let mut prev_compute = 0.0f64;
+    for (g, &(glo, ghi)) in ov.groups.iter().enumerate() {
+        let (mut send_ops, mut send_bytes) = (0u64, 0u64);
+        let (mut recv_ops, mut recv_bytes) = (0u64, 0u64);
+        for j in glo..ghi {
+            if j == me {
+                continue;
+            }
+            send_ops += 1; // empty payloads are sent too (α cost)
+            let s = rp.send_to[j].len() as u64;
+            if s > 0 {
+                send_bytes += rows_payload_bytes(s, f);
+            }
+            recv_ops += 1;
+            let r = rp.recv_from(j).len() as u64;
+            if r > 0 {
+                recv_bytes += rows_payload_bytes(r, f);
+            }
+        }
+        let c = st.phase_mut(Phase::AllToAll);
+        c.ops += send_ops + recv_ops;
+        c.bytes_sent += send_bytes;
+        c.bytes_recv += recv_bytes;
+        let send_cost = send_ops as f64 * model.alpha + send_bytes as f64 * model.beta;
+        let recv_cost = recv_ops as f64 * model.alpha + recv_bytes as f64 * model.beta;
+        add_overlap_boundary(st, send_cost.max(recv_cost), prev_compute);
+
+        let (clo, chi) = ov.col_bounds[g];
+        let assemble = (chi - clo) as u64 * f;
+        let spmm = 2 * ov.blocks[g].nnz() as u64 * f;
+        add_compute(st, model, assemble);
+        add_compute(st, model, spmm);
+        prev_compute = model.compute(assemble) + model.compute(spmm);
+    }
+}
+
+/// One *pipelined* sparsity-oblivious 1D SpMM's charges: replays
+/// [`crate::dist::overlap::spmm_1d_oblivious_pipelined_buf`] — each
+/// chunk's broadcast tree time accrues as collective cost settled at
+/// the chunk boundary.
+fn spmm_1d_oblivious_pipelined_charges(
+    plan: &Plan1d,
+    ov: &OverlapPlan1d,
+    me: usize,
+    f: u64,
+    model: &CostModel,
+    st: &mut RankStats,
+) {
+    let mut prev_compute = 0.0f64;
+    for (g, &(glo, ghi)) in ov.groups.iter().enumerate() {
+        let mut coll = 0.0f64;
+        for j in glo..ghi {
+            let bytes = 8 * plan.rows_of(j) as u64 * f;
+            let c = st.phase_mut(Phase::Bcast);
+            c.ops += 1;
+            if j == me {
+                c.bytes_sent += bytes;
+            } else {
+                c.bytes_recv += bytes;
+            }
+            coll += model.bcast(bytes, plan.p);
+        }
+        add_overlap_boundary(st, coll, prev_compute);
+
+        let (blo, bhi) = ov.col_bounds[g];
+        let assemble = (bhi - blo) as u64 * f;
+        let spmm = 2 * ov.blocks[g].nnz() as u64 * f;
+        add_compute(st, model, assemble);
+        add_compute(st, model, spmm);
+        prev_compute = model.compute(assemble) + model.compute(spmm);
+    }
+}
+
+/// One *pipelined* 1.5D SpMM's charges: replays
+/// [`crate::dist::overlap::spmm_15d_pipelined_buf`] — every outbound
+/// block lands on the first stage boundary, each stage section's
+/// receives settle against the previous section's multiplies.
+fn spmm_15d_pipelined_charges(
+    plan: &Plan15d,
+    me: usize,
+    f: u64,
+    aware: bool,
+    chunks: usize,
+    model: &CostModel,
+    st: &mut RankStats,
+) {
+    let rp = &plan.ranks[me];
+    let rows_i = (rp.row_hi - rp.row_lo) as u64;
+
+    // Sender side: packed before the window, posted on stage 0.
+    let (mut send_ops0, mut send_bytes0) = (0u64, 0u64);
+    if !rp.send_lists.is_empty() {
+        let mut pack_elems = 0u64;
+        for (l, idx) in rp.send_lists.iter().enumerate() {
+            if l == rp.i || idx.is_empty() {
+                continue;
+            }
+            let bytes = if aware {
+                pack_elems += idx.len() as u64 * f;
+                rows_payload_bytes(idx.len() as u64, f)
+            } else {
+                8 * rows_i * f
+            };
+            send_ops0 += 1;
+            send_bytes0 += bytes;
+            let c = st.phase_mut(Phase::P2p);
+            c.ops += 1;
+            c.bytes_sent += bytes;
+        }
+        if pack_elems > 0 {
+            add_compute(st, model, pack_elems);
+        }
+    }
+
+    let groups = chunk_groups(rp.stages.len(), chunks);
+    let mut prev_compute = 0.0f64;
+    for (g, &(slo, shi)) in groups.iter().enumerate() {
+        let (mut recv_ops, mut recv_bytes) = (0u64, 0u64);
+        for stage in &rp.stages[slo..shi] {
+            if stage.q != rp.i && !stage.needed.is_empty() {
+                let bytes = if aware {
+                    rows_payload_bytes(stage.needed.len() as u64, f)
+                } else {
+                    8 * (plan.bounds[stage.q + 1] - plan.bounds[stage.q]) as u64 * f
+                };
+                recv_ops += 1;
+                recv_bytes += bytes;
+                let c = st.phase_mut(Phase::P2p);
+                c.ops += 1;
+                c.bytes_recv += bytes;
+            }
+        }
+        let (s_ops, s_bytes) = if g == 0 {
+            (send_ops0, send_bytes0)
+        } else {
+            (0, 0)
+        };
+        let send_cost = s_ops as f64 * model.alpha + s_bytes as f64 * model.beta;
+        let recv_cost = recv_ops as f64 * model.alpha + recv_bytes as f64 * model.beta;
+        add_overlap_boundary(st, send_cost.max(recv_cost), prev_compute);
+
+        prev_compute = 0.0;
+        for stage in &rp.stages[slo..shi] {
+            if stage.q == rp.i {
+                let gather = stage.needed.len() as u64 * f;
+                add_compute(st, model, gather);
+                prev_compute += model.compute(gather);
+            }
+            let spmm = 2 * stage.block_compact.nnz() as u64 * f;
+            add_compute(st, model, spmm);
+            prev_compute += model.compute(spmm);
+        }
+    }
+    add_allreduce(st, model, 8 * rows_i * f, plan.c);
 }
 
 /// One 1.5D SpMM's charges on linear rank `me`.
@@ -198,10 +397,31 @@ pub fn estimate(input: &AnalyticInput<'_>) -> WorldStats {
                 (rp.row_hi - rp.row_lo) as u64
             }
         };
+        // Sparsity-derived chunking for the pipelined replay, built
+        // once per rank exactly like the executor does.
+        let ov_plan: Option<OverlapPlan1d> = match (&plan, input.overlap.enabled) {
+            (P::OneD(pl, aware), true) => {
+                Some(OverlapPlan1d::build(pl, me, input.overlap.chunks, *aware))
+            }
+            _ => None,
+        };
+        let overlap = input.overlap;
         let charge_spmm = |st: &mut RankStats, f: u64| match &plan {
-            P::OneD(pl, true) => spmm_1d_aware_charges(pl, me, f, model, st),
-            P::OneD(pl, false) => spmm_1d_oblivious_charges(pl, me, f, model, st),
-            P::OneFiveD(pl, aware) => spmm_15d_charges(pl, me, f, *aware, model, st),
+            P::OneD(pl, true) => match &ov_plan {
+                Some(ov) => spmm_1d_aware_pipelined_charges(pl, ov, me, f, model, st),
+                None => spmm_1d_aware_charges(pl, me, f, model, st),
+            },
+            P::OneD(pl, false) => match &ov_plan {
+                Some(ov) => spmm_1d_oblivious_pipelined_charges(pl, ov, me, f, model, st),
+                None => spmm_1d_oblivious_charges(pl, me, f, model, st),
+            },
+            P::OneFiveD(pl, aware) => {
+                if overlap.enabled {
+                    spmm_15d_pipelined_charges(pl, me, f, *aware, overlap.chunks, model, st)
+                } else {
+                    spmm_15d_charges(pl, me, f, *aware, model, st)
+                }
+            }
         };
 
         for _epoch in 0..input.epochs {
@@ -266,6 +486,7 @@ mod tests {
             model: CostModel::perlmutter_like(),
             epochs: 1,
             arch: crate::model::ArchKind::Gcn,
+            overlap: OverlapConfig::off(),
         }
     }
 
@@ -319,6 +540,71 @@ mod tests {
         ));
         assert!(c4.phase_bytes_total(Phase::P2p) < c2.phase_bytes_total(Phase::P2p));
         assert!(c4.phase_time(Phase::AllReduce) > c2.phase_time(Phase::AllReduce));
+    }
+
+    #[test]
+    fn overlapped_estimate_preserves_volumes_and_moves_time() {
+        let adj = gcn_normalize(&rmat(RmatConfig::graph500(8, 6, 5)));
+        let bounds = even_bounds(adj.rows(), 8);
+        let dims = [16usize, 16, 8];
+        for algo in [
+            Algo::OneD { aware: true },
+            Algo::OneD { aware: false },
+            Algo::OneFiveD { aware: true, c: 2 },
+        ] {
+            let b15 = even_bounds(adj.rows(), 4);
+            let b = if matches!(algo, Algo::OneFiveD { .. }) {
+                &b15
+            } else {
+                &bounds
+            };
+            let base = estimate(&input_for(&adj, b, algo, &dims));
+            let mut ov_in = input_for(&adj, b, algo, &dims);
+            ov_in.overlap = OverlapConfig::on(3);
+            let ov = estimate(&ov_in);
+            // Logical volumes are untouched by pipelining.
+            for ph in [Phase::AllToAll, Phase::Bcast, Phase::P2p] {
+                assert_eq!(
+                    ov.phase_bytes_total(ph),
+                    base.phase_bytes_total(ph),
+                    "{algo:?} {ph:?}"
+                );
+            }
+            // Comm time moved off the natural phases onto Overlap.
+            assert!(ov.phase_time(Phase::Overlap) > 0.0, "{algo:?}");
+            assert!(
+                ov.total_overlap_hidden_seconds() + ov.phase_time(Phase::Overlap) > 0.0,
+                "{algo:?}"
+            );
+            // exposed + hidden reconcile with the raw comm charged.
+            for rs in &ov.per_rank {
+                let raw = rs.overlap.raw_comm_seconds;
+                let split = rs.overlap_exposed_seconds() + rs.overlap_hidden_seconds();
+                assert!((raw - split).abs() <= 1e-12 * raw.max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_oblivious_estimate_never_slower() {
+        let adj = gcn_normalize(&rmat(RmatConfig::graph500(8, 6, 6)));
+        let bounds = even_bounds(adj.rows(), 8);
+        let dims = [16usize, 16, 8];
+        let base = estimate(&input_for(
+            &adj,
+            &bounds,
+            Algo::OneD { aware: false },
+            &dims,
+        ));
+        for k in [1, 2, 4, 8] {
+            let mut ov_in = input_for(&adj, &bounds, Algo::OneD { aware: false }, &dims);
+            ov_in.overlap = OverlapConfig::on(k);
+            let ov = estimate(&ov_in);
+            assert!(
+                ov.modeled_epoch_time() <= base.modeled_epoch_time() + 1e-12,
+                "chunks={k}"
+            );
+        }
     }
 
     #[test]

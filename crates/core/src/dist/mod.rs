@@ -7,6 +7,7 @@ pub mod checkpoint;
 pub mod failover;
 pub mod oned;
 pub mod onefived;
+pub mod overlap;
 pub mod plan;
 pub mod trainer;
 pub mod twod;
@@ -14,6 +15,10 @@ pub mod twod;
 pub use buffers::EpochBuffers;
 pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use failover::{failover_allreduce_replicated, spmm_15d_failover_buf, FailoverView};
+pub use overlap::{
+    spmm_15d_pipelined_buf, spmm_1d_aware_pipelined_buf, spmm_1d_oblivious_pipelined_buf,
+    OverlapPlan1d,
+};
 pub use plan::{even_bounds, Plan15d, Plan1d};
 pub use trainer::{
     train_distributed, try_train_distributed, Algo, DistConfig, DistOutcome, RobustnessConfig,

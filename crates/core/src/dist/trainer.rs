@@ -35,8 +35,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use gnn_comm::{
-    CostModel, EpochAbortPanic, FaultInjector, FaultPlan, Phase, RankCtx, SpanKind, ThreadWorld,
-    WorldError, WorldStats, WorldTrace,
+    CostModel, EpochAbortPanic, FaultInjector, FaultPlan, OverlapConfig, Phase, RankCtx, SpanKind,
+    ThreadWorld, WorldError, WorldStats, WorldTrace,
 };
 use spmat::dataset::Dataset;
 use spmat::Dense;
@@ -50,6 +50,10 @@ use super::checkpoint::{Checkpoint, CheckpointStore};
 use super::failover::{failover_allreduce_replicated, spmm_15d_failover_buf, FailoverView};
 use super::oned::{spmm_1d_aware_buf, spmm_1d_oblivious_buf};
 use super::onefived::spmm_15d_buf;
+use super::overlap::{
+    spmm_15d_pipelined_buf, spmm_1d_aware_pipelined_buf, spmm_1d_oblivious_pipelined_buf,
+    OverlapPlan1d,
+};
 use super::plan::{Plan15d, Plan1d};
 
 /// Which distributed SpMM drives training.
@@ -140,6 +144,15 @@ pub struct DistConfig {
     /// forward/loss/backward → SpMM, plus every communication op).
     /// Off by default: steady-state epochs then do no tracing work.
     pub trace: bool,
+    /// Comm/compute overlap: when enabled, every distributed SpMM runs
+    /// its pipelined variant (remote fetches split into
+    /// [`OverlapConfig::chunks`] stages, folded into the accumulation
+    /// while later chunks are in flight). Results are bit-identical to
+    /// the blocking schedule and logical volumes are unchanged; only
+    /// the modeled time attribution moves (exposed comm lands in
+    /// [`Phase::Overlap`]). Ignored by the degraded-mode failover path,
+    /// which always runs its blocking schedule.
+    pub overlap: OverlapConfig,
 }
 
 impl DistConfig {
@@ -152,6 +165,7 @@ impl DistConfig {
             model,
             robust: RobustnessConfig::default(),
             trace: false,
+            overlap: OverlapConfig::off(),
         }
     }
 }
@@ -340,16 +354,34 @@ fn run_rank(
     // this pool, so steady-state epochs stay off the allocator.
     let mut bufs = EpochBuffers::new();
 
+    // Sparsity-derived chunking for the pipelined 1D variants, built
+    // once per rank and reused by every SpMM of every epoch.
+    let ov_plan: Option<OverlapPlan1d> = match (&plan, cfg.overlap.enabled) {
+        (PlanKind::OneD(pl), true) => Some(OverlapPlan1d::build(
+            pl,
+            ctx.rank(),
+            cfg.overlap.chunks,
+            aware_1d,
+        )),
+        _ => None,
+    };
+    let overlap = cfg.overlap;
+
     let dist_spmm = |ctx: &mut RankCtx, h: &Dense, bufs: &mut EpochBuffers| -> Dense {
         match plan {
-            PlanKind::OneD(pl) => {
-                if aware_1d {
-                    spmm_1d_aware_buf(ctx, pl, h, bufs)
+            PlanKind::OneD(pl) => match &ov_plan {
+                Some(ov) if aware_1d => spmm_1d_aware_pipelined_buf(ctx, pl, h, ov, bufs),
+                Some(ov) => spmm_1d_oblivious_pipelined_buf(ctx, pl, h, ov, bufs),
+                None if aware_1d => spmm_1d_aware_buf(ctx, pl, h, bufs),
+                None => spmm_1d_oblivious_buf(ctx, pl, h, bufs),
+            },
+            PlanKind::OneFiveD { plan: pl, aware } => {
+                if overlap.enabled {
+                    spmm_15d_pipelined_buf(ctx, pl, h, *aware, overlap.chunks, bufs)
                 } else {
-                    spmm_1d_oblivious_buf(ctx, pl, h, bufs)
+                    spmm_15d_buf(ctx, pl, h, *aware, bufs)
                 }
             }
-            PlanKind::OneFiveD { plan: pl, aware } => spmm_15d_buf(ctx, pl, h, *aware, bufs),
         }
     };
 
@@ -1014,6 +1046,34 @@ mod tests {
         assert_eq!(out.restarts, 1);
         assert_eq!(out.failovers, 0);
         assert_eq!(out.records.len(), 4);
+    }
+
+    #[test]
+    fn overlapped_training_is_bit_identical_to_blocking() {
+        let ds = reddit_scaled(7, 11);
+        let cfg = GcnConfig::paper_default(ds.f(), ds.num_classes);
+        for (algo, parts) in [
+            (Algo::OneD { aware: true }, 4),
+            (Algo::OneD { aware: false }, 4),
+            (Algo::OneFiveD { aware: true, c: 2 }, 2),
+        ] {
+            let bounds = even_bounds(ds.n(), parts);
+            let base_cfg = DistConfig::new(algo, cfg.clone(), 3, CostModel::perlmutter_like());
+            let base = train_distributed(&ds, &bounds, &base_cfg);
+            let mut ov_cfg = base_cfg.clone();
+            ov_cfg.overlap = OverlapConfig::on(3);
+            let ov = train_distributed(&ds, &bounds, &ov_cfg);
+            for (a, b) in ov.records.iter().zip(&base.records) {
+                assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "{}", algo.label());
+            }
+            assert_eq!(
+                ov.weights.max_abs_diff(&base.weights),
+                0.0,
+                "{}",
+                algo.label()
+            );
+            assert!(ov.stats.total_overlap_stages() > 0, "{}", algo.label());
+        }
     }
 
     #[test]

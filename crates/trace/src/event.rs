@@ -42,6 +42,10 @@ pub enum SpanKind {
     Spmm15d,
     /// One 2D (SUMMA-style) distributed SpMM call.
     Spmm2d,
+    /// One pipelined (nonblocking) exchange window inside a distributed
+    /// SpMM: remote fetches split into chunks and folded into the local
+    /// accumulation while the next chunk is in flight.
+    Overlap,
 }
 
 impl SpanKind {
@@ -55,12 +59,13 @@ impl SpanKind {
             SpanKind::Spmm1d => "spmm_1d",
             SpanKind::Spmm15d => "spmm_15d",
             SpanKind::Spmm2d => "spmm_2d",
+            SpanKind::Overlap => "overlap",
         }
     }
 
     /// Inverse of [`SpanKind::name`].
     pub fn from_name(s: &str) -> Option<SpanKind> {
-        const ALL: [SpanKind; 7] = [
+        const ALL: [SpanKind; 8] = [
             SpanKind::Epoch,
             SpanKind::Forward,
             SpanKind::Loss,
@@ -68,6 +73,7 @@ impl SpanKind {
             SpanKind::Spmm1d,
             SpanKind::Spmm15d,
             SpanKind::Spmm2d,
+            SpanKind::Overlap,
         ];
         ALL.iter().copied().find(|k| k.name() == s)
     }
@@ -96,6 +102,14 @@ pub enum EventKind {
     /// `bytes_sent` is the extra *wire* traffic (zero for pure delays);
     /// logical volumes are untouched.
     Retransmit,
+    /// Exposed communication at a pipeline-stage boundary: the part of
+    /// a chunk's comm time local compute could not hide. Advances the
+    /// modeled clock (it is real critical-path time).
+    OverlapWait,
+    /// Hidden communication at a pipeline-stage boundary: comm time
+    /// that ran concurrently with local compute. Recorded with its
+    /// duration but does *not* advance the modeled clock.
+    OverlapHidden,
     /// A completed structural span.
     Span(SpanKind),
 }
@@ -113,13 +127,15 @@ impl EventKind {
             EventKind::Barrier => "barrier",
             EventKind::Compute => "compute",
             EventKind::Retransmit => "retransmit",
+            EventKind::OverlapWait => "overlap_wait",
+            EventKind::OverlapHidden => "overlap_hidden",
             EventKind::Span(k) => k.name(),
         }
     }
 
     /// Inverse of [`EventKind::name`].
     pub fn from_name(s: &str) -> Option<EventKind> {
-        const OPS: [EventKind; 9] = [
+        const OPS: [EventKind; 11] = [
             EventKind::Send,
             EventKind::Recv,
             EventKind::Bcast,
@@ -129,6 +145,8 @@ impl EventKind {
             EventKind::Barrier,
             EventKind::Compute,
             EventKind::Retransmit,
+            EventKind::OverlapWait,
+            EventKind::OverlapHidden,
         ];
         OPS.iter()
             .copied()
@@ -196,8 +214,11 @@ mod tests {
             EventKind::Barrier,
             EventKind::Compute,
             EventKind::Retransmit,
+            EventKind::OverlapWait,
+            EventKind::OverlapHidden,
             EventKind::Span(SpanKind::Epoch),
             EventKind::Span(SpanKind::Spmm1d),
+            EventKind::Span(SpanKind::Overlap),
         ];
         for k in kinds {
             assert_eq!(EventKind::from_name(k.name()), Some(k), "{k:?}");

@@ -4,7 +4,7 @@
 //! path; this test is what makes its numbers trustworthy.
 
 use gnn_comm::stats::PHASES;
-use gnn_comm::CostModel;
+use gnn_comm::{CostModel, OverlapConfig};
 use gnn_core::analytic::{estimate, AnalyticInput};
 use gnn_core::dist::even_bounds;
 use gnn_core::{train_distributed, Algo, DistConfig, GcnConfig};
@@ -37,18 +37,29 @@ fn assert_stats_equal(
                 pa.modeled_seconds
             );
         }
+        // The measured-overlap counters must agree too: same stage
+        // count, same hidden-comm bookkeeping.
+        assert_eq!(
+            e.overlap.stages, a.overlap.stages,
+            "{label}: rank {rank} overlap stages"
+        );
+        let dh = (e.overlap.hidden_seconds - a.overlap.hidden_seconds).abs();
+        assert!(
+            dh <= 1e-9 * e.overlap.hidden_seconds.abs().max(1e-12),
+            "{label}: rank {rank} hidden {} vs {}",
+            e.overlap.hidden_seconds,
+            a.overlap.hidden_seconds
+        );
     }
 }
 
-fn check(ds: &Dataset, algo: Algo, block_rows: usize, epochs: usize) {
+fn check_overlap(ds: &Dataset, algo: Algo, block_rows: usize, epochs: usize, ov: OverlapConfig) {
     let bounds = even_bounds(ds.n(), block_rows);
     let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
     let model = CostModel::perlmutter_like();
-    let out = train_distributed(
-        ds,
-        &bounds,
-        &DistConfig::new(algo, gcn.clone(), epochs, model),
-    );
+    let mut cfg = DistConfig::new(algo, gcn.clone(), epochs, model);
+    cfg.overlap = ov;
+    let out = train_distributed(ds, &bounds, &cfg);
     let est = estimate(&AnalyticInput {
         adj: &ds.norm_adj,
         bounds: &bounds,
@@ -57,8 +68,14 @@ fn check(ds: &Dataset, algo: Algo, block_rows: usize, epochs: usize) {
         model,
         epochs,
         arch: gnn_core::model::ArchKind::Gcn,
+        overlap: ov,
     });
-    assert_stats_equal(&out.stats, &est, &algo.label());
+    let label = format!("{} overlap={ov:?}", algo.label());
+    assert_stats_equal(&out.stats, &est, &label);
+}
+
+fn check(ds: &Dataset, algo: Algo, block_rows: usize, epochs: usize) {
+    check_overlap(ds, algo, block_rows, epochs, OverlapConfig::off());
 }
 
 #[test]
@@ -94,6 +111,50 @@ fn one_five_d_c4_matches() {
 }
 
 #[test]
+fn overlapped_one_d_aware_matches() {
+    let ds = amazon_scaled(8, 46);
+    for chunks in [1, 2, 7] {
+        check_overlap(
+            &ds,
+            Algo::OneD { aware: true },
+            4,
+            2,
+            OverlapConfig::on(chunks),
+        );
+    }
+}
+
+#[test]
+fn overlapped_one_d_oblivious_matches() {
+    let ds = amazon_scaled(8, 46);
+    for chunks in [1, 3] {
+        check_overlap(
+            &ds,
+            Algo::OneD { aware: false },
+            4,
+            2,
+            OverlapConfig::on(chunks),
+        );
+    }
+}
+
+#[test]
+fn overlapped_one_five_d_matches() {
+    let ds = amazon_scaled(8, 47);
+    for aware in [true, false] {
+        for chunks in [1, 2, 7] {
+            check_overlap(
+                &ds,
+                Algo::OneFiveD { aware, c: 2 },
+                4,
+                2,
+                OverlapConfig::on(chunks),
+            );
+        }
+    }
+}
+
+#[test]
 fn sage_architecture_matches() {
     // SAGE's different local-compute and gradient-reduce sizes must be
     // mirrored exactly too.
@@ -111,6 +172,7 @@ fn sage_architecture_matches() {
         model,
         epochs: 2,
         arch: gnn_core::model::ArchKind::Sage,
+        overlap: OverlapConfig::off(),
     });
     assert_stats_equal(&out.stats, &est, "sage 1D aware");
 }
@@ -133,6 +195,7 @@ fn uneven_bounds_match() {
             model,
             epochs: 1,
             arch: gnn_core::model::ArchKind::Gcn,
+            overlap: OverlapConfig::off(),
         });
         assert_stats_equal(&out.stats, &est, &algo.label());
     }
