@@ -12,8 +12,22 @@
 //! host's hardware thread count so speedups can be judged fairly: thread
 //! counts beyond the physical cores time-slice one core and cannot beat
 //! serial.
+//!
+//! # Per-host perf gate
+//!
+//! Absolute GFLOP/s are meaningless across machines (a 1-thread CI
+//! runner is not a regression relative to a 16-core workstation), so
+//! the gate compares each kernel only against a baseline recorded *on
+//! the same host class*, keyed by `<hostname>/<hardware_threads>` in
+//! `results/BASELINE_kernels.json`. The first run on a new host records
+//! its numbers and passes; later runs fail (exit 1) if any kernel drops
+//! below 70% of that host's baseline, and ratchet the baseline up when
+//! a run beats it. Thread counts above the host's hardware parallelism
+//! are measured and reported but never gated.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use gnn_comm::CostModel;
@@ -137,12 +151,126 @@ fn bench_epochs() -> Vec<EpochRow> {
     rows
 }
 
+/// `<hostname>/<hardware_threads>` — the identity a baseline belongs
+/// to. Two hosts with the same name but different core counts (or the
+/// same box with threads restricted) get independent baselines.
+fn host_key() -> String {
+    let host = std::env::var("HOSTNAME")
+        .ok()
+        .or_else(|| std::fs::read_to_string("/proc/sys/kernel/hostname").ok())
+        .map(|h| h.trim().to_string())
+        .filter(|h| !h.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    format!("{host}/{}", pool::hardware_threads())
+}
+
+fn results_dir() -> PathBuf {
+    // Bench binaries run with the package as CWD; anchor the output at
+    // the workspace-level results/ directory instead.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+fn baseline_path() -> PathBuf {
+    results_dir().join("BASELINE_kernels.json")
+}
+
+/// The baseline store is a flat one-entry-per-line JSON object written
+/// by [`write_baselines`]; that rigid shape is what makes this
+/// dependency-free parse safe.
+fn load_baselines() -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(baseline_path()) else {
+        return map;
+    };
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once("\": ") else {
+            continue;
+        };
+        let key = key.trim_start_matches('"');
+        if let Ok(v) = value.parse::<f64>() {
+            map.insert(key.to_string(), v);
+        }
+    }
+    map
+}
+
+fn write_baselines(map: &BTreeMap<String, f64>) -> std::io::Result<()> {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    for (i, (k, v)) in map.iter().enumerate() {
+        let comma = if i + 1 == map.len() { "" } else { "," };
+        let _ = writeln!(s, "  \"{k}\": {v:.4}{comma}");
+    }
+    let _ = writeln!(s, "}}");
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    std::fs::write(baseline_path(), s)
+}
+
+/// Fraction of the recorded per-host baseline a kernel may drop to
+/// before the gate fails; headroom for scheduler noise on shared CI.
+const GATE_TOLERANCE: f64 = 0.70;
+
+/// Compares this run against the host's recorded baselines. Returns the
+/// list of regressions (empty on a first run, which only records).
+fn gate_against_baselines(kernels: &[KernelRow]) -> Vec<String> {
+    let key = host_key();
+    let hw = pool::hardware_threads();
+    let mut baselines = load_baselines();
+    let mut failures = Vec::new();
+    let mut recorded = 0usize;
+    for r in kernels {
+        if r.threads > hw {
+            continue; // oversubscribed: time-sliced, not a perf signal
+        }
+        let k = format!("{key}|spmm/{}/f{}/t{}", r.matrix, r.f, r.threads);
+        match baselines.get(&k).copied() {
+            None => {
+                baselines.insert(k, r.gflops);
+                recorded += 1;
+            }
+            Some(base) if r.gflops < base * GATE_TOLERANCE => {
+                failures.push(format!(
+                    "kernel regression on {key}: spmm/{}/f{}/t{} at {:.3} GFLOP/s \
+                     is below {:.0}% of the host baseline {:.3}",
+                    r.matrix,
+                    r.f,
+                    r.threads,
+                    r.gflops,
+                    GATE_TOLERANCE * 100.0,
+                    base
+                ));
+            }
+            Some(base) if r.gflops > base => {
+                baselines.insert(k, r.gflops); // ratchet the baseline up
+            }
+            Some(_) => {}
+        }
+    }
+    if failures.is_empty() {
+        if let Err(e) = write_baselines(&baselines) {
+            eprintln!(
+                "warning: could not write {}: {e}",
+                baseline_path().display()
+            );
+        }
+    }
+    if recorded > 0 {
+        println!("[{recorded} baseline(s) recorded for host {key}; gate passes on first sight]");
+    } else if failures.is_empty() {
+        println!("[kernel gate passed against recorded baselines for host {key}]");
+    }
+    failures
+}
+
 fn write_json(kernels: &[KernelRow], epochs: &[EpochRow]) -> std::io::Result<String> {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(
         s,
-        "  \"host\": {{ \"hardware_threads\": {} }},",
+        "  \"host\": {{ \"key\": \"{}\", \"hardware_threads\": {} }},",
+        host_key(),
         pool::hardware_threads()
     );
     let _ = writeln!(s, "  \"kernels\": [");
@@ -168,9 +296,7 @@ fn write_json(kernels: &[KernelRow], epochs: &[EpochRow]) -> std::io::Result<Str
     let _ = writeln!(s, "  ]");
     let _ = writeln!(s, "}}");
 
-    // Bench binaries run with the package as CWD; anchor the output at
-    // the workspace-level results/ directory instead.
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("BENCH_kernels.json");
     std::fs::write(&path, &s)?;
@@ -179,7 +305,8 @@ fn write_json(kernels: &[KernelRow], epochs: &[EpochRow]) -> std::io::Result<Str
 
 fn main() {
     println!(
-        "host: {} hardware thread(s) available",
+        "host: {} ({} hardware thread(s) available)",
+        host_key(),
         pool::hardware_threads()
     );
     let kernels = bench_kernels();
@@ -187,5 +314,12 @@ fn main() {
     match write_json(&kernels, &epochs) {
         Ok(path) => println!("[results written to {path}]"),
         Err(e) => eprintln!("warning: could not write BENCH_kernels.json: {e}"),
+    }
+    let failures = gate_against_baselines(&kernels);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
     }
 }

@@ -96,6 +96,16 @@ fn parse_args() -> Result<Args, String> {
                 ))
             }
             "--help" | "-h" => return Err(usage()),
+            // The repro harness replays recorded volumes analytically (or
+            // runs a short traced thread-world pass); it never launches
+            // rank processes. Name the tool that does.
+            "--backend" | "--ranks" | "--proc-dir" | "--proc-child" => {
+                return Err(format!(
+                    "{a} belongs to the process-backend launcher; repro computes its \
+                     artifacts analytically on the thread backend only — use \
+                     `train --backend proc` for a process-backed run"
+                ))
+            }
             cmd if !cmd.starts_with('-') => args.commands.push(cmd.to_string()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }

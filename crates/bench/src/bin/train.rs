@@ -4,6 +4,7 @@
 //! train [--dataset reddit|amazon|protein|papers] [--mtx FILE]
 //!       [--algo 1d|1.5d] [--oblivious] [--c N]
 //!       [--partitioner block|random|metis|gvb] [--p N]
+//!       [--backend thread|proc] [--ranks N] [--proc-dir DIR]
 //!       [--arch gcn|sage] [--opt sgd|adam] [--lr X]
 //!       [--overlap on|off|chunks=N]
 //!       [--epochs N] [--scale N] [--seed N]
@@ -14,6 +15,16 @@
 //!       [--trace [PREFIX]] [--trace-format jsonl|chrome|both]
 //!       [--metrics-out FILE]
 //! ```
+//!
+//! `--backend proc` (Unix only) runs every rank as a **real OS
+//! process** over Unix-domain sockets instead of threads: the launcher
+//! re-executes itself once per rank (`--ranks N` sets the world size,
+//! an alias for `--p`), supervises the children, and restarts the whole
+//! generation from the newest disk checkpoint when a rank process dies
+//! — including genuinely SIGKILL'd ranks. Results are bit-identical to
+//! the thread backend. Thread-only features are rejected up front:
+//! `--failover`, `--trace`, and `--inject-crash` (kill the rank process
+//! instead; that is the point of the backend).
 //!
 //! Trains on the simulated distributed runtime, prints the loss/accuracy
 //! trajectory and the modeled communication/compute cost summary. The
@@ -78,6 +89,12 @@ struct Args {
     trace_prefix: Option<PathBuf>,
     trace_format: TraceFormat,
     metrics_out: Option<PathBuf>,
+    backend_proc: bool,
+    /// `--ranks` was given (proc-backend spelling of the world size).
+    ranks_flag: bool,
+    proc_dir: Option<PathBuf>,
+    /// Internal: this invocation is rank N of a proc-backend launch.
+    proc_child: Option<usize>,
 }
 
 fn parse() -> Result<Args, String> {
@@ -110,6 +127,10 @@ fn parse() -> Result<Args, String> {
         trace_prefix: None,
         trace_format: TraceFormat::Both,
         metrics_out: None,
+        backend_proc: false,
+        ranks_flag: false,
+        proc_dir: None,
+        proc_child: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -145,6 +166,27 @@ fn parse() -> Result<Args, String> {
                 a.p = next(&mut it, "--p")?
                     .parse()
                     .map_err(|e| format!("bad --p: {e}"))?
+            }
+            "--backend" => {
+                a.backend_proc = match next(&mut it, "--backend")?.as_str() {
+                    "thread" => false,
+                    "proc" | "process" => true,
+                    other => return Err(format!("unknown backend {other} (thread|proc)")),
+                }
+            }
+            "--ranks" => {
+                a.ranks_flag = true;
+                a.p = next(&mut it, "--ranks")?
+                    .parse()
+                    .map_err(|e| format!("bad --ranks: {e}"))?
+            }
+            "--proc-dir" => a.proc_dir = Some(PathBuf::from(next(&mut it, "--proc-dir")?)),
+            "--proc-child" => {
+                a.proc_child = Some(
+                    next(&mut it, "--proc-child")?
+                        .parse()
+                        .map_err(|e| format!("bad --proc-child: {e}"))?,
+                )
             }
             "--arch" => {
                 a.sage = match next(&mut it, "--arch")?.as_str() {
@@ -274,7 +316,8 @@ fn parse() -> Result<Args, String> {
 fn usage() -> String {
     "usage: train [--dataset reddit|amazon|protein|papers] [--mtx FILE] \
      [--algo 1d|1.5d] [--oblivious] [--c N] \
-     [--partitioner block|random|metis|gvb] [--p N] [--arch gcn|sage] \
+     [--partitioner block|random|metis|gvb] [--p N] \
+     [--backend thread|proc] [--ranks N] [--proc-dir DIR] [--arch gcn|sage] \
      [--opt sgd|adam] [--lr X] [--overlap on|off|chunks=N] \
      [--epochs N] [--scale N] [--seed N] \
      [--inject-crash RANK@EPOCH] [--slow-rank RANK:FACTOR] [--drop-prob X] \
@@ -282,6 +325,65 @@ fn usage() -> String {
      [--max-restarts N] [--watchdog-ms N] [--threads N] \
      [--trace [PREFIX]] [--trace-format jsonl|chrome|both] [--metrics-out FILE]"
         .to_string()
+}
+
+/// Rejects flag combinations that mix thread-only features with the
+/// process backend (and vice versa) before any work happens, with a
+/// pointer to what to use instead.
+fn validate_backend_flags(a: &Args) -> Result<(), String> {
+    if !a.backend_proc {
+        if a.ranks_flag {
+            return Err(
+                "--ranks sets the process-backend world size; add --backend proc, \
+                 or use --p for the thread backend"
+                    .into(),
+            );
+        }
+        if a.proc_dir.is_some() {
+            return Err("--proc-dir only applies to --backend proc".into());
+        }
+        if a.proc_child.is_some() {
+            return Err(
+                "--proc-child is internal to --backend proc launches and needs --backend proc"
+                    .into(),
+            );
+        }
+        return Ok(());
+    }
+    if cfg!(not(unix)) {
+        return Err(
+            "--backend proc needs a Unix platform (ranks talk over Unix-domain sockets); \
+                    use --backend thread"
+                .into(),
+        );
+    }
+    if a.failover {
+        return Err(
+            "--failover (in-place replica failover) only works on the thread backend; \
+             the process backend recovers dead ranks via checkpoint restart instead — \
+             drop --failover, or use --backend thread"
+                .into(),
+        );
+    }
+    if a.trace {
+        return Err(
+            "--trace collects spans in shared memory and only works on the thread backend; \
+             drop --trace, or use --backend thread"
+                .into(),
+        );
+    }
+    if a.inject_crash.is_some() {
+        return Err(
+            "--inject-crash simulates a rank crash inside a thread world; on the process \
+             backend kill the real rank process instead (PIDs are published at \
+             <proc-dir>/rank<N>.pid), or use --backend thread"
+                .into(),
+        );
+    }
+    if a.proc_child.is_some() && a.proc_dir.is_none() {
+        return Err("--proc-child needs --proc-dir (both are set by the launcher)".into());
+    }
+    Ok(())
 }
 
 fn load_dataset(a: &Args) -> Result<Dataset, String> {
@@ -323,6 +425,38 @@ fn load_dataset(a: &Args) -> Result<Dataset, String> {
     })
 }
 
+/// Parent side of `--backend proc`: supervise one re-exec'd child per
+/// rank; each child re-parses the same CLI and rebuilds the identical
+/// deterministic scenario, so nothing needs to be serialized to them.
+#[cfg(unix)]
+fn run_proc_parent(args: &Args) -> Result<gnn_core::DistOutcome, String> {
+    let dir = args
+        .proc_dir
+        .clone()
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("gnn-train-{}", std::process::id())));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    // A fresh launch must train from epoch 0, not resume a previous
+    // run that happened to use the same rendezvous directory.
+    gnn_core::dist::clear_disk_checkpoints(&dir.join("ckpt"));
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    println!(
+        "proc backend: launching {} rank process(es) under {}",
+        args.p,
+        dir.display()
+    );
+    gnn_core::supervise_proc_training(args.p, &dir, args.max_restarts, |rank| {
+        std::process::Command::new(&exe)
+            .args(&forwarded)
+            .arg("--proc-dir")
+            .arg(&dir)
+            .arg("--proc-child")
+            .arg(rank.to_string())
+            .spawn()
+    })
+    .map_err(|e| e.to_string())
+}
+
 fn main() -> ExitCode {
     let args = match parse() {
         Ok(a) => a,
@@ -331,6 +465,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(m) = validate_backend_flags(&args) {
+        eprintln!("{m}");
+        return ExitCode::FAILURE;
+    }
+    // Proc-backend children rebuild the scenario silently; only the
+    // parent (or a thread-backend run) narrates progress.
+    let quiet = args.proc_child.is_some();
     spmat::pool::set_threads(args.threads); // 0 keeps the auto default
     let threads = spmat::pool::current_threads();
     let t0 = Instant::now();
@@ -341,15 +482,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "dataset {}: {} vertices, {} edges, f={}, {} classes  [{:.1}s]",
-        ds.name,
-        ds.n(),
-        ds.edges(),
-        ds.f(),
-        ds.num_classes,
-        t0.elapsed().as_secs_f64()
-    );
+    if !quiet {
+        println!(
+            "dataset {}: {} vertices, {} edges, f={}, {} classes  [{:.1}s]",
+            ds.name,
+            ds.n(),
+            ds.edges(),
+            ds.f(),
+            ds.num_classes,
+            t0.elapsed().as_secs_f64()
+        );
+    }
 
     // Partition & permute.
     let parts = if args.algo_15d {
@@ -369,11 +512,13 @@ fn main() -> ExitCode {
     );
     let ds = ds.permute(&part.to_permutation());
     let bounds = part.block_bounds();
-    println!(
-        "partitioned into {parts} parts with {} in {:.1}s",
-        args.partitioner.label(),
-        t1.elapsed().as_secs_f64()
-    );
+    if !quiet {
+        println!(
+            "partitioned into {parts} parts with {} in {:.1}s",
+            args.partitioner.label(),
+            t1.elapsed().as_secs_f64()
+        );
+    }
 
     // Configure and train.
     let mut gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
@@ -393,17 +538,19 @@ fn main() -> ExitCode {
     } else {
         Algo::OneD { aware: args.aware }
     };
-    println!(
-        "training: {} | {:?} arch | {} epochs | {threads} kernel thread(s){}",
-        algo.label(),
-        gcn.arch,
-        args.epochs,
-        if args.overlap.enabled {
-            format!(" | overlap chunks={}", args.overlap.chunks)
-        } else {
-            String::new()
-        }
-    );
+    if !quiet {
+        println!(
+            "training: {} | {:?} arch | {} epochs | {threads} kernel thread(s){}",
+            algo.label(),
+            gcn.arch,
+            args.epochs,
+            if args.overlap.enabled {
+                format!(" | overlap chunks={}", args.overlap.chunks)
+            } else {
+                String::new()
+            }
+        );
+    }
 
     let mut plan = FaultPlan::new(args.fault_seed);
     if let Some((rank, epoch)) = args.inject_crash {
@@ -423,7 +570,7 @@ fn main() -> ExitCode {
         }
     }
     let faulty = !plan.is_empty();
-    if faulty {
+    if faulty && !quiet {
         println!(
             "fault plan: {} fault(s), seed {}",
             plan.faults.len(),
@@ -439,7 +586,7 @@ fn main() -> ExitCode {
     );
     cfg.trace = args.trace;
     cfg.overlap = args.overlap;
-    if args.failover && !args.algo_15d {
+    if args.failover && !args.algo_15d && !quiet {
         println!("note: --failover needs 1.5D replication; 1D falls back to checkpoint restart");
     }
     cfg.robust = RobustnessConfig {
@@ -450,12 +597,44 @@ fn main() -> ExitCode {
         failover: args.failover,
     };
 
+    // Proc-backend child: this invocation *is* rank N — run it over the
+    // real sockets and exit without printing anything.
+    #[cfg(unix)]
+    if let Some(rank) = args.proc_child {
+        let dir = args
+            .proc_dir
+            .clone()
+            .expect("validated: --proc-child implies --proc-dir via the launcher");
+        return match gnn_core::run_rank_proc(&ds, &bounds, &cfg, &dir, rank) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("rank {rank}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let t2 = Instant::now();
-    let out = match try_train_distributed(&ds, &bounds, &cfg) {
-        Ok(out) => out,
-        Err(e) => {
-            eprintln!("training failed: {e}");
-            return ExitCode::FAILURE;
+    let out = if args.backend_proc {
+        #[cfg(unix)]
+        {
+            match run_proc_parent(&args) {
+                Ok(out) => out,
+                Err(m) => {
+                    eprintln!("training failed: {m}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        #[cfg(not(unix))]
+        unreachable!("validate_backend_flags rejects --backend proc off Unix")
+    } else {
+        match try_train_distributed(&ds, &bounds, &cfg) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("training failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let wall = t2.elapsed().as_secs_f64();
@@ -513,6 +692,9 @@ fn main() -> ExitCode {
     if faulty || out.restarts > 0 || out.failovers > 0 {
         println!("\n-- fault summary --");
         println!("restarts:          {}", out.restarts);
+        if !out.resume_points.is_empty() {
+            println!("resumed at epochs: {:?}", out.resume_points);
+        }
         println!("failovers:         {}", out.failovers);
         println!("injected faults:   {}", st.total_injected_faults());
         println!("retries:           {}", st.total_retries());

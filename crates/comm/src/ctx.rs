@@ -52,7 +52,6 @@
 //! aborted generation are discarded by their `gen` stamp.
 
 use std::panic::panic_any;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -63,7 +62,7 @@ use crate::error::{ColumnLostPanic, CrashPanic, DeadlockPanic, EpochAbortPanic, 
 use crate::fault::FaultInjector;
 use crate::msg::{Msg, Payload};
 use crate::stats::{Phase, RankStats};
-use crate::watchdog::{TimeoutBarrier, Watchdog};
+use crate::transport::{RecvOutcome, Transport, TryRecvOutcome};
 
 /// Message tags, one per operation kind; mismatches indicate an SPMD
 /// protocol bug and fail fast.
@@ -173,10 +172,9 @@ pub struct RankCtx {
     rank: usize,
     p: usize,
     model: CostModel,
-    to: Vec<Sender<Msg>>,
-    from: Vec<Receiver<Msg>>,
-    barrier: Arc<TimeoutBarrier>,
-    watchdog: Arc<Watchdog>,
+    /// The pluggable link layer (thread channels or real sockets); see
+    /// [`crate::transport`].
+    transport: Box<dyn Transport>,
     injector: Option<Arc<FaultInjector>>,
     /// Trainer-reported epoch (fault-plan coordinates + diagnostics).
     epoch: Option<usize>,
@@ -204,15 +202,11 @@ pub struct RankCtx {
 }
 
 impl RankCtx {
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         p: usize,
         model: CostModel,
-        to: Vec<Sender<Msg>>,
-        from: Vec<Receiver<Msg>>,
-        barrier: Arc<TimeoutBarrier>,
-        watchdog: Arc<Watchdog>,
+        transport: Box<dyn Transport>,
         injector: Option<Arc<FaultInjector>>,
         tracer: Option<Box<RankTracer>>,
         failover: bool,
@@ -221,10 +215,7 @@ impl RankCtx {
             rank,
             p,
             model,
-            to,
-            from,
-            barrier,
-            watchdog,
+            transport,
             injector,
             epoch: None,
             op_in_epoch: 0,
@@ -337,7 +328,7 @@ impl RankCtx {
                     // Register the death *before* unwinding so survivors
                     // that observe the closed channel (or the shrunken
                     // commit barrier) can attribute it.
-                    self.watchdog.mark_dead(self.rank, self.gen);
+                    self.transport.mark_dead(self.rank, self.gen);
                 }
                 panic_any(CrashPanic {
                     rank: self.rank,
@@ -471,9 +462,9 @@ impl RankCtx {
         }
     }
 
-    fn push(&self, dst: usize, msg: Msg) {
+    fn push(&mut self, dst: usize, msg: Msg) {
         let tag = msg.tag;
-        if self.to[dst].send(msg).is_err() {
+        if self.transport.send(dst, msg).is_err() {
             if self.failover {
                 // Dead peer: the frame evaporates; the death is handled
                 // at the next blocking receive or the commit barrier.
@@ -501,13 +492,16 @@ impl RankCtx {
             if dst == self.rank {
                 continue;
             }
-            let _ = self.to[dst].send(Msg {
-                tag: tag::ABORT,
-                seq: 0,
-                gen,
-                checksum,
-                payload: payload.clone(),
-            });
+            let _ = self.transport.send(
+                dst,
+                Msg {
+                    tag: tag::ABORT,
+                    seq: 0,
+                    gen,
+                    checksum,
+                    payload: payload.clone(),
+                },
+            );
         }
     }
 
@@ -539,7 +533,7 @@ impl RankCtx {
                 // Stale abort from an already-retired generation.
                 std::cmp::Ordering::Less => {}
                 std::cmp::Ordering::Equal => {
-                    self.watchdog.end(self.rank);
+                    self.transport.wd_end(self.rank);
                     self.abort_epoch(frame.gen);
                 }
                 std::cmp::Ordering::Greater => panic!(
@@ -615,9 +609,9 @@ impl RankCtx {
     /// sequence number — and, in failover mode, converts a dead peer
     /// (closed channel or ABORT frame) into an epoch abort.
     fn raw_recv(&mut self, src: usize, expect_tag: u8) -> Payload {
-        let timeout = self.watchdog.timeout();
+        let timeout = self.transport.timeout();
         let deadline = Instant::now() + timeout;
-        self.watchdog.begin(
+        self.transport.wd_begin(
             self.rank,
             WaitKind::Recv,
             Some(src),
@@ -628,18 +622,18 @@ impl RankCtx {
             let now = Instant::now();
             if now >= deadline {
                 // Leave our wait registered so the report includes us.
-                let report = self.watchdog.report(self.rank);
+                let report = self.transport.wd_report(self.rank);
                 panic_any(DeadlockPanic(report));
             }
-            match self.from[src].recv_timeout(deadline - now) {
-                Ok(frame) => {
+            match self.transport.recv_deadline(src, deadline - now) {
+                RecvOutcome::Frame(frame) => {
                     if let Some(msg) = self.transport_accept(src, frame) {
                         break msg;
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    self.watchdog.end(self.rank);
+                RecvOutcome::TimedOut => {}
+                RecvOutcome::Disconnected => {
+                    self.transport.wd_end(self.rank);
                     if self.failover {
                         // The peer died mid-epoch; abandon this attempt
                         // and propagate the abort to the other survivors.
@@ -654,7 +648,7 @@ impl RankCtx {
                 }
             }
         };
-        self.watchdog.end(self.rank);
+        self.transport.wd_end(self.rank);
         assert_eq!(
             msg.tag, expect_tag,
             "rank {}: protocol mismatch receiving from {} (got tag {}, expected {})",
@@ -676,7 +670,7 @@ impl RankCtx {
 
     /// All ranks recorded dead so far (failover mode), in death order.
     pub fn dead_ranks(&self) -> Vec<usize> {
-        self.watchdog.deaths().iter().map(|d| d.rank).collect()
+        self.transport.deaths().iter().map(|d| d.rank).collect()
     }
 
     /// Ranks whose deaths are *sealed*: recorded in a generation strictly
@@ -691,7 +685,7 @@ impl RankCtx {
     pub fn sealed_dead_ranks(&self) -> Vec<usize> {
         let gen = self.gen;
         let mut dead: Vec<usize> = self
-            .watchdog
+            .transport
             .deaths()
             .iter()
             .filter(|d| d.gen < gen)
@@ -721,25 +715,14 @@ impl RankCtx {
         if !self.failover {
             return true;
         }
-        self.watchdog
-            .begin(self.rank, WaitKind::Barrier, None, None, self.epoch);
-        let p = self.p;
-        let wd = self.watchdog.clone();
-        let wd_verdict = self.watchdog.clone();
-        let gen = self.gen;
-        let committed = self.barrier.wait_verdict(
-            self.watchdog.timeout(),
-            move || wd.alive_count(p),
-            // All survivors enter the commit with equal `gen` (they bump
-            // in lockstep on every poisoned verdict), so whichever rank
-            // evaluates this sees the same generation stamp.
-            move || !wd_verdict.deaths().iter().any(|d| d.gen == gen),
-        );
+        self.transport
+            .wd_begin(self.rank, WaitKind::Barrier, None, None, self.epoch);
+        let committed = self.transport.commit_wait(self.gen);
         let Some(committed) = committed else {
-            let report = self.watchdog.report(self.rank);
+            let report = self.transport.wd_report(self.rank);
             panic_any(DeadlockPanic(report));
         };
-        self.watchdog.end(self.rank);
+        self.transport.wd_end(self.rank);
         if !committed {
             self.gen += 1;
         }
@@ -873,8 +856,8 @@ impl RankCtx {
     /// state machine and files the deliveries against posted receives.
     fn try_progress(&mut self, src: usize) {
         loop {
-            match self.from[src].try_recv() {
-                Ok(frame) => {
+            match self.transport.try_recv(src) {
+                TryRecvOutcome::Frame(frame) => {
                     if let Some(msg) = self.transport_accept(src, frame) {
                         assert_eq!(
                             msg.tag,
@@ -888,8 +871,8 @@ impl RankCtx {
                         self.deliver_to_earliest(src, msg.payload);
                     }
                 }
-                Err(std::sync::mpsc::TryRecvError::Empty) => break,
-                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                TryRecvOutcome::Empty => break,
+                TryRecvOutcome::Disconnected => {
                     if self.failover {
                         self.abort_epoch(self.gen);
                     }
@@ -1298,21 +1281,18 @@ impl RankCtx {
     pub fn barrier(&mut self) {
         self.op_tick();
         self.trace_op(EventKind::Barrier, Phase::Other, None, 0, 0, 0, 0.0);
-        self.watchdog
-            .begin(self.rank, WaitKind::Barrier, None, None, self.epoch);
+        self.transport
+            .wd_begin(self.rank, WaitKind::Barrier, None, None, self.epoch);
         let ok = if self.failover {
-            let p = self.p;
-            let wd = self.watchdog.clone();
-            self.barrier
-                .wait_with(self.watchdog.timeout(), move || wd.alive_count(p))
+            self.transport.barrier_wait_alive()
         } else {
-            self.barrier.wait(self.watchdog.timeout())
+            self.transport.barrier_wait()
         };
         if !ok {
-            let report = self.watchdog.report(self.rank);
+            let report = self.transport.wd_report(self.rank);
             panic_any(DeadlockPanic(report));
         }
-        self.watchdog.end(self.rank);
+        self.transport.wd_end(self.rank);
     }
 
     /// Runs `work`, recording its wall time and `flops` into

@@ -40,6 +40,7 @@ pub mod msg;
 pub mod stats;
 pub mod world;
 
+pub(crate) mod transport;
 pub(crate) mod watchdog;
 
 /// The observability crate, re-exported for downstream convenience.
@@ -51,4 +52,6 @@ pub use error::{BlockedRank, DeadlockReport, EpochAbortPanic, WaitKind, WorldErr
 pub use fault::{Fault, FaultInjector, FaultPlan, SendFate};
 pub use gnn_trace::{SpanKind, WorldTrace};
 pub use stats::{FaultCounters, Phase, RankStats, WorldStats};
+#[cfg(unix)]
+pub use transport::proc::{ProcError, ProcWorld};
 pub use world::ThreadWorld;

@@ -1,0 +1,1301 @@
+//! The process-backed [`Transport`]: ranks are real OS processes
+//! exchanging length-prefixed frames ([`super::wire`]) over Unix-domain
+//! sockets.
+//!
+//! Where [`super::thread::ThreadTransport`] simulates failure with flags
+//! and modeled time, this backend faces the real thing:
+//!
+//! * **Rendezvous** — every rank binds its own mesh listener
+//!   (`<dir>/rank<r>.sock`), non-zero ranks dial rank 0's rendezvous
+//!   socket to REGISTER their path, and rank 0 replies with the full
+//!   ADDRBOOK. Higher ranks then dial lower ranks for a full mesh (one
+//!   full-duplex connection per pair).
+//! * **Reliable links** — DATA and barrier frames carry a per-direction
+//!   `link_seq` and live in a replay queue until cumulatively ACKed, so
+//!   a reconnect retransmits exactly the unacknowledged suffix and the
+//!   receiver's delivered watermark filters the duplicates. The upper
+//!   layer ([`crate::RankCtx`]) never observes a socket bounce: its own
+//!   seq/FNV state machine sees the same frame stream either way.
+//! * **Liveness** — a heartbeat thread beacons every peer and marks a
+//!   peer dead after a miss threshold; death drops the peer's delivery
+//!   channel so blocked receives fail fast with the same "hung up"
+//!   semantics the thread backend gets from a dropped channel.
+//! * **Reconnect** — the dialing side (higher rank) redials with capped
+//!   exponential backoff on transient errors; the listening side simply
+//!   accepts the replacement connection and replays.
+//! * **Shutdown** — a finishing rank sends BYE, drains briefly, then
+//!   closes (SIGTERM triggers the same drain then `exit(143)`).
+//!   A SIGKILL'd rank never says BYE: peers see an unclean EOF or
+//!   missed heartbeats and fail over to the trainer's
+//!   checkpoint-restart ladder.
+//!
+//! Set `GNN_PROC_DROP_CONN_AFTER=<n>` to forcibly shut one connection
+//! down after the n-th DATA send — a deterministic transient-fault hook
+//! the reconnect tests use.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufReader, Write};
+use std::net::Shutdown;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cost::CostModel;
+use crate::ctx::RankCtx;
+use crate::error::{
+    ColumnLostPanic, CrashPanic, DeadlockPanic, DeadlockReport, EpochAbortPanic, WaitKind,
+};
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::msg::Msg;
+use crate::stats::RankStats;
+use crate::watchdog::{DeathRecord, Watchdog};
+use crate::world::PanicHookGuard;
+
+use super::wire::{self, kind, Frame};
+use super::{PeerGone, RecvOutcome, Transport, TryRecvOutcome};
+
+/// Poll slice for interruptible blocking waits (sigterm + death checks).
+const SLICE: Duration = Duration::from_millis(25);
+
+/// Default heartbeat beacon period (override: `GNN_PROC_HEARTBEAT_MS`).
+const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(200);
+
+/// Default missed-beacon threshold before a peer is declared dead
+/// (override: `GNN_PROC_MISS`).
+const DEFAULT_MISS: u32 = 15;
+
+// ---- SIGTERM --------------------------------------------------------------
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs a SIGTERM handler that requests a drain-then-exit. Raw FFI
+/// to keep the build dependency-free; `signal` is fine here because the
+/// handler only stores to an atomic.
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
+fn sigterm_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::SeqCst)
+}
+
+// ---- Errors ---------------------------------------------------------------
+
+/// Failure launching or running one process-backend rank.
+#[derive(Debug)]
+pub enum ProcError {
+    /// Socket or filesystem failure during wire-up or shutdown.
+    Io(io::Error),
+    /// The rank's body panicked (protocol violation, peer death,
+    /// deadlock, injected crash); the message is the decoded payload.
+    RankPanicked {
+        /// Which rank.
+        rank: usize,
+        /// Human-readable panic description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcError::Io(e) => write!(f, "process backend I/O error: {e}"),
+            ProcError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
+
+impl From<io::Error> for ProcError {
+    fn from(e: io::Error) -> Self {
+        ProcError::Io(e)
+    }
+}
+
+/// Decodes a caught panic payload into the message a supervisor logs.
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(d) = payload.downcast_ref::<DeadlockPanic>() {
+        format!("deadlock: {:?}", d.0)
+    } else if let Some(c) = payload.downcast_ref::<CrashPanic>() {
+        format!(
+            "injected crash on rank {} at epoch {:?} op {}",
+            c.rank, c.epoch, c.op
+        )
+    } else if let Some(a) = payload.downcast_ref::<EpochAbortPanic>() {
+        format!("epoch abort (generation {})", a.generation)
+    } else if let Some(l) = payload.downcast_ref::<ColumnLostPanic>() {
+        format!("replica column {} lost", l.block_row)
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+// ---- Per-peer connection state -------------------------------------------
+
+/// Writer-side state for one peer link.
+struct Conn {
+    /// Writer half of the current connection (a `try_clone` of the
+    /// reader's stream); `None` while disconnected.
+    stream: Option<UnixStream>,
+    /// Bumped on every (re)connect; readers use it to tell whether the
+    /// connection that just died is still the current one.
+    epoch: u64,
+    /// Next reliable-frame sequence number to assign (1-based).
+    next_link_seq: u64,
+    /// Peer's cumulative delivered watermark (replay prunes `<=` this).
+    acked: u64,
+    /// Our cumulative delivered watermark for the peer's reliable frames.
+    delivered: u64,
+    /// Encoded reliable frames not yet covered by `acked`.
+    replay: VecDeque<(u64, Vec<u8>)>,
+}
+
+struct Peer {
+    conn: Mutex<Conn>,
+    /// Delivery channel into the owning transport; taking it to `None`
+    /// is how death/clean-close turns blocked receives into
+    /// `Disconnected` (mirroring a dropped mpsc sender in the thread
+    /// backend).
+    data_tx: Mutex<Option<Sender<Msg>>>,
+    /// Milliseconds since transport start when a frame last arrived.
+    last_seen_ms: AtomicU64,
+    /// Declared dead by the liveness monitor or reconnect exhaustion.
+    dead: AtomicBool,
+    /// Peer announced graceful shutdown (BYE).
+    bye: AtomicBool,
+}
+
+impl Peer {
+    fn new() -> Self {
+        Peer {
+            conn: Mutex::new(Conn {
+                stream: None,
+                epoch: 0,
+                next_link_seq: 1,
+                acked: 0,
+                delivered: 0,
+                replay: VecDeque::new(),
+            }),
+            data_tx: Mutex::new(None),
+            last_seen_ms: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+            bye: AtomicBool::new(false),
+        }
+    }
+}
+
+// ---- Shared state ---------------------------------------------------------
+
+struct Shared {
+    rank: usize,
+    p: usize,
+    timeout: Duration,
+    heartbeat: Duration,
+    miss: u32,
+    start: Instant,
+    addrbook: Vec<String>,
+    peers: Vec<Peer>,
+    dead: Mutex<Vec<DeathRecord>>,
+    /// Rank 0 only: barrier-entry announcements (src, round).
+    entries_tx: Mutex<Option<Sender<(u32, u64)>>>,
+    /// Non-zero ranks: barrier releases from rank 0.
+    release_tx: Mutex<Option<Sender<u64>>>,
+    /// We started shutting down (gracefully or not): background threads
+    /// exit and connection teardown stops triggering reconnects.
+    shutting_down: AtomicBool,
+    /// DATA frames sent process-wide (the drop-injection trigger).
+    data_sent: AtomicU64,
+    drop_after: Option<u64>,
+    drop_fired: AtomicBool,
+    log: Mutex<File>,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn log(&self, msg: &str) {
+        if let Ok(mut f) = self.log.lock() {
+            let _ = writeln!(f, "[{:9.3}s] {}", self.start.elapsed().as_secs_f64(), msg);
+        }
+    }
+
+    /// Queues a reliable frame for `dst` (replayed across reconnects)
+    /// and attempts an immediate write.
+    fn send_reliable(&self, dst: usize, kind_byte: u8, body: Vec<u8>) -> Result<(), PeerGone> {
+        let peer = &self.peers[dst];
+        if peer.dead.load(Ordering::SeqCst) || peer.bye.load(Ordering::SeqCst) {
+            return Err(PeerGone);
+        }
+        let mut conn = peer.conn.lock().unwrap();
+        let link_seq = conn.next_link_seq;
+        conn.next_link_seq += 1;
+        let frame = Frame {
+            kind: kind_byte,
+            src: self.rank as u32,
+            link_seq,
+            body,
+        };
+        let bytes = wire::encode_frame(&frame);
+        conn.replay.push_back((link_seq, bytes.clone()));
+        if let Some(stream) = conn.stream.as_mut() {
+            if stream
+                .write_all(&bytes)
+                .and_then(|_| stream.flush())
+                .is_err()
+            {
+                let _ = stream.shutdown(Shutdown::Both);
+                conn.stream = None;
+            }
+        }
+        if kind_byte == kind::DATA {
+            let n = self.data_sent.fetch_add(1, Ordering::SeqCst) + 1;
+            if let Some(after) = self.drop_after {
+                if n >= after && !self.drop_fired.swap(true, Ordering::SeqCst) {
+                    self.log(&format!(
+                        "fault hook: dropping connection to rank {dst} after DATA #{n}"
+                    ));
+                    if let Some(stream) = conn.stream.take() {
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Best-effort unreliable control frame (HEARTBEAT, BYE, ACK).
+    fn send_control(&self, dst: usize, frame: &Frame) {
+        let mut conn = self.peers[dst].conn.lock().unwrap();
+        if let Some(stream) = conn.stream.as_mut() {
+            if wire::write_frame(stream, frame).is_err() {
+                let _ = stream.shutdown(Shutdown::Both);
+                conn.stream = None;
+            }
+        }
+    }
+
+    fn mark_peer_dead(&self, q: usize, why: &str) {
+        let peer = &self.peers[q];
+        if peer.dead.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.log(&format!("peer rank {q} declared dead: {why}"));
+        self.dead
+            .lock()
+            .unwrap()
+            .push(DeathRecord { rank: q, gen: 0 });
+        // Wake anything blocked on this peer: receives observe
+        // `Disconnected` once the sender is gone, the reader wakes on
+        // the shutdown.
+        *peer.data_tx.lock().unwrap() = None;
+        let mut conn = peer.conn.lock().unwrap();
+        if let Some(stream) = conn.stream.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn any_peer_dead(&self) -> bool {
+        (0..self.p).any(|q| q != self.rank && self.peers[q].dead.load(Ordering::SeqCst))
+    }
+
+    /// Graceful shutdown: BYE every live peer, wait briefly for theirs,
+    /// then tear the mesh down.
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for q in 0..self.p {
+            if q == self.rank || self.peers[q].dead.load(Ordering::SeqCst) {
+                continue;
+            }
+            self.send_control(q, &Frame::control(kind::BYE, self.rank));
+        }
+        // Drain: give peers a moment to BYE back so both sides close at
+        // a frame boundary instead of racing EOF against final ACKs.
+        let deadline = Instant::now() + Duration::from_millis(750);
+        while Instant::now() < deadline {
+            let all_done = (0..self.p).all(|q| {
+                q == self.rank
+                    || self.peers[q].dead.load(Ordering::SeqCst)
+                    || self.peers[q].bye.load(Ordering::SeqCst)
+            });
+            if all_done {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.teardown();
+        self.log("graceful shutdown complete");
+    }
+
+    /// Unclean shutdown (rank panicked): no BYE, peers see a raw EOF
+    /// and route it into their own failure handling.
+    fn abort_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.teardown();
+        self.log("abortive shutdown (no BYE)");
+    }
+
+    fn teardown(&self) {
+        for q in 0..self.p {
+            if q == self.rank {
+                continue;
+            }
+            let mut conn = self.peers[q].conn.lock().unwrap();
+            if let Some(stream) = conn.stream.take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        *self.entries_tx.lock().unwrap() = None;
+        *self.release_tx.lock().unwrap() = None;
+    }
+
+    /// SIGTERM: drain connections, then exit with the conventional
+    /// 128+15 status.
+    fn drain_and_exit(&self) -> ! {
+        self.log("SIGTERM received: draining connections");
+        self.begin_shutdown();
+        std::process::exit(143);
+    }
+}
+
+// ---- Connection wiring ----------------------------------------------------
+
+/// Installs `stream` as the current connection to `q`: syncs the replay
+/// queue against the peer's delivered watermark, retransmits the
+/// unacknowledged suffix, and spawns a reader for the new connection.
+fn install_conn(
+    shared: &Arc<Shared>,
+    q: usize,
+    stream: UnixStream,
+    peer_watermark: u64,
+) -> io::Result<()> {
+    let writer = stream.try_clone()?;
+    let peer = &shared.peers[q];
+    let epoch;
+    {
+        let mut conn = peer.conn.lock().unwrap();
+        if let Some(old) = conn.stream.take() {
+            let _ = old.shutdown(Shutdown::Both);
+        }
+        conn.epoch += 1;
+        epoch = conn.epoch;
+        conn.acked = conn.acked.max(peer_watermark);
+        while conn
+            .replay
+            .front()
+            .is_some_and(|(seq, _)| *seq <= conn.acked)
+        {
+            conn.replay.pop_front();
+        }
+        let mut w = writer;
+        let mut ok = true;
+        for (_, bytes) in conn.replay.iter() {
+            if w.write_all(bytes).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            let _ = w.flush();
+            conn.stream = Some(w);
+        } else {
+            // The fresh connection is already broken; its reader will
+            // notice and retry.
+            let _ = w.shutdown(Shutdown::Both);
+        }
+        shared.log(&format!(
+            "link to rank {q} up (epoch {epoch}, peer watermark {peer_watermark}, replayed {})",
+            conn.replay.len()
+        ));
+    }
+    peer.last_seen_ms.store(shared.now_ms(), Ordering::SeqCst);
+    let shared = shared.clone();
+    std::thread::Builder::new()
+        .name(format!("proc-read-{q}"))
+        .spawn(move || reader_loop(shared, q, stream, epoch))
+        .map(|_| ())
+}
+
+/// Reads frames off one connection to peer `q` until it dies, then
+/// hands off to reconnect/death handling.
+fn reader_loop(shared: Arc<Shared>, q: usize, stream: UnixStream, epoch: u64) {
+    let _ = stream.set_read_timeout(None);
+    let raw = match stream.try_clone() {
+        Ok(c) => c,
+        Err(_) => stream,
+    };
+    let mut r = BufReader::new(raw);
+    let reason = loop {
+        match wire::read_frame(&mut r) {
+            Ok(Some(frame)) => {
+                shared.peers[q]
+                    .last_seen_ms
+                    .store(shared.now_ms(), Ordering::SeqCst);
+                route_frame(&shared, q, frame);
+            }
+            Ok(None) => break "EOF".to_string(),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => break format!("read error: {e}"),
+        }
+    };
+    on_conn_end(&shared, q, epoch, &reason);
+}
+
+/// Routes one received frame to the right consumer.
+fn route_frame(shared: &Arc<Shared>, q: usize, frame: Frame) {
+    let peer = &shared.peers[q];
+    match frame.kind {
+        kind::DATA | kind::BARRIER_ENTER | kind::BARRIER_RELEASE => {
+            // Reliable frame: watermark-dedup, ack, then deliver.
+            {
+                let mut conn = peer.conn.lock().unwrap();
+                if frame.link_seq <= conn.delivered {
+                    return; // duplicate from a replay
+                }
+                conn.delivered = frame.link_seq;
+                let ack = Frame::with_u64(kind::ACK, shared.rank, conn.delivered);
+                if let Some(stream) = conn.stream.as_mut() {
+                    let _ = wire::write_frame(stream, &ack);
+                }
+            }
+            match frame.kind {
+                kind::DATA => {
+                    let msg = match wire::decode_msg(&frame.body) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            shared.log(&format!("rank {q}: undecodable DATA frame: {e}"));
+                            return;
+                        }
+                    };
+                    let tx = peer.data_tx.lock().unwrap().clone();
+                    if let Some(tx) = tx {
+                        let _ = tx.send(msg);
+                    }
+                }
+                kind::BARRIER_ENTER => {
+                    if let Ok(round) = frame.body_u64() {
+                        let tx = shared.entries_tx.lock().unwrap().clone();
+                        if let Some(tx) = tx {
+                            let _ = tx.send((frame.src, round));
+                        }
+                    }
+                }
+                _ => {
+                    // BARRIER_RELEASE
+                    if let Ok(round) = frame.body_u64() {
+                        let tx = shared.release_tx.lock().unwrap().clone();
+                        if let Some(tx) = tx {
+                            let _ = tx.send(round);
+                        }
+                    }
+                }
+            }
+        }
+        kind::ACK => {
+            if let Ok(watermark) = frame.body_u64() {
+                let mut conn = peer.conn.lock().unwrap();
+                conn.acked = conn.acked.max(watermark);
+                while conn
+                    .replay
+                    .front()
+                    .is_some_and(|(seq, _)| *seq <= conn.acked)
+                {
+                    conn.replay.pop_front();
+                }
+            }
+        }
+        kind::HEARTBEAT => {} // last_seen already updated
+        kind::BYE => {
+            shared.log(&format!("rank {q} said BYE"));
+            peer.bye.store(true, Ordering::SeqCst);
+        }
+        other => shared.log(&format!("rank {q}: unexpected frame kind {other}")),
+    }
+}
+
+/// A connection to `q` ended: clean-close after BYE, ignore if stale or
+/// shutting down, reconnect if we are the dialing side, else leave it
+/// to the liveness monitor.
+fn on_conn_end(shared: &Arc<Shared>, q: usize, epoch: u64, reason: &str) {
+    let peer = &shared.peers[q];
+    {
+        let mut conn = peer.conn.lock().unwrap();
+        if conn.epoch != epoch {
+            return; // a newer connection has already replaced this one
+        }
+        if let Some(stream) = conn.stream.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+    if shared.shutting_down.load(Ordering::SeqCst) || peer.dead.load(Ordering::SeqCst) {
+        return;
+    }
+    if peer.bye.load(Ordering::SeqCst) {
+        // Graceful close: future receives must see `Disconnected`, the
+        // thread-backend analogue of a finished rank dropping its
+        // channels. Queued messages already delivered remain readable.
+        shared.log(&format!("link to rank {q} closed cleanly"));
+        *peer.data_tx.lock().unwrap() = None;
+        return;
+    }
+    shared.log(&format!("link to rank {q} lost ({reason})"));
+    if q < shared.rank {
+        reconnect_loop(shared, q);
+    }
+    // q > rank: the peer dials us; the acceptor installs the
+    // replacement and the heartbeat monitor handles true death.
+}
+
+/// Dialer-side reconnect with capped exponential backoff, bounded by
+/// the liveness budget (miss threshold × heartbeat period).
+fn reconnect_loop(shared: &Arc<Shared>, q: usize) {
+    let budget = shared.heartbeat * shared.miss;
+    let deadline = Instant::now() + budget.max(Duration::from_secs(1));
+    let mut backoff = Duration::from_millis(20);
+    let path = shared.addrbook[q].clone();
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst)
+            || shared.peers[q].dead.load(Ordering::SeqCst)
+        {
+            return;
+        }
+        match dial_peer(shared, q, &path) {
+            Ok(()) => {
+                shared.log(&format!("reconnected to rank {q}"));
+                return;
+            }
+            Err(e) => {
+                shared.log(&format!("redial rank {q} failed: {e}"));
+            }
+        }
+        if Instant::now() >= deadline {
+            shared.mark_peer_dead(q, "reconnect budget exhausted");
+            return;
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(Duration::from_millis(500));
+    }
+}
+
+/// Dials peer `q` and runs the HELLO exchange (dialer side: HELLO out,
+/// HELLO back carrying the peer's delivered watermark).
+fn dial_peer(shared: &Arc<Shared>, q: usize, path: &str) -> io::Result<()> {
+    let mut stream = UnixStream::connect(path)?;
+    let delivered = shared.peers[q].conn.lock().unwrap().delivered;
+    wire::write_frame(
+        &mut stream,
+        &Frame::with_u64(kind::HELLO, shared.rank, delivered),
+    )?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let hello = wire::read_frame(&mut &stream)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF before HELLO reply"))?;
+    stream.set_read_timeout(None)?;
+    if hello.kind != kind::HELLO || hello.src as usize != q {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad HELLO reply",
+        ));
+    }
+    install_conn(shared, q, stream, hello.body_u64()?)
+}
+
+/// Mesh accept loop: each incoming connection leads with HELLO(src,
+/// watermark); we reply with our own watermark and install it.
+fn acceptor_loop(shared: Arc<Shared>, listener: UnixListener) {
+    let _ = listener.set_nonblocking(true);
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                if let Err(e) = handle_accept(&shared, stream) {
+                    shared.log(&format!("accept handshake failed: {e}"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(SLICE);
+            }
+            Err(e) => {
+                shared.log(&format!("accept error: {e}"));
+                std::thread::sleep(SLICE);
+            }
+        }
+    }
+}
+
+fn handle_accept(shared: &Arc<Shared>, mut stream: UnixStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let hello = wire::read_frame(&mut &stream)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF before HELLO"))?;
+    stream.set_read_timeout(None)?;
+    if hello.kind != kind::HELLO {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "expected HELLO"));
+    }
+    let q = hello.src as usize;
+    if q >= shared.p || q == shared.rank {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "HELLO from invalid rank",
+        ));
+    }
+    if shared.peers[q].dead.load(Ordering::SeqCst) {
+        // No resurrection: once declared dead, stay dead (the
+        // supervisor restarts the whole generation).
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "peer already declared dead",
+        ));
+    }
+    let delivered = shared.peers[q].conn.lock().unwrap().delivered;
+    wire::write_frame(
+        &mut stream,
+        &Frame::with_u64(kind::HELLO, shared.rank, delivered),
+    )?;
+    install_conn(shared, q, stream, hello.body_u64()?)
+}
+
+/// Heartbeat thread: beacon every peer each period; declare a peer dead
+/// once its silence exceeds the miss threshold.
+fn monitor_loop(shared: Arc<Shared>) {
+    let period_ms = shared.heartbeat.as_millis().max(1) as u64;
+    loop {
+        let wake = Instant::now() + shared.heartbeat;
+        while Instant::now() < wake {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20).min(shared.heartbeat));
+        }
+        let now = shared.now_ms();
+        for q in 0..shared.p {
+            if q == shared.rank {
+                continue;
+            }
+            let peer = &shared.peers[q];
+            if peer.dead.load(Ordering::SeqCst) || peer.bye.load(Ordering::SeqCst) {
+                continue;
+            }
+            shared.send_control(q, &Frame::control(kind::HEARTBEAT, shared.rank));
+            let age = now.saturating_sub(peer.last_seen_ms.load(Ordering::SeqCst));
+            if age > u64::from(shared.miss) * period_ms {
+                shared.mark_peer_dead(q, &format!("no frames for {age} ms"));
+            }
+        }
+    }
+}
+
+// ---- Rendezvous -----------------------------------------------------------
+
+fn rendezvous_path(dir: &Path) -> PathBuf {
+    dir.join("rendezvous.sock")
+}
+
+fn mesh_path(dir: &Path, rank: usize) -> String {
+    dir.join(format!("rank{rank}.sock"))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Rank 0: collect REGISTER(path) from every other rank, then reply to
+/// each with the full ADDRBOOK.
+fn rendezvous_serve(
+    dir: &Path,
+    p: usize,
+    my_path: &str,
+    deadline: Instant,
+) -> io::Result<Vec<String>> {
+    let rv_path = rendezvous_path(dir);
+    let _ = fs::remove_file(&rv_path);
+    let listener = UnixListener::bind(&rv_path)?;
+    listener.set_nonblocking(true)?;
+    let mut book: Vec<Option<String>> = vec![None; p];
+    book[0] = Some(my_path.to_string());
+    let mut conns: Vec<(usize, UnixStream)> = Vec::new();
+    while conns.len() < p - 1 {
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "rendezvous: only {}/{} ranks registered",
+                    conns.len(),
+                    p - 1
+                ),
+            ));
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+                let frame = wire::read_frame(&mut &stream)?.ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "EOF before REGISTER")
+                })?;
+                if frame.kind != kind::REGISTER {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "expected REGISTER",
+                    ));
+                }
+                let src = frame.src as usize;
+                if src == 0 || src >= p {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "REGISTER from invalid rank",
+                    ));
+                }
+                book[src] = Some(wire::decode_register(&frame.body)?);
+                conns.push((src, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let paths: Vec<String> = book.into_iter().map(|b| b.unwrap()).collect();
+    let body = wire::encode_addrbook(&paths);
+    for (_, mut stream) in conns {
+        let frame = Frame {
+            kind: kind::ADDRBOOK,
+            src: 0,
+            link_seq: 0,
+            body: body.clone(),
+        };
+        wire::write_frame(&mut stream, &frame)?;
+    }
+    let _ = fs::remove_file(&rv_path);
+    Ok(paths)
+}
+
+/// Non-zero ranks: dial the rendezvous socket (retrying while rank 0
+/// boots), REGISTER our mesh path, and wait for the ADDRBOOK.
+fn rendezvous_join(
+    dir: &Path,
+    rank: usize,
+    my_path: &str,
+    deadline: Instant,
+) -> io::Result<Vec<String>> {
+    let rv_path = rendezvous_path(dir);
+    let mut stream = loop {
+        match UnixStream::connect(&rv_path) {
+            Ok(s) => break s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("rendezvous dial timed out: {e}"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    let frame = Frame {
+        kind: kind::REGISTER,
+        src: rank as u32,
+        link_seq: 0,
+        body: wire::encode_path(my_path),
+    };
+    wire::write_frame(&mut stream, &frame)?;
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    stream.set_read_timeout(Some(remaining.max(Duration::from_millis(100))))?;
+    let reply = wire::read_frame(&mut &stream)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF before ADDRBOOK"))?;
+    if reply.kind != kind::ADDRBOOK {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected ADDRBOOK",
+        ));
+    }
+    wire::decode_addrbook(&reply.body)
+}
+
+// ---- The transport --------------------------------------------------------
+
+/// Process-backend link layer for one rank (one per process).
+pub(crate) struct ProcTransport {
+    shared: Arc<Shared>,
+    watchdog: Arc<Watchdog>,
+    data_rx: Vec<Option<Receiver<Msg>>>,
+    /// Rank 0: barrier entries from every peer (all reader threads feed
+    /// one channel; rounds are tallied in `pending_entries`).
+    entries_rx: Option<Receiver<(u32, u64)>>,
+    /// Non-zero ranks: releases from rank 0.
+    release_rx: Option<Receiver<u64>>,
+    round: u64,
+    pending_entries: HashMap<u64, usize>,
+}
+
+impl ProcTransport {
+    /// Binds, rendezvouses, and wires the full mesh; returns once every
+    /// peer link is established.
+    fn connect(
+        rank: usize,
+        p: usize,
+        dir: &Path,
+        timeout: Duration,
+        heartbeat: Duration,
+        miss: u32,
+    ) -> io::Result<Self> {
+        install_sigterm_handler();
+        fs::create_dir_all(dir)?;
+        let log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(format!("rank{rank}.log")))?;
+        let drop_after = std::env::var("GNN_PROC_DROP_CONN_AFTER")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok());
+
+        let deadline = Instant::now() + timeout;
+        let my_path = mesh_path(dir, rank);
+        let _ = fs::remove_file(&my_path);
+        let listener = UnixListener::bind(&my_path)?;
+
+        let addrbook = if p == 1 {
+            vec![my_path.clone()]
+        } else if rank == 0 {
+            rendezvous_serve(dir, p, &my_path, deadline)?
+        } else {
+            rendezvous_join(dir, rank, &my_path, deadline)?
+        };
+        if addrbook.len() != p {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "address book arity mismatch",
+            ));
+        }
+
+        let mut data_rx: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(p);
+        let mut peers = Vec::with_capacity(p);
+        for q in 0..p {
+            let peer = Peer::new();
+            if q == rank {
+                data_rx.push(None);
+            } else {
+                let (tx, rx) = mpsc::channel();
+                *peer.data_tx.lock().unwrap() = Some(tx);
+                data_rx.push(Some(rx));
+            }
+            peers.push(peer);
+        }
+        let (entries_rx, entries_tx) = if rank == 0 && p > 1 {
+            let (tx, rx) = mpsc::channel();
+            (Some(rx), Some(tx))
+        } else {
+            (None, None)
+        };
+        let (release_rx, release_tx) = if rank != 0 {
+            let (tx, rx) = mpsc::channel();
+            (Some(rx), Some(tx))
+        } else {
+            (None, None)
+        };
+
+        let shared = Arc::new(Shared {
+            rank,
+            p,
+            timeout,
+            heartbeat,
+            miss,
+            start: Instant::now(),
+            addrbook,
+            peers,
+            dead: Mutex::new(Vec::new()),
+            entries_tx: Mutex::new(entries_tx),
+            release_tx: Mutex::new(release_tx),
+            shutting_down: AtomicBool::new(false),
+            data_sent: AtomicU64::new(0),
+            drop_after,
+            drop_fired: AtomicBool::new(false),
+            log: Mutex::new(log),
+        });
+        shared.log(&format!("rank {rank}/{p} rendezvous complete"));
+
+        if p > 1 {
+            {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("proc-accept-{rank}"))
+                    .spawn(move || acceptor_loop(shared, listener))?;
+            }
+            // Dial every lower rank; higher ranks dial us.
+            for q in 0..rank {
+                let path = shared.addrbook[q].clone();
+                loop {
+                    match dial_peer(&shared, q, &path) {
+                        Ok(()) => break,
+                        Err(e) => {
+                            if Instant::now() >= deadline {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::TimedOut,
+                                    format!("mesh dial to rank {q} timed out: {e}"),
+                                ));
+                            }
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                    }
+                }
+            }
+            // Wait for the full mesh (higher ranks connect through the
+            // acceptor).
+            loop {
+                let all_up =
+                    (0..p).all(|q| q == rank || shared.peers[q].conn.lock().unwrap().epoch > 0);
+                if all_up {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "mesh wire-up timed out",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("proc-beat-{rank}"))
+                    .spawn(move || monitor_loop(shared))?;
+            }
+        }
+        shared.log("mesh up");
+
+        Ok(ProcTransport {
+            shared,
+            watchdog: Arc::new(Watchdog::new(p, timeout)),
+            data_rx,
+            entries_rx,
+            release_rx,
+            round: 0,
+            pending_entries: HashMap::new(),
+        })
+    }
+
+    fn barrier_rank0(&mut self, round: u64) -> bool {
+        let p = self.shared.p;
+        let deadline = Instant::now() + self.shared.timeout;
+        let mut have = self.pending_entries.remove(&round).unwrap_or(0);
+        let rx = self.entries_rx.as_ref().expect("rank 0 entries channel");
+        while have < p - 1 {
+            if sigterm_requested() {
+                self.shared.drain_and_exit();
+            }
+            if self.shared.any_peer_dead() {
+                return false;
+            }
+            match rx.recv_timeout(SLICE) {
+                Ok((_src, r)) if r == round => have += 1,
+                Ok((_src, r)) => *self.pending_entries.entry(r).or_insert(0) += 1,
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        return false;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return false,
+            }
+        }
+        for q in 1..p {
+            if self
+                .shared
+                .send_reliable(q, kind::BARRIER_RELEASE, round.to_le_bytes().to_vec())
+                .is_err()
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn barrier_member(&mut self, round: u64) -> bool {
+        if self
+            .shared
+            .send_reliable(0, kind::BARRIER_ENTER, round.to_le_bytes().to_vec())
+            .is_err()
+        {
+            return false;
+        }
+        let deadline = Instant::now() + self.shared.timeout;
+        let rx = self.release_rx.as_ref().expect("member release channel");
+        loop {
+            if sigterm_requested() {
+                self.shared.drain_and_exit();
+            }
+            if self.shared.peers[0].dead.load(Ordering::SeqCst) {
+                return false;
+            }
+            match rx.recv_timeout(SLICE) {
+                Ok(r) if r == round => return true,
+                Ok(r) => {
+                    // A stale release can only trail a barrier this rank
+                    // already abandoned; ignore it.
+                    self.shared
+                        .log(&format!("ignoring stale barrier release {r} (at {round})"));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        return false;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return false,
+            }
+        }
+    }
+}
+
+impl Transport for ProcTransport {
+    fn send(&mut self, dst: usize, msg: Msg) -> Result<(), PeerGone> {
+        self.shared
+            .send_reliable(dst, kind::DATA, wire::encode_msg(&msg))
+    }
+
+    fn recv_deadline(&mut self, src: usize, timeout: Duration) -> RecvOutcome {
+        let deadline = Instant::now() + timeout;
+        let rx = match self.data_rx[src].as_ref() {
+            Some(rx) => rx,
+            None => return RecvOutcome::Disconnected, // self-receive
+        };
+        loop {
+            if sigterm_requested() {
+                self.shared.drain_and_exit();
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return RecvOutcome::TimedOut;
+            }
+            match rx.recv_timeout(remaining.min(SLICE)) {
+                Ok(msg) => return RecvOutcome::Frame(msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return RecvOutcome::Disconnected,
+            }
+        }
+    }
+
+    fn try_recv(&mut self, src: usize) -> TryRecvOutcome {
+        let rx = match self.data_rx[src].as_ref() {
+            Some(rx) => rx,
+            None => return TryRecvOutcome::Disconnected,
+        };
+        match rx.try_recv() {
+            Ok(msg) => TryRecvOutcome::Frame(msg),
+            Err(TryRecvError::Empty) => TryRecvOutcome::Empty,
+            Err(TryRecvError::Disconnected) => TryRecvOutcome::Disconnected,
+        }
+    }
+
+    fn barrier_wait(&mut self) -> bool {
+        if self.shared.p == 1 {
+            return true;
+        }
+        self.round += 1;
+        let round = self.round;
+        if self.shared.rank == 0 {
+            self.barrier_rank0(round)
+        } else {
+            self.barrier_member(round)
+        }
+    }
+
+    fn barrier_wait_alive(&mut self) -> bool {
+        // Failover is thread-backend-only; a death-aware rendezvous
+        // degenerates to the plain barrier here.
+        self.barrier_wait()
+    }
+
+    fn commit_wait(&mut self, _gen: u32) -> Option<bool> {
+        panic!(
+            "replica failover is not supported on the process backend; \
+             run with checkpoint-restart (the default) or --backend thread"
+        );
+    }
+
+    fn mark_dead(&self, rank: usize, gen: u32) {
+        // Only reached by injected-crash bookkeeping; record it so
+        // `deaths()` stays truthful, then let the crash panic unwind.
+        self.shared
+            .log(&format!("rank {rank} marked dead (gen {gen})"));
+        self.shared
+            .dead
+            .lock()
+            .unwrap()
+            .push(DeathRecord { rank, gen });
+    }
+
+    fn deaths(&self) -> Vec<DeathRecord> {
+        self.shared.dead.lock().unwrap().clone()
+    }
+
+    fn timeout(&self) -> Duration {
+        self.shared.timeout
+    }
+
+    fn wd_begin(
+        &self,
+        rank: usize,
+        kind: WaitKind,
+        peer: Option<usize>,
+        tag: Option<u8>,
+        epoch: Option<usize>,
+    ) {
+        self.watchdog.begin(rank, kind, peer, tag, epoch);
+    }
+
+    fn wd_end(&self, rank: usize) {
+        self.watchdog.end(rank);
+    }
+
+    fn wd_report(&self, rank: usize) -> DeadlockReport {
+        self.watchdog.report(rank)
+    }
+}
+
+// ---- ProcWorld ------------------------------------------------------------
+
+/// Launch configuration for process-backed ranks: the counterpart of
+/// [`crate::ThreadWorld`] where each rank is a real OS process. The
+/// supervising launcher creates one `ProcWorld` per child process (same
+/// `dir`) and calls [`ProcWorld::run_rank`] with that child's rank.
+pub struct ProcWorld {
+    p: usize,
+    model: CostModel,
+    timeout: Duration,
+    dir: PathBuf,
+    heartbeat: Duration,
+    miss: u32,
+    injector: Option<Arc<FaultInjector>>,
+}
+
+impl ProcWorld {
+    /// A world of `p` process ranks rendezvousing under `dir` (short
+    /// paths only: Unix socket paths are limited to ~100 bytes).
+    ///
+    /// Heartbeat period and miss threshold honor the
+    /// `GNN_PROC_HEARTBEAT_MS` / `GNN_PROC_MISS` environment overrides.
+    pub fn new(p: usize, model: CostModel, dir: impl Into<PathBuf>) -> Self {
+        assert!(p > 0, "need at least one rank");
+        let heartbeat = std::env::var("GNN_PROC_HEARTBEAT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(DEFAULT_HEARTBEAT);
+        let miss = std::env::var("GNN_PROC_MISS")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(DEFAULT_MISS);
+        ProcWorld {
+            p,
+            model,
+            timeout: crate::world::ThreadWorld::DEFAULT_TIMEOUT,
+            dir: dir.into(),
+            heartbeat,
+            miss: miss.max(1),
+            injector: None,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Watchdog timeout bounding every blocking wait (and the wire-up).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Message-level fault plan (drop/corrupt/duplicate/delay), applied
+    /// by the backend-independent retransmit machinery. Fates are pure
+    /// functions of (seed, src, dst, seq), so thread and process runs
+    /// under the same plan stay bit-identical.
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        let injector = Arc::new(FaultInjector::new(plan));
+        Self {
+            injector: Some(injector),
+            ..self
+        }
+    }
+
+    /// Runs this process's rank body over the socket mesh. Returns the
+    /// body's output and the rank's modeled stats, or a structured
+    /// error when wire-up fails or the body panics (peer death,
+    /// deadlock, protocol violation).
+    pub fn run_rank<R>(
+        &self,
+        rank: usize,
+        f: impl FnOnce(&mut RankCtx) -> R,
+    ) -> Result<(R, RankStats), ProcError> {
+        assert!(rank < self.p, "rank {rank} out of range (p={})", self.p);
+        // Structured panics are caught below; the guard keeps the
+        // default hook from spraying backtraces for expected failures.
+        let _hook = PanicHookGuard::acquire();
+        let transport = ProcTransport::connect(
+            rank,
+            self.p,
+            &self.dir,
+            self.timeout,
+            self.heartbeat,
+            self.miss,
+        )?;
+        let shared = transport.shared.clone();
+        let mut ctx = RankCtx::new(
+            rank,
+            self.p,
+            self.model,
+            Box::new(transport),
+            self.injector.clone(),
+            None,
+            false,
+        );
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let out = f(&mut ctx);
+            let (stats, _tracer) = ctx.into_parts();
+            (out, stats)
+        }));
+        match result {
+            Ok((out, stats)) => {
+                shared.begin_shutdown();
+                Ok((out, stats))
+            }
+            Err(payload) => {
+                let message = describe_panic(payload.as_ref());
+                shared.log(&format!("rank {rank} panicked: {message}"));
+                shared.abort_shutdown();
+                Err(ProcError::RankPanicked { rank, message })
+            }
+        }
+    }
+}

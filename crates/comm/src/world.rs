@@ -18,7 +18,7 @@
 
 use std::any::Any;
 use std::sync::mpsc::channel;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use gnn_trace::{RankTracer, WorldTrace};
@@ -29,6 +29,7 @@ use crate::error::{ColumnLostPanic, CrashPanic, DeadlockPanic, EpochAbortPanic, 
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::msg::Msg;
 use crate::stats::{RankStats, WorldStats};
+use crate::transport::thread::ThreadTransport;
 use crate::watchdog::{TimeoutBarrier, Watchdog};
 
 /// Factory for SPMD runs.
@@ -303,7 +304,7 @@ impl ThreadWorld {
         R: Send,
         F: Fn(&mut RankCtx) -> R + Sync,
     {
-        silence_structured_panics();
+        let _hook = PanicHookGuard::acquire();
         let p = self.p;
         // Mesh of channels: tx[src][dst] feeds rx[dst][src].
         let mut senders: Vec<Vec<Option<std::sync::mpsc::Sender<Msg>>>> =
@@ -326,14 +327,18 @@ impl ThreadWorld {
             .zip(receivers)
             .enumerate()
             .map(|(rank, (tx_row, rx_row))| {
-                RankCtx::new(
-                    rank,
+                let transport = ThreadTransport::new(
                     p,
-                    self.model,
                     tx_row.into_iter().map(Option::unwrap).collect(),
                     rx_row.into_iter().map(Option::unwrap).collect(),
                     barrier.clone(),
                     watchdog.clone(),
+                );
+                RankCtx::new(
+                    rank,
+                    p,
+                    self.model,
+                    Box::new(transport),
                     self.injector.clone(),
                     self.tracing.then(|| Box::new(RankTracer::new(rank))),
                     failover,
@@ -369,8 +374,24 @@ impl ThreadWorld {
     }
 }
 
-/// Installs — once per process — a panic hook that suppresses the
-/// default "thread panicked" report for the panics the runtime throws on
+/// The previously installed panic hook, held while the filtering hook
+/// is active so unexpected payloads still reach it.
+type PrevHook = dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send;
+
+struct HookState {
+    /// Live [`PanicHookGuard`]s; the filter is installed on 0→1 and
+    /// restored on 1→0.
+    refs: usize,
+    prev: Option<Arc<PrevHook>>,
+}
+
+static HOOK_STATE: Mutex<HookState> = Mutex::new(HookState {
+    refs: 0,
+    prev: None,
+});
+
+/// Scoped, refcounted install of the panic hook that suppresses the
+/// default "thread panicked" report for panics the runtime throws on
 /// purpose: the structured control-flow payloads (injected crashes,
 /// epoch aborts, replica-column loss, deadlock reports) and the "peer
 /// hung up" cascades a dead rank leaves behind. All of them are caught
@@ -378,25 +399,53 @@ impl ThreadWorld {
 /// [`WorldError`]; printing a backtrace per survivor per aborted epoch
 /// attempt is pure noise. Every other payload (a genuine bug) still
 /// prints through the previously installed hook.
-fn silence_structured_panics() {
-    use std::sync::Once;
-    static HOOK: Once = Once::new();
-    HOOK.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let p = info.payload();
-            let expected = p.is::<CrashPanic>()
-                || p.is::<EpochAbortPanic>()
-                || p.is::<ColumnLostPanic>()
-                || p.is::<DeadlockPanic>()
-                // Same string classify_failures demotes to a cascade.
-                || p.downcast_ref::<String>()
-                    .is_some_and(|m| m.contains("hung up"));
-            if !expected {
-                prev(info);
+///
+/// Refcounting (instead of a process-wide `Once`) lets concurrent
+/// worlds in one test binary overlap without clobbering each other's
+/// hooks: the first acquire installs the filter, the last drop restores
+/// whatever hook was there before.
+pub(crate) struct PanicHookGuard(());
+
+impl PanicHookGuard {
+    pub(crate) fn acquire() -> Self {
+        let mut st = HOOK_STATE.lock().unwrap_or_else(|e| e.into_inner());
+        st.refs += 1;
+        if st.refs == 1 {
+            let prev: Arc<PrevHook> = Arc::from(std::panic::take_hook());
+            st.prev = Some(prev.clone());
+            std::panic::set_hook(Box::new(move |info| {
+                let p = info.payload();
+                let expected = p.is::<CrashPanic>()
+                    || p.is::<EpochAbortPanic>()
+                    || p.is::<ColumnLostPanic>()
+                    || p.is::<DeadlockPanic>()
+                    // Same string classify_failures demotes to a cascade.
+                    || p.downcast_ref::<String>()
+                        .is_some_and(|m| m.contains("hung up"));
+                if !expected {
+                    prev(info);
+                }
+            }));
+        }
+        PanicHookGuard(())
+    }
+
+    #[cfg(test)]
+    fn refs() -> usize {
+        HOOK_STATE.lock().unwrap_or_else(|e| e.into_inner()).refs
+    }
+}
+
+impl Drop for PanicHookGuard {
+    fn drop(&mut self) {
+        let mut st = HOOK_STATE.lock().unwrap_or_else(|e| e.into_inner());
+        st.refs -= 1;
+        if st.refs == 0 {
+            if let Some(prev) = st.prev.take() {
+                std::panic::set_hook(Box::new(move |info| prev(info)));
             }
-        }));
-    });
+        }
+    }
 }
 
 /// Picks the root cause out of (possibly cascading) rank failures.
@@ -806,21 +855,51 @@ mod tests {
     fn self_send_is_rejected() {
         // Assert fires on the calling thread before any message moves.
         let (tx, rx) = channel();
-        let barrier = Arc::new(TimeoutBarrier::new(1));
-        let watchdog = Arc::new(Watchdog::new(1, Duration::from_secs(1)));
+        let transport = ThreadTransport::new(
+            1,
+            vec![tx],
+            vec![rx],
+            Arc::new(TimeoutBarrier::new(1)),
+            Arc::new(Watchdog::new(1, Duration::from_secs(1))),
+        );
         let mut ctx = crate::ctx::RankCtx::new(
             0,
             1,
             CostModel::bandwidth_only(),
-            vec![tx],
-            vec![rx],
-            barrier,
-            watchdog,
+            Box::new(transport),
             None,
             None,
             false,
         );
         ctx.send(0, Payload::Empty);
+    }
+
+    #[test]
+    fn panic_hook_guard_is_refcounted() {
+        // Overlapping guards (concurrent worlds in one test binary) must
+        // refcount: the count reflects both while they live, and dropping
+        // one must not restore the hook out from under the other. Other
+        // tests run worlds concurrently, so only relative claims hold.
+        let g1 = PanicHookGuard::acquire();
+        let g2 = PanicHookGuard::acquire();
+        assert!(PanicHookGuard::refs() >= 2);
+        drop(g1);
+        assert!(PanicHookGuard::refs() >= 1);
+        // The filter must still be active for g2: a structured panic in
+        // a world is classified, not printed.
+        let err = world(1)
+            .try_run(|ctx| {
+                if ctx.rank() == 0 {
+                    std::panic::panic_any(CrashPanic {
+                        rank: 0,
+                        epoch: None,
+                        op: 0,
+                    });
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, WorldError::InjectedCrash { .. }));
+        drop(g2);
     }
 
     #[test]
@@ -979,14 +1058,18 @@ mod tests {
                 payload,
             })
             .unwrap();
-        let mut ctx = crate::ctx::RankCtx::new(
-            0,
+        let transport = ThreadTransport::new(
             2,
-            CostModel::bandwidth_only(),
             vec![tx_self, tx_peer],
             vec![rx_self, rx_peer],
             Arc::new(TimeoutBarrier::new(2)),
             Arc::new(Watchdog::new(2, Duration::from_secs(1))),
+        );
+        let mut ctx = crate::ctx::RankCtx::new(
+            0,
+            2,
+            CostModel::bandwidth_only(),
+            Box::new(transport),
             None,
             None,
             false,

@@ -1,0 +1,255 @@
+//! Integration tests for the process/socket backend ([`ProcWorld`]).
+//!
+//! Each test re-executes the test binary once per rank (the launcher
+//! pattern `train --backend proc` uses): the parent spawns `p` copies of
+//! itself filtered to the same test name, each child detects its role
+//! via `GNN_PROC_RANK`, runs the rank body over real Unix-domain
+//! sockets, and exits with a status the parent asserts on.
+
+#![cfg(unix)]
+
+use std::process::Command;
+use std::time::Duration;
+
+use gnn_comm::msg::Payload;
+use gnn_comm::{CostModel, ProcError, ProcWorld};
+
+/// Short scratch dir for the socket mesh (UDS paths are length-limited).
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(format!("/tmp/gnnpt-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Returns this process's rank when running as a re-exec'd child of
+/// `test_name`, or `None` in the parent.
+fn child_rank(test_name: &str) -> Option<usize> {
+    if std::env::var("GNN_PROC_TEST").as_deref() == Ok(test_name) {
+        Some(
+            std::env::var("GNN_PROC_RANK")
+                .expect("child is missing GNN_PROC_RANK")
+                .parse()
+                .expect("GNN_PROC_RANK must be a rank index"),
+        )
+    } else {
+        None
+    }
+}
+
+/// Re-executes this test binary as rank `rank` of `test_name`, meshed
+/// under `dir`. Extra env pairs let a test arm fault hooks per rank.
+fn spawn_rank(
+    test_name: &str,
+    rank: usize,
+    dir: &std::path::Path,
+    env: &[(&str, &str)],
+) -> std::process::Child {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.arg(test_name)
+        .arg("--exact")
+        .arg("--nocapture")
+        .arg("--test-threads=1")
+        .env("GNN_PROC_TEST", test_name)
+        .env("GNN_PROC_RANK", rank.to_string())
+        .env("GNN_PROC_DIR", dir)
+        // Fast liveness so death-detection tests finish in ~200ms.
+        .env("GNN_PROC_HEARTBEAT_MS", "50")
+        .env("GNN_PROC_MISS", "4");
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.spawn().expect("spawn child rank")
+}
+
+fn world(p: usize) -> ProcWorld {
+    let dir = std::env::var("GNN_PROC_DIR").expect("child is missing GNN_PROC_DIR");
+    ProcWorld::new(p, CostModel::default(), dir).with_timeout(Duration::from_secs(20))
+}
+
+/// Every rank passes a growing f64 vector around a ring `rounds` times;
+/// after `p` hops each value has collected every rank's contribution,
+/// so the final checksum proves FIFO delivery and content integrity
+/// across real sockets.
+fn ring_body(ctx: &mut gnn_comm::RankCtx, rounds: usize) {
+    let p = ctx.p();
+    let rank = ctx.rank();
+    let next = (rank + 1) % p;
+    let prev = (rank + p - 1) % p;
+    for round in 0..rounds {
+        let mut token = vec![rank as f64, round as f64];
+        for _hop in 0..p {
+            ctx.send(next, Payload::F64(token.clone()));
+            token = match ctx.recv(prev) {
+                Payload::F64(v) => v,
+                other => panic!("expected F64 token, got {other:?}"),
+            };
+            let mut pushed = token.clone();
+            pushed.push(token[0] + token[1]);
+            token = pushed;
+        }
+        // After p hops the token is back home with p appended sums.
+        assert_eq!(token.len(), 2 + p, "round {round}: token length");
+        assert_eq!(token[0], rank as f64, "round {round}: token returned home");
+    }
+    // Collective sanity on the same mesh.
+    let mut buf = vec![rank as f64; 4];
+    let group: Vec<usize> = (0..p).collect();
+    ctx.allreduce_sum(&mut buf, &group);
+    let expect = (p * (p - 1) / 2) as f64;
+    assert!(buf.iter().all(|&x| x == expect), "allreduce mismatch");
+    ctx.barrier();
+}
+
+#[test]
+fn ring_exchange_over_processes() {
+    const NAME: &str = "ring_exchange_over_processes";
+    const P: usize = 3;
+    if let Some(rank) = child_rank(NAME) {
+        let (_out, stats) = world(P)
+            .run_rank(rank, |ctx| ring_body(ctx, 3))
+            .expect("rank body");
+        assert!(stats.bytes_sent_total() > 0, "rank recorded no traffic");
+        return;
+    }
+    let dir = scratch_dir("ring");
+    let children: Vec<_> = (0..P).map(|r| spawn_rank(NAME, r, &dir, &[])).collect();
+    for (rank, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().expect("wait child");
+        assert!(status.success(), "rank {rank} exited with {status}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reconnect_replays_unacked_frames() {
+    const NAME: &str = "reconnect_replays_unacked_frames";
+    const P: usize = 2;
+    if let Some(rank) = child_rank(NAME) {
+        // Many small round trips so the forced connection drop lands
+        // mid-stream; the reliable layer must replay the unacked suffix
+        // and the receiver must dedup, with no effect on contents.
+        let (_out, _stats) = world(P)
+            .run_rank(rank, |ctx| {
+                let peer = 1 - ctx.rank();
+                for i in 0..40u32 {
+                    ctx.send(peer, Payload::U32(vec![i, ctx.rank() as u32]));
+                    match ctx.recv(peer) {
+                        Payload::U32(v) => assert_eq!(v, vec![i, peer as u32]),
+                        other => panic!("expected U32, got {other:?}"),
+                    }
+                }
+                ctx.barrier();
+            })
+            .expect("rank body survives the dropped connection");
+        return;
+    }
+    let dir = scratch_dir("reconn");
+    // Rank 1 is the dialing side (higher rank dials lower): shooting its
+    // connection down after the 5th DATA send exercises redial + replay.
+    let children = vec![
+        spawn_rank(NAME, 0, &dir, &[]),
+        spawn_rank(NAME, 1, &dir, &[("GNN_PROC_DROP_CONN_AFTER", "5")]),
+    ];
+    for (rank, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().expect("wait child");
+        assert!(status.success(), "rank {rank} exited with {status}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn peer_death_is_detected_and_reported() {
+    const NAME: &str = "peer_death_is_detected_and_reported";
+    const P: usize = 2;
+    const DEAD_RANK_EXIT: i32 = 7;
+    if let Some(rank) = child_rank(NAME) {
+        if rank == 1 {
+            // Die uncleanly after wire-up: no BYE, no teardown — from
+            // rank 0's perspective this is indistinguishable from
+            // SIGKILL. The first recv proves the mesh was up.
+            let result = world(P).run_rank(rank, |ctx| {
+                ctx.send(0, Payload::Empty);
+                match ctx.recv(0) {
+                    Payload::Empty => {}
+                    other => panic!("expected Empty, got {other:?}"),
+                }
+                std::process::exit(DEAD_RANK_EXIT);
+            });
+            unreachable!("rank 1 must have exited inside the body: {result:?}");
+        }
+        // Rank 0 blocks on a message the dead peer never sends; the
+        // heartbeat monitor must declare the peer dead and surface the
+        // same "hung up" panic the thread backend produces.
+        let err = world(P)
+            .run_rank(rank, |ctx| {
+                match ctx.recv(1) {
+                    Payload::Empty => {}
+                    other => panic!("expected Empty, got {other:?}"),
+                }
+                ctx.send(1, Payload::Empty);
+                let _ = ctx.recv(1); // never arrives
+            })
+            .expect_err("rank 0 must observe the peer death");
+        match err {
+            ProcError::RankPanicked { rank: r, message } => {
+                assert_eq!(r, 0);
+                assert!(
+                    message.contains("hung up"),
+                    "unexpected failure message: {message}"
+                );
+            }
+            other => panic!("expected RankPanicked, got {other}"),
+        }
+        return;
+    }
+    let dir = scratch_dir("death");
+    let children = vec![
+        spawn_rank(NAME, 0, &dir, &[]),
+        spawn_rank(NAME, 1, &dir, &[]),
+    ];
+    let statuses: Vec<_> = children
+        .into_iter()
+        .map(|mut c| c.wait().expect("wait child"))
+        .collect();
+    assert!(
+        statuses[0].success(),
+        "rank 0 should assert the death and pass, got {}",
+        statuses[0]
+    );
+    assert_eq!(
+        statuses[1].code(),
+        Some(DEAD_RANK_EXIT),
+        "rank 1 should die with its marker exit code"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_leaves_no_sockets_behind() {
+    const NAME: &str = "graceful_shutdown_leaves_no_sockets_behind";
+    const P: usize = 2;
+    if let Some(rank) = child_rank(NAME) {
+        world(P)
+            .run_rank(rank, |ctx| {
+                ctx.send(1 - ctx.rank(), Payload::F64(vec![1.0]));
+                let _ = ctx.recv(1 - ctx.rank());
+                ctx.barrier();
+            })
+            .expect("rank body");
+        return;
+    }
+    let dir = scratch_dir("clean");
+    let children: Vec<_> = (0..P).map(|r| spawn_rank(NAME, r, &dir, &[])).collect();
+    for (rank, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().expect("wait child");
+        assert!(status.success(), "rank {rank} exited with {status}");
+    }
+    // The rendezvous socket must be unlinked once wire-up completes.
+    assert!(
+        !dir.join("rendezvous.sock").exists(),
+        "rendezvous socket not cleaned up"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,6 +11,10 @@
 //! verification, restore falls back to the previous one, and only when
 //! both are bad (or none exist) does training restart from scratch.
 
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
 use spmat::Dense;
 
 use crate::model::Weights;
@@ -30,6 +34,36 @@ pub struct Checkpoint {
     pub optimizer: Optimizer,
     /// Epoch records accumulated so far.
     pub records: Vec<EpochRecord>,
+}
+
+/// Where the trainer's restart supervisor keeps its snapshots.
+///
+/// The thread backend shares one in-memory ring
+/// ([`Mutex<CheckpointStore>`]) across rank threads and restarts; the
+/// process backend needs state that survives the death of every rank
+/// *process* and so persists through a [`DiskCheckpointStore`]. Both
+/// honor the same contract: `save` must keep the previous snapshot as a
+/// checksum-verified fallback, and `restore` must return the newest
+/// snapshot that verifies (or `None` → train from scratch).
+pub trait CheckpointBackend: Sync {
+    /// Stamps and stores a snapshot, retaining the previous one.
+    fn save(&self, ck: Checkpoint);
+    /// The newest snapshot that passes verification, if any.
+    fn restore(&self) -> Option<Checkpoint>;
+    /// Epoch cursor of the snapshot `restore` would return.
+    fn resume_epoch(&self) -> Option<usize> {
+        self.restore().map(|ck| ck.next_epoch)
+    }
+}
+
+impl CheckpointBackend for Mutex<CheckpointStore> {
+    fn save(&self, ck: Checkpoint) {
+        self.lock().unwrap().save(ck);
+    }
+
+    fn restore(&self) -> Option<Checkpoint> {
+        self.lock().unwrap().restore()
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -165,12 +199,276 @@ impl CheckpointStore {
     }
 
     #[cfg(test)]
-    fn corrupt_newest(&mut self) {
+    pub(crate) fn corrupt_newest(&mut self) {
         let st = self.slots[self.newest]
             .as_mut()
             .expect("nothing to corrupt");
         let data = st.ck.weights.mats[0].data_mut();
         data[0] = f64::from_bits(data[0].to_bits() ^ 1); // single bit flip
+    }
+}
+
+// ---- Disk persistence ------------------------------------------------------
+
+const DISK_MAGIC: u64 = 0x474e_4e43_4b50_5431; // "GNNCKPT1"
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_dense(buf: &mut Vec<u8>, d: &Dense) {
+    put_u64(buf, d.rows() as u64);
+    put_u64(buf, d.cols() as u64);
+    for &x in d.data() {
+        put_f64(buf, x);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.pos.checked_add(8)?;
+        let bytes = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn dense(&mut self) -> Option<Dense> {
+        let rows = self.u64()? as usize;
+        let cols = self.u64()? as usize;
+        let len = rows.checked_mul(cols)?;
+        // A corrupted header must not ask for an absurd allocation.
+        if len > self.buf.len().saturating_sub(self.pos) / 8 {
+            return None;
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(self.f64()?);
+        }
+        Some(Dense::from_vec(rows, cols, data))
+    }
+}
+
+/// `[magic][save_seq][checksum][next_epoch][weights][optimizer][records]`,
+/// all u64 little-endian (f64 via `to_bits`). The checksum is the same
+/// FNV-1a the in-memory store uses, computed over the decoded snapshot.
+fn encode_checkpoint(ck: &Checkpoint, save_seq: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, DISK_MAGIC);
+    put_u64(&mut buf, save_seq);
+    put_u64(&mut buf, checksum(ck));
+    put_u64(&mut buf, ck.next_epoch as u64);
+    put_u64(&mut buf, ck.weights.mats.len() as u64);
+    for m in &ck.weights.mats {
+        put_dense(&mut buf, m);
+    }
+    match &ck.optimizer {
+        Optimizer::Sgd { lr } => {
+            put_u64(&mut buf, 0);
+            put_f64(&mut buf, *lr);
+        }
+        Optimizer::Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t,
+            m,
+            v,
+        } => {
+            put_u64(&mut buf, 1);
+            put_f64(&mut buf, *lr);
+            put_f64(&mut buf, *beta1);
+            put_f64(&mut buf, *beta2);
+            put_f64(&mut buf, *eps);
+            put_u64(&mut buf, *t);
+            put_u64(&mut buf, m.len() as u64);
+            for d in m.iter().chain(v) {
+                put_dense(&mut buf, d);
+            }
+        }
+    }
+    put_u64(&mut buf, ck.records.len() as u64);
+    for r in &ck.records {
+        put_f64(&mut buf, r.loss);
+        put_f64(&mut buf, r.train_accuracy);
+    }
+    buf
+}
+
+/// `None` on any structural damage (bad magic, truncation, absurd
+/// sizes) *or* a checksum mismatch — either way the slot is invalid.
+fn decode_checkpoint(bytes: &[u8]) -> Option<(Checkpoint, u64)> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.u64()? != DISK_MAGIC {
+        return None;
+    }
+    let save_seq = r.u64()?;
+    let stored_sum = r.u64()?;
+    let next_epoch = r.u64()? as usize;
+    let nmats = r.u64()? as usize;
+    let mut mats = Vec::with_capacity(nmats.min(1 << 10));
+    for _ in 0..nmats {
+        mats.push(r.dense()?);
+    }
+    let optimizer = match r.u64()? {
+        0 => Optimizer::Sgd { lr: r.f64()? },
+        1 => {
+            let lr = r.f64()?;
+            let beta1 = r.f64()?;
+            let beta2 = r.f64()?;
+            let eps = r.f64()?;
+            let t = r.u64()?;
+            let nm = r.u64()? as usize;
+            let mut moments = Vec::with_capacity(2 * nm.min(1 << 10));
+            for _ in 0..2 * nm {
+                moments.push(r.dense()?);
+            }
+            let v = moments.split_off(nm);
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                t,
+                m: moments,
+                v,
+            }
+        }
+        _ => return None,
+    };
+    let nrec = r.u64()? as usize;
+    let mut records = Vec::with_capacity(nrec.min(1 << 20));
+    for _ in 0..nrec {
+        records.push(EpochRecord {
+            loss: r.f64()?,
+            train_accuracy: r.f64()?,
+        });
+    }
+    let ck = Checkpoint {
+        next_epoch,
+        weights: Weights { mats },
+        optimizer,
+        records,
+    };
+    if checksum(&ck) != stored_sum {
+        return None;
+    }
+    Some((ck, save_seq))
+}
+
+/// The two-slot checkpoint ring persisted as files, for supervisors
+/// whose ranks are OS processes: every rank process can die (SIGKILL
+/// included) and a freshly spawned generation still finds the newest
+/// verified snapshot on disk.
+///
+/// Same fallback contract as [`CheckpointStore`]: `save` overwrites the
+/// *older* slot (atomically: temp file + rename), `restore` returns the
+/// highest-sequence slot that decodes and passes its FNV checksum.
+#[derive(Debug)]
+pub struct DiskCheckpointStore {
+    dir: PathBuf,
+}
+
+impl DiskCheckpointStore {
+    /// Opens (creating `dir` if needed) the store at `dir`; existing
+    /// slot files are picked up, so a restarted supervisor resumes.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    fn slot_path(&self, slot: usize) -> PathBuf {
+        self.dir.join(format!("slot{slot}.ck"))
+    }
+
+    /// Decoded content of one slot, if it exists and verifies.
+    fn read_slot(&self, slot: usize) -> Option<(Checkpoint, u64)> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(self.slot_path(slot))
+            .ok()?
+            .read_to_end(&mut bytes)
+            .ok()?;
+        decode_checkpoint(&bytes)
+    }
+
+    /// Highest save sequence present in either slot (0 when empty),
+    /// counting even corrupted slots' readable headers so sequence
+    /// numbers never regress.
+    fn max_seq(&self) -> u64 {
+        [0, 1]
+            .iter()
+            .filter_map(|&s| {
+                let mut bytes = [0u8; 16];
+                let mut f = std::fs::File::open(self.slot_path(s)).ok()?;
+                f.read_exact(&mut bytes).ok()?;
+                let magic = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+                (magic == DISK_MAGIC).then(|| u64::from_le_bytes(bytes[8..].try_into().unwrap()))
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The slot `save` should overwrite: the one *not* holding the
+    /// newest verified snapshot.
+    fn older_slot(&self) -> usize {
+        match (self.read_slot(0), self.read_slot(1)) {
+            (Some((_, s0)), Some((_, s1))) if s0 >= s1 => 1,
+            (Some(_), Some(_)) => 0,
+            (Some(_), None) => 1,
+            _ => 0,
+        }
+    }
+}
+
+impl CheckpointBackend for DiskCheckpointStore {
+    fn save(&self, ck: Checkpoint) {
+        let seq = self.max_seq() + 1;
+        let bytes = encode_checkpoint(&ck, seq);
+        let slot = self.older_slot();
+        let tmp = self.dir.join(format!("slot{slot}.tmp"));
+        // Atomic publish: a crash mid-write leaves the old slot intact.
+        let write = std::fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(&bytes).and_then(|()| f.sync_all()))
+            .and_then(|()| std::fs::rename(&tmp, self.slot_path(slot)));
+        if let Err(e) = write {
+            // A failed save degrades durability, not correctness: the
+            // previous snapshot (if any) still restores.
+            eprintln!(
+                "checkpoint save to {} failed: {e}",
+                self.slot_path(slot).display()
+            );
+        }
+    }
+
+    fn restore(&self) -> Option<Checkpoint> {
+        let newest = [0, 1]
+            .iter()
+            .filter_map(|&s| self.read_slot(s))
+            .max_by_key(|&(_, seq)| seq);
+        newest.map(|(ck, _)| ck)
+    }
+}
+
+/// Removes any persisted snapshots under `dir` (fresh-run hygiene for
+/// launchers reusing a scratch directory).
+pub fn clear_disk_checkpoints(dir: &Path) {
+    for slot in [0, 1] {
+        let _ = std::fs::remove_file(dir.join(format!("slot{slot}.ck")));
+        let _ = std::fs::remove_file(dir.join(format!("slot{slot}.tmp")));
     }
 }
 
@@ -230,6 +528,82 @@ mod tests {
         store.save(snapshot(4, 2, OptKind::Sgd));
         store.corrupt_newest();
         assert!(store.restore().is_none(), "no valid snapshot survives");
+    }
+
+    fn disk_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gnn-ck-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Flips one byte in the middle of a slot file (past the header, so
+    /// the sequence number stays readable but the payload is damaged).
+    fn corrupt_slot_file(dir: &Path, slot: usize) {
+        let path = dir.join(format!("slot{slot}.ck"));
+        let mut bytes = std::fs::read(&path).expect("slot file exists");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, bytes).expect("rewrite slot file");
+    }
+
+    #[test]
+    fn disk_store_roundtrips_and_survives_reopen() {
+        let dir = disk_dir("roundtrip");
+        let store = DiskCheckpointStore::new(&dir).unwrap();
+        assert!(store.restore().is_none());
+        store.save(snapshot(2, 1, OptKind::Adam));
+        store.save(snapshot(4, 2, OptKind::Adam));
+        store.save(snapshot(6, 3, OptKind::Adam));
+        assert_eq!(store.resume_epoch(), Some(6));
+
+        // A fresh handle over the same directory sees the same state —
+        // that is the property the process supervisor depends on.
+        let reopened = DiskCheckpointStore::new(&dir).unwrap();
+        let ck = reopened.restore().expect("snapshot persisted");
+        assert_eq!(ck.next_epoch, 6);
+        let orig = snapshot(6, 3, OptKind::Adam);
+        assert_eq!(ck.weights.max_abs_diff(&orig.weights), 0.0, "bit-exact");
+        assert_eq!(ck.records, orig.records);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_falls_back_when_newest_file_is_corrupted() {
+        let dir = disk_dir("fallback");
+        let store = DiskCheckpointStore::new(&dir).unwrap();
+        store.save(snapshot(2, 1, OptKind::Sgd)); // slot 0, seq 1
+        store.save(snapshot(4, 2, OptKind::Sgd)); // slot 1, seq 2
+        corrupt_slot_file(&dir, 1);
+        assert_eq!(
+            store.resume_epoch(),
+            Some(2),
+            "must fall back to the older verified slot"
+        );
+        // Double corruption → scratch restart.
+        corrupt_slot_file(&dir, 0);
+        assert!(store.restore().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_garbage_file_is_rejected_not_a_panic() {
+        let dir = disk_dir("garbage");
+        let store = DiskCheckpointStore::new(&dir).unwrap();
+        std::fs::write(dir.join("slot0.ck"), b"not a checkpoint at all").unwrap();
+        std::fs::write(dir.join("slot1.ck"), [0xffu8; 64]).unwrap();
+        assert!(store.restore().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_disk_checkpoints_removes_slots() {
+        let dir = disk_dir("clear");
+        let store = DiskCheckpointStore::new(&dir).unwrap();
+        store.save(snapshot(2, 1, OptKind::Sgd));
+        assert!(store.restore().is_some());
+        clear_disk_checkpoints(&dir);
+        assert!(store.restore().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,18 +9,25 @@ pub mod oned;
 pub mod onefived;
 pub mod overlap;
 pub mod plan;
+#[cfg(unix)]
+pub mod proc;
 pub mod trainer;
 pub mod twod;
 
 pub use buffers::EpochBuffers;
-pub use checkpoint::{Checkpoint, CheckpointStore};
+pub use checkpoint::{
+    clear_disk_checkpoints, Checkpoint, CheckpointBackend, CheckpointStore, DiskCheckpointStore,
+};
 pub use failover::{failover_allreduce_replicated, spmm_15d_failover_buf, FailoverView};
 pub use overlap::{
     spmm_15d_pipelined_buf, spmm_1d_aware_pipelined_buf, spmm_1d_oblivious_pipelined_buf,
     OverlapPlan1d,
 };
 pub use plan::{even_bounds, Plan15d, Plan1d};
+#[cfg(unix)]
+pub use proc::{run_rank_proc, supervise_proc_training, ProcTrainError};
 pub use trainer::{
-    train_distributed, try_train_distributed, Algo, DistConfig, DistOutcome, RobustnessConfig,
+    train_distributed, try_train_distributed, try_train_distributed_with_store, Algo, DistConfig,
+    DistOutcome, RobustnessConfig,
 };
 pub use twod::Plan2d;

@@ -1,0 +1,496 @@
+//! Training over the process/socket backend: the per-rank child entry
+//! point and the restart supervisor that drives real OS processes.
+//!
+//! The thread-world supervisor ([`super::trainer::try_train_distributed`])
+//! restarts by tearing down threads inside one process; here every rank
+//! is a separate process, so the recovery ladder's restart rung becomes:
+//! detect a dead/failed rank process, SIGKILL the stragglers of that
+//! generation, respawn all `p` ranks, and let them resume from the
+//! newest verified snapshot in the shared
+//! [`DiskCheckpointStore`](super::checkpoint::DiskCheckpointStore).
+//! Because epochs are deterministic and checkpoints are
+//! checksum-verified, a SIGKILL'd run recovers to bit-identical weights.
+//!
+//! The supervisor does not know how to start a rank — launchers pass a
+//! spawn callback that re-executes the current binary in child mode
+//! (see `train --backend proc`). Children report their results through
+//! bit-exact outcome files (`outcome-rank<r>.txt`), and the supervisor
+//! writes `rank<r>.pid` files so chaos harnesses can SIGKILL / SIGSTOP
+//! a live rank mid-epoch.
+
+#![cfg(unix)]
+
+use std::fs;
+use std::io::{self, Write};
+use std::os::unix::process::ExitStatusExt;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ExitStatus};
+use std::time::Duration;
+
+use gnn_comm::stats::PHASES;
+use gnn_comm::{ProcError, ProcWorld, RankStats, WorldStats};
+use spmat::dataset::Dataset;
+use spmat::Dense;
+
+use crate::model::Weights;
+use crate::reference::EpochRecord;
+
+use super::checkpoint::{CheckpointBackend, DiskCheckpointStore};
+use super::trainer::{build_plan, run_rank, DistConfig, DistOutcome};
+
+/// Poll period for child-process liveness.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Subdirectory of the run dir holding the persistent checkpoint slots.
+const CKPT_SUBDIR: &str = "ckpt";
+
+fn outcome_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("outcome-rank{rank}.txt"))
+}
+
+fn pid_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("rank{rank}.pid"))
+}
+
+/// Runs one rank of a process-backed training world: the child half of
+/// `train --backend proc`. Blocks until the whole world finishes the
+/// run (or this rank fails), then publishes this rank's results as a
+/// bit-exact outcome file the supervisor collects.
+///
+/// Checkpoints go to `<dir>/ckpt/`; a respawned generation resumes from
+/// the newest verified snapshot automatically.
+pub fn run_rank_proc(
+    ds: &Dataset,
+    bounds: &[usize],
+    cfg: &DistConfig,
+    dir: &Path,
+    rank: usize,
+) -> Result<(), ProcError> {
+    assert!(
+        !cfg.trace,
+        "structured tracing is not supported on the process backend"
+    );
+    assert!(
+        !cfg.robust.failover,
+        "replica failover is not supported on the process backend"
+    );
+    let (p, plan) = build_plan(ds, bounds, cfg);
+    let mut world = ProcWorld::new(p, cfg.model, dir).with_timeout(cfg.robust.timeout);
+    if let Some(faults) = cfg.robust.faults.as_ref().filter(|f| !f.is_empty()) {
+        world = world.with_faults(faults.clone());
+    }
+    let store = DiskCheckpointStore::new(dir.join(CKPT_SUBDIR))?;
+    let ((records, weights), stats) =
+        world.run_rank(rank, |ctx| run_rank(ctx, ds, cfg, &plan, &store))?;
+    write_outcome(dir, rank, &records, &weights, &stats)?;
+    Ok(())
+}
+
+/// A generation of rank processes failed and the restart budget is
+/// spent (or spawning itself failed).
+#[derive(Debug)]
+pub enum ProcTrainError {
+    /// Spawning or outcome collection failed.
+    Io(io::Error),
+    /// Rank processes kept dying past `max_restarts` respawns.
+    Exhausted {
+        /// Restarts performed before giving up.
+        restarts: usize,
+        /// Human-readable description of the final generation's
+        /// failures (one entry per failed rank).
+        failures: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for ProcTrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcTrainError::Io(e) => write!(f, "process supervisor I/O error: {e}"),
+            ProcTrainError::Exhausted { restarts, failures } => write!(
+                f,
+                "rank processes failed after {restarts} restart(s): {}",
+                failures.join("; ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProcTrainError {}
+
+impl From<io::Error> for ProcTrainError {
+    fn from(e: io::Error) -> Self {
+        ProcTrainError::Io(e)
+    }
+}
+
+fn describe_status(status: ExitStatus) -> String {
+    match (status.code(), status.signal()) {
+        (Some(code), _) => format!("exited with code {code}"),
+        (None, Some(sig)) => format!("killed by signal {sig}"),
+        (None, None) => "terminated with unknown status".to_string(),
+    }
+}
+
+/// Supervises `p` rank processes to completion: spawns a generation via
+/// `spawn(rank)`, polls for failures, and on any non-zero exit SIGKILLs
+/// the survivors and respawns everyone (up to `max_restarts` times) —
+/// the process-world analogue of the thread supervisor's restart rung.
+/// Ranks resume from the shared disk checkpoint store under `dir`.
+///
+/// `spawn` must start the given rank as a child process that ends up in
+/// [`run_rank_proc`] with the same `dir` and a matching configuration.
+pub fn supervise_proc_training(
+    p: usize,
+    dir: &Path,
+    max_restarts: usize,
+    mut spawn: impl FnMut(usize) -> io::Result<Child>,
+) -> Result<DistOutcome, ProcTrainError> {
+    assert!(p > 0, "need at least one rank");
+    fs::create_dir_all(dir)?;
+    let store = DiskCheckpointStore::new(dir.join(CKPT_SUBDIR))?;
+    let mut restarts = 0;
+    let mut resume_points = Vec::new();
+
+    loop {
+        // Stale state from a previous generation must not be mistaken
+        // for this generation's results (checkpoints stay: they are the
+        // resume mechanism).
+        for rank in 0..p {
+            let _ = fs::remove_file(outcome_path(dir, rank));
+            let _ = fs::remove_file(pid_path(dir, rank));
+        }
+
+        let mut children: Vec<Option<Child>> = Vec::with_capacity(p);
+        let mut spawn_err: Option<io::Error> = None;
+        for rank in 0..p {
+            match spawn(rank) {
+                Ok(child) => {
+                    // Chaos harnesses target ranks through these files.
+                    let _ = fs::write(pid_path(dir, rank), child.id().to_string());
+                    children.push(Some(child));
+                }
+                Err(e) => {
+                    spawn_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = spawn_err {
+            kill_all(&mut children);
+            return Err(e.into());
+        }
+
+        let mut failures: Vec<String> = Vec::new();
+        loop {
+            let mut running = false;
+            for (rank, slot) in children.iter_mut().enumerate() {
+                let Some(child) = slot else { continue };
+                match child.try_wait() {
+                    Ok(Some(status)) => {
+                        if !status.success() {
+                            failures.push(format!("rank {rank} {}", describe_status(status)));
+                        }
+                        *slot = None;
+                    }
+                    Ok(None) => running = true,
+                    Err(e) => {
+                        failures.push(format!("rank {rank} unwaitable: {e}"));
+                        *slot = None;
+                    }
+                }
+            }
+            if !failures.is_empty() {
+                // One dead rank dooms the generation: peers will stall
+                // on it anyway, so reap them now and restart from the
+                // newest checkpoint.
+                kill_all(&mut children);
+                break;
+            }
+            if !running {
+                break;
+            }
+            std::thread::sleep(POLL);
+        }
+
+        if failures.is_empty() {
+            return collect_outcome(p, dir, restarts, resume_points).map_err(Into::into);
+        }
+        if restarts >= max_restarts {
+            return Err(ProcTrainError::Exhausted { restarts, failures });
+        }
+        restarts += 1;
+        resume_points.push(store.resume_epoch().unwrap_or(0));
+    }
+}
+
+/// SIGKILLs and reaps every still-tracked child.
+fn kill_all(children: &mut [Option<Child>]) {
+    for slot in children.iter_mut() {
+        if let Some(child) = slot {
+            let _ = child.kill(); // SIGKILL; no-op if already dead
+            let _ = child.wait();
+            *slot = None;
+        }
+    }
+}
+
+/// Builds the [`DistOutcome`] from the generation's outcome files:
+/// records/weights from rank 0 (replicated, so any rank's copy is the
+/// run's result), stats aggregated over every rank.
+fn collect_outcome(
+    p: usize,
+    dir: &Path,
+    restarts: usize,
+    resume_points: Vec<usize>,
+) -> io::Result<DistOutcome> {
+    let mut per_rank = Vec::with_capacity(p);
+    let mut first: Option<(Vec<EpochRecord>, Weights)> = None;
+    for rank in 0..p {
+        let text = fs::read_to_string(outcome_path(dir, rank))?;
+        let (records, weights, stats) = decode_outcome(&text)?;
+        if rank == 0 {
+            first = Some((records, weights));
+        }
+        per_rank.push(stats);
+    }
+    let (records, weights) = first.expect("p > 0");
+    Ok(DistOutcome {
+        records,
+        weights,
+        stats: WorldStats::new(per_rank),
+        restarts,
+        failovers: 0,
+        trace: None,
+        resume_points,
+    })
+}
+
+// ---- Outcome file codec ----------------------------------------------------
+//
+// A whitespace-separated text format where every f64 travels as its
+// `to_bits` integer, so results cross the process boundary bit-exactly
+// (the differential oracle against the thread backend depends on this).
+
+fn write_outcome(
+    dir: &Path,
+    rank: usize,
+    records: &[EpochRecord],
+    weights: &Weights,
+    stats: &RankStats,
+) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str(&format!("records {}\n", records.len()));
+    for r in records {
+        out.push_str(&format!(
+            "{} {}\n",
+            r.loss.to_bits(),
+            r.train_accuracy.to_bits()
+        ));
+    }
+    out.push_str(&format!("weights {}\n", weights.mats.len()));
+    for m in &weights.mats {
+        out.push_str(&format!("mat {} {}", m.rows(), m.cols()));
+        for &x in m.data() {
+            out.push_str(&format!(" {}", x.to_bits()));
+        }
+        out.push('\n');
+    }
+    out.push_str("stats\n");
+    for (i, phase) in PHASES.iter().enumerate() {
+        let c = stats.phase(*phase);
+        out.push_str(&format!(
+            "phase {i} {} {} {} {} {} {}\n",
+            c.ops,
+            c.bytes_sent,
+            c.bytes_recv,
+            c.flops,
+            c.modeled_seconds.to_bits(),
+            c.wall_seconds.to_bits()
+        ));
+    }
+    let fc = &stats.faults;
+    out.push_str(&format!(
+        "faults {} {} {} {} {} {} {} {} {} {}\n",
+        fc.delays,
+        fc.delay_seconds.to_bits(),
+        fc.drops,
+        fc.corruptions,
+        fc.corruptions_detected,
+        fc.retries,
+        fc.retransmit_bytes,
+        fc.duplicates,
+        fc.duplicates_discarded,
+        fc.slowed_ops
+    ));
+    let ov = &stats.overlap;
+    out.push_str(&format!(
+        "overlap {} {} {}\n",
+        ov.stages,
+        ov.raw_comm_seconds.to_bits(),
+        ov.hidden_seconds.to_bits()
+    ));
+    out.push_str("end\n");
+
+    // Publish atomically so a half-written file is never collected.
+    let tmp = dir.join(format!("outcome-rank{rank}.tmp"));
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(out.as_bytes())?;
+    f.sync_all()?;
+    fs::rename(&tmp, outcome_path(dir, rank))
+}
+
+struct Tok<'a> {
+    it: std::str::SplitWhitespace<'a>,
+}
+
+impl<'a> Tok<'a> {
+    fn new(text: &'a str) -> Self {
+        Tok {
+            it: text.split_whitespace(),
+        }
+    }
+
+    fn word(&mut self, expect: &str) -> io::Result<()> {
+        match self.it.next() {
+            Some(w) if w == expect => Ok(()),
+            other => Err(bad(&format!("expected `{expect}`, got {other:?}"))),
+        }
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        self.it
+            .next()
+            .ok_or_else(|| bad("unexpected end of outcome file"))?
+            .parse()
+            .map_err(|e| bad(&format!("bad integer: {e}")))
+    }
+
+    fn usize(&mut self) -> io::Result<usize> {
+        Ok(self.u64()? as usize)
+    }
+
+    fn f64_bits(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("outcome file: {msg}"))
+}
+
+fn decode_outcome(text: &str) -> io::Result<(Vec<EpochRecord>, Weights, RankStats)> {
+    let mut t = Tok::new(text);
+    t.word("records")?;
+    let nrec = t.usize()?;
+    let mut records = Vec::with_capacity(nrec);
+    for _ in 0..nrec {
+        records.push(EpochRecord {
+            loss: t.f64_bits()?,
+            train_accuracy: t.f64_bits()?,
+        });
+    }
+    t.word("weights")?;
+    let nmats = t.usize()?;
+    let mut mats = Vec::with_capacity(nmats);
+    for _ in 0..nmats {
+        t.word("mat")?;
+        let rows = t.usize()?;
+        let cols = t.usize()?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(t.f64_bits()?);
+        }
+        mats.push(Dense::from_vec(rows, cols, data));
+    }
+    t.word("stats")?;
+    let mut stats = RankStats::default();
+    for (i, phase) in PHASES.iter().enumerate() {
+        t.word("phase")?;
+        let idx = t.usize()?;
+        if idx != i {
+            return Err(bad(&format!("phase index {idx}, expected {i}")));
+        }
+        let c = stats.phase_mut(*phase);
+        c.ops = t.u64()?;
+        c.bytes_sent = t.u64()?;
+        c.bytes_recv = t.u64()?;
+        c.flops = t.u64()?;
+        c.modeled_seconds = t.f64_bits()?;
+        c.wall_seconds = t.f64_bits()?;
+    }
+    t.word("faults")?;
+    stats.faults.delays = t.u64()?;
+    stats.faults.delay_seconds = t.f64_bits()?;
+    stats.faults.drops = t.u64()?;
+    stats.faults.corruptions = t.u64()?;
+    stats.faults.corruptions_detected = t.u64()?;
+    stats.faults.retries = t.u64()?;
+    stats.faults.retransmit_bytes = t.u64()?;
+    stats.faults.duplicates = t.u64()?;
+    stats.faults.duplicates_discarded = t.u64()?;
+    stats.faults.slowed_ops = t.u64()?;
+    t.word("overlap")?;
+    stats.overlap.stages = t.u64()?;
+    stats.overlap.raw_comm_seconds = t.f64_bits()?;
+    stats.overlap.hidden_seconds = t.f64_bits()?;
+    t.word("end")?;
+    Ok((records, Weights { mats }, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_comm::Phase;
+
+    #[test]
+    fn outcome_codec_roundtrips_bit_exactly() {
+        let records = vec![
+            EpochRecord {
+                loss: 1.25e-3,
+                train_accuracy: 0.5,
+            },
+            EpochRecord {
+                loss: f64::MIN_POSITIVE, // subnormal-adjacent edge case
+                train_accuracy: 1.0 / 3.0,
+            },
+        ];
+        let weights = Weights {
+            mats: vec![
+                Dense::from_fn(3, 2, |r, c| (r as f64 + 0.1) * (c as f64 - 7.3)),
+                Dense::from_fn(2, 4, |r, c| -(r as f64) / (c as f64 + 1.0)),
+            ],
+        };
+        let mut stats = RankStats::default();
+        {
+            let c = stats.phase_mut(Phase::AllToAll);
+            c.ops = 7;
+            c.bytes_sent = 123456;
+            c.modeled_seconds = 0.1234567890123;
+        }
+        stats.faults.retries = 3;
+        stats.overlap.stages = 9;
+        stats.overlap.hidden_seconds = 2.5e-4;
+
+        let dir = std::env::temp_dir().join(format!("gnn-outc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        write_outcome(&dir, 0, &records, &weights, &stats).unwrap();
+        let text = fs::read_to_string(outcome_path(&dir, 0)).unwrap();
+        let (r2, w2, s2) = decode_outcome(&text).unwrap();
+
+        assert_eq!(r2.len(), records.len());
+        for (a, b) in r2.iter().zip(&records) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+            assert_eq!(a.train_accuracy.to_bits(), b.train_accuracy.to_bits());
+        }
+        assert_eq!(w2.max_abs_diff(&weights), 0.0);
+        assert_eq!(s2, stats);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_outcome_is_an_error() {
+        let text = "records 2\n123 456\n";
+        assert!(decode_outcome(text).is_err());
+    }
+}

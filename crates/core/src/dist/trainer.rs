@@ -46,7 +46,7 @@ use crate::optim::Optimizer;
 use crate::reference::EpochRecord;
 
 use super::buffers::EpochBuffers;
-use super::checkpoint::{Checkpoint, CheckpointStore};
+use super::checkpoint::{Checkpoint, CheckpointBackend, CheckpointStore};
 use super::failover::{failover_allreduce_replicated, spmm_15d_failover_buf, FailoverView};
 use super::oned::{spmm_1d_aware_buf, spmm_1d_oblivious_buf};
 use super::onefived::spmm_15d_buf;
@@ -189,11 +189,43 @@ pub struct DistOutcome {
     /// Structured trace of the completed attempt (when
     /// [`DistConfig::trace`] was set).
     pub trace: Option<WorldTrace>,
+    /// The epoch each restart resumed from (one entry per restart:
+    /// the checkpoint's cursor, or 0 for a from-scratch restart).
+    pub resume_points: Vec<usize>,
 }
 
-enum PlanKind {
+pub(crate) enum PlanKind {
     OneD(Plan1d),
     OneFiveD { plan: Plan15d, aware: bool },
+}
+
+/// Derives the world size and builds the communication plan for `cfg`'s
+/// algorithm over `bounds` (shared by the thread supervisor and the
+/// process-backend child).
+pub(crate) fn build_plan(ds: &Dataset, bounds: &[usize], cfg: &DistConfig) -> (usize, PlanKind) {
+    assert_eq!(cfg.gcn.dims[0], ds.f(), "input width mismatch");
+    assert_eq!(
+        *cfg.gcn.dims.last().unwrap(),
+        ds.num_classes,
+        "class count mismatch"
+    );
+    match cfg.algo {
+        Algo::OneD { aware: _ } => {
+            let p = bounds.len() - 1;
+            (p, PlanKind::OneD(Plan1d::build(&ds.norm_adj, bounds)))
+        }
+        Algo::OneFiveD { aware, c } => {
+            let pr = bounds.len() - 1;
+            let p = pr * c;
+            (
+                p,
+                PlanKind::OneFiveD {
+                    plan: Plan15d::build(&ds.norm_adj, p, c, bounds, aware),
+                    aware,
+                },
+            )
+        }
+    }
 }
 
 /// Trains a GCN on `ds` (already permuted so parts are contiguous).
@@ -219,29 +251,21 @@ pub fn try_train_distributed(
     bounds: &[usize],
     cfg: &DistConfig,
 ) -> Result<DistOutcome, WorldError> {
-    assert_eq!(cfg.gcn.dims[0], ds.f(), "input width mismatch");
-    assert_eq!(
-        *cfg.gcn.dims.last().unwrap(),
-        ds.num_classes,
-        "class count mismatch"
-    );
-    let (p, plan) = match cfg.algo {
-        Algo::OneD { aware: _ } => {
-            let p = bounds.len() - 1;
-            (p, PlanKind::OneD(Plan1d::build(&ds.norm_adj, bounds)))
-        }
-        Algo::OneFiveD { aware, c } => {
-            let pr = bounds.len() - 1;
-            let p = pr * c;
-            (
-                p,
-                PlanKind::OneFiveD {
-                    plan: Plan15d::build(&ds.norm_adj, p, c, bounds, aware),
-                    aware,
-                },
-            )
-        }
-    };
+    let store: Mutex<CheckpointStore> = Mutex::new(CheckpointStore::new());
+    try_train_distributed_with_store(ds, bounds, cfg, &store)
+}
+
+/// Like [`try_train_distributed`], but snapshots go through the given
+/// [`CheckpointBackend`] — an in-memory ring for thread worlds, a
+/// [`super::checkpoint::DiskCheckpointStore`] when the supervisor must
+/// survive the death of whole rank processes, or a test double.
+pub fn try_train_distributed_with_store(
+    ds: &Dataset,
+    bounds: &[usize],
+    cfg: &DistConfig,
+    store: &dyn CheckpointBackend,
+) -> Result<DistOutcome, WorldError> {
+    let (p, plan) = build_plan(ds, bounds, cfg);
 
     // One injector for the whole supervised run: a crash fault that
     // fired in attempt k must not re-fire in attempt k+1.
@@ -254,8 +278,8 @@ pub fn try_train_distributed(
     // Replication is what makes in-place failover possible; without it
     // the flag silently defers to the checkpoint-restart rung.
     let use_failover = cfg.robust.failover && matches!(cfg.algo, Algo::OneFiveD { .. });
-    let store: Mutex<CheckpointStore> = Mutex::new(CheckpointStore::new());
     let mut restarts = 0;
+    let mut resume_points = Vec::new();
 
     loop {
         let mut world = ThreadWorld::new(p, cfg.model)
@@ -267,7 +291,7 @@ pub fn try_train_distributed(
         }
         let run = if let (true, PlanKind::OneFiveD { plan: pl, aware }) = (use_failover, &plan) {
             world
-                .try_run_failover(|ctx| run_rank_failover(ctx, ds, cfg, pl, *aware, &store))
+                .try_run_failover(|ctx| run_rank_failover(ctx, ds, cfg, pl, *aware, store))
                 .map(|(results, stats, trace)| {
                     // Survivors hold identical replicated results; dead
                     // ranks' slots are `None`.
@@ -280,7 +304,7 @@ pub fn try_train_distributed(
                 })
         } else {
             world
-                .try_run_traced(|ctx| run_rank(ctx, ds, cfg, &plan, &store))
+                .try_run_traced(|ctx| run_rank(ctx, ds, cfg, &plan, store))
                 .map(|(mut results, stats, trace)| {
                     let (records, weights) = results.swap_remove(0);
                     (records, weights, stats, trace)
@@ -295,10 +319,12 @@ pub fn try_train_distributed(
                     stats,
                     restarts,
                     trace,
+                    resume_points,
                 });
             }
             Err(e) if e.is_recoverable() && restarts < cfg.robust.max_restarts => {
                 restarts += 1;
+                resume_points.push(store.resume_epoch().unwrap_or(0));
             }
             Err(e) => return Err(e),
         }
@@ -307,12 +333,12 @@ pub fn try_train_distributed(
 
 /// One rank's whole training program: restore from the shared
 /// checkpoint (if any), run the remaining epochs, snapshot periodically.
-fn run_rank(
+pub(crate) fn run_rank(
     ctx: &mut RankCtx,
     ds: &Dataset,
     cfg: &DistConfig,
     plan: &PlanKind,
-    store: &Mutex<CheckpointStore>,
+    store: &dyn CheckpointBackend,
 ) -> (Vec<EpochRecord>, Weights) {
     let aware_1d = matches!(cfg.algo, Algo::OneD { aware: true });
     let c_rep = cfg.algo.replication() as f64;
@@ -336,16 +362,15 @@ fn run_rank(
     // Resume point: the checkpoint holds replicated state, so every
     // rank restores the identical (checksum-verified) snapshot without
     // communicating.
-    let (start_epoch, mut weights, mut optimizer, mut records) =
-        match store.lock().unwrap().restore() {
-            Some(ck) => (ck.next_epoch, ck.weights, ck.optimizer, ck.records),
-            None => (
-                0,
-                Weights::init(&cfg.gcn),
-                Optimizer::from_config(&cfg.gcn),
-                Vec::with_capacity(cfg.epochs),
-            ),
-        };
+    let (start_epoch, mut weights, mut optimizer, mut records) = match store.restore() {
+        Some(ck) => (ck.next_epoch, ck.weights, ck.optimizer, ck.records),
+        None => (
+            0,
+            Weights::init(&cfg.gcn),
+            Optimizer::from_config(&cfg.gcn),
+            Vec::with_capacity(cfg.epochs),
+        ),
+    };
     let l_total = cfg.gcn.layers();
     let dims = &cfg.gcn.dims;
 
@@ -543,7 +568,7 @@ fn run_rank(
         // fallback.
         let every = cfg.robust.checkpoint_every;
         if ctx.rank() == 0 && every > 0 && (epoch + 1) % every == 0 {
-            store.lock().unwrap().save(Checkpoint {
+            store.save(Checkpoint {
                 next_epoch: epoch + 1,
                 weights: weights.clone(),
                 optimizer: optimizer.clone(),
@@ -571,7 +596,7 @@ fn run_rank_failover(
     cfg: &DistConfig,
     plan: &Plan15d,
     aware: bool,
-    store: &Mutex<CheckpointStore>,
+    store: &dyn CheckpointBackend,
 ) -> (Vec<EpochRecord>, Weights) {
     let c_rep = cfg.algo.replication() as f64;
     let rp = &plan.ranks[ctx.rank()];
@@ -581,16 +606,15 @@ fn run_rank_failover(
     let labels = &ds.labels[lo..hi];
     let mask = &ds.train_mask[lo..hi];
 
-    let (start_epoch, mut weights, mut optimizer, mut records) =
-        match store.lock().unwrap().restore() {
-            Some(ck) => (ck.next_epoch, ck.weights, ck.optimizer, ck.records),
-            None => (
-                0,
-                Weights::init(&cfg.gcn),
-                Optimizer::from_config(&cfg.gcn),
-                Vec::with_capacity(cfg.epochs),
-            ),
-        };
+    let (start_epoch, mut weights, mut optimizer, mut records) = match store.restore() {
+        Some(ck) => (ck.next_epoch, ck.weights, ck.optimizer, ck.records),
+        None => (
+            0,
+            Weights::init(&cfg.gcn),
+            Optimizer::from_config(&cfg.gcn),
+            Vec::with_capacity(cfg.epochs),
+        ),
+    };
     let l_total = cfg.gcn.layers();
     let dims = &cfg.gcn.dims;
     let mut bufs = EpochBuffers::new();
@@ -784,7 +808,7 @@ fn run_rank_failover(
                             .find(|r| !dead.contains(r))
                             .expect("at least one survivor");
                         if ctx.rank() == writer {
-                            store.lock().unwrap().save(Checkpoint {
+                            store.save(Checkpoint {
                                 next_epoch: epoch + 1,
                                 weights: weights.clone(),
                                 optimizer: optimizer.clone(),
@@ -918,6 +942,11 @@ mod tests {
             .expect("restart should recover the run");
 
         assert_eq!(faulty.restarts, 1);
+        assert_eq!(
+            faulty.resume_points,
+            vec![2],
+            "crash at epoch 3 with checkpoint_every=2 resumes from epoch 2"
+        );
         assert_eq!(faulty.records.len(), clean.records.len());
         // Bit-for-bit: resume replays the deterministic epochs exactly.
         for (a, b) in faulty.records.iter().zip(&clean.records) {
@@ -925,6 +954,68 @@ mod tests {
             assert_eq!(a.train_accuracy.to_bits(), b.train_accuracy.to_bits());
         }
         assert_eq!(faulty.weights.max_abs_diff(&clean.weights), 0.0);
+    }
+
+    /// A backend whose every snapshot is damaged in flight, so *both*
+    /// ring slots always fail verification — the double-corruption
+    /// worst case of the checkpoint ring.
+    struct CorruptingStore(Mutex<CheckpointStore>);
+
+    impl CheckpointBackend for CorruptingStore {
+        fn save(&self, ck: Checkpoint) {
+            let mut inner = self.0.lock().unwrap();
+            inner.save(ck);
+            inner.corrupt_newest();
+        }
+
+        fn restore(&self) -> Option<Checkpoint> {
+            self.0.lock().unwrap().restore()
+        }
+    }
+
+    #[test]
+    fn double_corrupted_checkpoints_force_bit_exact_scratch_restart() {
+        let ds = reddit_scaled(7, 11);
+        let cfg = GcnConfig::paper_default(ds.f(), ds.num_classes);
+        let bounds = even_bounds(ds.n(), 4);
+        let epochs = 5;
+
+        let clean_cfg = DistConfig::new(
+            Algo::OneD { aware: true },
+            cfg,
+            epochs,
+            CostModel::perlmutter_like(),
+        );
+        let clean = train_distributed(&ds, &bounds, &clean_cfg);
+
+        let mut faulty_cfg = clean_cfg.clone();
+        faulty_cfg.robust = RobustnessConfig {
+            faults: Some(FaultPlan::new(1).crash_at(2, 3, 0)),
+            checkpoint_every: 2,
+            max_restarts: 1,
+            timeout: Duration::from_secs(10),
+            failover: false,
+        };
+        let store = CorruptingStore(Mutex::new(CheckpointStore::new()));
+        let out = try_train_distributed_with_store(&ds, &bounds, &faulty_cfg, &store)
+            .expect("with no verifiable snapshot the ladder must restart from scratch, not abort");
+
+        assert!(
+            store.restore().is_none(),
+            "every slot must have failed verification"
+        );
+        assert_eq!(out.restarts, 1);
+        assert_eq!(
+            out.resume_points,
+            vec![0],
+            "no slot verifies → scratch restart from epoch 0"
+        );
+        assert_eq!(out.records.len(), clean.records.len());
+        for (a, b) in out.records.iter().zip(&clean.records) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+            assert_eq!(a.train_accuracy.to_bits(), b.train_accuracy.to_bits());
+        }
+        assert_eq!(out.weights.max_abs_diff(&clean.weights), 0.0);
     }
 
     #[test]

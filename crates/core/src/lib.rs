@@ -21,8 +21,11 @@ pub mod model;
 pub mod optim;
 pub mod reference;
 
+#[cfg(unix)]
+pub use dist::{run_rank_proc, supervise_proc_training, ProcTrainError};
 pub use dist::{
-    train_distributed, try_train_distributed, Algo, DistConfig, DistOutcome, RobustnessConfig,
+    train_distributed, try_train_distributed, try_train_distributed_with_store, Algo,
+    CheckpointBackend, DiskCheckpointStore, DistConfig, DistOutcome, RobustnessConfig,
 };
 pub use model::{GcnConfig, Weights};
 pub use optim::{OptKind, Optimizer};
