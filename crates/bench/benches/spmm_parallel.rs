@@ -1,5 +1,6 @@
-//! Kernel-level scaling bench: serial vs multi-threaded SpMM across
-//! matrix density and feature width, plus an end-to-end epoch-time axis
+//! Kernel-level scaling bench: serial vs multi-threaded SpMM and GEMM
+//! across matrix density and feature width, per-backend (forced scalar
+//! vs SIMD) single-core throughput, plus an end-to-end epoch-time axis
 //! over thread counts. Writes machine-readable results (with GFLOP/s) to
 //! `results/BENCH_kernels.json` in one run:
 //!
@@ -24,6 +25,14 @@
 //! below 70% of that host's baseline, and ratchet the baseline up when
 //! a run beats it. Thread counts above the host's hardware parallelism
 //! are measured and reported but never gated.
+//!
+//! Default-dispatch SpMM rows keep the original `spmm/<matrix>/f<f>/t<t>`
+//! key format so baselines recorded before the SIMD kernel layer landed
+//! still gate (and get ratcheted by) the dispatched numbers — that
+//! continuity is what lets the ratchet *prove* a dispatch speedup on a
+//! host instead of silently re-baselining it. Forced-backend rows carry
+//! an `@<backend>` key suffix (and `@fast` in Fast mode) so each backend
+//! ratchets independently.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -36,6 +45,7 @@ use gnn_core::{train_distributed, Algo, DistConfig, GcnConfig};
 use spmat::dataset::amazon_scaled;
 use spmat::gen::{rmat, RmatConfig};
 use spmat::graph::gcn_normalize;
+use spmat::kernel::{self, Backend};
 use spmat::pool;
 use spmat::spmm::{spmm_flops, spmm_with};
 use spmat::{Csr, Dense};
@@ -44,11 +54,20 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const REPS: usize = 5;
 
 struct KernelRow {
+    /// Which kernel family: `"spmm"` or `"gemm"`.
+    op: &'static str,
     matrix: String,
     n: usize,
     nnz: usize,
     f: usize,
     threads: usize,
+    /// Backend label the row executed under (e.g. `avx2`, `scalar`).
+    backend: &'static str,
+    /// Numerics mode label (`strict` or `fast`).
+    mode: &'static str,
+    /// `true` for rows measured under an explicitly pinned backend —
+    /// these gate under backend-tagged keys, never the legacy ones.
+    forced: bool,
     seconds: f64,
     gflops: f64,
     speedup: f64,
@@ -61,6 +80,10 @@ struct EpochRow {
 }
 
 fn min_time(mut run: impl FnMut()) -> f64 {
+    // One untimed warm-up: the first measured kernel of the process
+    // otherwise pays for page faults and frequency ramp-up, which can
+    // halve its apparent GFLOP/s and trip the per-host gate.
+    run();
     let mut best = f64::INFINITY;
     for _ in 0..REPS {
         let t0 = Instant::now();
@@ -70,13 +93,46 @@ fn min_time(mut run: impl FnMut()) -> f64 {
     best
 }
 
-fn bench_kernels() -> Vec<KernelRow> {
+/// Sustained kernel work before any measurement: on hosts with
+/// aggressive frequency scaling (1-vCPU VMs especially) the first
+/// measured case otherwise reads ~2x low — enough to trip the per-host
+/// gate — because the governor hasn't ramped yet. One second of real
+/// SpMM is enough to reach steady clocks.
+fn warm_cpu() {
+    let adj: Csr = gcn_normalize(&rmat(RmatConfig::graph500(10, 8, 7)));
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    let h = Dense::glorot(adj.rows(), 32, &mut rng);
+    let t0 = Instant::now();
+    while t0.elapsed().as_secs_f64() < 1.0 {
+        std::hint::black_box(spmm_with(&adj, &h, 1));
+    }
+}
+
+/// Every backend this host can pin: scalar always, plus the SIMD one
+/// auto-detect would pick (when that isn't already scalar).
+fn pinnable_backends() -> Vec<Backend> {
+    let mut v = vec![Backend::Scalar];
+    let auto = Backend::detect();
+    if auto != Backend::Scalar {
+        v.push(auto);
+    }
+    v
+}
+
+fn mode_label() -> &'static str {
+    kernel::current_mode().label()
+}
+
+fn bench_spmm() -> Vec<KernelRow> {
     let mut rows = Vec::new();
-    // Density axis: R-MAT edge factor; width axis: feature count.
+    // Density axis: R-MAT edge factor; width axis: feature count —
+    // every specialized width (32/64/128) appears on at least one
+    // matrix so the register-blocked paths are all exercised.
     let cases: Vec<(u32, usize, usize)> = vec![
         (12, 4, 32),   // sparse, narrow
         (12, 4, 128),  // sparse, wide
         (12, 16, 32),  // dense, narrow
+        (12, 16, 64),  // dense, mid — the third specialized width
         (12, 16, 128), // dense, wide — the largest benchmark matrix
     ];
     for (scale, edge_factor, f) in cases {
@@ -86,6 +142,8 @@ fn bench_kernels() -> Vec<KernelRow> {
         let name = format!("rmat-s{scale}-e{edge_factor}");
         let flops = spmm_flops(&adj, f) as f64;
 
+        // Default dispatch across the thread sweep.
+        let auto = kernel::active().backend.label();
         let serial = min_time(|| {
             std::hint::black_box(spmm_with(&adj, &h, 1));
         });
@@ -98,20 +156,148 @@ fn bench_kernels() -> Vec<KernelRow> {
                 })
             };
             let row = KernelRow {
+                op: "spmm",
                 matrix: name.clone(),
                 n: adj.rows(),
                 nnz: adj.nnz(),
                 f,
                 threads: t,
+                backend: auto,
+                mode: mode_label(),
+                forced: false,
                 seconds: secs,
                 gflops: flops / secs / 1e9,
                 speedup: serial / secs,
             };
             println!(
-                "spmm/{}/f{}/t{}  {:>10.3} ms   {:>7.3} GFLOP/s   {:>5.2}x vs serial",
+                "spmm/{}/f{}/t{} [{}]  {:>10.3} ms   {:>7.3} GFLOP/s   {:>5.2}x vs serial",
                 row.matrix,
                 row.f,
                 row.threads,
+                row.backend,
+                row.seconds * 1e3,
+                row.gflops,
+                row.speedup
+            );
+            rows.push(row);
+        }
+
+        // Forced-backend single-core rows: the scalar-vs-SIMD axis.
+        for backend in pinnable_backends() {
+            kernel::try_force_backend(backend).expect("pinnable backend must pin");
+            let secs = min_time(|| {
+                std::hint::black_box(spmm_with(&adj, &h, 1));
+            });
+            kernel::clear_forced_backend();
+            let row = KernelRow {
+                op: "spmm",
+                matrix: name.clone(),
+                n: adj.rows(),
+                nnz: adj.nnz(),
+                f,
+                threads: 1,
+                backend: backend.label(),
+                mode: mode_label(),
+                forced: true,
+                seconds: secs,
+                gflops: flops / secs / 1e9,
+                speedup: serial / secs,
+            };
+            println!(
+                "spmm/{}/f{}/t1@{}  {:>10.3} ms   {:>7.3} GFLOP/s   {:>5.2}x vs dispatch",
+                row.matrix,
+                row.f,
+                row.backend,
+                row.seconds * 1e3,
+                row.gflops,
+                row.speedup
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+fn bench_gemm() -> Vec<KernelRow> {
+    let mut rows = Vec::new();
+    // Tall-skinny GEMM shapes from the training loop: activations
+    // (n × k) times a weight block (k × c). The output width c is what
+    // the register-blocked kernels specialize on — sweep the
+    // specialized widths plus one generic width (96 = 3 × 32 blocks but
+    // no dedicated const instantiation).
+    let n = 4096usize;
+    let k = 64usize;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
+    let a = Dense::glorot(n, k, &mut rng);
+    for c in [32usize, 64, 96, 128] {
+        let b = Dense::glorot(k, c, &mut rng);
+        let name = format!("dense-{n}x{k}");
+        let flops = (2 * n * k * c) as f64;
+
+        let auto = kernel::active().backend.label();
+        let serial = min_time(|| {
+            std::hint::black_box(a.matmul_with(&b, 1));
+        });
+        for &t in &THREAD_COUNTS {
+            let secs = if t == 1 {
+                serial
+            } else {
+                min_time(|| {
+                    std::hint::black_box(a.matmul_with(&b, t));
+                })
+            };
+            let row = KernelRow {
+                op: "gemm",
+                matrix: name.clone(),
+                n,
+                nnz: n * k,
+                f: c,
+                threads: t,
+                backend: auto,
+                mode: mode_label(),
+                forced: false,
+                seconds: secs,
+                gflops: flops / secs / 1e9,
+                speedup: serial / secs,
+            };
+            println!(
+                "gemm/{}/f{}/t{} [{}]  {:>10.3} ms   {:>7.3} GFLOP/s   {:>5.2}x vs serial",
+                row.matrix,
+                row.f,
+                row.threads,
+                row.backend,
+                row.seconds * 1e3,
+                row.gflops,
+                row.speedup
+            );
+            rows.push(row);
+        }
+
+        for backend in pinnable_backends() {
+            kernel::try_force_backend(backend).expect("pinnable backend must pin");
+            let secs = min_time(|| {
+                std::hint::black_box(a.matmul_with(&b, 1));
+            });
+            kernel::clear_forced_backend();
+            let row = KernelRow {
+                op: "gemm",
+                matrix: name.clone(),
+                n,
+                nnz: n * k,
+                f: c,
+                threads: 1,
+                backend: backend.label(),
+                mode: mode_label(),
+                forced: true,
+                seconds: secs,
+                gflops: flops / secs / 1e9,
+                speedup: serial / secs,
+            };
+            println!(
+                "gemm/{}/f{}/t1@{}  {:>10.3} ms   {:>7.3} GFLOP/s   {:>5.2}x vs dispatch",
+                row.matrix,
+                row.f,
+                row.backend,
                 row.seconds * 1e3,
                 row.gflops,
                 row.speedup
@@ -162,6 +348,35 @@ fn host_key() -> String {
         .filter(|h| !h.is_empty())
         .unwrap_or_else(|| "unknown".into());
     format!("{host}/{}", pool::hardware_threads())
+}
+
+/// The best backend this hardware can execute, ignoring any
+/// `GNN_KERNEL_BACKEND` pin. Legacy untagged baseline keys always mean
+/// "the best auto-dispatched kernel on this host" — an env-pinned run
+/// must not gate its (slower) numbers against them.
+fn hardware_best() -> Backend {
+    if Backend::Avx2.supported() {
+        Backend::Avx2
+    } else if Backend::Neon.supported() {
+        Backend::Neon
+    } else {
+        Backend::Scalar
+    }
+}
+
+/// The baseline identity of a row. Default-dispatch rows on the
+/// hardware-best backend use the pre-SIMD legacy format for baseline
+/// continuity (see module docs); everything else — forced rows, env
+/// pins, fast mode — is explicitly tagged by backend / mode.
+fn gate_key(host: &str, r: &KernelRow) -> String {
+    let mut k = format!("{host}|{}/{}/f{}/t{}", r.op, r.matrix, r.f, r.threads);
+    if r.forced || r.backend != hardware_best().label() {
+        let _ = write!(k, "@{}", r.backend);
+    }
+    if r.mode != "strict" {
+        let _ = write!(k, "@{}", r.mode);
+    }
+    k
 }
 
 fn results_dir() -> PathBuf {
@@ -220,30 +435,39 @@ fn gate_against_baselines(kernels: &[KernelRow]) -> Vec<String> {
     let mut baselines = load_baselines();
     let mut failures = Vec::new();
     let mut recorded = 0usize;
+    // Best sample per gate key: a key can be measured more than once in
+    // a run (an env-pinned default row and a forced row on the same
+    // backend), and taking the max extends min-over-reps across rows —
+    // on steal-prone shared VMs a single min_time can still read low.
+    let mut best: BTreeMap<String, f64> = BTreeMap::new();
     for r in kernels {
         if r.threads > hw {
             continue; // oversubscribed: time-sliced, not a perf signal
         }
-        let k = format!("{key}|spmm/{}/f{}/t{}", r.matrix, r.f, r.threads);
+        let k = gate_key(&key, r);
+        let e = best.entry(k).or_insert(f64::NEG_INFINITY);
+        *e = e.max(r.gflops);
+    }
+    for (k, gflops) in &best {
+        let (k, gflops) = (k.clone(), *gflops);
         match baselines.get(&k).copied() {
             None => {
-                baselines.insert(k, r.gflops);
+                baselines.insert(k, gflops);
                 recorded += 1;
             }
-            Some(base) if r.gflops < base * GATE_TOLERANCE => {
+            Some(base) if gflops < base * GATE_TOLERANCE => {
                 failures.push(format!(
-                    "kernel regression on {key}: spmm/{}/f{}/t{} at {:.3} GFLOP/s \
-                     is below {:.0}% of the host baseline {:.3}",
-                    r.matrix,
-                    r.f,
-                    r.threads,
-                    r.gflops,
+                    "kernel regression on {k}: {gflops:.3} GFLOP/s is below {:.0}% of \
+                     the host baseline {base:.3}",
                     GATE_TOLERANCE * 100.0,
-                    base
                 ));
             }
-            Some(base) if r.gflops > base => {
-                baselines.insert(k, r.gflops); // ratchet the baseline up
+            Some(base) if gflops > base => {
+                println!(
+                    "[ratchet] {k}: {base:.3} -> {gflops:.3} GFLOP/s ({:.2}x)",
+                    gflops / base
+                );
+                baselines.insert(k, gflops); // ratchet the baseline up
             }
             Some(_) => {}
         }
@@ -269,18 +493,33 @@ fn write_json(kernels: &[KernelRow], epochs: &[EpochRow]) -> std::io::Result<Str
     let _ = writeln!(s, "{{");
     let _ = writeln!(
         s,
-        "  \"host\": {{ \"key\": \"{}\", \"hardware_threads\": {} }},",
+        "  \"host\": {{ \"key\": \"{}\", \"hardware_threads\": {}, \
+         \"auto_backend\": \"{}\", \"mode\": \"{}\" }},",
         host_key(),
-        pool::hardware_threads()
+        pool::hardware_threads(),
+        Backend::detect().label(),
+        mode_label()
     );
     let _ = writeln!(s, "  \"kernels\": [");
     for (i, r) in kernels.iter().enumerate() {
         let comma = if i + 1 == kernels.len() { "" } else { "," };
         let _ = writeln!(
             s,
-            "    {{ \"matrix\": \"{}\", \"n\": {}, \"nnz\": {}, \"f\": {}, \"threads\": {}, \
+            "    {{ \"op\": \"{}\", \"matrix\": \"{}\", \"n\": {}, \"nnz\": {}, \"f\": {}, \
+             \"threads\": {}, \"backend\": \"{}\", \"mode\": \"{}\", \"forced\": {}, \
              \"seconds\": {:.6e}, \"gflops\": {:.4}, \"speedup_vs_serial\": {:.3} }}{comma}",
-            r.matrix, r.n, r.nnz, r.f, r.threads, r.seconds, r.gflops, r.speedup
+            r.op,
+            r.matrix,
+            r.n,
+            r.nnz,
+            r.f,
+            r.threads,
+            r.backend,
+            r.mode,
+            r.forced,
+            r.seconds,
+            r.gflops,
+            r.speedup
         );
     }
     let _ = writeln!(s, "  ],");
@@ -304,12 +543,20 @@ fn write_json(kernels: &[KernelRow], epochs: &[EpochRow]) -> std::io::Result<Str
 }
 
 fn main() {
+    // Honor GNN_KERNEL for mode (strict is the default); non-strict
+    // runs gate under `@fast`-tagged keys so they never pollute the
+    // strict baselines.
+    let kernels_active = kernel::active();
     println!(
-        "host: {} ({} hardware thread(s) available)",
+        "host: {} ({} hardware thread(s); {} backend, {} mode)",
         host_key(),
-        pool::hardware_threads()
+        pool::hardware_threads(),
+        kernels_active.backend.label(),
+        kernels_active.mode.label()
     );
-    let kernels = bench_kernels();
+    warm_cpu();
+    let mut kernels = bench_spmm();
+    kernels.extend(bench_gemm());
     let epochs = bench_epochs();
     match write_json(&kernels, &epochs) {
         Ok(path) => println!("[results written to {path}]"),

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--small] [--seed N] [--out DIR] [--threads N]
+//! repro [--small] [--seed N] [--out DIR] [--threads N] [--kernel strict|fast]
 //!       [--trace [PREFIX]] [--trace-format jsonl|chrome|both] [--metrics-out FILE]
 //!       <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|all>
 //! ```
@@ -11,7 +11,9 @@
 //! the same sweep shapes (seconds instead of minutes; used by CI).
 //! `--threads N` sets the kernel thread count for every local SpMM/GEMM
 //! (default: `GNN_THREADS` env, then available parallelism); results are
-//! bit-identical at any thread count.
+//! bit-identical at any thread count. `--kernel strict|fast` sets the
+//! SIMD kernel numerics (strict — the default — is also bit-identical
+//! across scalar/AVX2/NEON backends; fast trades that for FMA).
 //!
 //! The tables and figures are computed analytically from recorded
 //! volumes, so `--trace` instead runs a short *executor-backed*
@@ -37,6 +39,7 @@ struct Args {
     seed: u64,
     out: PathBuf,
     threads: usize,
+    kernel_mode: Option<spmat::kernel::KernelMode>,
     trace: bool,
     trace_prefix: Option<PathBuf>,
     trace_format: TraceFormat,
@@ -49,7 +52,8 @@ fn parse_args() -> Result<Args, String> {
         small: false,
         seed: 1,
         out: PathBuf::from("results"),
-        threads: 0, // auto
+        threads: 0,        // auto
+        kernel_mode: None, // GNN_KERNEL env rules unless --kernel is given
         trace: false,
         trace_prefix: None,
         trace_format: TraceFormat::Both,
@@ -74,6 +78,11 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--threads needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--kernel" => {
+                args.kernel_mode = Some(spmat::kernel::KernelMode::parse(
+                    &it.next().ok_or("--kernel needs a value")?,
+                )?);
             }
             "--trace" => {
                 args.trace = true;
@@ -118,6 +127,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: repro [--small] [--seed N] [--out DIR] [--threads N] \
+     [--kernel strict|fast] \
      [--trace [PREFIX]] [--trace-format jsonl|chrome|both] [--metrics-out FILE] \
      <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|all> ..."
         .to_string()
@@ -141,9 +151,21 @@ fn main() -> ExitCode {
         }
     };
     spmat::pool::set_threads(args.threads); // 0 keeps the auto default
+    if let Some(mode) = args.kernel_mode {
+        spmat::kernel::set_mode(mode);
+    }
+    let kernels = spmat::kernel::active();
     eprintln!(
-        "kernel threads: {} (results are thread-count independent)",
-        spmat::pool::current_threads()
+        "kernel threads: {} | {} backend ({} mode) — results are \
+         thread-count independent{}",
+        spmat::pool::current_threads(),
+        kernels.backend.label(),
+        kernels.mode.label(),
+        if kernels.mode == spmat::kernel::KernelMode::Strict {
+            " and backend-independent"
+        } else {
+            ""
+        }
     );
     let t0 = Instant::now();
     eprintln!(

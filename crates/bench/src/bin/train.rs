@@ -7,6 +7,7 @@
 //!       [--backend thread|proc] [--ranks N] [--proc-dir DIR]
 //!       [--arch gcn|sage] [--opt sgd|adam] [--lr X]
 //!       [--overlap on|off|chunks=N]
+//!       [--kernel strict|fast] [--flop-rate auto|FLOPS]
 //!       [--epochs N] [--scale N] [--seed N]
 //!       [--inject-crash RANK@EPOCH] [--slow-rank RANK:FACTOR]
 //!       [--drop-prob X] [--corrupt-prob X] [--fault-seed N]
@@ -39,6 +40,13 @@
 //! the next chunk is in flight. Outputs are bit-identical to the
 //! blocking schedule; only comm that fits behind a chunk's compute is
 //! hidden, and the exposed remainder is reported as the `overlap` phase.
+//!
+//! `--kernel strict|fast` selects the numerics of the SIMD kernel layer
+//! (default `strict` — bit-identical to the portable scalar loops on
+//! every backend; `fast` enables FMA with a documented rounding
+//! tolerance). `--flop-rate auto` replaces the cost model's A100-class
+//! compute constant with the *measured* single-core throughput of the
+//! active kernel backend on this host; a number sets it explicitly.
 //!
 //! `--trace` arms the structured tracer: every comm op and trainer
 //! phase is recorded on each rank's modeled-time axis, artifacts land
@@ -85,6 +93,12 @@ struct Args {
     max_restarts: usize,
     watchdog_ms: u64,
     threads: usize,
+    kernel_mode: spmat::kernel::KernelMode,
+    /// `--kernel` was given explicitly (else the `GNN_KERNEL` env rules).
+    kernel_flag: bool,
+    /// `None` = paper constant, `Some(None)` = measured ("auto"),
+    /// `Some(Some(x))` = explicit flop/s.
+    flop_rate: Option<Option<f64>>,
     trace: bool,
     trace_prefix: Option<PathBuf>,
     trace_format: TraceFormat,
@@ -123,6 +137,9 @@ fn parse() -> Result<Args, String> {
         max_restarts: 2,
         watchdog_ms: 30_000,
         threads: 0, // auto: GNN_THREADS env or available parallelism
+        kernel_mode: spmat::kernel::KernelMode::Strict,
+        kernel_flag: false,
+        flop_rate: None,
         trace: false,
         trace_prefix: None,
         trace_format: TraceFormat::Both,
@@ -293,6 +310,25 @@ fn parse() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?
             }
+            "--kernel" => {
+                a.kernel_mode = spmat::kernel::KernelMode::parse(&next(&mut it, "--kernel")?)?;
+                a.kernel_flag = true;
+            }
+            "--flop-rate" => {
+                let v = next(&mut it, "--flop-rate")?;
+                a.flop_rate = Some(if v == "auto" {
+                    None
+                } else {
+                    Some(
+                        v.parse::<f64>()
+                            .ok()
+                            .filter(|r| r.is_finite() && *r > 0.0)
+                            .ok_or(format!(
+                                "--flop-rate wants auto or a positive flop/s, got {v}"
+                            ))?,
+                    )
+                });
+            }
             "--trace" => {
                 a.trace = true;
                 // Optional value: a path prefix for the artifacts.
@@ -319,6 +355,7 @@ fn usage() -> String {
      [--partitioner block|random|metis|gvb] [--p N] \
      [--backend thread|proc] [--ranks N] [--proc-dir DIR] [--arch gcn|sage] \
      [--opt sgd|adam] [--lr X] [--overlap on|off|chunks=N] \
+     [--kernel strict|fast] [--flop-rate auto|FLOPS] \
      [--epochs N] [--scale N] [--seed N] \
      [--inject-crash RANK@EPOCH] [--slow-rank RANK:FACTOR] [--drop-prob X] \
      [--corrupt-prob X] [--fault-seed N] [--failover] [--checkpoint-every N] \
@@ -474,6 +511,10 @@ fn main() -> ExitCode {
     let quiet = args.proc_child.is_some();
     spmat::pool::set_threads(args.threads); // 0 keeps the auto default
     let threads = spmat::pool::current_threads();
+    if args.kernel_flag {
+        spmat::kernel::set_mode(args.kernel_mode); // else GNN_KERNEL env rules
+    }
+    let kernels = spmat::kernel::active();
     let t0 = Instant::now();
     let ds = match load_dataset(&args) {
         Ok(d) => d,
@@ -540,10 +581,13 @@ fn main() -> ExitCode {
     };
     if !quiet {
         println!(
-            "training: {} | {:?} arch | {} epochs | {threads} kernel thread(s){}",
+            "training: {} | {:?} arch | {} epochs | {threads} kernel thread(s) | \
+             {} kernels ({}){}",
             algo.label(),
             gcn.arch,
             args.epochs,
+            kernels.backend.label(),
+            kernels.mode.label(),
             if args.overlap.enabled {
                 format!(" | overlap chunks={}", args.overlap.chunks)
             } else {
@@ -578,12 +622,23 @@ fn main() -> ExitCode {
         );
     }
 
-    let mut cfg = DistConfig::new(
-        algo,
-        gcn,
-        args.epochs,
-        CostModel::perlmutter_like().with_threads(threads),
-    );
+    let mut cost = CostModel::perlmutter_like().with_threads(threads);
+    if let Some(rate) = args.flop_rate {
+        let gamma = match rate {
+            Some(explicit) => explicit,
+            None => spmat::kernel::measured_gflops() * 1e9,
+        };
+        cost = cost.with_flop_rate(gamma);
+        if !quiet {
+            println!(
+                "cost model: measured compute rate {:.3} GFLOP/s ({} backend){}",
+                gamma / 1e9,
+                kernels.backend.label(),
+                if rate.is_some() { " [explicit]" } else { "" }
+            );
+        }
+    }
+    let mut cfg = DistConfig::new(algo, gcn, args.epochs, cost);
     cfg.trace = args.trace;
     cfg.overlap = args.overlap;
     if args.failover && !args.algo_15d && !quiet {

@@ -61,6 +61,25 @@ impl CostModel {
         }
     }
 
+    /// The same machine with a different per-thread compute rate, in
+    /// flop/s. This is how the CLI substitutes the *measured* single-core
+    /// throughput of the active kernel backend (`train --flop-rate auto`)
+    /// for the default A100-class constant.
+    ///
+    /// # Panics
+    /// Panics unless `rate` is finite and positive.
+    #[must_use]
+    pub fn with_flop_rate(self, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "flop rate must be finite and positive, got {rate}"
+        );
+        Self {
+            flop_rate: rate,
+            ..self
+        }
+    }
+
     /// Modeled speedup of `threads`-way kernels over serial: the sum of
     /// the geometric per-thread efficiencies `Σ EFF^(t-1)` — sub-linear,
     /// monotone, and exactly 1 for one thread.
@@ -223,6 +242,21 @@ mod tests {
         assert!((serial / par - CostModel::parallel_speedup(4)).abs() < 1e-12);
         // Communication terms are untouched by the thread count.
         assert_eq!(m.with_threads(4).p2p(64), m.p2p(64));
+    }
+
+    #[test]
+    fn with_flop_rate_rescales_compute_only() {
+        let m = CostModel::perlmutter_like();
+        let fast = m.with_flop_rate(2e12);
+        assert_eq!(fast.compute(1000), m.compute(1000) / 2.0);
+        assert_eq!(fast.p2p(64), m.p2p(64));
+        assert_eq!(fast.allreduce(1 << 20, 8), m.allreduce(1 << 20, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "flop rate must be finite and positive")]
+    fn with_flop_rate_rejects_nonpositive() {
+        let _ = CostModel::perlmutter_like().with_flop_rate(0.0);
     }
 
     #[test]

@@ -14,10 +14,23 @@
 //! balanced (they are — communication plans are static), every rank's
 //! pool reaches a fixed point after the first epoch and
 //! [`EpochBuffers::fresh_allocs`] stops growing.
+//!
+//! Matrices are pooled separately from payload vectors: [`take_dense`]
+//! hands out 64-byte-aligned buffers (the SpMM/GEMM kernels' preferred
+//! storage) while `take_vec`/`put_vec` keep circulating the plain
+//! `Vec<f64>`s that network payloads are made of. [`put_dense`] routes a
+//! retiring matrix to whichever pool matches its backing
+//! ([`spmat::dense::DenseStorage`]), so neither kind of allocation is
+//! ever copied or downgraded on its way through the pool.
+//!
+//! [`take_dense`]: EpochBuffers::take_dense
+//! [`put_dense`]: EpochBuffers::put_dense
 
+use spmat::alloc::AVec;
+use spmat::dense::DenseStorage;
 use spmat::Dense;
 
-/// A per-rank pool of reusable `f64`/`u32` buffers.
+/// A per-rank pool of reusable `f64`/`u32`/aligned buffers.
 ///
 /// `take_*` pops a retired buffer with sufficient capacity (or allocates
 /// when the pool can't satisfy the request — counted as a *fresh alloc*);
@@ -27,6 +40,7 @@ use spmat::Dense;
 pub struct EpochBuffers {
     f64_pool: Vec<Vec<f64>>,
     u32_pool: Vec<Vec<u32>>,
+    avec_pool: Vec<AVec>,
     fresh: u64,
 }
 
@@ -45,7 +59,7 @@ impl EpochBuffers {
 
     /// Retired buffers currently held.
     pub fn pooled(&self) -> usize {
-        self.f64_pool.len() + self.u32_pool.len()
+        self.f64_pool.len() + self.u32_pool.len() + self.avec_pool.len()
     }
 
     fn take_from<T>(pool: &mut Vec<Vec<T>>, fresh: &mut u64, cap: usize) -> Vec<T> {
@@ -75,9 +89,18 @@ impl EpochBuffers {
         v
     }
 
-    /// A zero-filled `rows × cols` matrix backed by a pooled buffer.
+    /// A zero-filled `rows × cols` matrix backed by a pooled
+    /// 64-byte-aligned buffer.
     pub fn take_dense(&mut self, rows: usize, cols: usize) -> Dense {
-        Dense::from_vec(rows, cols, self.take_zeroed(rows * cols))
+        let len = rows * cols;
+        let mut a = if let Some(i) = self.avec_pool.iter().position(|v| v.capacity() >= len) {
+            self.avec_pool.swap_remove(i)
+        } else {
+            self.fresh += 1;
+            self.avec_pool.pop().unwrap_or_default()
+        };
+        a.resize_zeroed(len);
+        Dense::from_avec(rows, cols, a)
     }
 
     /// An empty `Vec<u32>` with capacity for at least `cap` elements.
@@ -92,9 +115,17 @@ impl EpochBuffers {
         }
     }
 
-    /// Retires a matrix's backing buffer.
+    /// Retires a matrix's backing buffer into the pool matching its
+    /// storage variant (no copy either way).
     pub fn put_dense(&mut self, d: Dense) {
-        self.put_vec(d.into_vec());
+        match d.into_storage() {
+            DenseStorage::Unaligned(v) => self.put_vec(v),
+            DenseStorage::Aligned(a) => {
+                if a.capacity() > 0 {
+                    self.avec_pool.push(a);
+                }
+            }
+        }
     }
 
     /// Retires a `u32` buffer (no-op for zero-capacity vecs).

@@ -10,9 +10,20 @@
 //! boundaries and serial-order accumulation per output element, so every
 //! result is bit-identical to the serial kernels at any thread count
 //! (small problems fall back to the serial path automatically). The
-//! `*_into` variants write into caller-provided buffers so steady-state
-//! training epochs can run without heap allocation.
+//! GEMM-family inner loops run through the [`crate::kernel`] dispatch
+//! layer (AVX2/NEON/scalar, strict-by-default numerics). The `*_into`
+//! variants write into caller-provided buffers so steady-state training
+//! epochs can run without heap allocation.
+//!
+//! Storage is dual-backed ([`DenseStorage`]): matrices this crate
+//! allocates itself live in 64-byte-aligned [`AVec`] buffers (SIMD- and
+//! cache-line-friendly), while [`Dense::from_vec`] keeps wrapping a plain
+//! `Vec<f64>` zero-copy — that path is how received network payloads
+//! become matrices without a copy, and how buffer pools recycle
+//! allocations across epochs.
 
+use crate::alloc::AVec;
+use crate::kernel;
 use crate::pool;
 use rand::Rng;
 
@@ -26,47 +37,123 @@ const ELEM_CHUNK: usize = 1 << 15;
 /// Packed rows per scheduling chunk for gather/pack kernels.
 const PACK_CHUNK_ROWS: usize = 128;
 
+/// Backing buffer of a [`Dense`] matrix: either a plain `Vec<f64>`
+/// (adopted zero-copy from network payloads and `Vec`-based pools) or a
+/// 64-byte-aligned [`AVec`] (everything this crate allocates itself).
+#[derive(Clone, Debug)]
+pub enum DenseStorage {
+    /// A plain heap buffer with `Vec`'s default (8-byte) alignment.
+    Unaligned(Vec<f64>),
+    /// A cache-line-aligned buffer.
+    Aligned(AVec),
+}
+
+impl DenseStorage {
+    #[inline]
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            DenseStorage::Unaligned(v) => v,
+            DenseStorage::Aligned(a) => a.as_slice(),
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [f64] {
+        match self {
+            DenseStorage::Unaligned(v) => v,
+            DenseStorage::Aligned(a) => a.as_mut_slice(),
+        }
+    }
+}
+
 /// A row-major dense `rows × cols` matrix of `f64`.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Dense {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: DenseStorage,
+}
+
+impl PartialEq for Dense {
+    fn eq(&self, other: &Self) -> bool {
+        // Equality is over shape and logical contents, not over which
+        // backing variant holds them.
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.data.as_slice() == other.data.as_slice()
+    }
 }
 
 impl Dense {
-    /// An all-zeros matrix.
+    /// An all-zeros matrix (aligned storage).
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: DenseStorage::Aligned(AVec::zeroed(rows * cols)),
         }
     }
 
-    /// Builds from a generator function over `(row, col)`.
+    /// Builds from a generator function over `(row, col)`, called in
+    /// row-major order.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = AVec::zeroed(rows * cols);
+        let s = data.as_mut_slice();
         for r in 0..rows {
             for c in 0..cols {
-                data.push(f(r, c));
+                s[r * cols + c] = f(r, c);
             }
         }
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            data: DenseStorage::Aligned(data),
+        }
     }
 
-    /// Wraps an existing row-major buffer.
+    /// Wraps an existing row-major buffer **zero-copy** (the buffer keeps
+    /// its `Vec` alignment). This is the path network payloads and
+    /// `Vec`-based scratch pools take.
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), rows * cols, "buffer length mismatch");
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            data: DenseStorage::Unaligned(data),
+        }
     }
 
-    /// Consumes the matrix and returns its backing buffer (so scratch
-    /// pools can recycle the allocation under a different shape).
+    /// Wraps an existing aligned buffer zero-copy.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_avec(rows: usize, cols: usize, data: AVec) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self {
+            rows,
+            cols,
+            data: DenseStorage::Aligned(data),
+        }
+    }
+
+    /// Consumes the matrix and returns its backing buffer as a plain
+    /// `Vec<f64>`. Zero-copy for [`Dense::from_vec`]-backed matrices;
+    /// aligned-backed matrices are copied out. Pools that want to keep
+    /// the alignment should use [`Dense::into_storage`] instead.
     pub fn into_vec(self) -> Vec<f64> {
+        match self.data {
+            DenseStorage::Unaligned(v) => v,
+            DenseStorage::Aligned(a) => a.to_vec(),
+        }
+    }
+
+    /// Consumes the matrix and returns its backing buffer with the
+    /// variant intact, so scratch pools can recycle each kind of
+    /// allocation without a copy or an alignment downgrade.
+    pub fn into_storage(self) -> DenseStorage {
         self.data
     }
 
@@ -88,36 +175,38 @@ impl Dense {
 
     /// The underlying row-major buffer.
     pub fn data(&self) -> &[f64] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Mutable access to the underlying buffer.
     pub fn data_mut(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.data.as_mut_slice()
     }
 
     /// Row `r` as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.data.as_slice()[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Row `r` as a mutable slice.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let cols = self.cols;
+        &mut self.data.as_mut_slice()[r * cols..(r + 1) * cols]
     }
 
     /// Element accessor.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        self.data[r * self.cols + c]
+        self.data.as_slice()[r * self.cols + c]
     }
 
     /// Element setter.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        self.data[r * self.cols + c] = v;
+        let cols = self.cols;
+        self.data.as_mut_slice()[r * cols + c] = v;
     }
 
     /// `C = self · other` (standard GEMM, `m×k · k×n`), parallel over
@@ -154,23 +243,21 @@ impl Dense {
             return;
         }
         let t = pool::effective_threads(threads, 2 * self.rows * k_dim * n);
-        pool::for_each_chunk_mut(t, &mut out.data, GEMM_CHUNK_ROWS * n, |ci, out_chunk| {
-            let row0 = ci * GEMM_CHUNK_ROWS;
-            // ikj loop order per row: streams `other` rows, vectorizes well.
-            for (i, out_row) in out_chunk.chunks_exact_mut(n).enumerate() {
-                out_row.fill(0.0);
-                let a_row = self.row(row0 + i);
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = other.row(k);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
+        let ker = kernel::active();
+        let b = other.data.as_slice();
+        pool::for_each_chunk_mut(
+            t,
+            out.data.as_mut_slice(),
+            GEMM_CHUNK_ROWS * n,
+            |ci, out_chunk| {
+                let row0 = ci * GEMM_CHUNK_ROWS;
+                // ikj order per row (ascending k, exact zeros skipped) — the
+                // accumulation order the kernel contract preserves.
+                for (i, out_row) in out_chunk.chunks_exact_mut(n).enumerate() {
+                    ker.gemm_row(self.row(row0 + i), b, n, out_row);
                 }
-            }
-        });
+            },
+        );
     }
 
     /// `C = selfᵀ · other` without materializing the transpose
@@ -206,13 +293,15 @@ impl Dense {
         );
         let n = other.cols;
         if self.cols == 0 || n == 0 {
-            out.data.fill(0.0);
+            out.data.as_mut_slice().fill(0.0);
             return;
         }
         let t = pool::effective_threads(threads, 2 * self.rows * self.cols * n);
+        let ker = kernel::active();
         if t <= 1 {
             // Serial reference order: stream rows of self/other once.
-            out.data.fill(0.0);
+            let out_data = out.data.as_mut_slice();
+            out_data.fill(0.0);
             for i in 0..self.rows {
                 let a_row = self.row(i);
                 let b_row = other.row(i);
@@ -220,32 +309,32 @@ impl Dense {
                     if a == 0.0 {
                         continue;
                     }
-                    let out_row = &mut out.data[k * n..(k + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
+                    ker.axpy(&mut out_data[k * n..(k + 1) * n], a, b_row);
                 }
             }
             return;
         }
         let cols = self.cols;
-        pool::for_each_chunk_mut(t, &mut out.data, GEMM_CHUNK_ROWS * n, |ci, out_chunk| {
-            let k0 = ci * GEMM_CHUNK_ROWS;
-            for (dk, out_row) in out_chunk.chunks_exact_mut(n).enumerate() {
-                out_row.fill(0.0);
-                let k = k0 + dk;
-                for i in 0..self.rows {
-                    let a = self.data[i * cols + k];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = other.row(i);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
+        let a_data = self.data.as_slice();
+        pool::for_each_chunk_mut(
+            t,
+            out.data.as_mut_slice(),
+            GEMM_CHUNK_ROWS * n,
+            |ci, out_chunk| {
+                let k0 = ci * GEMM_CHUNK_ROWS;
+                for (dk, out_row) in out_chunk.chunks_exact_mut(n).enumerate() {
+                    out_row.fill(0.0);
+                    let k = k0 + dk;
+                    for i in 0..self.rows {
+                        let a = a_data[i * cols + k];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        ker.axpy(out_row, a, other.row(i));
                     }
                 }
-            }
-        });
+            },
+        );
     }
 
     /// `C = self · otherᵀ` without materializing the transpose. Used for
@@ -279,20 +368,24 @@ impl Dense {
             return;
         }
         let t = pool::effective_threads(threads, 2 * self.rows * self.cols * n);
-        pool::for_each_chunk_mut(t, &mut out.data, GEMM_CHUNK_ROWS * n, |ci, out_chunk| {
-            let row0 = ci * GEMM_CHUNK_ROWS;
-            for (i, out_row) in out_chunk.chunks_exact_mut(n).enumerate() {
-                let a_row = self.row(row0 + i);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = other.row(j);
-                    let mut acc = 0.0;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
+        // Dot-product-shaped: a true reduction per output element, so the
+        // kernel layer keeps it scalar in strict mode and only fast mode
+        // vectorizes it.
+        let ker = kernel::active();
+        pool::for_each_chunk_mut(
+            t,
+            out.data.as_mut_slice(),
+            GEMM_CHUNK_ROWS * n,
+            |ci, out_chunk| {
+                let row0 = ci * GEMM_CHUNK_ROWS;
+                for (i, out_row) in out_chunk.chunks_exact_mut(n).enumerate() {
+                    let a_row = self.row(row0 + i);
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        *o = ker.dot(a_row, other.row(j));
                     }
-                    *o = acc;
                 }
-            }
-        });
+            },
+        );
     }
 
     /// Materialized transpose (parallel over output rows).
@@ -301,27 +394,34 @@ impl Dense {
         if self.rows == 0 || self.cols == 0 {
             return out;
         }
-        let t = pool::effective_threads(pool::current_threads(), self.data.len());
+        let t = pool::effective_threads(pool::current_threads(), self.data().len());
         let (rows, cols) = (self.rows, self.cols);
-        pool::for_each_chunk_mut(t, &mut out.data, GEMM_CHUNK_ROWS * rows, |ci, out_chunk| {
-            let c0 = ci * GEMM_CHUNK_ROWS;
-            for (dc, out_row) in out_chunk.chunks_exact_mut(rows).enumerate() {
-                let c = c0 + dc;
-                for (r, o) in out_row.iter_mut().enumerate() {
-                    *o = self.data[r * cols + c];
+        let src = self.data.as_slice();
+        pool::for_each_chunk_mut(
+            t,
+            out.data.as_mut_slice(),
+            GEMM_CHUNK_ROWS * rows,
+            |ci, out_chunk| {
+                let c0 = ci * GEMM_CHUNK_ROWS;
+                for (dc, out_row) in out_chunk.chunks_exact_mut(rows).enumerate() {
+                    let c = c0 + dc;
+                    for (r, o) in out_row.iter_mut().enumerate() {
+                        *o = src[r * cols + c];
+                    }
                 }
-            }
-        });
+            },
+        );
         out
     }
 
     /// `self += other` (parallel element-wise).
     pub fn add_assign(&mut self, other: &Dense) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let t = pool::effective_threads(pool::current_threads(), self.data.len());
-        pool::for_each_chunk_mut(t, &mut self.data, ELEM_CHUNK, |ci, chunk| {
+        let t = pool::effective_threads(pool::current_threads(), self.data().len());
+        let src = other.data.as_slice();
+        pool::for_each_chunk_mut(t, self.data.as_mut_slice(), ELEM_CHUNK, |ci, chunk| {
             let (off, len) = (ci * ELEM_CHUNK, chunk.len());
-            for (a, &b) in chunk.iter_mut().zip(&other.data[off..off + len]) {
+            for (a, &b) in chunk.iter_mut().zip(&src[off..off + len]) {
                 *a += b;
             }
         });
@@ -330,10 +430,11 @@ impl Dense {
     /// `self -= scale * other` (SGD update, parallel element-wise).
     pub fn sub_scaled_assign(&mut self, other: &Dense, scale: f64) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let t = pool::effective_threads(pool::current_threads(), self.data.len());
-        pool::for_each_chunk_mut(t, &mut self.data, ELEM_CHUNK, |ci, chunk| {
+        let t = pool::effective_threads(pool::current_threads(), self.data().len());
+        let src = other.data.as_slice();
+        pool::for_each_chunk_mut(t, self.data.as_mut_slice(), ELEM_CHUNK, |ci, chunk| {
             let (off, len) = (ci * ELEM_CHUNK, chunk.len());
-            for (a, &b) in chunk.iter_mut().zip(&other.data[off..off + len]) {
+            for (a, &b) in chunk.iter_mut().zip(&src[off..off + len]) {
                 *a -= scale * b;
             }
         });
@@ -341,8 +442,8 @@ impl Dense {
 
     /// In-place scaling (parallel element-wise).
     pub fn scale(&mut self, s: f64) {
-        let t = pool::effective_threads(pool::current_threads(), self.data.len());
-        pool::for_each_chunk_mut(t, &mut self.data, ELEM_CHUNK, |_ci, chunk| {
+        let t = pool::effective_threads(pool::current_threads(), self.data().len());
+        pool::for_each_chunk_mut(t, self.data.as_mut_slice(), ELEM_CHUNK, |_ci, chunk| {
             for a in chunk.iter_mut() {
                 *a *= s;
             }
@@ -352,10 +453,11 @@ impl Dense {
     /// `self ⊙= other` (in-place Hadamard, parallel element-wise).
     pub fn hadamard_assign(&mut self, other: &Dense) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let t = pool::effective_threads(pool::current_threads(), self.data.len());
-        pool::for_each_chunk_mut(t, &mut self.data, ELEM_CHUNK, |ci, chunk| {
+        let t = pool::effective_threads(pool::current_threads(), self.data().len());
+        let src = other.data.as_slice();
+        pool::for_each_chunk_mut(t, self.data.as_mut_slice(), ELEM_CHUNK, |ci, chunk| {
             let (off, len) = (ci * ELEM_CHUNK, chunk.len());
-            for (a, &b) in chunk.iter_mut().zip(&other.data[off..off + len]) {
+            for (a, &b) in chunk.iter_mut().zip(&src[off..off + len]) {
                 *a *= b;
             }
         });
@@ -372,13 +474,14 @@ impl Dense {
     pub fn hadamard_into(&self, other: &Dense, out: &mut Dense) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
         assert_eq!((self.rows, self.cols), (out.rows, out.cols));
-        let t = pool::effective_threads(pool::current_threads(), self.data.len());
-        pool::for_each_chunk_mut(t, &mut out.data, ELEM_CHUNK, |ci, chunk| {
+        let t = pool::effective_threads(pool::current_threads(), self.data().len());
+        let (lhs, rhs) = (self.data.as_slice(), other.data.as_slice());
+        pool::for_each_chunk_mut(t, out.data.as_mut_slice(), ELEM_CHUNK, |ci, chunk| {
             let (off, len) = (ci * ELEM_CHUNK, chunk.len());
             for ((o, &a), &b) in chunk
                 .iter_mut()
-                .zip(&self.data[off..off + len])
-                .zip(&other.data[off..off + len])
+                .zip(&lhs[off..off + len])
+                .zip(&rhs[off..off + len])
             {
                 *o = a * b;
             }
@@ -395,10 +498,11 @@ impl Dense {
     /// `out = relu(self)` into a caller-provided buffer.
     pub fn relu_into(&self, out: &mut Dense) {
         assert_eq!((self.rows, self.cols), (out.rows, out.cols));
-        let t = pool::effective_threads(pool::current_threads(), self.data.len());
-        pool::for_each_chunk_mut(t, &mut out.data, ELEM_CHUNK, |ci, chunk| {
+        let t = pool::effective_threads(pool::current_threads(), self.data().len());
+        let src = self.data.as_slice();
+        pool::for_each_chunk_mut(t, out.data.as_mut_slice(), ELEM_CHUNK, |ci, chunk| {
             let (off, len) = (ci * ELEM_CHUNK, chunk.len());
-            for (o, &v) in chunk.iter_mut().zip(&self.data[off..off + len]) {
+            for (o, &v) in chunk.iter_mut().zip(&src[off..off + len]) {
                 *o = v.max(0.0);
             }
         });
@@ -414,10 +518,11 @@ impl Dense {
     /// `out = relu'(self)` into a caller-provided buffer.
     pub fn relu_prime_into(&self, out: &mut Dense) {
         assert_eq!((self.rows, self.cols), (out.rows, out.cols));
-        let t = pool::effective_threads(pool::current_threads(), self.data.len());
-        pool::for_each_chunk_mut(t, &mut out.data, ELEM_CHUNK, |ci, chunk| {
+        let t = pool::effective_threads(pool::current_threads(), self.data().len());
+        let src = self.data.as_slice();
+        pool::for_each_chunk_mut(t, out.data.as_mut_slice(), ELEM_CHUNK, |ci, chunk| {
             let (off, len) = (ci * ELEM_CHUNK, chunk.len());
-            for (o, &v) in chunk.iter_mut().zip(&self.data[off..off + len]) {
+            for (o, &v) in chunk.iter_mut().zip(&src[off..off + len]) {
                 *o = if v > 0.0 { 1.0 } else { 0.0 };
             }
         });
@@ -427,7 +532,7 @@ impl Dense {
     /// the rows of `H` a peer asked for).
     pub fn gather_rows(&self, rows: &[u32]) -> Dense {
         let mut out = Dense::zeros(rows.len(), self.cols);
-        self.pack_rows_into(rows, 0, &mut out.data);
+        self.pack_rows_into(rows, 0, out.data.as_mut_slice());
         out
     }
 
@@ -471,7 +576,9 @@ impl Dense {
         Dense {
             rows: hi - lo,
             cols: self.cols,
-            data: self.data[lo * self.cols..hi * self.cols].to_vec(),
+            data: DenseStorage::Aligned(AVec::from_slice(
+                &self.data.as_slice()[lo * self.cols..hi * self.cols],
+            )),
         }
     }
 
@@ -480,12 +587,17 @@ impl Dense {
         assert!(!blocks.is_empty());
         let cols = blocks[0].cols;
         let rows = blocks.iter().map(|b| b.rows).sum();
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = AVec::new();
+        data.reserve(rows * cols);
         for b in blocks {
             assert_eq!(b.cols, cols, "vstack column mismatch");
-            data.extend_from_slice(&b.data);
+            data.extend_from_slice(b.data.as_slice());
         }
-        Dense { rows, cols, data }
+        Dense {
+            rows,
+            cols,
+            data: DenseStorage::Aligned(data),
+        }
     }
 
     /// Applies a row permutation: `out[perm[i]] = self[i]` (old → new),
@@ -502,7 +614,7 @@ impl Dense {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&v| v * v).sum::<f64>().sqrt()
+        self.data().iter().map(|&v| v * v).sum::<f64>().sqrt()
     }
 
     /// Max absolute element-wise difference; `None` on shape mismatch.
@@ -511,9 +623,9 @@ impl Dense {
             return None;
         }
         Some(
-            self.data
+            self.data()
                 .iter()
-                .zip(&other.data)
+                .zip(other.data())
                 .map(|(&a, &b)| (a - b).abs())
                 .fold(0.0, f64::max),
         )

@@ -1,0 +1,231 @@
+//! aarch64 NEON kernels: 2 × f64 lanes, register-blocked output tiles.
+//!
+//! Structurally a half-width mirror of [`super::x86`]: strict mode
+//! vectorizes only across independent output elements with separately
+//! rounded `vmulq_f64` + `vaddq_f64` (bit-identical to the scalar
+//! oracle per lane); fast mode uses the fused `vfmaq_f64`. Row kernels
+//! walk the feature dimension in 16-column register blocks (8
+//! accumulators), so the specialized widths 32/64/128 decompose into
+//! 2/4/8 full blocks.
+//!
+//! # Safety
+//!
+//! Functions are `#[target_feature(enable = "neon")]` and must only be
+//! called after [`super::Backend::Neon.supported()`] returned true
+//! (NEON is baseline on aarch64, but the dispatcher checks anyway).
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use core::arch::aarch64::*;
+
+/// One SpMM output row: `out_row[0..f] += Σ vals[k] · h[cols[k]·f ..]`.
+///
+/// # Safety
+/// Requires NEON; call only after [`super::Backend::Neon`]'s
+/// `supported()` returned true (the dispatcher guarantees this).
+#[target_feature(enable = "neon")]
+pub unsafe fn spmm_row(
+    cols: &[u32],
+    vals: &[f64],
+    h: &[f64],
+    f: usize,
+    out_row: &mut [f64],
+    fast: bool,
+) {
+    debug_assert_eq!(out_row.len(), f);
+    let mut j = 0;
+    while j + 16 <= f {
+        spmm_block::<8>(cols, vals, h, f, out_row, j, fast);
+        j += 16;
+    }
+    while j + 2 <= f {
+        spmm_block::<1>(cols, vals, h, f, out_row, j, fast);
+        j += 2;
+    }
+    if j < f {
+        for (&c, &v) in cols.iter().zip(vals) {
+            out_row[j] += v * h[c as usize * f + j];
+        }
+    }
+}
+
+/// A `T`-accumulator (2·T columns) SpMM register block at offset `j`.
+#[target_feature(enable = "neon")]
+unsafe fn spmm_block<const T: usize>(
+    cols: &[u32],
+    vals: &[f64],
+    h: &[f64],
+    f: usize,
+    out_row: &mut [f64],
+    j: usize,
+    fast: bool,
+) {
+    debug_assert!(j + 2 * T <= f);
+    let op = out_row.as_mut_ptr().add(j);
+    let mut acc = [vdupq_n_f64(0.0); T];
+    for (t, a) in acc.iter_mut().enumerate() {
+        *a = vld1q_f64(op.add(2 * t));
+    }
+    let hp = h.as_ptr();
+    if fast {
+        for (&c, &v) in cols.iter().zip(vals) {
+            let base = hp.add(c as usize * f + j);
+            let vv = vdupq_n_f64(v);
+            for (t, a) in acc.iter_mut().enumerate() {
+                *a = vfmaq_f64(*a, vv, vld1q_f64(base.add(2 * t)));
+            }
+        }
+    } else {
+        for (&c, &v) in cols.iter().zip(vals) {
+            let base = hp.add(c as usize * f + j);
+            let vv = vdupq_n_f64(v);
+            for (t, a) in acc.iter_mut().enumerate() {
+                *a = vaddq_f64(*a, vmulq_f64(vv, vld1q_f64(base.add(2 * t))));
+            }
+        }
+    }
+    for (t, a) in acc.iter().enumerate() {
+        vst1q_f64(op.add(2 * t), *a);
+    }
+}
+
+/// One GEMM output row from zero, ascending `k`, exact zeros skipped.
+///
+/// # Safety
+/// Requires NEON; call only after [`super::Backend::Neon`]'s
+/// `supported()` returned true (the dispatcher guarantees this).
+#[target_feature(enable = "neon")]
+pub unsafe fn gemm_row(a_row: &[f64], b: &[f64], n: usize, out_row: &mut [f64], fast: bool) {
+    debug_assert_eq!(out_row.len(), n);
+    let mut j = 0;
+    while j + 16 <= n {
+        gemm_block::<8>(a_row, b, n, out_row, j, fast);
+        j += 16;
+    }
+    while j + 2 <= n {
+        gemm_block::<1>(a_row, b, n, out_row, j, fast);
+        j += 2;
+    }
+    if j < n {
+        out_row[j] = 0.0;
+        for (k, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            out_row[j] += a * b[k * n + j];
+        }
+    }
+}
+
+/// A `T`-accumulator GEMM register block starting from zero.
+#[target_feature(enable = "neon")]
+unsafe fn gemm_block<const T: usize>(
+    a_row: &[f64],
+    b: &[f64],
+    n: usize,
+    out_row: &mut [f64],
+    j: usize,
+    fast: bool,
+) {
+    debug_assert!(j + 2 * T <= n);
+    let mut acc = [vdupq_n_f64(0.0); T];
+    let bp = b.as_ptr();
+    if fast {
+        for (k, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let base = bp.add(k * n + j);
+            let av = vdupq_n_f64(a);
+            for (t, ac) in acc.iter_mut().enumerate() {
+                *ac = vfmaq_f64(*ac, av, vld1q_f64(base.add(2 * t)));
+            }
+        }
+    } else {
+        for (k, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let base = bp.add(k * n + j);
+            let av = vdupq_n_f64(a);
+            for (t, ac) in acc.iter_mut().enumerate() {
+                *ac = vaddq_f64(*ac, vmulq_f64(av, vld1q_f64(base.add(2 * t))));
+            }
+        }
+    }
+    let op = out_row.as_mut_ptr().add(j);
+    for (t, ac) in acc.iter().enumerate() {
+        vst1q_f64(op.add(2 * t), *ac);
+    }
+}
+
+/// `out += a · x` element-wise (lane-independent ⇒ strict-safe).
+///
+/// # Safety
+/// Requires NEON; call only after [`super::Backend::Neon`]'s
+/// `supported()` returned true (the dispatcher guarantees this).
+#[target_feature(enable = "neon")]
+pub unsafe fn axpy(out: &mut [f64], a: f64, x: &[f64], fast: bool) {
+    debug_assert_eq!(out.len(), x.len());
+    let n = out.len();
+    let av = vdupq_n_f64(a);
+    let op = out.as_mut_ptr();
+    let xp = x.as_ptr();
+    let mut i = 0;
+    if fast {
+        while i + 2 <= n {
+            vst1q_f64(
+                op.add(i),
+                vfmaq_f64(vld1q_f64(op.add(i)), av, vld1q_f64(xp.add(i))),
+            );
+            i += 2;
+        }
+    } else {
+        while i + 2 <= n {
+            let r = vaddq_f64(vld1q_f64(op.add(i)), vmulq_f64(av, vld1q_f64(xp.add(i))));
+            vst1q_f64(op.add(i), r);
+            i += 2;
+        }
+    }
+    while i < n {
+        out[i] += a * x[i];
+        i += 1;
+    }
+}
+
+/// Fast-mode dot product: 4 vector accumulators with FMA, horizontally
+/// reduced at the end. Reassociates — never used in strict mode.
+///
+/// # Safety
+/// Requires NEON; call only after [`super::Backend::Neon`]'s
+/// `supported()` returned true (the dispatcher guarantees this).
+#[target_feature(enable = "neon")]
+pub unsafe fn dot_fast(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc = [vdupq_n_f64(0.0); 4];
+    let mut i = 0;
+    while i + 8 <= n {
+        for (t, ac) in acc.iter_mut().enumerate() {
+            *ac = vfmaq_f64(
+                *ac,
+                vld1q_f64(ap.add(i + 2 * t)),
+                vld1q_f64(bp.add(i + 2 * t)),
+            );
+        }
+        i += 8;
+    }
+    while i + 2 <= n {
+        acc[0] = vfmaq_f64(acc[0], vld1q_f64(ap.add(i)), vld1q_f64(bp.add(i)));
+        i += 2;
+    }
+    let s = vaddq_f64(vaddq_f64(acc[0], acc[1]), vaddq_f64(acc[2], acc[3]));
+    let mut total = vaddvq_f64(s);
+    while i < n {
+        total += a[i] * b[i];
+        i += 1;
+    }
+    total
+}

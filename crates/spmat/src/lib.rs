@@ -11,6 +11,10 @@
 //!   with GEMM and the element-wise operations GCN training uses.
 //! * [`spmm`] — parallel cache-blocked CSR × dense kernels, the local
 //!   workhorse of every distributed algorithm variant.
+//! * [`kernel`] — runtime-dispatched SIMD backends (AVX2/NEON/scalar)
+//!   under the row kernels, with a strict bit-exact default mode and an
+//!   opt-in fast (FMA) mode.
+//! * [`alloc`] — 64-byte-aligned `f64` buffers backing dense storage.
 //! * [`pool`] — dependency-free scoped-thread worker pool the kernels
 //!   run on (deterministic chunked scheduling, bit-identical to serial).
 //! * [`gen`] — synthetic graph generators (R-MAT, planted partition,
@@ -18,6 +22,7 @@
 //! * [`dataset`] — scaled-down analogues of the paper's four evaluation
 //!   datasets (Reddit, Amazon, Protein, Papers).
 
+pub mod alloc;
 pub mod coo;
 pub mod csr;
 pub mod dataset;
@@ -25,6 +30,7 @@ pub mod dense;
 pub mod gen;
 pub mod graph;
 pub mod io;
+pub mod kernel;
 pub mod pool;
 pub mod spmm;
 

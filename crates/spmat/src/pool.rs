@@ -30,11 +30,15 @@ use std::sync::{Mutex, OnceLock};
 /// Process-wide thread count; 0 means "auto" (env var, then hardware).
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// Hardware parallelism (1 when it cannot be determined).
+/// Hardware parallelism (1 when it cannot be determined). Queried once
+/// and cached — kernels consult it on every dispatch.
 pub fn hardware_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Resolved "auto" thread count: `GNN_THREADS` if set to a positive
@@ -68,12 +72,16 @@ pub fn current_threads() -> usize {
 pub const PAR_MIN_ITEMS: usize = 1 << 13;
 
 /// Clamps a requested thread count to what a problem of `work_items`
-/// total elements can usefully use (1 when the problem is small).
+/// total elements can usefully use: 1 when the problem is small, and
+/// never more than the hardware parallelism — oversubscribed workers
+/// just time-slice one core, which slows the kernel down and pollutes
+/// speedup measurements (results are unaffected either way: chunk
+/// boundaries don't depend on the worker count).
 pub fn effective_threads(threads: usize, work_items: usize) -> usize {
     if work_items < PAR_MIN_ITEMS {
         1
     } else {
-        threads.max(1)
+        threads.max(1).min(hardware_threads())
     }
 }
 
@@ -245,8 +253,21 @@ mod tests {
     #[test]
     fn effective_threads_serializes_small_work() {
         assert_eq!(effective_threads(8, 10), 1);
-        assert_eq!(effective_threads(8, PAR_MIN_ITEMS), 8);
+        assert_eq!(
+            effective_threads(8, PAR_MIN_ITEMS),
+            8.min(hardware_threads())
+        );
         assert_eq!(effective_threads(0, PAR_MIN_ITEMS), 1);
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_hardware() {
+        let hw = hardware_threads();
+        assert!(hw >= 1);
+        assert_eq!(effective_threads(10_000, PAR_MIN_ITEMS), hw);
+        // At or below the hardware count the request is honored.
+        assert_eq!(effective_threads(1, PAR_MIN_ITEMS), 1);
+        assert_eq!(effective_threads(hw, PAR_MIN_ITEMS), hw);
     }
 
     #[test]

@@ -6,28 +6,27 @@
 //!
 //! The kernels are row-parallel over the [`crate::pool`] worker pool and
 //! cache-blocked: output rows are processed in fixed chunks of
-//! [`SPMM_CHUNK_ROWS`], and within a row the dense operand is tiled in
-//! [`FTILE`]-column panels so the output tile stays register/L1-resident
-//! while rows of `H` stream through. Empty sparse rows are skipped before
-//! any dense work, and all inner loops run over pre-sliced windows so the
-//! compiler can drop bounds checks.
+//! [`SPMM_CHUNK_ROWS`], and each row runs through the
+//! [`crate::kernel`] dispatch layer — AVX2/NEON register-blocked SIMD
+//! when the host supports it, the portable scalar tile loop otherwise.
+//! Dispatch is resolved **once per matrix operation**, not per row.
+//! Empty sparse rows are skipped before any dense work.
 //!
 //! **Determinism:** each output row is produced by exactly one worker and
 //! accumulates its nonzeros in CSR order, exactly like the serial loop —
 //! so results are bit-identical at every thread count (asserted by
-//! `tests/parallel_kernels.rs` at 1, 2, 4 and 7 threads).
+//! `tests/parallel_kernels.rs` at 1, 2, 4 and 7 threads). In the default
+//! strict kernel mode this holds on every SIMD backend too; see the
+//! [`crate::kernel`] determinism contract.
 
 use crate::csr::Csr;
 use crate::dense::Dense;
+use crate::kernel::{self, Kernels};
 use crate::pool;
 
 /// Rows per scheduling chunk. Fixed (independent of the thread count) so
 /// chunk boundaries — and therefore results — never depend on parallelism.
 pub const SPMM_CHUNK_ROWS: usize = 64;
-
-/// Column-tile width over the dense operand: 64 f64 = one 512-byte output
-/// tile, small enough to stay in registers/L1 across the nnz stream.
-const FTILE: usize = 64;
 
 /// `C = A · H` for CSR `A` (`m × k`) and dense `H` (`k × f`), using the
 /// process-wide thread count ([`pool::current_threads`]).
@@ -65,15 +64,18 @@ pub fn spmm_acc_with(a: &Csr, h: &Dense, out: &mut Dense, threads: usize) {
         return;
     }
     let t = pool::effective_threads(threads, 2 * a.nnz() * f);
+    // Resolve (backend, mode) once for the whole operation; the worker
+    // closure captures the plain Copy value.
+    let ker = kernel::active();
     pool::for_each_chunk_mut(t, out.data_mut(), SPMM_CHUNK_ROWS * f, |ci, out_chunk| {
-        spmm_row_chunk(a, h, ci * SPMM_CHUNK_ROWS, out_chunk, f);
+        spmm_row_chunk(ker, a, h, ci * SPMM_CHUNK_ROWS, out_chunk, f);
     });
 }
 
 /// Serial kernel for one chunk of output rows (`out_chunk` holds
 /// `row0 .. row0 + out_chunk.len()/f`). Accumulation order per output
 /// element is CSR nonzero order — identical to the historical serial loop.
-fn spmm_row_chunk(a: &Csr, h: &Dense, row0: usize, out_chunk: &mut [f64], f: usize) {
+fn spmm_row_chunk(ker: Kernels, a: &Csr, h: &Dense, row0: usize, out_chunk: &mut [f64], f: usize) {
     let h_data = h.data();
     for (i, out_row) in out_chunk.chunks_exact_mut(f).enumerate() {
         let r = row0 + i;
@@ -82,21 +84,7 @@ fn spmm_row_chunk(a: &Csr, h: &Dense, row0: usize, out_chunk: &mut [f64], f: usi
             continue; // skip empty rows before touching any dense data
         }
         let vals = a.row_vals(r);
-        // Column tiling: keep one FTILE-wide output window hot while the
-        // row's nonzeros stream rows of H through it.
-        let mut ft = 0;
-        while ft < f {
-            let fe = (ft + FTILE).min(f);
-            let out_t = &mut out_row[ft..fe];
-            for (&c, &v) in cols.iter().zip(vals) {
-                let base = c as usize * f;
-                let h_t = &h_data[base + ft..base + fe];
-                for (o, &x) in out_t.iter_mut().zip(h_t) {
-                    *o += v * x;
-                }
-            }
-            ft = fe;
-        }
+        ker.spmm_row(cols, vals, h_data, f, out_row);
     }
 }
 
@@ -118,6 +106,7 @@ pub fn spmm_naive(a: &Csr, h: &Dense) -> Dense {
 mod tests {
     use super::*;
     use crate::coo::Coo;
+    use crate::kernel::scalar::FTILE;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
