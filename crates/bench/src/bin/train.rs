@@ -14,7 +14,7 @@
 //!       [--failover] [--checkpoint-every N] [--max-restarts N]
 //!       [--watchdog-ms N]
 //!       [--trace [PREFIX]] [--trace-format jsonl|chrome|both]
-//!       [--metrics-out FILE]
+//!       [--metrics-out FILE] [--metrics-interval SECS]
 //! ```
 //!
 //! `--backend proc` (Unix only) runs every rank as a **real OS
@@ -24,8 +24,19 @@
 //! generation from the newest disk checkpoint when a rank process dies
 //! — including genuinely SIGKILL'd ranks. Results are bit-identical to
 //! the thread backend. Thread-only features are rejected up front:
-//! `--failover`, `--trace`, and `--inject-crash` (kill the rank process
-//! instead; that is the point of the backend).
+//! `--failover` and `--inject-crash` (kill the rank process instead;
+//! that is the point of the backend).
+//!
+//! `--trace` on the process backend records a **dual-clock** trace:
+//! each rank process writes `<proc-dir>/trace-rank<N>.jsonl` with both
+//! modeled and monotonic wall timestamps, rank 0 publishes the
+//! rendezvous-estimated `clock-offsets.json`, and the launcher merges
+//! everything onto one offset-aligned wall axis under the `--trace`
+//! prefix (same artifacts as the thread backend, plus wall columns).
+//! `--metrics-interval SECS` (proc only) makes every rank append a
+//! live transport-metrics snapshot to `<proc-dir>/metrics-rank<N>.jsonl`
+//! at that period while the supervisor aggregates the latest snapshots
+//! into `<proc-dir>/metrics.jsonl`.
 //!
 //! Trains on the simulated distributed runtime, prints the loss/accuracy
 //! trajectory and the modeled communication/compute cost summary. The
@@ -103,6 +114,8 @@ struct Args {
     trace_prefix: Option<PathBuf>,
     trace_format: TraceFormat,
     metrics_out: Option<PathBuf>,
+    /// `--metrics-interval` in seconds (proc backend live snapshots).
+    metrics_interval: Option<f64>,
     backend_proc: bool,
     /// `--ranks` was given (proc-backend spelling of the world size).
     ranks_flag: bool,
@@ -112,6 +125,10 @@ struct Args {
 }
 
 fn parse() -> Result<Args, String> {
+    parse_from(std::env::args().skip(1))
+}
+
+fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut a = Args {
         dataset: "protein".into(),
         mtx: None,
@@ -144,12 +161,13 @@ fn parse() -> Result<Args, String> {
         trace_prefix: None,
         trace_format: TraceFormat::Both,
         metrics_out: None,
+        metrics_interval: None,
         backend_proc: false,
         ranks_flag: false,
         proc_dir: None,
         proc_child: None,
     };
-    let mut it = std::env::args().skip(1).peekable();
+    let mut it = args.into_iter().peekable();
     let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or(format!("{flag} needs a value"))
     };
@@ -342,6 +360,17 @@ fn parse() -> Result<Args, String> {
                 a.trace_format = TraceFormat::parse(&next(&mut it, "--trace-format")?)?
             }
             "--metrics-out" => a.metrics_out = Some(PathBuf::from(next(&mut it, "--metrics-out")?)),
+            "--metrics-interval" => {
+                let v = next(&mut it, "--metrics-interval")?;
+                a.metrics_interval = Some(
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|s| s.is_finite() && *s > 0.0)
+                        .ok_or(format!(
+                            "--metrics-interval wants a positive number of seconds, got {v}"
+                        ))?,
+                );
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -360,7 +389,8 @@ fn usage() -> String {
      [--inject-crash RANK@EPOCH] [--slow-rank RANK:FACTOR] [--drop-prob X] \
      [--corrupt-prob X] [--fault-seed N] [--failover] [--checkpoint-every N] \
      [--max-restarts N] [--watchdog-ms N] [--threads N] \
-     [--trace [PREFIX]] [--trace-format jsonl|chrome|both] [--metrics-out FILE]"
+     [--trace [PREFIX]] [--trace-format jsonl|chrome|both] [--metrics-out FILE] \
+     [--metrics-interval SECS]"
         .to_string()
 }
 
@@ -385,6 +415,14 @@ fn validate_backend_flags(a: &Args) -> Result<(), String> {
                     .into(),
             );
         }
+        if a.metrics_interval.is_some() {
+            return Err(
+                "--metrics-interval streams live transport metrics from rank processes and \
+                 only applies to --backend proc; the thread backend writes one summary via \
+                 --metrics-out instead"
+                    .into(),
+            );
+        }
         return Ok(());
     }
     if cfg!(not(unix)) {
@@ -399,13 +437,6 @@ fn validate_backend_flags(a: &Args) -> Result<(), String> {
             "--failover (in-place replica failover) only works on the thread backend; \
              the process backend recovers dead ranks via checkpoint restart instead — \
              drop --failover, or use --backend thread"
-                .into(),
-        );
-    }
-    if a.trace {
-        return Err(
-            "--trace collects spans in shared memory and only works on the thread backend; \
-             drop --trace, or use --backend thread"
                 .into(),
         );
     }
@@ -465,8 +496,10 @@ fn load_dataset(a: &Args) -> Result<Dataset, String> {
 /// Parent side of `--backend proc`: supervise one re-exec'd child per
 /// rank; each child re-parses the same CLI and rebuilds the identical
 /// deterministic scenario, so nothing needs to be serialized to them.
+/// Returns the outcome plus the rendezvous directory (where traced
+/// runs leave their per-rank artifacts for [`merge_proc_traces`]).
 #[cfg(unix)]
-fn run_proc_parent(args: &Args) -> Result<gnn_core::DistOutcome, String> {
+fn run_proc_parent(args: &Args) -> Result<(gnn_core::DistOutcome, PathBuf), String> {
     let dir = args
         .proc_dir
         .clone()
@@ -482,16 +515,52 @@ fn run_proc_parent(args: &Args) -> Result<gnn_core::DistOutcome, String> {
         args.p,
         dir.display()
     );
-    gnn_core::supervise_proc_training(args.p, &dir, args.max_restarts, |rank| {
-        std::process::Command::new(&exe)
-            .args(&forwarded)
-            .arg("--proc-dir")
-            .arg(&dir)
-            .arg("--proc-child")
-            .arg(rank.to_string())
-            .spawn()
-    })
-    .map_err(|e| e.to_string())
+    let interval = args.metrics_interval.map(Duration::from_secs_f64);
+    let metrics_ms = interval.map(|iv| (iv.as_millis().max(1)).to_string());
+    let out =
+        gnn_core::supervise_proc_training_with(args.p, &dir, args.max_restarts, interval, |rank| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.args(&forwarded)
+                .arg("--proc-dir")
+                .arg(&dir)
+                .arg("--proc-child")
+                .arg(rank.to_string());
+            if let Some(ms) = &metrics_ms {
+                cmd.env("GNN_PROC_METRICS_MS", ms);
+            }
+            cmd.spawn()
+        })
+        .map_err(|e| e.to_string())?;
+    Ok((out, dir))
+}
+
+/// Stitches a traced proc run back together: loads every rank's
+/// `trace-rank<N>.jsonl` plus the rendezvous `clock-offsets.json`
+/// sidecar from `dir` and merges them onto one offset-aligned wall
+/// axis (the same pipeline as `trace-report --merge`).
+#[cfg(unix)]
+fn merge_proc_traces(dir: &std::path::Path, p: usize) -> Result<gnn_trace::WorldTrace, String> {
+    let mut traces = Vec::with_capacity(p);
+    for rank in 0..p {
+        let path = gnn_core::trace_rank_path(dir, rank);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        traces.push(
+            gnn_trace::parse_jsonl(&text).map_err(|e| format!("parse {}: {e}", path.display()))?,
+        );
+    }
+    let sidecar = dir.join("clock-offsets.json");
+    let offsets = match std::fs::read_to_string(&sidecar) {
+        Ok(text) => Some(gnn_trace::parse_offsets_json(&text)?),
+        Err(e) => {
+            eprintln!(
+                "warning: no clock-offset sidecar ({}: {e}); merging uncorrected",
+                sidecar.display()
+            );
+            None
+        }
+    };
+    gnn_trace::merge_aligned(traces, offsets.as_deref())
 }
 
 fn main() -> ExitCode {
@@ -674,7 +743,17 @@ fn main() -> ExitCode {
         #[cfg(unix)]
         {
             match run_proc_parent(&args) {
-                Ok(out) => out,
+                Ok((mut out, dir)) => {
+                    if args.trace {
+                        // Per-rank dual-clock files → one aligned trace,
+                        // reported exactly like a thread-backend run.
+                        match merge_proc_traces(&dir, args.p) {
+                            Ok(merged) => out.trace = Some(merged),
+                            Err(m) => eprintln!("warning: could not merge rank traces: {m}"),
+                        }
+                    }
+                    out
+                }
                 Err(m) => {
                     eprintln!("training failed: {m}");
                     return ExitCode::FAILURE;
@@ -796,4 +875,72 @@ fn main() -> ExitCode {
     }
     println!("simulation wall time: {wall:.1}s");
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Result<Args, String> {
+        parse_from(list.iter().map(|s| s.to_string()))
+    }
+
+    fn validated(list: &[&str]) -> Result<(), String> {
+        validate_backend_flags(&args(list).expect("flags should parse"))
+    }
+
+    /// The proc backend records dual-clock traces now; the old
+    /// mutual-exclusion is gone.
+    #[test]
+    fn proc_backend_accepts_trace() {
+        assert_eq!(
+            validated(&["--backend", "proc", "--ranks", "4", "--trace"]),
+            Ok(())
+        );
+        assert_eq!(
+            validated(&[
+                "--backend",
+                "proc",
+                "--ranks",
+                "2",
+                "--trace",
+                "--metrics-interval",
+                "0.5",
+            ]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn proc_backend_still_rejects_thread_only_fault_flags() {
+        let err = validated(&["--backend", "proc", "--failover"]).unwrap_err();
+        assert!(err.contains("--failover"), "{err}");
+        let err = validated(&["--backend", "proc", "--inject-crash", "1@3"]).unwrap_err();
+        assert!(err.contains("--inject-crash"), "{err}");
+    }
+
+    #[test]
+    fn metrics_interval_needs_proc_backend() {
+        let err = validated(&["--metrics-interval", "1"]).unwrap_err();
+        assert!(err.contains("--backend proc"), "{err}");
+    }
+
+    #[test]
+    fn metrics_interval_parses_positive_seconds_only() {
+        assert_eq!(
+            args(&["--metrics-interval", "0.25"])
+                .unwrap()
+                .metrics_interval,
+            Some(0.25)
+        );
+        assert!(args(&["--metrics-interval", "0"]).is_err());
+        assert!(args(&["--metrics-interval", "-1"]).is_err());
+        assert!(args(&["--metrics-interval", "nan"]).is_err());
+    }
+
+    #[test]
+    fn ranks_without_proc_backend_still_rejected() {
+        let err = validated(&["--ranks", "4"]).unwrap_err();
+        assert!(err.contains("--backend proc"), "{err}");
+    }
 }

@@ -6,7 +6,8 @@ use std::path::{Path, PathBuf};
 
 use gnn_comm::WorldStats;
 use gnn_trace::{
-    chrome_trace_string, jsonl_string, text_timeline, write_to_file, BottleneckReport, WorldTrace,
+    chrome_trace_string, chrome_trace_string_wall, jsonl_string, text_timeline, write_to_file,
+    BottleneckReport, WorldTrace,
 };
 
 /// Which exporter(s) `--trace` writes.
@@ -50,7 +51,9 @@ pub fn default_prefix(label: &str) -> PathBuf {
 
 /// Writes the selected trace artifacts for `prefix`
 /// (`<prefix>.jsonl` and/or `<prefix>.chrome.json`) and returns the
-/// paths written.
+/// paths written. Dual-clock traces (process backend) get the
+/// wall-axis Chrome exporter so Perfetto shows measured time; the
+/// modeled axis rides along in each slice's args.
 pub fn write_trace(
     prefix: &Path,
     format: TraceFormat,
@@ -64,7 +67,12 @@ pub fn write_trace(
     }
     if format.chrome() {
         let path = prefix.with_extension("chrome.json");
-        write_to_file(&path, &chrome_trace_string(trace))?;
+        let chrome = if trace.has_wall() {
+            chrome_trace_string_wall(trace)
+        } else {
+            chrome_trace_string(trace)
+        };
+        write_to_file(&path, &chrome)?;
         written.push(path);
     }
     Ok(written)

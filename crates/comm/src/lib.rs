@@ -51,7 +51,7 @@ pub use ctx::{OverlapConfig, PendingOp, RankCtx};
 pub use error::{BlockedRank, DeadlockReport, EpochAbortPanic, WaitKind, WorldError};
 pub use fault::{Fault, FaultInjector, FaultPlan, SendFate};
 pub use gnn_trace::{SpanKind, WorldTrace};
-pub use stats::{FaultCounters, Phase, RankStats, WorldStats};
+pub use stats::{FaultCounters, Phase, ProcCounters, RankStats, WorldStats};
 #[cfg(unix)]
 pub use transport::proc::{ProcError, ProcWorld};
 pub use world::ThreadWorld;

@@ -118,6 +118,32 @@ impl OverlapCounters {
     }
 }
 
+/// Process-backend link-layer counters for one rank: real socket events
+/// (reconnects, replay retransmits, heartbeat misses) that have no
+/// thread-backend analogue. Always present — and always zero — on
+/// thread-backed runs, so both backends emit a comparable metrics
+/// schema.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProcCounters {
+    /// Successful dialer-side reconnects after a transient link loss.
+    pub reconnects: u64,
+    /// Reliable frames retransmitted from the replay queue when a
+    /// replacement connection was installed.
+    pub replayed_frames: u64,
+    /// Liveness-monitor ticks that observed a peer past one heartbeat
+    /// period of silence (each tick past the threshold counts once per
+    /// silent peer).
+    pub heartbeat_misses: u64,
+}
+
+impl ProcCounters {
+    fn merge(&mut self, o: &ProcCounters) {
+        self.reconnects += o.reconnects;
+        self.replayed_frames += o.replayed_frames;
+        self.heartbeat_misses += o.heartbeat_misses;
+    }
+}
+
 /// Per-rank accounting across all phases.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RankStats {
@@ -126,6 +152,8 @@ pub struct RankStats {
     pub faults: FaultCounters,
     /// Pipelined-overlap accounting (all zero for blocking runs).
     pub overlap: OverlapCounters,
+    /// Process-backend link-layer counters (zero on thread runs).
+    pub proc: ProcCounters,
 }
 
 impl RankStats {
@@ -193,6 +221,7 @@ impl RankStats {
         }
         self.faults.merge(&other.faults);
         self.overlap.merge(&other.overlap);
+        self.proc.merge(&other.proc);
     }
 }
 
@@ -357,6 +386,21 @@ impl WorldStats {
             .sum()
     }
 
+    /// Sum over ranks of process-backend reconnects (zero on thread runs).
+    pub fn total_reconnects(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.proc.reconnects).sum()
+    }
+
+    /// Sum over ranks of replay-queue frames retransmitted on reconnect.
+    pub fn total_replayed_frames(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.proc.replayed_frames).sum()
+    }
+
+    /// Sum over ranks of heartbeat-miss observations.
+    pub fn total_heartbeat_misses(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.proc.heartbeat_misses).sum()
+    }
+
     /// Flattens the world's accounting into a [`gnn_trace::MetricsRegistry`]
     /// — the unification point between `RankStats` and the trace/metrics
     /// artifacts (`--metrics-out`).
@@ -376,6 +420,12 @@ impl WorldStats {
             "faults.duplicates_discarded",
             self.total_duplicates_discarded(),
         );
+        // Proc-only link-layer counters are exported unconditionally
+        // (zero for thread runs) so both backends produce the same
+        // metrics schema and dashboards can diff them directly.
+        reg.counter("proc.reconnects", self.total_reconnects());
+        reg.counter("proc.replayed_frames", self.total_replayed_frames());
+        reg.counter("proc.heartbeat_misses", self.total_heartbeat_misses());
         reg.counter("overlap.stages", self.total_overlap_stages());
         reg.gauge(
             "overlap.hidden_seconds",

@@ -29,6 +29,18 @@
 //!   missed heartbeats and fail over to the trainer's
 //!   checkpoint-restart ladder.
 //!
+//! * **Observability** — every link keeps live transport metrics
+//!   (frame send latency / receive-gap histograms, retransmit /
+//!   reconnect / heartbeat-miss counters, wire-vs-logical byte gauges)
+//!   in [`Shared`]; with `GNN_PROC_METRICS_MS=<n>` each rank appends a
+//!   periodic JSONL snapshot (`metrics-rank<r>.jsonl`) the supervisor
+//!   can aggregate while a run is in flight. The rendezvous handshake
+//!   ends with an NTP-style clock-offset exchange (CLOCK_PING/PONG
+//!   request/reply midpoint) so rank 0 can estimate every peer's
+//!   monotonic-clock offset and write `clock-offsets.json` — the
+//!   sidecar `trace-report --merge` uses to align per-rank wall-clock
+//!   traces onto one axis.
+//!
 //! Set `GNN_PROC_DROP_CONN_AFTER=<n>` to forcibly shut one connection
 //! down after the n-th DATA send — a deterministic transient-fault hook
 //! the reconnect tests use.
@@ -44,6 +56,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use gnn_trace::{Histogram, MetricsRegistry, RankTracer};
 
 use crate::cost::CostModel;
 use crate::ctx::RankCtx;
@@ -206,6 +220,75 @@ impl Peer {
     }
 }
 
+// ---- Transport metrics ----------------------------------------------------
+
+/// Live link-layer metrics for one rank process: lock-free counters on
+/// the frame path plus two mutex-guarded latency histograms (socket
+/// writes are already serialized per peer, so the lock is uncontended).
+/// Snapshot at any time via [`Shared::metrics_registry`].
+struct TransportMetrics {
+    /// Successful dialer-side reconnects.
+    reconnects: AtomicU64,
+    /// Reliable frames retransmitted from the replay queue when a
+    /// (re)connection was installed.
+    replayed_frames: AtomicU64,
+    /// Monitor ticks that saw a peer silent past one heartbeat period.
+    heartbeat_misses: AtomicU64,
+    /// Encoded frame bytes pushed onto sockets (headers included).
+    wire_bytes_sent: AtomicU64,
+    /// Encoded frame bytes read off sockets (headers included).
+    wire_bytes_recv: AtomicU64,
+    /// DATA frame body bytes sent (the logical payload volume).
+    data_bytes_sent: AtomicU64,
+    /// DATA frame body bytes received.
+    data_bytes_recv: AtomicU64,
+    /// Blocking write+flush latency per reliable frame, microseconds.
+    frame_send_us: Mutex<Histogram>,
+    /// Gap between consecutive received frames (any peer), microseconds.
+    frame_recv_gap_us: Mutex<Histogram>,
+    /// Elapsed-µs stamp of the last received frame (`u64::MAX` = none).
+    last_recv_us: AtomicU64,
+}
+
+impl TransportMetrics {
+    /// Power-of-two microsecond buckets from 1 µs to ~1 s.
+    fn us_buckets() -> Histogram {
+        Histogram::new((0..=20).map(|e| 1u64 << e).collect())
+    }
+
+    fn new() -> Self {
+        TransportMetrics {
+            reconnects: AtomicU64::new(0),
+            replayed_frames: AtomicU64::new(0),
+            heartbeat_misses: AtomicU64::new(0),
+            wire_bytes_sent: AtomicU64::new(0),
+            wire_bytes_recv: AtomicU64::new(0),
+            data_bytes_sent: AtomicU64::new(0),
+            data_bytes_recv: AtomicU64::new(0),
+            frame_send_us: Mutex::new(Self::us_buckets()),
+            frame_recv_gap_us: Mutex::new(Self::us_buckets()),
+            last_recv_us: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    fn record_send(&self, wire_len: u64, dur_us: u64) {
+        self.wire_bytes_sent.fetch_add(wire_len, Ordering::Relaxed);
+        if let Ok(mut h) = self.frame_send_us.lock() {
+            h.record(dur_us);
+        }
+    }
+
+    fn record_recv(&self, wire_len: u64, now_us: u64) {
+        self.wire_bytes_recv.fetch_add(wire_len, Ordering::Relaxed);
+        let prev = self.last_recv_us.swap(now_us, Ordering::Relaxed);
+        if prev != u64::MAX {
+            if let Ok(mut h) = self.frame_recv_gap_us.lock() {
+                h.record(now_us.saturating_sub(prev));
+            }
+        }
+    }
+}
+
 // ---- Shared state ---------------------------------------------------------
 
 struct Shared {
@@ -230,11 +313,57 @@ struct Shared {
     drop_after: Option<u64>,
     drop_fired: AtomicBool,
     log: Mutex<File>,
+    /// Live link-layer metrics (snapshot via [`Shared::metrics_registry`]).
+    metrics: TransportMetrics,
 }
 
 impl Shared {
     fn now_ms(&self) -> u64 {
         self.start.elapsed().as_millis() as u64
+    }
+
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Snapshots the live transport metrics into a registry under
+    /// `proc.*` keys — the per-rank half of the `--metrics-interval`
+    /// stream and the source for [`crate::ProcCounters`] at run end.
+    fn metrics_registry(&self) -> MetricsRegistry {
+        let m = &self.metrics;
+        let mut reg = MetricsRegistry::new();
+        reg.counter("proc.reconnects", m.reconnects.load(Ordering::Relaxed));
+        reg.counter(
+            "proc.replayed_frames",
+            m.replayed_frames.load(Ordering::Relaxed),
+        );
+        reg.counter(
+            "proc.heartbeat_misses",
+            m.heartbeat_misses.load(Ordering::Relaxed),
+        );
+        reg.gauge(
+            "proc.wire_bytes_sent",
+            m.wire_bytes_sent.load(Ordering::Relaxed) as f64,
+        );
+        reg.gauge(
+            "proc.wire_bytes_recv",
+            m.wire_bytes_recv.load(Ordering::Relaxed) as f64,
+        );
+        reg.gauge(
+            "proc.data_bytes_sent",
+            m.data_bytes_sent.load(Ordering::Relaxed) as f64,
+        );
+        reg.gauge(
+            "proc.data_bytes_recv",
+            m.data_bytes_recv.load(Ordering::Relaxed) as f64,
+        );
+        if let Ok(h) = m.frame_send_us.lock() {
+            reg.hist("proc.frame_send_us", h.clone());
+        }
+        if let Ok(h) = m.frame_recv_gap_us.lock() {
+            reg.hist("proc.frame_recv_gap_us", h.clone());
+        }
+        reg
     }
 
     fn log(&self, msg: &str) {
@@ -253,6 +382,7 @@ impl Shared {
         let mut conn = peer.conn.lock().unwrap();
         let link_seq = conn.next_link_seq;
         conn.next_link_seq += 1;
+        let body_len = body.len() as u64;
         let frame = Frame {
             kind: kind_byte,
             src: self.rank as u32,
@@ -262,6 +392,7 @@ impl Shared {
         let bytes = wire::encode_frame(&frame);
         conn.replay.push_back((link_seq, bytes.clone()));
         if let Some(stream) = conn.stream.as_mut() {
+            let t0 = Instant::now();
             if stream
                 .write_all(&bytes)
                 .and_then(|_| stream.flush())
@@ -269,9 +400,15 @@ impl Shared {
             {
                 let _ = stream.shutdown(Shutdown::Both);
                 conn.stream = None;
+            } else {
+                self.metrics
+                    .record_send(bytes.len() as u64, t0.elapsed().as_micros() as u64);
             }
         }
         if kind_byte == kind::DATA {
+            self.metrics
+                .data_bytes_sent
+                .fetch_add(body_len, Ordering::Relaxed);
             let n = self.data_sent.fetch_add(1, Ordering::SeqCst) + 1;
             if let Some(after) = self.drop_after {
                 if n >= after && !self.drop_fired.swap(true, Ordering::SeqCst) {
@@ -291,9 +428,15 @@ impl Shared {
     fn send_control(&self, dst: usize, frame: &Frame) {
         let mut conn = self.peers[dst].conn.lock().unwrap();
         if let Some(stream) = conn.stream.as_mut() {
+            let t0 = Instant::now();
             if wire::write_frame(stream, frame).is_err() {
                 let _ = stream.shutdown(Shutdown::Both);
                 conn.stream = None;
+            } else {
+                self.metrics.record_send(
+                    wire::FRAME_OVERHEAD + frame.body.len() as u64,
+                    t0.elapsed().as_micros() as u64,
+                );
             }
         }
     }
@@ -425,6 +568,10 @@ fn install_conn(
         if ok {
             let _ = w.flush();
             conn.stream = Some(w);
+            shared
+                .metrics
+                .replayed_frames
+                .fetch_add(conn.replay.len() as u64, Ordering::Relaxed);
         } else {
             // The fresh connection is already broken; its reader will
             // notice and retry.
@@ -458,6 +605,16 @@ fn reader_loop(shared: Arc<Shared>, q: usize, stream: UnixStream, epoch: u64) {
                 shared.peers[q]
                     .last_seen_ms
                     .store(shared.now_ms(), Ordering::SeqCst);
+                shared.metrics.record_recv(
+                    wire::FRAME_OVERHEAD + frame.body.len() as u64,
+                    shared.now_us(),
+                );
+                if frame.kind == kind::DATA {
+                    shared
+                        .metrics
+                        .data_bytes_recv
+                        .fetch_add(frame.body.len() as u64, Ordering::Relaxed);
+                }
                 route_frame(&shared, q, frame);
             }
             Ok(None) => break "EOF".to_string(),
@@ -592,6 +749,7 @@ fn reconnect_loop(shared: &Arc<Shared>, q: usize) {
         }
         match dial_peer(shared, q, &path) {
             Ok(()) => {
+                shared.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
                 shared.log(&format!("reconnected to rank {q}"));
                 return;
             }
@@ -710,6 +868,15 @@ fn monitor_loop(shared: Arc<Shared>) {
             }
             shared.send_control(q, &Frame::control(kind::HEARTBEAT, shared.rank));
             let age = now.saturating_sub(peer.last_seen_ms.load(Ordering::SeqCst));
+            if age > period_ms {
+                // Each tick past one beacon period of silence is one
+                // observed miss; `miss` consecutive observations is
+                // death below.
+                shared
+                    .metrics
+                    .heartbeat_misses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             if age > u64::from(shared.miss) * period_ms {
                 shared.mark_peer_dead(q, &format!("no frames for {age} ms"));
             }
@@ -729,13 +896,57 @@ fn mesh_path(dir: &Path, rank: usize) -> String {
         .into_owned()
 }
 
-/// Rank 0: collect REGISTER(path) from every other rank, then reply to
-/// each with the full ADDRBOOK.
+/// File rank 0 writes its rendezvous-estimated per-rank clock offsets
+/// into (consumed by `trace-report --merge` to align wall clocks).
+pub(crate) fn clock_offsets_path(dir: &Path) -> PathBuf {
+    dir.join("clock-offsets.json")
+}
+
+/// Rank 0: runs the NTP-style midpoint exchange against one held
+/// rendezvous stream. Three CLOCK_PING/PONG round trips; the minimum-RTT
+/// sample wins (least queueing noise). The returned offset is
+/// `t1 − (t0 + t2)/2` — what to *subtract* from the peer's wall reading
+/// to land it on rank 0's clock axis.
+fn estimate_clock_offset(stream: &UnixStream, src: usize, anchor: &Instant) -> io::Result<f64> {
+    let mut best_rtt = f64::INFINITY;
+    let mut best_offset = 0.0f64;
+    for _ in 0..3 {
+        let t0 = anchor.elapsed().as_secs_f64();
+        wire::write_frame(&mut &*stream, &Frame::control(kind::CLOCK_PING, 0))?;
+        let pong = wire::read_frame(&mut &*stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF before CLOCK_PONG"))?;
+        let t2 = anchor.elapsed().as_secs_f64();
+        if pong.kind != kind::CLOCK_PONG || pong.src as usize != src {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected CLOCK_PONG",
+            ));
+        }
+        let t1 = f64::from_bits(pong.body_u64()?);
+        if !t1.is_finite() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "non-finite CLOCK_PONG timestamp",
+            ));
+        }
+        let rtt = t2 - t0;
+        if rtt < best_rtt {
+            best_rtt = rtt;
+            best_offset = t1 - 0.5 * (t0 + t2);
+        }
+    }
+    Ok(best_offset)
+}
+
+/// Rank 0: collect REGISTER(path) from every other rank, estimate each
+/// registrant's clock offset over the held stream, then reply to each
+/// with the full ADDRBOOK. Offsets land in `clock-offsets.json`.
 fn rendezvous_serve(
     dir: &Path,
     p: usize,
     my_path: &str,
     deadline: Instant,
+    anchor: &Instant,
 ) -> io::Result<Vec<String>> {
     let rv_path = rendezvous_path(dir);
     let _ = fs::remove_file(&rv_path);
@@ -785,6 +996,17 @@ fn rendezvous_serve(
         }
     }
     let paths: Vec<String> = book.into_iter().map(|b| b.unwrap()).collect();
+    // Clock-offset estimation rides the held rendezvous streams before
+    // the ADDRBOOK release: every peer is parked in `rendezvous_join`
+    // answering pings, so the exchange sees rendezvous-quality latency.
+    let mut offsets = vec![0.0f64; p];
+    for (src, stream) in &conns {
+        offsets[*src] = estimate_clock_offset(stream, *src, anchor)?;
+    }
+    fs::write(
+        clock_offsets_path(dir),
+        gnn_trace::merge::offsets_json(&offsets),
+    )?;
     let body = wire::encode_addrbook(&paths);
     for (_, mut stream) in conns {
         let frame = Frame {
@@ -800,12 +1022,14 @@ fn rendezvous_serve(
 }
 
 /// Non-zero ranks: dial the rendezvous socket (retrying while rank 0
-/// boots), REGISTER our mesh path, and wait for the ADDRBOOK.
+/// boots), REGISTER our mesh path, answer rank 0's clock-offset pings,
+/// and wait for the ADDRBOOK.
 fn rendezvous_join(
     dir: &Path,
     rank: usize,
     my_path: &str,
     deadline: Instant,
+    anchor: &Instant,
 ) -> io::Result<Vec<String>> {
     let rv_path = rendezvous_path(dir);
     let mut stream = loop {
@@ -831,14 +1055,30 @@ fn rendezvous_join(
     wire::write_frame(&mut stream, &frame)?;
     let remaining = deadline.saturating_duration_since(Instant::now());
     stream.set_read_timeout(Some(remaining.max(Duration::from_millis(100))))?;
-    let reply = wire::read_frame(&mut &stream)?
-        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF before ADDRBOOK"))?;
-    if reply.kind != kind::ADDRBOOK {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "expected ADDRBOOK",
-        ));
-    }
+    let reply = loop {
+        let frame = wire::read_frame(&mut &stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF before ADDRBOOK"))?;
+        match frame.kind {
+            kind::CLOCK_PING => {
+                // Reply with our monotonic reading immediately — the
+                // midpoint estimate's accuracy is bounded by this
+                // turnaround.
+                let pong = Frame::with_u64(
+                    kind::CLOCK_PONG,
+                    rank,
+                    anchor.elapsed().as_secs_f64().to_bits(),
+                );
+                wire::write_frame(&mut &stream, &pong)?;
+            }
+            kind::ADDRBOOK => break frame,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "expected CLOCK_PING or ADDRBOOK",
+                ));
+            }
+        }
+    };
     wire::decode_addrbook(&reply.body)
 }
 
@@ -879,17 +1119,26 @@ impl ProcTransport {
             .ok()
             .and_then(|v| v.parse::<u64>().ok());
 
-        let deadline = Instant::now() + timeout;
+        // One anchor serves both clocks-of-record: it is `Shared.start`
+        // (heartbeat ages, log stamps) *and* the wall-clock zero the
+        // tracer and the rendezvous offset estimation share — so the
+        // offsets rank 0 writes apply directly to trace timestamps.
+        let start = Instant::now();
+        let deadline = start + timeout;
         let my_path = mesh_path(dir, rank);
         let _ = fs::remove_file(&my_path);
         let listener = UnixListener::bind(&my_path)?;
 
         let addrbook = if p == 1 {
+            fs::write(
+                clock_offsets_path(dir),
+                gnn_trace::merge::offsets_json(&[0.0]),
+            )?;
             vec![my_path.clone()]
         } else if rank == 0 {
-            rendezvous_serve(dir, p, &my_path, deadline)?
+            rendezvous_serve(dir, p, &my_path, deadline, &start)?
         } else {
-            rendezvous_join(dir, rank, &my_path, deadline)?
+            rendezvous_join(dir, rank, &my_path, deadline, &start)?
         };
         if addrbook.len() != p {
             return Err(io::Error::new(
@@ -930,7 +1179,7 @@ impl ProcTransport {
             timeout,
             heartbeat,
             miss,
-            start: Instant::now(),
+            start,
             addrbook,
             peers,
             dead: Mutex::new(Vec::new()),
@@ -941,6 +1190,7 @@ impl ProcTransport {
             drop_after,
             drop_fired: AtomicBool::new(false),
             log: Mutex::new(log),
+            metrics: TransportMetrics::new(),
         });
         shared.log(&format!("rank {rank}/{p} rendezvous complete"));
 
@@ -1196,6 +1446,8 @@ pub struct ProcWorld {
     heartbeat: Duration,
     miss: u32,
     injector: Option<Arc<FaultInjector>>,
+    tracing: bool,
+    metrics_interval: Option<Duration>,
 }
 
 impl ProcWorld {
@@ -1203,7 +1455,9 @@ impl ProcWorld {
     /// paths only: Unix socket paths are limited to ~100 bytes).
     ///
     /// Heartbeat period and miss threshold honor the
-    /// `GNN_PROC_HEARTBEAT_MS` / `GNN_PROC_MISS` environment overrides.
+    /// `GNN_PROC_HEARTBEAT_MS` / `GNN_PROC_MISS` environment overrides;
+    /// `GNN_PROC_METRICS_MS=<n>` turns on the periodic live-metrics
+    /// snapshot stream (`metrics-rank<r>.jsonl` under `dir`).
     pub fn new(p: usize, model: CostModel, dir: impl Into<PathBuf>) -> Self {
         assert!(p > 0, "need at least one rank");
         let heartbeat = std::env::var("GNN_PROC_HEARTBEAT_MS")
@@ -1215,6 +1469,11 @@ impl ProcWorld {
             .ok()
             .and_then(|v| v.parse::<u32>().ok())
             .unwrap_or(DEFAULT_MISS);
+        let metrics_interval = std::env::var("GNN_PROC_METRICS_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis);
         ProcWorld {
             p,
             model,
@@ -1223,6 +1482,8 @@ impl ProcWorld {
             heartbeat,
             miss: miss.max(1),
             injector: None,
+            tracing: false,
+            metrics_interval,
         }
     }
 
@@ -1249,6 +1510,16 @@ impl ProcWorld {
         }
     }
 
+    /// Enables dual-clock structured tracing: the rank body records
+    /// every op with both its modeled-time stamp and a monotonic
+    /// wall-clock offset anchored at the transport's connect instant —
+    /// the same anchor the rendezvous clock-offset exchange measures,
+    /// so `trace-report --merge` can align per-rank traces.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
     /// Runs this process's rank body over the socket mesh. Returns the
     /// body's output and the rank's modeled stats, or a structured
     /// error when wire-up fails or the body panics (peer death,
@@ -1258,6 +1529,20 @@ impl ProcWorld {
         rank: usize,
         f: impl FnOnce(&mut RankCtx) -> R,
     ) -> Result<(R, RankStats), ProcError> {
+        self.run_rank_traced(rank, f)
+            .map(|(out, stats, _tracer)| (out, stats))
+    }
+
+    /// Like [`ProcWorld::run_rank`], but also returns the rank's
+    /// dual-clock tracer when [`ProcWorld::with_tracing`] enabled it —
+    /// the caller writes it out as this process's `trace-rank<r>.jsonl`.
+    /// Stats gain the live transport counters (reconnects, replayed
+    /// frames, heartbeat misses) observed during the run.
+    pub fn run_rank_traced<R>(
+        &self,
+        rank: usize,
+        f: impl FnOnce(&mut RankCtx) -> R,
+    ) -> Result<(R, RankStats, Option<Box<RankTracer>>), ProcError> {
         assert!(rank < self.p, "rank {rank} out of range (p={})", self.p);
         // Structured panics are caught below; the guard keeps the
         // default hook from spraying backtraces for expected failures.
@@ -1271,24 +1556,38 @@ impl ProcWorld {
             self.miss,
         )?;
         let shared = transport.shared.clone();
+        let tracer = self
+            .tracing
+            .then(|| Box::new(RankTracer::with_wall_anchor(rank, shared.start)));
+        if let Some(interval) = self.metrics_interval {
+            let shared = shared.clone();
+            let path = self.dir.join(format!("metrics-rank{rank}.jsonl"));
+            let _ = std::thread::Builder::new()
+                .name(format!("proc-metrics-{rank}"))
+                .spawn(move || metrics_snapshot_loop(shared, path, interval));
+        }
         let mut ctx = RankCtx::new(
             rank,
             self.p,
             self.model,
             Box::new(transport),
             self.injector.clone(),
-            None,
+            tracer,
             false,
         );
         let result = catch_unwind(AssertUnwindSafe(|| {
             let out = f(&mut ctx);
-            let (stats, _tracer) = ctx.into_parts();
-            (out, stats)
+            let (stats, tracer) = ctx.into_parts();
+            (out, stats, tracer)
         }));
         match result {
-            Ok((out, stats)) => {
+            Ok((out, mut stats, tracer)) => {
+                let m = &shared.metrics;
+                stats.proc.reconnects = m.reconnects.load(Ordering::Relaxed);
+                stats.proc.replayed_frames = m.replayed_frames.load(Ordering::Relaxed);
+                stats.proc.heartbeat_misses = m.heartbeat_misses.load(Ordering::Relaxed);
                 shared.begin_shutdown();
-                Ok((out, stats))
+                Ok((out, stats, tracer))
             }
             Err(payload) => {
                 let message = describe_panic(payload.as_ref());
@@ -1296,6 +1595,42 @@ impl ProcWorld {
                 shared.abort_shutdown();
                 Err(ProcError::RankPanicked { rank, message })
             }
+        }
+    }
+}
+
+/// Periodic live-metrics snapshotter: appends one self-describing JSONL
+/// line per interval to `metrics-rank<r>.jsonl`, plus a final line at
+/// shutdown, so long chaos/soak runs are inspectable in flight (the
+/// supervisor tails the last line of each rank's stream and aggregates).
+fn metrics_snapshot_loop(shared: Arc<Shared>, path: PathBuf, interval: Duration) {
+    let mut file = match OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(f) => f,
+        Err(_) => return,
+    };
+    loop {
+        let wake = Instant::now() + interval;
+        let mut done = false;
+        while Instant::now() < wake {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                done = true;
+                break;
+            }
+            std::thread::sleep(SLICE.min(interval));
+        }
+        let line = format!(
+            "{{\"schema\":\"{}\",\"type\":\"metrics\",\"rank\":{},\"wall\":{},\"metrics\":{}}}",
+            gnn_trace::SCHEMA_VERSION,
+            shared.rank,
+            gnn_trace::json::fmt_f64(shared.start.elapsed().as_secs_f64()),
+            shared.metrics_registry().metrics_json(),
+        );
+        if writeln!(file, "{line}").is_err() {
+            return;
+        }
+        let _ = file.flush();
+        if done {
+            return;
         }
     }
 }

@@ -37,11 +37,20 @@ pub(crate) mod kind {
     pub const REGISTER: u8 = 8;
     /// Rendezvous reply: body is every rank's mesh socket path.
     pub const ADDRBOOK: u8 = 9;
+    /// Clock-offset probe from rank 0 during rendezvous (empty body).
+    pub const CLOCK_PING: u8 = 10;
+    /// Clock-offset reply: body is the replying rank's monotonic clock
+    /// reading (seconds since its transport anchor) as `f64::to_bits`.
+    pub const CLOCK_PONG: u8 = 11;
 }
 
 /// Hard cap on a single frame (1 GiB) so a corrupted length prefix
 /// cannot trigger an absurd allocation.
 const MAX_FRAME: u32 = 1 << 30;
+
+/// Encoded bytes a frame occupies beyond its body: the u32 length
+/// prefix plus the kind/src/link_seq header (metrics accounting).
+pub(crate) const FRAME_OVERHEAD: u64 = 4 + 1 + 4 + 8;
 
 /// One decoded frame.
 #[derive(Clone, Debug, PartialEq)]

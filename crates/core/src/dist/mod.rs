@@ -25,7 +25,10 @@ pub use overlap::{
 };
 pub use plan::{even_bounds, Plan15d, Plan1d};
 #[cfg(unix)]
-pub use proc::{run_rank_proc, supervise_proc_training, ProcTrainError};
+pub use proc::{
+    metrics_aggregate_path, metrics_rank_path, run_rank_proc, supervise_proc_training,
+    supervise_proc_training_with, trace_rank_path, ProcTrainError,
+};
 pub use trainer::{
     train_distributed, try_train_distributed, try_train_distributed_with_store, Algo, DistConfig,
     DistOutcome, RobustnessConfig,

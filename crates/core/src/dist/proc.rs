@@ -20,14 +20,18 @@
 
 #![cfg(unix)]
 
-use std::fs;
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
 use std::io::{self, Write};
 use std::os::unix::process::ExitStatusExt;
 use std::path::{Path, PathBuf};
 use std::process::{Child, ExitStatus};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gnn_comm::stats::PHASES;
+use gnn_comm::trace::json::{self as trace_json, Json};
+use gnn_comm::trace::merge::single_rank_trace;
+use gnn_comm::trace::{jsonl_string, SCHEMA_VERSION};
 use gnn_comm::{ProcError, ProcWorld, RankStats, WorldStats};
 use spmat::dataset::Dataset;
 use spmat::Dense;
@@ -52,6 +56,24 @@ fn pid_path(dir: &Path, rank: usize) -> PathBuf {
     dir.join(format!("rank{rank}.pid"))
 }
 
+/// Per-rank dual-clock trace file (written when `cfg.trace` is set;
+/// stitch with `trace-report --merge`).
+pub fn trace_rank_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("trace-rank{rank}.jsonl"))
+}
+
+/// Per-rank live-metrics snapshot stream (written when the launcher
+/// sets `GNN_PROC_METRICS_MS` on the children).
+pub fn metrics_rank_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("metrics-rank{rank}.jsonl"))
+}
+
+/// Supervisor-aggregated metrics stream (one line per interval, summed
+/// over the ranks' latest snapshots).
+pub fn metrics_aggregate_path(dir: &Path) -> PathBuf {
+    dir.join("metrics.jsonl")
+}
+
 /// Runs one rank of a process-backed training world: the child half of
 /// `train --backend proc`. Blocks until the whole world finishes the
 /// run (or this rank fails), then publishes this rank's results as a
@@ -67,21 +89,30 @@ pub fn run_rank_proc(
     rank: usize,
 ) -> Result<(), ProcError> {
     assert!(
-        !cfg.trace,
-        "structured tracing is not supported on the process backend"
-    );
-    assert!(
         !cfg.robust.failover,
         "replica failover is not supported on the process backend"
     );
     let (p, plan) = build_plan(ds, bounds, cfg);
-    let mut world = ProcWorld::new(p, cfg.model, dir).with_timeout(cfg.robust.timeout);
+    let mut world = ProcWorld::new(p, cfg.model, dir)
+        .with_timeout(cfg.robust.timeout)
+        .with_tracing(cfg.trace);
     if let Some(faults) = cfg.robust.faults.as_ref().filter(|f| !f.is_empty()) {
         world = world.with_faults(faults.clone());
     }
     let store = DiskCheckpointStore::new(dir.join(CKPT_SUBDIR))?;
-    let ((records, weights), stats) =
-        world.run_rank(rank, |ctx| run_rank(ctx, ds, cfg, &plan, &store))?;
+    let ((records, weights), stats, tracer) =
+        world.run_rank_traced(rank, |ctx| run_rank(ctx, ds, cfg, &plan, &store))?;
+    if let Some(tracer) = tracer {
+        // This process only knows its own timeline; it publishes a
+        // single-rank partial trace (world size p, other ranks empty)
+        // that `trace-report --merge` unions and clock-aligns using
+        // rank 0's rendezvous offset estimates.
+        let (mut events, hist) = tracer.finish();
+        events.sort_by_key(|e| e.seq);
+        let mut trace = single_rank_trace(p, rank, events);
+        trace.msg_sizes.merge(&hist);
+        fs::write(trace_rank_path(dir, rank), jsonl_string(&trace))?;
+    }
     write_outcome(dir, rank, &records, &weights, &stats)?;
     Ok(())
 }
@@ -143,6 +174,23 @@ pub fn supervise_proc_training(
     p: usize,
     dir: &Path,
     max_restarts: usize,
+    spawn: impl FnMut(usize) -> io::Result<Child>,
+) -> Result<DistOutcome, ProcTrainError> {
+    supervise_proc_training_with(p, dir, max_restarts, None, spawn)
+}
+
+/// [`supervise_proc_training`] plus live-metrics aggregation: when
+/// `metrics_interval` is set (and the launcher exported
+/// `GNN_PROC_METRICS_MS` so children stream `metrics-rank<r>.jsonl`),
+/// the supervisor periodically reads each rank's latest snapshot line,
+/// sums the numeric fields across ranks, and appends the world-level
+/// aggregate to `<dir>/metrics.jsonl` — a live view of a run that may
+/// still be hours from its end-of-run `--metrics-out` artifact.
+pub fn supervise_proc_training_with(
+    p: usize,
+    dir: &Path,
+    max_restarts: usize,
+    metrics_interval: Option<Duration>,
     mut spawn: impl FnMut(usize) -> io::Result<Child>,
 ) -> Result<DistOutcome, ProcTrainError> {
     assert!(p > 0, "need at least one rank");
@@ -150,6 +198,7 @@ pub fn supervise_proc_training(
     let store = DiskCheckpointStore::new(dir.join(CKPT_SUBDIR))?;
     let mut restarts = 0;
     let mut resume_points = Vec::new();
+    let mut next_snapshot = metrics_interval.map(|iv| Instant::now() + iv);
 
     loop {
         // Stale state from a previous generation must not be mistaken
@@ -209,10 +258,20 @@ pub fn supervise_proc_training(
             if !running {
                 break;
             }
+            if let (Some(iv), Some(due)) = (metrics_interval, next_snapshot) {
+                if Instant::now() >= due {
+                    append_aggregate_snapshot(p, dir);
+                    next_snapshot = Some(Instant::now() + iv);
+                }
+            }
             std::thread::sleep(POLL);
         }
 
         if failures.is_empty() {
+            if metrics_interval.is_some() {
+                // Close the live stream with the ranks' final snapshots.
+                append_aggregate_snapshot(p, dir);
+            }
             return collect_outcome(p, dir, restarts, resume_points).map_err(Into::into);
         }
         if restarts >= max_restarts {
@@ -220,6 +279,64 @@ pub fn supervise_proc_training(
         }
         restarts += 1;
         resume_points.push(store.resume_epoch().unwrap_or(0));
+    }
+}
+
+/// Reads the latest snapshot line from each rank's metrics stream, sums
+/// every numeric field across ranks (histograms are per-rank shapes and
+/// are skipped), and appends one aggregate line to `metrics.jsonl`.
+/// Ranks that have not written yet are skipped; the aggregate reports
+/// how many contributed. Best-effort by design: a torn or half-written
+/// line only delays the aggregate until the next interval.
+fn append_aggregate_snapshot(p: usize, dir: &Path) {
+    let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+    let mut wall: f64 = 0.0;
+    let mut ranks_seen = 0usize;
+    for rank in 0..p {
+        let Ok(text) = fs::read_to_string(metrics_rank_path(dir, rank)) else {
+            continue;
+        };
+        let Some(line) = text.lines().rev().find(|l| !l.trim().is_empty()) else {
+            continue;
+        };
+        let Ok(v) = trace_json::parse(line) else {
+            continue;
+        };
+        if let Some(w) = v.get("wall").and_then(Json::as_f64) {
+            wall = wall.max(w);
+        }
+        let Some(Json::Obj(metrics)) = v.get("metrics") else {
+            continue;
+        };
+        for (k, mv) in metrics {
+            if let Json::Num(n) = mv {
+                *sums.entry(k.clone()).or_insert(0.0) += n;
+            }
+        }
+        ranks_seen += 1;
+    }
+    if ranks_seen == 0 {
+        return;
+    }
+    let mut line = format!(
+        "{{\"schema\":\"{SCHEMA_VERSION}\",\"type\":\"metrics\",\"ranks\":{ranks_seen},\"wall\":{},\"metrics\":{{",
+        trace_json::fmt_f64(wall)
+    );
+    for (i, (k, v)) in sums.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&trace_json::quote(k));
+        line.push(':');
+        line.push_str(&trace_json::fmt_f64(*v));
+    }
+    line.push_str("}}");
+    if let Ok(mut f) = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(metrics_aggregate_path(dir))
+    {
+        let _ = writeln!(f, "{line}");
     }
 }
 
@@ -329,6 +446,11 @@ fn write_outcome(
         ov.raw_comm_seconds.to_bits(),
         ov.hidden_seconds.to_bits()
     ));
+    let pc = &stats.proc;
+    out.push_str(&format!(
+        "proc {} {} {}\n",
+        pc.reconnects, pc.replayed_frames, pc.heartbeat_misses
+    ));
     out.push_str("end\n");
 
     // Publish atomically so a half-written file is never collected.
@@ -433,6 +555,10 @@ fn decode_outcome(text: &str) -> io::Result<(Vec<EpochRecord>, Weights, RankStat
     stats.overlap.stages = t.u64()?;
     stats.overlap.raw_comm_seconds = t.f64_bits()?;
     stats.overlap.hidden_seconds = t.f64_bits()?;
+    t.word("proc")?;
+    stats.proc.reconnects = t.u64()?;
+    stats.proc.replayed_frames = t.u64()?;
+    stats.proc.heartbeat_misses = t.u64()?;
     t.word("end")?;
     Ok((records, Weights { mats }, stats))
 }
@@ -470,6 +596,9 @@ mod tests {
         stats.faults.retries = 3;
         stats.overlap.stages = 9;
         stats.overlap.hidden_seconds = 2.5e-4;
+        stats.proc.reconnects = 2;
+        stats.proc.replayed_frames = 11;
+        stats.proc.heartbeat_misses = 5;
 
         let dir = std::env::temp_dir().join(format!("gnn-outc-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);

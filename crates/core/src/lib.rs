@@ -22,7 +22,10 @@ pub mod optim;
 pub mod reference;
 
 #[cfg(unix)]
-pub use dist::{run_rank_proc, supervise_proc_training, ProcTrainError};
+pub use dist::{
+    metrics_aggregate_path, metrics_rank_path, run_rank_proc, supervise_proc_training,
+    supervise_proc_training_with, trace_rank_path, ProcTrainError,
+};
 pub use dist::{
     train_distributed, try_train_distributed, try_train_distributed_with_store, Algo,
     CheckpointBackend, DiskCheckpointStore, DistConfig, DistOutcome, RobustnessConfig,

@@ -1,0 +1,198 @@
+//! End-to-end observability on the process backend: a traced 4-rank
+//! run must leave per-rank dual-clock JSONL traces, the rendezvous
+//! clock-offset sidecar, and live metrics snapshots — and the merge
+//! pipeline must stitch them into one schema-valid, offset-aligned
+//! trace.
+//!
+//! Same launcher pattern as `proc_training.rs`: the parent re-executes
+//! this test binary once per rank; each child detects its role via
+//! `GNN_PROC_RANK` and runs [`gnn_core::run_rank_proc`] with tracing
+//! armed.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::time::Duration;
+
+use gnn_comm::trace::json::{parse, Json};
+use gnn_comm::trace::merge::parse_offsets_json;
+use gnn_comm::trace::{jsonl_string, merge_aligned, parse_jsonl, validate_jsonl, WorldTrace};
+use gnn_comm::CostModel;
+use gnn_core::dist::even_bounds;
+use gnn_core::{
+    metrics_aggregate_path, metrics_rank_path, run_rank_proc, supervise_proc_training_with,
+    trace_rank_path, Algo, DistConfig, GcnConfig,
+};
+use spmat::dataset::{reddit_scaled, Dataset};
+
+const TEST_NAME: &str = "traced_proc_run_emits_mergeable_dual_clock_artifacts";
+const P: usize = 4;
+const EPOCHS: usize = 4;
+
+/// The deterministic scenario every process rebuilds, with the tracer
+/// armed (`cfg.trace = true` is the whole point of this test).
+fn scenario() -> (Dataset, Vec<usize>, DistConfig) {
+    let ds = reddit_scaled(7, 11); // 128 vertices
+    let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
+    let bounds = even_bounds(ds.n(), P);
+    let mut cfg = DistConfig::new(
+        Algo::OneD { aware: true },
+        gcn,
+        EPOCHS,
+        CostModel::perlmutter_like(),
+    );
+    cfg.robust.timeout = Duration::from_secs(30);
+    cfg.trace = true;
+    (ds, bounds, cfg)
+}
+
+fn maybe_run_child() -> bool {
+    if std::env::var("GNN_PROC_TEST").as_deref() != Ok(TEST_NAME) {
+        return false;
+    }
+    let rank: usize = std::env::var("GNN_PROC_RANK").unwrap().parse().unwrap();
+    let dir = PathBuf::from(std::env::var("GNN_PROC_DIR").unwrap());
+    let (ds, bounds, cfg) = scenario();
+    run_rank_proc(&ds, &bounds, &cfg, &dir, rank).expect("proc rank failed");
+    true
+}
+
+fn spawner(dir: PathBuf) -> impl FnMut(usize) -> std::io::Result<Child> {
+    move |rank| {
+        Command::new(std::env::current_exe().expect("current_exe"))
+            .arg(TEST_NAME)
+            .arg("--exact")
+            .arg("--nocapture")
+            .arg("--test-threads=1")
+            .env("GNN_PROC_TEST", TEST_NAME)
+            .env("GNN_PROC_RANK", rank.to_string())
+            .env("GNN_PROC_DIR", &dir)
+            // Fast enough that a sub-second run still snapshots live.
+            .env("GNN_PROC_METRICS_MS", "50")
+            .spawn()
+    }
+}
+
+/// Every wall-stamped event of each rank must be monotone in sequence
+/// order — the wall cursor never goes backwards, and a per-rank shift
+/// (offset alignment) must preserve that.
+fn assert_rank_walls_monotonic(trace: &WorldTrace, label: &str) {
+    for (rank, events) in trace.per_rank.iter().enumerate() {
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| e.seq);
+        let mut last = f64::NEG_INFINITY;
+        for e in &sorted {
+            assert!(
+                e.has_wall(),
+                "{label}: rank {rank} seq {} lost its wall stamp",
+                e.seq
+            );
+            assert!(
+                e.t_wall >= last,
+                "{label}: rank {rank} wall time went backwards at seq {} ({} < {last})",
+                e.seq,
+                e.t_wall
+            );
+            last = e.t_wall;
+        }
+    }
+}
+
+#[test]
+fn traced_proc_run_emits_mergeable_dual_clock_artifacts() {
+    if maybe_run_child() {
+        return;
+    }
+    let dir = PathBuf::from(format!("/tmp/gnntrace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    let out = supervise_proc_training_with(
+        P,
+        &dir,
+        0,
+        Some(Duration::from_millis(50)),
+        spawner(dir.clone()),
+    )
+    .expect("traced process-backed run");
+    assert_eq!(out.restarts, 0, "clean run needs no restart");
+
+    // Per-rank dual-clock traces: schema-valid, fully wall-stamped.
+    let mut traces = Vec::with_capacity(P);
+    for rank in 0..P {
+        let path = trace_rank_path(&dir, rank);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("rank {rank} trace missing at {}: {e}", path.display()));
+        let summary = validate_jsonl(&text)
+            .unwrap_or_else(|e| panic!("rank {rank} trace fails validation: {e}"));
+        assert_eq!(summary.p, P, "rank {rank} header world size");
+        assert!(summary.events > 0, "rank {rank} recorded no events");
+        assert_eq!(
+            summary.wall_events, summary.events,
+            "rank {rank}: every proc-backend event must be wall-stamped"
+        );
+        traces.push(parse_jsonl(&text).expect("validated trace must parse"));
+    }
+
+    // The rendezvous sidecar: one offset per rank, rank 0 pinned to 0.
+    let sidecar = std::fs::read_to_string(dir.join("clock-offsets.json"))
+        .expect("rank 0 must publish the clock-offset sidecar");
+    let offsets = parse_offsets_json(&sidecar).expect("sidecar parses");
+    assert_eq!(offsets.len(), P);
+    assert_eq!(offsets[0], 0.0, "rank 0 is its own reference clock");
+
+    // Merge + align: schema-valid, normalized to a 0-origin wall axis,
+    // per-rank monotonic, and deterministic given the same inputs.
+    let merged = merge_aligned(traces.clone(), Some(&offsets)).expect("merge");
+    let merged_jsonl = jsonl_string(&merged);
+    let summary = validate_jsonl(&merged_jsonl).expect("merged trace fails validation");
+    assert_eq!(summary.p, P);
+    assert_eq!(summary.wall_events, summary.events);
+    assert_rank_walls_monotonic(&merged, "merged");
+    let min_wall = merged
+        .per_rank
+        .iter()
+        .flatten()
+        .map(|e| e.t_wall)
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(min_wall, 0.0, "merged wall axis must start at exactly 0");
+    let again = merge_aligned(traces, Some(&offsets)).expect("re-merge");
+    assert_eq!(
+        merged_jsonl,
+        jsonl_string(&again),
+        "merging the same files twice must be byte-identical"
+    );
+
+    // Live metrics: every rank streamed snapshots and the supervisor
+    // aggregated them with the world-level shape.
+    for rank in 0..P {
+        let text = std::fs::read_to_string(metrics_rank_path(&dir, rank))
+            .unwrap_or_else(|e| panic!("rank {rank} metrics snapshots missing: {e}"));
+        let last = text.lines().rev().find(|l| !l.trim().is_empty()).unwrap();
+        let v = parse(last).expect("snapshot line parses");
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("metrics"));
+        assert_eq!(v.get("rank").and_then(Json::as_u64), Some(rank as u64));
+        assert!(
+            v.get("metrics")
+                .and_then(|m| m.get("proc.wire_bytes_sent"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+                > 0.0,
+            "rank {rank} snapshot must count wire traffic"
+        );
+    }
+    let agg = std::fs::read_to_string(metrics_aggregate_path(&dir))
+        .expect("supervisor aggregate metrics missing");
+    let last = agg.lines().rev().find(|l| !l.trim().is_empty()).unwrap();
+    let v = parse(last).expect("aggregate line parses");
+    assert_eq!(v.get("ranks").and_then(Json::as_u64), Some(P as u64));
+    let wire = v
+        .get("metrics")
+        .and_then(|m| m.get("proc.wire_bytes_sent"))
+        .and_then(Json::as_f64)
+        .expect("aggregate carries proc.wire_bytes_sent");
+    assert!(wire > 0.0, "aggregate wire traffic must be non-zero");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

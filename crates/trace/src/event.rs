@@ -161,7 +161,7 @@ impl EventKind {
 }
 
 /// One trace record. Fixed-size, `Copy`, heap-free.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug)]
 pub struct Event {
     /// Per-rank emission order. For spans, reserved at open time, so
     /// sorting a rank's events by `seq` yields pre-order span nesting.
@@ -189,6 +189,13 @@ pub struct Event {
     pub t_start: f64,
     /// Modeled duration, seconds.
     pub dur: f64,
+    /// Start offset on this rank's *wall-clock* axis, seconds since the
+    /// rank's monotonic anchor. [`f64::NAN`] when the tracer was
+    /// modeled-only (the legacy schema): wall fields never reach the
+    /// exporters then, so golden modeled traces stay byte-identical.
+    pub t_wall: f64,
+    /// Measured wall-clock duration, seconds ([`f64::NAN`] when absent).
+    pub wall_dur: f64,
 }
 
 impl Event {
@@ -196,7 +203,42 @@ impl Event {
     pub fn t_end(&self) -> f64 {
         self.t_start + self.dur
     }
+
+    /// True when this event carries the wall-clock axis (dual-clock
+    /// schema); both wall fields are present or neither is.
+    pub fn has_wall(&self) -> bool {
+        self.t_wall.is_finite()
+    }
+
+    /// End offset on the rank's wall-clock axis (NaN when absent).
+    pub fn wall_end(&self) -> f64 {
+        self.t_wall + self.wall_dur
+    }
 }
+
+// Manual impl: the NaN sentinel in the wall fields must compare equal to
+// itself (two modeled-only events with identical payloads are the same
+// event), so floats are compared by bit pattern.
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+            && self.parent == other.parent
+            && self.rank == other.rank
+            && self.epoch == other.epoch
+            && self.kind == other.kind
+            && self.phase == other.phase
+            && self.peer == other.peer
+            && self.bytes_sent == other.bytes_sent
+            && self.bytes_recv == other.bytes_recv
+            && self.flops == other.flops
+            && self.t_start.to_bits() == other.t_start.to_bits()
+            && self.dur.to_bits() == other.dur.to_bits()
+            && self.t_wall.to_bits() == other.t_wall.to_bits()
+            && self.wall_dur.to_bits() == other.wall_dur.to_bits()
+    }
+}
+
+impl Eq for Event {}
 
 #[cfg(test)]
 mod tests {

@@ -2,10 +2,13 @@
 //! (loadable in `chrome://tracing` / Perfetto), and a per-epoch text
 //! timeline.
 //!
-//! All exporters are deterministic: events are emitted in `(rank, seq)`
-//! order, numbers use Rust's shortest-roundtrip formatting, and no wall
-//! time ever reaches an exported field — two runs of the seeded
-//! simulator produce byte-identical artifacts.
+//! All exporters are deterministic functions of the trace: events are
+//! emitted in `(rank, seq)` order and numbers use Rust's
+//! shortest-roundtrip formatting. For modeled-only traces no wall time
+//! ever reaches an exported field, so two runs of the seeded simulator
+//! produce byte-identical artifacts; dual-clock traces additionally
+//! carry `wall_ts`/`wall_dur` per event (deterministic given the same
+//! recorded trace, but not across runs — wall time is measured).
 
 use std::fmt::Write as _;
 
@@ -66,10 +69,21 @@ fn write_event_json(out: &mut String, e: &Event) {
     }
     let _ = write!(
         out,
-        "\"ts\":{},\"dur\":{}}}",
+        "\"ts\":{},\"dur\":{}",
         fmt_f64(e.t_start),
         fmt_f64(e.dur)
     );
+    // Wall fields only exist on dual-clock traces; omitting them keeps
+    // modeled-only golden artifacts byte-identical to the legacy schema.
+    if e.has_wall() {
+        let _ = write!(
+            out,
+            ",\"wall_ts\":{},\"wall_dur\":{}",
+            fmt_f64(e.t_wall),
+            fmt_f64(e.wall_dur)
+        );
+    }
+    out.push('}');
 }
 
 /// Renders a trace as Chrome `trace_event` JSON (the "JSON Array
@@ -144,7 +158,95 @@ fn write_chrome_event(out: &mut String, e: &Event) {
     if e.flops > 0 {
         let _ = write!(out, ",\"flops\":{}", e.flops);
     }
+    if e.has_wall() {
+        let _ = write!(
+            out,
+            ",\"wall_ts\":{},\"wall_dur\":{}",
+            fmt_f64(e.t_wall),
+            fmt_f64(e.wall_dur)
+        );
+    }
     out.push_str("}}");
+}
+
+/// Renders a dual-clock trace as Chrome `trace_event` JSON on the
+/// **wall-clock** axis: slice positions and durations come from
+/// `wall_ts`/`wall_dur` (microseconds), with the modeled numbers kept
+/// in each slice's `args`. Events without wall stamps (legacy
+/// modeled-only inputs mixed into a merge) are skipped. This is the
+/// exporter behind `trace-report --merge`: after per-rank clock offsets
+/// are applied, every rank's slices share one aligned time base.
+pub fn chrome_trace_string_wall(trace: &WorldTrace) -> String {
+    let mut out = String::with_capacity(256 + trace.len() * 192);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    for rank in 0..trace.p() {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\
+             \"args\":{{\"name\":\"rank {rank}\"}}}}"
+        );
+    }
+    for events in &trace.per_rank {
+        for e in events {
+            if !e.has_wall() {
+                continue;
+            }
+            sep(&mut out);
+            let ts_us = e.t_wall * 1e6;
+            let dur_us = e.wall_dur * 1e6;
+            let name = e.kind.name();
+            if e.wall_dur > 0.0 || e.kind.is_span() {
+                let _ = write!(
+                    out,
+                    "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{}",
+                    quote(name),
+                    quote(e.phase.name()),
+                    e.rank,
+                    fmt_f64(ts_us),
+                    fmt_f64(dur_us)
+                );
+            } else {
+                let _ = write!(
+                    out,
+                    "{{\"name\":{},\"cat\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{}",
+                    quote(name),
+                    quote(e.phase.name()),
+                    e.rank,
+                    fmt_f64(ts_us)
+                );
+            }
+            let _ = write!(
+                out,
+                ",\"args\":{{\"epoch\":{},\"modeled_ts\":{},\"modeled_dur\":{}",
+                e.epoch,
+                fmt_f64(e.t_start),
+                fmt_f64(e.dur)
+            );
+            if e.peer != NO_PEER {
+                let _ = write!(out, ",\"peer\":{}", e.peer);
+            }
+            if e.bytes_sent > 0 {
+                let _ = write!(out, ",\"bytes_sent\":{}", e.bytes_sent);
+            }
+            if e.bytes_recv > 0 {
+                let _ = write!(out, ",\"bytes_recv\":{}", e.bytes_recv);
+            }
+            if e.flops > 0 {
+                let _ = write!(out, ",\"flops\":{}", e.flops);
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("\n]}\n");
+    out
 }
 
 /// Renders a per-epoch text timeline: for every epoch, one line per
@@ -159,16 +261,21 @@ pub fn text_timeline(trace: &WorldTrace) -> String {
         trace.p(),
         trace.len()
     );
+    let wall = trace.has_wall();
     for epoch in 0..=max_epoch.max(-1) {
         if max_epoch < 0 {
             break;
         }
         let _ = writeln!(out, "epoch {epoch}");
-        let _ = writeln!(
+        let _ = write!(
             out,
             "  {:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
             "rank", "total ms", "compute ms", "comm ms", "sent KB", "recv KB"
         );
+        if wall {
+            let _ = write!(out, "  {:>10}", "wall ms");
+        }
+        out.push('\n');
         let mut worst = (0usize, f64::MIN);
         let rows: Vec<_> = (0..trace.p())
             .map(|r| {
@@ -177,24 +284,28 @@ pub fn text_timeline(trace: &WorldTrace) -> String {
                 let compute = agg[Phase::LocalCompute.index()].seconds;
                 let sent: u64 = agg.iter().map(|a| a.bytes_sent).sum();
                 let recv: u64 = agg.iter().map(|a| a.bytes_recv).sum();
+                let wall_total: f64 = agg.iter().map(|a| a.wall_seconds).sum();
                 if total > worst.1 {
                     worst = (r, total);
                 }
-                (r, total, compute, sent, recv)
+                (r, total, compute, sent, recv, wall_total)
             })
             .collect();
-        for (r, total, compute, sent, recv) in rows {
-            let _ = writeln!(
+        for (r, total, compute, sent, recv, wall_total) in rows {
+            let _ = write!(
                 out,
-                "  {:>4}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.1}  {:>10.1}{}",
+                "  {:>4}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.1}  {:>10.1}",
                 r,
                 total * 1e3,
                 compute * 1e3,
                 (total - compute) * 1e3,
                 sent as f64 / 1024.0,
                 recv as f64 / 1024.0,
-                if r == worst.0 { "  ◀ max" } else { "" }
             );
+            if wall {
+                let _ = write!(out, "  {:>10.3}", wall_total * 1e3);
+            }
+            let _ = writeln!(out, "{}", if r == worst.0 { "  ◀ max" } else { "" });
         }
     }
     let mut any = false;
@@ -281,6 +392,69 @@ mod tests {
         assert!(s.contains("epoch 0"), "{s}");
         assert!(s.contains("◀ max"), "{s}");
         assert!(s.contains("p2p"), "{s}");
+    }
+
+    fn dual_trace() -> WorldTrace {
+        let mut t0 = RankTracer::with_wall_anchor(0, std::time::Instant::now());
+        t0.set_epoch(0);
+        t0.begin_span(SpanKind::Epoch, Phase::Other);
+        t0.op(EventKind::Send, Phase::P2p, Some(1), 64, 0, 0, 1e-4);
+        t0.end_span();
+        let mut t1 = RankTracer::with_wall_anchor(1, std::time::Instant::now());
+        t1.set_epoch(0);
+        t1.op(EventKind::Recv, Phase::P2p, Some(0), 0, 64, 0, 1e-4);
+        WorldTrace::collect(vec![t0, t1])
+    }
+
+    #[test]
+    fn modeled_only_jsonl_has_no_wall_fields() {
+        let s = jsonl_string(&tiny_trace());
+        assert!(!s.contains("wall_ts") && !s.contains("wall_dur"), "{s}");
+    }
+
+    #[test]
+    fn dual_clock_jsonl_carries_wall_fields_on_every_event() {
+        let s = jsonl_string(&dual_trace());
+        for line in s.lines().skip(1) {
+            let v = crate::json::parse(line).unwrap();
+            assert!(v.get("wall_ts").is_some(), "{line}");
+            assert!(v.get("wall_dur").is_some(), "{line}");
+            // The modeled axis still leads the pair.
+            assert!(v.get("ts").is_some() && v.get("dur").is_some());
+        }
+    }
+
+    #[test]
+    fn wall_chrome_export_is_valid_json_on_wall_axis() {
+        let trace = dual_trace();
+        let s = chrome_trace_string_wall(&trace);
+        let v = crate::json::parse(&s).unwrap();
+        let evs = match v.get("traceEvents").unwrap() {
+            crate::json::Json::Arr(a) => a,
+            other => panic!("{other:?}"),
+        };
+        // 2 thread_name metadata + 2 rank-0 + 1 rank-1 events.
+        assert_eq!(evs.len(), 5);
+        for e in evs.iter().filter(|e| e.get("cat").is_some()) {
+            let args = e.get("args").unwrap();
+            assert!(args.get("modeled_ts").is_some());
+        }
+        // Modeled-only events are skipped rather than exported at ts 0.
+        let legacy = chrome_trace_string_wall(&tiny_trace());
+        let v = crate::json::parse(&legacy).unwrap();
+        let evs = match v.get("traceEvents").unwrap() {
+            crate::json::Json::Arr(a) => a,
+            other => panic!("{other:?}"),
+        };
+        assert!(evs
+            .iter()
+            .all(|e| e.get("ph").unwrap().as_str() == Some("M")));
+    }
+
+    #[test]
+    fn timeline_gains_wall_column_only_for_dual_clock_traces() {
+        assert!(!text_timeline(&tiny_trace()).contains("wall ms"));
+        assert!(text_timeline(&dual_trace()).contains("wall ms"));
     }
 
     #[test]

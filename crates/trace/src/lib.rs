@@ -27,6 +27,9 @@
 //!   (the paper's Figs. 6–7 analysis as a first-class tool).
 //! * [`validate`] — a dependency-free schema validator for emitted
 //!   JSONL (used by tests and the CI smoke job).
+//! * [`merge`] — cross-process trace stitching: unions per-rank JSONL
+//!   files from the process backend and aligns their wall clocks with
+//!   the rendezvous-estimated per-rank offsets (`trace-report --merge`).
 //! * [`json`] — the minimal JSON parser backing `validate` and the
 //!   `trace-report` binary.
 //!
@@ -36,13 +39,19 @@
 //! epochs with tracing disabled perform no tracing work at all.
 //!
 //! Determinism: events are stamped with per-rank sequence numbers and
-//! modeled-time offsets only (wall time never enters an exported
-//! field), so two runs of the seeded simulator emit byte-identical
-//! JSONL.
+//! modeled-time offsets; a modeled-only recorder ([`RankTracer::new`])
+//! never exports a wall field, so two runs of the seeded simulator emit
+//! byte-identical JSONL. Dual-clock recorders
+//! ([`RankTracer::with_wall_anchor`], used by the process backend)
+//! additionally stamp every event with monotonic wall offsets — those
+//! traces are deterministic functions of the recorded run (re-exporting
+//! or merging the same files is byte-stable), but wall values naturally
+//! differ between runs.
 
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod merge;
 pub mod metrics;
 pub mod phase;
 pub mod recorder;
@@ -50,7 +59,10 @@ pub mod report;
 pub mod validate;
 
 pub use event::{Event, EventKind, SpanKind, NO_PARENT, NO_PEER};
-pub use export::{chrome_trace_string, jsonl_string, text_timeline, write_to_file};
+pub use export::{
+    chrome_trace_string, chrome_trace_string_wall, jsonl_string, text_timeline, write_to_file,
+};
+pub use merge::{merge_aligned, merge_world, offsets_json, parse_offsets_json};
 pub use metrics::{Histogram, MetricValue, MetricsRegistry};
 pub use phase::{Phase, PHASES};
 pub use recorder::{PhaseAgg, RankTracer, SpanNode, WorldTrace};

@@ -220,16 +220,13 @@ impl MetricsRegistry {
         self.map.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Deterministic JSON rendering:
-    /// `{"schema":"gnn-trace/1","metrics":{key:value,…}}` with counters
-    /// as integers, gauges as floats, histograms as objects.
-    pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(64 + self.map.len() * 48);
-        let _ = write!(
-            out,
-            "{{\"schema\":\"{}\",\"metrics\":{{",
-            crate::SCHEMA_VERSION
-        );
+    /// Deterministic JSON rendering of just the metrics map
+    /// (`{key:value,…}`, no schema wrapper): the building block for
+    /// embedding a registry in a larger object, e.g. one live-snapshot
+    /// line of a metrics JSONL stream.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::with_capacity(16 + self.map.len() * 48);
+        out.push('{');
         for (i, (k, v)) in self.map.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -245,7 +242,22 @@ impl MetricsRegistry {
                 MetricValue::Hist(h) => h.write_json(&mut out),
             }
         }
-        out.push_str("}}\n");
+        out.push('}');
+        out
+    }
+
+    /// Deterministic JSON rendering:
+    /// `{"schema":"gnn-trace/1","metrics":{key:value,…}}` with counters
+    /// as integers, gauges as floats, histograms as objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.map.len() * 48);
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{}\",\"metrics\":",
+            crate::SCHEMA_VERSION
+        );
+        out.push_str(&self.metrics_json());
+        out.push_str("}\n");
         out
     }
 }

@@ -12,6 +12,19 @@
 //! per-rank cursor by its modeled duration, so events form a timeline
 //! in the same currency the paper's epoch times are quoted in
 //! (deterministic, unlike wall time).
+//!
+//! A tracer built with [`RankTracer::with_wall_anchor`] is *dual-clock*:
+//! alongside the modeled cursor it keeps a wall-clock cursor measured
+//! against a monotonic [`Instant`] anchor, stamping every event with
+//! `t_wall`/`wall_dur` (seconds since the anchor). The modeled axis is
+//! untouched — golden modeled-time traces from [`RankTracer::new`]
+//! recorders stay byte-identical because absent wall fields (the NaN
+//! sentinel) are never exported. Wall durations attribute *elapsed*
+//! time: an op's `wall_dur` spans from the previous event's wall end to
+//! now, so gaps (blocking waits, scheduling) are charged to the op that
+//! ends them and per-rank wall timelines are gap-free and monotonic.
+
+use std::time::Instant;
 
 use crate::event::{Event, EventKind, SpanKind, NO_PARENT, NO_PEER};
 use crate::metrics::Histogram;
@@ -28,6 +41,8 @@ struct OpenSpan {
     phase: Phase,
     start: f64,
     epoch: i64,
+    /// Wall-clock cursor at span open (NaN when modeled-only).
+    wall_start: f64,
     // Direct-child accumulators (rolled up transitively at tree build).
     bytes_sent: u64,
     bytes_recv: u64,
@@ -41,28 +56,61 @@ pub struct RankTracer {
     epoch: i64,
     seq: u32,
     clock: f64,
+    /// Monotonic reference for the wall-clock axis; `None` keeps the
+    /// tracer modeled-only (the legacy golden-trace schema).
+    wall_anchor: Option<Instant>,
+    /// Wall end of the last recorded event, seconds since the anchor.
+    wall_cursor: f64,
     stack: Vec<OpenSpan>,
     events: Vec<Event>,
     msg_sizes: Histogram,
 }
 
 impl RankTracer {
-    /// A fresh recorder for `rank`.
+    /// A fresh modeled-only recorder for `rank`.
     pub fn new(rank: usize) -> Self {
         Self {
             rank: rank as u32,
             epoch: -1,
             seq: 0,
             clock: 0.0,
+            wall_anchor: None,
+            wall_cursor: 0.0,
             stack: Vec::with_capacity(8),
             events: Vec::with_capacity(INITIAL_EVENTS),
             msg_sizes: Histogram::pow2_bytes(),
         }
     }
 
+    /// A dual-clock recorder: every event additionally carries
+    /// `t_wall`/`wall_dur` measured against `anchor`. Pass the same
+    /// anchor the transport layer timestamps against (e.g. the process
+    /// epoch captured at connect time) so trace wall times and
+    /// transport clock-offset estimates share one axis.
+    pub fn with_wall_anchor(rank: usize, anchor: Instant) -> Self {
+        let mut t = Self::new(rank);
+        t.wall_cursor = anchor.elapsed().as_secs_f64();
+        t.wall_anchor = Some(anchor);
+        t
+    }
+
+    /// True when this recorder stamps the wall-clock axis.
+    pub fn dual_clock(&self) -> bool {
+        self.wall_anchor.is_some()
+    }
+
     /// The rank's modeled-time cursor (seconds since rank start).
     pub fn clock(&self) -> f64 {
         self.clock
+    }
+
+    /// Current wall reading (seconds since the anchor), or NaN when
+    /// modeled-only. Monotone non-decreasing across calls.
+    fn wall_now(&self) -> f64 {
+        match self.wall_anchor {
+            Some(anchor) => anchor.elapsed().as_secs_f64().max(self.wall_cursor),
+            None => f64::NAN,
+        }
     }
 
     /// Events recorded so far.
@@ -105,6 +153,16 @@ impl RankTracer {
     ) {
         debug_assert!(!kind.is_span(), "use begin_span/end_span for spans");
         let seq = self.next_seq();
+        // The op ends now; it started when the previous event ended, so
+        // blocking gaps are charged to the op that waited through them.
+        let (t_wall, wall_dur) = if self.wall_anchor.is_some() {
+            let now = self.wall_now();
+            let pair = (self.wall_cursor, now - self.wall_cursor);
+            self.wall_cursor = now;
+            pair
+        } else {
+            (f64::NAN, f64::NAN)
+        };
         let ev = Event {
             seq,
             parent: self.parent(),
@@ -118,6 +176,8 @@ impl RankTracer {
             flops,
             t_start: self.clock,
             dur,
+            t_wall,
+            wall_dur,
         };
         self.clock += dur;
         if let Some(top) = self.stack.last_mut() {
@@ -146,6 +206,14 @@ impl RankTracer {
     ) {
         debug_assert!(!kind.is_span(), "use begin_span/end_span for spans");
         let seq = self.next_seq();
+        // Concurrent with the timeline: stamped at the cursor with a
+        // zero wall duration (the hidden time is bookkeeping, not a
+        // slice of this rank's wall timeline).
+        let (t_wall, wall_dur) = if self.wall_anchor.is_some() {
+            (self.wall_cursor, 0.0)
+        } else {
+            (f64::NAN, f64::NAN)
+        };
         let ev = Event {
             seq,
             parent: self.parent(),
@@ -159,6 +227,8 @@ impl RankTracer {
             flops,
             t_start: self.clock,
             dur,
+            t_wall,
+            wall_dur,
         };
         if let Some(top) = self.stack.last_mut() {
             top.bytes_sent += bytes_sent;
@@ -179,12 +249,20 @@ impl RankTracer {
     /// sort after it; the event is emitted by [`RankTracer::end_span`].
     pub fn begin_span(&mut self, kind: SpanKind, phase: Phase) {
         let seq = self.next_seq();
+        // A span's wall interval covers its children: it opens where the
+        // previous event ended, not at an arbitrary "now".
+        let wall_start = if self.wall_anchor.is_some() {
+            self.wall_cursor
+        } else {
+            f64::NAN
+        };
         self.stack.push(OpenSpan {
             seq,
             kind,
             phase,
             start: self.clock,
             epoch: self.epoch,
+            wall_start,
             bytes_sent: 0,
             bytes_recv: 0,
             flops: 0,
@@ -199,6 +277,13 @@ impl RankTracer {
     /// Panics if no span is open.
     pub fn end_span(&mut self) {
         let span = self.stack.pop().expect("end_span without begin_span");
+        let (t_wall, wall_dur) = if self.wall_anchor.is_some() {
+            let now = self.wall_now();
+            self.wall_cursor = now;
+            (span.wall_start, now - span.wall_start)
+        } else {
+            (f64::NAN, f64::NAN)
+        };
         let ev = Event {
             seq: span.seq,
             parent: self.parent(),
@@ -214,6 +299,8 @@ impl RankTracer {
             flops: span.flops,
             t_start: span.start,
             dur: self.clock - span.start,
+            t_wall,
+            wall_dur,
         };
         // Propagate direct sums one level up so every ancestor's direct
         // total eventually includes nested op traffic exactly once.
@@ -278,10 +365,16 @@ pub struct PhaseAgg {
     /// the timeline ([`PhaseAgg::seconds`]) — the timeline only carries
     /// the *exposed* remainder.
     pub hidden_seconds: f64,
+    /// Measured wall-clock seconds (dual-clock traces only; stays 0.0
+    /// for modeled-only traces).
+    pub wall_seconds: f64,
 }
 
 impl PhaseAgg {
     fn absorb(&mut self, e: &Event) {
+        if e.wall_dur.is_finite() {
+            self.wall_seconds += e.wall_dur;
+        }
         // Hidden overlap ran concurrently with the timeline: its
         // duration is bookkeeping (how much comm was hidden), not
         // clock time, so it gets its own accumulator — the same
@@ -359,6 +452,13 @@ impl WorldTrace {
     /// True when no events were recorded.
     pub fn is_empty(&self) -> bool {
         self.per_rank.iter().all(Vec::is_empty)
+    }
+
+    /// True when any event carries the wall-clock axis (dual-clock
+    /// schema). Per-recorder stamping is all-or-nothing, so a mixed
+    /// trace only arises from merging dual-clock and legacy files.
+    pub fn has_wall(&self) -> bool {
+        self.per_rank.iter().flatten().any(Event::has_wall)
     }
 
     /// Highest epoch stamped on any event (−1 when none declared).
@@ -575,6 +675,51 @@ mod tests {
         let mut t = RankTracer::new(3);
         t.begin_span(SpanKind::Epoch, Phase::Other);
         t.finish();
+    }
+
+    #[test]
+    fn modeled_only_recorder_carries_no_wall_axis() {
+        let mut t = RankTracer::new(0);
+        assert!(!t.dual_clock());
+        t.begin_span(SpanKind::Epoch, Phase::Other);
+        op(&mut t, Phase::P2p, 8, 1.0);
+        t.end_span();
+        let tr = WorldTrace::collect(vec![t]);
+        assert!(!tr.has_wall());
+        for e in tr.per_rank[0].iter() {
+            assert!(e.t_wall.is_nan() && e.wall_dur.is_nan());
+        }
+        let agg = tr.phase_aggregates(0, None);
+        assert_eq!(agg[Phase::P2p.index()].wall_seconds, 0.0);
+    }
+
+    #[test]
+    fn dual_clock_walls_are_monotonic_and_span_covers_children() {
+        let mut t = RankTracer::with_wall_anchor(0, Instant::now());
+        assert!(t.dual_clock());
+        t.begin_span(SpanKind::Epoch, Phase::Other);
+        op(&mut t, Phase::P2p, 8, 1.0);
+        op(&mut t, Phase::P2p, 8, 1.0);
+        t.end_span();
+        let tr = WorldTrace::collect(vec![t]);
+        assert!(tr.has_wall());
+        let evs = &tr.per_rank[0];
+        let (span, a, b) = (&evs[0], &evs[1], &evs[2]);
+        for e in [span, a, b] {
+            assert!(e.has_wall());
+            assert!(e.wall_dur >= 0.0);
+        }
+        // Per-rank wall timelines are gap-free: each op starts where
+        // the previous ended (up to fp rounding).
+        assert!((b.t_wall - a.wall_end()).abs() < 1e-12);
+        // The span's interval covers its children.
+        assert!(span.t_wall <= a.t_wall);
+        assert!(span.wall_end() >= b.wall_end() - 1e-12);
+        // And the modeled axis is what it always was.
+        assert_eq!(a.t_start, 0.0);
+        assert_eq!(b.t_start, 1.0);
+        let agg = tr.phase_aggregates(0, None);
+        assert!(agg[Phase::P2p.index()].wall_seconds >= 0.0);
     }
 
     #[test]

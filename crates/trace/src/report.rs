@@ -22,6 +22,9 @@ pub struct RankEpoch {
     pub phases: [PhaseAgg; PHASES.len()],
     /// Total modeled seconds across phases.
     pub modeled_seconds: f64,
+    /// Total measured wall-clock seconds across phases (0.0 for
+    /// modeled-only traces).
+    pub wall_seconds: f64,
     /// Total logical bytes sent across phases.
     pub bytes_sent: u64,
     /// Total logical bytes received across phases.
@@ -33,6 +36,7 @@ pub struct RankEpoch {
 impl RankEpoch {
     fn from_aggregates(rank: usize, phases: [PhaseAgg; PHASES.len()]) -> Self {
         let modeled_seconds = phases.iter().map(|a| a.seconds).sum();
+        let wall_seconds = phases.iter().map(|a| a.wall_seconds).sum();
         let bytes_sent = phases.iter().map(|a| a.bytes_sent).sum();
         let bytes_recv = phases.iter().map(|a| a.bytes_recv).sum();
         let retransmit_bytes = phases.iter().map(|a| a.retransmit_bytes).sum();
@@ -40,6 +44,7 @@ impl RankEpoch {
             rank,
             phases,
             modeled_seconds,
+            wall_seconds,
             bytes_sent,
             bytes_recv,
             retransmit_bytes,
@@ -49,6 +54,13 @@ impl RankEpoch {
     /// Seconds spent outside `LocalCompute` (the communication share).
     pub fn comm_seconds(&self) -> f64 {
         self.modeled_seconds - self.phases[Phase::LocalCompute.index()].seconds
+    }
+
+    /// Measured wall seconds spent outside `LocalCompute` — the
+    /// comm-exposed share of this rank's wall clock (dual-clock traces
+    /// only).
+    pub fn wall_comm_seconds(&self) -> f64 {
+        self.wall_seconds - self.phases[Phase::LocalCompute.index()].wall_seconds
     }
 
     /// Communication seconds hidden behind compute by the overlap
@@ -84,6 +96,12 @@ pub struct EpochAttribution {
     pub phase_critical_rank: [usize; PHASES.len()],
     /// Modeled epoch time (= the bottleneck rank's modeled seconds).
     pub epoch_seconds: f64,
+    /// Rank with the largest measured wall time (dual-clock traces;
+    /// equals `bottleneck_rank` when the α–β model predicts well).
+    pub wall_bottleneck_rank: usize,
+    /// Measured wall epoch time (= the wall-bottleneck rank's wall
+    /// seconds; 0.0 for modeled-only traces).
+    pub wall_epoch_seconds: f64,
 }
 
 impl EpochAttribution {
@@ -98,6 +116,8 @@ impl EpochAttribution {
             *slot = argmax_f64(ranks.iter().map(|r| r.phases[i].seconds));
         }
         let epoch_seconds = ranks[bottleneck_rank].modeled_seconds;
+        let wall_bottleneck_rank = argmax_f64(ranks.iter().map(|r| r.wall_seconds));
+        let wall_epoch_seconds = ranks[wall_bottleneck_rank].wall_seconds;
         Self {
             epoch,
             ranks,
@@ -105,6 +125,8 @@ impl EpochAttribution {
             max_send_rank,
             phase_critical_rank,
             epoch_seconds,
+            wall_bottleneck_rank,
+            wall_epoch_seconds,
         }
     }
 
@@ -199,6 +221,21 @@ impl BottleneckReport {
                 e.ranks[e.max_send_rank].bytes_sent,
                 e.send_imbalance()
             );
+            // Dual-clock traces: the measured critical path, printed
+            // right under the α–β prediction it should track.
+            if e.wall_epoch_seconds > 0.0 {
+                let wb = &e.ranks[e.wall_bottleneck_rank];
+                let _ = writeln!(
+                    out,
+                    "    wall clock: {:.3} ms (rank {} critical: {:.3} ms compute / {:.3} ms \
+                     comm-exposed) vs α–β model {:.3} ms",
+                    e.wall_epoch_seconds * 1e3,
+                    e.wall_bottleneck_rank,
+                    wb.phases[Phase::LocalCompute.index()].wall_seconds * 1e3,
+                    wb.wall_comm_seconds() * 1e3,
+                    e.epoch_seconds * 1e3
+                );
+            }
             for p in PHASES {
                 let r = e.phase_critical_rank[p.index()];
                 let agg = &e.ranks[r].phases[p.index()];
@@ -322,6 +359,46 @@ mod tests {
         assert!(s.contains("bottleneck rank 2"), "{s}");
         assert!(s.contains("dominant bottleneck: rank 2"), "{s}");
         assert!(s.contains("alltoall"), "{s}");
+    }
+
+    #[test]
+    fn wall_attribution_rides_next_to_the_model() {
+        let mut tracers: Vec<RankTracer> = (0..2)
+            .map(|r| RankTracer::with_wall_anchor(r, std::time::Instant::now()))
+            .collect();
+        for (r, t) in tracers.iter_mut().enumerate() {
+            t.set_epoch(0);
+            t.begin_span(SpanKind::Epoch, Phase::Other);
+            t.op(
+                EventKind::AllToAllV,
+                Phase::AllToAll,
+                None,
+                100 * (r as u64 + 1),
+                100,
+                0,
+                1e-4,
+            );
+            t.op(
+                EventKind::Compute,
+                Phase::LocalCompute,
+                None,
+                0,
+                0,
+                50,
+                1e-4,
+            );
+            t.end_span();
+        }
+        let report = BottleneckReport::from_trace(&WorldTrace::collect(tracers));
+        let e = &report.epochs[0];
+        assert!(e.wall_epoch_seconds > 0.0);
+        assert!(e.ranks[e.wall_bottleneck_rank].wall_seconds >= e.ranks[0].wall_seconds);
+        let s = report.render();
+        assert!(s.contains("wall clock:"), "{s}");
+        assert!(s.contains("vs α–β model"), "{s}");
+        // Modeled-only traces keep the legacy report byte-shape.
+        let legacy = BottleneckReport::from_trace(&skewed_trace()).render();
+        assert!(!legacy.contains("wall clock:"), "{legacy}");
     }
 
     #[test]
