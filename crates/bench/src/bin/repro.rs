@@ -108,7 +108,8 @@ fn parse_args() -> Result<Args, String> {
             // The repro harness replays recorded volumes analytically (or
             // runs a short traced thread-world pass); it never launches
             // rank processes. Name the tool that does.
-            "--backend" | "--ranks" | "--proc-dir" | "--proc-child" => {
+            "--backend" | "--ranks" | "--proc-dir" | "--proc-child" | "--hostfile"
+            | "--net-chaos" => {
                 return Err(format!(
                     "{a} belongs to the process-backend launcher; repro computes its \
                      artifacts analytically on the thread backend only — use \

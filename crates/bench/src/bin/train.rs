@@ -5,6 +5,7 @@
 //!       [--algo 1d|1.5d] [--oblivious] [--c N]
 //!       [--partitioner block|random|metis|gvb] [--p N]
 //!       [--backend thread|proc] [--ranks N] [--proc-dir DIR]
+//!       [--hostfile FILE] [--net-chaos SPEC]
 //!       [--arch gcn|sage] [--opt sgd|adam] [--lr X]
 //!       [--overlap on|off|chunks=N]
 //!       [--kernel strict|fast] [--flop-rate auto|FLOPS]
@@ -26,6 +27,21 @@
 //! the thread backend. Thread-only features are rejected up front:
 //! `--failover` and `--inject-crash` (kill the rank process instead;
 //! that is the point of the backend).
+//!
+//! `--hostfile FILE` (proc only) switches the rank mesh from
+//! Unix-domain sockets to **TCP listeners**: one `host[:port]` line per
+//! rank, rank 0's port doubling as the rendezvous endpoint. An
+//! all-loopback hostfile simulates the multi-node wire-up on one
+//! machine (what CI runs); non-loopback hostfiles are rejected by this
+//! launcher with per-host instructions, since it only spawns local
+//! processes. `--net-chaos SPEC` arms the deterministic network-chaos
+//! interposer inside every rank: seeded per-link delay/jitter,
+//! bandwidth caps, byte-counted connection cuts, timed (possibly
+//! one-way) partitions, and rendezvous connection-refusal windows —
+//! all replayed bit-identically from the seed. Partitions that heal
+//! within the heartbeat deadline are absorbed by reconnect + replay;
+//! ones that outlive it take the checkpoint-restart ladder. Either
+//! way final weights match the thread backend bit for bit.
 //!
 //! `--trace` on the process backend records a **dual-clock** trace:
 //! each rank process writes `<proc-dir>/trace-rank<N>.jsonl` with both
@@ -119,7 +135,15 @@ struct Args {
     backend_proc: bool,
     /// `--ranks` was given (proc-backend spelling of the world size).
     ranks_flag: bool,
+    /// `--p` was given explicitly.
+    p_flag: bool,
     proc_dir: Option<PathBuf>,
+    /// `--hostfile`: switch the proc-backend mesh to TCP listeners at
+    /// the listed `host[:port]` addresses (one line per rank).
+    hostfile: Option<PathBuf>,
+    /// `--net-chaos`: deterministic network-fault spec for the proc
+    /// backend (validated up front, applied inside every rank).
+    net_chaos: Option<String>,
     /// Internal: this invocation is rank N of a proc-backend launch.
     proc_child: Option<usize>,
 }
@@ -164,7 +188,10 @@ fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         metrics_interval: None,
         backend_proc: false,
         ranks_flag: false,
+        p_flag: false,
         proc_dir: None,
+        hostfile: None,
+        net_chaos: None,
         proc_child: None,
     };
     let mut it = args.into_iter().peekable();
@@ -198,6 +225,7 @@ fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 }
             }
             "--p" => {
+                a.p_flag = true;
                 a.p = next(&mut it, "--p")?
                     .parse()
                     .map_err(|e| format!("bad --p: {e}"))?
@@ -216,6 +244,8 @@ fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
                     .map_err(|e| format!("bad --ranks: {e}"))?
             }
             "--proc-dir" => a.proc_dir = Some(PathBuf::from(next(&mut it, "--proc-dir")?)),
+            "--hostfile" => a.hostfile = Some(PathBuf::from(next(&mut it, "--hostfile")?)),
+            "--net-chaos" => a.net_chaos = Some(next(&mut it, "--net-chaos")?),
             "--proc-child" => {
                 a.proc_child = Some(
                     next(&mut it, "--proc-child")?
@@ -382,7 +412,8 @@ fn usage() -> String {
     "usage: train [--dataset reddit|amazon|protein|papers] [--mtx FILE] \
      [--algo 1d|1.5d] [--oblivious] [--c N] \
      [--partitioner block|random|metis|gvb] [--p N] \
-     [--backend thread|proc] [--ranks N] [--proc-dir DIR] [--arch gcn|sage] \
+     [--backend thread|proc] [--ranks N] [--proc-dir DIR] \
+     [--hostfile FILE] [--net-chaos SPEC] [--arch gcn|sage] \
      [--opt sgd|adam] [--lr X] [--overlap on|off|chunks=N] \
      [--kernel strict|fast] [--flop-rate auto|FLOPS] \
      [--epochs N] [--scale N] [--seed N] \
@@ -423,6 +454,21 @@ fn validate_backend_flags(a: &Args) -> Result<(), String> {
                     .into(),
             );
         }
+        if a.hostfile.is_some() {
+            return Err(
+                "--hostfile switches the process-backend rank mesh to TCP and needs \
+                 --backend proc"
+                    .into(),
+            );
+        }
+        if a.net_chaos.is_some() {
+            return Err(
+                "--net-chaos injects deterministic network faults into the process-backend \
+                 transport and needs --backend proc; for the thread backend use the fault \
+                 flags (--drop-prob, --slow-rank, ...) instead"
+                    .into(),
+            );
+        }
         return Ok(());
     }
     if cfg!(not(unix)) {
@@ -451,7 +497,54 @@ fn validate_backend_flags(a: &Args) -> Result<(), String> {
     if a.proc_child.is_some() && a.proc_dir.is_none() {
         return Err("--proc-child needs --proc-dir (both are set by the launcher)".into());
     }
+    // Reject a malformed chaos spec before any process is spawned; the
+    // same string reaches every rank, so one parse here covers them all.
+    #[cfg(unix)]
+    if let Some(spec) = a.net_chaos.as_deref() {
+        gnn_comm::NetChaosPlan::parse(spec).map_err(|e| format!("--net-chaos: {e}"))?;
+    }
     Ok(())
+}
+
+/// Applies `--hostfile`: loads it, reconciles the world size (the
+/// hostfile is authoritative when `--ranks`/`--p` were not given), and
+/// rejects non-loopback hostfiles in the parent — this launcher only
+/// spawns rank processes locally.
+fn apply_hostfile(a: &mut Args) -> Result<(), String> {
+    let Some(path) = a.hostfile.clone() else {
+        return Ok(());
+    };
+    #[cfg(unix)]
+    {
+        let hf = gnn_comm::HostFile::load(&path).map_err(|e| format!("--hostfile: {e}"))?;
+        if (a.p_flag || a.ranks_flag) && a.p != hf.p() {
+            return Err(format!(
+                "--hostfile {} lists {} rank(s) but --ranks/--p asked for {}; the hostfile \
+                 is one line per rank — drop the explicit world size or fix the hostfile",
+                path.display(),
+                hf.p(),
+                a.p
+            ));
+        }
+        a.p = hf.p();
+        if a.proc_child.is_none() && !hf.all_loopback() {
+            return Err(format!(
+                "hostfile {} names non-loopback hosts; this launcher only spawns rank \
+                 processes on this machine. Point --proc-dir at a directory shared by every \
+                 host (the checkpoint/outcome exchange), then start each rank on its listed \
+                 host with the same command plus `--proc-child R` (rendezvous at {}); or use \
+                 an all-loopback hostfile to simulate the TCP mesh on one machine",
+                path.display(),
+                hf.rendezvous_addr()
+            ));
+        }
+        Ok(())
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+        Err("--hostfile needs --backend proc, which is Unix-only".into())
+    }
 }
 
 fn load_dataset(a: &Args) -> Result<Dataset, String> {
@@ -515,6 +608,12 @@ fn run_proc_parent(args: &Args) -> Result<(gnn_core::DistOutcome, PathBuf), Stri
         args.p,
         dir.display()
     );
+    if let Some(hosts) = &args.hostfile {
+        println!("proc backend: TCP mesh from hostfile {}", hosts.display());
+    }
+    if let Some(spec) = &args.net_chaos {
+        println!("proc backend: deterministic net chaos armed: {spec}");
+    }
     let interval = args.metrics_interval.map(Duration::from_secs_f64);
     let metrics_ms = interval.map(|iv| (iv.as_millis().max(1)).to_string());
     let out =
@@ -564,7 +663,7 @@ fn merge_proc_traces(dir: &std::path::Path, p: usize) -> Result<gnn_trace::World
 }
 
 fn main() -> ExitCode {
-    let args = match parse() {
+    let mut args = match parse() {
         Ok(a) => a,
         Err(m) => {
             eprintln!("{m}");
@@ -575,6 +674,11 @@ fn main() -> ExitCode {
         eprintln!("{m}");
         return ExitCode::FAILURE;
     }
+    if let Err(m) = apply_hostfile(&mut args) {
+        eprintln!("{m}");
+        return ExitCode::FAILURE;
+    }
+    let args = args;
     // Proc-backend children rebuild the scenario silently; only the
     // parent (or a thread-backend run) narrates progress.
     let quiet = args.proc_child.is_some();
@@ -720,6 +824,8 @@ fn main() -> ExitCode {
         timeout: Duration::from_millis(args.watchdog_ms.max(1)),
         failover: args.failover,
     };
+    cfg.hostfile = args.hostfile.clone();
+    cfg.net_chaos = args.net_chaos.clone();
 
     // Proc-backend child: this invocation *is* rank N — run it over the
     // real sockets and exit without printing anything.
@@ -823,7 +929,11 @@ fn main() -> ExitCode {
             kernel_flops as f64 / kernel_wall / 1e9
         );
     }
-    if faulty || out.restarts > 0 || out.failovers > 0 {
+    let transport_faults = st.total_reconnects()
+        + st.total_partitions_suspected()
+        + st.total_chaos_injected()
+        + st.total_dial_backoffs();
+    if faulty || out.restarts > 0 || out.failovers > 0 || transport_faults > 0 {
         println!("\n-- fault summary --");
         println!("restarts:          {}", out.restarts);
         if !out.resume_points.is_empty() {
@@ -832,6 +942,19 @@ fn main() -> ExitCode {
         println!("failovers:         {}", out.failovers);
         println!("injected faults:   {}", st.total_injected_faults());
         println!("retries:           {}", st.total_retries());
+        if transport_faults > 0 {
+            println!(
+                "transport:         {} reconnects, {} replayed frames, \
+                 {} partitions suspected, {} healed, {} dial backoffs, \
+                 {} chaos injections",
+                st.total_reconnects(),
+                st.total_replayed_frames(),
+                st.total_partitions_suspected(),
+                st.total_partitions_healed(),
+                st.total_dial_backoffs(),
+                st.total_chaos_injected()
+            );
+        }
         for (rank, r) in st.per_rank.iter().enumerate() {
             let f = &r.faults;
             if f.injected_total() > 0 || f.retries > 0 {
@@ -942,5 +1065,57 @@ mod tests {
     fn ranks_without_proc_backend_still_rejected() {
         let err = validated(&["--ranks", "4"]).unwrap_err();
         assert!(err.contains("--backend proc"), "{err}");
+    }
+
+    #[test]
+    fn hostfile_and_net_chaos_need_proc_backend() {
+        let err = validated(&["--hostfile", "hosts.txt"]).unwrap_err();
+        assert!(err.contains("--backend proc"), "{err}");
+        let err = validated(&["--net-chaos", "seed=1"]).unwrap_err();
+        assert!(err.contains("--backend proc"), "{err}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn malformed_net_chaos_is_rejected_before_spawning() {
+        let err =
+            validated(&["--backend", "proc", "--net-chaos", "seed=1;partition=bogus"]).unwrap_err();
+        assert!(err.contains("--net-chaos"), "{err}");
+        assert_eq!(
+            validated(&[
+                "--backend",
+                "proc",
+                "--net-chaos",
+                "seed=7;partition=0-1@200..700;delay=0>1:3+-2",
+            ]),
+            Ok(())
+        );
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn hostfile_is_authoritative_for_the_world_size() {
+        let dir = std::env::temp_dir().join(format!("gnn-train-hf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hosts.txt");
+        std::fs::write(&path, "127.0.0.1:7700\n127.0.0.1\n127.0.0.1\n").unwrap();
+        let hf = path.to_str().unwrap();
+
+        // No explicit world size: the hostfile decides.
+        let mut a = args(&["--backend", "proc", "--hostfile", hf]).unwrap();
+        apply_hostfile(&mut a).unwrap();
+        assert_eq!(a.p, 3);
+
+        // Explicit but contradictory world size: rejected.
+        let mut a = args(&["--backend", "proc", "--hostfile", hf, "--ranks", "4"]).unwrap();
+        let err = apply_hostfile(&mut a).unwrap_err();
+        assert!(err.contains("3 rank(s)"), "{err}");
+
+        // Non-loopback hostfiles cannot be launched from one machine.
+        std::fs::write(&path, "10.0.0.1:7700\n10.0.0.2\n").unwrap();
+        let mut a = args(&["--backend", "proc", "--hostfile", hf]).unwrap();
+        let err = apply_hostfile(&mut a).unwrap_err();
+        assert!(err.contains("non-loopback"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -53,5 +53,9 @@ pub use fault::{Fault, FaultInjector, FaultPlan, SendFate};
 pub use gnn_trace::{SpanKind, WorldTrace};
 pub use stats::{FaultCounters, Phase, ProcCounters, RankStats, WorldStats};
 #[cfg(unix)]
-pub use transport::proc::{ProcError, ProcWorld};
+pub use transport::chaos::NetChaosPlan;
+#[cfg(unix)]
+pub use transport::net::HostFile;
+#[cfg(unix)]
+pub use transport::proc::{write_proc_generation, ProcError, ProcWorld};
 pub use world::ThreadWorld;

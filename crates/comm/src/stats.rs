@@ -134,6 +134,19 @@ pub struct ProcCounters {
     /// period of silence (each tick past the threshold counts once per
     /// silent peer).
     pub heartbeat_misses: u64,
+    /// Backoff sleeps across every dial loop (rendezvous, mesh wire-up,
+    /// reconnect).
+    pub dial_backoffs: u64,
+    /// Unclean connection losses while the world was healthy — each one
+    /// a suspected partition or peer crash, resolved by reconnect one
+    /// way or the other.
+    pub partitions_suspected: u64,
+    /// Reconnections that replaced a previously established link: a
+    /// suspected partition that healed within the liveness budget.
+    pub partitions_healed: u64,
+    /// Network-chaos interposer activations (delays + severs + refused
+    /// dials); zero when no chaos plan was armed.
+    pub chaos_injected: u64,
 }
 
 impl ProcCounters {
@@ -141,6 +154,10 @@ impl ProcCounters {
         self.reconnects += o.reconnects;
         self.replayed_frames += o.replayed_frames;
         self.heartbeat_misses += o.heartbeat_misses;
+        self.dial_backoffs += o.dial_backoffs;
+        self.partitions_suspected += o.partitions_suspected;
+        self.partitions_healed += o.partitions_healed;
+        self.chaos_injected += o.chaos_injected;
     }
 }
 
@@ -401,6 +418,29 @@ impl WorldStats {
         self.per_rank.iter().map(|r| r.proc.heartbeat_misses).sum()
     }
 
+    /// Sum over ranks of dial-backoff sleeps (rendezvous + reconnect).
+    pub fn total_dial_backoffs(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.proc.dial_backoffs).sum()
+    }
+
+    /// Sum over ranks of suspected partitions (unclean link losses).
+    pub fn total_partitions_suspected(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.proc.partitions_suspected)
+            .sum()
+    }
+
+    /// Sum over ranks of partitions that healed within the budget.
+    pub fn total_partitions_healed(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.proc.partitions_healed).sum()
+    }
+
+    /// Sum over ranks of network-chaos fault activations.
+    pub fn total_chaos_injected(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.proc.chaos_injected).sum()
+    }
+
     /// Flattens the world's accounting into a [`gnn_trace::MetricsRegistry`]
     /// — the unification point between `RankStats` and the trace/metrics
     /// artifacts (`--metrics-out`).
@@ -426,6 +466,13 @@ impl WorldStats {
         reg.counter("proc.reconnects", self.total_reconnects());
         reg.counter("proc.replayed_frames", self.total_replayed_frames());
         reg.counter("proc.heartbeat_misses", self.total_heartbeat_misses());
+        reg.counter("proc.dial_backoffs", self.total_dial_backoffs());
+        reg.counter(
+            "proc.partitions_suspected",
+            self.total_partitions_suspected(),
+        );
+        reg.counter("proc.partitions_healed", self.total_partitions_healed());
+        reg.counter("chaos.injected", self.total_chaos_injected());
         reg.counter("overlap.stages", self.total_overlap_stages());
         reg.gauge(
             "overlap.hidden_seconds",

@@ -25,7 +25,13 @@ use crate::msg::Msg;
 use crate::watchdog::DeathRecord;
 
 #[cfg(unix)]
+pub(crate) mod chaos;
+#[cfg(unix)]
+pub(crate) mod net;
+#[cfg(unix)]
 pub(crate) mod proc;
+#[cfg(unix)]
+pub(crate) mod replay;
 pub(crate) mod thread;
 #[cfg(unix)]
 pub(crate) mod wire;

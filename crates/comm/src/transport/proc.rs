@@ -1,55 +1,79 @@
 //! The process-backed [`Transport`]: ranks are real OS processes
 //! exchanging length-prefixed frames ([`super::wire`]) over Unix-domain
-//! sockets.
+//! sockets — or, with a hostfile ([`crate::HostFile`]), over TCP for
+//! multi-node runs.
 //!
 //! Where [`super::thread::ThreadTransport`] simulates failure with flags
 //! and modeled time, this backend faces the real thing:
 //!
 //! * **Rendezvous** — every rank binds its own mesh listener
-//!   (`<dir>/rank<r>.sock`), non-zero ranks dial rank 0's rendezvous
-//!   socket to REGISTER their path, and rank 0 replies with the full
+//!   (`<dir>/rank<r>.sock`, or a TCP listener on its hostfile port),
+//!   non-zero ranks dial rank 0's rendezvous endpoint to REGISTER their
+//!   mesh address (retrying with capped exponential backoff + jitter up
+//!   to the hard wire-up deadline), and rank 0 replies with the full
 //!   ADDRBOOK. Higher ranks then dial lower ranks for a full mesh (one
-//!   full-duplex connection per pair).
+//!   full-duplex connection per pair). A duplicate REGISTER or a
+//!   registrant dying mid-rendezvous fails the world with a structured
+//!   error well before the deadline.
 //! * **Reliable links** — DATA and barrier frames carry a per-direction
-//!   `link_seq` and live in a replay queue until cumulatively ACKed, so
-//!   a reconnect retransmits exactly the unacknowledged suffix and the
-//!   receiver's delivered watermark filters the duplicates. The upper
-//!   layer ([`crate::RankCtx`]) never observes a socket bounce: its own
-//!   seq/FNV state machine sees the same frame stream either way.
+//!   `link_seq` and live in a [`ReplayQueue`] until cumulatively ACKed,
+//!   so a reconnect retransmits exactly the unacknowledged suffix and
+//!   the receiver's [`DedupWatermark`] filters the duplicates. The
+//!   upper layer ([`crate::RankCtx`]) never observes a socket bounce:
+//!   its own seq/FNV state machine sees the same frame stream either
+//!   way.
 //! * **Liveness** — a heartbeat thread beacons every peer and marks a
 //!   peer dead after a miss threshold; death drops the peer's delivery
 //!   channel so blocked receives fail fast with the same "hung up"
-//!   semantics the thread backend gets from a dropped channel.
+//!   semantics the thread backend gets from a dropped channel. The
+//!   transport cannot distinguish "peer process died" from "link
+//!   partitioned past the deadline" — both exhaust the same budget and
+//!   both funnel into the trainer's checkpoint-restart ladder; a
+//!   partition that *heals* within the budget is absorbed by
+//!   reconnect + replay with bit-identical results.
 //! * **Reconnect** — the dialing side (higher rank) redials with capped
-//!   exponential backoff on transient errors; the listening side simply
-//!   accepts the replacement connection and replays.
+//!   exponential backoff + deterministic jitter ([`Backoff`]) on
+//!   transient errors; the listening side simply accepts the
+//!   replacement connection and replays.
 //! * **Shutdown** — a finishing rank sends BYE, drains briefly, then
 //!   closes (SIGTERM triggers the same drain then `exit(143)`).
 //!   A SIGKILL'd rank never says BYE: peers see an unclean EOF or
 //!   missed heartbeats and fail over to the trainer's
 //!   checkpoint-restart ladder.
+//! * **Network chaos** — an optional deterministic interposer
+//!   ([`crate::NetChaosPlan`], armed via
+//!   [`ProcWorld::with_net_chaos`] or `GNN_PROC_NET_CHAOS`) sits on
+//!   the frame write path and the dial/accept path, injecting seeded
+//!   per-link latency/jitter, bandwidth caps, byte-threshold cuts,
+//!   partitions, and connection-refused windows — real TCP resets and
+//!   refused dials, replayed exactly from the seed. Windowed faults
+//!   fire only in supervised restart generation 0 by default (the
+//!   `<dir>/generation` file, written by the supervisor via
+//!   [`write_proc_generation`], tells children their generation), so a
+//!   fault that forces a restart does not re-fire forever.
 //!
 //! * **Observability** — every link keeps live transport metrics
 //!   (frame send latency / receive-gap histograms, retransmit /
-//!   reconnect / heartbeat-miss counters, wire-vs-logical byte gauges)
-//!   in [`Shared`]; with `GNN_PROC_METRICS_MS=<n>` each rank appends a
-//!   periodic JSONL snapshot (`metrics-rank<r>.jsonl`) the supervisor
-//!   can aggregate while a run is in flight. The rendezvous handshake
-//!   ends with an NTP-style clock-offset exchange (CLOCK_PING/PONG
-//!   request/reply midpoint) so rank 0 can estimate every peer's
-//!   monotonic-clock offset and write `clock-offsets.json` — the
-//!   sidecar `trace-report --merge` uses to align per-rank wall-clock
-//!   traces onto one axis.
+//!   reconnect / heartbeat-miss / dial-backoff / partition counters,
+//!   wire-vs-logical byte gauges) in [`Shared`]; with
+//!   `GNN_PROC_METRICS_MS=<n>` each rank appends a periodic JSONL
+//!   snapshot (`metrics-rank<r>.jsonl`) the supervisor can aggregate
+//!   while a run is in flight. The rendezvous handshake ends with an
+//!   NTP-style clock-offset exchange (CLOCK_PING/PONG request/reply
+//!   midpoint) so rank 0 can estimate every peer's monotonic-clock
+//!   offset and write `clock-offsets.json` — the sidecar `trace-report
+//!   --merge` uses to align per-rank wall-clock traces onto one axis.
+//!   Chaos fault activations are exported onto the trace wall axis as
+//!   `chaos_*` events at run end.
 //!
 //! Set `GNN_PROC_DROP_CONN_AFTER=<n>` to forcibly shut one connection
 //! down after the n-th DATA send — a deterministic transient-fault hook
 //! the reconnect tests use.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::net::Shutdown;
-use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -57,7 +81,7 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use gnn_trace::{Histogram, MetricsRegistry, RankTracer};
+use gnn_trace::{EventKind, Histogram, MetricsRegistry, RankTracer};
 
 use crate::cost::CostModel;
 use crate::ctx::RankCtx;
@@ -70,6 +94,9 @@ use crate::stats::RankStats;
 use crate::watchdog::{DeathRecord, Watchdog};
 use crate::world::PanicHookGuard;
 
+use super::chaos::{Chaos, NetChaosPlan, SendVerdict};
+use super::net::{lock_or_recover, splitmix64, Backoff, HostFile, Listener, Stream};
+use super::replay::{DedupWatermark, ReplayQueue};
 use super::wire::{self, kind, Frame};
 use super::{PeerGone, RecvOutcome, Transport, TryRecvOutcome};
 
@@ -172,18 +199,15 @@ fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
 struct Conn {
     /// Writer half of the current connection (a `try_clone` of the
     /// reader's stream); `None` while disconnected.
-    stream: Option<UnixStream>,
+    stream: Option<Stream>,
     /// Bumped on every (re)connect; readers use it to tell whether the
     /// connection that just died is still the current one.
     epoch: u64,
-    /// Next reliable-frame sequence number to assign (1-based).
-    next_link_seq: u64,
-    /// Peer's cumulative delivered watermark (replay prunes `<=` this).
-    acked: u64,
-    /// Our cumulative delivered watermark for the peer's reliable frames.
-    delivered: u64,
-    /// Encoded reliable frames not yet covered by `acked`.
-    replay: VecDeque<(u64, Vec<u8>)>,
+    /// Sender half of the reliable layer: seq assignment + retained
+    /// unACKed frames (see [`super::replay`] for the pinned invariants).
+    replay: ReplayQueue,
+    /// Receiver half: cumulative delivered watermark for dedup.
+    dedup: DedupWatermark,
 }
 
 struct Peer {
@@ -207,10 +231,8 @@ impl Peer {
             conn: Mutex::new(Conn {
                 stream: None,
                 epoch: 0,
-                next_link_seq: 1,
-                acked: 0,
-                delivered: 0,
-                replay: VecDeque::new(),
+                replay: ReplayQueue::new(),
+                dedup: DedupWatermark::new(),
             }),
             data_tx: Mutex::new(None),
             last_seen_ms: AtomicU64::new(0),
@@ -234,6 +256,16 @@ struct TransportMetrics {
     replayed_frames: AtomicU64,
     /// Monitor ticks that saw a peer silent past one heartbeat period.
     heartbeat_misses: AtomicU64,
+    /// Backoff sleeps across every dial loop (rendezvous, mesh wire-up,
+    /// reconnect) — how hard this rank had to fight to get connected.
+    dial_backoffs: AtomicU64,
+    /// Unclean connection losses while the world was healthy: each one
+    /// is a *suspected* partition (indistinguishable from a peer crash
+    /// until reconnect either succeeds or exhausts the budget).
+    partitions_suspected: AtomicU64,
+    /// Reconnections that replaced a previously established link — a
+    /// suspected partition that healed within the liveness budget.
+    partitions_healed: AtomicU64,
     /// Encoded frame bytes pushed onto sockets (headers included).
     wire_bytes_sent: AtomicU64,
     /// Encoded frame bytes read off sockets (headers included).
@@ -261,6 +293,9 @@ impl TransportMetrics {
             reconnects: AtomicU64::new(0),
             replayed_frames: AtomicU64::new(0),
             heartbeat_misses: AtomicU64::new(0),
+            dial_backoffs: AtomicU64::new(0),
+            partitions_suspected: AtomicU64::new(0),
+            partitions_healed: AtomicU64::new(0),
             wire_bytes_sent: AtomicU64::new(0),
             wire_bytes_recv: AtomicU64::new(0),
             data_bytes_sent: AtomicU64::new(0),
@@ -273,18 +308,14 @@ impl TransportMetrics {
 
     fn record_send(&self, wire_len: u64, dur_us: u64) {
         self.wire_bytes_sent.fetch_add(wire_len, Ordering::Relaxed);
-        if let Ok(mut h) = self.frame_send_us.lock() {
-            h.record(dur_us);
-        }
+        lock_or_recover(&self.frame_send_us).record(dur_us);
     }
 
     fn record_recv(&self, wire_len: u64, now_us: u64) {
         self.wire_bytes_recv.fetch_add(wire_len, Ordering::Relaxed);
         let prev = self.last_recv_us.swap(now_us, Ordering::Relaxed);
         if prev != u64::MAX {
-            if let Ok(mut h) = self.frame_recv_gap_us.lock() {
-                h.record(now_us.saturating_sub(prev));
-            }
+            lock_or_recover(&self.frame_recv_gap_us).record(now_us.saturating_sub(prev));
         }
     }
 }
@@ -315,6 +346,8 @@ struct Shared {
     log: Mutex<File>,
     /// Live link-layer metrics (snapshot via [`Shared::metrics_registry`]).
     metrics: TransportMetrics,
+    /// Deterministic network-chaos interposer (None = clean network).
+    chaos: Option<Chaos>,
 }
 
 impl Shared {
@@ -341,6 +374,32 @@ impl Shared {
             "proc.heartbeat_misses",
             m.heartbeat_misses.load(Ordering::Relaxed),
         );
+        reg.counter(
+            "proc.dial_backoffs",
+            m.dial_backoffs.load(Ordering::Relaxed),
+        );
+        reg.counter(
+            "proc.partitions_suspected",
+            m.partitions_suspected.load(Ordering::Relaxed),
+        );
+        reg.counter(
+            "proc.partitions_healed",
+            m.partitions_healed.load(Ordering::Relaxed),
+        );
+        if let Some(c) = &self.chaos {
+            reg.counter(
+                "chaos.delays_injected",
+                c.delays_injected.load(Ordering::Relaxed),
+            );
+            reg.counter(
+                "chaos.severs_injected",
+                c.severs_injected.load(Ordering::Relaxed),
+            );
+            reg.counter(
+                "chaos.dials_refused",
+                c.dials_refused.load(Ordering::Relaxed),
+            );
+        }
         reg.gauge(
             "proc.wire_bytes_sent",
             m.wire_bytes_sent.load(Ordering::Relaxed) as f64,
@@ -357,18 +416,59 @@ impl Shared {
             "proc.data_bytes_recv",
             m.data_bytes_recv.load(Ordering::Relaxed) as f64,
         );
-        if let Ok(h) = m.frame_send_us.lock() {
-            reg.hist("proc.frame_send_us", h.clone());
-        }
-        if let Ok(h) = m.frame_recv_gap_us.lock() {
-            reg.hist("proc.frame_recv_gap_us", h.clone());
-        }
+        reg.hist(
+            "proc.frame_send_us",
+            lock_or_recover(&m.frame_send_us).clone(),
+        );
+        reg.hist(
+            "proc.frame_recv_gap_us",
+            lock_or_recover(&m.frame_recv_gap_us).clone(),
+        );
         reg
     }
 
     fn log(&self, msg: &str) {
-        if let Ok(mut f) = self.log.lock() {
-            let _ = writeln!(f, "[{:9.3}s] {}", self.start.elapsed().as_secs_f64(), msg);
+        let mut f = lock_or_recover(&self.log);
+        let _ = writeln!(f, "[{:9.3}s] {}", self.start.elapsed().as_secs_f64(), msg);
+    }
+
+    /// Writes one encoded frame to `slot`, with the chaos interposer in
+    /// the path: an injected latency/bandwidth verdict holds the frame
+    /// (sleeping with the conn lock held — a slow wire serializes the
+    /// link exactly like this), a sever verdict tears the connection
+    /// down instead of writing (the frame stays queued for replay).
+    /// Returns `true` when the bytes actually went out.
+    fn gated_write(&self, dst: usize, slot: &mut Option<Stream>, bytes: &[u8]) -> bool {
+        if slot.is_none() {
+            return false;
+        }
+        if let Some(chaos) = &self.chaos {
+            match chaos.on_send(dst, bytes.len() as u64, self.now_us()) {
+                SendVerdict::Deliver { delay } => {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                SendVerdict::Sever { why } => {
+                    self.log(&format!("chaos: severing link to rank {dst} ({why})"));
+                    if let Some(stream) = slot.take() {
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                    return false;
+                }
+            }
+        }
+        let stream = slot.as_mut().expect("stream checked above");
+        let t0 = Instant::now();
+        let outcome = stream.write_all(bytes).and_then(|_| stream.flush());
+        if outcome.is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
+            *slot = None;
+            false
+        } else {
+            self.metrics
+                .record_send(bytes.len() as u64, t0.elapsed().as_micros() as u64);
+            true
         }
     }
 
@@ -379,9 +479,8 @@ impl Shared {
         if peer.dead.load(Ordering::SeqCst) || peer.bye.load(Ordering::SeqCst) {
             return Err(PeerGone);
         }
-        let mut conn = peer.conn.lock().unwrap();
-        let link_seq = conn.next_link_seq;
-        conn.next_link_seq += 1;
+        let mut conn = lock_or_recover(&peer.conn);
+        let link_seq = conn.replay.assign_seq();
         let body_len = body.len() as u64;
         let frame = Frame {
             kind: kind_byte,
@@ -390,20 +489,10 @@ impl Shared {
             body,
         };
         let bytes = wire::encode_frame(&frame);
-        conn.replay.push_back((link_seq, bytes.clone()));
-        if let Some(stream) = conn.stream.as_mut() {
-            let t0 = Instant::now();
-            if stream
-                .write_all(&bytes)
-                .and_then(|_| stream.flush())
-                .is_err()
-            {
-                let _ = stream.shutdown(Shutdown::Both);
-                conn.stream = None;
-            } else {
-                self.metrics
-                    .record_send(bytes.len() as u64, t0.elapsed().as_micros() as u64);
-            }
+        conn.replay.push(link_seq, bytes.clone());
+        {
+            let Conn { stream, .. } = &mut *conn;
+            self.gated_write(dst, stream, &bytes);
         }
         if kind_byte == kind::DATA {
             self.metrics
@@ -426,19 +515,10 @@ impl Shared {
 
     /// Best-effort unreliable control frame (HEARTBEAT, BYE, ACK).
     fn send_control(&self, dst: usize, frame: &Frame) {
-        let mut conn = self.peers[dst].conn.lock().unwrap();
-        if let Some(stream) = conn.stream.as_mut() {
-            let t0 = Instant::now();
-            if wire::write_frame(stream, frame).is_err() {
-                let _ = stream.shutdown(Shutdown::Both);
-                conn.stream = None;
-            } else {
-                self.metrics.record_send(
-                    wire::FRAME_OVERHEAD + frame.body.len() as u64,
-                    t0.elapsed().as_micros() as u64,
-                );
-            }
-        }
+        let bytes = wire::encode_frame(frame);
+        let mut conn = lock_or_recover(&self.peers[dst].conn);
+        let Conn { stream, .. } = &mut *conn;
+        self.gated_write(dst, stream, &bytes);
     }
 
     fn mark_peer_dead(&self, q: usize, why: &str) {
@@ -447,15 +527,12 @@ impl Shared {
             return;
         }
         self.log(&format!("peer rank {q} declared dead: {why}"));
-        self.dead
-            .lock()
-            .unwrap()
-            .push(DeathRecord { rank: q, gen: 0 });
+        lock_or_recover(&self.dead).push(DeathRecord { rank: q, gen: 0 });
         // Wake anything blocked on this peer: receives observe
         // `Disconnected` once the sender is gone, the reader wakes on
         // the shutdown.
-        *peer.data_tx.lock().unwrap() = None;
-        let mut conn = peer.conn.lock().unwrap();
+        *lock_or_recover(&peer.data_tx) = None;
+        let mut conn = lock_or_recover(&peer.conn);
         if let Some(stream) = conn.stream.take() {
             let _ = stream.shutdown(Shutdown::Both);
         }
@@ -510,13 +587,13 @@ impl Shared {
             if q == self.rank {
                 continue;
             }
-            let mut conn = self.peers[q].conn.lock().unwrap();
+            let mut conn = lock_or_recover(&self.peers[q].conn);
             if let Some(stream) = conn.stream.take() {
                 let _ = stream.shutdown(Shutdown::Both);
             }
         }
-        *self.entries_tx.lock().unwrap() = None;
-        *self.release_tx.lock().unwrap() = None;
+        *lock_or_recover(&self.entries_tx) = None;
+        *lock_or_recover(&self.release_tx) = None;
     }
 
     /// SIGTERM: drain connections, then exit with the conventional
@@ -536,50 +613,48 @@ impl Shared {
 fn install_conn(
     shared: &Arc<Shared>,
     q: usize,
-    stream: UnixStream,
+    stream: Stream,
     peer_watermark: u64,
 ) -> io::Result<()> {
     let writer = stream.try_clone()?;
     let peer = &shared.peers[q];
     let epoch;
     {
-        let mut conn = peer.conn.lock().unwrap();
+        let mut conn = lock_or_recover(&peer.conn);
         if let Some(old) = conn.stream.take() {
             let _ = old.shutdown(Shutdown::Both);
         }
-        conn.epoch += 1;
-        epoch = conn.epoch;
-        conn.acked = conn.acked.max(peer_watermark);
-        while conn
-            .replay
-            .front()
-            .is_some_and(|(seq, _)| *seq <= conn.acked)
-        {
-            conn.replay.pop_front();
-        }
-        let mut w = writer;
-        let mut ok = true;
-        for (_, bytes) in conn.replay.iter() {
-            if w.write_all(bytes).is_err() {
-                ok = false;
-                break;
-            }
-        }
-        if ok {
-            let _ = w.flush();
-            conn.stream = Some(w);
+        if conn.epoch > 0 {
+            // This link existed before and is coming back: whatever
+            // took it down (reset, partition, peer restart of the
+            // connection) healed within the liveness budget.
             shared
                 .metrics
-                .replayed_frames
-                .fetch_add(conn.replay.len() as u64, Ordering::Relaxed);
-        } else {
-            // The fresh connection is already broken; its reader will
-            // notice and retry.
-            let _ = w.shutdown(Shutdown::Both);
+                .partitions_healed
+                .fetch_add(1, Ordering::Relaxed);
         }
+        conn.epoch += 1;
+        epoch = conn.epoch;
+        conn.replay.ack(peer_watermark);
+        conn.stream = Some(writer);
+        // Retransmit the unacknowledged suffix through the same gated
+        // path as live traffic (chaos shapes replays too). A failed or
+        // severed write clears the stream; the remaining suffix stays
+        // queued for the next reconnect.
+        let mut replayed = 0u64;
+        let Conn { stream, replay, .. } = &mut *conn;
+        for bytes in replay.unacked() {
+            if !shared.gated_write(q, stream, bytes) {
+                break;
+            }
+            replayed += 1;
+        }
+        shared
+            .metrics
+            .replayed_frames
+            .fetch_add(replayed, Ordering::Relaxed);
         shared.log(&format!(
-            "link to rank {q} up (epoch {epoch}, peer watermark {peer_watermark}, replayed {})",
-            conn.replay.len()
+            "link to rank {q} up (epoch {epoch}, peer watermark {peer_watermark}, replayed {replayed})"
         ));
     }
     peer.last_seen_ms.store(shared.now_ms(), Ordering::SeqCst);
@@ -592,7 +667,7 @@ fn install_conn(
 
 /// Reads frames off one connection to peer `q` until it dies, then
 /// hands off to reconnect/death handling.
-fn reader_loop(shared: Arc<Shared>, q: usize, stream: UnixStream, epoch: u64) {
+fn reader_loop(shared: Arc<Shared>, q: usize, stream: Stream, epoch: u64) {
     let _ = stream.set_read_timeout(None);
     let raw = match stream.try_clone() {
         Ok(c) => c,
@@ -636,15 +711,17 @@ fn route_frame(shared: &Arc<Shared>, q: usize, frame: Frame) {
         kind::DATA | kind::BARRIER_ENTER | kind::BARRIER_RELEASE => {
             // Reliable frame: watermark-dedup, ack, then deliver.
             {
-                let mut conn = peer.conn.lock().unwrap();
-                if frame.link_seq <= conn.delivered {
+                let mut conn = lock_or_recover(&peer.conn);
+                if !conn.dedup.admit(frame.link_seq) {
                     return; // duplicate from a replay
                 }
-                conn.delivered = frame.link_seq;
-                let ack = Frame::with_u64(kind::ACK, shared.rank, conn.delivered);
-                if let Some(stream) = conn.stream.as_mut() {
-                    let _ = wire::write_frame(stream, &ack);
-                }
+                let ack = wire::encode_frame(&Frame::with_u64(
+                    kind::ACK,
+                    shared.rank,
+                    conn.dedup.delivered(),
+                ));
+                let Conn { stream, .. } = &mut *conn;
+                shared.gated_write(q, stream, &ack);
             }
             match frame.kind {
                 kind::DATA => {
@@ -655,14 +732,14 @@ fn route_frame(shared: &Arc<Shared>, q: usize, frame: Frame) {
                             return;
                         }
                     };
-                    let tx = peer.data_tx.lock().unwrap().clone();
+                    let tx = lock_or_recover(&peer.data_tx).clone();
                     if let Some(tx) = tx {
                         let _ = tx.send(msg);
                     }
                 }
                 kind::BARRIER_ENTER => {
                     if let Ok(round) = frame.body_u64() {
-                        let tx = shared.entries_tx.lock().unwrap().clone();
+                        let tx = lock_or_recover(&shared.entries_tx).clone();
                         if let Some(tx) = tx {
                             let _ = tx.send((frame.src, round));
                         }
@@ -671,7 +748,7 @@ fn route_frame(shared: &Arc<Shared>, q: usize, frame: Frame) {
                 _ => {
                     // BARRIER_RELEASE
                     if let Ok(round) = frame.body_u64() {
-                        let tx = shared.release_tx.lock().unwrap().clone();
+                        let tx = lock_or_recover(&shared.release_tx).clone();
                         if let Some(tx) = tx {
                             let _ = tx.send(round);
                         }
@@ -681,15 +758,7 @@ fn route_frame(shared: &Arc<Shared>, q: usize, frame: Frame) {
         }
         kind::ACK => {
             if let Ok(watermark) = frame.body_u64() {
-                let mut conn = peer.conn.lock().unwrap();
-                conn.acked = conn.acked.max(watermark);
-                while conn
-                    .replay
-                    .front()
-                    .is_some_and(|(seq, _)| *seq <= conn.acked)
-                {
-                    conn.replay.pop_front();
-                }
+                lock_or_recover(&peer.conn).replay.ack(watermark);
             }
         }
         kind::HEARTBEAT => {} // last_seen already updated
@@ -707,7 +776,7 @@ fn route_frame(shared: &Arc<Shared>, q: usize, frame: Frame) {
 fn on_conn_end(shared: &Arc<Shared>, q: usize, epoch: u64, reason: &str) {
     let peer = &shared.peers[q];
     {
-        let mut conn = peer.conn.lock().unwrap();
+        let mut conn = lock_or_recover(&peer.conn);
         if conn.epoch != epoch {
             return; // a newer connection has already replaced this one
         }
@@ -723,9 +792,16 @@ fn on_conn_end(shared: &Arc<Shared>, q: usize, epoch: u64, reason: &str) {
         // thread-backend analogue of a finished rank dropping its
         // channels. Queued messages already delivered remain readable.
         shared.log(&format!("link to rank {q} closed cleanly"));
-        *peer.data_tx.lock().unwrap() = None;
+        *lock_or_recover(&peer.data_tx) = None;
         return;
     }
+    // An unclean loss while healthy: from here it is either a crashed
+    // peer or a partitioned link — indistinguishable until reconnect
+    // resolves it one way or the other.
+    shared
+        .metrics
+        .partitions_suspected
+        .fetch_add(1, Ordering::Relaxed);
     shared.log(&format!("link to rank {q} lost ({reason})"));
     if q < shared.rank {
         reconnect_loop(shared, q);
@@ -734,20 +810,20 @@ fn on_conn_end(shared: &Arc<Shared>, q: usize, epoch: u64, reason: &str) {
     // replacement and the heartbeat monitor handles true death.
 }
 
-/// Dialer-side reconnect with capped exponential backoff, bounded by
-/// the liveness budget (miss threshold × heartbeat period).
+/// Dialer-side reconnect with capped exponential backoff + jitter,
+/// bounded by the liveness budget (miss threshold × heartbeat period).
 fn reconnect_loop(shared: &Arc<Shared>, q: usize) {
     let budget = shared.heartbeat * shared.miss;
     let deadline = Instant::now() + budget.max(Duration::from_secs(1));
-    let mut backoff = Duration::from_millis(20);
-    let path = shared.addrbook[q].clone();
+    let mut backoff = Backoff::new(20, 500, splitmix64(((shared.rank as u64) << 32) ^ q as u64));
+    let addr = shared.addrbook[q].clone();
     loop {
         if shared.shutting_down.load(Ordering::SeqCst)
             || shared.peers[q].dead.load(Ordering::SeqCst)
         {
             return;
         }
-        match dial_peer(shared, q, &path) {
+        match dial_peer(shared, q, &addr) {
             Ok(()) => {
                 shared.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
                 shared.log(&format!("reconnected to rank {q}"));
@@ -758,19 +834,30 @@ fn reconnect_loop(shared: &Arc<Shared>, q: usize) {
             }
         }
         if Instant::now() >= deadline {
-            shared.mark_peer_dead(q, "reconnect budget exhausted");
+            shared.mark_peer_dead(
+                q,
+                "reconnect budget exhausted (peer process died or partition outlived the deadline)",
+            );
             return;
         }
-        std::thread::sleep(backoff);
-        backoff = (backoff * 2).min(Duration::from_millis(500));
+        shared.metrics.dial_backoffs.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(backoff.next());
     }
 }
 
 /// Dials peer `q` and runs the HELLO exchange (dialer side: HELLO out,
 /// HELLO back carrying the peer's delivered watermark).
-fn dial_peer(shared: &Arc<Shared>, q: usize, path: &str) -> io::Result<()> {
-    let mut stream = UnixStream::connect(path)?;
-    let delivered = shared.peers[q].conn.lock().unwrap().delivered;
+fn dial_peer(shared: &Arc<Shared>, q: usize, addr: &str) -> io::Result<()> {
+    if let Some(chaos) = &shared.chaos {
+        if let Some(why) = chaos.dial_refused(q, shared.now_ms()) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("chaos: {why}"),
+            ));
+        }
+    }
+    let mut stream = Stream::connect(addr)?;
+    let delivered = lock_or_recover(&shared.peers[q].conn).dedup.delivered();
     wire::write_frame(
         &mut stream,
         &Frame::with_u64(kind::HELLO, shared.rank, delivered),
@@ -790,14 +877,14 @@ fn dial_peer(shared: &Arc<Shared>, q: usize, path: &str) -> io::Result<()> {
 
 /// Mesh accept loop: each incoming connection leads with HELLO(src,
 /// watermark); we reply with our own watermark and install it.
-fn acceptor_loop(shared: Arc<Shared>, listener: UnixListener) {
+fn acceptor_loop(shared: Arc<Shared>, listener: Listener) {
     let _ = listener.set_nonblocking(true);
     loop {
         if shared.shutting_down.load(Ordering::SeqCst) {
             return;
         }
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok(stream) => {
                 let _ = stream.set_nonblocking(false);
                 if let Err(e) = handle_accept(&shared, stream) {
                     shared.log(&format!("accept handshake failed: {e}"));
@@ -814,7 +901,7 @@ fn acceptor_loop(shared: Arc<Shared>, listener: UnixListener) {
     }
 }
 
-fn handle_accept(shared: &Arc<Shared>, mut stream: UnixStream) -> io::Result<()> {
+fn handle_accept(shared: &Arc<Shared>, mut stream: Stream) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     let hello = wire::read_frame(&mut &stream)?
         .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF before HELLO"))?;
@@ -837,7 +924,19 @@ fn handle_accept(shared: &Arc<Shared>, mut stream: UnixStream) -> io::Result<()>
             "peer already declared dead",
         ));
     }
-    let delivered = shared.peers[q].conn.lock().unwrap().delivered;
+    if let Some(chaos) = &shared.chaos {
+        // A partitioned link refuses replacement connections in both
+        // directions until the window heals — otherwise the dialer
+        // would punch straight through the partition.
+        let now = shared.now_ms();
+        if chaos.partitioned(q, shared.rank, now) || chaos.partitioned(shared.rank, q, now) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "chaos: link partitioned",
+            ));
+        }
+    }
+    let delivered = lock_or_recover(&shared.peers[q].conn).dedup.delivered();
     wire::write_frame(
         &mut stream,
         &Frame::with_u64(kind::HELLO, shared.rank, delivered),
@@ -878,7 +977,10 @@ fn monitor_loop(shared: Arc<Shared>) {
                     .fetch_add(1, Ordering::Relaxed);
             }
             if age > u64::from(shared.miss) * period_ms {
-                shared.mark_peer_dead(q, &format!("no frames for {age} ms"));
+                shared.mark_peer_dead(
+                    q,
+                    &format!("no frames for {age} ms (process died or link partitioned past the deadline)"),
+                );
             }
         }
     }
@@ -902,12 +1004,34 @@ pub(crate) fn clock_offsets_path(dir: &Path) -> PathBuf {
     dir.join("clock-offsets.json")
 }
 
+/// Restart-generation file the supervisor writes under the run dir
+/// before each spawn round; children read it at connect time so
+/// windowed chaos faults can stay generation-0-only.
+fn generation_path(dir: &Path) -> PathBuf {
+    dir.join("generation")
+}
+
+/// Supervisor side: records restart generation `generation` under `dir`
+/// before (re)spawning a rank round. Children pick it up in
+/// `ProcTransport::connect`; a missing file reads as generation 0.
+pub fn write_proc_generation(dir: &Path, generation: u64) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(generation_path(dir), format!("{generation}\n"))
+}
+
+fn read_proc_generation(dir: &Path) -> u64 {
+    fs::read_to_string(generation_path(dir))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 /// Rank 0: runs the NTP-style midpoint exchange against one held
 /// rendezvous stream. Three CLOCK_PING/PONG round trips; the minimum-RTT
 /// sample wins (least queueing noise). The returned offset is
 /// `t1 − (t0 + t2)/2` — what to *subtract* from the peer's wall reading
 /// to land it on rank 0's clock axis.
-fn estimate_clock_offset(stream: &UnixStream, src: usize, anchor: &Instant) -> io::Result<f64> {
+fn estimate_clock_offset(stream: &Stream, src: usize, anchor: &Instant) -> io::Result<f64> {
     let mut best_rtt = f64::INFINITY;
     let mut best_offset = 0.0f64;
     for _ in 0..3 {
@@ -938,23 +1062,43 @@ fn estimate_clock_offset(stream: &UnixStream, src: usize, anchor: &Instant) -> i
     Ok(best_offset)
 }
 
-/// Rank 0: collect REGISTER(path) from every other rank, estimate each
-/// registrant's clock offset over the held stream, then reply to each
-/// with the full ADDRBOOK. Offsets land in `clock-offsets.json`.
+/// Nonblocking probe of a held rendezvous stream. A registrant must be
+/// silent between REGISTER and the CLOCK_PING exchange, so readable
+/// bytes are a protocol violation and EOF means the rank died
+/// mid-rendezvous; both must fail the world now rather than stall every
+/// rank until the wire-up deadline.
+fn rendezvous_conn_died(stream: &Stream) -> io::Result<bool> {
+    stream.set_nonblocking(true)?;
+    let mut byte = [0u8; 1];
+    let outcome = (&mut &*stream).read(&mut byte);
+    stream.set_nonblocking(false)?;
+    match outcome {
+        Ok(0) => Ok(true),
+        Ok(_) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unexpected bytes before the clock exchange",
+        )),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Rank 0: collect REGISTER(addr) from every other rank on `listener`
+/// (Unix or TCP), estimate each registrant's clock offset over the held
+/// stream, then reply to each with the full ADDRBOOK. Offsets land in
+/// `clock-offsets.json`.
 fn rendezvous_serve(
+    listener: Listener,
     dir: &Path,
     p: usize,
-    my_path: &str,
+    my_addr: &str,
     deadline: Instant,
     anchor: &Instant,
 ) -> io::Result<Vec<String>> {
-    let rv_path = rendezvous_path(dir);
-    let _ = fs::remove_file(&rv_path);
-    let listener = UnixListener::bind(&rv_path)?;
     listener.set_nonblocking(true)?;
     let mut book: Vec<Option<String>> = vec![None; p];
-    book[0] = Some(my_path.to_string());
-    let mut conns: Vec<(usize, UnixStream)> = Vec::new();
+    book[0] = Some(my_addr.to_string());
+    let mut conns: Vec<(usize, Stream)> = Vec::new();
     while conns.len() < p - 1 {
         if Instant::now() >= deadline {
             return Err(io::Error::new(
@@ -967,7 +1111,7 @@ fn rendezvous_serve(
             ));
         }
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok(stream) => {
                 stream.set_nonblocking(false)?;
                 stream.set_read_timeout(Some(Duration::from_secs(2)))?;
                 let frame = wire::read_frame(&mut &stream)?.ok_or_else(|| {
@@ -986,10 +1130,37 @@ fn rendezvous_serve(
                         "REGISTER from invalid rank",
                     ));
                 }
+                if book[src].is_some() {
+                    // Two processes claiming one rank is a launcher bug
+                    // (or a stray straggler from a previous generation);
+                    // silently keeping the newcomer would wire a mesh to
+                    // the wrong process.
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("duplicate REGISTER from rank {src}"),
+                    ));
+                }
                 book[src] = Some(wire::decode_register(&frame.body)?);
                 conns.push((src, stream));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                for (src, stream) in &conns {
+                    match rendezvous_conn_died(stream) {
+                        Ok(false) => {}
+                        Ok(true) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::ConnectionAborted,
+                                format!("rank {src} died during rendezvous"),
+                            ));
+                        }
+                        Err(e) => {
+                            return Err(io::Error::new(
+                                e.kind(),
+                                format!("rank {src} rendezvous stream: {e}"),
+                            ));
+                        }
+                    }
+                }
                 std::thread::sleep(Duration::from_millis(10));
             }
             Err(e) => return Err(e),
@@ -1017,23 +1188,33 @@ fn rendezvous_serve(
         };
         wire::write_frame(&mut stream, &frame)?;
     }
-    let _ = fs::remove_file(&rv_path);
     Ok(paths)
 }
 
-/// Non-zero ranks: dial the rendezvous socket (retrying while rank 0
-/// boots), REGISTER our mesh path, answer rank 0's clock-offset pings,
-/// and wait for the ADDRBOOK.
+/// Non-zero ranks: dial the rendezvous endpoint with capped exponential
+/// backoff + jitter (rank 0 may still be booting; chaos may be refusing
+/// dials) up to the hard wire-up deadline, REGISTER our mesh address,
+/// answer rank 0's clock-offset pings, and wait for the ADDRBOOK.
 fn rendezvous_join(
-    dir: &Path,
+    target: &str,
     rank: usize,
-    my_path: &str,
+    my_addr: &str,
     deadline: Instant,
     anchor: &Instant,
+    chaos: Option<&Chaos>,
+    metrics: &TransportMetrics,
 ) -> io::Result<Vec<String>> {
-    let rv_path = rendezvous_path(dir);
+    let mut backoff = Backoff::new(20, 500, splitmix64(0x52454E44 ^ rank as u64));
     let mut stream = loop {
-        match UnixStream::connect(&rv_path) {
+        let refused = chaos.and_then(|c| c.dial_refused(0, anchor.elapsed().as_millis() as u64));
+        let attempt = match refused {
+            Some(why) => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("chaos: {why}"),
+            )),
+            None => Stream::connect(target),
+        };
+        match attempt {
             Ok(s) => break s,
             Err(e) => {
                 if Instant::now() >= deadline {
@@ -1042,7 +1223,8 @@ fn rendezvous_join(
                         format!("rendezvous dial timed out: {e}"),
                     ));
                 }
-                std::thread::sleep(Duration::from_millis(20));
+                metrics.dial_backoffs.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff.next());
             }
         }
     };
@@ -1050,7 +1232,7 @@ fn rendezvous_join(
         kind: kind::REGISTER,
         src: rank as u32,
         link_seq: 0,
-        body: wire::encode_path(my_path),
+        body: wire::encode_path(my_addr),
     };
     wire::write_frame(&mut stream, &frame)?;
     let remaining = deadline.saturating_duration_since(Instant::now());
@@ -1100,15 +1282,13 @@ pub(crate) struct ProcTransport {
 
 impl ProcTransport {
     /// Binds, rendezvouses, and wires the full mesh; returns once every
-    /// peer link is established.
-    fn connect(
-        rank: usize,
-        p: usize,
-        dir: &Path,
-        timeout: Duration,
-        heartbeat: Duration,
-        miss: u32,
-    ) -> io::Result<Self> {
+    /// peer link is established. With a hostfile the mesh runs over TCP
+    /// (rank 0's hostfile port is the rendezvous endpoint; mesh
+    /// listeners advertise their kernel-assigned or pinned ports via
+    /// the ADDRBOOK); otherwise over Unix-domain sockets under the run
+    /// dir.
+    fn connect(rank: usize, w: &ProcWorld) -> io::Result<Self> {
+        let (p, dir, timeout) = (w.p, &w.dir, w.timeout);
         install_sigterm_handler();
         fs::create_dir_all(dir)?;
         let log = OpenOptions::new()
@@ -1120,25 +1300,69 @@ impl ProcTransport {
             .and_then(|v| v.parse::<u64>().ok());
 
         // One anchor serves both clocks-of-record: it is `Shared.start`
-        // (heartbeat ages, log stamps) *and* the wall-clock zero the
-        // tracer and the rendezvous offset estimation share — so the
-        // offsets rank 0 writes apply directly to trace timestamps.
+        // (heartbeat ages, log stamps, chaos windows) *and* the
+        // wall-clock zero the tracer and the rendezvous offset
+        // estimation share — so the offsets rank 0 writes apply
+        // directly to trace timestamps.
         let start = Instant::now();
         let deadline = start + timeout;
-        let my_path = mesh_path(dir, rank);
-        let _ = fs::remove_file(&my_path);
-        let listener = UnixListener::bind(&my_path)?;
+        let generation = read_proc_generation(dir);
+        let chaos = w
+            .net_chaos
+            .clone()
+            .map(|plan| Chaos::new(plan, rank, p, generation));
+        let metrics = TransportMetrics::new();
+
+        let (listener, my_addr) = match &w.hostfile {
+            Some(hosts) => {
+                // Rank 0's hostfile port belongs to the rendezvous
+                // endpoint; its mesh listener takes an ephemeral port
+                // (published via the ADDRBOOK like everyone else's).
+                let port = if rank == 0 { 0 } else { hosts.port(rank) };
+                let l = Listener::bind_tcp(hosts.host(rank), port)?;
+                let addr = l.advertised_addr(hosts.host(rank))?;
+                (l, addr)
+            }
+            None => {
+                let path = mesh_path(dir, rank);
+                (Listener::bind_unix(&path)?, path)
+            }
+        };
 
         let addrbook = if p == 1 {
             fs::write(
                 clock_offsets_path(dir),
                 gnn_trace::merge::offsets_json(&[0.0]),
             )?;
-            vec![my_path.clone()]
+            vec![my_addr.clone()]
         } else if rank == 0 {
-            rendezvous_serve(dir, p, &my_path, deadline, &start)?
+            let (rv_listener, rv_cleanup) = match &w.hostfile {
+                Some(hosts) => (Listener::bind_tcp(hosts.host(0), hosts.port(0))?, None),
+                None => {
+                    let path = rendezvous_path(dir);
+                    let l = Listener::bind_unix(&path.to_string_lossy())?;
+                    (l, Some(path))
+                }
+            };
+            let book = rendezvous_serve(rv_listener, dir, p, &my_addr, deadline, &start)?;
+            if let Some(path) = rv_cleanup {
+                let _ = fs::remove_file(&path);
+            }
+            book
         } else {
-            rendezvous_join(dir, rank, &my_path, deadline, &start)?
+            let target = match &w.hostfile {
+                Some(hosts) => hosts.rendezvous_addr(),
+                None => rendezvous_path(dir).to_string_lossy().into_owned(),
+            };
+            rendezvous_join(
+                &target,
+                rank,
+                &my_addr,
+                deadline,
+                &start,
+                chaos.as_ref(),
+                &metrics,
+            )?
         };
         if addrbook.len() != p {
             return Err(io::Error::new(
@@ -1155,7 +1379,7 @@ impl ProcTransport {
                 data_rx.push(None);
             } else {
                 let (tx, rx) = mpsc::channel();
-                *peer.data_tx.lock().unwrap() = Some(tx);
+                *lock_or_recover(&peer.data_tx) = Some(tx);
                 data_rx.push(Some(rx));
             }
             peers.push(peer);
@@ -1177,8 +1401,8 @@ impl ProcTransport {
             rank,
             p,
             timeout,
-            heartbeat,
-            miss,
+            heartbeat: w.heartbeat,
+            miss: w.miss,
             start,
             addrbook,
             peers,
@@ -1190,9 +1414,13 @@ impl ProcTransport {
             drop_after,
             drop_fired: AtomicBool::new(false),
             log: Mutex::new(log),
-            metrics: TransportMetrics::new(),
+            metrics,
+            chaos,
         });
-        shared.log(&format!("rank {rank}/{p} rendezvous complete"));
+        shared.log(&format!(
+            "rank {rank}/{p} rendezvous complete (generation {generation}, mesh {})",
+            if w.hostfile.is_some() { "tcp" } else { "unix" }
+        ));
 
         if p > 1 {
             {
@@ -1203,9 +1431,10 @@ impl ProcTransport {
             }
             // Dial every lower rank; higher ranks dial us.
             for q in 0..rank {
-                let path = shared.addrbook[q].clone();
+                let addr = shared.addrbook[q].clone();
+                let mut backoff = Backoff::new(20, 500, splitmix64((rank as u64) << 16 | q as u64));
                 loop {
-                    match dial_peer(&shared, q, &path) {
+                    match dial_peer(&shared, q, &addr) {
                         Ok(()) => break,
                         Err(e) => {
                             if Instant::now() >= deadline {
@@ -1214,7 +1443,8 @@ impl ProcTransport {
                                     format!("mesh dial to rank {q} timed out: {e}"),
                                 ));
                             }
-                            std::thread::sleep(Duration::from_millis(20));
+                            shared.metrics.dial_backoffs.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(backoff.next());
                         }
                     }
                 }
@@ -1223,7 +1453,7 @@ impl ProcTransport {
             // acceptor).
             loop {
                 let all_up =
-                    (0..p).all(|q| q == rank || shared.peers[q].conn.lock().unwrap().epoch > 0);
+                    (0..p).all(|q| q == rank || lock_or_recover(&shared.peers[q].conn).epoch > 0);
                 if all_up {
                     break;
                 }
@@ -1397,15 +1627,11 @@ impl Transport for ProcTransport {
         // `deaths()` stays truthful, then let the crash panic unwind.
         self.shared
             .log(&format!("rank {rank} marked dead (gen {gen})"));
-        self.shared
-            .dead
-            .lock()
-            .unwrap()
-            .push(DeathRecord { rank, gen });
+        lock_or_recover(&self.shared.dead).push(DeathRecord { rank, gen });
     }
 
     fn deaths(&self) -> Vec<DeathRecord> {
-        self.shared.dead.lock().unwrap().clone()
+        lock_or_recover(&self.shared.dead).clone()
     }
 
     fn timeout(&self) -> Duration {
@@ -1448,6 +1674,8 @@ pub struct ProcWorld {
     injector: Option<Arc<FaultInjector>>,
     tracing: bool,
     metrics_interval: Option<Duration>,
+    hostfile: Option<HostFile>,
+    net_chaos: Option<NetChaosPlan>,
 }
 
 impl ProcWorld {
@@ -1458,6 +1686,13 @@ impl ProcWorld {
     /// `GNN_PROC_HEARTBEAT_MS` / `GNN_PROC_MISS` environment overrides;
     /// `GNN_PROC_METRICS_MS=<n>` turns on the periodic live-metrics
     /// snapshot stream (`metrics-rank<r>.jsonl` under `dir`).
+    /// `GNN_PROC_HOSTFILE=<path>` switches the mesh to TCP listeners
+    /// from that hostfile, and `GNN_PROC_NET_CHAOS=<spec>` arms the
+    /// deterministic network-chaos interposer — both also settable
+    /// explicitly via [`ProcWorld::with_hostfile`] /
+    /// [`ProcWorld::with_net_chaos`]. Malformed values for either
+    /// panic: silently training on a clean network when chaos was
+    /// requested would invalidate the experiment.
     pub fn new(p: usize, model: CostModel, dir: impl Into<PathBuf>) -> Self {
         assert!(p > 0, "need at least one rank");
         let heartbeat = std::env::var("GNN_PROC_HEARTBEAT_MS")
@@ -1474,6 +1709,21 @@ impl ProcWorld {
             .and_then(|v| v.parse::<u64>().ok())
             .filter(|&ms| ms > 0)
             .map(Duration::from_millis);
+        let hostfile = std::env::var("GNN_PROC_HOSTFILE").ok().map(|path| {
+            HostFile::load(Path::new(&path))
+                .unwrap_or_else(|e| panic!("GNN_PROC_HOSTFILE {path}: {e}"))
+        });
+        let net_chaos = std::env::var("GNN_PROC_NET_CHAOS").ok().map(|spec| {
+            NetChaosPlan::parse(&spec).unwrap_or_else(|e| panic!("GNN_PROC_NET_CHAOS: {e}"))
+        });
+        if let Some(hosts) = &hostfile {
+            assert_eq!(
+                hosts.p(),
+                p,
+                "hostfile names {} ranks but the world has {p}",
+                hosts.p()
+            );
+        }
         ProcWorld {
             p,
             model,
@@ -1484,6 +1734,8 @@ impl ProcWorld {
             injector: None,
             tracing: false,
             metrics_interval,
+            hostfile,
+            net_chaos,
         }
     }
 
@@ -1508,6 +1760,29 @@ impl ProcWorld {
             injector: Some(injector),
             ..self
         }
+    }
+
+    /// Runs the mesh over TCP loopback/multi-node listeners described
+    /// by `hosts` (one line per rank; rank 0's port is the rendezvous
+    /// endpoint). Every rank of one world must use the same hostfile.
+    pub fn with_hostfile(mut self, hosts: HostFile) -> Self {
+        assert_eq!(
+            hosts.p(),
+            self.p,
+            "hostfile names {} ranks but the world has {}",
+            hosts.p(),
+            self.p
+        );
+        self.hostfile = Some(hosts);
+        self
+    }
+
+    /// Arms the deterministic network-chaos interposer: every rank of
+    /// one world must receive the identical plan (same spec string) or
+    /// the fault schedule loses its meaning.
+    pub fn with_net_chaos(mut self, plan: NetChaosPlan) -> Self {
+        self.net_chaos = Some(plan);
+        self
     }
 
     /// Enables dual-clock structured tracing: the rank body records
@@ -1547,14 +1822,7 @@ impl ProcWorld {
         // Structured panics are caught below; the guard keeps the
         // default hook from spraying backtraces for expected failures.
         let _hook = PanicHookGuard::acquire();
-        let transport = ProcTransport::connect(
-            rank,
-            self.p,
-            &self.dir,
-            self.timeout,
-            self.heartbeat,
-            self.miss,
-        )?;
+        let transport = ProcTransport::connect(rank, self)?;
         let shared = transport.shared.clone();
         let tracer = self
             .tracing
@@ -1581,11 +1849,31 @@ impl ProcWorld {
             (out, stats, tracer)
         }));
         match result {
-            Ok((out, mut stats, tracer)) => {
+            Ok((out, mut stats, mut tracer)) => {
                 let m = &shared.metrics;
                 stats.proc.reconnects = m.reconnects.load(Ordering::Relaxed);
                 stats.proc.replayed_frames = m.replayed_frames.load(Ordering::Relaxed);
                 stats.proc.heartbeat_misses = m.heartbeat_misses.load(Ordering::Relaxed);
+                stats.proc.dial_backoffs = m.dial_backoffs.load(Ordering::Relaxed);
+                stats.proc.partitions_suspected = m.partitions_suspected.load(Ordering::Relaxed);
+                stats.proc.partitions_healed = m.partitions_healed.load(Ordering::Relaxed);
+                if let Some(chaos) = &shared.chaos {
+                    stats.proc.chaos_injected = chaos.delays_injected.load(Ordering::Relaxed)
+                        + chaos.severs_injected.load(Ordering::Relaxed)
+                        + chaos.dials_refused.load(Ordering::Relaxed);
+                    // Fault activations land on the trace wall axis so a
+                    // merged trace shows *when* each link was attacked.
+                    if let Some(tracer) = tracer.as_mut() {
+                        for ev in chaos.take_events() {
+                            let kind = match ev.what {
+                                "cut" => EventKind::ChaosCut,
+                                "refused" => EventKind::ChaosRefused,
+                                _ => EventKind::ChaosSever,
+                            };
+                            tracer.chaos_event(kind, ev.peer, ev.wall_s);
+                        }
+                    }
+                }
                 shared.begin_shutdown();
                 Ok((out, stats, tracer))
             }
@@ -1632,5 +1920,202 @@ fn metrics_snapshot_loop(shared: Arc<Shared>, path: PathBuf, interval: Duration)
         if done {
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gnnpu-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn register_frame(src: usize, addr: &str) -> Frame {
+        Frame {
+            kind: kind::REGISTER,
+            src: src as u32,
+            link_seq: 0,
+            body: wire::encode_path(addr),
+        }
+    }
+
+    /// Serves a 3-rank rendezvous on a background thread and returns
+    /// the dial target plus the join handle for the serve result.
+    fn spawn_serve(
+        dir: &Path,
+        p: usize,
+        timeout: Duration,
+    ) -> (String, std::thread::JoinHandle<io::Result<Vec<String>>>) {
+        let path = rendezvous_path(dir);
+        let target = path.to_string_lossy().into_owned();
+        let listener = Listener::bind_unix(&target).unwrap();
+        let dir = dir.to_path_buf();
+        let handle = std::thread::spawn(move || {
+            let anchor = Instant::now();
+            rendezvous_serve(
+                listener,
+                &dir,
+                p,
+                "rank0.sock",
+                Instant::now() + timeout,
+                &anchor,
+            )
+        });
+        (target, handle)
+    }
+
+    #[test]
+    fn duplicate_register_is_a_structured_error() {
+        let dir = scratch("dup");
+        let (target, serve) = spawn_serve(&dir, 3, Duration::from_secs(10));
+        let mut first = Stream::connect(&target).unwrap();
+        wire::write_frame(&mut first, &register_frame(1, "rank1.sock")).unwrap();
+        // A second process claiming rank 1 — a launcher bug or a stray
+        // straggler — must fail the rendezvous loudly, not overwrite.
+        let mut dup = Stream::connect(&target).unwrap();
+        wire::write_frame(&mut dup, &register_frame(1, "impostor.sock")).unwrap();
+        let err = serve.join().unwrap().expect_err("duplicate must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("duplicate REGISTER from rank 1"),
+            "unexpected error: {err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registrant_death_fails_rendezvous_before_the_deadline() {
+        let dir = scratch("rvdeath");
+        // Generous deadline: the failure must come from death detection,
+        // not the timeout.
+        let (target, serve) = spawn_serve(&dir, 3, Duration::from_secs(30));
+        let t0 = Instant::now();
+        {
+            let mut doomed = Stream::connect(&target).unwrap();
+            wire::write_frame(&mut doomed, &register_frame(1, "rank1.sock")).unwrap();
+            // Dropping the stream here is rank 1 dying mid-rendezvous:
+            // REGISTERed but gone before the ADDRBOOK. Rank 2 never
+            // shows up, so without death detection rank 0 would park
+            // until the 30 s deadline.
+        }
+        let err = serve.join().unwrap().expect_err("death must fail serve");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+        assert!(
+            err.to_string().contains("rank 1 died during rendezvous"),
+            "unexpected error: {err}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "death detection took {:?} — it must beat the deadline",
+            t0.elapsed()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // ---- Socket-level replay harness (Unix + TCP through one path) ----
+
+    /// Proves the reconnect/replay invariants from [`super::super::replay`]
+    /// over a real socket pair: frames framed by [`wire`], a connection
+    /// cut mid-stream, a second connection replaying the unacknowledged
+    /// suffix — the delivered byte sequence must equal the uncut run and
+    /// both watermarks must land exactly at the frame count.
+    fn socket_replay_roundtrip(mk: impl Fn() -> (Stream, Stream)) {
+        let total = 12u64;
+        let cut_after = 7usize;
+        let acked_before_cut = 5u64;
+        let mut sender = ReplayQueue::new();
+        let mut receiver = DedupWatermark::new();
+        let mut delivered: Vec<Vec<u8>> = Vec::new();
+
+        for i in 0..total {
+            let seq = sender.assign_seq();
+            let bytes = wire::encode_frame(&Frame {
+                kind: kind::DATA,
+                src: 0,
+                link_seq: seq,
+                body: vec![i as u8; 7],
+            });
+            sender.push(seq, bytes);
+        }
+
+        // Connection 1: only a prefix makes it onto the wire before the
+        // cut; only a prefix of the ACKs makes it back.
+        let (tx, rx) = mk();
+        {
+            let mut w = &tx;
+            for bytes in sender.unacked().take(cut_after) {
+                w.write_all(bytes).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        drop(tx); // the cut: receiver sees EOF at a frame boundary
+        let mut r = BufReader::new(rx);
+        while let Some(frame) = wire::read_frame(&mut r).unwrap() {
+            if receiver.admit(frame.link_seq) {
+                delivered.push(frame.body);
+            }
+        }
+        assert_eq!(delivered.len(), cut_after);
+        sender.ack(acked_before_cut);
+
+        // Connection 2: the HELLO watermark sync prunes what the peer
+        // already delivered, then the rest replays.
+        let (tx2, rx2) = mk();
+        sender.ack(receiver.delivered());
+        {
+            let mut w = &tx2;
+            for bytes in sender.unacked() {
+                w.write_all(bytes).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        drop(tx2);
+        let mut r2 = BufReader::new(rx2);
+        while let Some(frame) = wire::read_frame(&mut r2).unwrap() {
+            if receiver.admit(frame.link_seq) {
+                delivered.push(frame.body);
+            }
+        }
+        sender.ack(receiver.delivered());
+
+        let want: Vec<Vec<u8>> = (0..total).map(|i| vec![i as u8; 7]).collect();
+        assert_eq!(delivered, want, "replay must reconstruct the exact stream");
+        assert_eq!(receiver.delivered(), total);
+        assert_eq!(sender.acked(), total);
+        assert_eq!(sender.len(), 0, "fully ACKed queue must be empty");
+    }
+
+    #[test]
+    fn replay_is_byte_identical_over_unix_sockets() {
+        socket_replay_roundtrip(|| {
+            let (a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+            (Stream::Unix(a), Stream::Unix(b))
+        });
+    }
+
+    #[test]
+    fn replay_is_byte_identical_over_tcp_sockets() {
+        socket_replay_roundtrip(|| {
+            // Connect before accept: the kernel backlog completes the
+            // handshake, so one thread suffices.
+            let listener = Listener::bind_tcp("127.0.0.1", 0).unwrap();
+            let addr = listener.advertised_addr("127.0.0.1").unwrap();
+            let tx = Stream::connect(&addr).unwrap();
+            let rx = listener.accept().unwrap();
+            (tx, rx)
+        });
+    }
+
+    #[test]
+    fn generation_file_roundtrips_and_defaults_to_zero() {
+        let dir = scratch("gen");
+        assert_eq!(read_proc_generation(&dir), 0, "missing file reads as 0");
+        write_proc_generation(&dir, 3).unwrap();
+        assert_eq!(read_proc_generation(&dir), 3);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

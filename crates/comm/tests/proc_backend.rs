@@ -68,6 +68,30 @@ fn world(p: usize) -> ProcWorld {
     ProcWorld::new(p, CostModel::default(), dir).with_timeout(Duration::from_secs(20))
 }
 
+/// Asks the kernel for a currently-free loopback port. The listener is
+/// dropped before returning, so there is a small reuse race — fine for
+/// tests, where each run allocates fresh.
+fn free_loopback_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .expect("local_addr")
+        .port()
+}
+
+/// Writes an all-loopback hostfile for `p` ranks into `dir`: rank 0 gets
+/// a pinned rendezvous port, the rest take kernel-chosen mesh ports
+/// (published through the ADDRBOOK). Returns the hostfile path.
+fn write_loopback_hostfile(dir: &std::path::Path, p: usize) -> std::path::PathBuf {
+    let mut text = format!("127.0.0.1:{}\n", free_loopback_port());
+    for _ in 1..p {
+        text.push_str("127.0.0.1\n");
+    }
+    let path = dir.join("hosts.txt");
+    std::fs::write(&path, text).expect("write hostfile");
+    path
+}
+
 /// Every rank passes a growing f64 vector around a ring `rounds` times;
 /// after `p` hops each value has collected every rank's contribution,
 /// so the final checksum proves FIFO delivery and content integrity
@@ -115,6 +139,74 @@ fn ring_exchange_over_processes() {
     }
     let dir = scratch_dir("ring");
     let children: Vec<_> = (0..P).map(|r| spawn_rank(NAME, r, &dir, &[])).collect();
+    for (rank, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().expect("wait child");
+        assert!(status.success(), "rank {rank} exited with {status}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ring_exchange_over_tcp_loopback() {
+    const NAME: &str = "ring_exchange_over_tcp_loopback";
+    const P: usize = 3;
+    if let Some(rank) = child_rank(NAME) {
+        let (_out, stats) = world(P)
+            .run_rank(rank, |ctx| ring_body(ctx, 3))
+            .expect("rank body");
+        assert!(stats.bytes_sent_total() > 0, "rank recorded no traffic");
+        return;
+    }
+    let dir = scratch_dir("tcpring");
+    let hosts = write_loopback_hostfile(&dir, P);
+    let hosts = hosts.to_str().expect("utf8 hostfile path").to_owned();
+    let children: Vec<_> = (0..P)
+        .map(|r| spawn_rank(NAME, r, &dir, &[("GNN_PROC_HOSTFILE", &hosts)]))
+        .collect();
+    for (rank, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().expect("wait child");
+        assert!(status.success(), "rank {rank} exited with {status}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reconnect_replays_unacked_frames_over_tcp() {
+    const NAME: &str = "reconnect_replays_unacked_frames_over_tcp";
+    const P: usize = 2;
+    if let Some(rank) = child_rank(NAME) {
+        let (_out, _stats) = world(P)
+            .run_rank(rank, |ctx| {
+                let peer = 1 - ctx.rank();
+                for i in 0..40u32 {
+                    ctx.send(peer, Payload::U32(vec![i, ctx.rank() as u32]));
+                    match ctx.recv(peer) {
+                        Payload::U32(v) => assert_eq!(v, vec![i, peer as u32]),
+                        other => panic!("expected U32, got {other:?}"),
+                    }
+                }
+                ctx.barrier();
+            })
+            .expect("rank body survives the dropped TCP connection");
+        return;
+    }
+    let dir = scratch_dir("tcpreconn");
+    let hosts = write_loopback_hostfile(&dir, P);
+    let hosts = hosts.to_str().expect("utf8 hostfile path").to_owned();
+    // Same forced-drop scenario as the UDS variant, but across a real
+    // TCP reset: redial + watermark sync + replay must hide the cut.
+    let children = vec![
+        spawn_rank(NAME, 0, &dir, &[("GNN_PROC_HOSTFILE", &hosts)]),
+        spawn_rank(
+            NAME,
+            1,
+            &dir,
+            &[
+                ("GNN_PROC_HOSTFILE", &hosts),
+                ("GNN_PROC_DROP_CONN_AFTER", "5"),
+            ],
+        ),
+    ];
     for (rank, mut child) in children.into_iter().enumerate() {
         let status = child.wait().expect("wait child");
         assert!(status.success(), "rank {rank} exited with {status}");

@@ -99,6 +99,14 @@ pub fn run_rank_proc(
     if let Some(faults) = cfg.robust.faults.as_ref().filter(|f| !f.is_empty()) {
         world = world.with_faults(faults.clone());
     }
+    if let Some(path) = cfg.hostfile.as_deref() {
+        world = world.with_hostfile(gnn_comm::HostFile::load(path)?);
+    }
+    if let Some(spec) = cfg.net_chaos.as_deref() {
+        let plan = gnn_comm::NetChaosPlan::parse(spec)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        world = world.with_net_chaos(plan);
+    }
     let store = DiskCheckpointStore::new(dir.join(CKPT_SUBDIR))?;
     let ((records, weights), stats, tracer) =
         world.run_rank_traced(rank, |ctx| run_rank(ctx, ds, cfg, &plan, &store))?;
@@ -208,6 +216,10 @@ pub fn supervise_proc_training_with(
             let _ = fs::remove_file(outcome_path(dir, rank));
             let _ = fs::remove_file(pid_path(dir, rank));
         }
+        // Publish the generation before any child wires up: windowed
+        // chaos rules default to generation 0, so a restarted world is
+        // not re-partitioned into a livelock by the same plan.
+        gnn_comm::write_proc_generation(dir, restarts as u64)?;
 
         let mut children: Vec<Option<Child>> = Vec::with_capacity(p);
         let mut spawn_err: Option<io::Error> = None;
@@ -448,8 +460,14 @@ fn write_outcome(
     ));
     let pc = &stats.proc;
     out.push_str(&format!(
-        "proc {} {} {}\n",
-        pc.reconnects, pc.replayed_frames, pc.heartbeat_misses
+        "proc {} {} {} {} {} {} {}\n",
+        pc.reconnects,
+        pc.replayed_frames,
+        pc.heartbeat_misses,
+        pc.dial_backoffs,
+        pc.partitions_suspected,
+        pc.partitions_healed,
+        pc.chaos_injected
     ));
     out.push_str("end\n");
 
@@ -559,6 +577,10 @@ fn decode_outcome(text: &str) -> io::Result<(Vec<EpochRecord>, Weights, RankStat
     stats.proc.reconnects = t.u64()?;
     stats.proc.replayed_frames = t.u64()?;
     stats.proc.heartbeat_misses = t.u64()?;
+    stats.proc.dial_backoffs = t.u64()?;
+    stats.proc.partitions_suspected = t.u64()?;
+    stats.proc.partitions_healed = t.u64()?;
+    stats.proc.chaos_injected = t.u64()?;
     t.word("end")?;
     Ok((records, Weights { mats }, stats))
 }
@@ -599,6 +621,10 @@ mod tests {
         stats.proc.reconnects = 2;
         stats.proc.replayed_frames = 11;
         stats.proc.heartbeat_misses = 5;
+        stats.proc.dial_backoffs = 8;
+        stats.proc.partitions_suspected = 1;
+        stats.proc.partitions_healed = 1;
+        stats.proc.chaos_injected = 42;
 
         let dir = std::env::temp_dir().join(format!("gnn-outc-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);

@@ -153,6 +153,17 @@ pub struct DistConfig {
     /// [`Phase::Overlap`]). Ignored by the degraded-mode failover path,
     /// which always runs its blocking schedule.
     pub overlap: OverlapConfig,
+    /// Hostfile for the process backend: switches the rank mesh from
+    /// Unix-domain sockets to TCP listeners at the listed `host[:port]`
+    /// addresses (one line per rank; rank 0's port doubles as the
+    /// rendezvous endpoint). `None` = single-machine UDS mesh. Ignored
+    /// by the thread backend.
+    pub hostfile: Option<std::path::PathBuf>,
+    /// Deterministic network-chaos spec for the process backend (see
+    /// `NetChaosPlan`): seeded per-link latency/bandwidth/partition/
+    /// refusal rules, replayed bit-identically from the seed. `None` =
+    /// no chaos. Ignored by the thread backend.
+    pub net_chaos: Option<String>,
 }
 
 impl DistConfig {
@@ -166,6 +177,8 @@ impl DistConfig {
             robust: RobustnessConfig::default(),
             trace: false,
             overlap: OverlapConfig::off(),
+            hostfile: None,
+            net_chaos: None,
         }
     }
 }

@@ -110,6 +110,15 @@ pub enum EventKind {
     /// that ran concurrently with local compute. Recorded with its
     /// duration but does *not* advance the modeled clock.
     OverlapHidden,
+    /// Network-chaos interposer severed a live connection (partition
+    /// onset). `peer` is the affected link; recorded on the wall axis
+    /// at the fault's activation time.
+    ChaosSever,
+    /// Network-chaos interposer cut a connection at its byte threshold.
+    ChaosCut,
+    /// Network-chaos interposer refused a dial (connection-refused
+    /// window or active partition).
+    ChaosRefused,
     /// A completed structural span.
     Span(SpanKind),
 }
@@ -129,13 +138,16 @@ impl EventKind {
             EventKind::Retransmit => "retransmit",
             EventKind::OverlapWait => "overlap_wait",
             EventKind::OverlapHidden => "overlap_hidden",
+            EventKind::ChaosSever => "chaos_sever",
+            EventKind::ChaosCut => "chaos_cut",
+            EventKind::ChaosRefused => "chaos_refused",
             EventKind::Span(k) => k.name(),
         }
     }
 
     /// Inverse of [`EventKind::name`].
     pub fn from_name(s: &str) -> Option<EventKind> {
-        const OPS: [EventKind; 11] = [
+        const OPS: [EventKind; 14] = [
             EventKind::Send,
             EventKind::Recv,
             EventKind::Bcast,
@@ -147,6 +159,9 @@ impl EventKind {
             EventKind::Retransmit,
             EventKind::OverlapWait,
             EventKind::OverlapHidden,
+            EventKind::ChaosSever,
+            EventKind::ChaosCut,
+            EventKind::ChaosRefused,
         ];
         OPS.iter()
             .copied()
@@ -258,6 +273,9 @@ mod tests {
             EventKind::Retransmit,
             EventKind::OverlapWait,
             EventKind::OverlapHidden,
+            EventKind::ChaosSever,
+            EventKind::ChaosCut,
+            EventKind::ChaosRefused,
             EventKind::Span(SpanKind::Epoch),
             EventKind::Span(SpanKind::Spmm1d),
             EventKind::Span(SpanKind::Overlap),

@@ -238,6 +238,45 @@ impl RankTracer {
         self.events.push(ev);
     }
 
+    /// Records a network-chaos fault activation (sever / cut / refused
+    /// dial) on the wall-clock axis. Chaos faults fire on the
+    /// transport's background threads and are exported when the rank
+    /// body finishes, so the event is stamped at the fault's **own**
+    /// recorded wall offset — which may precede the stamps of events
+    /// recorded earlier in `seq` order. Zero-duration on both axes: a
+    /// fault activation is a point marker, and the time it cost the run
+    /// shows up in the ops that waited through it. No-op on a
+    /// modeled-only recorder (chaos has no modeled-axis meaning).
+    pub fn chaos_event(&mut self, kind: EventKind, peer: usize, wall_s: f64) {
+        debug_assert!(
+            matches!(
+                kind,
+                EventKind::ChaosSever | EventKind::ChaosCut | EventKind::ChaosRefused
+            ),
+            "chaos_event records chaos kinds only"
+        );
+        if self.wall_anchor.is_none() {
+            return;
+        }
+        let seq = self.next_seq();
+        self.events.push(Event {
+            seq,
+            parent: NO_PARENT,
+            rank: self.rank,
+            epoch: self.epoch,
+            kind,
+            phase: Phase::Retransmit,
+            peer: peer as i32,
+            bytes_sent: 0,
+            bytes_recv: 0,
+            flops: 0,
+            t_start: self.clock,
+            dur: 0.0,
+            t_wall: wall_s,
+            wall_dur: 0.0,
+        });
+    }
+
     /// Records one wire message's size into the message-size histogram
     /// (per transmission, including retransmits — finer grained than op
     /// events, which aggregate e.g. a whole all-to-allv).
