@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--small] [--seed N] [--out DIR] [--threads N] [--kernel strict|fast]
 //!       [--trace [PREFIX]] [--trace-format jsonl|chrome|both] [--metrics-out FILE]
-//!       <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|all>
+//!       <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|sweep|all>
 //! ```
 //!
 //! Prints each artifact as an aligned table and writes a CSV twin to
@@ -34,6 +34,7 @@ use gnn_comm::CostModel;
 use gnn_core::{try_train_distributed, Algo, DistConfig, GcnConfig};
 use partition::{partition_graph, Method, PartitionConfig};
 
+#[derive(Debug)]
 struct Args {
     small: bool,
     seed: u64,
@@ -48,6 +49,10 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
+    parse_args_from(std::env::args().skip(1))
+}
+
+fn parse_args_from(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         small: false,
         seed: 1,
@@ -60,7 +65,11 @@ fn parse_args() -> Result<Args, String> {
         metrics_out: None,
         commands: Vec::new(),
     };
-    let mut it = std::env::args().skip(1).peekable();
+    let mut it = raw.peekable();
+    // Process-backend launcher flags are rejected, but only after the
+    // whole command line is scanned so the error can name every
+    // offending flag at once instead of stopping at the first.
+    let mut proc_flags: Vec<String> = Vec::new();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--small" => args.small = true,
@@ -107,18 +116,27 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => return Err(usage()),
             // The repro harness replays recorded volumes analytically (or
             // runs a short traced thread-world pass); it never launches
-            // rank processes. Name the tool that does.
+            // rank processes. Collect every such flag — each takes a
+            // value, which is swallowed too — and report them together.
             "--backend" | "--ranks" | "--proc-dir" | "--proc-child" | "--hostfile"
             | "--net-chaos" => {
-                return Err(format!(
-                    "{a} belongs to the process-backend launcher; repro computes its \
-                     artifacts analytically on the thread backend only — use \
-                     `train --backend proc` for a process-backed run"
-                ))
+                proc_flags.push(a.clone());
+                if it.peek().is_some_and(|v| !v.starts_with('-')) {
+                    it.next();
+                }
             }
             cmd if !cmd.starts_with('-') => args.commands.push(cmd.to_string()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
+    }
+    if !proc_flags.is_empty() {
+        return Err(format!(
+            "{} belong{} to the process-backend launcher; repro computes its \
+             artifacts analytically on the thread backend only — use \
+             `train --backend proc` for a process-backed run",
+            proc_flags.join(", "),
+            if proc_flags.len() == 1 { "s" } else { "" }
+        ));
     }
     if args.commands.is_empty() && !args.trace {
         return Err(usage());
@@ -130,7 +148,7 @@ fn usage() -> String {
     "usage: repro [--small] [--seed N] [--out DIR] [--threads N] \
      [--kernel strict|fast] \
      [--trace [PREFIX]] [--trace-format jsonl|chrome|both] [--metrics-out FILE] \
-     <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|all> ..."
+     <table2|table3|fig3|fig4|fig5|fig6|fig7|volumes|overlap|algos|sweep|all> ..."
         .to_string()
 }
 
@@ -271,6 +289,26 @@ fn main() -> ExitCode {
                     &args.out,
                 );
             }
+            "sweep" => {
+                let (table, cells) = experiments::sweep(&suite, args.small, args.seed);
+                emit(
+                    "sweep",
+                    "Conformance sweep: executed training vs serial reference and analytic model \
+                     across 1D / 1.5D / 2D / 3D × oblivious / SA / SA+GVB",
+                    &table,
+                    &args.out,
+                );
+                let bad: Vec<_> = cells.iter().filter(|c| !c.conforms()).collect();
+                if !bad.is_empty() {
+                    for c in &bad {
+                        eprintln!(
+                            "NONCONFORMANT: {} {} p={} (weight drift {:.3e}, volume match {})",
+                            c.algo, c.scheme, c.p, c.weight_drift, c.volume_match
+                        );
+                    }
+                    return ExitCode::FAILURE;
+                }
+            }
             other => {
                 eprintln!("unknown command {other}\n{}", usage());
                 return ExitCode::FAILURE;
@@ -331,4 +369,44 @@ fn main() -> ExitCode {
         eprintln!("[trace done in {:.1}s]", t.elapsed().as_secs_f64());
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args_from;
+
+    fn parse(argv: &[&str]) -> Result<super::Args, String> {
+        parse_args_from(argv.iter().map(|s| s.to_string()))
+    }
+
+    /// The launcher-flag rejection must name *every* offending flag, not
+    /// just the first one encountered (regression: the old match arm
+    /// returned on first sight, so `--hostfile h --net-chaos c` only
+    /// reported `--hostfile`).
+    #[test]
+    fn launcher_flag_error_names_all_offenders() {
+        let err = parse(&[
+            "--hostfile",
+            "hosts.txt",
+            "--net-chaos",
+            "drop=0.1",
+            "volumes",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--hostfile"), "missing --hostfile: {err}");
+        assert!(err.contains("--net-chaos"), "missing --net-chaos: {err}");
+        assert!(err.contains("train --backend proc"), "no remedy: {err}");
+
+        // A single offender still reads grammatically.
+        let err = parse(&["--backend", "proc", "table2"]).unwrap_err();
+        assert!(err.contains("--backend belongs"), "singular form: {err}");
+        assert!(!err.contains("--ranks"));
+    }
+
+    #[test]
+    fn sweep_command_is_accepted() {
+        let args = parse(&["--small", "sweep"]).unwrap();
+        assert_eq!(args.commands, ["sweep"]);
+        assert!(args.small);
+    }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! train [--dataset reddit|amazon|protein|papers] [--mtx FILE]
-//!       [--algo 1d|1.5d] [--oblivious] [--c N]
+//!       [--algo 1d|1.5d|2d|3d] [--oblivious] [--c N] [--pc N]
 //!       [--partitioner block|random|metis|gvb] [--p N]
 //!       [--backend thread|proc] [--ranks N] [--proc-dir DIR]
 //!       [--hostfile FILE] [--net-chaos SPEC]
@@ -95,12 +95,35 @@ use gnn_core::{try_train_distributed, Algo, DistConfig, GcnConfig, RobustnessCon
 use partition::{partition_graph, Method, PartitionConfig};
 use spmat::dataset::{amazon_scaled, papers_scaled, protein_scaled, reddit_scaled, Dataset};
 
+/// Which SpMM algorithm family `--algo` selected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AlgoTag {
+    OneD,
+    OneFiveD,
+    TwoD,
+    ThreeD,
+}
+
+impl AlgoTag {
+    /// Short name used in trace-artifact prefixes.
+    fn label(self) -> &'static str {
+        match self {
+            AlgoTag::OneD => "1d",
+            AlgoTag::OneFiveD => "15d",
+            AlgoTag::TwoD => "2d",
+            AlgoTag::ThreeD => "3d",
+        }
+    }
+}
+
 struct Args {
     dataset: String,
     mtx: Option<PathBuf>,
-    algo_15d: bool,
+    algo_tag: AlgoTag,
     aware: bool,
     c: usize,
+    /// Grid columns (feature-panel count) for the 2D/3D algorithms.
+    pc: usize,
     partitioner: Method,
     p: usize,
     sage: bool,
@@ -156,9 +179,10 @@ fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut a = Args {
         dataset: "protein".into(),
         mtx: None,
-        algo_15d: false,
+        algo_tag: AlgoTag::OneD,
         aware: true,
         c: 2,
+        pc: 2,
         partitioner: Method::VolumeBalanced,
         p: 8,
         sage: false,
@@ -203,10 +227,12 @@ fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--dataset" => a.dataset = next(&mut it, "--dataset")?,
             "--mtx" => a.mtx = Some(PathBuf::from(next(&mut it, "--mtx")?)),
             "--algo" => {
-                a.algo_15d = match next(&mut it, "--algo")?.as_str() {
-                    "1d" => false,
-                    "1.5d" | "15d" => true,
-                    other => return Err(format!("unknown algo {other}")),
+                a.algo_tag = match next(&mut it, "--algo")?.as_str() {
+                    "1d" => AlgoTag::OneD,
+                    "1.5d" | "15d" => AlgoTag::OneFiveD,
+                    "2d" => AlgoTag::TwoD,
+                    "3d" => AlgoTag::ThreeD,
+                    other => return Err(format!("unknown algo {other} (1d|1.5d|2d|3d)")),
                 }
             }
             "--oblivious" => a.aware = false,
@@ -214,6 +240,11 @@ fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 a.c = next(&mut it, "--c")?
                     .parse()
                     .map_err(|e| format!("bad --c: {e}"))?
+            }
+            "--pc" => {
+                a.pc = next(&mut it, "--pc")?
+                    .parse()
+                    .map_err(|e| format!("bad --pc: {e}"))?
             }
             "--partitioner" => {
                 a.partitioner = match next(&mut it, "--partitioner")?.as_str() {
@@ -410,7 +441,7 @@ fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: train [--dataset reddit|amazon|protein|papers] [--mtx FILE] \
-     [--algo 1d|1.5d] [--oblivious] [--c N] \
+     [--algo 1d|1.5d|2d|3d] [--oblivious] [--c N] [--pc N] \
      [--partitioner block|random|metis|gvb] [--p N] \
      [--backend thread|proc] [--ranks N] [--proc-dir DIR] \
      [--hostfile FILE] [--net-chaos SPEC] [--arch gcn|sage] \
@@ -423,6 +454,45 @@ fn usage() -> String {
      [--trace [PREFIX]] [--trace-format jsonl|chrome|both] [--metrics-out FILE] \
      [--metrics-interval SECS]"
         .to_string()
+}
+
+/// Number of graph partitions (block rows) for the requested algorithm
+/// and world size, with the grid-shape divisibility rules enforced
+/// before any partitioning work happens.
+fn grid_parts(tag: AlgoTag, p: usize, pc: usize, c: usize) -> Result<usize, String> {
+    if p == 0 {
+        return Err("need --p >= 1".into());
+    }
+    match tag {
+        AlgoTag::OneD => Ok(p),
+        AlgoTag::OneFiveD => {
+            if c == 0 || !p.is_multiple_of(c * c) {
+                return Err(format!("1.5D wants p divisible by c\u{b2} (p={p}, c={c})"));
+            }
+            Ok(p / c)
+        }
+        AlgoTag::TwoD => {
+            if pc == 0 || !p.is_multiple_of(pc) {
+                return Err(format!("2D wants p divisible by --pc (p={p}, pc={pc})"));
+            }
+            Ok(p / pc)
+        }
+        AlgoTag::ThreeD => {
+            if pc == 0 || c == 0 || !p.is_multiple_of(pc * c) {
+                return Err(format!(
+                    "3D wants p divisible by pc\u{b7}c (p={p}, pc={pc}, c={c})"
+                ));
+            }
+            let pr = p / (pc * c);
+            if c > pr {
+                return Err(format!(
+                    "3D replication cannot exceed the row-block count (c={c} > pr={pr}); \
+                     lower --c or raise --p"
+                ));
+            }
+            Ok(pr)
+        }
+    }
 }
 
 /// Rejects flag combinations that mix thread-only features with the
@@ -709,15 +779,13 @@ fn main() -> ExitCode {
     }
 
     // Partition & permute.
-    let parts = if args.algo_15d {
-        args.p / args.c
-    } else {
-        args.p
+    let parts = match grid_parts(args.algo_tag, args.p, args.pc, args.c) {
+        Ok(parts) => parts,
+        Err(m) => {
+            eprintln!("invalid grid: {m}");
+            return ExitCode::FAILURE;
+        }
     };
-    if parts == 0 || (args.algo_15d && args.p % (args.c * args.c) != 0) {
-        eprintln!("invalid grid: p={} c={}", args.p, args.c);
-        return ExitCode::FAILURE;
-    }
     let t1 = Instant::now();
     let part = partition_graph(
         &ds.adj,
@@ -744,13 +812,21 @@ fn main() -> ExitCode {
     } else if let Some(lr) = args.lr {
         gcn.lr = lr;
     }
-    let algo = if args.algo_15d {
-        Algo::OneFiveD {
+    let algo = match args.algo_tag {
+        AlgoTag::OneD => Algo::OneD { aware: args.aware },
+        AlgoTag::OneFiveD => Algo::OneFiveD {
             aware: args.aware,
             c: args.c,
-        }
-    } else {
-        Algo::OneD { aware: args.aware }
+        },
+        AlgoTag::TwoD => Algo::TwoD {
+            aware: args.aware,
+            pc: args.pc,
+        },
+        AlgoTag::ThreeD => Algo::ThreeD {
+            aware: args.aware,
+            pc: args.pc,
+            c: args.c,
+        },
     };
     if !quiet {
         println!(
@@ -814,8 +890,11 @@ fn main() -> ExitCode {
     let mut cfg = DistConfig::new(algo, gcn, args.epochs, cost);
     cfg.trace = args.trace;
     cfg.overlap = args.overlap;
-    if args.failover && !args.algo_15d && !quiet {
-        println!("note: --failover needs 1.5D replication; 1D falls back to checkpoint restart");
+    if args.failover && args.algo_tag != AlgoTag::OneFiveD && !quiet {
+        println!(
+            "note: --failover needs 1.5D row replication; other algorithms fall back to \
+             checkpoint restart"
+        );
     }
     cfg.robust = RobustnessConfig {
         faults: faulty.then_some(plan),
@@ -970,7 +1049,7 @@ fn main() -> ExitCode {
         traceio::default_prefix(&format!(
             "train_{}_{}_p{}",
             args.dataset,
-            if args.algo_15d { "15d" } else { "1d" },
+            args.algo_tag.label(),
             args.p
         ))
     });
@@ -1032,6 +1111,35 @@ mod tests {
             ]),
             Ok(())
         );
+    }
+
+    #[test]
+    fn algo_flag_covers_all_four_families() {
+        assert_eq!(args(&["--algo", "1d"]).unwrap().algo_tag, AlgoTag::OneD);
+        assert_eq!(
+            args(&["--algo", "1.5d"]).unwrap().algo_tag,
+            AlgoTag::OneFiveD
+        );
+        assert_eq!(args(&["--algo", "2d"]).unwrap().algo_tag, AlgoTag::TwoD);
+        assert_eq!(args(&["--algo", "3d"]).unwrap().algo_tag, AlgoTag::ThreeD);
+        assert!(args(&["--algo", "4d"]).is_err());
+        assert_eq!(args(&["--pc", "4"]).unwrap().pc, 4);
+    }
+
+    #[test]
+    fn grid_parts_enforces_divisibility() {
+        assert_eq!(grid_parts(AlgoTag::OneD, 8, 1, 2), Ok(8));
+        assert_eq!(grid_parts(AlgoTag::OneFiveD, 8, 1, 2), Ok(4));
+        assert!(grid_parts(AlgoTag::OneFiveD, 6, 1, 2).is_err());
+        assert_eq!(grid_parts(AlgoTag::TwoD, 8, 2, 2), Ok(4));
+        assert!(grid_parts(AlgoTag::TwoD, 8, 3, 2).is_err());
+        assert_eq!(grid_parts(AlgoTag::ThreeD, 8, 2, 2), Ok(2));
+        assert!(grid_parts(AlgoTag::ThreeD, 8, 3, 2).is_err());
+        // Replication deeper than the row-block count cannot split the
+        // SUMMA stages across layers.
+        let err = grid_parts(AlgoTag::ThreeD, 8, 1, 4).unwrap_err();
+        assert!(err.contains("c=4 > pr=2"), "{err}");
+        assert!(grid_parts(AlgoTag::TwoD, 0, 1, 1).is_err());
     }
 
     #[test]

@@ -7,16 +7,17 @@
 //! priced by the Perlmutter-like [`CostModel`]. Epoch times are for one
 //! epoch of the paper's 3-layer / 16-hidden GCN.
 
+use gnn_comm::stats::PHASES;
 use gnn_comm::{CostModel, OverlapConfig, Phase, WorldStats};
 use gnn_core::analytic::{estimate, AnalyticInput};
-use gnn_core::{Algo, GcnConfig};
+use gnn_core::{try_train_distributed, Algo, DistConfig, GcnConfig, ReferenceTrainer};
 use partition::metrics::volume_metrics;
 use partition::wgraph::WGraph;
 use partition::{partition_graph, Method, PartitionConfig};
 use spmat::dataset::{amazon_scaled, papers_scaled, protein_scaled, reddit_scaled, Dataset};
 use spmat::graph::{degree_cv, degree_stats};
 
-use crate::schemes::{prepare, Scheme};
+use crate::schemes::{prepare, prepare_full, Scheme};
 use crate::table::{fmt_mb, fmt_secs, Table};
 
 /// The four datasets plus the sweep shapes of the paper's figures.
@@ -562,6 +563,206 @@ pub fn fig7(suite: &Suite, seed: u64) -> (Table, Vec<Point>) {
         }
     }
     (table, points)
+}
+
+/// One cell of the conformance sweep: a full *executed* training run on
+/// the thread backend, compared against the serial reference (weights)
+/// and the analytic α–β model (per-rank per-phase communication volume).
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Algorithm label including its grid shape, e.g. `3D pc=2 c=2`.
+    pub algo: String,
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Total ranks.
+    pub p: usize,
+    /// `max|w_dist − w_ref|` after training.
+    pub weight_drift: f64,
+    /// Executed bytes/flops equal the analytic prediction exactly, for
+    /// every rank and every phase.
+    pub volume_match: bool,
+    /// Bottleneck rank's received bytes per epoch (executed).
+    pub bottleneck_recv: u64,
+    /// Modeled epoch time from the analytic estimate, seconds.
+    pub epoch_time: f64,
+}
+
+impl SweepCell {
+    /// The acceptance bar: reference-level accuracy and an exact volume
+    /// model.
+    pub fn conforms(&self) -> bool {
+        self.weight_drift < 1e-8 && self.volume_match
+    }
+}
+
+/// Grid shape of one swept algorithm configuration.
+#[derive(Clone, Copy, Debug)]
+enum GridKind {
+    OneD,
+    OneFiveD { c: usize },
+    TwoD { pc: usize },
+    ThreeD { pc: usize, c: usize },
+}
+
+impl GridKind {
+    fn algo(self, aware: bool) -> Algo {
+        match self {
+            GridKind::OneD => Algo::OneD { aware },
+            GridKind::OneFiveD { c } => Algo::OneFiveD { aware, c },
+            GridKind::TwoD { pc } => Algo::TwoD { aware, pc },
+            GridKind::ThreeD { pc, c } => Algo::ThreeD { aware, pc, c },
+        }
+    }
+
+    /// Number of row blocks the dataset is partitioned into.
+    fn parts(self, p: usize) -> usize {
+        match self {
+            GridKind::OneD => p,
+            GridKind::OneFiveD { c } => p / c,
+            GridKind::TwoD { pc } => p / pc,
+            GridKind::ThreeD { pc, c } => p / (pc * c),
+        }
+    }
+
+    fn label(self) -> String {
+        match self {
+            GridKind::OneD => "1D".to_string(),
+            GridKind::OneFiveD { c } => format!("1.5D c={c}"),
+            GridKind::TwoD { pc } => format!("2D pc={pc}"),
+            GridKind::ThreeD { pc, c } => format!("3D pc={pc} c={c}"),
+        }
+    }
+}
+
+/// The swept (algorithm, p) grid. `small` keeps p ≤ 4 (the CI budget);
+/// the full sweep goes to p = 8. Shapes keep pc ≤ 2 so feature panels
+/// stay non-degenerate on the small datasets.
+fn sweep_grid(small: bool) -> Vec<(GridKind, usize)> {
+    let mut grid = vec![
+        (GridKind::OneD, 1),
+        (GridKind::OneD, 2),
+        (GridKind::OneD, 4),
+        (GridKind::OneFiveD { c: 1 }, 1),
+        (GridKind::OneFiveD { c: 1 }, 2),
+        (GridKind::OneFiveD { c: 2 }, 4),
+        (GridKind::TwoD { pc: 1 }, 1),
+        (GridKind::TwoD { pc: 1 }, 2),
+        (GridKind::TwoD { pc: 2 }, 4),
+        (GridKind::ThreeD { pc: 1, c: 1 }, 1),
+        (GridKind::ThreeD { pc: 1, c: 1 }, 2),
+        (GridKind::ThreeD { pc: 1, c: 2 }, 4),
+    ];
+    if !small {
+        grid.extend([
+            (GridKind::OneD, 8),
+            (GridKind::OneFiveD { c: 2 }, 8),
+            (GridKind::TwoD { pc: 2 }, 8),
+            (GridKind::ThreeD { pc: 2, c: 2 }, 8),
+        ]);
+    }
+    grid
+}
+
+/// Executed bytes/flops must equal the analytic prediction exactly —
+/// same integer, every rank, every phase.
+fn volumes_match(executed: &WorldStats, analytic: &WorldStats) -> bool {
+    executed.p() == analytic.p()
+        && executed
+            .per_rank
+            .iter()
+            .zip(&analytic.per_rank)
+            .all(|(e, a)| {
+                PHASES.iter().all(|&ph| {
+                    let pe = e.phase(ph);
+                    let pa = a.phase(ph);
+                    pe.bytes_sent == pa.bytes_sent
+                        && pe.bytes_recv == pa.bytes_recv
+                        && pe.flops == pa.flops
+                })
+            })
+}
+
+/// Epochs each sweep cell trains for (executed + reference).
+pub const SWEEP_EPOCHS: usize = 2;
+
+/// Conformance sweep: every algorithm family × scheme × p actually
+/// *trains* on the thread backend (reddit analogue), then each cell is
+/// checked two ways — final weights against the serial reference
+/// (≤ 1e-8) and executed communication volume against the analytic
+/// model (exact). The table charts modeled epoch time so the winning
+/// layout per p is visible at a glance.
+pub fn sweep(suite: &Suite, small: bool, seed: u64) -> (Table, Vec<SweepCell>) {
+    let ds = &suite.reddit;
+    let mut table = Table::new(&[
+        "algorithm",
+        "scheme",
+        "p",
+        "weight drift",
+        "volume==model",
+        "bottleneck recv (MB)",
+        "epoch (modeled)",
+    ]);
+    let mut cells = Vec::new();
+    for (kind, p) in sweep_grid(small) {
+        for scheme in [Scheme::Cagnet, Scheme::Sa, Scheme::SaGvb] {
+            let algo = kind.algo(scheme.aware());
+            let (pds, bounds) = prepare_full(ds, kind.parts(p), scheme, seed);
+            let gcn = GcnConfig::paper_default(pds.f(), pds.num_classes);
+            let model = CostModel::perlmutter_like();
+
+            let mut reference = ReferenceTrainer::new(&pds, gcn.clone());
+            reference.train(SWEEP_EPOCHS);
+            let out = try_train_distributed(
+                &pds,
+                &bounds,
+                &DistConfig::new(algo, gcn.clone(), SWEEP_EPOCHS, model),
+            )
+            .unwrap_or_else(|e| panic!("{} {} p={p}: {e}", kind.label(), scheme.label()));
+            let est = estimate(&AnalyticInput {
+                adj: &pds.norm_adj,
+                bounds: &bounds,
+                algo,
+                dims: &gcn.dims,
+                model,
+                epochs: SWEEP_EPOCHS,
+                arch: gnn_core::model::ArchKind::Gcn,
+                overlap: OverlapConfig::off(),
+            });
+
+            let cell = SweepCell {
+                algo: kind.label(),
+                scheme: scheme.label(),
+                p,
+                weight_drift: out.weights.max_abs_diff(&reference.weights),
+                volume_match: volumes_match(&out.stats, &est),
+                bottleneck_recv: out
+                    .stats
+                    .per_rank
+                    .iter()
+                    .map(|r| r.bytes_recv_total())
+                    .max()
+                    .unwrap_or(0)
+                    / SWEEP_EPOCHS as u64,
+                epoch_time: est.modeled_epoch_time() / SWEEP_EPOCHS as f64,
+            };
+            table.row(vec![
+                cell.algo.clone(),
+                cell.scheme.to_string(),
+                p.to_string(),
+                format!("{:.1e}", cell.weight_drift),
+                if cell.volume_match {
+                    "exact"
+                } else {
+                    "MISMATCH"
+                }
+                .to_string(),
+                fmt_mb(cell.bottleneck_recv),
+                fmt_secs(cell.epoch_time),
+            ]);
+            cells.push(cell);
+        }
+    }
+    (table, cells)
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@ use spmat::Csr;
 
 use crate::dist::overlap::{chunk_groups, OverlapPlan1d};
 use crate::dist::plan::{Plan15d, Plan1d};
+use crate::dist::threed::Plan3d;
+use crate::dist::twod::Plan2d;
 use crate::dist::Algo;
 use crate::model::ArchKind;
 
@@ -362,6 +364,346 @@ fn spmm_15d_charges(
     add_allreduce(st, model, 8 * rows_i * f, plan.c);
 }
 
+/// One 2D (SUMMA) SpMM's charges on linear rank `me` at panel width
+/// `f`: replays [`crate::dist::twod::spmm_2d_buf`] — grid-column sends
+/// of the own block's rows, then the `pr`-stage receive/multiply loop.
+fn spmm_2d_charges(plan: &Plan2d, me: usize, f: u64, model: &CostModel, st: &mut RankStats) {
+    let rp = &plan.ranks[me];
+    let rows_i = (rp.row_hi - rp.row_lo) as u64;
+    let mut pack_elems = 0u64;
+    for (l, idx) in rp.send_lists.iter().enumerate() {
+        if plan.rank_of(l, rp.j) == me || idx.is_empty() {
+            continue;
+        }
+        let bytes = if plan.aware {
+            pack_elems += idx.len() as u64 * f;
+            rows_payload_bytes(idx.len() as u64, f)
+        } else {
+            8 * rows_i * f
+        };
+        let c = st.phase_mut(Phase::P2p);
+        c.ops += 1;
+        c.bytes_sent += bytes;
+        c.modeled_seconds += model.p2p(bytes);
+    }
+    if pack_elems > 0 {
+        add_compute(st, model, pack_elems);
+    }
+    for stage in &rp.stages {
+        if stage.k == rp.i {
+            add_compute(st, model, stage.needed.len() as u64 * f);
+        } else if !stage.needed.is_empty() {
+            let bytes = if plan.aware {
+                rows_payload_bytes(stage.needed.len() as u64, f)
+            } else {
+                8 * stage.needed.len() as u64 * f
+            };
+            let c = st.phase_mut(Phase::P2p);
+            c.ops += 1;
+            c.bytes_recv += bytes;
+            c.modeled_seconds += model.p2p(bytes);
+        }
+        add_compute(st, model, 2 * stage.block_compact.nnz() as u64 * f);
+    }
+}
+
+/// One 3D SpMM's charges: the 2D stage replay restricted to this
+/// layer's slice (only the designated-sender layer has send lists),
+/// plus the trailing fiber all-reduce over the `c` replicas.
+fn spmm_3d_charges(plan: &Plan3d, me: usize, f: u64, model: &CostModel, st: &mut RankStats) {
+    let rp = &plan.ranks[me];
+    let rows_i = (rp.row_hi - rp.row_lo) as u64;
+    let mut pack_elems = 0u64;
+    for (t, idx) in rp.send_lists.iter().enumerate() {
+        if plan.rank_of(t, rp.j, rp.l) == me || idx.is_empty() {
+            continue;
+        }
+        let bytes = if plan.aware {
+            pack_elems += idx.len() as u64 * f;
+            rows_payload_bytes(idx.len() as u64, f)
+        } else {
+            8 * rows_i * f
+        };
+        let c = st.phase_mut(Phase::P2p);
+        c.ops += 1;
+        c.bytes_sent += bytes;
+        c.modeled_seconds += model.p2p(bytes);
+    }
+    if pack_elems > 0 {
+        add_compute(st, model, pack_elems);
+    }
+    for stage in &rp.stages {
+        if stage.k == rp.i {
+            add_compute(st, model, stage.needed.len() as u64 * f);
+        } else if !stage.needed.is_empty() {
+            let bytes = if plan.aware {
+                rows_payload_bytes(stage.needed.len() as u64, f)
+            } else {
+                8 * stage.needed.len() as u64 * f
+            };
+            let c = st.phase_mut(Phase::P2p);
+            c.ops += 1;
+            c.bytes_recv += bytes;
+            c.modeled_seconds += model.p2p(bytes);
+        }
+        add_compute(st, model, 2 * stage.block_compact.nnz() as u64 * f);
+    }
+    add_allreduce(st, model, 8 * rows_i * f, plan.c);
+}
+
+/// One *pipelined* 2D SpMM's charges: replays
+/// [`crate::dist::overlap::spmm_2d_pipelined_buf`] — every outbound
+/// block lands on the first stage boundary, each section's receives
+/// settle against the previous section's multiplies.
+fn spmm_2d_pipelined_charges(
+    plan: &Plan2d,
+    me: usize,
+    f: u64,
+    chunks: usize,
+    model: &CostModel,
+    st: &mut RankStats,
+) {
+    let rp = &plan.ranks[me];
+    let rows_i = (rp.row_hi - rp.row_lo) as u64;
+    let (mut send_ops0, mut send_bytes0) = (0u64, 0u64);
+    let mut pack_elems = 0u64;
+    for (l, idx) in rp.send_lists.iter().enumerate() {
+        if plan.rank_of(l, rp.j) == me || idx.is_empty() {
+            continue;
+        }
+        let bytes = if plan.aware {
+            pack_elems += idx.len() as u64 * f;
+            rows_payload_bytes(idx.len() as u64, f)
+        } else {
+            8 * rows_i * f
+        };
+        send_ops0 += 1;
+        send_bytes0 += bytes;
+        let c = st.phase_mut(Phase::P2p);
+        c.ops += 1;
+        c.bytes_sent += bytes;
+    }
+    if pack_elems > 0 {
+        add_compute(st, model, pack_elems);
+    }
+
+    let groups = chunk_groups(rp.stages.len(), chunks);
+    let mut prev_compute = 0.0f64;
+    for (g, &(slo, shi)) in groups.iter().enumerate() {
+        let (mut recv_ops, mut recv_bytes) = (0u64, 0u64);
+        for stage in &rp.stages[slo..shi] {
+            if stage.k != rp.i && !stage.needed.is_empty() {
+                let bytes = if plan.aware {
+                    rows_payload_bytes(stage.needed.len() as u64, f)
+                } else {
+                    8 * stage.needed.len() as u64 * f
+                };
+                recv_ops += 1;
+                recv_bytes += bytes;
+                let c = st.phase_mut(Phase::P2p);
+                c.ops += 1;
+                c.bytes_recv += bytes;
+            }
+        }
+        let (s_ops, s_bytes) = if g == 0 {
+            (send_ops0, send_bytes0)
+        } else {
+            (0, 0)
+        };
+        let send_cost = s_ops as f64 * model.alpha + s_bytes as f64 * model.beta;
+        let recv_cost = recv_ops as f64 * model.alpha + recv_bytes as f64 * model.beta;
+        add_overlap_boundary(st, send_cost.max(recv_cost), prev_compute);
+
+        prev_compute = 0.0;
+        for stage in &rp.stages[slo..shi] {
+            if stage.k == rp.i {
+                let gather = stage.needed.len() as u64 * f;
+                add_compute(st, model, gather);
+                prev_compute += model.compute(gather);
+            }
+            let spmm = 2 * stage.block_compact.nnz() as u64 * f;
+            add_compute(st, model, spmm);
+            prev_compute += model.compute(spmm);
+        }
+    }
+}
+
+/// One *pipelined* 3D SpMM's charges: the 2D pipeline over this layer's
+/// stage slice, then the blocking fiber all-reduce.
+fn spmm_3d_pipelined_charges(
+    plan: &Plan3d,
+    me: usize,
+    f: u64,
+    chunks: usize,
+    model: &CostModel,
+    st: &mut RankStats,
+) {
+    let rp = &plan.ranks[me];
+    let rows_i = (rp.row_hi - rp.row_lo) as u64;
+    let (mut send_ops0, mut send_bytes0) = (0u64, 0u64);
+    let mut pack_elems = 0u64;
+    for (t, idx) in rp.send_lists.iter().enumerate() {
+        if plan.rank_of(t, rp.j, rp.l) == me || idx.is_empty() {
+            continue;
+        }
+        let bytes = if plan.aware {
+            pack_elems += idx.len() as u64 * f;
+            rows_payload_bytes(idx.len() as u64, f)
+        } else {
+            8 * rows_i * f
+        };
+        send_ops0 += 1;
+        send_bytes0 += bytes;
+        let c = st.phase_mut(Phase::P2p);
+        c.ops += 1;
+        c.bytes_sent += bytes;
+    }
+    if pack_elems > 0 {
+        add_compute(st, model, pack_elems);
+    }
+
+    let groups = chunk_groups(rp.stages.len(), chunks);
+    let mut prev_compute = 0.0f64;
+    for (g, &(slo, shi)) in groups.iter().enumerate() {
+        let (mut recv_ops, mut recv_bytes) = (0u64, 0u64);
+        for stage in &rp.stages[slo..shi] {
+            if stage.k != rp.i && !stage.needed.is_empty() {
+                let bytes = if plan.aware {
+                    rows_payload_bytes(stage.needed.len() as u64, f)
+                } else {
+                    8 * stage.needed.len() as u64 * f
+                };
+                recv_ops += 1;
+                recv_bytes += bytes;
+                let c = st.phase_mut(Phase::P2p);
+                c.ops += 1;
+                c.bytes_recv += bytes;
+            }
+        }
+        let (s_ops, s_bytes) = if g == 0 {
+            (send_ops0, send_bytes0)
+        } else {
+            (0, 0)
+        };
+        let send_cost = s_ops as f64 * model.alpha + s_bytes as f64 * model.beta;
+        let recv_cost = recv_ops as f64 * model.alpha + recv_bytes as f64 * model.beta;
+        add_overlap_boundary(st, send_cost.max(recv_cost), prev_compute);
+
+        prev_compute = 0.0;
+        for stage in &rp.stages[slo..shi] {
+            if stage.k == rp.i {
+                let gather = stage.needed.len() as u64 * f;
+                add_compute(st, model, gather);
+                prev_compute += model.compute(gather);
+            }
+            let spmm = 2 * stage.block_compact.nnz() as u64 * f;
+            add_compute(st, model, spmm);
+            prev_compute += model.compute(spmm);
+        }
+    }
+    add_allreduce(st, model, 8 * rows_i * f, plan.c);
+}
+
+/// A borrowed grid plan: the 2D and 3D trainers share one epoch shape.
+enum GridPlan<'a> {
+    Two(&'a Plan2d),
+    Three(&'a Plan3d),
+}
+
+/// One grid rank's full training charges: replays
+/// [`crate::dist::trainer`]'s grid program op-for-op — panel slices, the
+/// 2D/3D SpMM, the partial `× W` GEMM, the grid-row `Z`/`AᵀG`
+/// all-reduces (`pc` ranks), the global loss and weight-gradient
+/// all-reduces (`p` ranks), and the full-width local backward steps.
+fn grid_rank_charges(
+    input: &AnalyticInput<'_>,
+    gp: &GridPlan<'_>,
+    me: usize,
+    p: usize,
+) -> RankStats {
+    let model = &input.model;
+    let dims = input.dims;
+    let l_total = dims.len() - 1;
+    let mut st = RankStats::default();
+    let (grid_j, rows, pc) = match gp {
+        GridPlan::Two(pl) => {
+            let rp = &pl.ranks[me];
+            (rp.j, (rp.row_hi - rp.row_lo) as u64, pl.pc)
+        }
+        GridPlan::Three(pl) => {
+            let rp = &pl.ranks[me];
+            (rp.j, (rp.row_hi - rp.row_lo) as u64, pl.pc)
+        }
+    };
+    let panel_width = |f: usize| -> u64 {
+        let b = spmat::gen::sbm::block_bounds(f, pc);
+        (b[grid_j + 1] - b[grid_j]) as u64
+    };
+    let overlap = input.overlap;
+    let charge_spmm = |st: &mut RankStats, f: u64| match gp {
+        GridPlan::Two(pl) => {
+            if overlap.enabled {
+                spmm_2d_pipelined_charges(pl, me, f, overlap.chunks, model, st)
+            } else {
+                spmm_2d_charges(pl, me, f, model, st)
+            }
+        }
+        GridPlan::Three(pl) => {
+            if overlap.enabled {
+                spmm_3d_pipelined_charges(pl, me, f, overlap.chunks, model, st)
+            } else {
+                spmm_3d_charges(pl, me, f, model, st)
+            }
+        }
+    };
+
+    for _epoch in 0..input.epochs {
+        // Forward.
+        for l in 0..l_total {
+            let d_out = dims[l + 1] as u64;
+            let ipw = panel_width(dims[l]);
+            add_compute(&mut st, model, rows * ipw); // own input panel
+            charge_spmm(&mut st, ipw);
+            let gemm = match input.arch {
+                ArchKind::Gcn => 2 * rows * ipw * d_out,
+                ArchKind::Sage => 4 * rows * ipw * d_out + rows * d_out,
+            };
+            add_compute(&mut st, model, gemm);
+            add_allreduce(&mut st, model, 8 * rows * d_out, pc); // grid-row Z
+            if l + 1 < l_total {
+                add_compute(&mut st, model, rows * d_out); // relu
+            }
+        }
+        // Loss reduction: [loss_sum, count, correct].
+        add_allreduce(&mut st, model, 24, p);
+        // Backward.
+        for l in (0..l_total).rev() {
+            let (d, d_out) = (dims[l] as u64, dims[l + 1] as u64);
+            let ipw = panel_width(dims[l]);
+            let opw = panel_width(dims[l + 1]);
+            add_compute(&mut st, model, rows * opw); // own gradient panel
+            charge_spmm(&mut st, opw);
+            add_compute(&mut st, model, rows * opw); // reassemble AᵀG panel
+            add_allreduce(&mut st, model, 8 * rows * d_out, pc); // grid-row AᵀG
+            add_compute(&mut st, model, rows * ipw); // H panel slice
+            let (y_flops, w_in) = match input.arch {
+                ArchKind::Gcn => (2 * rows * ipw * d_out, d),
+                ArchKind::Sage => (4 * rows * ipw * d_out, 2 * d),
+            };
+            add_compute(&mut st, model, y_flops);
+            add_allreduce(&mut st, model, 8 * w_in * d_out, p); // weight grad
+            if l > 0 {
+                let prop = match input.arch {
+                    ArchKind::Gcn => 2 * rows * d_out * d + 2 * rows * d,
+                    ArchKind::Sage => 4 * rows * d_out * d + 3 * rows * d,
+                };
+                add_compute(&mut st, model, prop);
+            }
+        }
+    }
+    st
+}
+
 /// Estimates the full training stats (all epochs) without executing.
 pub fn estimate(input: &AnalyticInput<'_>) -> WorldStats {
     let dims = input.dims;
@@ -371,6 +713,8 @@ pub fn estimate(input: &AnalyticInput<'_>) -> WorldStats {
     enum P {
         OneD(Plan1d, bool),
         OneFiveD(Plan15d, bool),
+        TwoD(Plan2d),
+        ThreeD(Plan3d),
     }
     let (p, plan) = match input.algo {
         Algo::OneD { aware } => {
@@ -385,7 +729,43 @@ pub fn estimate(input: &AnalyticInput<'_>) -> WorldStats {
                 P::OneFiveD(Plan15d::build(input.adj, p, c, input.bounds, aware), aware),
             )
         }
+        Algo::TwoD { aware, pc } => {
+            let pr = input.bounds.len() - 1;
+            let p = pr * pc;
+            (
+                p,
+                P::TwoD(Plan2d::build(input.adj, pr, pc, input.bounds, aware)),
+            )
+        }
+        Algo::ThreeD { aware, pc, c } => {
+            let pr = input.bounds.len() - 1;
+            let p = pr * pc * c;
+            (
+                p,
+                P::ThreeD(Plan3d::build(input.adj, pr, pc, c, input.bounds, aware)),
+            )
+        }
     };
+
+    // The grid trainers have their own epoch shape (panel slices and
+    // grid-row reductions); replay them separately.
+    match &plan {
+        P::TwoD(pl) => {
+            let gp = GridPlan::Two(pl);
+            let per_rank = (0..p)
+                .map(|me| grid_rank_charges(input, &gp, me, p))
+                .collect();
+            return WorldStats::new(per_rank);
+        }
+        P::ThreeD(pl) => {
+            let gp = GridPlan::Three(pl);
+            let per_rank = (0..p)
+                .map(|me| grid_rank_charges(input, &gp, me, p))
+                .collect();
+            return WorldStats::new(per_rank);
+        }
+        _ => {}
+    }
 
     let mut per_rank = Vec::with_capacity(p);
     for me in 0..p {
@@ -396,6 +776,7 @@ pub fn estimate(input: &AnalyticInput<'_>) -> WorldStats {
                 let rp = &pl.ranks[me];
                 (rp.row_hi - rp.row_lo) as u64
             }
+            P::TwoD(_) | P::ThreeD(_) => unreachable!("grid plans replayed above"),
         };
         // Sparsity-derived chunking for the pipelined replay, built
         // once per rank exactly like the executor does.
@@ -422,6 +803,7 @@ pub fn estimate(input: &AnalyticInput<'_>) -> WorldStats {
                     spmm_15d_charges(pl, me, f, *aware, model, st)
                 }
             }
+            P::TwoD(_) | P::ThreeD(_) => unreachable!("grid plans replayed above"),
         };
 
         for _epoch in 0..input.epochs {

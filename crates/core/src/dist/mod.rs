@@ -11,6 +11,7 @@ pub mod overlap;
 pub mod plan;
 #[cfg(unix)]
 pub mod proc;
+pub mod threed;
 pub mod trainer;
 pub mod twod;
 
@@ -21,7 +22,7 @@ pub use checkpoint::{
 pub use failover::{failover_allreduce_replicated, spmm_15d_failover_buf, FailoverView};
 pub use overlap::{
     spmm_15d_pipelined_buf, spmm_1d_aware_pipelined_buf, spmm_1d_oblivious_pipelined_buf,
-    OverlapPlan1d,
+    spmm_2d_pipelined_buf, spmm_3d_pipelined_buf, OverlapPlan1d,
 };
 pub use plan::{even_bounds, Plan15d, Plan1d};
 #[cfg(unix)]
@@ -29,6 +30,7 @@ pub use proc::{
     metrics_aggregate_path, metrics_rank_path, run_rank_proc, supervise_proc_training,
     supervise_proc_training_with, trace_rank_path, ProcTrainError,
 };
+pub use threed::Plan3d;
 pub use trainer::{
     train_distributed, try_train_distributed, try_train_distributed_with_store, Algo, DistConfig,
     DistOutcome, RobustnessConfig,

@@ -26,6 +26,8 @@ use spmat::{Csr, Dense};
 
 use super::buffers::EpochBuffers;
 use super::plan::{Plan15d, Plan1d};
+use super::threed::Plan3d;
+use super::twod::Plan2d;
 
 /// Partitions `items` positions into at most `chunks` contiguous,
 /// near-even groups; group `g` covers `[g·items/k, (g+1)·items/k)`.
@@ -395,6 +397,213 @@ pub fn spmm_15d_pipelined_buf(
     partial
 }
 
+/// Pipelined counterpart of [`super::twod::spmm_2d_buf`]: the SUMMA
+/// stage loop is grouped into `chunks` contiguous pipeline sections.
+/// Every outbound block (this rank is the designated sender for stage
+/// `k = i` of its grid column) is posted up front and charged to the
+/// first boundary; each section waits only for its own inbound stage
+/// blocks and the stage multiplies hide the later sections' transfers.
+///
+/// Folding stages in ascending `k` accumulates every output element in
+/// exactly the blocking order, so the result is bitwise identical.
+pub fn spmm_2d_pipelined_buf(
+    ctx: &mut RankCtx,
+    plan: &Plan2d,
+    h_local: &Dense,
+    chunks: usize,
+    bufs: &mut EpochBuffers,
+) -> Dense {
+    let me = ctx.rank();
+    let rp = &plan.ranks[me];
+    let f = h_local.cols();
+    let rows_i = rp.row_hi - rp.row_lo;
+    assert_eq!(h_local.rows(), rows_i, "local H block shape mismatch");
+    let groups = chunk_groups(rp.stages.len(), chunks);
+    ctx.span_begin(SpanKind::Spmm2d, Phase::P2p);
+
+    // Pack outside the window (it precedes the sends), then post every
+    // outbound block as an eager nonblocking send on the first stage.
+    let mut outbound: Vec<(usize, Payload)> = Vec::new();
+    let mut pack_elems = 0u64;
+    for (l, idx) in rp.send_lists.iter().enumerate() {
+        let dst = plan.rank_of(l, rp.j);
+        if dst == me || idx.is_empty() {
+            continue;
+        }
+        let payload = if plan.aware {
+            let mut data = bufs.take_zeroed(idx.len() * f);
+            h_local.pack_rows_into(idx, rp.row_lo, &mut data);
+            pack_elems += (idx.len() * f) as u64;
+            let mut ids = bufs.take_u32(idx.len());
+            ids.extend_from_slice(idx);
+            Payload::Rows { idx: ids, data }
+        } else {
+            let mut data = bufs.take_vec(h_local.data().len());
+            data.extend_from_slice(h_local.data());
+            Payload::F64(data)
+        };
+        outbound.push((dst, payload));
+    }
+    if pack_elems > 0 {
+        ctx.record_compute(pack_elems);
+    }
+
+    ctx.overlap_begin(groups.len());
+    for (dst, payload) in outbound {
+        ctx.isend(dst, payload, Phase::P2p, 0);
+    }
+    let mut recvs: Vec<Option<PendingOp>> = rp
+        .stages
+        .iter()
+        .map(|st| {
+            (st.k != rp.i && !st.needed.is_empty())
+                .then(|| ctx.irecv(plan.rank_of(st.k, rp.j), Phase::P2p))
+        })
+        .collect();
+
+    let mut z = bufs.take_dense(rows_i, f);
+    for &(slo, shi) in &groups {
+        let mut staged: Vec<Option<Payload>> = (slo..shi)
+            .map(|si| recvs[si].take().map(|op| ctx.wait(op)))
+            .collect();
+        ctx.overlap_stage();
+
+        for (off, st) in rp.stages[slo..shi].iter().enumerate() {
+            let h_stage: Dense = if st.k == rp.i {
+                let mut data = bufs.take_zeroed(st.needed.len() * f);
+                h_local.pack_rows_into(&st.needed, rp.row_lo, &mut data);
+                ctx.record_compute((st.needed.len() * f) as u64);
+                Dense::from_vec(st.needed.len(), f, data)
+            } else if st.needed.is_empty() {
+                Dense::zeros(0, f)
+            } else {
+                let payload = staged[off].take().expect("stage payload already consumed");
+                stage_block_from_payload(payload, st.needed.len(), f, plan.aware, st.k, bufs)
+            };
+            let flops = spmm_flops(&st.block_compact, f);
+            let block = &st.block_compact;
+            ctx.compute(flops, || spmm_acc(block, &h_stage, &mut z));
+            bufs.put_dense(h_stage);
+        }
+    }
+    ctx.overlap_end();
+    ctx.span_end();
+    z
+}
+
+/// Pipelined counterpart of [`super::threed::spmm_3d_buf`]: identical
+/// pipeline to [`spmm_2d_pipelined_buf`] over this layer's stage slice,
+/// followed by the blocking fiber all-reduce (a true barrier, exactly
+/// as the 1.5D pipeline keeps its trailing row all-reduce blocking).
+pub fn spmm_3d_pipelined_buf(
+    ctx: &mut RankCtx,
+    plan: &Plan3d,
+    h_local: &Dense,
+    chunks: usize,
+    bufs: &mut EpochBuffers,
+) -> Dense {
+    let me = ctx.rank();
+    let rp = &plan.ranks[me];
+    let f = h_local.cols();
+    let rows_i = rp.row_hi - rp.row_lo;
+    assert_eq!(h_local.rows(), rows_i, "local H block shape mismatch");
+    let groups = chunk_groups(rp.stages.len(), chunks);
+    ctx.span_begin(SpanKind::Spmm3d, Phase::P2p);
+
+    let mut outbound: Vec<(usize, Payload)> = Vec::new();
+    let mut pack_elems = 0u64;
+    for (t, idx) in rp.send_lists.iter().enumerate() {
+        let dst = plan.rank_of(t, rp.j, rp.l);
+        if dst == me || idx.is_empty() {
+            continue;
+        }
+        let payload = if plan.aware {
+            let mut data = bufs.take_zeroed(idx.len() * f);
+            h_local.pack_rows_into(idx, rp.row_lo, &mut data);
+            pack_elems += (idx.len() * f) as u64;
+            let mut ids = bufs.take_u32(idx.len());
+            ids.extend_from_slice(idx);
+            Payload::Rows { idx: ids, data }
+        } else {
+            let mut data = bufs.take_vec(h_local.data().len());
+            data.extend_from_slice(h_local.data());
+            Payload::F64(data)
+        };
+        outbound.push((dst, payload));
+    }
+    if pack_elems > 0 {
+        ctx.record_compute(pack_elems);
+    }
+
+    ctx.overlap_begin(groups.len());
+    for (dst, payload) in outbound {
+        ctx.isend(dst, payload, Phase::P2p, 0);
+    }
+    let mut recvs: Vec<Option<PendingOp>> = rp
+        .stages
+        .iter()
+        .map(|st| {
+            (st.k != rp.i && !st.needed.is_empty())
+                .then(|| ctx.irecv(plan.rank_of(st.k, rp.j, rp.l), Phase::P2p))
+        })
+        .collect();
+
+    let mut partial = bufs.take_dense(rows_i, f);
+    for &(slo, shi) in &groups {
+        let mut staged: Vec<Option<Payload>> = (slo..shi)
+            .map(|si| recvs[si].take().map(|op| ctx.wait(op)))
+            .collect();
+        ctx.overlap_stage();
+
+        for (off, st) in rp.stages[slo..shi].iter().enumerate() {
+            let h_stage: Dense = if st.k == rp.i {
+                let mut data = bufs.take_zeroed(st.needed.len() * f);
+                h_local.pack_rows_into(&st.needed, rp.row_lo, &mut data);
+                ctx.record_compute((st.needed.len() * f) as u64);
+                Dense::from_vec(st.needed.len(), f, data)
+            } else if st.needed.is_empty() {
+                Dense::zeros(0, f)
+            } else {
+                let payload = staged[off].take().expect("stage payload already consumed");
+                stage_block_from_payload(payload, st.needed.len(), f, plan.aware, st.k, bufs)
+            };
+            let flops = spmm_flops(&st.block_compact, f);
+            let block = &st.block_compact;
+            ctx.compute(flops, || spmm_acc(block, &h_stage, &mut partial));
+            bufs.put_dense(h_stage);
+        }
+    }
+    ctx.overlap_end();
+
+    // Fiber reduction over the c layer replicas (blocking barrier).
+    let fiber = plan.fiber_group(rp.i, rp.j);
+    ctx.allreduce_sum(partial.data_mut(), &fiber);
+    ctx.span_end();
+    partial
+}
+
+/// Decodes one staged SUMMA block payload into a dense stage operand.
+fn stage_block_from_payload(
+    payload: Payload,
+    needed: usize,
+    f: usize,
+    aware: bool,
+    k: usize,
+    bufs: &mut EpochBuffers,
+) -> Dense {
+    if aware {
+        let (idx, data) = payload.into_rows();
+        debug_assert_eq!(idx.len(), needed, "row count mismatch at stage k={k}");
+        let d = Dense::from_vec(idx.len(), f, data);
+        bufs.put_u32(idx);
+        d
+    } else {
+        let data = payload.into_f64();
+        assert_eq!(data.len(), needed * f, "block size mismatch at stage k={k}");
+        Dense::from_vec(needed, f, data)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +768,118 @@ mod tests {
                     assert!(
                         st.modeled_epoch_time() <= st_base.modeled_epoch_time() + 1e-12,
                         "p={p} c={c} chunks={k}: overlapped slower than blocking"
+                    );
+                }
+            }
+        }
+    }
+
+    fn run_2d(
+        adj: &spmat::Csr,
+        h: &Dense,
+        pr: usize,
+        pc: usize,
+        aware: bool,
+        chunks: Option<usize>,
+    ) -> (Vec<Dense>, WorldStats) {
+        use crate::dist::twod::spmm_2d_buf;
+        let bounds = even_bounds(adj.rows(), pr);
+        let plan = Plan2d::build(adj, pr, pc, &bounds, aware);
+        let world = ThreadWorld::new(pr * pc, CostModel::perlmutter_like());
+        world.run(|ctx| {
+            let rp = &plan.ranks[ctx.rank()];
+            let rows = h.row_slice(rp.row_lo, rp.row_hi);
+            let pb = plan.panel_bounds(h.cols());
+            let local = Dense::from_fn(rows.rows(), pb[rp.j + 1] - pb[rp.j], |r, c| {
+                rows.get(r, pb[rp.j] + c)
+            });
+            let mut bufs = EpochBuffers::new();
+            match chunks {
+                None => spmm_2d_buf(ctx, &plan, &local, &mut bufs),
+                Some(k) => spmm_2d_pipelined_buf(ctx, &plan, &local, k, &mut bufs),
+            }
+        })
+    }
+
+    fn run_3d(
+        adj: &spmat::Csr,
+        h: &Dense,
+        pr: usize,
+        pc: usize,
+        c: usize,
+        aware: bool,
+        chunks: Option<usize>,
+    ) -> (Vec<Dense>, WorldStats) {
+        use crate::dist::threed::spmm_3d_buf;
+        let bounds = even_bounds(adj.rows(), pr);
+        let plan = Plan3d::build(adj, pr, pc, c, &bounds, aware);
+        let world = ThreadWorld::new(pr * pc * c, CostModel::perlmutter_like());
+        world.run(|ctx| {
+            let rp = &plan.ranks[ctx.rank()];
+            let rows = h.row_slice(rp.row_lo, rp.row_hi);
+            let pb = plan.panel_bounds(h.cols());
+            let local = Dense::from_fn(rows.rows(), pb[rp.j + 1] - pb[rp.j], |r, c| {
+                rows.get(r, pb[rp.j] + c)
+            });
+            let mut bufs = EpochBuffers::new();
+            match chunks {
+                None => spmm_3d_buf(ctx, &plan, &local, &mut bufs),
+                Some(k) => spmm_3d_pipelined_buf(ctx, &plan, &local, k, &mut bufs),
+            }
+        })
+    }
+
+    #[test]
+    fn twod_pipelined_bitwise_matches_blocking() {
+        let (adj, h) = setup(6, 17, 5);
+        for (pr, pc) in [(2, 2), (4, 1), (4, 2)] {
+            for aware in [true, false] {
+                let (base, st_base) = run_2d(&adj, &h, pr, pc, aware, None);
+                for k in [1, 2, 7] {
+                    let (got, st) = run_2d(&adj, &h, pr, pc, aware, Some(k));
+                    for (b, g) in base.iter().zip(&got) {
+                        assert!(
+                            g.approx_eq(b, 0.0),
+                            "pr={pr} pc={pc} aware={aware} chunks={k} diverged"
+                        );
+                    }
+                    assert_eq!(
+                        st.phase_bytes_total(Phase::P2p),
+                        st_base.phase_bytes_total(Phase::P2p),
+                        "logical volume changed pr={pr} pc={pc} chunks={k}"
+                    );
+                    assert!(
+                        st.modeled_epoch_time() <= st_base.modeled_epoch_time() + 1e-12,
+                        "pr={pr} pc={pc} chunks={k}: overlapped slower than blocking"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threed_pipelined_bitwise_matches_blocking() {
+        let (adj, h) = setup(6, 18, 5);
+        for (pr, pc, c) in [(2, 1, 2), (2, 2, 2), (4, 1, 2)] {
+            for aware in [true, false] {
+                let (base, st_base) = run_3d(&adj, &h, pr, pc, c, aware, None);
+                for k in [1, 2, 7] {
+                    let (got, st) = run_3d(&adj, &h, pr, pc, c, aware, Some(k));
+                    for (b, g) in base.iter().zip(&got) {
+                        assert!(
+                            g.approx_eq(b, 0.0),
+                            "pr={pr} pc={pc} c={c} aware={aware} chunks={k} diverged"
+                        );
+                    }
+                    assert_eq!(
+                        st.phase_bytes_total(Phase::P2p),
+                        st_base.phase_bytes_total(Phase::P2p),
+                        "logical volume changed pr={pr} pc={pc} c={c} chunks={k}"
+                    );
+                    assert_eq!(
+                        st.phase_bytes_total(Phase::AllReduce),
+                        st_base.phase_bytes_total(Phase::AllReduce),
+                        "fiber allreduce volume changed pr={pr} pc={pc} c={c} chunks={k}"
                     );
                 }
             }

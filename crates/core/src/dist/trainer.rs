@@ -52,9 +52,11 @@ use super::oned::{spmm_1d_aware_buf, spmm_1d_oblivious_buf};
 use super::onefived::spmm_15d_buf;
 use super::overlap::{
     spmm_15d_pipelined_buf, spmm_1d_aware_pipelined_buf, spmm_1d_oblivious_pipelined_buf,
-    OverlapPlan1d,
+    spmm_2d_pipelined_buf, spmm_3d_pipelined_buf, OverlapPlan1d,
 };
 use super::plan::{Plan15d, Plan1d};
+use super::threed::{spmm_3d_buf, Plan3d};
+use super::twod::{spmm_2d_buf, Plan2d};
 
 /// Which distributed SpMM drives training.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -72,14 +74,42 @@ pub enum Algo {
         /// Replication factor.
         c: usize,
     },
+    /// `pr × pc` SUMMA grid: block rows across grid rows, feature
+    /// panels across grid columns.
+    TwoD {
+        /// Sparsity-aware vs oblivious stage exchange.
+        aware: bool,
+        /// Grid columns (feature panels); `pr` comes from the bounds.
+        pc: usize,
+    },
+    /// `pr × pc × c` grid (2.5D-style): the 2D grid replicated over `c`
+    /// layers, each folding a slice of the SUMMA stages.
+    ThreeD {
+        /// Sparsity-aware vs oblivious stage exchange.
+        aware: bool,
+        /// Grid columns (feature panels).
+        pc: usize,
+        /// Replication layers.
+        c: usize,
+    },
 }
 
 impl Algo {
-    /// Replication degree (1 for 1D).
+    /// Replication degree (1 for 1D and 2D).
     pub fn replication(&self) -> usize {
         match *self {
-            Algo::OneD { .. } => 1,
-            Algo::OneFiveD { c, .. } => c,
+            Algo::OneD { .. } | Algo::TwoD { .. } => 1,
+            Algo::OneFiveD { c, .. } | Algo::ThreeD { c, .. } => c,
+        }
+    }
+
+    /// Whether the variant ships only needed rows.
+    pub fn aware(&self) -> bool {
+        match *self {
+            Algo::OneD { aware }
+            | Algo::OneFiveD { aware, .. }
+            | Algo::TwoD { aware, .. }
+            | Algo::ThreeD { aware, .. } => aware,
         }
     }
 
@@ -90,6 +120,14 @@ impl Algo {
             Algo::OneD { aware: true } => "1D sparsity-aware".into(),
             Algo::OneFiveD { aware: false, c } => format!("1.5D oblivious c={c}"),
             Algo::OneFiveD { aware: true, c } => format!("1.5D sparsity-aware c={c}"),
+            Algo::TwoD { aware: false, pc } => format!("2D oblivious pc={pc}"),
+            Algo::TwoD { aware: true, pc } => format!("2D sparsity-aware pc={pc}"),
+            Algo::ThreeD {
+                aware: false,
+                pc,
+                c,
+            } => format!("3D oblivious pc={pc} c={c}"),
+            Algo::ThreeD { aware: true, pc, c } => format!("3D sparsity-aware pc={pc} c={c}"),
         }
     }
 }
@@ -210,6 +248,8 @@ pub struct DistOutcome {
 pub(crate) enum PlanKind {
     OneD(Plan1d),
     OneFiveD { plan: Plan15d, aware: bool },
+    TwoD(Plan2d),
+    ThreeD(Plan3d),
 }
 
 /// Derives the world size and builds the communication plan for `cfg`'s
@@ -236,6 +276,20 @@ pub(crate) fn build_plan(ds: &Dataset, bounds: &[usize], cfg: &DistConfig) -> (u
                     plan: Plan15d::build(&ds.norm_adj, p, c, bounds, aware),
                     aware,
                 },
+            )
+        }
+        Algo::TwoD { aware, pc } => {
+            let pr = bounds.len() - 1;
+            (
+                pr * pc,
+                PlanKind::TwoD(Plan2d::build(&ds.norm_adj, pr, pc, bounds, aware)),
+            )
+        }
+        Algo::ThreeD { aware, pc, c } => {
+            let pr = bounds.len() - 1;
+            (
+                pr * pc * c,
+                PlanKind::ThreeD(Plan3d::build(&ds.norm_adj, pr, pc, c, bounds, aware)),
             )
         }
     }
@@ -353,6 +407,12 @@ pub(crate) fn run_rank(
     plan: &PlanKind,
     store: &dyn CheckpointBackend,
 ) -> (Vec<EpochRecord>, Weights) {
+    // The grid algorithms additionally split feature panels across grid
+    // columns, which changes the dense-layer data flow; they get their
+    // own epoch loop.
+    if matches!(plan, PlanKind::TwoD(_) | PlanKind::ThreeD(_)) {
+        return run_rank_grid(ctx, ds, cfg, plan, store);
+    }
     let aware_1d = matches!(cfg.algo, Algo::OneD { aware: true });
     let c_rep = cfg.algo.replication() as f64;
 
@@ -366,6 +426,7 @@ pub(crate) fn run_rank(
             let rp = &pl.ranks[ctx.rank()];
             (rp.row_lo, rp.row_hi)
         }
+        PlanKind::TwoD(_) | PlanKind::ThreeD(_) => unreachable!("dispatched above"),
     };
     let rows = hi - lo;
     let h0 = ds.features.row_slice(lo, hi);
@@ -420,6 +481,7 @@ pub(crate) fn run_rank(
                     spmm_15d_buf(ctx, pl, h, *aware, bufs)
                 }
             }
+            PlanKind::TwoD(_) | PlanKind::ThreeD(_) => unreachable!("dispatched above"),
         }
     };
 
@@ -579,6 +641,324 @@ pub(crate) fn run_rank(
         // it snapshots is replicated on all ranks. The store checksums
         // the snapshot and keeps the previous one as a verified
         // fallback.
+        let every = cfg.robust.checkpoint_every;
+        if ctx.rank() == 0 && every > 0 && (epoch + 1) % every == 0 {
+            store.save(Checkpoint {
+                next_epoch: epoch + 1,
+                weights: weights.clone(),
+                optimizer: optimizer.clone(),
+                records: records.clone(),
+            });
+        }
+        ctx.span_end(); // epoch
+    }
+    (records, weights)
+}
+
+/// Copies the column panel `[lo, hi)` of `src` into a pooled matrix.
+fn slice_panel(src: &Dense, lo: usize, hi: usize, bufs: &mut EpochBuffers) -> Dense {
+    let mut out = bufs.take_dense(src.rows(), hi - lo);
+    for r in 0..src.rows() {
+        out.row_mut(r).copy_from_slice(&src.row(r)[lo..hi]);
+    }
+    out
+}
+
+/// One rank's training program on a 2D or 3D process grid.
+///
+/// The grid algorithms keep `H`/`Z` **full-width and replicated** across
+/// each grid row (and, in 3D, across the `c` layers): the panel-GEMM's
+/// grid-row all-reduce already produces the full-width product on every
+/// rank, so replication costs no extra communication, and the local
+/// backward steps (`relu'`, `·Wᵀ` propagation) stay identical to the 1D
+/// data flow. Only the SpMM operands are transient per-call panels.
+///
+/// Per layer (forward): slice the own feature panel of the full-width
+/// `H`, run the 2D/3D SpMM on it, multiply the panel against the
+/// matching rows of `W` (a partial product over the full output width),
+/// and all-reduce the partials across the grid row — giving the
+/// full-width `Z` everywhere. Backward mirrors it: SpMM of the own
+/// gradient panel, grid-row all-reduce to reassemble the full-width
+/// `AᵀG`, then the weight gradient is built from per-panel blocks
+/// (`H_panelᵀ · AᵀG` lands in rows `[panel_lo, panel_hi)` of `Y`) and
+/// all-reduced over all `p` ranks.
+///
+/// Replication bookkeeping: each block row lives on `pc·c` ranks, so
+/// the masked-count denominator divides by `pc·c`; the weight-gradient
+/// all-reduce sums `pc` *distinct* panel blocks per grid row but `c`
+/// *identical* layer copies, so only `c` is divided out of `Y`.
+fn run_rank_grid(
+    ctx: &mut RankCtx,
+    ds: &Dataset,
+    cfg: &DistConfig,
+    plan: &PlanKind,
+    store: &dyn CheckpointBackend,
+) -> (Vec<EpochRecord>, Weights) {
+    let me = ctx.rank();
+    // Geometry: grid coordinates, block row, panel splitter, and the
+    // two all-reduce groups (grid row within the layer; all ranks).
+    let (grid_i, grid_j, lo, hi, pc, cl) = match plan {
+        PlanKind::TwoD(pl) => {
+            let rp = &pl.ranks[me];
+            (rp.i, rp.j, rp.row_lo, rp.row_hi, pl.pc, 1)
+        }
+        PlanKind::ThreeD(pl) => {
+            let rp = &pl.ranks[me];
+            (rp.i, rp.j, rp.row_lo, rp.row_hi, pl.pc, pl.c)
+        }
+        _ => unreachable!("run_rank_grid is only called for grid plans"),
+    };
+    let row_group: Vec<usize> = match plan {
+        PlanKind::TwoD(pl) => (0..pc).map(|jj| pl.rank_of(grid_i, jj)).collect(),
+        PlanKind::ThreeD(pl) => {
+            let l = pl.ranks[me].l;
+            (0..pc).map(|jj| pl.rank_of(grid_i, jj, l)).collect()
+        }
+        _ => unreachable!(),
+    };
+    let all_group: Vec<usize> = (0..ctx.p()).collect();
+    let panel_bounds = |f: usize| -> Vec<usize> { spmat::gen::sbm::block_bounds(f, pc) };
+    let rep = (pc * cl) as f64;
+
+    let rows = hi - lo;
+    let h0 = ds.features.row_slice(lo, hi);
+    let labels = &ds.labels[lo..hi];
+    let mask = &ds.train_mask[lo..hi];
+
+    let (start_epoch, mut weights, mut optimizer, mut records) = match store.restore() {
+        Some(ck) => (ck.next_epoch, ck.weights, ck.optimizer, ck.records),
+        None => (
+            0,
+            Weights::init(&cfg.gcn),
+            Optimizer::from_config(&cfg.gcn),
+            Vec::with_capacity(cfg.epochs),
+        ),
+    };
+    let l_total = cfg.gcn.layers();
+    let dims = &cfg.gcn.dims;
+    let mut bufs = EpochBuffers::new();
+    let overlap = cfg.overlap;
+
+    let dist_spmm = |ctx: &mut RankCtx, h: &Dense, bufs: &mut EpochBuffers| -> Dense {
+        match plan {
+            PlanKind::TwoD(pl) => {
+                if overlap.enabled {
+                    spmm_2d_pipelined_buf(ctx, pl, h, overlap.chunks, bufs)
+                } else {
+                    spmm_2d_buf(ctx, pl, h, bufs)
+                }
+            }
+            PlanKind::ThreeD(pl) => {
+                if overlap.enabled {
+                    spmm_3d_pipelined_buf(ctx, pl, h, overlap.chunks, bufs)
+                } else {
+                    spmm_3d_buf(ctx, pl, h, bufs)
+                }
+            }
+            _ => unreachable!(),
+        }
+    };
+
+    let mut hs: Vec<Dense> = Vec::with_capacity(l_total + 1);
+    let mut zs: Vec<Dense> = Vec::with_capacity(l_total);
+    let mut ahs: Vec<Dense> = Vec::with_capacity(l_total);
+    let mut grads: Vec<Dense> = Vec::with_capacity(l_total);
+
+    for epoch in start_epoch..cfg.epochs {
+        ctx.set_epoch(epoch);
+        ctx.span_begin(SpanKind::Epoch, Phase::Other);
+        // ---- forward ----
+        ctx.span_begin(SpanKind::Forward, Phase::Other);
+        let mut h0_epoch = bufs.take_dense(rows, dims[0]);
+        h0_epoch.data_mut().copy_from_slice(h0.data());
+        hs.push(h0_epoch);
+        for l in 0..l_total {
+            let (d, d_out) = (dims[l], dims[l + 1]);
+            let ib = panel_bounds(d);
+            let (ilo, ihi) = (ib[grid_j], ib[grid_j + 1]);
+            let ipw = ihi - ilo;
+            // Own input panel of the full-width activation.
+            let h_panel = ctx.compute((rows * ipw) as u64, || {
+                slice_panel(&hs[l], ilo, ihi, &mut bufs)
+            });
+            let ah = dist_spmm(ctx, &h_panel, &mut bufs);
+            // Partial product against the panel's rows of W, then
+            // grid-row all-reduce: full-width Z on every rank.
+            let w = &weights.mats[l];
+            let mut z = bufs.take_dense(rows, d_out);
+            match cfg.gcn.arch {
+                ArchKind::Gcn => ctx.compute((2 * rows * ipw * d_out) as u64, || {
+                    ah.matmul_into(&w.row_slice(ilo, ihi), &mut z)
+                }),
+                ArchKind::Sage => {
+                    let mut tmp = bufs.take_dense(rows, d_out);
+                    ctx.compute((4 * rows * ipw * d_out + rows * d_out) as u64, || {
+                        h_panel.matmul_into(&w.row_slice(ilo, ihi), &mut z);
+                        ah.matmul_into(&w.row_slice(d + ilo, d + ihi), &mut tmp);
+                        z.add_assign(&tmp);
+                    });
+                    bufs.put_dense(tmp);
+                }
+            }
+            ctx.allreduce_sum(z.data_mut(), &row_group);
+            let mut h = bufs.take_dense(rows, d_out);
+            if l + 1 == l_total {
+                h.data_mut().copy_from_slice(z.data());
+            } else {
+                ctx.compute((rows * d_out) as u64, || z.relu_into(&mut h));
+            }
+            bufs.put_dense(h_panel);
+            zs.push(z);
+            hs.push(h);
+            ahs.push(ah);
+        }
+        ctx.span_end();
+
+        // ---- loss / metrics ----
+        ctx.span_begin(SpanKind::Loss, Phase::Other);
+        let logits = &hs[l_total];
+        let (loss_sum, count, grad_sum) = softmax_cross_entropy_sums(logits, labels, mask);
+        let correct = {
+            let acc = crate::model::accuracy(logits, labels, mask);
+            acc * count as f64
+        };
+        let mut reduce = [loss_sum, count as f64, correct];
+        ctx.allreduce_sum(&mut reduce, &all_group);
+        let [g_loss, g_count, g_correct] = reduce;
+        records.push(EpochRecord {
+            loss: g_loss / g_count.max(1.0),
+            train_accuracy: if g_count > 0.0 {
+                g_correct / g_count
+            } else {
+                0.0
+            },
+        });
+        ctx.span_end();
+
+        // ---- backward ----
+        ctx.span_begin(SpanKind::Backward, Phase::Other);
+        // Every block row is held by pc·c ranks; divide the duplicates
+        // out of the masked count.
+        let denom = (g_count / rep).max(1.0);
+        let mut g = grad_sum;
+        g.scale(1.0 / denom);
+
+        for l in (0..l_total).rev() {
+            let (d, d_out) = (dims[l], dims[l + 1]);
+            let ib = panel_bounds(d);
+            let (ilo, ihi) = (ib[grid_j], ib[grid_j + 1]);
+            let ipw = ihi - ilo;
+            let ob = panel_bounds(d_out);
+            let (olo, ohi) = (ob[grid_j], ob[grid_j + 1]);
+            let opw = ohi - olo;
+
+            // SpMM of the own gradient panel, then reassemble the
+            // full-width AᵀG by summing the disjoint panels across the
+            // grid row.
+            let g_panel = ctx.compute((rows * opw) as u64, || slice_panel(&g, olo, ohi, &mut bufs));
+            let s_panel = dist_spmm(ctx, &g_panel, &mut bufs);
+            bufs.put_dense(g_panel);
+            let mut s = bufs.take_dense(rows, d_out);
+            ctx.compute((rows * opw) as u64, || {
+                for r in 0..rows {
+                    s.row_mut(r)[olo..ohi].copy_from_slice(s_panel.row(r));
+                }
+            });
+            ctx.allreduce_sum(s.data_mut(), &row_group);
+            bufs.put_dense(s_panel);
+
+            // Weight gradient from per-panel blocks: this rank fills
+            // rows [ilo, ihi) of Y; the all-reduce over all p sums the
+            // pr distinct grid-row contributions per panel and the c
+            // identical layer copies.
+            let h_prev = &hs[l];
+            let mut y = match cfg.gcn.arch {
+                ArchKind::Gcn => {
+                    let hp = ctx.compute((rows * ipw) as u64, || {
+                        slice_panel(h_prev, ilo, ihi, &mut bufs)
+                    });
+                    let mut yp = bufs.take_dense(ipw, d_out);
+                    ctx.compute((2 * rows * ipw * d_out) as u64, || {
+                        hp.transpose_matmul_into(&s, &mut yp)
+                    });
+                    let mut y = bufs.take_dense(d, d_out);
+                    y.data_mut()[ilo * d_out..ihi * d_out].copy_from_slice(yp.data());
+                    bufs.put_dense(hp);
+                    bufs.put_dense(yp);
+                    y
+                }
+                ArchKind::Sage => {
+                    let ah = &ahs[l];
+                    let g_ref = &g;
+                    let hp = ctx.compute((rows * ipw) as u64, || {
+                        slice_panel(h_prev, ilo, ihi, &mut bufs)
+                    });
+                    let mut top = bufs.take_dense(ipw, d_out);
+                    let mut bottom = bufs.take_dense(ipw, d_out);
+                    ctx.compute((4 * rows * ipw * d_out) as u64, || {
+                        hp.transpose_matmul_into(g_ref, &mut top);
+                        ah.transpose_matmul_into(g_ref, &mut bottom);
+                    });
+                    let mut y = bufs.take_dense(2 * d, d_out);
+                    y.data_mut()[ilo * d_out..ihi * d_out].copy_from_slice(top.data());
+                    y.data_mut()[(d + ilo) * d_out..(d + ihi) * d_out]
+                        .copy_from_slice(bottom.data());
+                    bufs.put_dense(hp);
+                    bufs.put_dense(top);
+                    bufs.put_dense(bottom);
+                    y
+                }
+            };
+            ctx.allreduce_sum(y.data_mut(), &all_group);
+            // Only the layer replicas are duplicates; the grid-row
+            // contributions are distinct panel blocks.
+            y.scale(1.0 / cl as f64);
+            grads.push(y); // reverse layer order; fixed up below
+            if l > 0 {
+                // Full-width local propagation, identical to the 1D
+                // data flow (s and z_prev are full-width and replicated).
+                let w = &weights.mats[l];
+                let prev_z = &zs[l - 1];
+                let mut gg = bufs.take_dense(rows, d);
+                let mut tmp = bufs.take_dense(rows, d);
+                match cfg.gcn.arch {
+                    ArchKind::Gcn => {
+                        ctx.compute((2 * rows * d_out * d + 2 * rows * d) as u64, || {
+                            s.matmul_transpose_into(w, &mut gg);
+                            prev_z.relu_prime_into(&mut tmp);
+                            gg.hadamard_assign(&tmp);
+                        })
+                    }
+                    ArchKind::Sage => {
+                        let g_ref = &g;
+                        ctx.compute((4 * rows * d_out * d + 3 * rows * d) as u64, || {
+                            g_ref.matmul_transpose_into(&w.row_slice(0, d), &mut gg);
+                            s.matmul_transpose_into(&w.row_slice(d, 2 * d), &mut tmp);
+                            gg.add_assign(&tmp);
+                            prev_z.relu_prime_into(&mut tmp);
+                            gg.hadamard_assign(&tmp);
+                        })
+                    }
+                }
+                bufs.put_dense(tmp);
+                bufs.put_dense(std::mem::replace(&mut g, gg));
+            }
+            bufs.put_dense(s);
+        }
+        grads.reverse();
+        optimizer.step(&mut weights, &grads);
+        ctx.span_end();
+
+        // ---- retire epoch temporaries ----
+        bufs.put_dense(g);
+        for d in hs.drain(..).chain(zs.drain(..)).chain(ahs.drain(..)) {
+            bufs.put_dense(d);
+        }
+        for d in grads.drain(..) {
+            bufs.put_dense(d);
+        }
+
+        // ---- checkpoint ----
         let every = cfg.robust.checkpoint_every;
         if ctx.rank() == 0 && every > 0 && (epoch + 1) % every == 0 {
             store.save(Checkpoint {
@@ -921,11 +1301,109 @@ mod tests {
     }
 
     #[test]
+    fn twod_matches_reference() {
+        for aware in [true, false] {
+            let (out, ref_records, ref_weights) = run(Algo::TwoD { aware, pc: 2 }, 2, 3);
+            for (a, b) in out.records.iter().zip(&ref_records) {
+                assert!(
+                    (a.loss - b.loss).abs() < 1e-8,
+                    "aware={aware}: loss {} vs {}",
+                    a.loss,
+                    b.loss
+                );
+            }
+            assert!(
+                out.weights.max_abs_diff(&ref_weights) < 1e-8,
+                "aware={aware}"
+            );
+        }
+    }
+
+    #[test]
+    fn threed_matches_reference() {
+        for aware in [true, false] {
+            let (out, ref_records, ref_weights) = run(Algo::ThreeD { aware, pc: 2, c: 2 }, 2, 3);
+            for (a, b) in out.records.iter().zip(&ref_records) {
+                assert!(
+                    (a.loss - b.loss).abs() < 1e-8,
+                    "aware={aware}: loss {} vs {}",
+                    a.loss,
+                    b.loss
+                );
+            }
+            assert!(
+                out.weights.max_abs_diff(&ref_weights) < 1e-8,
+                "aware={aware}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_sage_matches_reference() {
+        let ds = reddit_scaled(7, 11);
+        let mut cfg = GcnConfig::paper_default(ds.f(), ds.num_classes);
+        cfg.arch = ArchKind::Sage;
+        let mut reference = ReferenceTrainer::new(&ds, cfg.clone());
+        let ref_records = reference.train(3);
+        for algo in [
+            Algo::TwoD { aware: true, pc: 2 },
+            Algo::ThreeD {
+                aware: true,
+                pc: 2,
+                c: 2,
+            },
+        ] {
+            let bounds = even_bounds(ds.n(), 2);
+            let dist_cfg = DistConfig::new(algo, cfg.clone(), 3, CostModel::perlmutter_like());
+            let out = train_distributed(&ds, &bounds, &dist_cfg);
+            for (a, b) in out.records.iter().zip(&ref_records) {
+                assert!(
+                    (a.loss - b.loss).abs() < 1e-8,
+                    "{}: loss {} vs {}",
+                    algo.label(),
+                    a.loss,
+                    b.loss
+                );
+            }
+            assert!(
+                out.weights.max_abs_diff(&reference.weights) < 1e-8,
+                "{}",
+                algo.label()
+            );
+        }
+    }
+
+    #[test]
     fn algo_labels_and_replication() {
         assert_eq!(Algo::OneD { aware: true }.replication(), 1);
         assert_eq!(Algo::OneFiveD { aware: true, c: 4 }.replication(), 4);
+        assert_eq!(Algo::TwoD { aware: true, pc: 2 }.replication(), 1);
+        assert_eq!(
+            Algo::ThreeD {
+                aware: true,
+                pc: 2,
+                c: 2
+            }
+            .replication(),
+            2
+        );
         assert!(Algo::OneD { aware: false }.label().contains("CAGNET"));
         assert!(Algo::OneFiveD { aware: true, c: 2 }.label().contains("c=2"));
+        assert!(Algo::TwoD { aware: true, pc: 2 }.label().contains("2D"));
+        assert!(Algo::ThreeD {
+            aware: false,
+            pc: 1,
+            c: 2
+        }
+        .label()
+        .contains("3D"));
+        assert!(Algo::TwoD { aware: true, pc: 2 }.aware());
+        assert!(!Algo::ThreeD {
+            aware: false,
+            pc: 1,
+            c: 2
+        }
+        .aware());
     }
 
     #[test]
@@ -1160,6 +1638,15 @@ mod tests {
             (Algo::OneD { aware: true }, 4),
             (Algo::OneD { aware: false }, 4),
             (Algo::OneFiveD { aware: true, c: 2 }, 2),
+            (Algo::TwoD { aware: true, pc: 2 }, 2),
+            (
+                Algo::ThreeD {
+                    aware: true,
+                    pc: 1,
+                    c: 2,
+                },
+                2,
+            ),
         ] {
             let bounds = even_bounds(ds.n(), parts);
             let base_cfg = DistConfig::new(algo, cfg.clone(), 3, CostModel::perlmutter_like());

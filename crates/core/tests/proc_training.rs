@@ -40,6 +40,8 @@ fn scenario(
     let parts = match algo {
         Algo::OneD { .. } => 4,
         Algo::OneFiveD { c, .. } => 4 / c, // p = parts * c = 4
+        Algo::TwoD { pc, .. } => 4 / pc,
+        Algo::ThreeD { pc, c, .. } => 4 / (pc * c),
     };
     let bounds = even_bounds(ds.n(), parts);
     let mut dist_cfg = DistConfig::new(algo, cfg, epochs, CostModel::perlmutter_like());
@@ -52,6 +54,12 @@ fn algo_from_tag(tag: &str) -> Algo {
     match tag {
         "1d" => Algo::OneD { aware: true },
         "15d" => Algo::OneFiveD { aware: true, c: 2 },
+        "2d" => Algo::TwoD { aware: true, pc: 2 },
+        "3d" => Algo::ThreeD {
+            aware: true,
+            pc: 1,
+            c: 2,
+        },
         other => panic!("unknown algo tag {other}"),
     }
 }
@@ -191,6 +199,16 @@ fn proc_backend_matches_thread_oracle_1d() {
 #[test]
 fn proc_backend_matches_thread_oracle_15d() {
     oracle_case("proc_backend_matches_thread_oracle_15d", "15d", "oracle15d");
+}
+
+#[test]
+fn proc_backend_matches_thread_oracle_2d() {
+    oracle_case("proc_backend_matches_thread_oracle_2d", "2d", "oracle2d");
+}
+
+#[test]
+fn proc_backend_matches_thread_oracle_3d() {
+    oracle_case("proc_backend_matches_thread_oracle_3d", "3d", "oracle3d");
 }
 
 /// Waits for evidence that the run is past its first checkpoint, then

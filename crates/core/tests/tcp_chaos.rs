@@ -51,6 +51,8 @@ fn scenario(
     let parts = match algo {
         Algo::OneD { .. } => P,
         Algo::OneFiveD { c, .. } => P / c,
+        Algo::TwoD { pc, .. } => P / pc,
+        Algo::ThreeD { pc, c, .. } => P / (pc * c),
     };
     let bounds = even_bounds(ds.n(), parts);
     let mut dist_cfg = DistConfig::new(algo, cfg, epochs, CostModel::perlmutter_like());

@@ -42,6 +42,8 @@ pub enum SpanKind {
     Spmm15d,
     /// One 2D (SUMMA-style) distributed SpMM call.
     Spmm2d,
+    /// One 3D (2.5D-style replicated-grid) distributed SpMM call.
+    Spmm3d,
     /// One pipelined (nonblocking) exchange window inside a distributed
     /// SpMM: remote fetches split into chunks and folded into the local
     /// accumulation while the next chunk is in flight.
@@ -59,13 +61,14 @@ impl SpanKind {
             SpanKind::Spmm1d => "spmm_1d",
             SpanKind::Spmm15d => "spmm_15d",
             SpanKind::Spmm2d => "spmm_2d",
+            SpanKind::Spmm3d => "spmm_3d",
             SpanKind::Overlap => "overlap",
         }
     }
 
     /// Inverse of [`SpanKind::name`].
     pub fn from_name(s: &str) -> Option<SpanKind> {
-        const ALL: [SpanKind; 8] = [
+        const ALL: [SpanKind; 9] = [
             SpanKind::Epoch,
             SpanKind::Forward,
             SpanKind::Loss,
@@ -73,6 +76,7 @@ impl SpanKind {
             SpanKind::Spmm1d,
             SpanKind::Spmm15d,
             SpanKind::Spmm2d,
+            SpanKind::Spmm3d,
             SpanKind::Overlap,
         ];
         ALL.iter().copied().find(|k| k.name() == s)

@@ -155,6 +155,80 @@ fn overlapped_one_five_d_matches() {
 }
 
 #[test]
+fn two_d_matches() {
+    let ds = amazon_scaled(8, 48);
+    // pr = 4, pc = 2 → p = 8.
+    for aware in [true, false] {
+        check(&ds, Algo::TwoD { aware, pc: 2 }, 4, 2);
+    }
+}
+
+#[test]
+fn three_d_matches() {
+    let ds = amazon_scaled(8, 48);
+    // pr = 4, pc = 2, c = 2 → p = 16.
+    for aware in [true, false] {
+        check(&ds, Algo::ThreeD { aware, pc: 2, c: 2 }, 4, 2);
+    }
+}
+
+#[test]
+fn overlapped_grid_matches() {
+    let ds = amazon_scaled(8, 49);
+    for chunks in [1, 2, 7] {
+        check_overlap(
+            &ds,
+            Algo::TwoD { aware: true, pc: 2 },
+            4,
+            2,
+            OverlapConfig::on(chunks),
+        );
+        check_overlap(
+            &ds,
+            Algo::ThreeD {
+                aware: true,
+                pc: 1,
+                c: 2,
+            },
+            4,
+            2,
+            OverlapConfig::on(chunks),
+        );
+    }
+}
+
+#[test]
+fn sage_grid_matches() {
+    // The grid trainer's SAGE panels (H·W1 top block, AᵀH·W2 bottom
+    // block) have their own charge shapes; mirror those too.
+    let ds = amazon_scaled(8, 45);
+    let bounds = even_bounds(ds.n(), 4);
+    let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes).with_sage();
+    let model = CostModel::perlmutter_like();
+    for algo in [
+        Algo::TwoD { aware: true, pc: 2 },
+        Algo::ThreeD {
+            aware: true,
+            pc: 2,
+            c: 2,
+        },
+    ] {
+        let out = train_distributed(&ds, &bounds, &DistConfig::new(algo, gcn.clone(), 2, model));
+        let est = estimate(&AnalyticInput {
+            adj: &ds.norm_adj,
+            bounds: &bounds,
+            algo,
+            dims: &gcn.dims,
+            model,
+            epochs: 2,
+            arch: gnn_core::model::ArchKind::Sage,
+            overlap: OverlapConfig::off(),
+        });
+        assert_stats_equal(&out.stats, &est, &format!("sage {}", algo.label()));
+    }
+}
+
+#[test]
 fn sage_architecture_matches() {
     // SAGE's different local-compute and gradient-reduce sizes must be
     // mirrored exactly too.

@@ -15,8 +15,9 @@ use gnn_comm::msg::Payload;
 use gnn_comm::{CostModel, FaultInjector, FaultPlan, ThreadWorld, WorldError};
 use gnn_core::dist::oned::spmm_1d_aware;
 use gnn_core::dist::onefived::spmm_15d;
+use gnn_core::dist::threed::spmm_3d;
 use gnn_core::dist::twod::spmm_2d;
-use gnn_core::dist::{even_bounds, Plan15d, Plan1d, Plan2d};
+use gnn_core::dist::{even_bounds, Plan15d, Plan1d, Plan2d, Plan3d};
 use gnn_core::{
     train_distributed, try_train_distributed, Algo, DistConfig, GcnConfig, RobustnessConfig,
 };
@@ -294,8 +295,8 @@ fn heavy_link_faults_leave_training_results_untouched() {
 // ---- fault-injection smoke matrix: every algorithm × every fault ----
 //
 // The injector lives in the transport layer, so every distributed SpMM
-// (1D, 1.5D, 2D) inherits retransmission and crash semantics without
-// algorithm-specific code. These smoke tests pin that down per
+// (1D, 1.5D, 2D, 3D) inherits retransmission and crash semantics
+// without algorithm-specific code. These smoke tests pin that down per
 // algorithm: link faults are absorbed exactly (bit-identical results,
 // visible retries) and a crash surfaces as a structured error.
 
@@ -305,6 +306,7 @@ enum SmokeAlgo {
     OneD,
     OneFiveD,
     TwoD,
+    ThreeD,
 }
 
 /// Runs one SpMM of `algo` over a seeded graph under `faults` and
@@ -374,6 +376,25 @@ fn smoke_spmm(
                 }
             }
             Ok((out, stats))
+        }
+        SmokeAlgo::ThreeD => {
+            let bounds = even_bounds(n, 2); // pr = 2, pc = 1, c = 2 → p = 4
+            let plan = Plan3d::build(&ds.norm_adj, 2, 1, 2, &bounds, true);
+            let (blocks, stats) = world_of(4).try_run(|ctx| {
+                ctx.set_epoch(0);
+                let rp = &plan.ranks[ctx.rank()];
+                let local = h.row_slice(rp.row_lo, rp.row_hi);
+                spmm_3d(ctx, &plan, &local)
+            })?;
+            // pc = 1 → full-width panels; layer 0's fiber-reduced blocks
+            // reassemble the whole product.
+            Ok((
+                vstack(&[
+                    blocks[plan.rank_of(0, 0, 0)].clone(),
+                    blocks[plan.rank_of(1, 0, 0)].clone(),
+                ]),
+                stats,
+            ))
         }
     }
 }
@@ -477,6 +498,22 @@ fn crash_smoke(algo: SmokeAlgo) {
 }
 
 #[test]
+fn smoke_3d_drop() {
+    link_fault_smoke(
+        SmokeAlgo::ThreeD,
+        all_senders_faulty(|p, r| p.drop_messages(r, None, 0.3)),
+    );
+}
+
+#[test]
+fn smoke_3d_corrupt() {
+    link_fault_smoke(
+        SmokeAlgo::ThreeD,
+        all_senders_faulty(|p, r| p.corrupt_messages(r, None, 0.3)),
+    );
+}
+
+#[test]
 fn smoke_1d_crash() {
     crash_smoke(SmokeAlgo::OneD);
 }
@@ -489,6 +526,72 @@ fn smoke_15d_crash() {
 #[test]
 fn smoke_2d_crash() {
     crash_smoke(SmokeAlgo::TwoD);
+}
+
+#[test]
+fn smoke_3d_crash() {
+    crash_smoke(SmokeAlgo::ThreeD);
+}
+
+// ---- grid trainer recovery: 2D-SA and 3D crash → checkpoint restart ----
+
+/// Crash a rank mid-training under each grid algorithm and demand the
+/// checkpoint-restart ladder reproduce the fault-free run bit for bit —
+/// the same guarantee the 1D/1.5D paths already carry.
+fn grid_crash_recovers(algo: Algo, label: &str) {
+    let ds = reddit_scaled(7, 38);
+    let gcn = GcnConfig::paper_default(ds.f(), ds.num_classes);
+    let bounds = even_bounds(ds.n(), 2); // pr = 2 → p = 4 for both grids
+    let epochs = 5;
+    let clean_cfg = DistConfig::new(algo, gcn, epochs, CostModel::perlmutter_like());
+    let clean = train_distributed(&ds, &bounds, &clean_cfg);
+
+    let mut faulty_cfg = clean_cfg.clone();
+    faulty_cfg.robust = RobustnessConfig {
+        faults: Some(FaultPlan::new(11).crash_at(2, 3, 0)),
+        checkpoint_every: 2,
+        max_restarts: 1,
+        timeout: Duration::from_secs(15),
+        failover: false,
+    };
+    let recovered = try_train_distributed(&ds, &bounds, &faulty_cfg)
+        .unwrap_or_else(|e| panic!("{label}: restart must recover the run: {e}"));
+    assert_eq!(recovered.restarts, 1, "{label}: exactly one restart");
+    assert_eq!(recovered.records.len(), clean.records.len());
+    for (e, (a, b)) in recovered.records.iter().zip(&clean.records).enumerate() {
+        assert_eq!(
+            a.loss.to_bits(),
+            b.loss.to_bits(),
+            "{label}: epoch {e} loss"
+        );
+        assert_eq!(
+            a.train_accuracy.to_bits(),
+            b.train_accuracy.to_bits(),
+            "{label}: epoch {e} accuracy"
+        );
+    }
+    assert_eq!(
+        recovered.weights.max_abs_diff(&clean.weights),
+        0.0,
+        "{label}: recovery must be bit-identical"
+    );
+}
+
+#[test]
+fn two_d_sa_crash_recovers_bit_identical() {
+    grid_crash_recovers(Algo::TwoD { aware: true, pc: 2 }, "2D-SA");
+}
+
+#[test]
+fn three_d_crash_recovers_bit_identical() {
+    grid_crash_recovers(
+        Algo::ThreeD {
+            aware: true,
+            pc: 1,
+            c: 2,
+        },
+        "3D",
+    );
 }
 
 // ---- degraded-mode failover: the 1.5D acceptance scenario ----

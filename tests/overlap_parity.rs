@@ -123,65 +123,72 @@ fn one_five_d_parity_across_schemes_and_chunks() {
     }
 }
 
-/// 2D has no pipelined variant by design (its stage traffic is already
-/// panel-local), so the overlap config must be inert there: no overlap
-/// window ever opens, the product still matches the serial reference,
-/// and repeated runs are bitwise deterministic.
+/// The grid algorithms pipeline too: 2D and 3D chunked schedules must
+/// be pure scheduling transformations, exactly like 1D/1.5D — same
+/// bits, same logical volumes, measured overlap windows.
 #[test]
-fn two_d_ignores_overlap_and_stays_exact() {
-    use gnn_comm::ThreadWorld;
-    use gnn_core::dist::twod::{spmm_2d, Plan2d};
-    use spmat::spmm::spmm;
-    use spmat::Dense;
-
+fn grid_parity_across_schemes_and_chunks() {
     let ds = amazon_scaled(8, 33);
-    let (pr, pc) = (2usize, 2usize);
-    let f = 8usize;
     for scheme in [Scheme::Cagnet, Scheme::Sa, Scheme::SaGvb] {
-        let (pds, bounds) = prepare_full(&ds, pr, scheme, 9);
-        let adj = &pds.norm_adj;
-        let h = Dense::from_fn(adj.rows(), f, |r, c| {
-            ((r * 31 + c * 7) % 13) as f64 / 13.0 - 0.5
-        });
-        let plan = Plan2d::build(adj, pr, pc, &bounds, scheme.aware());
-        let run_once = || {
-            let world = ThreadWorld::new(pr * pc, CostModel::perlmutter_like());
-            world.run(|ctx| {
-                let rp = &plan.ranks[ctx.rank()];
-                let pb = plan.panel_bounds(f);
-                let (plo, phi) = (pb[rp.j], pb[rp.j + 1]);
-                let local = Dense::from_fn(rp.row_hi - rp.row_lo, phi - plo, |r, c| {
-                    h.get(rp.row_lo + r, plo + c)
-                });
-                spmm_2d(ctx, &plan, &local)
-            })
-        };
-        let (blocks, stats) = run_once();
-        let (blocks2, _) = run_once();
-        assert_eq!(
-            stats.total_overlap_stages(),
-            0,
-            "{scheme:?}: 2D opened an overlap window"
+        // pr = 2 block rows each; p = 4 ranks for both grids.
+        check_parity(
+            &ds,
+            scheme,
+            Algo::TwoD {
+                aware: scheme.aware(),
+                pc: 2,
+            },
+            2,
         );
-        let reference = spmm(adj, &h); // symmetric: Aᵀ = A
-        let pb = plan.panel_bounds(f);
-        for (rank, (block, block2)) in blocks.iter().zip(&blocks2).enumerate() {
-            assert_eq!(
-                block.max_abs_diff(block2),
-                Some(0.0),
-                "{scheme:?}: rank {rank} not deterministic"
-            );
-            let rp = &plan.ranks[rank];
-            let plo = pb[rp.j];
-            let want = Dense::from_fn(block.rows(), block.cols(), |r, c| {
-                reference.get(rp.row_lo + r, plo + c)
-            });
-            assert!(
-                block.approx_eq(&want, 1e-11),
-                "{scheme:?}: 2D block (rank {rank}) differs from serial reference"
-            );
-        }
+        check_parity(
+            &ds,
+            scheme,
+            Algo::ThreeD {
+                aware: scheme.aware(),
+                pc: 1,
+                c: 2,
+            },
+            2,
+        );
     }
+}
+
+/// Golden-trace regression for the 2D sparsity-aware path: a seeded
+/// 2D-SA training run exports byte-identical JSONL across re-runs, the
+/// artifact carries `spmm_2d` spans and passes the schema validator,
+/// and its independent byte accounting reconciles with `WorldStats`
+/// to the byte.
+#[test]
+fn golden_two_d_sa_trace_is_stable_and_reconciles() {
+    let ds = amazon_scaled(8, 35);
+    let (pds, bounds) = prepare_full(&ds, 2, Scheme::Sa, 9);
+    let algo = Algo::TwoD { aware: true, pc: 2 }; // p = 4
+    let once = run(&pds, &bounds, algo, OverlapConfig::off(), true);
+    let again = run(&pds, &bounds, algo, OverlapConfig::off(), true);
+    let jsonl = jsonl_string(once.trace.as_ref().expect("trace requested"));
+    let jsonl2 = jsonl_string(again.trace.as_ref().expect("trace requested"));
+    assert_eq!(
+        jsonl, jsonl2,
+        "2D-SA trace is not byte-identical across re-runs"
+    );
+
+    assert!(jsonl.contains("spmm_2d"), "no spmm_2d spans in the trace");
+    let summary = validate_jsonl(&jsonl).expect("2D-SA trace fails validation");
+    assert_eq!(summary.p, 4);
+
+    // The validator's independent accounting must agree with the
+    // runtime stats registry exactly — and a clean run retransmits
+    // nothing, so logical volume is the whole story.
+    assert_eq!(
+        summary.logical_bytes_sent,
+        once.stats
+            .per_rank
+            .iter()
+            .map(|r| r.bytes_sent_total())
+            .sum::<u64>(),
+        "traced logical bytes disagree with WorldStats"
+    );
+    assert_eq!(summary.retransmit_wire_bytes, 0, "clean run retransmitted");
 }
 
 /// Golden-trace regression: a seeded overlapped 1.5D run exports

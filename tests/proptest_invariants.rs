@@ -6,7 +6,7 @@
 //! offline, and deterministic seeds make every failure reproducible by
 //! construction — rerun the test, get the same cases.
 
-use gnn_core::dist::{even_bounds, Plan1d};
+use gnn_core::dist::{even_bounds, Plan1d, Plan2d};
 use partition::metrics::volumes;
 use partition::types::Partition;
 use partition::wgraph::WGraph;
@@ -164,6 +164,106 @@ fn plan_volumes_equal_partition_metrics() {
                 recv[i],
                 "recv volume at rank {i}"
             );
+        }
+    }
+}
+
+#[test]
+fn grid_nnzcols_match_brute_force_tiles() {
+    // The 2D plan's sparsity-aware column sets, tile by tile: for every
+    // (row-group i, column-group k) the set `NnzCols(i, k)` the plan
+    // ships must be *exactly* the columns a brute-force scan finds the
+    // tile's SpMM touching — sorted, deduplicated, nothing extra.
+    let mut rng = StdRng::seed_from_u64(0x2D6);
+    for _ in 0..CASES {
+        let n = rng.gen_range(8..40usize);
+        let g = sym_graph(n, &mut rng);
+        let pr = rng.gen_range(2..5usize).min(n);
+        let pc = rng.gen_range(1..4usize);
+        let bounds = even_bounds(n, pr);
+        let plan = Plan2d::build(&g, pr, pc, &bounds, true);
+        for i in 0..pr {
+            let rp = &plan.ranks[plan.rank_of(i, 0)];
+            assert_eq!(rp.stages.len(), pr, "2D rank folds every stage");
+            for st in &rp.stages {
+                let (lo, hi) = (bounds[i], bounds[i + 1]);
+                let (klo, khi) = (bounds[st.k], bounds[st.k + 1]);
+                let mut brute: Vec<u32> = g
+                    .iter()
+                    .filter(|&(r, c, _)| (lo..hi).contains(&r) && (klo..khi).contains(&c))
+                    .map(|(_, c, _)| c as u32)
+                    .collect();
+                brute.sort_unstable();
+                brute.dedup();
+                assert_eq!(
+                    st.needed, brute,
+                    "tile ({i}, {}) column set diverges from brute force",
+                    st.k
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_nnzcols_union_and_intersection_invariants() {
+    // Set algebra over the 2D grid's column sets:
+    // - stages live in disjoint column ranges → pairwise intersections
+    //   are empty;
+    // - their union is exactly the distinct columns of the whole row
+    //   block (what the 1D plan would fetch);
+    // - every feature panel j of a grid row shares identical column
+    //   sets (panels split features, not graph columns);
+    // - the aware set is a subset of the oblivious full range.
+    let mut rng = StdRng::seed_from_u64(0x2D7);
+    for _ in 0..CASES {
+        let n = rng.gen_range(8..40usize);
+        let g = sym_graph(n, &mut rng);
+        let pr = rng.gen_range(2..5usize).min(n);
+        let pc = rng.gen_range(1..4usize);
+        let bounds = even_bounds(n, pr);
+        let plan = Plan2d::build(&g, pr, pc, &bounds, true);
+        let oblivious = Plan2d::build(&g, pr, pc, &bounds, false);
+        for i in 0..pr {
+            let rp = &plan.ranks[plan.rank_of(i, 0)];
+            // Pairwise disjoint...
+            for a in 0..rp.stages.len() {
+                for b in (a + 1)..rp.stages.len() {
+                    let sb = &rp.stages[b].needed;
+                    assert!(
+                        rp.stages[a].needed.iter().all(|c| !sb.contains(c)),
+                        "stages {a} and {b} of row {i} overlap"
+                    );
+                }
+            }
+            // ...whose union is the row block's full distinct-column set.
+            let mut union: Vec<u32> = rp
+                .stages
+                .iter()
+                .flat_map(|st| st.needed.iter().copied())
+                .collect();
+            union.sort_unstable();
+            let mut all: Vec<u32> = g
+                .iter()
+                .filter(|&(r, _, _)| (bounds[i]..bounds[i + 1]).contains(&r))
+                .map(|(_, c, _)| c as u32)
+                .collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(union, all, "union over stages != row block columns");
+            // Panels agree on column sets.
+            for j in 1..pc {
+                let other = &plan.ranks[plan.rank_of(i, j)];
+                for (a, b) in rp.stages.iter().zip(&other.stages) {
+                    assert_eq!(a.needed, b.needed, "panel {j} diverges at row {i}");
+                }
+            }
+            // Aware ⊆ oblivious (the full block range).
+            let orp = &oblivious.ranks[oblivious.rank_of(i, 0)];
+            for (st, ost) in rp.stages.iter().zip(&orp.stages) {
+                assert!(st.needed.len() <= ost.needed.len());
+                assert!(st.needed.iter().all(|c| ost.needed.contains(c)));
+            }
         }
     }
 }
